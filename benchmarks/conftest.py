@@ -1,0 +1,55 @@
+"""Shared fixtures: each workload is traced once per session and reused."""
+
+import pytest
+
+from repro.harness.experiments import cached_run
+
+
+@pytest.fixture(scope="session")
+def amazon_desktop_result():
+    return cached_run("amazon_desktop")
+
+
+@pytest.fixture(scope="session")
+def amazon_mobile_result():
+    return cached_run("amazon_mobile")
+
+
+@pytest.fixture(scope="session")
+def google_maps_result():
+    return cached_run("google_maps")
+
+
+@pytest.fixture(scope="session")
+def bing_result():
+    return cached_run("bing")
+
+
+@pytest.fixture(scope="session")
+def table2_results(
+    amazon_desktop_result, amazon_mobile_result, google_maps_result, bing_result
+):
+    return {
+        "amazon_desktop": amazon_desktop_result,
+        "amazon_mobile": amazon_mobile_result,
+        "google_maps": google_maps_result,
+        "bing": bing_result,
+    }
+
+
+@pytest.fixture(scope="session")
+def browse_results():
+    return {
+        "amazon_desktop": cached_run("amazon_desktop_browse"),
+        "bing": cached_run("bing"),
+        "google_maps": cached_run("google_maps_browse"),
+    }
+
+
+@pytest.fixture(scope="session")
+def load_results(amazon_desktop_result, google_maps_result):
+    return {
+        "amazon_desktop": amazon_desktop_result,
+        "bing": cached_run("bing_load_only"),
+        "google_maps": google_maps_result,
+    }

@@ -1,0 +1,77 @@
+"""Regenerates the Section V-A Bing partial-slice experiment.
+
+Paper: slicing only up to load-complete marks 49.8% of load-time
+instructions useful; with the full-session criteria, 50.6% of load-time
+instructions are useful — browsing makes only ~1% more of the load work
+pay off.
+"""
+
+import pytest
+
+from repro.harness.reporting import bing_partial_report
+from repro.profiler import pixel_criteria
+from repro.profiler.stats import windowed_fraction
+
+
+@pytest.fixture(scope="module")
+def partial(bing_result):
+    store = bing_result.store
+    load_idx = store.metadata.load_complete_index
+    assert load_idx is not None
+    result = bing_result.profiler.slice(pixel_criteria(store).windowed(load_idx))
+    return load_idx, result
+
+
+def test_partial_slice_benchmark(bing_result, benchmark):
+    store = bing_result.store
+    load_idx = store.metadata.load_complete_index
+    criteria = pixel_criteria(store).windowed(load_idx)
+
+    def run():
+        return bing_result.profiler.slice(criteria)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.slice_size() > 0
+
+
+def test_load_prefix_is_substantial(bing_result):
+    """Paper: the Bing load prefix is 1.7B of 10.5B instructions."""
+    store = bing_result.store
+    load_idx = store.metadata.load_complete_index
+    assert 0.05 < load_idx / len(store) < 0.8
+
+
+def test_browsing_adds_little_load_usefulness(bing_result, partial):
+    """Paper: browsing makes only ~1% more load-time instructions useful."""
+    load_idx, partial_result = partial
+    load_only = windowed_fraction(partial_result, 0, load_idx)
+    full_of_load = windowed_fraction(bing_result.pixel, 0, load_idx)
+    delta = full_of_load - load_only
+    assert -0.005 <= delta < 0.08, f"browsing added {delta:+.1%} to load usefulness"
+
+
+def test_partial_is_subset_of_full(bing_result, partial):
+    """Every record in the windowed slice must be in the full-session slice
+    (the full criteria are a superset of the windowed criteria)."""
+    _, partial_result = partial
+    full_flags = bing_result.pixel.flags
+    missing = sum(
+        1
+        for i, flag in enumerate(partial_result.flags)
+        if flag and not full_flags[i]
+    )
+    assert missing == 0
+
+
+def test_load_only_fraction_near_paper(bing_result, partial):
+    load_idx, partial_result = partial
+    load_only = windowed_fraction(partial_result, 0, load_idx)
+    assert abs(load_only - 0.498) < 0.20
+
+
+def test_print_bing_partial(bing_result, capsys):
+    report = bing_partial_report(bing_result)
+    with capsys.disabled():
+        print()
+        print(report)
+    assert "partial-slice" in report

@@ -1,0 +1,65 @@
+"""Regenerates the Section V criteria-comparison claim: slicing based on
+either pixels buffer or system calls leads to almost the same slice (the
+syscall slice is inclusive of the pixel slice)."""
+
+import pytest
+
+from repro.profiler import combined_criteria, pixel_criteria
+
+
+@pytest.fixture(scope="module")
+def both_slices(amazon_desktop_result):
+    result = amazon_desktop_result
+    pixels = result.pixel
+    syscalls = result.profiler.slice(combined_criteria(result.store))
+    return result, pixels, syscalls
+
+
+def test_syscall_slice_benchmark(amazon_desktop_result, benchmark):
+    result = amazon_desktop_result
+    criteria = combined_criteria(result.store)
+    sliced = benchmark.pedantic(
+        result.profiler.slice, args=(criteria,), rounds=1, iterations=1
+    )
+    assert sliced.slice_size() > 0
+
+
+def test_syscall_slice_is_superset(both_slices):
+    """Paper IV-C: 'the slice computed by this set of slicing criteria must
+    be inclusive of that of the pixel-based criteria'."""
+    result, pixels, syscalls = both_slices
+    missing = sum(
+        1
+        for i in range(len(result.store))
+        if pixels.flags[i] and not syscalls.flags[i]
+    )
+    assert missing == 0
+
+
+def test_slices_almost_the_same(both_slices):
+    """Paper V: 'slicing based on either pixels buffer or system calls
+    leads to almost the same slice'."""
+    _, pixels, syscalls = both_slices
+    assert syscalls.fraction() - pixels.fraction() < 0.12, (
+        f"syscall slice {syscalls.fraction():.1%} vs pixel {pixels.fraction():.1%}"
+    )
+
+
+def test_extra_syscall_records_are_io_related(both_slices):
+    """The syscall-only extra records should concentrate in network/IPC
+    output paths (beacons, metrics flushes), not rendering."""
+    result, pixels, syscalls = both_slices
+    store = result.store
+    extra_by_fn = {}
+    for i, rec in enumerate(store.forward()):
+        if syscalls.flags[i] and not pixels.flags[i]:
+            name = store.symbols.name(rec.fn)
+            extra_by_fn[name] = extra_by_fn.get(name, 0) + 1
+    extra_total = sum(extra_by_fn.values())
+    assert extra_total > 0, "syscall criteria must add something (beacons etc.)"
+    io_ish = sum(
+        count
+        for name, count in extra_by_fn.items()
+        if name.startswith(("net::", "ipc::", "base::", "v8::js::metrics", "cc::Display"))
+    )
+    assert io_ish / extra_total > 0.25

@@ -1,0 +1,63 @@
+"""Regenerates Figure 2: main-thread CPU utilization over an amazon.com
+load+browse session (load spike, then smaller interaction spikes)."""
+
+import pytest
+
+from repro.analysis.utilization import busy_fraction, find_spikes
+from repro.browser.context import MAIN_THREAD
+from repro.harness.reporting import figure2_report
+
+
+@pytest.fixture(scope="module")
+def amazon_browse(browse_results):
+    return browse_results["amazon_desktop"]
+
+
+def test_utilization_series_benchmark(amazon_browse, benchmark):
+    series = benchmark.pedantic(
+        amazon_browse.utilization, args=(MAIN_THREAD,), rounds=1, iterations=1
+    )
+    assert series, "expected a non-empty utilization series"
+
+
+def test_load_spike_exists_at_start(amazon_browse):
+    """The page load produces the first and most intense activity burst."""
+    series = amazon_browse.utilization(MAIN_THREAD)
+    spikes = find_spikes(series)
+    assert spikes, "expected at least the load spike"
+    assert spikes[0].start_s < 1.0, "load activity should start immediately"
+    assert max(s.peak for s in spikes[:3]) > 0.5
+
+
+def test_interaction_spikes_after_load(amazon_browse):
+    """Each user action (scrolls, photo-roll clicks, menu) causes a spike.
+
+    Scrolls are compositor-handled, so main-thread spikes come from the
+    two carousel clicks and the menu open, plus timers.
+    """
+    series = amazon_browse.utilization(MAIN_THREAD)
+    spikes = find_spikes(series)
+    load_end = spikes[0].end_s if spikes else 0.0
+    later = [s for s in spikes if s.start_s > load_end + 0.5]
+    assert len(later) >= 2, f"expected interaction spikes, got {len(later)}"
+
+
+def test_idle_gaps_between_interactions(amazon_browse):
+    """User think time shows as idle valleys (utilization ~0)."""
+    series = amazon_browse.utilization(MAIN_THREAD)
+    idle_buckets = sum(1 for _, v in series if v < 0.05)
+    assert idle_buckets > len(series) * 0.3, "most of a browsing session is idle"
+
+
+def test_mean_utilization_moderate(amazon_browse):
+    series = amazon_browse.utilization(MAIN_THREAD)
+    mean = busy_fraction(series)
+    assert 0.02 < mean < 0.60
+
+
+def test_print_figure2(amazon_browse, capsys):
+    report = figure2_report(amazon_browse)
+    with capsys.disabled():
+        print()
+        print(report)
+    assert "Figure 2" in report

@@ -1,0 +1,86 @@
+"""Regenerates Figure 4 (a-h): slicing percentage over the backward pass,
+for all threads and for the main thread only, on all four benchmarks."""
+
+import pytest
+
+from repro.harness.reporting import figure4_report
+from repro.profiler.stats import timeline_series
+
+
+def _series_pair(result):
+    return (
+        timeline_series(result.pixel),
+        timeline_series(result.pixel, main=True),
+    )
+
+
+def test_timeline_extraction_benchmark(bing_result, benchmark):
+    all_series, main_series = benchmark.pedantic(
+        _series_pair, args=(bing_result,), rounds=1, iterations=1
+    )
+    assert all_series and main_series
+
+
+def _variability(series):
+    values = [y for _, y in series if y > 0]
+    if not values:
+        return 0.0
+    return max(values) - min(values)
+
+
+@pytest.mark.parametrize(
+    "fixture_name",
+    ["amazon_desktop_result", "amazon_mobile_result", "google_maps_result", "bing_result"],
+)
+def test_fractions_stay_bounded(fixture_name, request):
+    result = request.getfixturevalue(fixture_name)
+    for series in _series_pair(result):
+        assert all(0.0 <= y <= 1.0 for _, y in series)
+        xs = [x for x, _ in series]
+        assert xs == sorted(xs)
+
+
+@pytest.mark.parametrize(
+    "fixture_name",
+    ["amazon_desktop_result", "google_maps_result", "bing_result"],
+)
+def test_main_thread_varies_more_than_all(fixture_name, request):
+    """Paper: 'the range of changes in the slicing percentage of the main
+    thread is more in contrast to all threads' — useful/useless regions
+    are more conspicuous on the main thread."""
+    result = request.getfixturevalue(fixture_name)
+    all_series, main_series = _series_pair(result)
+    # Ignore the noisy first few samples (tiny denominators).
+    assert _variability(main_series[3:]) >= _variability(all_series[3:]) * 0.8
+
+
+def test_bing_main_shows_interaction_increases(bing_result):
+    """Paper Figure 4h: the Bing main-thread curve jumps at the points
+    corresponding to user interactions, then decays; a large increase
+    appears near the end of the x-axis (the load)."""
+    _, main_series = _series_pair(bing_result)
+    values = [y for _, y in main_series]
+    n = len(values)
+    assert n > 10
+    increases = sum(
+        1 for i in range(max(1, n // 10), n - 1) if values[i + 1] > values[i] + 0.005
+    )
+    assert increases >= 2, "expected jumps at user interactions"
+    # The load region (end of the backward pass) lifts the curve.
+    assert values[-1] > values[n // 4] - 0.05
+
+
+def test_converges_to_overall_fraction(table2_results):
+    """The final timeline sample equals the overall slice fraction."""
+    for name, result in table2_results.items():
+        all_series = timeline_series(result.pixel)
+        final = all_series[-1][1]
+        assert abs(final - result.stats.fraction) < 0.02, name
+
+
+def test_print_figure4(table2_results, capsys):
+    report = figure4_report(table2_results)
+    with capsys.disabled():
+        print()
+        print(report)
+    assert "Figure 4" in report

@@ -1,0 +1,77 @@
+"""Regenerates Figure 5: categorization of potentially unnecessary
+computations via namespace analysis of non-slice instructions."""
+
+import pytest
+
+from repro.harness import paper
+from repro.harness.reporting import figure5_report
+from repro.profiler.categorize import categorize_unnecessary
+
+
+def test_categorization_benchmark(bing_result, benchmark):
+    dist = benchmark.pedantic(
+        categorize_unnecessary,
+        args=(bing_result.store, bing_result.pixel),
+        rounds=1,
+        iterations=1,
+    )
+    assert dist.total_unnecessary > 0
+
+
+def test_javascript_is_dominant_category(table2_results):
+    """Paper: 'the most notable category is processing of JavaScript'."""
+    for name, result in table2_results.items():
+        assert result.categories.dominant_category() == "JavaScript", (
+            f"{name}: dominant is {result.categories.dominant_category()}"
+        )
+
+
+def test_categorized_fraction_in_paper_band(table2_results):
+    """Paper: only 53-74% of non-slice instructions were categorizable."""
+    for name, result in table2_results.items():
+        fraction = result.categories.categorized_fraction
+        ref = paper.FIGURE5_CATEGORIZED_FRACTION[name]
+        assert abs(fraction - ref) < 0.20, (
+            f"{name}: categorized {fraction:.0%} vs paper {ref:.0%}"
+        )
+
+
+def test_all_categories_present(table2_results):
+    """Every paper category should appear with non-trivial mass somewhere."""
+    for category in ("JavaScript", "Debugging", "IPC", "Multi-threading",
+                     "Compositing", "Graphics", "CSS", "Other"):
+        assert any(
+            result.categories.counts.get(category, 0) > 0
+            for result in table2_results.values()
+        ), f"category {category} absent everywhere"
+
+
+def test_bing_js_share_smaller_than_load_only_benchmarks(table2_results):
+    """Paper: in Bing (load+browse) the JavaScript share is smaller than in
+    the load-only benchmarks — loading is the JS-intensive phase."""
+    bing_js = table2_results["bing"].categories.share("JavaScript")
+    load_only_js = [
+        table2_results[name].categories.share("JavaScript")
+        for name in ("amazon_desktop", "amazon_mobile", "google_maps")
+    ]
+    assert bing_js <= max(load_only_js) + 0.02
+
+
+def test_shares_sum_to_one(table2_results):
+    for result in table2_results.values():
+        total = sum(share for _, share in result.categories.shares())
+        assert abs(total - 1.0) < 1e-9
+
+
+def test_debugging_detected_as_waste(table2_results):
+    """Paper: default trace-event machinery is unnecessary by construction."""
+    for name, result in table2_results.items():
+        assert result.categories.share("Debugging") > 0.01, name
+
+
+def test_print_figure5(table2_results, capsys):
+    report = figure5_report(table2_results)
+    with capsys.disabled():
+        print()
+        print(report)
+    assert "Figure 5" in report

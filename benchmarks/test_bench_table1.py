@@ -1,0 +1,67 @@
+"""Regenerates Table I: unused JavaScript and CSS code bytes.
+
+Benchmarks the coverage computation and checks the paper's shape: roughly
+40-60% of downloaded JS+CSS bytes unused after load; browsing leaves most
+of it still unused (the fraction drops but stays large), and Bing/Maps
+download additional bytes while browsing.
+"""
+
+import pytest
+
+from repro.harness.reporting import table1_report
+
+
+def _coverage(result):
+    return (result.code_unused_bytes(), result.code_total_bytes())
+
+
+def test_coverage_computation_benchmark(load_results, benchmark):
+    result = load_results["amazon_desktop"]
+    unused, total = benchmark.pedantic(_coverage, args=(result,), rounds=1, iterations=1)
+    assert 0 < unused < total
+
+
+def test_unused_fraction_in_paper_band_at_load(load_results):
+    """Paper: 49-58% unused after load."""
+    for name, result in load_results.items():
+        fraction = result.code_unused_fraction()
+        assert 0.35 < fraction < 0.75, f"{name}: unused fraction {fraction:.0%}"
+
+
+def test_browsing_reduces_unused_fraction(load_results, browse_results):
+    """Paper: browsing uses some more code (58->54%, 52->40%, 49->43%)."""
+    for name in load_results:
+        load_fraction = load_results[name].code_unused_fraction()
+        browse_fraction = browse_results[name].code_unused_fraction()
+        assert browse_fraction <= load_fraction + 0.01, (
+            f"{name}: browse {browse_fraction:.0%} should not exceed load "
+            f"{load_fraction:.0%}"
+        )
+
+
+def test_browsing_still_leaves_much_unused(browse_results):
+    """Paper: even after browsing, 40-54% stays unused."""
+    for name, result in browse_results.items():
+        assert result.code_unused_fraction() > 0.30
+
+
+def test_bing_and_maps_download_more_while_browsing(load_results, browse_results):
+    """Paper: 'more code bytes are downloaded while browsing' for Bing and
+    Google Maps (lazy-loaded scripts), adding to the total."""
+    for name in ("bing", "google_maps"):
+        assert browse_results[name].code_total_bytes() > load_results[name].code_total_bytes()
+
+
+def test_amazon_total_stable_while_browsing(load_results, browse_results):
+    """Paper: Amazon's total stays at 1.6 MB in both conditions."""
+    load_total = load_results["amazon_desktop"].code_total_bytes()
+    browse_total = browse_results["amazon_desktop"].code_total_bytes()
+    assert load_total == browse_total
+
+
+def test_print_table1(load_results, browse_results, capsys):
+    report = table1_report(load_results, browse_results)
+    with capsys.disabled():
+        print()
+        print(report)
+    assert "Table I" in report

@@ -1,0 +1,106 @@
+"""Regenerates Table II: per-thread pixel-slice statistics, 4 benchmarks.
+
+The benchmarked operation is the profiler's backward pass (the paper's
+core contribution) over each pre-collected trace; the assertions check
+that the *shape* of Table II holds: overall slice in the mid-40s on
+average, compositor uniformly low, mobile rasterizers far below desktop
+rasterizers, and per-column values within a reproduction tolerance of the
+paper's numbers.
+"""
+
+import pytest
+
+from repro.harness import paper
+from repro.harness.reporting import table2_report
+from repro.profiler import BackwardSlicer, pixel_criteria
+
+#: tolerance (absolute percentage points) for slice-percentage comparisons
+TOLERANCE = 0.15
+
+
+def _slice_once(result):
+    slicer = BackwardSlicer(
+        result.store,
+        result.profiler.control_dependence_index(),
+        pixel_criteria(result.store),
+    )
+    return slicer.run()
+
+
+@pytest.mark.parametrize(
+    "fixture_name",
+    ["amazon_desktop_result", "amazon_mobile_result", "google_maps_result", "bing_result"],
+)
+def test_backward_slicing_benchmark(fixture_name, request, benchmark):
+    result = request.getfixturevalue(fixture_name)
+    sliced = benchmark.pedantic(_slice_once, args=(result,), rounds=1, iterations=1)
+    assert sliced.slice_size() == result.pixel.slice_size()
+
+
+def test_table2_overall_slices_match_paper(table2_results):
+    for name, result in table2_results.items():
+        ref = paper.TABLE2[name]
+        measured = result.stats.fraction
+        assert abs(measured - ref.all_slice) < TOLERANCE, (
+            f"{name}: overall slice {measured:.0%} vs paper {ref.all_slice:.0%}"
+        )
+
+
+def test_table2_average_near_paper_45(table2_results):
+    avg = sum(r.stats.fraction for r in table2_results.values()) / len(table2_results)
+    assert abs(avg - paper.TABLE2_AVERAGE_SLICE) < 0.10
+
+
+def test_table2_main_thread_slices(table2_results):
+    for name, result in table2_results.items():
+        ref = paper.TABLE2[name]
+        main = result.stats.thread_by_name("CrRendererMain")
+        assert abs(main.fraction - ref.main_slice) < TOLERANCE + 0.05, (
+            f"{name}: main slice {main.fraction:.0%} vs paper {ref.main_slice:.0%}"
+        )
+
+
+def test_compositor_uniformly_low(table2_results):
+    """Paper: compositor slice ~34-35% across all benchmarks — the
+    website-independent thread with blind backing-store upkeep."""
+    fractions = []
+    for name, result in table2_results.items():
+        comp = result.stats.thread_by_name("Compositor")
+        fractions.append(comp.fraction)
+        # Below the benchmark's overall main-thread usefulness ceiling.
+        assert comp.fraction < 0.50
+    assert max(fractions) - min(fractions) < 0.20, "compositor should be uniform-ish"
+
+
+def test_mobile_rasterizers_least_useful(table2_results):
+    """Paper: the emulated 360x640 display makes mobile raster work barely
+    useful (14%/13%) while desktop rasterizers sit at 54-60%."""
+    mobile = table2_results["amazon_mobile"].stats.threads_by_prefix("CompositorTileWorker")
+    desktop = table2_results["amazon_desktop"].stats.threads_by_prefix("CompositorTileWorker")
+    mobile_avg = sum(t.fraction for t in mobile) / len(mobile)
+    desktop_avg = sum(t.fraction for t in desktop) / len(desktop)
+    assert mobile_avg < desktop_avg - 0.10
+    assert mobile_avg < 0.40
+
+
+def test_desktop_has_three_rasterizers(table2_results):
+    """Paper: Amazon desktop ran three rasterizer threads, the rest two."""
+    assert len(table2_results["amazon_desktop"].stats.threads_by_prefix("CompositorTileWorker")) == 3
+    for name in ("amazon_mobile", "google_maps", "bing"):
+        assert len(table2_results[name].stats.threads_by_prefix("CompositorTileWorker")) == 2
+
+
+def test_trace_length_ordering(table2_results):
+    """Paper: Bing (10.5B) > Amazon desktop (6.2B) > Maps (4.2B) > mobile (2.9B)."""
+    totals = {name: r.stats.total for name, r in table2_results.items()}
+    assert totals["bing"] > totals["amazon_desktop"]
+    assert totals["amazon_desktop"] > totals["google_maps"]
+    assert totals["google_maps"] > totals["amazon_mobile"]
+
+
+def test_print_table2(table2_results, capsys):
+    report = table2_report(table2_results)
+    with capsys.disabled():
+        print()
+        print(report)
+    assert "Table II" in report

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Compositor waste: backing stores of layers nobody ever sees.
+
+The paper calls out Chromium's compositing design pitfall: every composited
+layer gets its own backing store and gets rastered, whether or not it is
+ever visible — e.g. carousel slides stacked under the front slide.  This
+example loads the Amazon desktop workload (three opaque stacked slides)
+and measures, per layer, how much raster work was spent vs how many of its
+tiles were ever presented.
+"""
+
+from collections import defaultdict
+
+from repro.harness.experiments import run_benchmark
+from repro.workloads import benchmark
+
+
+def main() -> None:
+    print("running the Amazon desktop benchmark...")
+    result = run_benchmark(benchmark("amazon_desktop"))
+    store = result.store
+    flags = result.pixel.flags
+    compositor = result.engine.compositor
+
+    print(f"\nlayer tree ({len(compositor.layers)} composited layers):")
+    for layer in compositor.layers:
+        owner = layer.paint.owner.element_id if layer.paint.owner is not None else "(root)"
+        tiles = list(layer.tiles.values())
+        rastered = sum(1 for t in tiles if t.rastered)
+        presented = sum(1 for t in tiles if t.marked)
+        print(
+            f"  layer {layer.paint.layer_id:>2d} owner={owner:<12s} "
+            f"z={layer.paint.z_index:>2d} opaque={str(layer.paint.opaque):<5s} "
+            f"tiles={len(tiles):>3d} rastered={rastered:>3d} presented={presented:>3d}"
+        )
+
+    # Raster-thread instruction accounting per useless/useful split.
+    raster_tids = result.engine.ctx.raster_thread_ids()
+    per_thread = defaultdict(lambda: [0, 0])
+    for i, rec in enumerate(store.forward()):
+        if rec.tid in raster_tids:
+            per_thread[rec.tid][0] += 1
+            if flags[i]:
+                per_thread[rec.tid][1] += 1
+    print("\nraster thread usefulness:")
+    for tid, (total, useful) in sorted(per_thread.items()):
+        name = store.metadata.thread_names[tid]
+        print(f"  {name:<24s} {useful:>6d}/{total:>6d} useful ({useful / total:.0%})")
+
+    # The occluded slides' raster is the headline waste.
+    occluded_layers = [
+        layer
+        for layer in compositor.layers
+        if layer.paint.owner is not None
+        and any(t.rastered for t in layer.tiles.values())
+        and not any(t.marked for t in layer.tiles.values())
+    ]
+    print(f"\nfully-occluded-but-rastered layers: {len(occluded_layers)}")
+    for layer in occluded_layers:
+        print(f"  {layer.paint.owner.element_id}: backing store rastered, never shown")
+    print("\npaper's takeaway: 'more smart compositing algorithms could "
+          "provide both performance and energy efficiency.'")
+
+
+if __name__ == "__main__":
+    main()

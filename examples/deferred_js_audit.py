@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""JS deferral audit: which script work could move off the load path?
+
+The paper's conclusion: load time is the most JS-intensive phase, and much
+of that processing "could be deferred to a later time, i.e., when they are
+actually needed".  This example runs the Amazon desktop benchmark and uses
+:mod:`repro.analysis.deferral` to rank the opportunities:
+
+* executed-but-invisible load-phase work -> idle-time deferral candidates;
+* never-executed script bytes -> lazy-download / code-splitting candidates.
+"""
+
+from repro.analysis.deferral import analyze_deferral, render_report
+from repro.harness.experiments import run_benchmark
+from repro.workloads import benchmark
+
+
+def main() -> None:
+    print("running the Amazon desktop benchmark...")
+    result = run_benchmark(benchmark("amazon_desktop"))
+
+    print()
+    print(render_report(analyze_deferral(result)))
+
+    print()
+    print("JavaScript-only view (the paper's main deferral suggestion):")
+    js_report = analyze_deferral(result, prefix_filter="v8::")
+    total_js = sum(c.executed_at_load for c in js_report.candidates)
+    wasted_js = sum(c.wasted_at_load for c in js_report.candidates)
+    print(
+        f"  load-phase JS: {total_js} instructions, "
+        f"{wasted_js / total_js:.0%} never influenced a pixel"
+    )
+    for candidate in js_report.top_candidates(limit=8, min_waste=100):
+        print(
+            f"  {candidate.wasted_at_load:>6d} wasted "
+            f"({candidate.waste_fraction:.0%})  {candidate.function}"
+        )
+
+    print(
+        "\npaper's takeaway: deferring JS processing to when it is really "
+        "needed would provide better performance at load."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Quickstart: load a small page, slice its trace, inspect the waste.
+
+Runs the full pipeline on a self-contained page, computes the pixel-based
+backward slice, and prints the headline numbers the paper reports: what
+fraction of executed instructions actually contributed to displayed
+pixels, per thread, and what the rest was doing.
+"""
+
+from repro.browser import BrowserEngine, EngineConfig, PageSpec
+from repro.profiler import Profiler, pixel_criteria
+
+HTML = """<!DOCTYPE html>
+<html>
+<head>
+  <title>Quickstart</title>
+  <link rel="stylesheet" href="style.css">
+</head>
+<body>
+  <div class="hero" id="hero">Welcome!</div>
+  <div class="card">First card with some text content.</div>
+  <div class="card">Second card, equally exciting.</div>
+  <script src="app.js"></script>
+</body>
+</html>
+"""
+
+CSS = """
+body  { margin: 0; background-color: #ffffff; }
+.hero { height: 200px; background-color: #131921; color: white; }
+.card { width: 260px; height: 120px; background-color: #eeeeee; margin: 8px;
+        display: inline-block; }
+.never-used { width: 500px; height: 300px; background-color: red; }
+"""
+
+JS = """
+function decorate() {
+    var hero = document.getElementById('hero');
+    hero.textContent = 'Welcome! Rendered at ' + Math.floor(Date.now());
+}
+function neverCalled() {
+    var waste = [];
+    for (var i = 0; i < 100; i++) { waste.push(i * i); }
+    return waste;
+}
+var analytics = { pings: 0 };
+function track() {
+    analytics.pings += 1;
+    navigator.sendBeacon('https://stats.example/q', 'p=' + analytics.pings);
+}
+decorate();
+track();
+"""
+
+
+def main() -> None:
+    engine = BrowserEngine(EngineConfig(viewport_width=800, viewport_height=600))
+    engine.load_page(
+        PageSpec(
+            url="https://quickstart.example/",
+            html=HTML,
+            stylesheets={"style.css": CSS},
+            scripts={"app.js": JS},
+        )
+    )
+
+    store = engine.trace_store()
+    print(f"trace collected: {len(store)} instructions, "
+          f"{len(store.thread_ids())} threads")
+
+    profiler = Profiler(store)
+    result = profiler.slice(pixel_criteria(store))
+    stats = profiler.statistics(result)
+    print(f"\npixel slice: {stats.fraction:.1%} of instructions were useful "
+          f"for the displayed pixels")
+    for thread in stats.threads:
+        print(f"  {thread.name:<28s} {thread.total:>7d} instrs, "
+              f"{thread.fraction:>5.1%} useful")
+
+    categories = profiler.categorize(result)
+    print(f"\nunnecessary computation by category "
+          f"(categorized {categories.categorized_fraction:.0%}):")
+    for category, share in categories.shares():
+        if share > 0:
+            print(f"  {category:<16s} {share:6.1%}")
+
+    coverage = engine.interp.coverage
+    print(f"\nJS coverage: {coverage.unused_bytes()} of {coverage.total_bytes()} "
+          f"bytes never executed "
+          f"({coverage.unused_bytes() / coverage.total_bytes():.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` falls back to this when PEP 660
+editable builds are unavailable offline.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

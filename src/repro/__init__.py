@@ -1,0 +1,40 @@
+"""repro — reproduction of *Characterization of Unnecessary Computations in
+Web Applications* (Golestani, Mahlke, Narayanasamy; ISPASS 2019).
+
+The package provides:
+
+* :mod:`repro.profiler` — the paper's contribution: a dynamic
+  backward-slicing profiler over machine-level instruction traces, with
+  pixel-buffer and syscall slicing criteria, per-thread slice statistics and
+  namespace categorization of unnecessary computations.
+* :mod:`repro.browser` — the substrate: a simulated multi-threaded browser
+  engine (HTML/CSS/JS, style, layout, paint, raster, compositing, network,
+  IPC) that emits Pin-style traces through :mod:`repro.machine`.
+* :mod:`repro.workloads` — the four benchmark websites (Amazon desktop,
+  Amazon mobile, Google Maps, Bing load+browse).
+* :mod:`repro.analysis` — unused JS/CSS byte accounting (Table I) and CPU
+  utilization timelines (Figure 2).
+* :mod:`repro.harness` — end-to-end experiment runners regenerating every
+  table and figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from .machine import AddressSpace, Tracer, VirtualClock
+from .profiler import Profiler, SlicingCriteria, pixel_criteria, syscall_criteria
+from .trace import InstrKind, SymbolTable, TraceRecord, TraceStore
+
+__all__ = [
+    "__version__",
+    "AddressSpace",
+    "Tracer",
+    "VirtualClock",
+    "Profiler",
+    "SlicingCriteria",
+    "pixel_criteria",
+    "syscall_criteria",
+    "InstrKind",
+    "SymbolTable",
+    "TraceRecord",
+    "TraceStore",
+]

@@ -1,0 +1,28 @@
+"""Analysis utilities: coverage accounting (Table I), utilization
+timelines (Figure 2), and figure/table rendering."""
+
+from .coverage import CoverageRow, coverage_row, coverage_table
+from .deferral import DeferralCandidate, DeferralReport, analyze_deferral, render_report
+from .energy import EnergyBreakdown, energy_breakdown, render_energy_report
+from .figures import figure4_chart, figure4_series, figure5_chart
+from .utilization import UtilizationSpike, ascii_chart, busy_fraction, find_spikes
+
+__all__ = [
+    "CoverageRow",
+    "DeferralCandidate",
+    "DeferralReport",
+    "analyze_deferral",
+    "render_report",
+    "EnergyBreakdown",
+    "energy_breakdown",
+    "render_energy_report",
+    "coverage_row",
+    "coverage_table",
+    "UtilizationSpike",
+    "find_spikes",
+    "busy_fraction",
+    "ascii_chart",
+    "figure4_series",
+    "figure4_chart",
+    "figure5_chart",
+]

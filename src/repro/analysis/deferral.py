@@ -1,0 +1,147 @@
+"""Deferral-opportunity analysis (the paper's optimization implication).
+
+The paper concludes that unnecessary computations "are either completely
+wasted or could be deferred to a later time, i.e., when they are actually
+needed, thereby providing higher performance and better energy
+efficiency."  This module quantifies that opportunity from a profiled run:
+
+* per-function load-phase waste (instructions executed before
+  load-complete that never joined the pixel slice);
+* the hypothetical load-time reduction if that work moved off the load
+  path;
+* per-script code-splitting candidates from byte coverage.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..harness.experiments import ExperimentResult
+
+
+@dataclass(frozen=True)
+class DeferralCandidate:
+    """One function's load-phase deferral opportunity."""
+
+    function: str
+    executed_at_load: int
+    wasted_at_load: int
+
+    @property
+    def waste_fraction(self) -> float:
+        if not self.executed_at_load:
+            return 0.0
+        return self.wasted_at_load / self.executed_at_load
+
+
+@dataclass
+class DeferralReport:
+    """Aggregate deferral opportunity of one profiled session."""
+
+    load_instructions: int
+    load_slice_instructions: int
+    candidates: List[DeferralCandidate]
+    #: (script name, unused bytes, total bytes) code-splitting candidates
+    unused_scripts: List[Tuple[str, int, int]]
+
+    @property
+    def load_waste_instructions(self) -> int:
+        return self.load_instructions - self.load_slice_instructions
+
+    @property
+    def hypothetical_load_reduction(self) -> float:
+        """Load-time fraction removable by perfect deferral of the waste."""
+        if not self.load_instructions:
+            return 0.0
+        return self.load_waste_instructions / self.load_instructions
+
+    def top_candidates(self, limit: int = 10, min_waste: int = 10) -> List[DeferralCandidate]:
+        eligible = [c for c in self.candidates if c.wasted_at_load >= min_waste]
+        return eligible[:limit]
+
+
+def analyze_deferral(
+    result: "ExperimentResult", prefix_filter: Optional[str] = None
+) -> DeferralReport:
+    """Build a :class:`DeferralReport` from a profiled benchmark run.
+
+    ``prefix_filter`` restricts per-function candidates to a function-name
+    prefix (e.g. ``"v8::"`` for JavaScript-only deferral, the paper's main
+    suggestion).
+    """
+    store = result.store
+    flags = result.pixel.flags
+    load_end = store.metadata.load_complete_index
+    if load_end is None:
+        load_end = len(store)
+
+    executed: Counter = Counter()
+    wasted: Counter = Counter()
+    load_slice = 0
+    for i, rec in enumerate(store.forward()):
+        if i > load_end:
+            break
+        name = store.symbols.name(rec.fn)
+        if prefix_filter is not None and not name.startswith(prefix_filter):
+            if flags[i]:
+                load_slice += 1
+            continue
+        executed[name] += 1
+        if flags[i]:
+            load_slice += 1
+        else:
+            wasted[name] += 1
+
+    candidates = sorted(
+        (
+            DeferralCandidate(
+                function=name,
+                executed_at_load=executed[name],
+                wasted_at_load=wasted.get(name, 0),
+            )
+            for name in executed
+        ),
+        key=lambda c: -c.wasted_at_load,
+    )
+
+    unused_scripts = [
+        (script.name, script.unused_bytes(), script.total_bytes)
+        for script in result.js_coverage().scripts()
+        if script.total_bytes
+    ]
+    unused_scripts.sort(key=lambda row: -row[1])
+
+    return DeferralReport(
+        load_instructions=min(load_end + 1, len(store)),
+        load_slice_instructions=load_slice,
+        candidates=candidates,
+        unused_scripts=unused_scripts,
+    )
+
+
+def render_report(report: DeferralReport, limit: int = 12) -> str:
+    """Human-readable deferral report."""
+    lines = [
+        "Deferral opportunity report",
+        "=" * 60,
+        f"load-phase instructions:        {report.load_instructions}",
+        f"  useful for displayed pixels:  {report.load_slice_instructions}",
+        f"  wasted / deferrable:          {report.load_waste_instructions} "
+        f"({report.hypothetical_load_reduction:.0%} of load)",
+        "",
+        "top per-function candidates:",
+    ]
+    for candidate in report.top_candidates(limit):
+        lines.append(
+            f"  {candidate.wasted_at_load:>7d} wasted "
+            f"({candidate.waste_fraction:>4.0%} of {candidate.executed_at_load}) "
+            f"{candidate.function}"
+        )
+    lines.append("")
+    lines.append("code-splitting candidates (unused bytes per script):")
+    for name, unused, total in report.unused_scripts[:limit]:
+        lines.append(f"  {unused:>7d} / {total:>7d} bytes  {name}")
+    return "\n".join(lines)

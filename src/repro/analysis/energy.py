@@ -1,0 +1,125 @@
+"""A first-order energy model of the profiled session.
+
+The paper motivates the characterization with energy efficiency: avoiding
+or deferring unnecessary computations "provid[es] higher performance or
+reduced energy consumption", and its related work schedules browser work
+on big.LITTLE cores.  This module puts rough numbers on that:
+
+* wasted dynamic energy = non-slice instructions x per-instruction energy
+  on the big core;
+* a big.LITTLE what-if: energy if all *deferrable* (non-slice) work were
+  run on a LITTLE core instead (the eQoS/GreenWeb-style scheduling the
+  paper cites).
+
+The constants are deliberately simple, order-of-magnitude figures
+(documented below); the value is in the *relative* numbers per thread and
+per category, which derive entirely from the slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from ..profiler.categorize import CATEGORIES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..harness.experiments import ExperimentResult
+
+#: energy per (scaled) trace record on a big out-of-order core, in
+#: microjoules. One record stands for ~10^4 instructions at ~100 pJ per
+#: instruction -> ~1 uJ.
+BIG_CORE_UJ_PER_RECORD = 1.0
+
+#: LITTLE cores run the same work ~3x slower at ~5x less power.
+LITTLE_CORE_UJ_PER_RECORD = BIG_CORE_UJ_PER_RECORD * 3.0 / 5.0
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy accounting of one profiled session (microjoules)."""
+
+    total_uj: float
+    useful_uj: float
+    wasted_uj: float
+    #: category -> wasted energy, for categorized non-slice instructions
+    wasted_by_category: Dict[str, float]
+    #: per-thread (name, total uJ, wasted uJ)
+    threads: List[Tuple[str, float, float]]
+
+    @property
+    def wasted_fraction(self) -> float:
+        return self.wasted_uj / self.total_uj if self.total_uj else 0.0
+
+    def little_core_savings_uj(self) -> float:
+        """Energy saved by running all non-slice work on a LITTLE core."""
+        per_record_saving = BIG_CORE_UJ_PER_RECORD - LITTLE_CORE_UJ_PER_RECORD
+        return self.wasted_uj / BIG_CORE_UJ_PER_RECORD * per_record_saving
+
+    def elimination_savings_uj(self) -> float:
+        """Energy saved by not executing the wasted work at all."""
+        return self.wasted_uj
+
+
+def energy_breakdown(result: "ExperimentResult") -> EnergyBreakdown:
+    """Compute the energy split from a profiled benchmark run."""
+    store = result.store
+    flags = result.pixel.flags
+    total = len(store)
+    useful = result.pixel.slice_size()
+    wasted = total - useful
+
+    per_thread: Dict[int, Tuple[int, int]] = {}
+    for i, rec in enumerate(store.forward()):
+        t_total, t_wasted = per_thread.get(rec.tid, (0, 0))
+        per_thread[rec.tid] = (t_total + 1, t_wasted + (0 if flags[i] else 1))
+
+    names = store.metadata.thread_names
+    threads = [
+        (
+            names.get(tid, f"thread-{tid}"),
+            t_total * BIG_CORE_UJ_PER_RECORD,
+            t_wasted * BIG_CORE_UJ_PER_RECORD,
+        )
+        for tid, (t_total, t_wasted) in sorted(per_thread.items())
+    ]
+
+    wasted_by_category = {
+        category: result.categories.counts.get(category, 0) * BIG_CORE_UJ_PER_RECORD
+        for category in CATEGORIES
+    }
+
+    return EnergyBreakdown(
+        total_uj=total * BIG_CORE_UJ_PER_RECORD,
+        useful_uj=useful * BIG_CORE_UJ_PER_RECORD,
+        wasted_uj=wasted * BIG_CORE_UJ_PER_RECORD,
+        wasted_by_category=wasted_by_category,
+        threads=threads,
+    )
+
+
+def render_energy_report(breakdown: EnergyBreakdown) -> str:
+    """Human-readable energy report."""
+    lines = [
+        "Energy report (first-order model, scaled units)",
+        "=" * 60,
+        f"total dynamic energy:   {breakdown.total_uj:>10.0f} uJ",
+        f"  pixel-useful:         {breakdown.useful_uj:>10.0f} uJ",
+        f"  wasted / deferrable:  {breakdown.wasted_uj:>10.0f} uJ "
+        f"({breakdown.wasted_fraction:.0%})",
+        "",
+        f"if eliminated outright:      save {breakdown.elimination_savings_uj():>8.0f} uJ",
+        f"if moved to a LITTLE core:   save {breakdown.little_core_savings_uj():>8.0f} uJ",
+        "",
+        "wasted energy by category:",
+    ]
+    for category, uj in sorted(
+        breakdown.wasted_by_category.items(), key=lambda kv: -kv[1]
+    ):
+        if uj > 0:
+            lines.append(f"  {category:<16s} {uj:>10.0f} uJ")
+    lines.append("")
+    lines.append("per thread (total / wasted):")
+    for name, total_uj, wasted_uj in breakdown.threads:
+        lines.append(f"  {name:<28s} {total_uj:>8.0f} / {wasted_uj:>8.0f} uJ")
+    return "\n".join(lines)

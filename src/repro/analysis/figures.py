@@ -1,0 +1,71 @@
+"""Figure-series rendering: the backward-pass timelines (Figure 4) and the
+category distribution (Figure 5) as text, matching the paper's layout."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..profiler.categorize import CATEGORIES, CategoryDistribution
+
+
+def figure4_series(
+    timeline: Sequence[Tuple[int, float]], points: int = 40
+) -> List[Tuple[int, float]]:
+    """Downsample a (records processed, cumulative slice fraction) series.
+
+    ``x = 0`` is the end of the trace (page loaded / session done); the
+    last point is entering the URL — matching Figure 4's x-axis.
+    """
+    if not timeline:
+        return []
+    if len(timeline) <= points:
+        return list(timeline)
+    step = len(timeline) / points
+    sampled = [timeline[int(i * step)] for i in range(points)]
+    if sampled[-1] != timeline[-1]:
+        sampled.append(timeline[-1])
+    return sampled
+
+
+def figure4_chart(
+    timeline: Sequence[Tuple[int, float]],
+    title: str,
+    width: int = 72,
+    height: int = 12,
+) -> str:
+    """ASCII line chart of slice fraction vs backward-pass progress."""
+    points = figure4_series(timeline, points=width)
+    rows: List[str] = [title]
+    if not points:
+        return title + "\n(empty)"
+    values = [y for _, y in points]
+    for level in range(height, 0, -1):
+        cut = level / height
+        prev_cut = (level - 1) / height
+        row = "".join(
+            "*" if prev_cut <= v < cut or (level == height and v >= cut) else " "
+            for v in values
+        )
+        rows.append(f"{cut:4.0%} |{row}")
+    rows.append("      +" + "-" * len(values))
+    rows.append("      x=0 (end of trace) " + " " * max(0, len(values) - 44) + "-> URL entered")
+    return "\n".join(rows)
+
+
+def figure5_chart(
+    distributions: Sequence[Tuple[str, CategoryDistribution]], width: int = 40
+) -> str:
+    """Stacked text rendering of the Figure 5 category distribution."""
+    lines = [
+        "Figure 5: Categorization of potentially unnecessary computations",
+        "(shares of categorized non-slice instructions)",
+        "-" * 72,
+    ]
+    for name, dist in distributions:
+        lines.append(f"{name} (categorized: {dist.categorized_fraction:.0%} of unnecessary):")
+        for category in CATEGORIES:
+            share = dist.share(category)
+            bar = "#" * int(round(share * width))
+            lines.append(f"  {category:<16s} {share:6.1%} {bar}")
+        lines.append("")
+    return "\n".join(lines)

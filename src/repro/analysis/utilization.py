@@ -1,0 +1,86 @@
+"""Main-thread CPU utilization timelines (regenerates Figure 2).
+
+Figure 2 plots the CPU utilization of the tab process's main thread over
+a short amazon.com session: a large spike while the page loads, then
+smaller spikes at each user interaction (scrolls, photo-roll clicks, a
+menu open).  The virtual clock's per-bucket busy accounting provides the
+series directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class UtilizationSpike:
+    """A contiguous above-threshold region of the utilization series."""
+
+    start_s: float
+    end_s: float
+    peak: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def find_spikes(
+    series: Sequence[Tuple[float, float]], threshold: float = 0.15
+) -> List[UtilizationSpike]:
+    """Detect activity spikes (load + interactions) in a utilization series."""
+    spikes: List[UtilizationSpike] = []
+    start = None
+    peak = 0.0
+    last_t = 0.0
+    for t, value in series:
+        last_t = t
+        if value >= threshold:
+            if start is None:
+                start = t
+                peak = value
+            else:
+                peak = max(peak, value)
+        elif start is not None:
+            spikes.append(UtilizationSpike(start_s=start, end_s=t, peak=peak))
+            start = None
+    if start is not None:
+        spikes.append(UtilizationSpike(start_s=start, end_s=last_t, peak=peak))
+    return spikes
+
+
+def busy_fraction(series: Sequence[Tuple[float, float]]) -> float:
+    """Overall mean utilization across the session."""
+    if not series:
+        return 0.0
+    return sum(v for _, v in series) / len(series)
+
+
+def ascii_chart(
+    series: Sequence[Tuple[float, float]],
+    width: int = 72,
+    height: int = 10,
+    title: str = "CPU utilization (main thread)",
+) -> str:
+    """Render a utilization series as an ASCII area chart."""
+    if not series:
+        return title + "\n(empty series)"
+    # Downsample to `width` columns by max-pooling (spikes must survive).
+    values = [v for _, v in series]
+    columns: List[float] = []
+    n = len(values)
+    for c in range(width):
+        lo = c * n // width
+        hi = max(lo + 1, (c + 1) * n // width)
+        columns.append(max(values[lo:hi]))
+    rows: List[str] = [title]
+    for level in range(height, 0, -1):
+        cut = level / height
+        row = "".join("#" if col >= cut else " " for col in columns)
+        label = f"{cut:4.0%} |"
+        rows.append(label + row)
+    rows.append("      +" + "-" * width)
+    t_end = series[-1][0]
+    rows.append(f"      0s{' ' * (width - 10)}{t_end:.1f}s")
+    return "\n".join(rows)

@@ -1,0 +1,32 @@
+"""Simulated multi-threaded browser engine (the Chromium substitute).
+
+Subpackages implement the rendering pipeline of the paper's Figure 1:
+HTML (:mod:`.html`), CSS (:mod:`.css`), JavaScript (:mod:`.js`), style
+resolution (:mod:`.style`), layout (:mod:`.layout`), paint (:mod:`.paint`),
+compositing + raster (:mod:`.compositor`), plus the network stack
+(:mod:`.net`), IPC (:mod:`.ipc`) and thread scheduling (:mod:`.scheduler`).
+:class:`BrowserEngine` orchestrates a full page load and browsing session,
+emitting the instruction trace the profiler consumes.
+"""
+
+from .context import (
+    COMPOSITOR_THREAD,
+    EngineConfig,
+    EngineContext,
+    FIRST_RASTER_THREAD,
+    IO_THREAD,
+    MAIN_THREAD,
+)
+from .engine import BrowserEngine, PageSpec, UserAction
+
+__all__ = [
+    "BrowserEngine",
+    "PageSpec",
+    "UserAction",
+    "EngineConfig",
+    "EngineContext",
+    "MAIN_THREAD",
+    "COMPOSITOR_THREAD",
+    "IO_THREAD",
+    "FIRST_RASTER_THREAD",
+]

@@ -1,0 +1,12 @@
+"""Compositor subsystem: tiles, backing stores, raster, occlusion, draw."""
+
+from .host import CompositorHost, RasterTask
+from .tiles import BLOCKS_PER_SIDE, CompositedLayer, Tile
+
+__all__ = [
+    "CompositorHost",
+    "RasterTask",
+    "CompositedLayer",
+    "Tile",
+    "BLOCKS_PER_SIDE",
+]

@@ -1,0 +1,149 @@
+"""Tiles and composited layers (cc's tiling model).
+
+Each composited layer owns a grid of 256x256 tiles covering its bounds;
+each tile owns a pixel buffer of 16 abstract cells (one per 64x64 pixel
+block).  Backing stores exist for every layer whether or not it is ever
+shown — Chromium's compositing design pitfall the paper highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ...machine.memory import MemRegion
+from ..context import EngineContext, PIXEL_BLOCK, TILE_SIZE
+from ..layout.geometry import Rect
+from ..paint.display_list import DisplayItem, PaintLayer
+
+#: pixel cells per tile side (256 / 64 = 4; 16 cells per tile)
+BLOCKS_PER_SIDE = TILE_SIZE // PIXEL_BLOCK
+
+
+class Tile:
+    """One 256x256 tile of a layer's backing store."""
+
+    __slots__ = ("layer_id", "col", "row", "rect", "pixels", "rastered", "marked",
+                 "dirty", "source_cell", "_ctx", "_lowres")
+
+    def __init__(
+        self, ctx: EngineContext, layer_id: int, col: int, row: int, rect: Rect
+    ) -> None:
+        self.layer_id = layer_id
+        self.col = col
+        self.row = row
+        self.rect = rect
+        self.pixels: MemRegion = ctx.memory.alloc(
+            f"tilebuf:L{layer_id}:{col},{row}", BLOCKS_PER_SIDE * BLOCKS_PER_SIDE
+        )
+        #: the RasterSource reference written when the tile is scheduled
+        #: (TileManager) and consumed by the raster worker.
+        self.source_cell = ctx.memory.alloc_cell(f"cc:rastersrc:L{layer_id}:{col},{row}")
+        self.rastered = False
+        #: a TILE_MARKER was emitted for this tile's pixels
+        self.marked = False
+        #: content changed since last raster
+        self.dirty = True
+        self._ctx = ctx
+        self._lowres: Optional[MemRegion] = None
+
+    @property
+    def lowres_pixels(self) -> MemRegion:
+        """Low-resolution duplicate buffer (allocated on first use)."""
+        if self._lowres is None:
+            self._lowres = self._ctx.memory.alloc(
+                f"tilebuf-lowres:L{self.layer_id}:{self.col},{self.row}", 4
+            )
+        return self._lowres
+
+    def pixel_cells(self) -> Tuple[int, ...]:
+        return self.pixels.all_cells()
+
+    def block_cells_for(self, rect: Rect) -> Tuple[int, ...]:
+        """Pixel-block cells covered by ``rect`` (document space)."""
+        overlap = self.rect.intersection(rect)
+        if overlap is None:
+            return ()
+        cells: List[int] = []
+        for row in range(BLOCKS_PER_SIDE):
+            for col in range(BLOCKS_PER_SIDE):
+                block = Rect(
+                    self.rect.x + col * PIXEL_BLOCK,
+                    self.rect.y + row * PIXEL_BLOCK,
+                    PIXEL_BLOCK,
+                    PIXEL_BLOCK,
+                )
+                if block.intersects(overlap):
+                    cells.append(self.pixels.cell(row * BLOCKS_PER_SIDE + col))
+        return tuple(cells)
+
+    def __repr__(self) -> str:
+        return f"Tile(L{self.layer_id} {self.col},{self.row} {self.rect})"
+
+
+class CompositedLayer:
+    """cc-side twin of a paint layer, with its backing-store tile grid."""
+
+    def __init__(self, ctx: EngineContext, paint_layer: PaintLayer) -> None:
+        self.ctx = ctx
+        self.paint = paint_layer
+        self.tiles: Dict[Tuple[int, int], Tile] = {}
+        #: cc-side copies of the display items (committed from the main
+        #: thread); raster reads these, not the blink-side originals.
+        self.cc_items: List[Tuple[DisplayItem, int]] = []
+        #: cc-side property cells (transform/position), read at raster.
+        self.property_cell = ctx.memory.alloc_cell(
+            f"cc:props:L{paint_layer.layer_id}"
+        )
+        #: spatial display-item index built at commit, probed at raster.
+        self.index_cell = ctx.memory.alloc_cell(
+            f"cc:rtree:L{paint_layer.layer_id}"
+        )
+        #: tile-priority bookkeeping (scheduling-only state: read by the
+        #: tile manager's decisions, never by pixel-producing code).
+        self.priority_cell = ctx.memory.alloc_cell(
+            f"cc:priority:L{paint_layer.layer_id}"
+        )
+        self._build_grid()
+
+    def _build_grid(self) -> None:
+        bounds = self.paint.bounds
+        if bounds.is_empty():
+            return
+        col0 = int(bounds.x // TILE_SIZE)
+        row0 = int(bounds.y // TILE_SIZE)
+        col1 = int((bounds.right - 1) // TILE_SIZE)
+        row1 = int((bounds.bottom - 1) // TILE_SIZE)
+        for row in range(row0, row1 + 1):
+            for col in range(col0, col1 + 1):
+                rect = Rect(col * TILE_SIZE, row * TILE_SIZE, TILE_SIZE, TILE_SIZE)
+                self.tiles[(col, row)] = Tile(
+                    self.ctx, self.paint.layer_id, col, row, rect
+                )
+
+    def items_for_tile(self, tile: Tile) -> List[Tuple[DisplayItem, int]]:
+        """Display items whose rect intersects ``tile`` (spatial query)."""
+        return [
+            (item, cc_cell)
+            for item, cc_cell in self.cc_items
+            if item.rect.intersects(tile.rect)
+        ]
+
+    def tiles_intersecting(self, rect: Rect) -> Iterator[Tile]:
+        for tile in self.tiles.values():
+            if tile.rect.intersects(rect):
+                yield tile
+
+    def tile_count(self) -> int:
+        return len(self.tiles)
+
+    def invalidate(self, rect: Rect) -> int:
+        """Mark tiles intersecting ``rect`` dirty; returns how many."""
+        count = 0
+        for tile in self.tiles_intersecting(rect):
+            tile.dirty = True
+            count += 1
+        return count
+
+    def __repr__(self) -> str:
+        return f"CompositedLayer({self.paint!r}, tiles={len(self.tiles)})"

@@ -1,0 +1,45 @@
+"""CSS subsystem: values, selectors, CSSOM, and the traced parser."""
+
+from .cssom import CSSOM, Declaration, StyleRule, StyleSheet
+from .parser import CSSParseError, parse_css, parse_declarations, parse_stylesheet_source
+from .selectors import (
+    Selector,
+    SelectorParseError,
+    SimpleSelector,
+    parse_selector,
+    parse_selector_list,
+)
+from .values import (
+    Color,
+    Length,
+    PROPERTIES,
+    TRANSPARENT,
+    expand_shorthand,
+    initial_value,
+    is_inherited,
+    parse_value,
+)
+
+__all__ = [
+    "CSSOM",
+    "Declaration",
+    "StyleRule",
+    "StyleSheet",
+    "parse_css",
+    "parse_stylesheet_source",
+    "parse_declarations",
+    "CSSParseError",
+    "Selector",
+    "SimpleSelector",
+    "SelectorParseError",
+    "parse_selector",
+    "parse_selector_list",
+    "Color",
+    "Length",
+    "PROPERTIES",
+    "TRANSPARENT",
+    "parse_value",
+    "expand_shorthand",
+    "initial_value",
+    "is_inherited",
+]

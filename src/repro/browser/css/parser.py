@@ -1,0 +1,144 @@
+"""CSS parser (traced stylesheet -> CSSOM stage of the pipeline).
+
+Parses rule sets ``selector-list { declarations }``, expanding
+margin/padding shorthands, recursing into ``@media`` blocks (the engine
+applies all media, matching the benchmarks' single-viewport sessions), and
+skipping ``@font-face``/``@keyframes`` bodies while still accounting their
+bytes (they parse but match nothing, so they count as unused bytes in the
+Table I methodology).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ...machine.memory import MemRegion
+from ..context import EngineContext
+from .cssom import Declaration, StyleRule, StyleSheet
+from .selectors import SelectorParseError, parse_selector_list
+from .values import expand_shorthand, parse_value
+
+_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+
+
+class CSSParseError(ValueError):
+    """Raised on unrecoverable stylesheet syntax errors."""
+
+
+def _strip_comments(source: str) -> str:
+    """Blank out comments, preserving every byte offset."""
+    return _COMMENT_RE.sub(lambda m: " " * (m.end() - m.start()), source)
+
+
+def _find_block_end(source: str, open_brace: int) -> int:
+    """Index of the ``}`` matching the ``{`` at ``open_brace``."""
+    depth = 0
+    for i in range(open_brace, len(source)):
+        if source[i] == "{":
+            depth += 1
+        elif source[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    raise CSSParseError(f"unbalanced braces at offset {open_brace}")
+
+
+def parse_declarations(block: str) -> List[Declaration]:
+    """Parse the inside of a declaration block."""
+    declarations: List[Declaration] = []
+    for part in block.split(";"):
+        if ":" not in part:
+            continue
+        name, _, raw_value = part.partition(":")
+        name = name.strip().lower()
+        raw_value = raw_value.strip()
+        if not name or not raw_value:
+            continue
+        important = raw_value.lower().endswith("!important")
+        if important:
+            raw_value = raw_value[: -len("!important")].rstrip()
+        for long_name, long_value in expand_shorthand(name, raw_value).items():
+            declarations.append(
+                Declaration(
+                    name=long_name,
+                    raw_value=long_value,
+                    value=parse_value(long_name, long_value),
+                    important=important,
+                )
+            )
+    return declarations
+
+
+def _parse_region(
+    source: str, start: int, end: int, rules: List[StyleRule]
+) -> None:
+    pos = start
+    while pos < end:
+        brace = source.find("{", pos, end)
+        if brace < 0:
+            break
+        prelude = source[pos:brace].strip()
+        block_end = _find_block_end(source, brace)
+        rule_span = (pos + _leading_space(source, pos, brace), block_end + 1)
+        if prelude.startswith("@media"):
+            _parse_region(source, brace + 1, block_end, rules)
+        elif prelude.startswith("@"):
+            # @font-face / @keyframes / ...: bytes parsed, never matched.
+            rules.append(
+                StyleRule(selectors=[], declarations=[], span=rule_span)
+            )
+        elif prelude:
+            try:
+                selectors = parse_selector_list(prelude)
+            except SelectorParseError:
+                selectors = []  # engine drops rules it cannot parse
+            declarations = parse_declarations(source[brace + 1 : block_end])
+            rules.append(
+                StyleRule(
+                    selectors=selectors, declarations=declarations, span=rule_span
+                )
+            )
+        pos = block_end + 1
+
+
+def _leading_space(source: str, start: int, end: int) -> int:
+    offset = 0
+    while start + offset < end and source[start + offset].isspace():
+        offset += 1
+    return offset
+
+
+def parse_stylesheet_source(name: str, source: str) -> StyleSheet:
+    """Parse CSS text into a (cell-less) :class:`StyleSheet`."""
+    clean = _strip_comments(source)
+    rules: List[StyleRule] = []
+    _parse_region(clean, 0, len(clean), rules)
+    return StyleSheet(name=name, rules=rules, source_bytes=len(source))
+
+
+def parse_css(
+    ctx: EngineContext, name: str, source: str, region: MemRegion
+) -> StyleSheet:
+    """Traced parse: reads the sheet's byte cells, writes rule cells."""
+    tracer = ctx.tracer
+    sheet = parse_stylesheet_source(name, source)
+    with tracer.function("blink::css::CSSParser::ParseSheet"):
+        for rule in sheet.rules:
+            start_cell = ctx.byte_cell(region, rule.span[0])
+            end_cell = ctx.byte_cell(region, max(rule.span[0], rule.span[1] - 1))
+            span_cells = tuple(range(start_cell, end_cell + 1))
+            rule.selector_cell = ctx.memory.alloc_cell(f"css:{name}:sel")
+            tracer.compare_and_branch("rule_kind", reads=span_cells[:1])
+            tracer.op(
+                "compile_selector", reads=span_cells[:2], writes=(rule.selector_cell,)
+            )
+            for i, decl in enumerate(rule.declarations):
+                decl.cell = ctx.memory.alloc_cell(f"css:{name}:{decl.name}")
+                tracer.op(
+                    f"parse_decl{i % 8}",
+                    reads=span_cells[-1:],
+                    writes=(decl.cell,),
+                )
+            ctx.maybe_debug_event()
+    return sheet

@@ -1,0 +1,193 @@
+"""CSS property registry and value parsing.
+
+Defines the property set the engine understands, which properties inherit,
+their initial values, and a small value model (keywords, px/percent
+lengths, colors).  Style resolution and layout consume these.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Length:
+    """A CSS length: ``value`` in px, or percent when ``percent`` is True."""
+
+    value: float
+    percent: bool = False
+
+    def resolve(self, reference: float) -> float:
+        """Resolve against a reference length (for percentages)."""
+        if self.percent:
+            return self.value * reference / 100.0
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"{self.value:g}{'%' if self.percent else 'px'}"
+
+
+@dataclass(frozen=True)
+class Color:
+    r: int
+    g: int
+    b: int
+    a: float = 1.0
+
+    @property
+    def opaque(self) -> bool:
+        return self.a >= 1.0
+
+    def __repr__(self) -> str:
+        return f"rgba({self.r},{self.g},{self.b},{self.a:g})"
+
+
+TRANSPARENT = Color(0, 0, 0, 0.0)
+
+#: CSS value: keyword string, Length, Color, or bare number.
+Value = Union[str, Length, Color, float]
+
+
+@dataclass(frozen=True)
+class PropertySpec:
+    name: str
+    inherited: bool
+    initial: Value
+
+
+#: The engine's property registry (a realistic, layout-relevant subset).
+PROPERTIES: Dict[str, PropertySpec] = {
+    spec.name: spec
+    for spec in (
+        PropertySpec("display", False, "inline"),
+        PropertySpec("position", False, "static"),
+        PropertySpec("width", False, "auto"),
+        PropertySpec("height", False, "auto"),
+        PropertySpec("margin-top", False, Length(0)),
+        PropertySpec("margin-right", False, Length(0)),
+        PropertySpec("margin-bottom", False, Length(0)),
+        PropertySpec("margin-left", False, Length(0)),
+        PropertySpec("padding-top", False, Length(0)),
+        PropertySpec("padding-right", False, Length(0)),
+        PropertySpec("padding-bottom", False, Length(0)),
+        PropertySpec("padding-left", False, Length(0)),
+        PropertySpec("top", False, "auto"),
+        PropertySpec("left", False, "auto"),
+        PropertySpec("color", True, Color(0, 0, 0)),
+        PropertySpec("background-color", False, TRANSPARENT),
+        PropertySpec("background-image", False, "none"),
+        PropertySpec("font-size", True, Length(16)),
+        PropertySpec("line-height", True, Length(20)),
+        PropertySpec("font-weight", True, "normal"),
+        PropertySpec("text-align", True, "left"),
+        PropertySpec("z-index", False, "auto"),
+        PropertySpec("opacity", False, 1.0),
+        PropertySpec("transform", False, "none"),
+        PropertySpec("will-change", False, "auto"),
+        PropertySpec("overflow", False, "visible"),
+        PropertySpec("visibility", True, "visible"),
+        PropertySpec("border-width", False, Length(0)),
+        PropertySpec("border-color", False, TRANSPARENT),
+    )
+}
+
+#: Shorthand properties expanded at parse time.
+_SHORTHANDS = {"margin", "padding"}
+
+_NAMED_COLORS = {
+    "black": Color(0, 0, 0),
+    "white": Color(255, 255, 255),
+    "red": Color(230, 30, 30),
+    "green": Color(30, 160, 60),
+    "blue": Color(40, 80, 220),
+    "gray": Color(128, 128, 128),
+    "grey": Color(128, 128, 128),
+    "orange": Color(255, 153, 0),
+    "yellow": Color(245, 215, 60),
+    "navy": Color(19, 25, 33),
+    "transparent": TRANSPARENT,
+}
+
+_LENGTH_RE = re.compile(r"^(-?\d+(?:\.\d+)?)(px|%|em)?$")
+_HEX_RE = re.compile(r"^#([0-9a-fA-F]{3}|[0-9a-fA-F]{6})$")
+_RGBA_RE = re.compile(r"^rgba?\(([^)]*)\)$")
+
+
+def parse_value(property_name: str, raw: str) -> Value:
+    """Parse a declaration value into the engine's value model.
+
+    Unknown constructs degrade to the raw keyword string, which is how a
+    real engine treats unsupported values (they simply never match any
+    branch downstream).
+    """
+    raw = raw.strip()
+    lowered = raw.lower()
+    hex_match = _HEX_RE.match(lowered)
+    if hex_match:
+        digits = hex_match.group(1)
+        if len(digits) == 3:
+            digits = "".join(ch * 2 for ch in digits)
+        return Color(int(digits[0:2], 16), int(digits[2:4], 16), int(digits[4:6], 16))
+    rgba_match = _RGBA_RE.match(lowered)
+    if rgba_match:
+        parts = [p.strip() for p in rgba_match.group(1).split(",")]
+        if len(parts) in (3, 4):
+            try:
+                r, g, b = (int(float(p)) for p in parts[:3])
+                a = float(parts[3]) if len(parts) == 4 else 1.0
+                return Color(r, g, b, a)
+            except ValueError:
+                return lowered
+    if lowered in _NAMED_COLORS and property_name.endswith("color"):
+        return _NAMED_COLORS[lowered]
+    length_match = _LENGTH_RE.match(lowered)
+    if length_match:
+        number = float(length_match.group(1))
+        unit = length_match.group(2)
+        if unit == "%":
+            return Length(number, percent=True)
+        if unit == "em":
+            return Length(number * 16.0)
+        if unit == "px":
+            return Length(number)
+        if property_name in ("opacity", "z-index", "font-weight"):
+            return number
+        return Length(number)
+    return lowered
+
+
+def expand_shorthand(name: str, raw: str) -> Dict[str, str]:
+    """Expand ``margin``/``padding`` shorthands into per-side longhands."""
+    if name not in _SHORTHANDS:
+        return {name: raw}
+    parts = raw.split()
+    if not parts:
+        return {}
+    if len(parts) == 1:
+        top = right = bottom = left = parts[0]
+    elif len(parts) == 2:
+        top, right = parts
+        bottom, left = top, right
+    elif len(parts) == 3:
+        top, right, bottom = parts
+        left = right
+    else:
+        top, right, bottom, left = parts[:4]
+    return {
+        f"{name}-top": top,
+        f"{name}-right": right,
+        f"{name}-bottom": bottom,
+        f"{name}-left": left,
+    }
+
+
+def initial_value(name: str) -> Optional[Value]:
+    spec = PROPERTIES.get(name)
+    return spec.initial if spec else None
+
+
+def is_inherited(name: str) -> bool:
+    spec = PROPERTIES.get(name)
+    return spec.inherited if spec else False

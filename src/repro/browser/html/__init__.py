@@ -1,0 +1,36 @@
+"""HTML subsystem: tokenizer, tree builder, and the DOM."""
+
+from .dom import Document, Element, Node, TextNode, VOID_ELEMENTS
+from .lexer import (
+    Comment,
+    Doctype,
+    EndTag,
+    HTMLLexError,
+    RawText,
+    StartTag,
+    Text,
+    Token,
+    token_list,
+    tokenize,
+)
+from .parser import HTMLParser, parse_html
+
+__all__ = [
+    "Document",
+    "Element",
+    "Node",
+    "TextNode",
+    "VOID_ELEMENTS",
+    "Token",
+    "Doctype",
+    "Comment",
+    "StartTag",
+    "EndTag",
+    "Text",
+    "RawText",
+    "HTMLLexError",
+    "tokenize",
+    "token_list",
+    "HTMLParser",
+    "parse_html",
+]

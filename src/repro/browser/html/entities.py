@@ -1,0 +1,46 @@
+"""HTML character-reference decoding (the common named + numeric forms)."""
+
+from __future__ import annotations
+
+import re
+
+_NAMED = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+    "nbsp": " ",
+    "copy": "©",
+    "reg": "®",
+    "trade": "™",
+    "mdash": "—",
+    "ndash": "–",
+    "hellip": "…",
+    "laquo": "«",
+    "raquo": "»",
+    "times": "×",
+    "middot": "·",
+}
+
+_ENTITY_RE = re.compile(r"&(#x?[0-9a-fA-F]+|[a-zA-Z]+);")
+
+
+def _replace(match: re.Match) -> str:
+    body = match.group(1)
+    if body.startswith("#"):
+        try:
+            code = int(body[2:], 16) if body[1] in "xX" else int(body[1:])
+        except ValueError:
+            return match.group(0)
+        if 0 < code <= 0x10FFFF:
+            return chr(code)
+        return match.group(0)
+    return _NAMED.get(body, match.group(0))
+
+
+def decode_entities(text: str) -> str:
+    """Decode character references; unknown ones pass through verbatim."""
+    if "&" not in text:
+        return text
+    return _ENTITY_RE.sub(_replace, text)

@@ -1,0 +1,169 @@
+"""HTML tokenizer.
+
+A pragmatic HTML5-flavoured tokenizer: start/end tags with attributes
+(double-, single-, and un-quoted values plus bare names), character data,
+comments, doctype, and raw-text handling for ``<script>`` and ``<style>``
+content.  Each token records its source span so the traced parser can read
+the byte cells the token came from.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .entities import decode_entities
+from typing import Dict, Iterator, List, Tuple
+
+RAW_TEXT_ELEMENTS = frozenset({"script", "style"})
+
+_TAG_NAME = re.compile(r"[a-zA-Z][a-zA-Z0-9-]*")
+_ATTR = re.compile(
+    r"""\s*([^\s=/>"']+)(?:\s*=\s*("[^"]*"|'[^']*'|[^\s>]+))?""", re.DOTALL
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """Base token; ``span`` is the (start, end) byte range in the source."""
+
+    span: Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Doctype(Token):
+    content: str = ""
+
+
+@dataclass(frozen=True)
+class Comment(Token):
+    text: str = ""
+
+
+@dataclass(frozen=True)
+class StartTag(Token):
+    name: str = ""
+    attributes: Dict[str, str] = field(default_factory=dict)
+    self_closing: bool = False
+
+
+@dataclass(frozen=True)
+class EndTag(Token):
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Text(Token):
+    text: str = ""
+
+
+@dataclass(frozen=True)
+class RawText(Token):
+    """Contents of a script/style element (not further tokenized)."""
+
+    text: str = ""
+
+
+class HTMLLexError(ValueError):
+    """Raised on unrecoverable tokenizer errors (unclosed constructs)."""
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Tokenize HTML source into a stream of tokens."""
+    pos = 0
+    n = len(source)
+    while pos < n:
+        lt = source.find("<", pos)
+        if lt < 0:
+            if pos < n:
+                yield Text(span=(pos, n), text=decode_entities(source[pos:]))
+            return
+        if lt > pos:
+            yield Text(span=(pos, lt), text=decode_entities(source[pos:lt]))
+        pos = lt
+        if source.startswith("<!--", pos):
+            end = source.find("-->", pos + 4)
+            if end < 0:
+                raise HTMLLexError(f"unclosed comment at offset {pos}")
+            yield Comment(span=(pos, end + 3), text=source[pos + 4 : end])
+            pos = end + 3
+        elif source.startswith("<!", pos):
+            end = source.find(">", pos)
+            if end < 0:
+                raise HTMLLexError(f"unclosed doctype at offset {pos}")
+            yield Doctype(span=(pos, end + 1), content=source[pos + 2 : end])
+            pos = end + 1
+        elif source.startswith("</", pos):
+            match = _TAG_NAME.match(source, pos + 2)
+            if match is None:
+                # Bogus end tag: emit as text and move on.
+                yield Text(span=(pos, pos + 2), text="</")
+                pos += 2
+                continue
+            end = source.find(">", match.end())
+            if end < 0:
+                raise HTMLLexError(f"unclosed end tag at offset {pos}")
+            yield EndTag(span=(pos, end + 1), name=match.group().lower())
+            pos = end + 1
+        else:
+            match = _TAG_NAME.match(source, pos + 1)
+            if match is None:
+                yield Text(span=(pos, pos + 1), text="<")
+                pos += 1
+                continue
+            name = match.group().lower()
+            cursor = match.end()
+            attributes: Dict[str, str] = {}
+            self_closing = False
+            while cursor < n:
+                stripped = _skip_space(source, cursor)
+                if stripped < n and source[stripped] == ">":
+                    cursor = stripped + 1
+                    break
+                if source.startswith("/>", stripped):
+                    self_closing = True
+                    cursor = stripped + 2
+                    break
+                attr_match = _ATTR.match(source, stripped)
+                if attr_match is None or attr_match.end() == stripped:
+                    cursor = stripped + 1
+                    continue
+                attr_name = attr_match.group(1).lower()
+                raw_value = attr_match.group(2)
+                attributes[attr_name] = _unquote(raw_value)
+                cursor = attr_match.end()
+            else:
+                raise HTMLLexError(f"unclosed start tag <{name} at offset {pos}")
+            yield StartTag(
+                span=(pos, cursor),
+                name=name,
+                attributes=attributes,
+                self_closing=self_closing,
+            )
+            pos = cursor
+            if name in RAW_TEXT_ELEMENTS and not self_closing:
+                close = source.find(f"</{name}", pos)
+                if close < 0:
+                    raise HTMLLexError(f"unclosed <{name}> at offset {pos}")
+                if close > pos:
+                    yield RawText(span=(pos, close), text=source[pos:close])
+                pos = close
+
+
+def _skip_space(source: str, pos: int) -> int:
+    while pos < len(source) and source[pos].isspace():
+        pos += 1
+    return pos
+
+
+def _unquote(raw: str) -> str:
+    if raw is None:
+        return ""
+    if len(raw) >= 2 and raw[0] in "\"'" and raw[-1] == raw[0]:
+        return decode_entities(raw[1:-1])
+    return decode_entities(raw)
+
+
+def token_list(source: str) -> List[Token]:
+    """Eagerly tokenize (convenience for tests)."""
+    return list(tokenize(source))

@@ -1,0 +1,202 @@
+"""HTML tree builder (the traced parsing stage of the rendering pipeline).
+
+Consumes the token stream of :mod:`.lexer` and builds a
+:class:`~repro.browser.html.dom.Document`, emitting instruction records
+that read the resource's byte cells and write the new DOM nodes' cells —
+the first stage of the paper's Figure 1 pipeline.
+
+The builder auto-creates ``html``/``head``/``body`` when missing, closes
+mis-nested ``p``/``li``/``tr``/``td``/``th``/``option`` elements, and treats
+void elements as childless, which is enough structure for realistic pages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...machine.memory import MemRegion
+from ..context import EngineContext
+from .dom import Document, Element, Node, TextNode, VOID_ELEMENTS
+from .lexer import Comment, Doctype, EndTag, RawText, StartTag, Text, tokenize
+
+#: Opening one of these closes an open element of the paired set first.
+_AUTO_CLOSE = {
+    "p": {"p"},
+    "li": {"li"},
+    "option": {"option"},
+    "tr": {"tr", "td", "th"},
+    "td": {"td", "th"},
+    "th": {"td", "th"},
+}
+
+#: Tags whose content belongs in <head>.
+_HEAD_TAGS = frozenset({"title", "meta", "link", "base"})
+
+
+class HTMLParser:
+    """Streaming tree builder over a traced resource buffer."""
+
+    def __init__(self, ctx: EngineContext, source: str, region: MemRegion) -> None:
+        self.ctx = ctx
+        self.source = source
+        self.region = region
+        self.document = Document(ctx)
+        self._stack: List[Element] = [self.document.root]
+        #: (element, raw source text) pairs for <script>; collected so the
+        #: engine can hand them to the JavaScript stage in document order.
+        self.scripts: List[Tuple[Element, str]] = []
+        #: (element, raw source text) pairs for inline <style>.
+        self.styles: List[Tuple[Element, str]] = []
+
+    # ------------------------------------------------------------------ #
+
+    def parse(self) -> Document:
+        """Run the full parse, emitting trace records as it pumps tokens."""
+        ctx = self.ctx
+        tracer = ctx.tracer
+        with tracer.function("blink::html::HTMLDocumentParser::PumpTokenizer"):
+            token_index = 0
+            for token in tokenize(self.source):
+                src_cells = self._span_cells(token.span)
+                token_index += 1
+                if token_index % 4 == 0:
+                    ctx.plain_helper("memchr", reads=src_cells[:1])
+                tracer.compare_and_branch("dispatch", reads=src_cells[:1])
+                if isinstance(token, StartTag):
+                    self._process_start_tag(token, src_cells)
+                elif isinstance(token, EndTag):
+                    self._process_end_tag(token, src_cells)
+                elif isinstance(token, (Text, RawText)):
+                    self._process_text(token, src_cells)
+                elif isinstance(token, (Comment, Doctype)):
+                    tracer.op("skip_markup", reads=src_cells[:1])
+                ctx.maybe_debug_event()
+        self.document.reindex()
+        return self.document
+
+    # ------------------------------------------------------------------ #
+
+    def _span_cells(self, span: Tuple[int, int]) -> Tuple[int, ...]:
+        start, end = span
+        first = self.ctx.byte_cell(self.region, start)
+        last = self.ctx.byte_cell(self.region, max(start, end - 1))
+        return tuple(range(first, last + 1))
+
+    def _current(self) -> Element:
+        return self._stack[-1]
+
+    def _process_start_tag(self, token: StartTag, src_cells) -> None:
+        tracer = self.ctx.tracer
+        name = token.name
+        if name == "html":
+            # Merge into the pre-created root rather than nesting a second
+            # <html> element.
+            root = self.document.root
+            for attr_name, attr_value in token.attributes.items():
+                root.set_attribute(attr_name, attr_value)
+            tracer.op("merge_html_root", reads=src_cells[:1], writes=(root.cell("tag"),))
+            return
+
+        closes = _AUTO_CLOSE.get(name)
+        if closes:
+            while len(self._stack) > 1 and self._current().tag in closes:
+                self._stack.pop()
+
+        parent = self._pick_parent(name)
+        element = Element(self.ctx, name)
+        for attr_name, attr_value in token.attributes.items():
+            element.set_attribute(attr_name, attr_value)
+        parent.append_child(element)
+        self.document.register_id(element)
+
+        with tracer.function("blink::html::TreeBuilder::ProcessStartTag"):
+            tracer.op(
+                "create_element",
+                reads=src_cells[:2],
+                writes=(element.cell("tag"), element.cell("links")),
+            )
+            tracer.op(
+                "attach",
+                reads=(element.cell("links"),),
+                writes=(parent.cell("links"),),
+            )
+            for i, attr_name in enumerate(token.attributes):
+                tracer.op(
+                    f"attr{i % 8}",
+                    reads=src_cells[-1:],
+                    writes=(element.cell(f"attr:{attr_name}"),),
+                )
+        self.ctx.runtime_helper(
+            "malloc", reads=(), writes=(element.cell("links"),), weight=1
+        )
+
+        if not token.self_closing and name not in VOID_ELEMENTS:
+            self._stack.append(element)
+
+    def _pick_parent(self, tag: str) -> Element:
+        """Choose the insertion parent, synthesizing head/body as needed."""
+        doc = self.document
+        current = self._current()
+        if current is not doc.root:
+            return current
+        if tag in ("head", "body", "html"):
+            return doc.root
+        target = "head" if tag in _HEAD_TAGS else "body"
+        section = doc.head() if target == "head" else doc.body()
+        if section is None:
+            section = Element(self.ctx, target)
+            doc.root.append_child(section)
+        return section
+
+    def _process_end_tag(self, token: EndTag, src_cells) -> None:
+        tracer = self.ctx.tracer
+        element = self._pop_to(token.name)
+        with tracer.function("blink::html::TreeBuilder::ProcessEndTag"):
+            tracer.op("close", reads=src_cells[:1])
+        if element is None:
+            return
+        raw = element.attributes.get("__rawtext__")
+        if element.tag == "script":
+            self.scripts.append((element, raw if raw is not None else ""))
+        elif element.tag == "style":
+            self.styles.append((element, raw if raw is not None else ""))
+
+    def _pop_to(self, tag: str) -> Optional[Element]:
+        """Pop the stack down through the nearest open ``tag`` element."""
+        for depth in range(len(self._stack) - 1, 0, -1):
+            if self._stack[depth].tag == tag:
+                element = self._stack[depth]
+                del self._stack[depth:]
+                return element
+        return None  # stray end tag: ignored
+
+    def _process_text(self, token, src_cells) -> None:
+        tracer = self.ctx.tracer
+        current = self._current()
+        if isinstance(token, RawText):
+            # script/style payload: keep raw text on the element; traced as
+            # a bulk copy of the source bytes into the element's buffer.
+            current.attributes["__rawtext__"] = token.text
+            with tracer.function("blink::html::TreeBuilder::BufferRawText"):
+                tracer.op("copy", reads=src_cells, writes=(current.cell("rawtext"),))
+            return
+        if not token.text.strip():
+            return  # inter-tag whitespace produces no node
+        if current is self.document.root:
+            current = self._pick_parent("span")
+        text_node = TextNode(self.ctx, token.text)
+        current.append_child(text_node)
+        with tracer.function("blink::html::TreeBuilder::ProcessText"):
+            tracer.op(
+                "append_text",
+                reads=src_cells,
+                writes=(text_node.cell("text"), current.cell("links")),
+            )
+
+
+def parse_html(ctx: EngineContext, source: str, region: MemRegion) -> HTMLParser:
+    """Parse ``source`` (backed by ``region``); returns the parser, whose
+    ``document``, ``scripts`` and ``styles`` fields hold the results."""
+    parser = HTMLParser(ctx, source, region)
+    parser.parse()
+    return parser

@@ -1,0 +1,5 @@
+"""IPC subsystem: the renderer<->browser process channel."""
+
+from .channel import IPCChannel
+
+__all__ = ["IPCChannel"]

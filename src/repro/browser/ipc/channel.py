@@ -1,0 +1,73 @@
+"""IPC channel between the tab (renderer) process and the browser process.
+
+Chromium renderers talk to the single browser process over a message
+channel: resource requests, frame swaps, input-event acks, metrics, favicon
+updates, ...  Serialization happens on the sending thread; the bytes go out
+through a socket on the IO thread (a ``sendto`` on the channel's socket
+pair).
+
+Most of this traffic never influences the renderer's own pixels, which is
+why IPC ranks high among the paper's unnecessary-computation categories
+(the paper leaves cross-process usefulness as future work; so do we, and
+faithfully so — the slice is computed for the tab process alone).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..context import EngineContext
+
+
+class IPCChannel:
+    """The renderer side of the browser<->tab message pipe."""
+
+    def __init__(self, ctx: EngineContext) -> None:
+        self.ctx = ctx
+        self.socket_cell = ctx.memory.alloc_cell("ipc:socket")
+        self.sent = 0
+        self.received = 0
+
+    def serialize(self, name: str, payload: Tuple[int, ...] = (), weight: int = 3) -> int:
+        """Serialize a message on the current thread; returns the buffer cell."""
+        tracer = self.ctx.tracer
+        buffer_cell = self.ctx.memory.alloc_cell(f"ipc:msg:{name}")
+        with tracer.function("ipc::ChannelMojo::Send"):
+            tracer.op("header", writes=(buffer_cell,))
+            for i in range(weight):
+                tracer.op(
+                    f"pickle{i % 8}",
+                    reads=payload[i % len(payload) : i % len(payload) + 1]
+                    if payload
+                    else (),
+                    writes=(buffer_cell,),
+                )
+        self.sent += 1
+        return buffer_cell
+
+    def flush_on_io_thread(self, buffer_cell: int) -> None:
+        """Write a serialized message to the socket (call on the IO thread)."""
+        tracer = self.ctx.tracer
+        with tracer.function("ipc::ChannelMojo::WriteToPipe"):
+            tracer.op("stage", reads=(buffer_cell,), writes=(self.socket_cell,))
+            tracer.syscall("sendto", reads=(buffer_cell, self.socket_cell))
+
+    def receive(self, name: str, payload_size: int = 2) -> Tuple[int, ...]:
+        """Receive a browser-process message (call on the IO thread).
+
+        Returns the cells holding the deserialized payload.
+        """
+        tracer = self.ctx.tracer
+        cells = tuple(
+            self.ctx.memory.alloc_cell(f"ipc:in:{name}:{i}") for i in range(payload_size)
+        )
+        with tracer.function("ipc::ChannelMojo::OnMessageReceived"):
+            tracer.syscall("recvfrom", writes=cells)
+            for i, cell in enumerate(cells):
+                tracer.op(f"unpickle{i % 8}", reads=(cell,), writes=(cell,))
+        self.received += 1
+        return cells
+
+    def send_from(self, name: str, payload: Tuple[int, ...] = (), weight: int = 3) -> int:
+        """Serialize on the current thread; engine must flush on IO later."""
+        return self.serialize(name, payload, weight)

@@ -1,0 +1,220 @@
+"""Abstract syntax tree of the mini-JavaScript language.
+
+Every node has a unique ``node_id`` (used as a stable emit-site label by
+the traced interpreter, so the same static AST node always executes at the
+same pc) and a byte ``span`` (for lazy-compilation cost and byte-coverage
+accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+_next_node_id = 0
+
+
+def _new_id() -> int:
+    global _next_node_id
+    _next_node_id += 1
+    return _next_node_id
+
+
+@dataclass
+class JSNode:
+    span: Tuple[int, int]
+    node_id: int = field(default_factory=_new_id, init=False)
+
+
+# --------------------------------------------------------------------- #
+# Expressions                                                           #
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class Literal(JSNode):
+    value: object = None  # float | str | bool | None
+
+
+@dataclass
+class Identifier(JSNode):
+    name: str = ""
+
+
+@dataclass
+class ThisExpr(JSNode):
+    pass
+
+
+@dataclass
+class ArrayLiteral(JSNode):
+    elements: List[JSNode] = field(default_factory=list)
+
+
+@dataclass
+class ObjectLiteral(JSNode):
+    #: (key, value-expression) pairs
+    entries: List[Tuple[str, JSNode]] = field(default_factory=list)
+
+
+@dataclass
+class FunctionExpr(JSNode):
+    name: Optional[str] = None
+    params: List[str] = field(default_factory=list)
+    body: List[JSNode] = field(default_factory=list)
+
+
+@dataclass
+class Unary(JSNode):
+    op: str = ""
+    operand: JSNode = None
+    prefix: bool = True
+
+
+@dataclass
+class Binary(JSNode):
+    op: str = ""
+    left: JSNode = None
+    right: JSNode = None
+
+
+@dataclass
+class Logical(JSNode):
+    op: str = ""  # "&&" | "||"
+    left: JSNode = None
+    right: JSNode = None
+
+
+@dataclass
+class Conditional(JSNode):
+    test: JSNode = None
+    consequent: JSNode = None
+    alternate: JSNode = None
+
+
+@dataclass
+class Assignment(JSNode):
+    op: str = "="  # "=", "+=", "-=", "*=", "/="
+    target: JSNode = None  # Identifier or Member
+    value: JSNode = None
+
+
+@dataclass
+class UpdateExpr(JSNode):
+    op: str = ""  # "++" | "--"
+    target: JSNode = None
+    prefix: bool = False
+
+
+@dataclass
+class Member(JSNode):
+    obj: JSNode = None
+    #: static property name, or None when computed
+    prop: Optional[str] = None
+    #: computed index expression when ``prop`` is None
+    index: Optional[JSNode] = None
+
+
+@dataclass
+class Call(JSNode):
+    callee: JSNode = None
+    args: List[JSNode] = field(default_factory=list)
+    is_new: bool = False
+
+
+# --------------------------------------------------------------------- #
+# Statements                                                            #
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class VarDecl(JSNode):
+    kind: str = "var"
+    name: str = ""
+    init: Optional[JSNode] = None
+
+
+@dataclass
+class FunctionDecl(JSNode):
+    func: FunctionExpr = None
+
+
+@dataclass
+class ExpressionStmt(JSNode):
+    expr: JSNode = None
+
+
+@dataclass
+class IfStmt(JSNode):
+    test: JSNode = None
+    consequent: List[JSNode] = field(default_factory=list)
+    alternate: List[JSNode] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(JSNode):
+    test: JSNode = None
+    body: List[JSNode] = field(default_factory=list)
+
+
+@dataclass
+class DoWhileStmt(JSNode):
+    test: JSNode = None
+    body: List[JSNode] = field(default_factory=list)
+
+
+@dataclass
+class ForInStmt(JSNode):
+    #: loop variable name (declared with var/let/const or bare)
+    name: str = ""
+    obj: JSNode = None
+    body: List[JSNode] = field(default_factory=list)
+
+
+@dataclass
+class SwitchStmt(JSNode):
+    discriminant: JSNode = None
+    #: (case test expression or None for default, statements)
+    cases: List[Tuple[Optional[JSNode], List[JSNode]]] = field(default_factory=list)
+
+
+@dataclass
+class ForStmt(JSNode):
+    init: Optional[JSNode] = None
+    test: Optional[JSNode] = None
+    update: Optional[JSNode] = None
+    body: List[JSNode] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(JSNode):
+    value: Optional[JSNode] = None
+
+
+@dataclass
+class BreakStmt(JSNode):
+    pass
+
+
+@dataclass
+class ContinueStmt(JSNode):
+    pass
+
+
+@dataclass
+class ThrowStmt(JSNode):
+    value: JSNode = None
+
+
+@dataclass
+class TryStmt(JSNode):
+    block: List[JSNode] = field(default_factory=list)
+    #: catch parameter name (None when there is no catch clause)
+    param: Optional[str] = None
+    handler: List[JSNode] = field(default_factory=list)
+    finally_body: List[JSNode] = field(default_factory=list)
+
+
+@dataclass
+class Program(JSNode):
+    body: List[JSNode] = field(default_factory=list)

@@ -1,0 +1,111 @@
+"""JavaScript tokenizer (for the mini-JS engine).
+
+Supports the language subset the interpreter executes: identifiers,
+keywords, numeric and string literals, punctuation/operators, and line/
+block comments.  Tokens carry byte offsets for lazy-compilation spans and
+coverage accounting (Table I measures *byte* coverage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = frozenset(
+    "var let const function return if else while do for break continue "
+    "true false null undefined new typeof this in of delete "
+    "switch case default throw try catch finally instanceof void".split()
+)
+
+#: Multi-character operators, longest first so matching is greedy.
+_OPERATORS = (
+    "===", "!==", "<<=", ">>=", "**",
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "=>",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "?", ":",
+    ";", ",", ".", "(", ")", "{", "}", "[", "]", "&", "|", "^", "~",
+)
+
+
+@dataclass(frozen=True)
+class JSToken:
+    kind: str  # "ident" | "keyword" | "number" | "string" | "punct" | "eof"
+    value: str
+    start: int
+    end: int
+
+    def is_punct(self, value: str) -> bool:
+        return self.kind == "punct" and self.value == value
+
+    def is_keyword(self, value: str) -> bool:
+        return self.kind == "keyword" and self.value == value
+
+
+class JSLexError(ValueError):
+    """Raised on malformed JavaScript input."""
+
+
+def tokenize_js(source: str) -> List[JSToken]:
+    """Tokenize JavaScript source; appends a final EOF token."""
+    tokens: List[JSToken] = []
+    pos = 0
+    n = len(source)
+    while pos < n:
+        ch = source[pos]
+        if ch.isspace():
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            nl = source.find("\n", pos)
+            pos = n if nl < 0 else nl + 1
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise JSLexError(f"unclosed block comment at offset {pos}")
+            pos = end + 2
+            continue
+        if ch.isalpha() or ch in "_$":
+            start = pos
+            while pos < n and (source[pos].isalnum() or source[pos] in "_$"):
+                pos += 1
+            word = source[start:pos]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(JSToken(kind, word, start, pos))
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < n and source[pos + 1].isdigit()):
+            start = pos
+            seen_dot = False
+            while pos < n and (source[pos].isdigit() or (source[pos] == "." and not seen_dot)):
+                if source[pos] == ".":
+                    seen_dot = True
+                pos += 1
+            tokens.append(JSToken("number", source[start:pos], start, pos))
+            continue
+        if ch in "\"'":
+            start = pos
+            quote = ch
+            pos += 1
+            chars: List[str] = []
+            while pos < n and source[pos] != quote:
+                if source[pos] == "\\" and pos + 1 < n:
+                    esc = source[pos + 1]
+                    chars.append({"n": "\n", "t": "\t"}.get(esc, esc))
+                    pos += 2
+                else:
+                    chars.append(source[pos])
+                    pos += 1
+            if pos >= n:
+                raise JSLexError(f"unclosed string at offset {start}")
+            pos += 1
+            tokens.append(JSToken("string", "".join(chars), start, pos))
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(JSToken("punct", op, pos, pos + len(op)))
+                pos += len(op)
+                break
+        else:
+            raise JSLexError(f"unexpected character {ch!r} at offset {pos}")
+    tokens.append(JSToken("eof", "", n, n))
+    return tokens

@@ -1,0 +1,612 @@
+"""Browser bindings for the mini-JS engine: window, document, DOM wrappers.
+
+The runtime wires guest JavaScript to the rest of the simulated browser
+through a :class:`BrowserHooks` interface supplied by the engine: DOM
+mutations mark elements dirty for the next style/layout/paint pass, timers
+post tasks to the main-thread event loop, and beacons go out through the
+network stack.
+
+Every binding emits trace records modelling its cost, reading/writing the
+DOM cells it really touches, so scripted work that never influences pixels
+stays out of the pixel slice organically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..context import EngineContext
+from ..html.dom import Document, Element, TextNode
+from .interpreter import Interpreter
+from .values import (
+    TV,
+    JSArray,
+    JSObject,
+    JSTypeError,
+    NativeFunction,
+    js_to_number,
+    js_to_string,
+)
+
+
+class BrowserHooks:
+    """Engine callbacks available to guest JavaScript.
+
+    The default implementations are no-ops so the runtime is usable in
+    isolation (unit tests, examples); the real engine overrides them.
+    """
+
+    def on_dom_mutated(self, element: Element) -> None:
+        """Called after a scripted DOM mutation (dirties style/layout)."""
+
+    def schedule_timeout(self, callback: TV, delay_ms: float) -> None:
+        """setTimeout: post ``callback`` to the main thread after a delay."""
+
+    def request_animation_frame(self, callback: TV) -> None:
+        """requestAnimationFrame: run before the next frame."""
+
+    def send_beacon(self, url: str, payload: TV) -> None:
+        """navigator.sendBeacon: fire-and-forget network output."""
+
+    def viewport(self) -> Tuple[int, int]:
+        return (1280, 800)
+
+    def now_ms(self) -> float:
+        return 0.0
+
+
+class JSRuntime:
+    """Installs and services the global browser environment."""
+
+    def __init__(
+        self,
+        interp: Interpreter,
+        document: Document,
+        hooks: Optional[BrowserHooks] = None,
+    ) -> None:
+        self.interp = interp
+        self.ctx: EngineContext = interp.ctx
+        self.document = document
+        self.hooks = hooks if hooks is not None else BrowserHooks()
+        self._wrappers: Dict[int, JSObject] = {}
+        #: (element node_id or -1 for window, event type) -> handlers
+        self.listeners: Dict[Tuple[int, str], List[TV]] = {}
+        self._rng_state = (self.ctx.config.seed * 2654435761 + 1) % (2**31)
+        self._install_globals()
+
+    # ------------------------------------------------------------------ #
+    # Event plumbing (used by the engine)                                #
+    # ------------------------------------------------------------------ #
+
+    def dispatch_event(self, element: Optional[Element], event_type: str) -> int:
+        """Fire an event; returns the number of handlers run."""
+        key = (element.node_id if element is not None else -1, event_type)
+        handlers = list(self.listeners.get(key, ()))
+        event = JSObject(self.ctx, kind="event")
+        event.set("type", event_type)
+        if element is not None:
+            event.set("target", self.wrap_element(element))
+        for handler in handlers:
+            self.interp.call_function_value(
+                handler.value,
+                self.wrap_element(element) if element is not None else None,
+                [self.interp.make_tv(event)],
+                site=f"dispatch:{event_type}",
+            )
+        return len(handlers)
+
+    def has_listener(self, element: Optional[Element], event_type: str) -> bool:
+        key = (element.node_id if element is not None else -1, event_type)
+        return bool(self.listeners.get(key))
+
+    # ------------------------------------------------------------------ #
+    # DOM wrappers                                                       #
+    # ------------------------------------------------------------------ #
+
+    def wrap_element(self, element: Element) -> JSObject:
+        wrapper = self._wrappers.get(element.node_id)
+        if wrapper is not None:
+            return wrapper
+        wrapper = JSObject(self.ctx, kind=f"dom:{element.tag}")
+        wrapper.dom_element = element  # type: ignore[attr-defined]
+        wrapper.getter_hook = self._element_getter(element, wrapper)  # type: ignore[attr-defined]
+        wrapper.setter_hook = self._element_setter(element)  # type: ignore[attr-defined]
+        self._wrappers[element.node_id] = wrapper
+        return wrapper
+
+    def _element_getter(self, element: Element, wrapper: JSObject):
+        interp = self.interp
+
+        def getter(name: str) -> Optional[TV]:
+            if name == "id":
+                return TV(element.element_id or "", element.cell("attr:id"))
+            if name == "tagName":
+                return TV(element.tag.upper(), element.cell("tag"))
+            if name == "className":
+                return TV(
+                    element.get_attribute("class") or "", element.cell("attr:class")
+                )
+            if name == "parentNode":
+                if element.parent is None:
+                    return TV(None, interp.undefined_cell)
+                return TV(self.wrap_element(element.parent), element.cell("links"))
+            if name == "children":
+                array = JSArray(self.ctx)
+                for child in element.child_elements():
+                    array.elements.append(self.wrap_element(child))
+                return TV(array, element.cell("links"))
+            if name == "textContent":
+                return TV(element.text_content(), element.cell("links"))
+            if name == "style":
+                return interp.make_tv(self._style_proxy(element))
+            native = _ELEMENT_METHODS.get(name)
+            if native is not None:
+                return interp.make_tv(
+                    NativeFunction(f"Element.{name}", _bind_element(self, element, native))
+                )
+            return None
+
+        return getter
+
+    def _element_setter(self, element: Element):
+        def setter(name: str, value: TV) -> None:
+            tracer = self.ctx.tracer
+            if name == "textContent" or name == "innerHTML":
+                text = js_to_string(value.value)
+                element.children = []
+                node = TextNode(self.ctx, text)
+                element.append_child(node)
+                tracer.op(
+                    "dom_set_text", reads=(value.cell,), writes=(node.cell("text"),)
+                )
+                self.hooks.on_dom_mutated(element)
+            elif name == "className":
+                element.set_attribute("class", js_to_string(value.value))
+                tracer.op(
+                    "dom_set_class",
+                    reads=(value.cell,),
+                    writes=(element.cell("attr:class"),),
+                )
+                self.hooks.on_dom_mutated(element)
+
+        return setter
+
+    def _style_proxy(self, element: Element) -> JSObject:
+        proxy = JSObject(self.ctx, kind="cssdecl")
+
+        def setter(name: str, value: TV) -> None:
+            css_name = _camel_to_css(name)
+            inline = element.get_attribute("style") or ""
+            element.set_attribute("style", f"{inline};{css_name}:{js_to_string(value.value)}")
+            self.ctx.tracer.op(
+                "dom_set_style",
+                reads=(value.cell,),
+                writes=(element.cell("attr:style"),),
+            )
+            self.hooks.on_dom_mutated(element)
+
+        proxy.setter_hook = setter  # type: ignore[attr-defined]
+        return proxy
+
+    # ------------------------------------------------------------------ #
+    # Globals                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _install_globals(self) -> None:
+        interp = self.interp
+        env = interp.global_env
+
+        document = JSObject(self.ctx, kind="document")
+        document.getter_hook = self._document_getter(document)  # type: ignore[attr-defined]
+        env.define("document", document)
+
+        window = JSObject(self.ctx, kind="window")
+        window.getter_hook = self._window_getter(window)  # type: ignore[attr-defined]
+        env.define("window", window)
+
+        console = JSObject(self.ctx, kind="console")
+        console.set("log", NativeFunction("console.log", self._console_log))
+        console.set("warn", NativeFunction("console.warn", self._console_log))
+        console.set("error", NativeFunction("console.error", self._console_log))
+        env.define("console", console)
+
+        env.define("Math", self._math_object())
+        env.define("Date", self._date_object())
+
+        navigator = JSObject(self.ctx, kind="navigator")
+        navigator.set("userAgent", "Chromium/58.0 (UCWA reproduction)")
+        navigator.set("sendBeacon", NativeFunction("sendBeacon", self._send_beacon))
+        env.define("navigator", navigator)
+
+        env.define("setTimeout", NativeFunction("setTimeout", self._set_timeout))
+        env.define(
+            "requestAnimationFrame",
+            NativeFunction("requestAnimationFrame", self._raf),
+        )
+        json_obj = JSObject(self.ctx, kind="JSON")
+        json_obj.set("stringify", NativeFunction("JSON.stringify", _json_stringify))
+        env.define("JSON", json_obj)
+
+        object_obj = JSObject(self.ctx, kind="Object")
+        object_obj.set("keys", NativeFunction("Object.keys", _object_keys))
+        env.define("Object", object_obj)
+
+        env.define("parseInt", NativeFunction("parseInt", _parse_int))
+        env.define("parseFloat", NativeFunction("parseFloat", _parse_float))
+        env.define("String", NativeFunction("String", _to_string))
+        env.define("Number", NativeFunction("Number", _to_number))
+
+    def _document_getter(self, document: JSObject):
+        interp = self.interp
+
+        def getter(name: str) -> Optional[TV]:
+            if name == "body":
+                body = self.document.body()
+                if body is None:
+                    return TV(None, interp.undefined_cell)
+                return interp.make_tv(self.wrap_element(body))
+            if name == "getElementById":
+                return interp.make_tv(
+                    NativeFunction("getElementById", self._get_element_by_id)
+                )
+            if name == "createElement":
+                return interp.make_tv(
+                    NativeFunction("createElement", self._create_element)
+                )
+            if name == "createTextNode":
+                return interp.make_tv(
+                    NativeFunction("createTextNode", self._create_text_node)
+                )
+            if name == "querySelectorAll":
+                return interp.make_tv(
+                    NativeFunction("querySelectorAll", self._query_selector_all)
+                )
+            if name == "addEventListener":
+                return interp.make_tv(
+                    NativeFunction(
+                        "document.addEventListener", self._window_add_listener
+                    )
+                )
+            return None
+
+        return getter
+
+    def _window_getter(self, window: JSObject):
+        interp = self.interp
+
+        def getter(name: str) -> Optional[TV]:
+            if name == "innerWidth":
+                return interp.make_tv(float(self.hooks.viewport()[0]))
+            if name == "innerHeight":
+                return interp.make_tv(float(self.hooks.viewport()[1]))
+            if name == "addEventListener":
+                return interp.make_tv(
+                    NativeFunction("window.addEventListener", self._window_add_listener)
+                )
+            if name == "performance":
+                perf = JSObject(self.ctx, kind="performance")
+                perf.set("now", NativeFunction("performance.now", self._now))
+                return interp.make_tv(perf)
+            if name == "location":
+                location = JSObject(self.ctx, kind="location")
+                location.set("href", "https://example.test/")
+                return interp.make_tv(location)
+            return None
+
+        return getter
+
+    # -- native implementations ----------------------------------------- #
+
+    def _get_element_by_id(self, interp: Interpreter, this, args: List[TV]) -> TV:
+        ident = js_to_string(args[0].value) if args else ""
+        element = self.document.get_element_by_id(ident)
+        tracer = self.ctx.tracer
+        with tracer.function("blink::bindings::DocumentGetElementById"):
+            tracer.op("hash_lookup", reads=(args[0].cell,) if args else ())
+        if element is None:
+            return TV(None, interp.undefined_cell)
+        result = self.wrap_element(element)
+        return TV(result, element.cell("links"))
+
+    def _query_selector_all(self, interp: Interpreter, this, args: List[TV]) -> TV:
+        from ..css.selectors import SelectorParseError, parse_selector
+
+        text = js_to_string(args[0].value) if args else "*"
+        tracer = self.ctx.tracer
+        array = JSArray(self.ctx)
+        try:
+            selector = parse_selector(text)
+        except SelectorParseError:
+            return interp.make_tv(array)
+        with tracer.function("blink::bindings::QuerySelectorAll"):
+            for i, element in enumerate(self.document.all_elements()):
+                tracer.compare_and_branch(
+                    f"qsa{i % 32}", reads=(element.cell("tag"),)
+                )
+                if selector.matches(element):
+                    array.elements.append(self.wrap_element(element))
+        return interp.make_tv(array)
+
+    def _create_element(self, interp: Interpreter, this, args: List[TV]) -> TV:
+        tag = js_to_string(args[0].value) if args else "div"
+        element = Element(self.ctx, tag)
+        self.ctx.tracer.op(
+            "dom_create_element",
+            reads=(args[0].cell,) if args else (),
+            writes=(element.cell("tag"), element.cell("links")),
+        )
+        return interp.make_tv(self.wrap_element(element))
+
+    def _create_text_node(self, interp: Interpreter, this, args: List[TV]) -> TV:
+        text = js_to_string(args[0].value) if args else ""
+        node = TextNode(self.ctx, text)
+        self.ctx.tracer.op(
+            "dom_create_text",
+            reads=(args[0].cell,) if args else (),
+            writes=(node.cell("text"),),
+        )
+        wrapper = JSObject(self.ctx, kind="dom:#text")
+        wrapper.dom_node = node  # type: ignore[attr-defined]
+        return interp.make_tv(wrapper)
+
+    def _console_log(self, interp: Interpreter, this, args: List[TV]) -> TV:
+        log_cell = self.ctx.memory.alloc_cell("console:entry")
+        self.ctx.tracer.op(
+            "console_log", reads=tuple(a.cell for a in args[:4]), writes=(log_cell,)
+        )
+        return TV(None, interp.undefined_cell)
+
+    def _set_timeout(self, interp: Interpreter, this, args: List[TV]) -> TV:
+        if not args:
+            return TV(None, interp.undefined_cell)
+        delay = js_to_number(args[1].value) if len(args) > 1 else 0.0
+        self.hooks.schedule_timeout(args[0], delay)
+        return interp.make_tv(0.0)
+
+    def _raf(self, interp: Interpreter, this, args: List[TV]) -> TV:
+        if args:
+            self.hooks.request_animation_frame(args[0])
+        return interp.make_tv(0.0)
+
+    def _send_beacon(self, interp: Interpreter, this, args: List[TV]) -> TV:
+        url = js_to_string(args[0].value) if args else ""
+        payload = args[1] if len(args) > 1 else interp.make_tv("")
+        self.hooks.send_beacon(url, payload)
+        return interp.make_tv(True)
+
+    def _now(self, interp: Interpreter, this, args: List[TV]) -> TV:
+        return interp.make_tv(self.hooks.now_ms())
+
+    def _math_object(self) -> JSObject:
+        obj = JSObject(self.ctx, kind="Math")
+
+        def unary(name: str, fn: Callable[[float], float]) -> None:
+            def impl(interp: Interpreter, this, args: List[TV]) -> TV:
+                value = js_to_number(args[0].value) if args else float("nan")
+                result = interp.make_tv(float(fn(value)))
+                interp.ctx.tracer.op(
+                    f"math_{name}", reads=(args[0].cell,) if args else (), writes=(result.cell,)
+                )
+                return result
+
+            obj.set(name, NativeFunction(f"Math.{name}", impl))
+
+        unary("floor", math.floor)
+        unary("ceil", math.ceil)
+        unary("abs", abs)
+        unary("sqrt", lambda v: math.sqrt(v) if v >= 0 else float("nan"))
+        unary("round", round)
+
+        def variadic(name: str, fn: Callable[[List[float]], float]) -> None:
+            def impl(interp: Interpreter, this, args: List[TV]) -> TV:
+                values = [js_to_number(a.value) for a in args]
+                return interp.make_tv(float(fn(values)) if values else float("nan"))
+
+            obj.set(name, NativeFunction(f"Math.{name}", impl))
+
+        variadic("max", max)
+        variadic("min", min)
+
+        def power(interp: Interpreter, this, args: List[TV]) -> TV:
+            base = js_to_number(args[0].value) if args else float("nan")
+            exponent = js_to_number(args[1].value) if len(args) > 1 else float("nan")
+            return interp.make_tv(float(base**exponent))
+
+        obj.set("pow", NativeFunction("Math.pow", power))
+
+        def random(interp: Interpreter, this, args: List[TV]) -> TV:
+            # Deterministic LCG so whole sessions replay identically.
+            self._rng_state = (self._rng_state * 1103515245 + 12345) % (2**31)
+            return interp.make_tv(self._rng_state / float(2**31))
+
+        obj.set("random", NativeFunction("Math.random", random))
+        return obj
+
+    def _date_object(self) -> JSObject:
+        obj = JSObject(self.ctx, kind="Date")
+        obj.set("now", NativeFunction("Date.now", self._now))
+        return obj
+
+    def _window_add_listener(self, interp: Interpreter, this, args: List[TV]) -> TV:
+        if len(args) >= 2:
+            event_type = js_to_string(args[0].value)
+            self.listeners.setdefault((-1, event_type), []).append(args[1])
+        return TV(None, interp.undefined_cell)
+
+
+# --------------------------------------------------------------------- #
+# Element methods                                                       #
+# --------------------------------------------------------------------- #
+
+
+def _bind_element(runtime: JSRuntime, element: Element, method):
+    def bound(interp: Interpreter, this, args: List[TV]) -> TV:
+        return method(runtime, element, interp, args)
+
+    return bound
+
+
+def _el_set_attribute(runtime: JSRuntime, element: Element, interp, args: List[TV]) -> TV:
+    name = js_to_string(args[0].value) if args else ""
+    value = js_to_string(args[1].value) if len(args) > 1 else ""
+    element.set_attribute(name, value)
+    interp.ctx.tracer.op(
+        "dom_set_attr",
+        reads=tuple(a.cell for a in args[:2]),
+        writes=(element.cell(f"attr:{name.lower()}"),),
+    )
+    runtime.hooks.on_dom_mutated(element)
+    return TV(None, interp.undefined_cell)
+
+
+def _el_get_attribute(runtime: JSRuntime, element: Element, interp, args: List[TV]) -> TV:
+    name = js_to_string(args[0].value) if args else ""
+    value = element.get_attribute(name)
+    return TV(value, element.cell(f"attr:{name.lower()}"))
+
+
+def _el_append_child(runtime: JSRuntime, element: Element, interp, args: List[TV]) -> TV:
+    if not args:
+        raise JSTypeError("appendChild needs an argument")
+    child_wrapper = args[0].value
+    child = getattr(child_wrapper, "dom_element", None) or getattr(
+        child_wrapper, "dom_node", None
+    )
+    if child is None:
+        raise JSTypeError("appendChild argument is not a node")
+    element.append_child(child)
+    interp.ctx.tracer.op(
+        "dom_append_child", reads=(args[0].cell,), writes=(element.cell("links"),)
+    )
+    runtime.document.reindex()
+    runtime.hooks.on_dom_mutated(element)
+    return args[0]
+
+
+def _el_remove_child(runtime: JSRuntime, element: Element, interp, args: List[TV]) -> TV:
+    child_wrapper = args[0].value if args else None
+    child = getattr(child_wrapper, "dom_element", None)
+    if child is None or child not in element.children:
+        return TV(None, interp.undefined_cell)
+    element.remove_child(child)
+    interp.ctx.tracer.op(
+        "dom_remove_child", reads=(args[0].cell,), writes=(element.cell("links"),)
+    )
+    runtime.hooks.on_dom_mutated(element)
+    return args[0]
+
+
+def _el_add_event_listener(
+    runtime: JSRuntime, element: Element, interp, args: List[TV]
+) -> TV:
+    if len(args) >= 2:
+        event_type = js_to_string(args[0].value)
+        runtime.listeners.setdefault((element.node_id, event_type), []).append(args[1])
+        interp.ctx.tracer.op(
+            "dom_add_listener",
+            reads=(args[0].cell, args[1].cell),
+            writes=(element.cell(f"listeners:{event_type}"),),
+        )
+    return TV(None, interp.undefined_cell)
+
+
+def _el_query_selector(
+    runtime: JSRuntime, element: Element, interp, args: List[TV]
+) -> TV:
+    from ..css.selectors import SelectorParseError, parse_selector
+
+    text = js_to_string(args[0].value) if args else "*"
+    try:
+        selector = parse_selector(text)
+    except SelectorParseError:
+        return TV(None, interp.undefined_cell)
+    for candidate in element.descendant_elements():
+        if selector.matches(candidate):
+            return interp.make_tv(runtime.wrap_element(candidate))
+    return TV(None, interp.undefined_cell)
+
+
+_ELEMENT_METHODS = {
+    "setAttribute": _el_set_attribute,
+    "getAttribute": _el_get_attribute,
+    "appendChild": _el_append_child,
+    "removeChild": _el_remove_child,
+    "addEventListener": _el_add_event_listener,
+    "querySelector": _el_query_selector,
+}
+
+
+def _camel_to_css(name: str) -> str:
+    out = []
+    for ch in name:
+        if ch.isupper():
+            out.append("-")
+            out.append(ch.lower())
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def _json_value(value: object) -> str:
+    from .values import JSFunction
+
+    if isinstance(value, JSArray):
+        return "[" + ",".join(_json_value(v) for v in value.elements) + "]"
+    if isinstance(value, (JSFunction, NativeFunction)):
+        return "null"
+    if isinstance(value, JSObject):
+        parts = [f'"{k}":{_json_value(v)}' for k, v in value.properties.items()]
+        return "{" + ",".join(parts) + "}"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return js_to_string(value)
+
+
+def _json_stringify(interp: Interpreter, this, args: List[TV]) -> TV:
+    if not args:
+        return interp.make_tv("undefined")
+    result = interp.make_tv(_json_value(args[0].value))
+    interp.ctx.tracer.op(
+        "json_stringify", reads=(args[0].cell,), writes=(result.cell,)
+    )
+    return result
+
+
+def _object_keys(interp: Interpreter, this, args: List[TV]) -> TV:
+    array = JSArray(interp.ctx)
+    if args and isinstance(args[0].value, JSObject):
+        array.elements = [k for k in args[0].value.keys()]
+    result = interp.make_tv(array)
+    interp.ctx.tracer.op(
+        "object_keys", reads=(args[0].cell,) if args else (), writes=(result.cell,)
+    )
+    return result
+
+
+def _parse_int(interp: Interpreter, this, args: List[TV]) -> TV:
+    text = js_to_string(args[0].value) if args else ""
+    digits = ""
+    for ch in text.strip():
+        if ch.isdigit() or (ch == "-" and not digits):
+            digits += ch
+        else:
+            break
+    return interp.make_tv(float(int(digits)) if digits and digits != "-" else float("nan"))
+
+
+def _parse_float(interp: Interpreter, this, args: List[TV]) -> TV:
+    return interp.make_tv(js_to_number(args[0].value if args else None))
+
+
+def _to_string(interp: Interpreter, this, args: List[TV]) -> TV:
+    return interp.make_tv(js_to_string(args[0].value if args else None))
+
+
+def _to_number(interp: Interpreter, this, args: List[TV]) -> TV:
+    return interp.make_tv(js_to_number(args[0].value if args else None))

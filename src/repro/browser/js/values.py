@@ -1,0 +1,248 @@
+"""Runtime values of the mini-JavaScript engine.
+
+Every runtime value travels with an abstract memory cell (``TV`` — a traced
+value), so the interpreter's instruction records carry real dataflow:
+consuming a value reads its cell, producing one writes a fresh cell.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from ..context import EngineContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .ast import FunctionExpr
+    from .interpreter import Interpreter
+
+
+class TV:
+    """A traced value: a Python-level JS value plus its backing cell."""
+
+    __slots__ = ("value", "cell")
+
+    def __init__(self, value: object, cell: int) -> None:
+        self.value = value
+        self.cell = cell
+
+    def __repr__(self) -> str:
+        return f"TV({self.value!r} @ {self.cell:#x})"
+
+
+class JSObject:
+    """A JavaScript object: string-keyed properties with per-property cells."""
+
+    def __init__(self, ctx: EngineContext, kind: str = "object") -> None:
+        self.ctx = ctx
+        self.kind = kind
+        self.properties: Dict[str, object] = {}
+        self._cells: Dict[str, int] = {}
+
+    def prop_cell(self, name: str) -> int:
+        addr = self._cells.get(name)
+        if addr is None:
+            addr = self.ctx.memory.alloc_cell(f"jsheap:{self.kind}:{name}")
+            self._cells[name] = addr
+        return addr
+
+    def get(self, name: str) -> object:
+        return self.properties.get(name)
+
+    def set(self, name: str, value: object) -> None:
+        self.properties[name] = value
+
+    def has(self, name: str) -> bool:
+        return name in self.properties
+
+    def keys(self) -> List[str]:
+        return list(self.properties.keys())
+
+    def __repr__(self) -> str:
+        return f"JSObject({self.kind}, {len(self.properties)} props)"
+
+
+class JSArray(JSObject):
+    """A JavaScript array: dense list storage plus bounded index cells."""
+
+    #: index cells are shared modulo this bound, so huge arrays don't
+    #: exhaust the (abstract) address space.
+    CELL_BOUND = 128
+
+    def __init__(self, ctx: EngineContext) -> None:
+        super().__init__(ctx, kind="array")
+        self.elements: List[object] = []
+
+    def index_cell(self, index: int) -> int:
+        return self.prop_cell(f"[{index % self.CELL_BOUND}]")
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __repr__(self) -> str:
+        return f"JSArray(len={len(self.elements)})"
+
+
+class JSFunction:
+    """A user-defined function (closure)."""
+
+    def __init__(
+        self,
+        declaration: "FunctionExpr",
+        closure: "Environment",
+        script_id: int,
+    ) -> None:
+        self.declaration = declaration
+        self.closure = closure
+        self.script_id = script_id
+        self.compiled = False
+        self.code_cell: Optional[int] = None
+        self.call_count = 0
+
+    @property
+    def name(self) -> str:
+        return self.declaration.name or "anonymous"
+
+    def __repr__(self) -> str:
+        return f"JSFunction({self.name})"
+
+
+class NativeFunction:
+    """A built-in implemented in Python.
+
+    ``fn(interp, this, args) -> TV``; the implementation is responsible for
+    emitting whatever trace records model its cost.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[["Interpreter", object, List[TV]], TV],
+    ) -> None:
+        self.name = name
+        self.fn = fn
+
+    def __repr__(self) -> str:
+        return f"NativeFunction({self.name})"
+
+
+class Environment:
+    """A lexical scope: name -> value, with per-slot cells."""
+
+    def __init__(self, ctx: EngineContext, parent: Optional["Environment"] = None) -> None:
+        self.ctx = ctx
+        self.parent = parent
+        self.slots: Dict[str, object] = {}
+        self._cells: Dict[str, int] = {}
+
+    def slot_cell(self, name: str) -> int:
+        addr = self._cells.get(name)
+        if addr is None:
+            addr = self.ctx.memory.alloc_cell(f"jsenv:{name}")
+            self._cells[name] = addr
+        return addr
+
+    def define(self, name: str, value: object) -> None:
+        self.slots[name] = value
+
+    def lookup_env(self, name: str) -> Optional["Environment"]:
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.slots:
+                return env
+            env = env.parent
+        return None
+
+    def get(self, name: str) -> object:
+        env = self.lookup_env(name)
+        if env is None:
+            raise JSReferenceError(f"{name} is not defined")
+        return env.slots[name]
+
+    def set(self, name: str, value: object) -> "Environment":
+        """Assign; creates a global binding for undeclared names (sloppy)."""
+        env = self.lookup_env(name)
+        if env is None:
+            env = self._global()
+        env.slots[name] = value
+        return env
+
+    def _global(self) -> "Environment":
+        env = self
+        while env.parent is not None:
+            env = env.parent
+        return env
+
+
+class JSError(Exception):
+    """Base class for runtime errors raised by guest code."""
+
+
+class JSReferenceError(JSError):
+    pass
+
+
+class JSTypeError(JSError):
+    pass
+
+
+def js_truthy(value: object) -> bool:
+    if value is None or value is False:
+        return False
+    if value is True:
+        return True
+    if isinstance(value, float):
+        return value != 0.0
+    if isinstance(value, str):
+        return bool(value)
+    return True  # objects, arrays, functions
+
+
+def js_to_number(value: object) -> float:
+    if isinstance(value, float):
+        return value
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if value is None:
+        return 0.0
+    if isinstance(value, str):
+        try:
+            return float(value) if value.strip() else 0.0
+        except ValueError:
+            return float("nan")
+    return float("nan")
+
+
+def js_to_string(value: object) -> str:
+    if value is None:
+        return "undefined"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, JSArray):
+        return ",".join(js_to_string(e) for e in value.elements)
+    if isinstance(value, (JSFunction, NativeFunction)):
+        return f"function {value.name}() {{ ... }}"
+    if isinstance(value, JSObject):
+        return "[object Object]"
+    return str(value)
+
+
+def js_typeof(value: object) -> str:
+    if value is None:
+        return "undefined"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, float):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, (JSFunction, NativeFunction)):
+        return "function"
+    return "object"

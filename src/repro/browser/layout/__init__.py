@@ -1,0 +1,7 @@
+"""Layout subsystem: geometry, box tree, and the block/inline engine."""
+
+from .boxes import LayoutBox, LayoutTree
+from .engine import LayoutEngine
+from .geometry import EMPTY_RECT, Rect
+
+__all__ = ["Rect", "EMPTY_RECT", "LayoutBox", "LayoutTree", "LayoutEngine"]

@@ -1,0 +1,83 @@
+"""Layout box tree."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..html.dom import Element, TextNode
+from ..style.computed import ComputedStyle
+from .geometry import EMPTY_RECT, Rect
+
+
+class LayoutBox:
+    """One box in the layout tree (border-box geometry, document coords)."""
+
+    __slots__ = ("element", "text_node", "style", "rect", "children", "parent")
+
+    def __init__(
+        self,
+        style: ComputedStyle,
+        element: Optional[Element] = None,
+        text_node: Optional[TextNode] = None,
+    ) -> None:
+        self.element = element
+        self.text_node = text_node
+        self.style = style
+        self.rect: Rect = EMPTY_RECT
+        self.children: List["LayoutBox"] = []
+        self.parent: Optional["LayoutBox"] = None
+
+    @property
+    def is_text(self) -> bool:
+        return self.text_node is not None
+
+    @property
+    def in_flow(self) -> bool:
+        return self.style.position not in ("absolute", "fixed")
+
+    def add_child(self, child: "LayoutBox") -> "LayoutBox":
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def descendants(self) -> List["LayoutBox"]:
+        out: List[LayoutBox] = []
+        stack = list(reversed(self.children))
+        while stack:
+            box = stack.pop()
+            out.append(box)
+            stack.extend(reversed(box.children))
+        return out
+
+    def document_bounds(self) -> Rect:
+        bounds = self.rect
+        for box in self.descendants():
+            bounds = bounds.union(box.rect)
+        return bounds
+
+    def __repr__(self) -> str:
+        what = (
+            f"text({self.text_node.text[:12]!r})"
+            if self.is_text
+            else (self.element.tag if self.element is not None else "anon")
+        )
+        return f"LayoutBox({what}, {self.rect})"
+
+
+class LayoutTree:
+    """Result of a layout pass."""
+
+    def __init__(self, root: LayoutBox) -> None:
+        self.root = root
+
+    def all_boxes(self) -> List[LayoutBox]:
+        return [self.root] + self.root.descendants()
+
+    def box_for(self, element: Element) -> Optional[LayoutBox]:
+        for box in self.all_boxes():
+            if box.element is element:
+                return box
+        return None
+
+    def document_height(self) -> float:
+        return self.root.document_bounds().bottom

@@ -1,0 +1,377 @@
+"""Block/inline layout (the Layout stage of the rendering pipeline).
+
+A simplified but real flow algorithm: in-flow blocks stack vertically
+inside their containing block's content box; text (and text-only inline
+elements) wraps into line boxes measured with a fixed-advance font model;
+``absolute``/``fixed`` boxes are positioned out of flow against their
+containing block / the viewport; ``display: none`` subtrees produce no
+boxes.
+
+Tracing: every box's geometry computation emits a record reading the
+element's relevant ``style:*`` cells and the parent's ``layout:*`` cells
+and writing the element's own ``layout:*`` cells, so geometry dataflow
+chains parent-to-child exactly as the real engine's does.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..context import EngineContext
+from ..css.values import Length
+from ..html.dom import Document, Element, TextNode
+from ..style.computed import ComputedStyle
+from ..style.resolver import StyleResolver
+from .boxes import LayoutBox, LayoutTree
+from .geometry import Rect
+
+from .fonts import line_count
+
+#: tags that get an intrinsic size from width/height attributes
+_REPLACED_TAGS = frozenset({"img", "canvas", "video", "iframe"})
+
+
+class LayoutEngine:
+    """Performs traced layout passes over a styled document."""
+
+    def __init__(self, ctx: EngineContext, resolver: StyleResolver) -> None:
+        self.ctx = ctx
+        self.resolver = resolver
+
+    def layout_document(self, document: Document) -> LayoutTree:
+        """Lay out the whole document against the configured viewport."""
+        ctx = self.ctx
+        viewport_w = float(ctx.config.viewport_width)
+        body = document.body()
+        with ctx.tracer.function("blink::layout::LayoutView::UpdateLayout"):
+            root_style = (
+                self.resolver.style_of(body).copy()
+                if body is not None
+                else ComputedStyle.initial()
+            )
+            root_style.values["display"] = "block"
+            root = LayoutBox(root_style, element=body)
+            root.rect = Rect(0, 0, viewport_w, 0)
+            if body is not None:
+                height = self._layout_block(root, Rect(0, 0, viewport_w, 0))
+                root.rect = Rect(0, 0, viewport_w, height)
+        return LayoutTree(root)
+
+    # ------------------------------------------------------------------ #
+
+    def _children_boxes(self, box: LayoutBox) -> None:
+        """Create child boxes for the element behind ``box``."""
+        element = box.element
+        if element is None:
+            return
+        for child in element.children:
+            if isinstance(child, TextNode):
+                if child.text.strip():
+                    box.add_child(LayoutBox(box.style, text_node=child))
+            elif isinstance(child, Element):
+                style = self.resolver.style_of(child)
+                if style.display == "none":
+                    self.ctx.tracer.compare_and_branch(
+                        "skip_display_none", reads=(child.cell("style:display"),)
+                    )
+                    continue
+                box.add_child(LayoutBox(style, element=child))
+
+    def _layout_block(self, box: LayoutBox, container: Rect) -> float:
+        """Lay out ``box``'s children inside ``container`` (content box).
+
+        Returns the used height of ``box``.
+        """
+        ctx = self.ctx
+        tracer = ctx.tracer
+        self._children_boxes(box)
+
+        if box.style.display == "flex":
+            return self._layout_flex_row(box, container)
+
+        cursor_y = container.y
+        content_w = container.w
+        pending_inline: list = []
+        pending_iblock: list = []
+
+        def flush_inline() -> None:
+            nonlocal cursor_y
+            if not pending_inline:
+                return
+            cursor_y = self._layout_line_group(
+                pending_inline, container.x, cursor_y, content_w
+            )
+            pending_inline.clear()
+
+        def flush_iblock() -> None:
+            nonlocal cursor_y
+            if not pending_iblock:
+                return
+            cursor_y = self._layout_inline_block_rows(
+                pending_iblock, container, cursor_y
+            )
+            pending_iblock.clear()
+
+        for child in box.children:
+            if child.is_text or (
+                child.element is not None
+                and child.style.display == "inline"
+                and not child.element.child_elements()
+            ):
+                flush_iblock()
+                pending_inline.append(child)
+                continue
+            if child.in_flow and child.style.display == "inline-block":
+                flush_inline()
+                pending_iblock.append(child)
+                continue
+            flush_inline()
+            flush_iblock()
+            if not child.in_flow:
+                self._layout_out_of_flow(child, box)
+                continue
+            cursor_y = self._place_block_child(child, container, cursor_y)
+
+        flush_inline()
+        flush_iblock()
+
+        explicit_h = box.style.length_or_auto("height")
+        pad_top = box.style.side("padding", "top")
+        pad_bottom = box.style.side("padding", "bottom")
+        if explicit_h is not None:
+            height = explicit_h.resolve(container.h if container.h else 0.0)
+        else:
+            height = (cursor_y - container.y) + pad_top + pad_bottom
+        return max(height, 0.0)
+
+    def _place_block_child(
+        self, child: LayoutBox, container: Rect, cursor_y: float
+    ) -> float:
+        ctx = self.ctx
+        tracer = ctx.tracer
+        style = child.style
+        margin_l = style.side("margin", "left")
+        margin_r = style.side("margin", "right")
+        margin_t = style.side("margin", "top")
+        margin_b = style.side("margin", "bottom")
+        pad_l = style.side("padding", "left")
+        pad_t = style.side("padding", "top")
+
+        explicit_w = style.length_or_auto("width")
+        if explicit_w is not None:
+            width = explicit_w.resolve(container.w)
+        elif child.element is not None and child.element.tag in _REPLACED_TAGS:
+            width = _attr_size(child.element, "width", 300.0)
+        else:
+            width = max(container.w - margin_l - margin_r, 0.0)
+
+        x = container.x + margin_l
+        y = cursor_y + margin_t
+
+        if child.element is not None and child.element.tag in _REPLACED_TAGS:
+            explicit_h = style.length_or_auto("height")
+            height = (
+                explicit_h.resolve(0.0)
+                if explicit_h is not None
+                else _attr_size(child.element, "height", 150.0)
+            )
+            child.rect = Rect(x, y, width, height)
+        else:
+            content = Rect(x + pad_l, y + pad_t, max(width - 2 * pad_l, 0.0), 0.0)
+            height = self._layout_block(child, content)
+            child.rect = Rect(x, y, width, height)
+
+        self._trace_box(child)
+        return y + child.rect.h + margin_b
+
+    def _layout_line_group(
+        self, boxes: list, x: float, y: float, width: float
+    ) -> float:
+        """Lay out a run of text/inline boxes; returns the new cursor y."""
+        tracer = self.ctx.tracer
+        cursor = y
+        for box in boxes:
+            text = (
+                box.text_node.text
+                if box.is_text
+                else (box.element.text_content() if box.element is not None else "")
+            )
+            style = box.style
+            lines = max(1, line_count(text, style.font_size, width))
+            height = lines * style.line_height
+            box.rect = Rect(x, cursor, width, height)
+            self._trace_box(box)
+            if not box.is_text and box.element is not None:
+                # Text-only inline element: give its text nodes their own
+                # (coincident) boxes so their character data reaches paint.
+                for child in box.element.children:
+                    if isinstance(child, TextNode) and child.text.strip():
+                        text_box = box.add_child(LayoutBox(style, text_node=child))
+                        text_box.rect = box.rect
+                        self._trace_box(text_box)
+            cursor += height
+        return cursor
+
+    def _layout_flex_row(self, box: LayoutBox, container: Rect) -> float:
+        """flex-direction: row with wrapping (the common grid idiom).
+
+        Children flow horizontally and wrap like inline-blocks; text
+        children get line boxes first.  Out-of-flow children position as
+        usual.
+        """
+        cursor_y = container.y
+        texts = [c for c in box.children if c.is_text]
+        if texts:
+            cursor_y = self._layout_line_group(texts, container.x, cursor_y, container.w)
+        flow = [c for c in box.children if not c.is_text and c.in_flow]
+        if flow:
+            cursor_y = self._layout_inline_block_rows(flow, container, cursor_y)
+        for child in box.children:
+            if not child.is_text and not child.in_flow:
+                self._layout_out_of_flow(child, box)
+        explicit_h = box.style.length_or_auto("height")
+        if explicit_h is not None:
+            return max(explicit_h.resolve(container.h if container.h else 0.0), 0.0)
+        pad = box.style.side("padding", "top") + box.style.side("padding", "bottom")
+        return max(cursor_y - container.y + pad, 0.0)
+
+    def _layout_inline_block_rows(
+        self, boxes: list, container: Rect, cursor_y: float
+    ) -> float:
+        """Lay out inline-block children in wrapping rows (grid flow)."""
+        row_x = container.x
+        row_y = cursor_y
+        row_h = 0.0
+        for child in boxes:
+            style = child.style
+            margin_l = style.side("margin", "left")
+            margin_r = style.side("margin", "right")
+            margin_t = style.side("margin", "top")
+            margin_b = style.side("margin", "bottom")
+            explicit_w = style.length_or_auto("width")
+            if explicit_w is not None:
+                width = explicit_w.resolve(container.w)
+            elif child.element is not None and child.element.tag in _REPLACED_TAGS:
+                width = _attr_size(child.element, "width", 300.0)
+            else:
+                width = min(container.w / 2, 240.0)  # shrink-to-fit fallback
+            outer_w = width + margin_l + margin_r
+            if row_x + outer_w > container.x + container.w and row_x > container.x:
+                row_y += row_h
+                row_x = container.x
+                row_h = 0.0
+            x = row_x + margin_l
+            y = row_y + margin_t
+            explicit_h = style.length_or_auto("height")
+            if explicit_h is not None:
+                height = explicit_h.resolve(0.0)
+                child.rect = Rect(x, y, width, height)
+                content = Rect(
+                    x + style.side("padding", "left"),
+                    y + style.side("padding", "top"),
+                    max(width - 2 * style.side("padding", "left"), 0.0),
+                    0.0,
+                )
+                self._layout_block(child, content)
+                child.rect = Rect(x, y, width, height)
+            else:
+                content = Rect(
+                    x + style.side("padding", "left"),
+                    y + style.side("padding", "top"),
+                    max(width - 2 * style.side("padding", "left"), 0.0),
+                    0.0,
+                )
+                height = self._layout_block(child, content)
+                child.rect = Rect(x, y, width, height)
+            self._trace_box(child)
+            row_x += outer_w
+            row_h = max(row_h, height + margin_t + margin_b)
+        return row_y + row_h
+
+    def _layout_out_of_flow(self, child: LayoutBox, parent: LayoutBox) -> None:
+        """absolute/fixed positioning against the viewport/containing box."""
+        ctx = self.ctx
+        style = child.style
+        viewport_w = float(ctx.config.viewport_width)
+        viewport_h = float(ctx.config.viewport_height)
+        base = (
+            Rect(0, 0, viewport_w, viewport_h)
+            if style.position == "fixed"
+            else parent.rect if not parent.rect.is_empty() else Rect(0, 0, viewport_w, 0)
+        )
+        top = style.length_or_auto("top")
+        left = style.length_or_auto("left")
+        explicit_w = style.length_or_auto("width")
+        explicit_h = style.length_or_auto("height")
+        width = explicit_w.resolve(base.w) if explicit_w is not None else base.w / 2
+        x = base.x + (left.resolve(base.w) if left is not None else 0.0)
+        y = base.y + (top.resolve(base.h) if top is not None else 0.0)
+        if explicit_h is not None:
+            height = explicit_h.resolve(base.h)
+            child.rect = Rect(x, y, width, height)
+            self._children_boxes_positioned(child)
+        else:
+            content = Rect(x, y, width, 0.0)
+            height = self._layout_block(child, content)
+            child.rect = Rect(x, y, width, height)
+        self._trace_box(child)
+
+    def _children_boxes_positioned(self, box: LayoutBox) -> None:
+        """Lay out children of a fixed-size positioned box."""
+        content = Rect(box.rect.x, box.rect.y, box.rect.w, 0.0)
+        self._layout_block(box, content)
+
+    def _trace_box(self, box: LayoutBox) -> None:
+        tracer = self.ctx.tracer
+        if box.element is not None:
+            element = box.element
+            style_cells = tuple(
+                element.cell(f"style:{name}")
+                for name in (
+                    "width", "height", "display", "position",
+                    "margin-top", "margin-right", "margin-bottom", "margin-left",
+                    "padding-top", "padding-left", "padding-bottom", "padding-right",
+                    "top", "left", "font-size", "line-height",
+                )
+            )
+            parent_cells = ()
+            if element.parent is not None:
+                parent_cells = (element.parent.cell("layout:geom"),)
+            # The box tree is built from the DOM structure, so geometry
+            # carries a dependence on the element's tree-link cell.
+            tracer.op(
+                "compute_geometry",
+                reads=style_cells + parent_cells + (element.cell("links"),),
+                writes=(element.cell("layout:geom"),),
+            )
+            if element.node_id % 2 == 0:
+                self.ctx.plain_helper(
+                    "SnapSizeToPixel",
+                    reads=(element.cell("layout:geom"),),
+                    writes=(element.cell("layout:geom"),),
+                )
+        elif box.text_node is not None:
+            node = box.text_node
+            parent_cells = ()
+            if node.parent is not None:
+                parent_cells = (
+                    node.parent.cell("layout:geom"),
+                    node.parent.cell("style:font-size"),
+                )
+            tracer.op(
+                "measure_text",
+                reads=(node.cell("text"),) + parent_cells,
+                writes=(node.cell("layout:geom"),),
+            )
+        self.ctx.maybe_debug_event()
+
+
+def _attr_size(element: Element, name: str, default: float) -> float:
+    raw = element.get_attribute(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default

@@ -1,0 +1,67 @@
+"""Font metrics: per-character advance widths for text measurement.
+
+A proportional fixed table (relative to font size) in the spirit of a
+real sans-serif metrics table: narrow punctuation and 'i'/'l', wide 'm'/'w'
+and capitals.  Layout uses :func:`measure_text` for line breaking, so text
+width responds to content, not just character count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: advance width as a fraction of the font size
+_ADVANCES: Dict[str, float] = {}
+for ch in "iljI.,:;'|!":
+    _ADVANCES[ch] = 0.28
+for ch in "ftr()[]{}-\"":
+    _ADVANCES[ch] = 0.35
+for ch in "abcdeghknopqsuvxyz":
+    _ADVANCES[ch] = 0.52
+for ch in "mw":
+    _ADVANCES[ch] = 0.82
+for ch in "ABCDEFGHJKLNOPQRSTUVXYZ":
+    _ADVANCES[ch] = 0.66
+for ch in "MW":
+    _ADVANCES[ch] = 0.88
+for ch in "0123456789":
+    _ADVANCES[ch] = 0.55
+_ADVANCES[" "] = 0.30
+
+#: fallback for anything not in the table (unicode, symbols)
+_DEFAULT_ADVANCE = 0.58
+
+
+def char_advance(ch: str, font_size: float) -> float:
+    """Advance width of one character at ``font_size`` pixels."""
+    return _ADVANCES.get(ch, _DEFAULT_ADVANCE) * font_size
+
+
+def measure_text(text: str, font_size: float) -> float:
+    """Total advance width of ``text`` at ``font_size`` pixels."""
+    return sum(_ADVANCES.get(ch, _DEFAULT_ADVANCE) for ch in text) * font_size
+
+
+def line_count(text: str, font_size: float, available_width: float) -> int:
+    """Greedy word-wrapping line count for ``text`` in ``available_width``.
+
+    Words longer than a line overflow (taking a full line), as real
+    engines do without ``overflow-wrap``.
+    """
+    text = " ".join(text.split())
+    if not text:
+        return 0
+    if available_width <= 0:
+        return 1
+    space = char_advance(" ", font_size)
+    lines = 1
+    cursor = 0.0
+    for word in text.split(" "):
+        width = measure_text(word, font_size)
+        needed = width if cursor == 0.0 else cursor + space + width
+        if needed <= available_width:
+            cursor = needed
+        else:
+            lines += 1
+            cursor = min(width, available_width)
+    return lines

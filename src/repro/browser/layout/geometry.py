@@ -1,0 +1,78 @@
+"""2D geometry primitives used by layout, paint, and compositing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle (document coordinates, y grows downward)."""
+
+    x: float
+    y: float
+    w: float
+    h: float
+
+    @property
+    def right(self) -> float:
+        return self.x + self.w
+
+    @property
+    def bottom(self) -> float:
+        return self.y + self.h
+
+    def is_empty(self) -> bool:
+        return self.w <= 0 or self.h <= 0
+
+    def area(self) -> float:
+        return max(0.0, self.w) * max(0.0, self.h)
+
+    def intersects(self, other: "Rect") -> bool:
+        return not (
+            self.right <= other.x
+            or other.right <= self.x
+            or self.bottom <= other.y
+            or other.bottom <= self.y
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        x = max(self.x, other.x)
+        y = max(self.y, other.y)
+        right = min(self.right, other.right)
+        bottom = min(self.bottom, other.bottom)
+        if right <= x or bottom <= y:
+            return None
+        return Rect(x, y, right - x, bottom - y)
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.x <= other.x
+            and self.y <= other.y
+            and self.right >= other.right
+            and self.bottom >= other.bottom
+        )
+
+    def contains_point(self, px: float, py: float) -> bool:
+        return self.x <= px < self.right and self.y <= py < self.bottom
+
+    def translate(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x + dx, self.y + dy, self.w, self.h)
+
+    def union(self, other: "Rect") -> "Rect":
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        x = min(self.x, other.x)
+        y = min(self.y, other.y)
+        right = max(self.right, other.right)
+        bottom = max(self.bottom, other.bottom)
+        return Rect(x, y, right - x, bottom - y)
+
+    def __repr__(self) -> str:
+        return f"Rect({self.x:g}, {self.y:g}, {self.w:g}x{self.h:g})"
+
+
+EMPTY_RECT = Rect(0, 0, 0, 0)

@@ -1,0 +1,5 @@
+"""Network subsystem: simulated resource loading."""
+
+from .loader import NetworkStack, Resource
+
+__all__ = ["NetworkStack", "Resource"]

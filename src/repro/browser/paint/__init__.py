@@ -1,0 +1,6 @@
+"""Paint subsystem: display lists, paint layers, and the painter."""
+
+from .display_list import DisplayItem, PaintLayer
+from .painter import Painter
+
+__all__ = ["DisplayItem", "PaintLayer", "Painter"]

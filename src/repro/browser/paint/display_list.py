@@ -1,0 +1,70 @@
+"""Display lists and paint layers (the Paint stage of the pipeline)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..css.values import Color
+from ..html.dom import Element, TextNode
+from ..layout.geometry import Rect
+
+
+@dataclass
+class DisplayItem:
+    """One paint operation recorded into a layer's display list.
+
+    Attributes:
+        kind: "background" | "border" | "text" | "image".
+        rect: document-space rectangle the item covers.
+        cells: abstract cells holding the recorded item (raster reads them).
+        source_cells: extra inputs consumed at raster time (e.g. the image
+            resource's byte cells for an "image" item).
+        color: paint color (backgrounds/text) for blending realism.
+        opaque: True when the item fully covers ``rect`` with alpha 1.
+    """
+
+    kind: str
+    rect: Rect
+    cells: Tuple[int, ...]
+    source_cells: Tuple[int, ...] = ()
+    color: Optional[Color] = None
+    opaque: bool = False
+
+
+@dataclass
+class PaintLayer:
+    """A composited layer: its own backing store and display list.
+
+    Mirrors Chromium's composited layers: each gets a backing store (tiles)
+    whether or not it ever becomes visible — the design pitfall the paper
+    calls out in the compositing algorithm.
+    """
+
+    layer_id: int
+    bounds: Rect
+    z_index: int
+    #: True when the layer's content fully covers ``bounds`` opaquely.
+    opaque: bool
+    #: fixed-position layers don't move with document scroll
+    fixed: bool = False
+    opacity: float = 1.0
+    items: List[DisplayItem] = field(default_factory=list)
+    #: element that promoted this layer (None for the root scrolling layer)
+    owner: Optional[Element] = None
+
+    def add(self, item: DisplayItem) -> None:
+        self.items.append(item)
+
+    def item_count(self) -> int:
+        return len(self.items)
+
+    def is_root(self) -> bool:
+        return self.owner is None
+
+    def __repr__(self) -> str:
+        owner = self.owner.tag if self.owner is not None else "root"
+        return (
+            f"PaintLayer(#{self.layer_id} {owner} z={self.z_index} "
+            f"{self.bounds} items={len(self.items)})"
+        )

@@ -1,0 +1,234 @@
+"""The painter: layout tree + computed styles -> layered display lists.
+
+Layer assignment follows Chromium's promotion heuristics (see
+:meth:`ComputedStyle.creates_layer`): fixed position, transforms,
+``will-change``, sub-unit opacity, and positioned elements with explicit
+z-index each get their own composited layer with a private backing store.
+Everything else paints into the root scrolling layer.
+
+Each recorded display item emits a trace record reading the box's layout
+cells and the style cells that determine its appearance, writing the
+item's cells — which the rasterizer threads will read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...machine.memory import MemRegion
+from ..context import EngineContext
+from ..css.values import TRANSPARENT
+from ..html.dom import Element
+from ..layout.boxes import LayoutBox, LayoutTree
+from ..layout.geometry import Rect
+from .display_list import DisplayItem, PaintLayer
+
+
+class Painter:
+    """Produces paint layers from a laid-out document."""
+
+    def __init__(self, ctx: EngineContext) -> None:
+        self.ctx = ctx
+        self._next_layer_id = 0
+        #: url -> byte region for image resources (provided by the engine)
+        self.image_regions: Dict[str, MemRegion] = {}
+        #: node ids of other layers' owners, skipped during repaint
+        self._skip_promoted: set = set()
+
+    def paint_document(self, tree: LayoutTree) -> List[PaintLayer]:
+        """Paint the whole document into a list of layers (root first)."""
+        ctx = self.ctx
+        doc_bounds = tree.root.document_bounds()
+        root_bounds = Rect(
+            0,
+            0,
+            max(doc_bounds.right, float(ctx.config.viewport_width)),
+            max(doc_bounds.bottom, float(ctx.config.viewport_height)),
+        )
+        with ctx.tracer.function("blink::paint::PaintController::PaintDocument"):
+            root = self._new_layer(root_bounds, z_index=0, opaque=True, owner=None)
+            layers = [root]
+            self._paint_box(tree.root, root, layers)
+        layers.sort(key=lambda layer: (layer.z_index, layer.layer_id))
+        return layers
+
+    def repaint_layer(
+        self,
+        layer: PaintLayer,
+        tree: LayoutTree,
+        promoted_ids: Optional[set] = None,
+    ) -> None:
+        """Repaint a single (dirty) layer after a mutation.
+
+        ``promoted_ids`` holds node ids of elements that own *other*
+        layers; their subtrees are skipped so content is not duplicated
+        into this layer.
+        """
+        with self.ctx.tracer.function("blink::paint::PaintController::RepaintLayer"):
+            layer.items.clear()
+            owner_box = (
+                tree.box_for(layer.owner) if layer.owner is not None else tree.root
+            )
+            if owner_box is None:
+                return
+            skip = set(promoted_ids or ())
+            if layer.owner is not None:
+                skip.discard(layer.owner.node_id)
+            self._skip_promoted = skip
+            try:
+                scratch: List[PaintLayer] = [layer]
+                if layer.owner is not None:
+                    owner_style_box = owner_box
+                    self._record_element(owner_style_box, layer)
+                self._paint_into(owner_box, layer, scratch, allow_promotion=False)
+            finally:
+                self._skip_promoted = set()
+
+    # ------------------------------------------------------------------ #
+
+    def _new_layer(
+        self, bounds: Rect, z_index: int, opaque: bool, owner: Optional[Element],
+        fixed: bool = False, opacity: float = 1.0,
+    ) -> PaintLayer:
+        layer = PaintLayer(
+            layer_id=self._next_layer_id,
+            bounds=bounds,
+            z_index=z_index,
+            opaque=opaque,
+            fixed=fixed,
+            opacity=opacity,
+            owner=owner,
+        )
+        self._next_layer_id += 1
+        if owner is not None:
+            self.ctx.tracer.op(
+                "promote_layer",
+                reads=(owner.cell("style:z-index"), owner.cell("layout:geom")),
+                writes=(owner.cell("layer"),),
+            )
+        return layer
+
+    def _paint_box(
+        self, box: LayoutBox, layer: PaintLayer, layers: List[PaintLayer]
+    ) -> None:
+        self._paint_into(box, layer, layers, allow_promotion=True)
+
+    def _paint_into(
+        self,
+        box: LayoutBox,
+        layer: PaintLayer,
+        layers: List[PaintLayer],
+        allow_promotion: bool,
+    ) -> None:
+        tracer = self.ctx.tracer
+        for child in box.children:
+            if child.is_text:
+                self._record_text(child, layer)
+                continue
+            element = child.element
+            if (
+                element is not None
+                and not allow_promotion
+                and element.node_id in self._skip_promoted
+            ):
+                continue
+            style = child.style
+            target = layer
+            if (
+                allow_promotion
+                and element is not None
+                and style.creates_layer
+                and not child.rect.is_empty()
+            ):
+                target = self._new_layer(
+                    child.rect,
+                    z_index=style.z_index,
+                    opaque=style.is_opaque,
+                    owner=element,
+                    fixed=style.position == "fixed",
+                    opacity=style.opacity,
+                )
+                layers.append(target)
+            self._record_element(child, target)
+            self._paint_into(child, target, layers, allow_promotion)
+
+    def _record_element(self, box: LayoutBox, layer: PaintLayer) -> None:
+        element = box.element
+        if element is None or box.rect.is_empty():
+            return
+        tracer = self.ctx.tracer
+        style = box.style
+        if not style.visible:
+            tracer.compare_and_branch(
+                "skip_invisible", reads=(element.cell("style:visibility"),)
+            )
+            return
+        background = style.background_color
+        if background != TRANSPARENT:
+            cell = self.ctx.memory.alloc_cell(f"paint:bg:{element.node_id}")
+            self.ctx.libc_malloc(cell)
+            tracer.op(
+                "record_background",
+                reads=(
+                    element.cell("layout:geom"),
+                    element.cell("style:background-color"),
+                    element.cell("style:opacity"),
+                    element.cell("style:border-width"),
+                ),
+                writes=(cell,),
+            )
+            layer.add(
+                DisplayItem(
+                    kind="background",
+                    rect=box.rect,
+                    cells=(cell,),
+                    color=background,
+                    opaque=background.opaque and style.opacity >= 1.0,
+                )
+            )
+        if element.tag == "img":
+            src = element.get_attribute("src") or ""
+            region = self.image_regions.get(src)
+            source_cells: Tuple[int, ...] = ()
+            if region is not None:
+                # Raster samples the whole decoded bitmap: displaying an
+                # image makes its entire decode useful.
+                source_cells = region.all_cells()
+            cell = self.ctx.memory.alloc_cell(f"paint:img:{element.node_id}")
+            tracer.op(
+                "record_image",
+                reads=(element.cell("layout:geom"), element.cell("attr:src")),
+                writes=(cell,),
+            )
+            layer.add(
+                DisplayItem(
+                    kind="image",
+                    rect=box.rect,
+                    cells=(cell,),
+                    source_cells=source_cells,
+                    opaque=True,
+                )
+            )
+        self.ctx.maybe_debug_event()
+
+    def _record_text(self, box: LayoutBox, layer: PaintLayer) -> None:
+        node = box.text_node
+        if node is None or box.rect.is_empty() or not box.style.visible:
+            return
+        cell = self.ctx.memory.alloc_cell(f"paint:text:{node.node_id}")
+        color_cells = ()
+        if node.parent is not None:
+            color_cells = (
+                node.parent.cell("style:color"),
+                node.parent.cell("style:font-weight"),
+            )
+        self.ctx.tracer.op(
+            "record_text_run",
+            reads=(node.cell("text"), node.cell("layout:geom")) + color_cells,
+            writes=(cell,),
+        )
+        layer.add(
+            DisplayItem(
+                kind="text", rect=box.rect, cells=(cell,), color=box.style.color
+            )
+        )

@@ -1,0 +1,5 @@
+"""Scheduler subsystem: per-thread event loops, sequential execution."""
+
+from .loop import Scheduler, Task
+
+__all__ = ["Scheduler", "Task"]

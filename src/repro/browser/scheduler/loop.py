@@ -1,0 +1,129 @@
+"""Per-thread event loops and the sequential cross-thread scheduler.
+
+Every Chromium thread is event-driven: a message loop pops tasks from a
+queue.  The benchmarks pin the whole tab process to one core, so the
+scheduler here runs threads *sequentially*, switching the tracer's current
+thread as it hops between queues — exactly the execution model the paper's
+profiler requires (Section III-B).
+
+Each pop emits message-pump overhead records ("Other" category: event
+scheduling) and each cross-thread wakeup emits ``futex`` syscalls in
+``base::synchronization`` frames (the "Multi-threading" category).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..context import EngineContext
+
+
+class Task:
+    """A unit of work queued on a thread."""
+
+    __slots__ = ("name", "fn", "delay_us")
+
+    def __init__(self, name: str, fn: Callable[[], None], delay_us: float = 0.0) -> None:
+        self.name = name
+        self.fn = fn
+        self.delay_us = delay_us
+
+
+class Scheduler:
+    """Sequential multi-queue task scheduler for the tab process."""
+
+    def __init__(self, ctx: EngineContext) -> None:
+        self.ctx = ctx
+        self._queues: Dict[int, Deque[Task]] = {}
+        #: (ready time us, seq, tid, task) for delayed tasks
+        self._delayed: List[Tuple[float, int, int, Task]] = []
+        self._seq = 0
+        #: per-thread queue-head cells (the memory a pop actually touches)
+        self._queue_cells: Dict[int, int] = {}
+        self.tasks_run = 0
+
+    def _queue_cell(self, tid: int) -> int:
+        cell = self._queue_cells.get(tid)
+        if cell is None:
+            cell = self.ctx.memory.alloc_cell(f"sched:queue:{tid}")
+            self._queue_cells[tid] = cell
+        return cell
+
+    def queue_for(self, tid: int) -> Deque[Task]:
+        queue = self._queues.get(tid)
+        if queue is None:
+            queue = deque()
+            self._queues[tid] = queue
+        return queue
+
+    def post(self, tid: int, name: str, fn: Callable[[], None]) -> None:
+        """Post a task to ``tid``'s queue (wakes the thread)."""
+        current = self.ctx.tracer.current_tid
+        if current != tid:
+            self._wake(tid)
+        self.queue_for(tid).append(Task(name, fn))
+
+    def post_delayed(self, tid: int, name: str, fn: Callable[[], None], delay_ms: float) -> None:
+        ready = self.ctx.clock.now_us + delay_ms * 1000.0
+        self._seq += 1
+        self._delayed.append((ready, self._seq, tid, Task(name, fn)))
+
+    def _wake(self, tid: int) -> None:
+        """futex wake: the posting thread signals the sleeping target."""
+        tracer = self.ctx.tracer
+        cell = self._queue_cell(tid)
+        with tracer.function("base::synchronization::WaitableEvent::Signal"):
+            tracer.op("store_signal", reads=(cell,), writes=(cell,))
+            tracer.syscall("futex", reads=(cell,), writes=(cell,))
+
+    def _promote_delayed(self) -> None:
+        now = self.ctx.clock.now_us
+        remaining: List[Tuple[float, int, int, Task]] = []
+        for ready, seq, tid, task in sorted(self._delayed):
+            if ready <= now:
+                self.queue_for(tid).append(task)
+            else:
+                remaining.append((ready, seq, tid, task))
+        self._delayed = remaining
+
+    def pending(self) -> bool:
+        return any(self._queues.values()) or bool(self._delayed)
+
+    def run_until_idle(self, max_tasks: int = 100_000) -> int:
+        """Drain all queues (advancing time through delayed tasks).
+
+        Threads are serviced round-robin in tid order, matching the
+        single-core sequential execution of the benchmark setup.  Returns
+        the number of tasks executed.
+        """
+        ctx = self.ctx
+        tracer = ctx.tracer
+        executed = 0
+        while executed < max_tasks:
+            self._promote_delayed()
+            ran_one = False
+            for tid in sorted(self._queues):
+                queue = self._queues[tid]
+                if not queue:
+                    continue
+                task = queue.popleft()
+                tracer.switch(tid)
+                cell = self._queue_cell(tid)
+                with tracer.function("base::message_loop::MessagePump::Run"):
+                    tracer.op("pop_task", reads=(cell,), writes=(cell,))
+                    tracer.compare_and_branch("has_work", reads=(cell,))
+                    with tracer.function("base::task::TaskAnnotator::RunTask"):
+                        task.fn()
+                executed += 1
+                self.tasks_run += 1
+                ran_one = True
+            if not ran_one:
+                if self._delayed:
+                    # Sleep until the earliest delayed task is ready.
+                    earliest = min(ready for ready, _, _, _ in self._delayed)
+                    idle = max(0.0, earliest - ctx.clock.now_us)
+                    ctx.clock.idle(idle)
+                    continue
+                break
+        return executed

@@ -1,0 +1,13 @@
+"""Style subsystem: rule matching, cascade, computed styles."""
+
+from .computed import ComputedStyle
+from .matcher import MatchedRule, RuleIndex, match_element
+from .resolver import StyleResolver
+
+__all__ = [
+    "ComputedStyle",
+    "MatchedRule",
+    "RuleIndex",
+    "match_element",
+    "StyleResolver",
+]

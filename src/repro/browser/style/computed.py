@@ -1,0 +1,108 @@
+"""Computed style: the final value of every property for one element."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..css.values import Color, Length, PROPERTIES, TRANSPARENT, Value
+
+
+class ComputedStyle:
+    """Resolved property values for one element."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Dict[str, Value]) -> None:
+        self.values = values
+
+    @classmethod
+    def initial(cls) -> "ComputedStyle":
+        return cls({name: spec.initial for name, spec in PROPERTIES.items()})
+
+    def get(self, name: str) -> Value:
+        return self.values[name]
+
+    # -- convenience accessors used by layout/paint -------------------- #
+
+    @property
+    def display(self) -> str:
+        return str(self.values["display"])
+
+    @property
+    def position(self) -> str:
+        return str(self.values["position"])
+
+    @property
+    def visible(self) -> bool:
+        return self.values["visibility"] == "visible" and self.opacity > 0.0
+
+    @property
+    def opacity(self) -> float:
+        value = self.values["opacity"]
+        return float(value) if isinstance(value, (int, float)) else 1.0
+
+    @property
+    def z_index(self) -> int:
+        value = self.values["z-index"]
+        if isinstance(value, (int, float)):
+            return int(value)
+        return 0
+
+    @property
+    def has_explicit_z(self) -> bool:
+        return isinstance(self.values["z-index"], (int, float))
+
+    @property
+    def background_color(self) -> Color:
+        value = self.values["background-color"]
+        return value if isinstance(value, Color) else TRANSPARENT
+
+    @property
+    def color(self) -> Color:
+        value = self.values["color"]
+        return value if isinstance(value, Color) else Color(0, 0, 0)
+
+    @property
+    def font_size(self) -> float:
+        value = self.values["font-size"]
+        return value.value if isinstance(value, Length) else 16.0
+
+    @property
+    def line_height(self) -> float:
+        value = self.values["line-height"]
+        if isinstance(value, Length):
+            return value.value
+        return self.font_size * 1.25
+
+    def length_or_auto(self, name: str) -> Optional[Length]:
+        value = self.values[name]
+        return value if isinstance(value, Length) else None
+
+    def side(self, prefix: str, side: str) -> float:
+        value = self.values[f"{prefix}-{side}"]
+        return value.value if isinstance(value, Length) and not value.percent else (
+            value.value if isinstance(value, Length) else 0.0
+        )
+
+    @property
+    def creates_layer(self) -> bool:
+        """Chromium-style layer promotion heuristics."""
+        if self.position == "fixed":
+            return True
+        if self.values["transform"] != "none":
+            return True
+        if str(self.values["will-change"]) in ("transform", "opacity", "contents"):
+            return True
+        if self.opacity < 1.0:
+            return True
+        if self.position in ("absolute", "relative") and self.has_explicit_z:
+            return True
+        return False
+
+    @property
+    def is_opaque(self) -> bool:
+        """The element paints fully opaque pixels over its whole box."""
+        return self.background_color.opaque and self.opacity >= 1.0
+
+    def copy(self) -> "ComputedStyle":
+        return ComputedStyle(dict(self.values))

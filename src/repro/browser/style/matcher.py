@@ -1,0 +1,126 @@
+"""Rule matching with Chromium-style rule bucketing.
+
+Real engines never test every rule against every element: rules are
+bucketed by the subject compound's id / class / tag, and each element only
+probes its relevant buckets.  The traced cost therefore scales the way the
+real engine's does.
+
+Rules whose subject key never appears in the document are parsed but never
+*tested* — exactly the "unused CSS" the paper's Table I counts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from ..context import EngineContext
+from ..css.cssom import CSSOM, StyleRule
+from ..css.selectors import Selector
+from ..html.dom import Element
+
+
+class MatchedRule:
+    """A (selector, rule) pair that matched an element.
+
+    ``match_cell`` is the abstract cell holding this entry of the
+    element's matched-rules list; the apply stage reads it, so the
+    dataflow element-identity -> match entry -> applied property is
+    visible to the slicer.
+    """
+
+    __slots__ = ("selector", "rule", "match_cell")
+
+    def __init__(self, selector: Selector, rule: StyleRule, match_cell: int) -> None:
+        self.selector = selector
+        self.rule = rule
+        self.match_cell = match_cell
+
+    def sort_key(self) -> Tuple:
+        subject = self.selector.specificity()
+        return (subject, self.rule.order)
+
+
+class RuleIndex:
+    """Buckets (selector, rule) pairs by subject id/class/tag."""
+
+    def __init__(self, cssom: CSSOM) -> None:
+        self.by_id: Dict[str, List[Tuple[Selector, StyleRule]]] = defaultdict(list)
+        self.by_class: Dict[str, List[Tuple[Selector, StyleRule]]] = defaultdict(list)
+        self.by_tag: Dict[str, List[Tuple[Selector, StyleRule]]] = defaultdict(list)
+        self.universal: List[Tuple[Selector, StyleRule]] = []
+        for rule in cssom.all_rules():
+            for selector in rule.selectors:
+                subject = selector.subject()
+                if subject.element_id is not None:
+                    self.by_id[subject.element_id].append((selector, rule))
+                elif subject.classes:
+                    self.by_class[subject.classes[0]].append((selector, rule))
+                elif subject.tag is not None and subject.tag != "*":
+                    self.by_tag[subject.tag].append((selector, rule))
+                else:
+                    self.universal.append((selector, rule))
+
+    def candidates_for(self, element: Element) -> List[Tuple[Selector, StyleRule]]:
+        candidates: List[Tuple[Selector, StyleRule]] = []
+        ident = element.element_id
+        if ident and ident in self.by_id:
+            candidates.extend(self.by_id[ident])
+        for cls in element.classes:
+            bucket = self.by_class.get(cls)
+            if bucket:
+                candidates.extend(bucket)
+        bucket = self.by_tag.get(element.tag)
+        if bucket:
+            candidates.extend(bucket)
+        candidates.extend(self.universal)
+        return candidates
+
+
+def match_element(
+    ctx: EngineContext, index: RuleIndex, element: Element
+) -> List[MatchedRule]:
+    """Traced rule matching for one element."""
+    tracer = ctx.tracer
+    matched: List[MatchedRule] = []
+    candidates = index.candidates_for(element)
+    with tracer.function("blink::css::StyleResolver::MatchRules"):
+        tracer.op(
+            "probe_buckets",
+            reads=(element.cell("tag"),),
+            writes=(element.cell("match_state"),),
+        )
+        for i, (selector, rule) in enumerate(candidates):
+            # One compare per candidate, reading the compiled selector and
+            # the element identity cells the subject compound tests.
+            identity = _identity_cells(element, selector)
+            tracer.compare_and_branch(
+                f"try{i % 16}",
+                reads=(rule.selector_cell,) + identity,
+            )
+            if i % 6 == 0:
+                ctx.plain_helper("memcmp", reads=(rule.selector_cell,) + identity[:1])
+            if selector.matches(element):
+                rule.ever_matched = True
+                match_cell = element.cell(f"match:{len(matched) % 32}")
+                matched.append(MatchedRule(selector, rule, match_cell))
+                tracer.op(
+                    f"collect{i % 16}",
+                    reads=(rule.selector_cell,) + identity,
+                    writes=(match_cell,),
+                )
+    matched.sort(key=MatchedRule.sort_key)
+    return matched
+
+
+def _identity_cells(element: Element, selector) -> tuple:
+    """Element cells the subject compound of ``selector`` reads."""
+    subject = selector.subject()
+    cells = [element.cell("tag")]
+    if subject.element_id is not None:
+        cells.append(element.cell("attr:id"))
+    if subject.classes:
+        cells.append(element.cell("attr:class"))
+    for attr_name, _ in subject.attributes:
+        cells.append(element.cell(f"attr:{attr_name}"))
+    return tuple(cells)

@@ -1,0 +1,85 @@
+"""User-agent stylesheet: per-tag default property values.
+
+Real engines cascade author rules over a built-in UA sheet; without it a
+``div`` would be inline and ``<head>`` would render.  Values here are the
+pragmatic subset our property registry supports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..css.values import Color, Length, Value
+
+#: tag -> {property -> value} applied before author rules.
+UA_DEFAULTS: Dict[str, Dict[str, Value]] = {
+    # Non-rendered elements.
+    "head": {"display": "none"},
+    "title": {"display": "none"},
+    "meta": {"display": "none"},
+    "link": {"display": "none"},
+    "script": {"display": "none"},
+    "style": {"display": "none"},
+    "template": {"display": "none"},
+    # Block containers.
+    "html": {"display": "block"},
+    "body": {"display": "block", "margin-top": Length(8), "margin-bottom": Length(8),
+             "margin-left": Length(8), "margin-right": Length(8)},
+    "div": {"display": "block"},
+    "p": {"display": "block", "margin-top": Length(16), "margin-bottom": Length(16)},
+    "section": {"display": "block"},
+    "article": {"display": "block"},
+    "header": {"display": "block"},
+    "footer": {"display": "block"},
+    "nav": {"display": "block"},
+    "aside": {"display": "block"},
+    "main": {"display": "block"},
+    "ul": {"display": "block", "margin-top": Length(16), "margin-bottom": Length(16),
+           "padding-left": Length(40)},
+    "ol": {"display": "block", "padding-left": Length(40)},
+    "li": {"display": "block"},
+    "form": {"display": "block"},
+    "table": {"display": "block"},
+    "tr": {"display": "block"},
+    "td": {"display": "inline"},
+    "th": {"display": "inline", "font-weight": "bold"},
+    "h1": {"display": "block", "font-size": Length(32), "line-height": Length(38),
+           "font-weight": "bold", "margin-top": Length(21), "margin-bottom": Length(21)},
+    "h2": {"display": "block", "font-size": Length(24), "line-height": Length(29),
+           "font-weight": "bold", "margin-top": Length(20), "margin-bottom": Length(20)},
+    "h3": {"display": "block", "font-size": Length(19), "line-height": Length(23),
+           "font-weight": "bold", "margin-top": Length(18), "margin-bottom": Length(18)},
+    "h4": {"display": "block", "font-weight": "bold"},
+    "hr": {"display": "block", "height": Length(1),
+           "background-color": Color(128, 128, 128)},
+    "pre": {"display": "block"},
+    "blockquote": {"display": "block", "margin-left": Length(40)},
+    # Inline elements.
+    "span": {"display": "inline"},
+    "a": {"display": "inline", "color": Color(17, 85, 204)},
+    "b": {"display": "inline", "font-weight": "bold"},
+    "strong": {"display": "inline", "font-weight": "bold"},
+    "i": {"display": "inline"},
+    "em": {"display": "inline"},
+    "small": {"display": "inline", "font-size": Length(13)},
+    "label": {"display": "inline"},
+    # Replaced / widget elements: simple fixed-size blocks.
+    "img": {"display": "block"},
+    "canvas": {"display": "block"},
+    "video": {"display": "block"},
+    "iframe": {"display": "block"},
+    "button": {"display": "block", "width": Length(96), "height": Length(28),
+               "background-color": Color(239, 239, 239)},
+    "input": {"display": "block", "width": Length(180), "height": Length(24),
+              "background-color": Color(255, 255, 255),
+              "border-width": Length(1), "border-color": Color(118, 118, 118)},
+    "select": {"display": "block", "width": Length(120), "height": Length(24),
+               "background-color": Color(255, 255, 255)},
+    "textarea": {"display": "block", "width": Length(200), "height": Length(60),
+                 "background-color": Color(255, 255, 255)},
+}
+
+
+def ua_defaults_for(tag: str) -> Dict[str, Value]:
+    """UA default property values for ``tag`` (empty for unknown tags)."""
+    return UA_DEFAULTS.get(tag, {})

@@ -1,0 +1,32 @@
+"""Experiment harness: end-to-end runners, paper references, reports."""
+
+from .experiments import ExperimentResult, cached_run, run_benchmark, run_engine
+from .paper import TABLE1, TABLE2, TABLE2_AVERAGE_SLICE, Table2Column, table2_column
+from .reporting import (
+    bing_partial_report,
+    figure2_report,
+    figure4_report,
+    figure5_report,
+    run_all_table2,
+    table1_report,
+    table2_report,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "run_benchmark",
+    "run_engine",
+    "cached_run",
+    "TABLE1",
+    "TABLE2",
+    "TABLE2_AVERAGE_SLICE",
+    "Table2Column",
+    "table2_column",
+    "table1_report",
+    "table2_report",
+    "figure2_report",
+    "figure4_report",
+    "figure5_report",
+    "bing_partial_report",
+    "run_all_table2",
+]

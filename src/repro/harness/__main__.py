@@ -1,0 +1,72 @@
+"""Command-line entry point: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    python -m repro.harness table1
+    python -m repro.harness table2
+    python -m repro.harness fig2
+    python -m repro.harness fig4
+    python -m repro.harness fig5
+    python -m repro.harness bing-partial
+    python -m repro.harness all
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import cached_run
+from .reporting import (
+    bing_partial_report,
+    figure2_report,
+    figure4_report,
+    figure5_report,
+    run_all_table2,
+    table1_report,
+    table2_report,
+)
+
+_TARGETS = ("table1", "table2", "fig2", "fig4", "fig5", "bing-partial", "all")
+
+
+def _table1() -> str:
+    load = {
+        "amazon_desktop": cached_run("amazon_desktop"),
+        "bing": cached_run("bing_load_only"),
+        "google_maps": cached_run("google_maps"),
+    }
+    browse = {
+        "amazon_desktop": cached_run("amazon_desktop_browse"),
+        "bing": cached_run("bing"),
+        "google_maps": cached_run("google_maps_browse"),
+    }
+    return table1_report(load, browse)
+
+
+def main(argv) -> int:
+    if len(argv) != 1 or argv[0] not in _TARGETS:
+        print(__doc__)
+        return 2
+    target = argv[0]
+    if target in ("table1", "all"):
+        print(_table1())
+        print()
+    if target in ("table2", "all"):
+        print(table2_report(run_all_table2()))
+        print()
+    if target in ("fig2", "all"):
+        print(figure2_report(cached_run("amazon_desktop_browse")))
+        print()
+    if target in ("fig4", "all"):
+        print(figure4_report(run_all_table2()))
+        print()
+    if target in ("fig5", "all"):
+        print(figure5_report(run_all_table2()))
+        print()
+    if target in ("bing-partial", "all"):
+        print(bing_partial_report(cached_run("bing")))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,41 @@
+"""Synthetic machine: the Pin-substitute trace-collection substrate.
+
+Provides the abstract address space, the x86-64-like register file and
+syscall ABI models, a virtual clock with per-thread busy accounting, and the
+:class:`Tracer` through which the simulated browser engine emits
+instruction/memory traces.
+"""
+
+from .clock import VirtualClock
+from .memory import AddressSpace, MemRegion
+from .registers import (
+    FLAGS,
+    NUM_REGISTERS,
+    REGISTER_NAMES,
+    SYSCALL_ARG_REGISTERS,
+    SYSCALL_RESULT_REGISTERS,
+    register_name,
+)
+from .syscalls import BY_NAME, BY_NUMBER, OUTPUT_SYSCALL_NUMBERS, SyscallModel, model_for
+from .tracer import FN_SPAN, LOAD_COMPLETE_MARKER, TILE_MARKER, Tracer
+
+__all__ = [
+    "AddressSpace",
+    "MemRegion",
+    "VirtualClock",
+    "Tracer",
+    "FN_SPAN",
+    "TILE_MARKER",
+    "LOAD_COMPLETE_MARKER",
+    "FLAGS",
+    "NUM_REGISTERS",
+    "REGISTER_NAMES",
+    "SYSCALL_ARG_REGISTERS",
+    "SYSCALL_RESULT_REGISTERS",
+    "SyscallModel",
+    "BY_NAME",
+    "BY_NUMBER",
+    "OUTPUT_SYSCALL_NUMBERS",
+    "model_for",
+    "register_name",
+]

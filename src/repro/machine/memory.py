@@ -1,0 +1,110 @@
+"""Abstract address space of the simulated tab process.
+
+Every engine datum that participates in dataflow (a DOM node field, a
+computed style property, a layout coordinate, a display item, a 64x64 pixel
+block of a raster tile, a chunk of downloaded resource bytes, ...) is backed
+by one or more abstract word-granular memory cells.  The slicer tracks
+liveness of these cells exactly as the paper's profiler tracks exact memory
+addresses from the Pin trace — there is no aliasing by construction.
+
+Threads share one address space (the paper: "we should not have separate
+live memory sets for different threads"), while stacks are carved out of
+distinct regions per thread purely for realism of address layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class MemRegion:
+    """A contiguous run of abstract cells belonging to one named object."""
+
+    __slots__ = ("name", "base", "size")
+
+    def __init__(self, name: str, base: int, size: int) -> None:
+        self.name = name
+        self.base = base
+        self.size = size
+
+    def cell(self, index: int = 0) -> int:
+        """Address of the ``index``-th cell; bounds-checked."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"{self.name}: cell {index} out of {self.size}")
+        return self.base + index
+
+    def cells(self, start: int = 0, count: int = None) -> Tuple[int, ...]:
+        """Addresses of ``count`` cells starting at ``start``."""
+        if count is None:
+            count = self.size - start
+        if start < 0 or start + count > self.size:
+            raise IndexError(
+                f"{self.name}: cells [{start}, {start + count}) out of {self.size}"
+            )
+        return tuple(range(self.base + start, self.base + start + count))
+
+    def all_cells(self) -> Tuple[int, ...]:
+        """Addresses of every cell in the region."""
+        return tuple(range(self.base, self.base + self.size))
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"MemRegion({self.name!r}, base={self.base:#x}, size={self.size})"
+
+
+class AddressSpace:
+    """Bump allocator handing out non-overlapping :class:`MemRegion` s."""
+
+    #: Leave the null page unused so address 0 never appears in a trace.
+    _BASE = 0x1000
+
+    def __init__(self) -> None:
+        self._next = self._BASE
+        self._regions: List[MemRegion] = []
+
+    def alloc(self, name: str, size: int) -> MemRegion:
+        """Allocate ``size`` cells for the object called ``name``."""
+        if size <= 0:
+            raise ValueError(f"{name}: region size must be positive, got {size}")
+        region = MemRegion(name, self._next, size)
+        self._next += size
+        self._regions.append(region)
+        return region
+
+    def alloc_cell(self, name: str) -> int:
+        """Allocate a single cell and return its address directly."""
+        return self.alloc(name, 1).cell(0)
+
+    def regions(self) -> List[MemRegion]:
+        return list(self._regions)
+
+    def find_region(self, addr: int) -> MemRegion:
+        """Locate the region owning ``addr`` (diagnostics; O(log n))."""
+        lo, hi = 0, len(self._regions)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            region = self._regions[mid]
+            if addr < region.base:
+                hi = mid
+            elif addr >= region.base + region.size:
+                lo = mid + 1
+            else:
+                return region
+        raise KeyError(f"address {addr:#x} not in any region")
+
+    def total_allocated(self) -> int:
+        """Total number of cells handed out so far."""
+        return self._next - self._BASE
+
+    def usage_by_prefix(self) -> Dict[str, int]:
+        """Aggregate allocated cells by the region-name prefix before ':'."""
+        usage: Dict[str, int] = {}
+        for region in self._regions:
+            prefix = region.name.split(":", 1)[0]
+            usage[prefix] = usage.get(prefix, 0) + region.size
+        return usage

@@ -1,0 +1,50 @@
+"""Architectural registers of the synthetic machine.
+
+The register file deliberately mirrors x86-64 (the architecture the paper
+instruments with Pin) closely enough that the AMD64 syscall ABI can be
+modelled faithfully: arguments in RDI/RSI/RDX/R10/R8/R9, result in RAX,
+RCX and R11 clobbered by ``syscall``.
+
+Each thread has its own architectural register context, so the slicer keeps
+one live-register set per thread (paper Section III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+FLAGS = 0
+RAX = 1
+RBX = 2
+RCX = 3
+RDX = 4
+RSI = 5
+RDI = 6
+RBP = 7
+RSP = 8
+R8 = 9
+R9 = 10
+R10 = 11
+R11 = 12
+R12 = 13
+R13 = 14
+R14 = 15
+R15 = 16
+
+NUM_REGISTERS = 17
+
+REGISTER_NAMES: Tuple[str, ...] = (
+    "flags", "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+#: Registers carrying syscall arguments 1..6 in the AMD64 ABI.
+SYSCALL_ARG_REGISTERS: Tuple[int, ...] = (RDI, RSI, RDX, R10, R8, R9)
+
+#: Registers written by the ``syscall`` instruction itself.
+SYSCALL_RESULT_REGISTERS: Tuple[int, ...] = (RAX, RCX, R11)
+
+
+def register_name(reg: int) -> str:
+    """Human-readable name of a register id."""
+    return REGISTER_NAMES[reg]

@@ -1,0 +1,79 @@
+"""System call models (AMD64 Linux subset used by the simulated browser).
+
+The paper's Pin tool records, for every syscall Chromium executes, which
+memory locations the kernel reads and writes (derived from the Linux manual)
+and which registers are manipulated (from the AMD64 ABI).  This module is
+the equivalent table for the syscalls our simulated engine issues.
+
+Each :class:`SyscallModel` describes the *static* shape; the concrete memory
+addresses touched by a particular dynamic syscall are supplied by the
+emitting engine component (e.g. the network stack passes the receive-buffer
+cells of a ``recvfrom``) — just as the Pin tool resolves ``buf``/``len`` at
+run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class SyscallModel:
+    """Static description of one system call.
+
+    Attributes:
+        number: Linux syscall number (AMD64 table).
+        name: syscall name.
+        nargs: number of argument registers consumed.
+        reads_user_memory: whether the kernel reads caller memory
+            (e.g. ``sendto`` reads ``buf`` and ``dest_addr``).
+        writes_user_memory: whether the kernel writes caller memory
+            (e.g. ``recvfrom`` fills ``buf``).
+        is_output: True when the call externalizes data (network send,
+            file/terminal write, display flush).  Output syscalls are the
+            anchor points of the paper's syscall-based slicing criteria.
+    """
+
+    number: int
+    name: str
+    nargs: int
+    reads_user_memory: bool = False
+    writes_user_memory: bool = False
+    is_output: bool = False
+
+
+_MODELS = (
+    SyscallModel(0, "read", 3, writes_user_memory=True),
+    SyscallModel(1, "write", 3, reads_user_memory=True, is_output=True),
+    SyscallModel(3, "close", 1),
+    SyscallModel(9, "mmap", 6),
+    SyscallModel(11, "munmap", 2),
+    SyscallModel(20, "writev", 3, reads_user_memory=True, is_output=True),
+    SyscallModel(24, "sched_yield", 0),
+    SyscallModel(41, "socket", 3),
+    SyscallModel(42, "connect", 3, reads_user_memory=True, is_output=True),
+    SyscallModel(44, "sendto", 6, reads_user_memory=True, is_output=True),
+    SyscallModel(45, "recvfrom", 6, writes_user_memory=True),
+    SyscallModel(186, "gettid", 0),
+    SyscallModel(202, "futex", 6, reads_user_memory=True, writes_user_memory=True),
+    SyscallModel(228, "clock_gettime", 2, writes_user_memory=True),
+    SyscallModel(232, "epoll_wait", 4, writes_user_memory=True),
+    SyscallModel(257, "openat", 4, reads_user_memory=True),
+    SyscallModel(281, "epoll_pwait", 6, writes_user_memory=True),
+)
+
+BY_NAME: Dict[str, SyscallModel] = {m.name: m for m in _MODELS}
+BY_NUMBER: Dict[int, SyscallModel] = {m.number: m for m in _MODELS}
+
+#: Syscall numbers whose dynamic instances anchor syscall-based slicing
+#: criteria (Section IV-C: "the values used by any system calls" — we seed
+#: liveness from the *inputs* of calls that externalize data).
+OUTPUT_SYSCALL_NUMBERS: Tuple[int, ...] = tuple(
+    m.number for m in _MODELS if m.is_output
+)
+
+
+def model_for(name: str) -> SyscallModel:
+    """Return the model for ``name``; raises ``KeyError`` if unknown."""
+    return BY_NAME[name]

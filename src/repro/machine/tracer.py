@@ -1,0 +1,285 @@
+"""The tracer: produces Pin-style instruction traces from engine activity.
+
+The simulated browser engine performs its semantic work in Python (real
+parsing, real layout arithmetic, real pixel blending) and *mirrors the
+dataflow* of that work through this tracer: every primitive step emits one
+:class:`~repro.trace.records.TraceRecord` naming the abstract memory cells
+and registers it reads and writes.  Control decisions emit a ``cmp``/
+``branch`` pair so that liveness flows from branch conditions back into the
+data that produced them, and the dynamic CFG has real diamonds and back
+edges.
+
+Program counters are stable per (function symbol, emit-site label): the same
+static instruction always executes at the same pc, which is what makes
+dynamic CFG construction (paper Section III-A) well-defined.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+from ..trace.records import InstrKind, TraceRecord, TraceMetadata
+from ..trace.store import TraceStore
+from ..trace.symbols import SymbolTable
+from .clock import VirtualClock
+from .registers import (
+    FLAGS,
+    SYSCALL_ARG_REGISTERS,
+    SYSCALL_RESULT_REGISTERS,
+)
+from .syscalls import BY_NAME
+
+#: pc space reserved per function; functions can have up to this many sites.
+FN_SPAN = 1 << 20
+
+#: Marker tags with dedicated side-channel handling.
+TILE_MARKER = "tile_ready"
+LOAD_COMPLETE_MARKER = "load_complete"
+
+
+class _ThreadState:
+    """Per-thread call stack of function symbol ids."""
+
+    __slots__ = ("tid", "name", "stack")
+
+    def __init__(self, tid: int, name: str, root_fn: int) -> None:
+        self.tid = tid
+        self.name = name
+        self.stack: List[int] = [root_fn]
+
+
+class Tracer:
+    """Collects the instruction trace of the simulated tab process."""
+
+    def __init__(
+        self,
+        symbols: Optional[SymbolTable] = None,
+        clock: Optional[VirtualClock] = None,
+    ) -> None:
+        self.symbols = symbols if symbols is not None else SymbolTable()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.store = TraceStore(self.symbols, TraceMetadata())
+        self._sites: Dict[Tuple[int, str], int] = {}
+        self._site_counts: Dict[int, int] = {}
+        self._threads: Dict[int, _ThreadState] = {}
+        self._tid: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Threads                                                            #
+    # ------------------------------------------------------------------ #
+
+    def spawn_thread(self, tid: int, name: str, root_function: str) -> None:
+        """Register a thread whose outermost frame is ``root_function``."""
+        if tid in self._threads:
+            raise ValueError(f"thread {tid} already exists")
+        root_fn = self.symbols.intern(root_function)
+        self._threads[tid] = _ThreadState(tid, name, root_fn)
+        self.store.metadata.thread_names[tid] = name
+        if self._tid is None:
+            self._tid = tid
+
+    def switch(self, tid: int) -> None:
+        """Make ``tid`` the currently executing thread."""
+        if tid not in self._threads:
+            raise KeyError(f"unknown thread {tid}")
+        self._tid = tid
+
+    @property
+    def current_tid(self) -> int:
+        if self._tid is None:
+            raise RuntimeError("no thread spawned yet")
+        return self._tid
+
+    def _state(self) -> _ThreadState:
+        return self._threads[self.current_tid]
+
+    def current_function(self) -> int:
+        """Symbol id of the function on top of the current thread's stack."""
+        return self._state().stack[-1]
+
+    # ------------------------------------------------------------------ #
+    # pc management                                                      #
+    # ------------------------------------------------------------------ #
+
+    def _pc(self, fn: int, label: str) -> int:
+        key = (fn, label)
+        pc = self._sites.get(key)
+        if pc is None:
+            index = self._site_counts.get(fn, 0)
+            if index >= FN_SPAN:
+                raise OverflowError(
+                    f"function {self.symbols.name(fn)} exceeded {FN_SPAN} sites"
+                )
+            self._site_counts[fn] = index + 1
+            pc = (fn + 1) * FN_SPAN + index
+            self._sites[key] = pc
+        return pc
+
+    def pc_of(self, function: str, label: str) -> Optional[int]:
+        """Look up the pc of an already-observed emit site (diagnostics)."""
+        fn = self.symbols.lookup(function)
+        if fn is None:
+            return None
+        return self._sites.get((fn, label))
+
+    # ------------------------------------------------------------------ #
+    # Record emission                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, record: TraceRecord) -> int:
+        self.clock.tick(record.tid)
+        return self.store.append(record)
+
+    def op(
+        self,
+        label: str,
+        reads: Tuple[int, ...] = (),
+        writes: Tuple[int, ...] = (),
+        reg_reads: Tuple[int, ...] = (),
+        reg_writes: Tuple[int, ...] = (),
+    ) -> int:
+        """Emit an ordinary data-operation record at site ``label``."""
+        fn = self.current_function()
+        return self._emit(
+            TraceRecord(
+                tid=self.current_tid,
+                pc=self._pc(fn, label),
+                kind=InstrKind.OP,
+                fn=fn,
+                regs_read=tuple(reg_reads),
+                regs_written=tuple(reg_writes),
+                mem_read=tuple(reads),
+                mem_written=tuple(writes),
+            )
+        )
+
+    def compare_and_branch(self, label: str, reads: Tuple[int, ...]) -> None:
+        """Emit a decision point: ``cmp`` (reads cells, sets FLAGS) + branch.
+
+        The engine calls this once per evaluation of a conditional; the
+        branch's dynamic successors (whatever records follow in this
+        function) define the control dependences discovered by the CDG.
+        """
+        fn = self.current_function()
+        tid = self.current_tid
+        self._emit(
+            TraceRecord(
+                tid=tid,
+                pc=self._pc(fn, label + "$cmp"),
+                kind=InstrKind.CMP,
+                fn=fn,
+                regs_written=(FLAGS,),
+                mem_read=tuple(reads),
+            )
+        )
+        self._emit(
+            TraceRecord(
+                tid=tid,
+                pc=self._pc(fn, label + "$br"),
+                kind=InstrKind.BRANCH,
+                fn=fn,
+                regs_read=(FLAGS,),
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Functions                                                          #
+    # ------------------------------------------------------------------ #
+
+    def call(self, function: str, site: Optional[str] = None) -> None:
+        """Emit a CALL at the caller and push ``function``."""
+        state = self._state()
+        caller = state.stack[-1]
+        callee = self.symbols.intern(function)
+        label = site if site is not None else f"call:{function}"
+        self._emit(
+            TraceRecord(
+                tid=state.tid,
+                pc=self._pc(caller, label),
+                kind=InstrKind.CALL,
+                fn=caller,
+            )
+        )
+        state.stack.append(callee)
+
+    def ret(self) -> None:
+        """Emit a RET in the current function and pop it."""
+        state = self._state()
+        if len(state.stack) <= 1:
+            raise RuntimeError(f"thread {state.tid}: return from root frame")
+        fn = state.stack[-1]
+        self._emit(
+            TraceRecord(
+                tid=state.tid,
+                pc=self._pc(fn, "$ret"),
+                kind=InstrKind.RET,
+                fn=fn,
+            )
+        )
+        state.stack.pop()
+
+    @contextmanager
+    def function(self, name: str, site: Optional[str] = None):
+        """Context manager bracketing a function invocation."""
+        self.call(name, site)
+        try:
+            yield
+        finally:
+            self.ret()
+
+    # ------------------------------------------------------------------ #
+    # Syscalls and markers                                               #
+    # ------------------------------------------------------------------ #
+
+    def syscall(
+        self,
+        name: str,
+        reads: Tuple[int, ...] = (),
+        writes: Tuple[int, ...] = (),
+    ) -> int:
+        """Emit a SYSCALL record with AMD64 ABI register effects.
+
+        ``reads``/``writes`` are the concrete user-memory cells the kernel
+        touches for this dynamic instance (resolved by the caller, as the
+        paper's Pin tool resolves ``buf``/``dest_addr`` pointers).
+        """
+        model = BY_NAME[name]
+        fn = self.current_function()
+        return self._emit(
+            TraceRecord(
+                tid=self.current_tid,
+                pc=self._pc(fn, f"syscall:{name}"),
+                kind=InstrKind.SYSCALL,
+                fn=fn,
+                regs_read=SYSCALL_ARG_REGISTERS[: model.nargs],
+                regs_written=SYSCALL_RESULT_REGISTERS,
+                mem_read=tuple(reads),
+                mem_written=tuple(writes),
+                syscall=model.number,
+            )
+        )
+
+    def marker(self, tag: str, cells: Tuple[int, ...] = ()) -> int:
+        """Emit a MARKER record (the paper's ``xchg %r13w,%r13w``).
+
+        ``TILE_MARKER`` markers additionally log (record index, pixel
+        cells) into the trace metadata — the equivalent of the external
+        file written by the paper's modified ``PlaybackToMemory``.
+        """
+        fn = self.current_function()
+        index = self._emit(
+            TraceRecord(
+                tid=self.current_tid,
+                pc=self._pc(fn, f"marker:{tag}"),
+                kind=InstrKind.MARKER,
+                fn=fn,
+                mem_read=tuple(cells),
+                marker=tag,
+            )
+        )
+        if tag == TILE_MARKER:
+            self.store.metadata.tile_buffers.append((index, tuple(cells)))
+        elif tag == LOAD_COMPLETE_MARKER:
+            self.store.metadata.load_complete_index = index
+        return index

@@ -1,0 +1,89 @@
+"""High-level profiler facade.
+
+``Profiler`` bundles the forward pass (dynamic CFGs, postdominators,
+control-dependence index — computed once, reused across criteria, as the
+paper notes) with backward slicing runs and the derived statistics.
+
+Typical use::
+
+    from repro.profiler import Profiler
+    from repro.profiler.criteria import pixel_criteria
+
+    prof = Profiler(trace_store)
+    result = prof.slice(pixel_criteria(trace_store), sample_every=10_000)
+    stats = prof.statistics(result)
+    print(f"pixel slice: {stats.fraction:.0%} of {stats.total} instructions")
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..trace.store import TraceStore
+from .categorize import CategoryDistribution, categorize_unnecessary
+from .cdg import ControlDependenceIndex
+from .cfg import build_cfgs
+from .criteria import (
+    SlicingCriteria,
+    combined_criteria,
+    pixel_criteria,
+    syscall_criteria,
+)
+from .slicer import BackwardSlicer, SliceResult, SlicerOptions, DEFAULT_OPTIONS
+from .stats import SliceStatistics, compute_statistics
+
+
+class Profiler:
+    """Dynamic backward-slicing profiler over one instruction trace."""
+
+    def __init__(self, store: TraceStore) -> None:
+        self._store = store
+        self._cdi: Optional[ControlDependenceIndex] = None
+
+    @property
+    def store(self) -> TraceStore:
+        return self._store
+
+    def control_dependence_index(self) -> ControlDependenceIndex:
+        """Run (or reuse) the forward pass: CFGs + postdominators + CDG."""
+        if self._cdi is None:
+            self._cdi = ControlDependenceIndex(build_cfgs(self._store.forward()))
+        return self._cdi
+
+    def slice(
+        self,
+        criteria: SlicingCriteria,
+        sample_every: Optional[int] = None,
+        main_tid: Optional[int] = None,
+        options: SlicerOptions = DEFAULT_OPTIONS,
+    ) -> SliceResult:
+        """Run the backward pass for ``criteria``."""
+        slicer = BackwardSlicer(
+            self._store,
+            self.control_dependence_index(),
+            criteria,
+            sample_every=sample_every,
+            main_tid=main_tid,
+            options=options,
+        )
+        return slicer.run()
+
+    def pixel_slice(self, sample_every: Optional[int] = None) -> SliceResult:
+        """Slice on the pixels-buffer criteria (the paper's headline run)."""
+        return self.slice(pixel_criteria(self._store), sample_every=sample_every)
+
+    def syscall_slice(self, sample_every: Optional[int] = None) -> SliceResult:
+        """Slice on the syscall criteria."""
+        return self.slice(syscall_criteria(self._store), sample_every=sample_every)
+
+    def combined_slice(self, sample_every: Optional[int] = None) -> SliceResult:
+        """Slice on pixels + syscalls together."""
+        return self.slice(combined_criteria(self._store), sample_every=sample_every)
+
+    def statistics(self, result: SliceResult) -> SliceStatistics:
+        """Per-thread and overall statistics of a slice."""
+        return compute_statistics(self._store, result)
+
+    def categorize(self, result: SliceResult) -> CategoryDistribution:
+        """Namespace categorization of the non-slice instructions."""
+        return categorize_unnecessary(self._store, result)

@@ -1,0 +1,124 @@
+"""Call-tree profile: self/total instruction counts with slice splits.
+
+Reconstructs the dynamic call tree from the trace's CALL/RET structure and
+aggregates, per call path, how many instructions executed and how many
+joined the slice — a flame-graph-style view of where the unnecessary
+computation sits, complementary to the flat per-function table in
+:func:`repro.profiler.stats.per_function_fractions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..trace.records import InstrKind
+from ..trace.store import TraceStore
+from .slicer import SliceResult
+
+
+@dataclass
+class CallNode:
+    """One function in the aggregated dynamic call tree."""
+
+    fn: int
+    name: str
+    #: records executed directly in this function (per call path)
+    self_records: int = 0
+    self_sliced: int = 0
+    calls: int = 0
+    children: Dict[int, "CallNode"] = field(default_factory=dict)
+
+    def total_records(self) -> int:
+        return self.self_records + sum(c.total_records() for c in self.children.values())
+
+    def total_sliced(self) -> int:
+        return self.self_sliced + sum(c.total_sliced() for c in self.children.values())
+
+    def child(self, fn: int, name: str) -> "CallNode":
+        node = self.children.get(fn)
+        if node is None:
+            node = CallNode(fn=fn, name=name)
+            self.children[fn] = node
+        return node
+
+
+def build_call_tree(
+    store: TraceStore, result: Optional[SliceResult] = None
+) -> Dict[int, CallNode]:
+    """Aggregate the dynamic call tree per thread (tid -> root node).
+
+    Calls are aggregated by function per parent node, so all invocations
+    of ``f`` from the same caller share one node; direct self-recursion
+    collapses into the recursive function's node (an aggregated-profile
+    view, like a collapsed flame graph).
+    """
+    symbols = store.symbols
+    flags = result.flags if result is not None else None
+    roots: Dict[int, CallNode] = {}
+    stacks: Dict[int, List[CallNode]] = {}
+
+    for i, rec in enumerate(store.forward()):
+        stack = stacks.get(rec.tid)
+        if stack is None:
+            root = CallNode(fn=rec.fn, name=symbols.name(rec.fn))
+            roots[rec.tid] = root
+            stack = [root]
+            stacks[rec.tid] = stack
+        node = stack[-1]
+        if node.fn != rec.fn:
+            # First record of a callee (the preceding record in this thread
+            # was its CALL, which carries the caller's fn) or a truncation
+            # re-base: descend into/create the child node.
+            node = node.child(rec.fn, symbols.name(rec.fn))
+            node.calls += 1
+            stack.append(node)
+        node.self_records += 1
+        if flags is not None and flags[i]:
+            node.self_sliced += 1
+        if rec.kind == InstrKind.RET and len(stack) > 1:
+            stack.pop()
+
+    return roots
+
+
+def render_call_tree(
+    node: CallNode,
+    max_depth: int = 4,
+    min_records: int = 50,
+    _depth: int = 0,
+) -> List[str]:
+    """Indented text rendering, heaviest subtrees first."""
+    total = node.total_records()
+    sliced = node.total_sliced()
+    fraction = sliced / total if total else 0.0
+    lines = [
+        f"{'  ' * _depth}{node.name}  total={total} self={node.self_records} "
+        f"useful={fraction:.0%} calls={node.calls or 1}"
+    ]
+    if _depth >= max_depth:
+        return lines
+    ordered = sorted(node.children.values(), key=lambda c: -c.total_records())
+    for child in ordered:
+        if child.total_records() < min_records:
+            continue
+        lines.extend(render_call_tree(child, max_depth, min_records, _depth + 1))
+    return lines
+
+
+def hottest_paths(
+    roots: Dict[int, CallNode], limit: int = 10
+) -> List[Tuple[str, int, int]]:
+    """(path, total records, sliced records) for the heaviest leaf paths."""
+    results: List[Tuple[str, int, int]] = []
+
+    def walk(node: CallNode, path: str) -> None:
+        here = f"{path}/{node.name}" if path else node.name
+        results.append((here, node.total_records(), node.total_sliced()))
+        for child in node.children.values():
+            walk(child, here)
+
+    for root in roots.values():
+        walk(root, "")
+    results.sort(key=lambda row: -row[1])
+    return results[:limit]

@@ -1,0 +1,155 @@
+"""Dynamic control-flow graph construction (forward pass, part 1).
+
+The profiler builds one CFG per function from the trace of dynamically
+executed instructions (paper Section III-A).  Function boundaries are
+identified by matching CALL and RETURN instructions; building CFGs from the
+*dynamic* trace is necessary because the targets of indirect branches cannot
+be derived statically.  Every CFG gets a virtual EXIT node fed by all
+observed exit points (return sites, plus the last observed pc of frames that
+were still live when trace collection stopped).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..trace.records import InstrKind, TraceRecord
+
+#: Virtual exit node id, shared by every function CFG.  Real pcs are
+#: positive (pc = (fn + 1) * FN_SPAN + site), so -1 can never collide.
+VIRTUAL_EXIT = -1
+
+
+class FunctionCFG:
+    """Aggregated dynamic CFG of one function.
+
+    All invocations of the function contribute nodes and edges; this matches
+    how a static CFG would look restricted to the dynamically exercised
+    paths, which is the object the paper computes postdominators on.
+    """
+
+    __slots__ = ("fn", "succs", "preds", "entries", "exits", "branch_pcs")
+
+    def __init__(self, fn: int) -> None:
+        self.fn = fn
+        self.succs: Dict[int, Set[int]] = {}
+        self.preds: Dict[int, Set[int]] = {}
+        self.entries: Set[int] = set()
+        self.exits: Set[int] = set()
+        self.branch_pcs: Set[int] = set()
+
+    def add_node(self, pc: int) -> None:
+        if pc not in self.succs:
+            self.succs[pc] = set()
+            self.preds[pc] = set()
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.add_node(src)
+        self.add_node(dst)
+        self.succs[src].add(dst)
+        self.preds[dst].add(src)
+
+    def nodes(self) -> Iterable[int]:
+        return self.succs.keys()
+
+    def __len__(self) -> int:
+        return len(self.succs)
+
+    def seal(self) -> None:
+        """Finalize the CFG: ensure every node can reach an exit.
+
+        Nodes without successors are necessarily last-observed pcs of some
+        path, so they are exit points.  This guarantees the virtual EXIT
+        postdominates everything, which the postdominator analysis relies
+        on.
+        """
+        for pc, succ in self.succs.items():
+            if not succ:
+                self.exits.add(pc)
+        if not self.exits and self.succs:
+            # Pure cycle with no observed exit (can only happen on heavily
+            # truncated traces): treat every node as a potential exit.
+            self.exits.update(self.succs.keys())
+
+
+class _Frame:
+    """One live invocation during forward stack reconstruction."""
+
+    __slots__ = ("fn", "last_pc", "awaiting_callee", "call_pc")
+
+    def __init__(self, fn: int) -> None:
+        self.fn = fn
+        self.last_pc: Optional[int] = None
+        self.awaiting_callee = False
+        self.call_pc: Optional[int] = None
+
+
+class DynamicCFGBuilder:
+    """Streams trace records and accumulates per-function CFGs.
+
+    Maintains one call stack per thread; records of different threads may
+    interleave arbitrarily (the trace is a single sequential stream of a
+    multi-threaded process pinned to one core).
+    """
+
+    def __init__(self) -> None:
+        self._cfgs: Dict[int, FunctionCFG] = {}
+        self._stacks: Dict[int, List[_Frame]] = {}
+
+    def _cfg(self, fn: int) -> FunctionCFG:
+        cfg = self._cfgs.get(fn)
+        if cfg is None:
+            cfg = FunctionCFG(fn)
+            self._cfgs[fn] = cfg
+        return cfg
+
+    def feed(self, record: TraceRecord) -> None:
+        stack = self._stacks.setdefault(record.tid, [])
+
+        if stack and stack[-1].awaiting_callee:
+            # Previous record in this thread was a CALL: this record is the
+            # first instruction of the callee.
+            stack[-1].awaiting_callee = False
+            stack.append(_Frame(record.fn))
+        elif not stack:
+            stack.append(_Frame(record.fn))  # thread root frame
+        elif stack[-1].fn != record.fn:
+            # Should not happen with balanced CALL/RET; tolerate anomalies
+            # (e.g. hand-built traces) by re-basing onto a fresh frame.
+            stack.append(_Frame(record.fn))
+
+        frame = stack[-1]
+        cfg = self._cfg(frame.fn)
+        cfg.add_node(record.pc)
+        if frame.last_pc is None:
+            cfg.entries.add(record.pc)
+        else:
+            cfg.add_edge(frame.last_pc, record.pc)
+        frame.last_pc = record.pc
+
+        kind = record.kind
+        if kind == InstrKind.BRANCH:
+            cfg.branch_pcs.add(record.pc)
+        elif kind == InstrKind.CALL:
+            frame.awaiting_callee = True
+        elif kind == InstrKind.RET:
+            cfg.exits.add(record.pc)
+            stack.pop()
+
+    def finish(self) -> Dict[int, FunctionCFG]:
+        """Close truncated frames and seal every CFG."""
+        for stack in self._stacks.values():
+            for frame in stack:
+                if frame.last_pc is not None:
+                    self._cfg(frame.fn).exits.add(frame.last_pc)
+        for cfg in self._cfgs.values():
+            cfg.seal()
+        return self._cfgs
+
+
+def build_cfgs(records: Iterable[TraceRecord]) -> Dict[int, FunctionCFG]:
+    """Convenience wrapper: build all function CFGs from a record stream."""
+    builder = DynamicCFGBuilder()
+    for record in records:
+        builder.feed(record)
+    return builder.finish()

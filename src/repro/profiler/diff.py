@@ -1,0 +1,91 @@
+"""Slice comparison: which computations serve one criterion but not another?
+
+The paper compares the pixel-based and syscall-based slices (Section V:
+"almost the same slice") and the load-only vs full-session Bing slices.
+``SliceDiff`` formalizes those comparisons for any pair of slices over the
+same trace.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..trace.store import TraceStore
+from .slicer import SliceResult
+
+
+@dataclass
+class SliceDiff:
+    """Set relations between two slices of the same trace."""
+
+    name_a: str
+    name_b: str
+    total: int
+    both: int
+    only_a: int
+    only_b: int
+    neither: int
+
+    @property
+    def jaccard(self) -> float:
+        union = self.both + self.only_a + self.only_b
+        return self.both / union if union else 1.0
+
+    @property
+    def a_subset_of_b(self) -> bool:
+        return self.only_a == 0
+
+    @property
+    def b_subset_of_a(self) -> bool:
+        return self.only_b == 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.name_a} vs {self.name_b}: both={self.both} "
+            f"only-{self.name_a}={self.only_a} only-{self.name_b}={self.only_b} "
+            f"neither={self.neither} (jaccard {self.jaccard:.3f})"
+        )
+
+
+def diff_slices(a: SliceResult, b: SliceResult) -> SliceDiff:
+    """Compare two slices record-by-record."""
+    if len(a.flags) != len(b.flags):
+        raise ValueError(
+            f"slices cover different traces ({len(a.flags)} vs {len(b.flags)} records)"
+        )
+    both = only_a = only_b = neither = 0
+    for fa, fb in zip(a.flags, b.flags):
+        if fa and fb:
+            both += 1
+        elif fa:
+            only_a += 1
+        elif fb:
+            only_b += 1
+        else:
+            neither += 1
+    return SliceDiff(
+        name_a=a.criteria_name,
+        name_b=b.criteria_name,
+        total=len(a.flags),
+        both=both,
+        only_a=only_a,
+        only_b=only_b,
+        neither=neither,
+    )
+
+
+def exclusive_functions(
+    store: TraceStore, a: SliceResult, b: SliceResult, limit: int = 15
+) -> List[Tuple[str, int]]:
+    """Functions whose records are in ``b`` but not ``a``, by count.
+
+    For pixel-vs-syscall this lists where the "outputs that are not
+    pixels" live (beacons, metrics flushes, frame swaps).
+    """
+    counts: Counter = Counter()
+    for i, rec in enumerate(store.forward()):
+        if b.flags[i] and not a.flags[i]:
+            counts[store.symbols.name(rec.fn)] += 1
+    return counts.most_common(limit)

@@ -1,0 +1,69 @@
+"""Slice provenance: human-readable explanations of why records joined.
+
+Run the slicer with ``SlicerOptions(track_reasons=True)`` and use
+:func:`explain_record` / :func:`reason_summary` to inspect the result —
+useful when auditing why a supposedly-wasted computation ended up in the
+slice (or vice versa).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from ..machine.syscalls import BY_NUMBER
+from ..trace.store import TraceStore
+from .slicer import SliceResult
+
+
+def explain_record(store: TraceStore, result: SliceResult, index: int) -> str:
+    """One-line explanation for record ``index``."""
+    rec = store.records()[index]
+    fn_name = store.symbols.name(rec.fn)
+    if not result.flags[index]:
+        return f"record {index} ({fn_name}): not in the slice"
+    if result.reasons is None:
+        return (
+            f"record {index} ({fn_name}): in the slice "
+            "(re-run with track_reasons=True for the cause)"
+        )
+    kind, detail = result.reasons.get(index, ("data", -1))
+    if kind == "data":
+        return (
+            f"record {index} ({fn_name}): wrote live memory cell {detail:#x}"
+        )
+    if kind == "register":
+        return f"record {index} ({fn_name}): wrote live register r{detail}"
+    if kind == "control":
+        return (
+            f"record {index} ({fn_name}): branch at pc {detail:#x} controls a "
+            "sliced instruction"
+        )
+    if kind == "call":
+        callee = store.symbols.name(detail) if 0 <= detail < len(store.symbols) else "?"
+        return f"record {index} ({fn_name}): call into needed invocation of {callee}"
+    if kind == "syscall":
+        model = BY_NUMBER.get(detail)
+        name = model.name if model else str(detail)
+        return f"record {index} ({fn_name}): syscall {name} seeds the criteria"
+    return f"record {index} ({fn_name}): in the slice ({kind})"
+
+
+def reason_summary(result: SliceResult) -> Dict[str, int]:
+    """Count sliced records per join-reason kind."""
+    if result.reasons is None:
+        raise ValueError("slice was not run with track_reasons=True")
+    return dict(Counter(kind for kind, _ in result.reasons.values()))
+
+
+def chain_heads(
+    store: TraceStore, result: SliceResult, limit: int = 10
+) -> List[Tuple[int, str]]:
+    """The earliest sliced records (where the useful dataflow originates)."""
+    heads: List[Tuple[int, str]] = []
+    for i, flag in enumerate(result.flags):
+        if flag:
+            heads.append((i, store.symbols.name(store.records()[i].fn)))
+            if len(heads) >= limit:
+                break
+    return heads

@@ -1,0 +1,103 @@
+"""Postdominator computation (forward pass, part 2).
+
+A node ``n`` postdominates ``m`` iff every directed path from ``m`` to the
+exit contains ``n`` (paper Section III-A).  Postdominators of a CFG are the
+dominators of the *reverse* CFG rooted at the virtual EXIT node, so we
+implement the classic Cooper-Harvey-Kennedy iterative dominator algorithm
+("A Simple, Fast Dominance Algorithm") and run it on the reversed graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .cfg import FunctionCFG, VIRTUAL_EXIT
+
+
+def _postorder(root: int, succs: Dict[int, List[int]]) -> List[int]:
+    """Iterative DFS postorder over ``succs`` starting at ``root``."""
+    order: List[int] = []
+    visited = {root}
+    stack: List[tuple] = [(root, iter(succs.get(root, ())))]
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for nxt in it:
+            if nxt not in visited:
+                visited.add(nxt)
+                stack.append((nxt, iter(succs.get(nxt, ()))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    return order
+
+
+def immediate_postdominators(cfg: FunctionCFG) -> Dict[int, int]:
+    """Compute the immediate postdominator of every reachable node.
+
+    Returns a map ``pc -> immediate postdominator pc`` where the virtual
+    exit maps to itself.  Nodes from which the exit is unreachable (possible
+    only in pathological truncated traces; ``FunctionCFG.seal`` prevents it
+    for builder-produced CFGs) are absent from the result.
+    """
+    # Reverse graph: edges exit-ward become root-ward.  The root is
+    # VIRTUAL_EXIT with edges to every observed exit node.
+    rsuccs: Dict[int, List[int]] = {VIRTUAL_EXIT: sorted(cfg.exits)}
+    for pc in cfg.nodes():
+        rsuccs[pc] = sorted(cfg.preds[pc])
+
+    post = _postorder(VIRTUAL_EXIT, rsuccs)
+    rpo = list(reversed(post))  # reverse postorder of the reverse graph
+    index = {node: i for i, node in enumerate(rpo)}
+
+    # Predecessors in the reverse graph are successors in the CFG.
+    def rpreds(node: int) -> List[int]:
+        if node == VIRTUAL_EXIT:
+            return []
+        preds = list(cfg.succs[node])
+        if node in cfg.exits:
+            preds.append(VIRTUAL_EXIT)
+        # In the reverse graph, an exit node's predecessor set includes
+        # VIRTUAL_EXIT only via the edge we added above -- but that edge
+        # goes EXIT -> node, so VIRTUAL_EXIT is a *predecessor* of node in
+        # the reverse graph. (cfg.succs gives the rest.)
+        return preds
+
+    idom: Dict[int, int] = {VIRTUAL_EXIT: VIRTUAL_EXIT}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == VIRTUAL_EXIT:
+                continue
+            new_idom: Optional[int] = None
+            for pred in rpreds(node):
+                if pred in idom:
+                    new_idom = pred if new_idom is None else intersect(pred, new_idom)
+            if new_idom is not None and idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+def postdominates(ipdom: Dict[int, int], a: int, b: int) -> bool:
+    """True iff ``a`` postdominates ``b`` (per the ipdom tree), a != b ok."""
+    node = b
+    while True:
+        if node == a:
+            return True
+        parent = ipdom.get(node)
+        if parent is None or parent == node:
+            return False
+        node = parent

@@ -1,0 +1,79 @@
+"""Trace CLI: collect, inspect, and verify benchmark traces on disk.
+
+Usage::
+
+    python -m repro.trace collect amazon_desktop /tmp/amazon.ucwa
+    python -m repro.trace info /tmp/amazon.ucwa
+    python -m repro.trace slice /tmp/amazon.ucwa
+
+``collect`` runs a registered benchmark and saves its trace; ``info``
+prints per-thread and symbol statistics; ``slice`` runs the pixel-based
+backward slice on a stored trace (demonstrating the collect-once,
+profile-many workflow the paper uses).
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+
+from .store import load_trace, save_trace
+
+
+def _collect(name: str, path: str) -> int:
+    from ..harness.experiments import run_engine
+    from ..workloads import benchmark
+
+    engine = run_engine(benchmark(name))
+    store = engine.trace_store()
+    save_trace(store, path)
+    print(f"saved {len(store)} records ({len(store.thread_ids())} threads) to {path}")
+    return 0
+
+
+def _info(path: str) -> int:
+    store = load_trace(path)
+    print(f"{path}: {len(store)} records")
+    print(f"threads:")
+    counts = store.instructions_per_thread()
+    for tid in store.thread_ids():
+        name = store.metadata.thread_names.get(tid, f"thread-{tid}")
+        print(f"  {name:<28s} {counts[tid]:>8d}")
+    print(f"tile markers: {len(store.metadata.tile_buffers)}")
+    print(f"load-complete index: {store.metadata.load_complete_index}")
+    top = Counter(store.symbols.name(r.fn) for r in store.forward())
+    print("top functions:")
+    for fn_name, count in top.most_common(10):
+        print(f"  {count:>8d} {fn_name}")
+    return 0
+
+
+def _slice(path: str) -> int:
+    from ..profiler import Profiler, pixel_criteria
+
+    store = load_trace(path)
+    profiler = Profiler(store)
+    result = profiler.slice(pixel_criteria(store))
+    stats = profiler.statistics(result)
+    print(f"pixel slice: {stats.fraction:.1%} of {stats.total} records")
+    for thread in stats.threads:
+        print(f"  {thread.name:<28s} {thread.fraction:>6.1%}")
+    return 0
+
+
+def main(argv) -> int:
+    if len(argv) >= 2 and argv[0] == "info":
+        return _info(argv[1])
+    if len(argv) >= 2 and argv[0] == "slice":
+        return _slice(argv[1])
+    if len(argv) >= 3 and argv[0] == "collect":
+        return _collect(argv[1], argv[2])
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:  # e.g. `... | head`
+        sys.exit(0)

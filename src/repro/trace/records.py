@@ -1,0 +1,117 @@
+"""Trace record model.
+
+A trace is a sequence of :class:`TraceRecord` objects, one per dynamically
+executed machine instruction, in program (execution) order.  This mirrors
+the information the paper's Pin tool collects (Section IV-A): static
+information (instruction kind, registers accessed) and dynamic information
+(memory addresses accessed, thread id, syscall number).
+
+Memory is modelled at word granularity: each abstract address identifies one
+slicer-visible location (a "variable" in the paper's terminology).  The
+slicer never needs values, only locations and the dynamic path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class InstrKind(enum.IntEnum):
+    """Kind of a dynamically executed instruction.
+
+    The kinds match what the paper's forward/backward passes need to
+    distinguish: ordinary data operations, compare (flag-setting)
+    operations, conditional branches, call/return pairs (function boundary
+    detection), system calls, and the special marker instruction
+    (``xchg %r13w, %r13w`` in the paper) used to anchor pixel-buffer
+    slicing criteria.
+    """
+
+    OP = 0
+    CMP = 1
+    BRANCH = 2
+    CALL = 3
+    RET = 4
+    SYSCALL = 5
+    MARKER = 6
+
+
+#: Empty tuple singletons used to keep record construction cheap.
+NO_REGS: Tuple[int, ...] = ()
+NO_MEM: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One dynamically executed instruction.
+
+    Attributes:
+        tid: id of the thread that executed the instruction.
+        pc: static program counter.  Stable per (function, emit-site), so
+            repeated executions of the same static instruction share a pc.
+        kind: the :class:`InstrKind`.
+        fn: symbol id of the enclosing function (see
+            :class:`repro.trace.symbols.SymbolTable`).
+        regs_read: architectural registers read (per-thread context).
+        regs_written: architectural registers written.
+        mem_read: abstract word addresses read.
+        mem_written: abstract word addresses written.
+        syscall: syscall number for ``SYSCALL`` records, else ``None``.
+        marker: marker tag for ``MARKER`` records, else ``None``.  Used by
+            slicing criteria to find the program points of interest.
+    """
+
+    tid: int
+    pc: int
+    kind: InstrKind
+    fn: int
+    regs_read: Tuple[int, ...] = NO_REGS
+    regs_written: Tuple[int, ...] = NO_REGS
+    mem_read: Tuple[int, ...] = NO_MEM
+    mem_written: Tuple[int, ...] = NO_MEM
+    syscall: Optional[int] = None
+    marker: Optional[str] = None
+
+    def touches_memory(self) -> bool:
+        """Return True if the instruction accesses any memory location."""
+        return bool(self.mem_read or self.mem_written)
+
+
+@dataclass
+class TraceMetadata:
+    """Side information accompanying a trace.
+
+    The paper stores the pixel-buffer addresses and marker points in an
+    external file written by the modified ``PlaybackToMemory``; this class
+    is the equivalent side channel.
+
+    Attributes:
+        thread_names: tid -> human-readable role ("CrRendererMain",
+            "Compositor", "CompositorTileWorker1", ...).
+        tile_buffers: list of (record_index, tuple-of-pixel-cell-addresses)
+            captured each time a finished tile was written (one entry per
+            MARKER occurrence, in trace order).
+        load_complete_index: record index at which the page finished
+            loading (used for the Bing partial-slice experiment).
+        notes: free-form annotations (workload name, viewport, ...).
+    """
+
+    thread_names: dict = field(default_factory=dict)
+    tile_buffers: list = field(default_factory=list)
+    load_complete_index: Optional[int] = None
+    notes: dict = field(default_factory=dict)
+
+    def main_thread_id(self) -> Optional[int]:
+        """Return the tid of the renderer main thread, if known."""
+        for tid, name in self.thread_names.items():
+            if name == "CrRendererMain":
+                return tid
+        return None
+
+    def thread_ids_by_role(self, prefix: str) -> list:
+        """Return tids whose role name starts with ``prefix``, sorted."""
+        return sorted(
+            tid for tid, name in self.thread_names.items() if name.startswith(prefix)
+        )

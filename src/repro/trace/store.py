@@ -1,0 +1,208 @@
+"""Trace storage: in-memory store plus a compact binary file format.
+
+The paper stores instruction traces in stable storage and streams them in a
+forward pass and a backward pass.  ``TraceStore`` is the in-memory
+equivalent; :func:`save_trace` / :func:`load_trace` provide a durable binary
+round trip so traces can be collected once and profiled many times (the
+paper notes the computed CDG is likewise reusable across criteria).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from .records import InstrKind, TraceRecord, TraceMetadata
+from .symbols import SymbolTable
+
+_HEADER = b"UCWA1\n"  # Unnecessary Computations in Web Apps, format v1
+_REC = struct.Struct("<IQBIhh")  # tid, pc, kind, fn, syscall(+1, -1=None), marker id(+1)
+
+
+class TraceStore:
+    """An in-memory instruction trace with its symbol table and metadata."""
+
+    def __init__(self, symbols: SymbolTable, metadata: TraceMetadata = None) -> None:
+        self.symbols = symbols
+        self.metadata = metadata if metadata is not None else TraceMetadata()
+        self._records: List[TraceRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, idx: int) -> TraceRecord:
+        return self._records[idx]
+
+    def append(self, record: TraceRecord) -> int:
+        """Append a record, returning its index in the trace."""
+        self._records.append(record)
+        return len(self._records) - 1
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        self._records.extend(records)
+
+    def forward(self) -> Iterator[TraceRecord]:
+        """Iterate records in execution order (the profiler's forward pass)."""
+        return iter(self._records)
+
+    def backward(self) -> Iterator[TraceRecord]:
+        """Iterate records in reverse execution order (the backward pass)."""
+        return reversed(self._records)
+
+    def records(self) -> List[TraceRecord]:
+        """Direct access to the underlying record list (read-only use)."""
+        return self._records
+
+    def thread_ids(self) -> List[int]:
+        """Distinct thread ids present in the trace, sorted."""
+        return sorted({r.tid for r in self._records})
+
+    def instructions_per_thread(self) -> dict:
+        """Map tid -> number of records executed by that thread."""
+        counts: dict = {}
+        for record in self._records:
+            counts[record.tid] = counts.get(record.tid, 0) + 1
+        return counts
+
+
+def _pack_addr_list(addrs) -> bytes:
+    return struct.pack("<H", len(addrs)) + struct.pack(f"<{len(addrs)}Q", *addrs)
+
+
+def save_trace(store: TraceStore, path: Union[str, Path]) -> None:
+    """Serialize a :class:`TraceStore` (records + symbols + metadata)."""
+    path = Path(path)
+    markers: List[str] = []
+    marker_ids: dict = {}
+    chunks: List[bytes] = [_HEADER]
+
+    names = [name for _, name in store.symbols]
+    chunks.append(struct.pack("<I", len(names)))
+    for name in names:
+        raw = name.encode("utf-8")
+        chunks.append(struct.pack("<H", len(raw)) + raw)
+
+    chunks.append(struct.pack("<Q", len(store)))
+    for rec in store.forward():
+        syscall = -1 if rec.syscall is None else rec.syscall
+        if rec.marker is None:
+            marker_id = -1
+        else:
+            marker_id = marker_ids.get(rec.marker)
+            if marker_id is None:
+                marker_id = len(markers)
+                markers.append(rec.marker)
+                marker_ids[rec.marker] = marker_id
+        chunks.append(_REC.pack(rec.tid, rec.pc, int(rec.kind), rec.fn, syscall, marker_id))
+        chunks.append(struct.pack("<B", len(rec.regs_read)) + bytes(rec.regs_read))
+        chunks.append(struct.pack("<B", len(rec.regs_written)) + bytes(rec.regs_written))
+        chunks.append(_pack_addr_list(rec.mem_read))
+        chunks.append(_pack_addr_list(rec.mem_written))
+
+    chunks.append(struct.pack("<H", len(markers)))
+    for marker in markers:
+        raw = marker.encode("utf-8")
+        chunks.append(struct.pack("<H", len(raw)) + raw)
+
+    meta = store.metadata
+    chunks.append(struct.pack("<H", len(meta.thread_names)))
+    for tid, name in sorted(meta.thread_names.items()):
+        raw = name.encode("utf-8")
+        chunks.append(struct.pack("<IH", tid, len(raw)) + raw)
+    chunks.append(struct.pack("<I", len(meta.tile_buffers)))
+    for index, cells in meta.tile_buffers:
+        chunks.append(struct.pack("<Q", index) + _pack_addr_list(cells))
+    load_idx = -1 if meta.load_complete_index is None else meta.load_complete_index
+    chunks.append(struct.pack("<q", load_idx))
+
+    path.write_bytes(b"".join(chunks))
+
+
+class _Cursor:
+    """Tiny sequential unpacker over a bytes object."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, fmt: str):
+        st = struct.Struct(fmt)
+        values = st.unpack_from(self.data, self.pos)
+        self.pos += st.size
+        return values
+
+    def take_bytes(self, n: int) -> bytes:
+        raw = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return raw
+
+
+def load_trace(path: Union[str, Path]) -> TraceStore:
+    """Load a trace previously written by :func:`save_trace`."""
+    data = Path(path).read_bytes()
+    if not data.startswith(_HEADER):
+        raise ValueError(f"{path}: not a UCWA trace file")
+    cur = _Cursor(data[len(_HEADER) :])
+
+    symbols = SymbolTable()
+    (n_names,) = cur.take("<I")
+    for _ in range(n_names):
+        (length,) = cur.take("<H")
+        symbols.intern(cur.take_bytes(length).decode("utf-8"))
+
+    (n_records,) = cur.take("<Q")
+    raw_records = []
+    for _ in range(n_records):
+        tid, pc, kind, fn, syscall, marker_id = cur.take("<IQBIhh")
+        (n_rr,) = cur.take("<B")
+        regs_read = tuple(cur.take_bytes(n_rr))
+        (n_rw,) = cur.take("<B")
+        regs_written = tuple(cur.take_bytes(n_rw))
+        (n_mr,) = cur.take("<H")
+        mem_read = cur.take(f"<{n_mr}Q") if n_mr else ()
+        (n_mw,) = cur.take("<H")
+        mem_written = cur.take(f"<{n_mw}Q") if n_mw else ()
+        raw_records.append(
+            (tid, pc, kind, fn, regs_read, regs_written, mem_read, mem_written,
+             None if syscall < 0 else syscall, marker_id)
+        )
+
+    (n_markers,) = cur.take("<H")
+    markers = []
+    for _ in range(n_markers):
+        (length,) = cur.take("<H")
+        markers.append(cur.take_bytes(length).decode("utf-8"))
+
+    store = TraceStore(symbols)
+    for (tid, pc, kind, fn, regs_read, regs_written, mem_read, mem_written,
+         syscall, marker_id) in raw_records:
+        store.append(
+            TraceRecord(
+                tid=tid,
+                pc=pc,
+                kind=InstrKind(kind),
+                fn=fn,
+                regs_read=regs_read,
+                regs_written=regs_written,
+                mem_read=mem_read,
+                mem_written=mem_written,
+                syscall=syscall,
+                marker=None if marker_id < 0 else markers[marker_id],
+            )
+        )
+
+    meta = store.metadata
+    (n_threads,) = cur.take("<H")
+    for _ in range(n_threads):
+        tid, length = cur.take("<IH")
+        meta.thread_names[tid] = cur.take_bytes(length).decode("utf-8")
+    (n_tiles,) = cur.take("<I")
+    for _ in range(n_tiles):
+        (index,) = cur.take("<Q")
+        (n_cells,) = cur.take("<H")
+        cells = cur.take(f"<{n_cells}Q") if n_cells else ()
+        meta.tile_buffers.append((index, tuple(cells)))
+    (load_idx,) = cur.take("<q")
+    meta.load_complete_index = None if load_idx < 0 else load_idx
+    return store

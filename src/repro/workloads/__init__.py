@@ -1,0 +1,69 @@
+"""The paper's benchmark workloads.
+
+Four instruction-trace benchmarks (Table II): Amazon desktop (load),
+Amazon emulated-mobile (load), Google Maps (load), and Bing (load +
+browse); plus the load+browse variants of Amazon and Maps used by Table I
+and Figure 2.
+"""
+
+from typing import Callable, Dict, List
+
+from .amazon import (
+    amazon_browse_actions,
+    amazon_desktop,
+    amazon_desktop_browse,
+    amazon_mobile,
+)
+from .base import Benchmark
+from .bing import bing, bing_actions, bing_load_only
+from .maps import google_maps, google_maps_browse, maps_browse_actions
+from .wiki import wiki_article, wiki_reading_actions
+
+#: The paper's four Table II benchmarks, in column order.
+TABLE2_BENCHMARKS = ("amazon_desktop", "amazon_mobile", "google_maps", "bing")
+
+_REGISTRY: Dict[str, Callable[[], Benchmark]] = {
+    "amazon_desktop": amazon_desktop,
+    "amazon_mobile": amazon_mobile,
+    "google_maps": google_maps,
+    "bing": bing,
+    "bing_load_only": bing_load_only,
+    "amazon_desktop_browse": amazon_desktop_browse,
+    "google_maps_browse": google_maps_browse,
+    "wiki_article": wiki_article,
+}
+
+
+def benchmark(name: str) -> Benchmark:
+    """Instantiate a benchmark by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def benchmark_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+__all__ = [
+    "Benchmark",
+    "benchmark",
+    "benchmark_names",
+    "TABLE2_BENCHMARKS",
+    "amazon_desktop",
+    "amazon_mobile",
+    "amazon_desktop_browse",
+    "amazon_browse_actions",
+    "google_maps",
+    "google_maps_browse",
+    "maps_browse_actions",
+    "bing",
+    "bing_actions",
+    "bing_load_only",
+    "wiki_article",
+    "wiki_reading_actions",
+]

@@ -1,0 +1,287 @@
+"""The Amazon benchmarks: desktop and emulated-mobile views.
+
+Desktop: a content-heavy storefront — navigation chrome with hidden
+dropdowns, a three-slide hero carousel whose back slides are opaque,
+stacked, and therefore occluded (Chromium still rasterizes their backing
+stores), a large product grid with images, deal strips, and a link-farm
+footer below the first view.  Three rasterizer threads, as the paper
+observed for this site.
+
+Mobile: the same storefront in the 360x640 emulated viewport with a much
+simpler first view (the paper notes the mobile trace is less than half the
+desktop one, and the rasterizers' work barely shows on the few pixels).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..browser import EngineConfig, PageSpec, UserAction
+from .base import Benchmark
+from .generator import (
+    css_framework,
+    footer_links,
+    js_analytics_library,
+    js_lazy_widgets,
+    js_utility_library,
+    lorem,
+    nav_menu,
+    product_grid,
+)
+
+_USED_CLASSES = (
+    "page", "header", "logo", "searchbar", "nav-list", "nav-item", "hero",
+    "slide", "card", "card-title", "card-price", "buy-btn", "deals",
+    "deal-item", "footer", "footer-col", "footer-link", "submenu",
+    "submenu-item", "content",
+)
+
+
+def _carousel(rng: random.Random, n_slides: int = 3) -> str:
+    """Hero carousel: opaque slides stacked with decreasing z-index."""
+    slides: List[str] = []
+    colors = ("#232f3e", "#37475a", "#131921")
+    for i in range(n_slides):
+        slides.append(
+            f'<div class="slide" id="slide{i}" '
+            f'style="position:absolute; top:0px; left:0px; width:100%; height:280px; '
+            f'z-index:{n_slides - i}; background-color:{colors[i % len(colors)]}">'
+            f"<h2>{lorem(rng, 5).title()}</h2>"
+            f"<p>{lorem(rng, 12)}</p></div>"
+        )
+    return (
+        '<div class="hero" id="carousel" style="position:relative; height:280px">'
+        + "".join(slides)
+        + '<button id="carousel-next" class="buy-btn">Next</button></div>'
+    )
+
+
+def _amazon_page(
+    *,
+    mobile: bool,
+    n_products: int,
+    n_nav: int,
+    lib_scale: Tuple[int, int],
+    seed: int = 11,
+) -> PageSpec:
+    rng = random.Random(seed)
+    grid, images = product_grid(rng, n_products, card_class="card")
+    view = "mobile" if mobile else "desktop"
+
+    hidden_modal = (
+        '<div id="signin-modal" class="submenu" style="display:none">'
+        + "".join(f"<p>{lorem(rng, 10)}</p>" for _ in range(4))
+        + "</div>"
+    )
+
+    deals = "".join(
+        f'<span class="deal-item" id="deal{i}">{lorem(rng, 3).title()}</span>'
+        for i in range(4 if mobile else 10)
+    )
+
+    html = f"""<!DOCTYPE html>
+<html>
+<head>
+<title>Amazon ({view} view)</title>
+<link rel="stylesheet" href="framework.css">
+<link rel="stylesheet" href="site.css">
+</head>
+<body class="page">
+<div class="header" id="header">
+  <span class="logo" id="logo">amazon</span>
+  <input class="searchbar" id="search-input" type="text">
+  {nav_menu(n_nav, rng, hidden_submenus=3)}
+</div>
+{_carousel(rng)}
+<div class="deals" id="deals">{deals}</div>
+<div class="content" id="grid">
+{grid}
+</div>
+{hidden_modal}
+{footer_links(rng, n_columns=2 if mobile else 4)}
+<script src="jslib.js"></script>
+<script src="app.js"></script>
+<script src="metrics.js"></script>
+</body>
+</html>"""
+
+    n_fns, n_used = lib_scale
+    jslib = "\n".join(
+        (
+            js_utility_library("aui", n_fns, n_used, seed=seed + 1),
+            js_utility_library("p13n", n_fns // 2, n_used, seed=seed + 2),
+            js_lazy_widgets(n_widgets=6 if mobile else 18, n_activated=2),
+        )
+    )
+
+    app_js = f"""
+// storefront bootstrap
+aui_init();
+p13n_init();
+// Personalized deal strip: rendered client-side, like the real thing.
+var deal_count = {4 if mobile else 10};
+for (var d = 0; d < deal_count; d++) {{
+    var deal = document.getElementById('deal' + d);
+    if (deal) {{
+        var pct = (d * 7 + aui_registry.checksum + aui_util0(d + 1, 7)) % 40 + 10;
+        deal.textContent = 'Deal ' + (d + 1) + ': save ' + pct + '%';
+    }}
+}}
+// Client-side price badges on the first grid row.
+for (var b = 0; b < 4; b++) {{
+    var badge = document.getElementById('prod' + b);
+    if (badge) {{
+        badge.setAttribute('data-badge', 'bestseller');
+    }}
+}}
+// Mobile storefront renders card titles client-side.
+var grid_size_titles = {n_products};
+var render_titles = {'true' if mobile else 'false'};
+if (render_titles) {{
+    for (var t = 0; t < grid_size_titles; t++) {{
+        var card = document.getElementById('prod' + t);
+        if (card) {{
+            var price = aui_util1(t + 2, 11) % 90 + 9;
+            var label = card.querySelector('.card-title');
+            if (label) {{
+                label.textContent = 'Item ' + (t + 1) + ' - $' + price;
+            }}
+        }}
+    }}
+}}
+var carousel_state = {{ current: 0, slides: 3 }};
+function carousel_show(index) {{
+    for (var i = 0; i < carousel_state.slides; i++) {{
+        var slide = document.getElementById('slide' + i);
+        if (i === index) {{
+            slide.style.zIndex = '5';
+        }} else {{
+            slide.style.zIndex = '' + (carousel_state.slides - i);
+        }}
+    }}
+    carousel_state.current = index;
+}}
+carousel_show(0);
+document.getElementById('carousel-next').addEventListener('click', function(e) {{
+    var next = (carousel_state.current + 1) % carousel_state.slides;
+    carousel_show(next);
+    metrics_track('carousel');
+}});
+var menu_open = false;
+document.getElementById('nav0').addEventListener('click', function(e) {{
+    var menu = document.getElementById('submenu0');
+    menu_open = !menu_open;
+    menu.style.display = menu_open ? 'block' : 'none';
+    metrics_track('menu');
+}});
+// Register buy buttons (handlers compiled, never clicked at load).
+var grid_size = {n_products};
+for (var p = 0; p < grid_size; p++) {{
+    (function(idx) {{
+        var btn = document.getElementById('prod' + idx + '-buy');
+        if (btn) {{
+            btn.addEventListener('click', function(e) {{
+                metrics_track('buy' + idx);
+            }});
+        }}
+    }})(p);
+}}
+"""
+
+    used = list(_USED_CLASSES)
+    css = css_framework(
+        "aui", used, n_extra_rules=40 if mobile else 110, seed=seed + 3
+    )
+    site_css = f"""
+.page {{ margin: 0; background-color: #ffffff; }}
+.header {{ width: 100%; height: {50 if mobile else 60}px; background-color: #131921; color: white; }}
+.searchbar {{ width: {180 if mobile else 600}px; height: 36px; background-color: #ffffff; }}
+.nav-item {{ display: inline; color: white; padding: 6px; }}
+.card {{ display: inline-block; width: {150 if mobile else 220}px;
+        height: {210 if mobile else 300}px;
+        background-color: #ffffff; margin: 8px; border-width: 1px; }}
+.footer-col {{ display: inline-block; width: 220px; }}
+.card-title {{ font-size: 14px; color: #0f1111; }}
+.card-price {{ font-size: 18px; color: #b12704; font-weight: bold; }}
+.deal-item {{ display: inline; background-color: #eaeded; padding: 8px; margin: 4px; }}
+.footer {{ background-color: #232f3e; color: white; }}
+.footer-link {{ color: #dddddd; font-size: 12px; }}
+.unused-promo-banner {{ width: 980px; height: 90px; background-color: #febd69; }}
+.unused-prime-badge {{ width: 52px; height: 20px; background-color: #00a8e1; }}
+"""
+
+    return PageSpec(
+        url=f"https://www.amazon.com/?view={view}",
+        html=html,
+        stylesheets={"framework.css": css, "site.css": site_css},
+        scripts={
+            "jslib.js": jslib,
+            "app.js": app_js,
+            "metrics.js": js_analytics_library("metrics", beacon_every=8),
+        },
+        images=images,
+    )
+
+
+def amazon_desktop() -> Benchmark:
+    """Amazon in desktop view, load only (paper Table II column 1)."""
+    return Benchmark(
+        name="amazon_desktop",
+        description="Amazon (desktop view): Load",
+        page=_amazon_page(
+            mobile=False, n_products=22, n_nav=10, lib_scale=(84, 32)
+        ),
+        config=EngineConfig(
+            viewport_width=1280,
+            viewport_height=800,
+            raster_threads=3,
+            interest_margin=512,
+            load_animation_ticks=110,
+            seed=11,
+        ),
+    )
+
+
+def amazon_mobile() -> Benchmark:
+    """Amazon in emulated mobile view (360x640), load only."""
+    return Benchmark(
+        name="amazon_mobile",
+        description="Amazon (mobile view): Load",
+        page=_amazon_page(
+            mobile=True, n_products=10, n_nav=5, lib_scale=(44, 24), seed=13
+        ),
+        config=EngineConfig(
+            viewport_width=360,
+            viewport_height=640,
+            raster_threads=2,
+            interest_margin=1600,
+            raster_low_res=True,
+            load_animation_ticks=70,
+            seed=13,
+        ),
+    )
+
+
+def amazon_browse_actions() -> List[UserAction]:
+    """The Figure 2 session: scroll down/up, two photo-roll clicks, menu."""
+    return [
+        UserAction(kind="scroll", amount=400, think_time_ms=900),
+        UserAction(kind="scroll", amount=300, think_time_ms=600),
+        UserAction(kind="scroll", amount=-700, think_time_ms=800),
+        UserAction(kind="click", target_id="carousel-next", think_time_ms=1200),
+        UserAction(kind="click", target_id="carousel-next", think_time_ms=900),
+        UserAction(kind="click", target_id="nav0", think_time_ms=1100),
+    ]
+
+
+def amazon_desktop_browse() -> Benchmark:
+    """Amazon desktop with the Figure 2 browsing session (Table I row)."""
+    base = amazon_desktop()
+    return Benchmark(
+        name="amazon_desktop_browse",
+        description="Amazon (desktop view): Load + Browse",
+        page=base.page,
+        config=base.config,
+        actions=amazon_browse_actions(),
+    )

@@ -1,0 +1,28 @@
+"""Benchmark definition shared by all workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..browser import EngineConfig, PageSpec, UserAction
+
+
+@dataclass
+class Benchmark:
+    """One paper benchmark: a site, an engine config, and a session."""
+
+    name: str
+    description: str
+    page: PageSpec
+    config: EngineConfig
+    #: scripted browsing session (empty for load-only benchmarks)
+    actions: List[UserAction] = field(default_factory=list)
+    #: scripts fetched lazily during the browse phase:
+    #: action index -> {url: source} (models Table I's "more code bytes are
+    #: downloaded while browsing")
+    late_scripts: Dict[int, Dict[str, str]] = field(default_factory=dict)
+
+    @property
+    def load_only(self) -> bool:
+        return not self.actions

@@ -1,0 +1,243 @@
+"""The Bing benchmark: load plus a scripted browsing session.
+
+The paper's only load+browse instruction trace: loading bing.com, then
+opening and closing the top-right menu, clicking the button that rolls the
+news pane at the bottom of the page, and typing a term into the search bar
+(Section IV-B).  Typing drives per-keystroke autocomplete work on the main
+thread; the news roll mutates a pane and forces a partial re-render — the
+slicing-percentage spikes visible in Figure 4h.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..browser import EngineConfig, PageSpec, UserAction
+from .base import Benchmark
+from .generator import (
+    css_framework,
+    footer_links,
+    js_analytics_library,
+    js_lazy_widgets,
+    js_utility_library,
+    lorem,
+)
+
+_USED_CLASSES = (
+    "shell", "hero-image", "search-wrap", "search-input", "search-btn",
+    "menu-btn", "menu-panel", "menu-row", "news-pane", "news-card",
+    "news-title", "roll-btn", "footer", "footer-col", "footer-link",
+    "hero-credit", "below-fold", "trend-section", "trend-row",
+)
+
+
+def _below_fold(rng: random.Random) -> str:
+    """Content below the first view: trending strips nobody scrolls to."""
+    sections = []
+    for s in range(5):
+        rows = "".join(
+            f'<div class="trend-row">{lorem(rng, 8).title()}</div>' for _ in range(6)
+        )
+        sections.append(
+            f'<div class="trend-section" id="trend{s}">'
+            f"<h3>{lorem(rng, 3).title()}</h3>{rows}</div>"
+        )
+    return "".join(sections)
+
+
+def _bing_page(seed: int = 41) -> PageSpec:
+    rng = random.Random(seed)
+    images: Dict[str, int] = {"hero/daily.jpg": 160_000}
+
+    menu_rows = "".join(
+        f'<div class="menu-row">{lorem(rng, 2).title()}</div>' for _ in range(10)
+    )
+    news_placeholder = "".join(
+        f'<div class="news-card" id="newscard{i}"><div class="news-title">'
+        f"{lorem(rng, 6).title()}</div></div>"
+        for i in range(4)
+    )
+
+    html = f"""<!DOCTYPE html>
+<html>
+<head>
+<title>Bing</title>
+<link rel="stylesheet" href="bing.css">
+</head>
+<body class="shell">
+<img class="hero-image" id="hero" src="hero/daily.jpg" width="1280" height="800"
+     style="position:absolute; top:0px; left:0px">
+<button class="menu-btn" id="menu-btn"
+        style="position:fixed; top:16px; left:1200px; z-index:8">Menu</button>
+<div class="menu-panel" id="menu-panel"
+     style="display:none; position:fixed; top:56px; left:980px; z-index:9">{menu_rows}</div>
+<div class="search-wrap" id="search-wrap"
+     style="position:absolute; top:300px; left:340px; z-index:4">
+  <input class="search-input" id="search-input" type="text">
+  <button class="search-btn" id="search-btn">Search</button>
+</div>
+<div class="news-pane" id="news-pane"
+     style="position:absolute; top:720px; left:0px; width:1280px; z-index:5">
+  <button class="roll-btn" id="news-roll">Show news</button>
+  <div id="news-content">{news_placeholder}</div>
+</div>
+<div class="hero-credit" id="hero-credit"
+     style="position:absolute; top:760px; left:20px; z-index:6">credit</div>
+<div class="below-fold" id="below-fold">
+{_below_fold(rng)}
+</div>
+{footer_links(rng, n_columns=3)}
+<script src="bing_ui.js"></script>
+<script src="app.js"></script>
+<script src="metrics.js"></script>
+</body>
+</html>"""
+
+    ui_lib = "\n".join(
+        (
+            js_utility_library("bui", 64, 30, seed=seed + 1),
+            js_utility_library("bweb", 44, 18, seed=seed + 3),
+            js_lazy_widgets(n_widgets=14, n_activated=3),
+        )
+    )
+
+    app_js = """
+// bing shell bootstrap
+bui_init();
+bweb_init();
+// The daily-wallpaper credit line is rendered client-side from the UI
+// library's state.
+var credit = document.getElementById('hero-credit');
+credit.textContent = 'Photo of the day #' + (bui_registry.checksum % 1000);
+var menu_visible = false;
+document.getElementById('menu-btn').addEventListener('click', function(e) {
+    menu_visible = !menu_visible;
+    var panel = document.getElementById('menu-panel');
+    panel.style.display = menu_visible ? 'block' : 'none';
+    metrics_track('menu');
+});
+var news_rolled = false;
+document.getElementById('news-roll').addEventListener('click', function(e) {
+    news_rolled = !news_rolled;
+    var pane = document.getElementById('news-pane');
+    if (news_rolled) {
+        pane.style.top = '420px';
+        var content = document.getElementById('news-content');
+        for (var i = 0; i < 4; i++) {
+            var card = document.getElementById('newscard' + i);
+            var blurb = bui_util30(i + 1, 7) + bui_util31(i, 3) + bweb_util20(i, 2);
+            card.textContent = 'Story ' + i + ': ' + blurb;
+        }
+    } else {
+        pane.style.top = '720px';
+    }
+    metrics_track('newsroll');
+});
+var suggest_cache = [];
+function autocomplete(term) {
+    var scored = [];
+    for (var i = 0; i < 14; i++) {
+        var score = 0;
+        for (var j = 0; j < term.length; j++) { score += (i * 7 + j * 3) % 13; }
+        scored.push(score);
+    }
+    suggest_cache.push(scored);
+    return scored.length;
+}
+document.getElementById('search-input').addEventListener('input', function(e) {
+    var field = document.getElementById('search-input');
+    var term = field.getAttribute('value') || '';
+    autocomplete(term);
+    metrics_track('suggest');
+});
+"""
+
+    css = "\n".join(
+        (
+            css_framework(
+                "bing",
+                list(_USED_CLASSES),
+                n_extra_rules=60,
+                seed=seed + 2,
+                palette=("#ffffff", "#0c8484", "#174ae4", "#f5f5f5"),
+            ),
+            """
+.shell { margin: 0; background-color: #000000; }
+.hero-image { width: 1280px; height: 800px; }
+.search-input { width: 480px; height: 44px; background-color: #ffffff; }
+.search-btn { width: 80px; height: 44px; background-color: #174ae4; }
+.menu-btn { width: 64px; height: 36px; background-color: rgba(255,255,255,0.9); }
+.menu-panel { width: 280px; height: 420px; background-color: #ffffff; }
+.menu-row { height: 40px; font-size: 14px; }
+.news-pane { height: 380px; background-color: rgba(10,10,10,0.92); }
+.news-card { width: 300px; height: 160px; background-color: #1b1b1b; margin: 8px; }
+.news-title { color: #ffffff; font-size: 15px; }
+.roll-btn { width: 120px; height: 32px; background-color: #333333; }
+.hero-credit { color: #ffffff; font-size: 12px; }
+.below-fold { margin-top: 820px; background-color: #f5f5f5; }
+.trend-section { margin: 12px; background-color: #ffffff; }
+.trend-row { height: 36px; font-size: 14px; }
+.bing-unused-rewards { width: 90px; height: 28px; background-color: #ffb900; }
+.bing-unused-wallpaper-info { width: 240px; height: 60px; background-color: #222222; }
+""",
+        )
+    )
+
+    return PageSpec(
+        url="https://www.bing.com/",
+        html=html,
+        stylesheets={"bing.css": css},
+        scripts={
+            "bing_ui.js": ui_lib,
+            "app.js": app_js,
+            "metrics.js": js_analytics_library("metrics", beacon_every=6),
+        },
+        images=images,
+    )
+
+
+def bing_actions() -> List[UserAction]:
+    """The paper's session: open/close menu, roll the news pane, type."""
+    actions: List[UserAction] = [
+        UserAction(kind="click", target_id="menu-btn", think_time_ms=1200),
+        UserAction(kind="click", target_id="menu-btn", think_time_ms=900),
+        UserAction(kind="click", target_id="news-roll", think_time_ms=1400),
+    ]
+    for ch in "weather":
+        actions.append(
+            UserAction(kind="type", target_id="search-input", text=ch, think_time_ms=160)
+        )
+    return actions
+
+
+def bing() -> Benchmark:
+    """Bing: Load + Browse (paper Table II column 4)."""
+    late = js_utility_library("bnews", 32, 10, seed=47, loop_scale=16)
+    return Benchmark(
+        name="bing",
+        description="Bing: Load + Browse",
+        page=_bing_page(),
+        config=EngineConfig(
+            viewport_width=1280,
+            viewport_height=800,
+            raster_threads=2,
+            interest_margin=640,
+            load_animation_ticks=90,
+            action_animation_ticks=8,
+            seed=41,
+        ),
+        actions=bing_actions(),
+        late_scripts={2: {"bing_news.js": late + "\nbnews_init();"}},
+    )
+
+
+def bing_load_only() -> Benchmark:
+    """Bing without the browse session (the Table I 'Only Load' row)."""
+    full = bing()
+    return Benchmark(
+        name="bing_load_only",
+        description="Bing: Load",
+        page=full.page,
+        config=full.config,
+    )

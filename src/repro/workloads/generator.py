@@ -1,0 +1,271 @@
+"""Synthetic web-content generators.
+
+Builds the HTML/CSS/JS of the benchmark sites: JavaScript "libraries" with
+a controllable used/unused split (the paper's Table I finds 40-60% of
+downloaded JS+CSS bytes unused), CSS frameworks with utility classes the
+pages only partially reference, product grids, navigation chrome, and
+analytics snippets that execute without ever touching a pixel.
+
+Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+_WORDS = (
+    "alpha bravo canvas delta engine falcon garnet harbor indigo jasper "
+    "kernel lumen marble nectar onyx prism quartz russet sierra timber "
+    "umber velvet willow xenon yonder zephyr basket cradle dynamo ember"
+).split()
+
+
+def lorem(rng: random.Random, n_words: int) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(n_words))
+
+
+# --------------------------------------------------------------------- #
+# JavaScript generators                                                 #
+# --------------------------------------------------------------------- #
+
+_FN_BODIES = (
+    # (template, loop-ish cost) — bodies exercise arithmetic, strings,
+    # arrays, and branches so executed functions emit realistic traces.
+    """
+    var acc = 0;
+    for (var i = 0; i < {n}; i++) {{
+        if (i % 3 === 0) {{ acc += i * seedA; }} else {{ acc += seedB; }}
+    }}
+    return acc;
+    """,
+    """
+    var parts = [];
+    for (var i = 0; i < {n}; i++) {{
+        parts.push('' + seedA + '-' + i);
+    }}
+    return parts.join(',').length + seedB;
+    """,
+    """
+    var table = [];
+    for (var i = 0; i < {n}; i++) {{ table.push(i * seedA + seedB); }}
+    var total = 0;
+    table.forEach(function(v) {{ total += v; }});
+    return total;
+    """,
+    """
+    var x = seedA, y = seedB;
+    for (var i = 0; i < {n}; i++) {{
+        var t = x + y; x = y; y = t % 100003;
+    }}
+    return y;
+    """,
+)
+
+
+def js_utility_library(
+    name: str,
+    n_functions: int,
+    n_used: int,
+    seed: int,
+    loop_scale: int = 24,
+) -> str:
+    """A utility library: ``n_functions`` helpers, ``n_used`` called by init.
+
+    The init function runs the used helpers (their results feed a private
+    registry object, not the DOM — classic framework warm-up work).
+    """
+    rng = random.Random(seed)
+    lines: List[str] = [f"// {name}: generated utility library"]
+    names: List[str] = []
+    for i in range(n_functions):
+        fn_name = f"{name}_util{i}"
+        names.append(fn_name)
+        body = rng.choice(_FN_BODIES).format(n=rng.randint(loop_scale // 2, loop_scale))
+        lines.append(f"function {fn_name}(seedA, seedB) {{{body}}}")
+    lines.append(f"var {name}_registry = {{ ready: false, checksum: 0 }};")
+    lines.append(f"function {name}_init() {{")
+    for i in range(min(n_used, n_functions)):
+        lines.append(
+            f"    {name}_registry.checksum += {names[i]}({i + 1}, {seed % 97});"
+        )
+    lines.append(f"    {name}_registry.ready = true;")
+    lines.append(f"    return {name}_registry.checksum;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def js_analytics_library(name: str = "metrics", beacon_every: int = 1) -> str:
+    """Analytics/telemetry: computes session state and sends beacons.
+
+    Everything here is invisible to the user — the paper's canonical
+    unnecessary computation (only the beacon bytes reach a syscall, so the
+    work shows up in the syscall slice but not the pixel slice... and the
+    payload chain is tiny either way).
+    """
+    return f"""
+// {name}: page analytics
+var {name}_session = {{ id: 0, events: [], flushed: 0 }};
+function {name}_hash(s) {{
+    var h = 7;
+    for (var i = 0; i < s.length; i++) {{
+        h = (h * 31 + i) % 1000000007;
+    }}
+    return h;
+}}
+function {name}_start() {{
+    {name}_session.id = {name}_hash(navigator.userAgent + window.location.href);
+    for (var i = 0; i < 40; i++) {{
+        {name}_session.events.push({{ t: i * 16, kind: 'timing', value: i * 3 }});
+    }}
+}}
+function {name}_track(kind) {{
+    {name}_session.events.push({{ t: Date.now(), kind: kind, value: 1 }});
+    if ({name}_session.events.length % {beacon_every} === 0) {{
+        {name}_flush();
+    }}
+}}
+function {name}_flush() {{
+    var payload = 'sid=' + {name}_session.id + '&n=' + {name}_session.events.length;
+    navigator.sendBeacon('https://telemetry.example/collect', payload);
+    {name}_session.flushed += 1;
+}}
+{name}_start();
+{name}_track('pageview');
+"""
+
+
+def js_lazy_widgets(n_widgets: int, n_activated: int) -> str:
+    """Widget registry: handlers registered for many widgets, few ever used.
+
+    Handler registration compiles and stores closures (pixel-invisible
+    until an event fires), modelling the paper's "compilation of event
+    handlers for elements the user never touches".
+    """
+    lines = ["// widget registry", "var widget_handlers = { count: 0 };"]
+    lines.append("function widget_register(id, handler) {")
+    lines.append("    widget_handlers[id] = handler;")
+    lines.append("    widget_handlers.count += 1;")
+    lines.append("}")
+    for i in range(n_widgets):
+        lines.append(
+            f"""widget_register('w{i}', function(ev) {{
+    var el = document.getElementById('w{i}');
+    if (el) {{ el.setAttribute('data-active', 'on'); }}
+    return {i};
+}});"""
+        )
+    lines.append("function widget_activate(id) {")
+    lines.append("    var h = widget_handlers[id];")
+    lines.append("    if (h) { h(null); }")
+    lines.append("}")
+    for i in range(min(n_activated, n_widgets)):
+        lines.append(f"widget_activate('w{i}');")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# CSS generators                                                        #
+# --------------------------------------------------------------------- #
+
+
+def css_framework(
+    name: str,
+    used_classes: Sequence[str],
+    n_extra_rules: int,
+    seed: int,
+    palette: Sequence[str] = ("#131921", "#232f3e", "#febd69", "#eaeded", "#ffffff"),
+) -> str:
+    """A bootstrap-like sheet: rules for ``used_classes`` plus dead rules.
+
+    The extra rules target classes no element carries, so they parse but
+    never match — the Table I unused-CSS bytes.
+    """
+    rng = random.Random(seed)
+    lines: List[str] = [f"/* {name}: generated framework sheet */"]
+    for cls in used_classes:
+        color = rng.choice(palette)
+        lines.append(
+            f".{cls} {{ background-color: {color}; padding: {rng.randint(2, 12)}px; "
+            f"margin: {rng.randint(0, 8)}px; }}"
+        )
+    for i in range(n_extra_rules):
+        cls = f"{name}-dead-{i}"
+        lines.append(
+            f".{cls} {{ width: {rng.randint(40, 400)}px; height: {rng.randint(20, 200)}px; "
+            f"background-color: {rng.choice(palette)}; border-width: {rng.randint(1, 4)}px; "
+            f"opacity: 0.{rng.randint(1, 9)}; }}"
+        )
+    # A couple of at-rules (parsed, never matched).
+    lines.append(
+        f"@keyframes {name}-spin {{ 0% {{ opacity: 0; }} 100% {{ opacity: 1; }} }}"
+    )
+    lines.append(
+        "@media (max-width: 0px) { ."
+        + name
+        + "-never { display: none; color: red; } }"
+    )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# HTML generators                                                       #
+# --------------------------------------------------------------------- #
+
+
+def product_grid(
+    rng: random.Random,
+    n_products: int,
+    *,
+    id_prefix: str = "prod",
+    image_prefix: str = "img/product",
+    card_class: str = "card",
+) -> Tuple[str, Dict[str, int]]:
+    """An e-commerce product grid; returns (html, image resources)."""
+    cards: List[str] = []
+    images: Dict[str, int] = {}
+    for i in range(n_products):
+        url = f"{image_prefix}{i}.jpg"
+        images[url] = rng.randint(9_000, 30_000)
+        title = lorem(rng, 4).title()
+        cards.append(
+            f"""<div class="{card_class}" id="{id_prefix}{i}">
+  <img src="{url}" width="180" height="180">
+  <div class="card-title">{title}</div>
+  <div class="card-price">${rng.randint(5, 900)}.{rng.randint(10, 99)}</div>
+  <button id="{id_prefix}{i}-buy" class="buy-btn">Add to Cart</button>
+</div>"""
+        )
+    return "\n".join(cards), images
+
+
+def nav_menu(n_items: int, rng: random.Random, hidden_submenus: int = 3) -> str:
+    """Site chrome: a nav bar with hidden dropdown submenus.
+
+    The submenus are ``display:none`` at load — parsed, styled cheaply,
+    never laid out or painted.
+    """
+    items: List[str] = []
+    for i in range(n_items):
+        label = lorem(rng, 1).title()
+        sub = ""
+        if i < hidden_submenus:
+            entries = "".join(
+                f'<li class="submenu-item">{lorem(rng, 2).title()}</li>'
+                for _ in range(6)
+            )
+            sub = f'<ul class="submenu" id="submenu{i}" style="display:none">{entries}</ul>'
+        items.append(f'<li class="nav-item" id="nav{i}">{label}{sub}</li>')
+    return '<ul class="nav-list">' + "".join(items) + "</ul>"
+
+
+def footer_links(rng: random.Random, n_columns: int = 4, per_column: int = 8) -> str:
+    """A long link-farm footer (bottom of page: rarely on the first view)."""
+    columns = []
+    for c in range(n_columns):
+        links = "".join(
+            f'<li><a class="footer-link">{lorem(rng, 2).title()}</a></li>'
+            for _ in range(per_column)
+        )
+        columns.append(f'<div class="footer-col" id="footcol{c}"><ul>{links}</ul></div>')
+    return '<div class="footer" id="footer">' + "".join(columns) + "</div>"

@@ -1,0 +1,208 @@
+"""The Google Maps benchmark: a tile-canvas, JavaScript-heavy application.
+
+Maps is the most JS-heavy site in the paper's Table I (3.9 MB of JS+CSS,
+about half unused at load).  The page is a viewport-filling grid of map
+raster tiles, a search box, zoom controls, and a places side panel that
+stays hidden until a search happens — which never does in the load-only
+benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..browser import EngineConfig, PageSpec, UserAction
+from .base import Benchmark
+from .generator import (
+    css_framework,
+    js_analytics_library,
+    js_utility_library,
+    lorem,
+)
+
+_USED_CLASSES = (
+    "app", "map-canvas", "map-tile", "searchbox", "zoom", "zoom-btn",
+    "attribution", "side-panel", "place-row",
+)
+
+
+def _maps_page(seed: int = 29) -> PageSpec:
+    rng = random.Random(seed)
+    cols, rows = 8, 6
+    tiles: List[str] = []
+    images: Dict[str, int] = {}
+    for row in range(rows):
+        for col in range(cols):
+            url = f"tiles/15-{col}-{row}.png"
+            images[url] = rng.randint(7_000, 22_000)
+            # Tiles are positioned by JavaScript (as in the real app),
+            # so the projection math is load-bearing for pixels.
+            tiles.append(
+                f'<img class="map-tile" id="tile-{col}-{row}" src="{url}" '
+                f'width="256" height="256">'
+            )
+
+    side_panel_rows = "".join(
+        f'<div class="place-row">{lorem(rng, 4).title()}</div>' for _ in range(12)
+    )
+
+    html = f"""<!DOCTYPE html>
+<html>
+<head>
+<title>Google Maps</title>
+<link rel="stylesheet" href="maps.css">
+</head>
+<body class="app">
+<input class="searchbox" id="searchbox" type="text"
+       style="position:absolute; top:12px; left:12px; z-index:5">
+<div class="map-canvas" id="map" style="position:relative; width:2048px; height:1536px">
+{''.join(tiles)}
+</div>
+<div class="zoom" id="zoom" style="position:fixed; top:300px; left:1220px; z-index:6">
+  <button class="zoom-btn" id="zoom-in">+</button>
+  <button class="zoom-btn" id="zoom-out">-</button>
+</div>
+<div class="side-panel" id="side-panel" style="display:none">{side_panel_rows}</div>
+<div class="attribution" id="attribution">Map data (c) reproduction</div>
+<script src="maps_core.js"></script>
+<script src="maps_vector.js"></script>
+<script src="maps_places.js"></script>
+<script src="app.js"></script>
+<script src="metrics.js"></script>
+</body>
+</html>"""
+
+    maps_core = js_utility_library("gmcore", 80, 30, seed=seed + 1, loop_scale=20)
+    maps_vector = js_utility_library("gmvec", 56, 24, seed=seed + 2, loop_scale=16)
+    maps_places = js_utility_library("gmplaces", 60, 26, seed=seed + 3, loop_scale=14)
+
+    app_js = f"""
+// map bootstrap: project tile coordinates and position the grid
+gmcore_init();
+gmvec_init();
+gmplaces_init();
+// Projection calibration derives from the core/vector library warm-up, so
+// the rendering genuinely depends on the framework results (Maps is a
+// true JavaScript application; its main thread is the most useful in the
+// paper's Table II).
+var map_state = {{
+    zoom: 15, centerX: 0, centerY: 0, tilesPlaced: 0,
+    calib: (gmcore_registry.checksum + gmvec_registry.checksum) % 1
+}};
+function project(col, row) {{
+    var worldX = col * 256 + map_state.centerX * 256 + map_state.calib;
+    var worldY = row * 256 + map_state.centerY * 256 + map_state.calib;
+    return {{ x: worldX, y: worldY }};
+}}
+function place_tiles() {{
+    for (var row = 0; row < {rows}; row++) {{
+        for (var col = 0; col < {cols}; col++) {{
+            var pt = project(col, row);
+            var tile = document.getElementById('tile-' + col + '-' + row);
+            if (tile) {{
+                tile.style.position = 'absolute';
+                tile.style.left = '' + pt.x + 'px';
+                tile.style.top = '' + pt.y + 'px';
+                map_state.tilesPlaced += 1;
+            }}
+        }}
+    }}
+}}
+place_tiles();
+var attribution = document.getElementById('attribution');
+attribution.textContent = 'Map data rendered at zoom ' + map_state.zoom
+    + ' (' + map_state.tilesPlaced + ' tiles)';
+function pan_to(cx, cy) {{
+    map_state.centerX = cx;
+    map_state.centerY = cy;
+    place_tiles();
+}}
+document.getElementById('zoom-in').addEventListener('click', function(e) {{
+    map_state.zoom += 1;
+    var reproj = gmvec_util30 ? 0 : 0;
+    gmvec_util25(map_state.zoom, 3);
+    gmvec_util26(map_state.zoom, 5);
+    gmplaces_util30(map_state.zoom, 2);
+    gmplaces_util31(map_state.zoom, 4);
+    place_tiles();
+    metrics_track('zoom');
+}});
+document.getElementById('searchbox').addEventListener('input', function(e) {{
+    var results = gmplaces_util0(map_state.zoom, 7);
+    metrics_track('searchkey');
+}});
+"""
+
+    css = "\n".join(
+        (
+            css_framework("gm", list(_USED_CLASSES), n_extra_rules=70, seed=seed + 4,
+                          palette=("#ffffff", "#e8eaed", "#1a73e8", "#34a853")),
+            """
+.app { margin: 0; background-color: #e8eaed; }
+.searchbox { width: 360px; height: 44px; background-color: #ffffff; }
+.map-tile { width: 256px; height: 256px; }
+.zoom-btn { width: 40px; height: 40px; background-color: #ffffff; }
+.attribution { font-size: 10px; color: #5f6368; }
+.side-panel { width: 380px; background-color: #ffffff; }
+.place-row { height: 48px; border-width: 1px; }
+.gm-unused-transit { width: 300px; height: 80px; background-color: #ea4335; }
+.gm-unused-street-view { width: 64px; height: 64px; background-color: #fbbc04; }
+""",
+        )
+    )
+
+    return PageSpec(
+        url="https://maps.google.com/",
+        html=html,
+        stylesheets={"maps.css": css},
+        scripts={
+            "maps_core.js": maps_core,
+            "maps_vector.js": maps_vector,
+            "maps_places.js": maps_places,
+            "app.js": app_js,
+            "metrics.js": js_analytics_library("metrics", beacon_every=10),
+        },
+        images=images,
+    )
+
+
+def google_maps() -> Benchmark:
+    """Google Maps, load only (paper Table II column 3)."""
+    return Benchmark(
+        name="google_maps",
+        description="Google Maps: Load",
+        page=_maps_page(),
+        config=EngineConfig(
+            viewport_width=1280,
+            viewport_height=800,
+            raster_threads=2,
+            interest_margin=320,
+            load_animation_ticks=90,
+            seed=29,
+        ),
+    )
+
+
+def maps_browse_actions() -> List[UserAction]:
+    """A short Maps session for the Table I load+browse row."""
+    return [
+        UserAction(kind="scroll", amount=250, think_time_ms=800),
+        UserAction(kind="click", target_id="zoom-in", think_time_ms=900),
+        UserAction(kind="type", target_id="searchbox", text="cafe", think_time_ms=700),
+        UserAction(kind="click", target_id="zoom-in", think_time_ms=600),
+    ]
+
+
+def google_maps_browse() -> Benchmark:
+    """Google Maps with a browse session; downloads more JS while browsing."""
+    base = google_maps()
+    late = js_utility_library("gmtraffic", 40, 8, seed=31, loop_scale=18)
+    return Benchmark(
+        name="google_maps_browse",
+        description="Google Maps: Load + Browse",
+        page=base.page,
+        config=base.config,
+        actions=maps_browse_actions(),
+        late_scripts={1: {"maps_traffic.js": late + "\ngmtraffic_init();"}},
+    )

@@ -1,0 +1,139 @@
+"""A fifth, non-paper workload: a wiki-style article page.
+
+Not part of the paper's benchmark set — included to show how to define new
+workloads and as a long-form-text counterpoint to the app-like sites: a
+huge article body (text-dominated main thread), a table of contents built
+client-side from the headings, a hidden edit toolbar, and almost no
+framework JS.  Used by examples and generality tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..browser import EngineConfig, PageSpec, UserAction
+from .base import Benchmark
+from .generator import css_framework, js_analytics_library, lorem
+
+_USED_CLASSES = (
+    "article", "infobox", "toc", "toc-entry", "section-title", "paragraph",
+    "reference", "edit-toolbar",
+)
+
+
+def _wiki_page(n_sections: int = 10, seed: int = 57) -> PageSpec:
+    rng = random.Random(seed)
+    sections: List[str] = []
+    for index in range(n_sections):
+        paragraphs = "".join(
+            f'<p class="paragraph">{lorem(rng, 60)}</p>' for _ in range(3)
+        )
+        sections.append(
+            f'<h2 class="section-title" id="sec{index}">{lorem(rng, 3).title()}</h2>'
+            f"{paragraphs}"
+        )
+    references = "".join(
+        f'<li class="reference">{lorem(rng, 8)}</li>' for _ in range(15)
+    )
+
+    html = f"""<!DOCTYPE html>
+<html>
+<head>
+<title>Wiki article</title>
+<link rel="stylesheet" href="wiki.css">
+</head>
+<body>
+<div class="infobox" id="infobox">
+  <img src="img/lead.jpg" width="220" height="160">
+  <p>{lorem(rng, 20)}</p>
+</div>
+<div class="toc" id="toc"></div>
+<div class="article" id="article">
+{''.join(sections)}
+<ol id="references">{references}</ol>
+</div>
+<div class="edit-toolbar" id="edit-toolbar" style="display:none">
+  <button id="bold-btn">B</button><button id="italic-btn">I</button>
+</div>
+<script src="wiki.js"></script>
+<script src="metrics.js"></script>
+</body>
+</html>"""
+
+    wiki_js = f"""
+// Build the table of contents client-side from the section headings.
+var toc = document.getElementById('toc');
+var entries = 0;
+for (var s = 0; s < {n_sections}; s++) {{
+    var heading = document.getElementById('sec' + s);
+    if (heading) {{
+        var entry = document.createElement('div');
+        entry.setAttribute('class', 'toc-entry');
+        entry.textContent = (s + 1) + '. ' + heading.textContent;
+        toc.appendChild(entry);
+        entries++;
+    }}
+}}
+// The edit toolbar is wired up but stays hidden unless editing starts.
+function enable_editing() {{
+    document.getElementById('edit-toolbar').style.display = 'block';
+}}
+document.getElementById('article').addEventListener('dblclick', function(e) {{
+    enable_editing();
+}});
+"""
+
+    css = "\n".join(
+        (
+            css_framework("wiki", list(_USED_CLASSES), n_extra_rules=25, seed=seed + 1,
+                          palette=("#ffffff", "#f8f9fa", "#eaecf0", "#202122")),
+            """
+body { margin: 0; background-color: #ffffff; }
+.article { width: 72%; font-size: 14px; line-height: 22px; color: #202122; }
+.infobox { width: 260px; background-color: #f8f9fa; border-width: 1px; }
+.toc { width: 240px; background-color: #f8f9fa; }
+.toc-entry { font-size: 13px; color: #3366cc; }
+.section-title { font-size: 24px; }
+.reference { font-size: 12px; }
+.wiki-unused-talk-tab { width: 80px; height: 30px; background-color: #eaecf0; }
+""",
+        )
+    )
+
+    return PageSpec(
+        url="https://wiki.example/article",
+        html=html,
+        stylesheets={"wiki.css": css},
+        scripts={
+            "wiki.js": wiki_js,
+            "metrics.js": js_analytics_library("metrics", beacon_every=12),
+        },
+        images={"img/lead.jpg": 18_000},
+    )
+
+
+def wiki_article() -> Benchmark:
+    """The wiki workload (generality demo; not one of the paper's four)."""
+    return Benchmark(
+        name="wiki_article",
+        description="Wiki article: Load",
+        page=_wiki_page(),
+        config=EngineConfig(
+            viewport_width=1100,
+            viewport_height=800,
+            raster_threads=2,
+            interest_margin=512,
+            load_animation_ticks=20,
+            seed=57,
+        ),
+    )
+
+
+def wiki_reading_actions() -> List[UserAction]:
+    """A reading session: scroll through the article."""
+    return [
+        UserAction(kind="scroll", amount=600, think_time_ms=2000),
+        UserAction(kind="scroll", amount=600, think_time_ms=2500),
+        UserAction(kind="scroll", amount=-300, think_time_ms=1500),
+    ]

@@ -1,0 +1,102 @@
+"""Unit tests for the analysis package (coverage rows, spikes, charts)."""
+
+import pytest
+
+from repro.analysis.coverage import CoverageRow, coverage_table, _human
+from repro.analysis.figures import figure4_chart, figure4_series, figure5_chart
+from repro.analysis.utilization import (
+    UtilizationSpike,
+    ascii_chart,
+    busy_fraction,
+    find_spikes,
+)
+from repro.profiler.categorize import CATEGORIES, CategoryDistribution
+
+
+def test_coverage_row_fraction():
+    row = CoverageRow(site="X", condition="Only Load", unused_bytes=60, total_bytes=100)
+    assert row.unused_fraction == pytest.approx(0.6)
+    assert "60%" in row.formatted()
+
+
+def test_coverage_row_zero_total():
+    row = CoverageRow(site="X", condition="Only Load", unused_bytes=0, total_bytes=0)
+    assert row.unused_fraction == 0.0
+
+
+def test_coverage_table_renders():
+    rows = [
+        CoverageRow("Amazon", "Only Load", 955_000, 1_600_000),
+        CoverageRow("Bing", "Only Load", 103_000, 199_000),
+    ]
+    table = coverage_table(rows)
+    assert "Table I" in table
+    assert "Amazon" in table and "Bing" in table
+
+
+def test_human_sizes():
+    assert _human(500) == "500 B"
+    assert _human(2_500) == "2.5 KB"
+    assert _human(1_600_000) == "1.6 MB"
+
+
+def test_find_spikes_basic():
+    series = [(0.0, 0.9), (0.1, 0.8), (0.2, 0.0), (0.3, 0.0), (0.4, 0.5), (0.5, 0.0)]
+    spikes = find_spikes(series, threshold=0.15)
+    assert len(spikes) == 2
+    assert spikes[0].peak == pytest.approx(0.9)
+    assert spikes[1].start_s == pytest.approx(0.4)
+    assert spikes[0].duration_s > 0
+
+
+def test_find_spikes_open_ended():
+    series = [(0.0, 0.0), (0.1, 0.9)]
+    spikes = find_spikes(series)
+    assert len(spikes) == 1
+
+
+def test_find_spikes_empty():
+    assert find_spikes([]) == []
+
+
+def test_busy_fraction():
+    assert busy_fraction([(0, 1.0), (1, 0.0)]) == pytest.approx(0.5)
+    assert busy_fraction([]) == 0.0
+
+
+def test_ascii_chart_shape():
+    series = [(i / 10, (i % 5) / 5) for i in range(50)]
+    chart = ascii_chart(series, width=40, height=5, title="T")
+    lines = chart.splitlines()
+    assert lines[0] == "T"
+    assert len(lines) == 1 + 5 + 2
+    assert "#" in chart
+
+
+def test_ascii_chart_empty():
+    assert "empty" in ascii_chart([])
+
+
+def test_figure4_series_downsamples_and_keeps_last():
+    timeline = [(i, i / 100) for i in range(100)]
+    sampled = figure4_series(timeline, points=10)
+    assert len(sampled) <= 12
+    assert sampled[-1] == timeline[-1]
+    assert figure4_series([], points=10) == []
+
+
+def test_figure4_chart_renders():
+    timeline = [(i * 100, 0.3 + 0.01 * (i % 7)) for i in range(50)]
+    chart = figure4_chart(timeline, "demo")
+    assert "demo" in chart
+    assert "*" in chart
+
+
+def test_figure5_chart_renders_all_categories():
+    dist = CategoryDistribution(
+        counts={c: 10 for c in CATEGORIES}, uncategorized=20, total_unnecessary=100
+    )
+    chart = figure5_chart([("bench", dist)])
+    for category in CATEGORIES:
+        assert category in chart
+    assert "80%" in chart  # categorized fraction

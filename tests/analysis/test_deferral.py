@@ -1,0 +1,94 @@
+"""Tests for the deferral-opportunity analyzer."""
+
+import pytest
+
+from repro.analysis.deferral import analyze_deferral, render_report
+from repro.harness.experiments import run_benchmark
+from repro.workloads import benchmark
+
+
+@pytest.fixture(scope="module")
+def wiki_result():
+    return run_benchmark(benchmark("wiki_article"))
+
+
+def test_report_totals_consistent(wiki_result):
+    report = analyze_deferral(wiki_result)
+    assert 0 < report.load_slice_instructions < report.load_instructions
+    assert report.load_waste_instructions == (
+        report.load_instructions - report.load_slice_instructions
+    )
+    assert 0.0 < report.hypothetical_load_reduction < 1.0
+
+
+def test_candidates_sorted_by_waste(wiki_result):
+    report = analyze_deferral(wiki_result)
+    waste = [c.wasted_at_load for c in report.candidates]
+    assert waste == sorted(waste, reverse=True)
+
+
+def test_js_filter_restricts_candidates(wiki_result):
+    report = analyze_deferral(wiki_result, prefix_filter="v8::")
+    assert report.candidates
+    for candidate in report.candidates:
+        assert candidate.function.startswith("v8::")
+
+
+def test_analytics_is_a_top_js_candidate(wiki_result):
+    """The analytics bootstrap runs at load and never touches pixels."""
+    report = analyze_deferral(wiki_result, prefix_filter="v8::js::metrics")
+    top = report.top_candidates(limit=5, min_waste=1)
+    assert top, "analytics functions should be deferral candidates"
+    assert all(c.waste_fraction > 0.9 for c in top)
+
+
+def test_unused_scripts_listed(wiki_result):
+    report = analyze_deferral(wiki_result)
+    names = [name for name, _, _ in report.unused_scripts]
+    assert "wiki.js" in names or "metrics.js" in names
+
+
+def test_render_report(wiki_result):
+    text = render_report(analyze_deferral(wiki_result))
+    assert "Deferral opportunity report" in text
+    assert "wasted" in text
+    assert "code-splitting" in text
+
+
+def test_candidate_waste_fraction_bounds(wiki_result):
+    report = analyze_deferral(wiki_result)
+    for candidate in report.candidates:
+        assert 0.0 <= candidate.waste_fraction <= 1.0
+        assert candidate.wasted_at_load <= candidate.executed_at_load
+
+
+# -- energy model ------------------------------------------------------------- #
+
+
+def test_energy_breakdown_consistent(wiki_result):
+    from repro.analysis.energy import energy_breakdown
+
+    breakdown = energy_breakdown(wiki_result)
+    assert breakdown.total_uj == pytest.approx(
+        breakdown.useful_uj + breakdown.wasted_uj
+    )
+    assert 0.0 < breakdown.wasted_fraction < 1.0
+    thread_total = sum(total for _, total, _ in breakdown.threads)
+    assert thread_total == pytest.approx(breakdown.total_uj)
+
+
+def test_energy_savings_ordering(wiki_result):
+    from repro.analysis.energy import energy_breakdown
+
+    breakdown = energy_breakdown(wiki_result)
+    # Elimination beats offloading, and both are positive.
+    assert breakdown.elimination_savings_uj() > breakdown.little_core_savings_uj() > 0
+
+
+def test_energy_report_renders(wiki_result):
+    from repro.analysis.energy import energy_breakdown, render_energy_report
+
+    text = render_energy_report(energy_breakdown(wiki_result))
+    assert "Energy report" in text
+    assert "LITTLE core" in text
+    assert "JavaScript" in text

@@ -1,0 +1,198 @@
+"""Unit tests for CSS values, selectors, and the parser."""
+
+import pytest
+
+from repro.browser.context import EngineContext
+from repro.browser.css import (
+    Color,
+    Length,
+    TRANSPARENT,
+    expand_shorthand,
+    parse_css,
+    parse_selector,
+    parse_selector_list,
+    parse_stylesheet_source,
+    parse_value,
+)
+from repro.browser.html import Element
+
+
+def make_ctx():
+    ctx = EngineContext()
+    ctx.spawn_threads()
+    return ctx
+
+
+# -- values -------------------------------------------------------------- #
+
+
+def test_parse_lengths():
+    assert parse_value("width", "100px") == Length(100)
+    assert parse_value("width", "50%") == Length(50, percent=True)
+    assert parse_value("font-size", "2em") == Length(32)
+    assert Length(50, percent=True).resolve(200) == 100
+
+
+def test_parse_colors():
+    assert parse_value("color", "#fff") == Color(255, 255, 255)
+    assert parse_value("color", "#102030") == Color(16, 32, 48)
+    assert parse_value("background-color", "red") == Color(230, 30, 30)
+    assert parse_value("background-color", "transparent") == TRANSPARENT
+    rgba = parse_value("color", "rgba(1, 2, 3, 0.5)")
+    assert rgba == Color(1, 2, 3, 0.5)
+    assert not rgba.opaque
+
+
+def test_parse_numbers_and_keywords():
+    assert parse_value("opacity", "0.5") == 0.5
+    assert parse_value("z-index", "3") == 3.0
+    assert parse_value("display", "block") == "block"
+
+
+def test_expand_shorthand():
+    assert expand_shorthand("margin", "4px") == {
+        "margin-top": "4px",
+        "margin-right": "4px",
+        "margin-bottom": "4px",
+        "margin-left": "4px",
+    }
+    expanded = expand_shorthand("padding", "1px 2px")
+    assert expanded["padding-top"] == "1px"
+    assert expanded["padding-right"] == "2px"
+    assert expanded["padding-bottom"] == "1px"
+    assert expanded["padding-left"] == "2px"
+    assert expand_shorthand("width", "3px") == {"width": "3px"}
+
+
+# -- selectors ------------------------------------------------------------ #
+
+
+def test_selector_specificity():
+    assert parse_selector("div").specificity() == (0, 0, 1)
+    assert parse_selector(".a.b").specificity() == (0, 2, 0)
+    assert parse_selector("#x .y div").specificity() == (1, 1, 1)
+
+
+def test_selector_matching_simple():
+    ctx = make_ctx()
+    el = Element(ctx, "div")
+    el.set_attribute("class", "card featured")
+    el.set_attribute("id", "main")
+    assert parse_selector("div").matches(el)
+    assert parse_selector(".card").matches(el)
+    assert parse_selector("#main").matches(el)
+    assert parse_selector("div.card.featured").matches(el)
+    assert not parse_selector("span").matches(el)
+    assert not parse_selector(".missing").matches(el)
+
+
+def test_selector_attribute():
+    ctx = make_ctx()
+    el = Element(ctx, "input")
+    el.set_attribute("type", "text")
+    assert parse_selector("input[type]").matches(el)
+    assert parse_selector("input[type=text]").matches(el)
+    assert not parse_selector("input[type=radio]").matches(el)
+
+
+def test_selector_descendant_and_child():
+    ctx = make_ctx()
+    outer = Element(ctx, "div")
+    outer.set_attribute("class", "outer")
+    mid = Element(ctx, "section")
+    inner = Element(ctx, "span")
+    outer.append_child(mid)
+    mid.append_child(inner)
+    assert parse_selector(".outer span").matches(inner)
+    assert parse_selector("section > span").matches(inner)
+    assert not parse_selector(".outer > span").matches(inner)
+
+
+def test_selector_list():
+    selectors = parse_selector_list("div, .a, #b")
+    assert len(selectors) == 3
+
+
+def test_selector_hover_never_matches_at_load():
+    ctx = make_ctx()
+    el = Element(ctx, "a")
+    assert not parse_selector("a:hover").matches(el)
+
+
+def test_selector_first_child():
+    ctx = make_ctx()
+    parent = Element(ctx, "ul")
+    first = Element(ctx, "li")
+    second = Element(ctx, "li")
+    parent.append_child(first)
+    parent.append_child(second)
+    assert parse_selector("li:first-child").matches(first)
+    assert not parse_selector("li:first-child").matches(second)
+
+
+# -- stylesheet parser ----------------------------------------------------- #
+
+
+def test_parse_stylesheet_rules():
+    sheet = parse_stylesheet_source(
+        "test",
+        """
+        .card { width: 200px; margin: 4px; }
+        #hero, .banner { background-color: #123456; }
+        """,
+    )
+    assert len(sheet.rules) == 2
+    first = sheet.rules[0]
+    assert len(first.selectors) == 1
+    names = {d.name for d in first.declarations}
+    assert "width" in names and "margin-top" in names
+    second = sheet.rules[1]
+    assert len(second.selectors) == 2
+
+
+def test_parse_media_block_recursed():
+    sheet = parse_stylesheet_source(
+        "test", "@media (max-width: 600px) { .m { display: none; } }"
+    )
+    assert len(sheet.rules) == 1
+    assert sheet.rules[0].selectors[0].source == ".m"
+
+
+def test_parse_at_rule_counts_as_unmatched_bytes():
+    sheet = parse_stylesheet_source(
+        "test", "@keyframes spin { 0% { opacity: 0; } 100% { opacity: 1; } }"
+    )
+    assert len(sheet.rules) == 1
+    assert sheet.rules[0].selectors == []
+    assert sheet.used_bytes() == 0
+    assert sheet.rule_bytes() > 0
+
+
+def test_parse_comments_stripped_spans_kept():
+    source = "/* a comment */ .x { color: red; }"
+    sheet = parse_stylesheet_source("test", source)
+    rule = sheet.rules[0]
+    assert source[rule.span[0] : rule.span[1]].startswith(".x")
+
+
+def test_important_flag():
+    sheet = parse_stylesheet_source("test", ".x { color: red !important; }")
+    assert sheet.rules[0].declarations[0].important
+
+
+def test_traced_parse_allocates_cells():
+    ctx = make_ctx()
+    source = ".a { color: red; } .b { width: 10px; }"
+    region = ctx.alloc_bytes("css", len(source))
+    sheet = parse_css(ctx, "main.css", source, region)
+    for rule in sheet.rules:
+        assert rule.selector_cell >= 0
+        for decl in rule.declarations:
+            assert decl.cell >= 0
+
+
+def test_used_bytes_accounting():
+    sheet = parse_stylesheet_source("t", ".a { color: red; } .b { width: 1px; }")
+    assert sheet.used_bytes() == 0
+    sheet.rules[0].ever_matched = True
+    assert sheet.used_bytes() == sheet.rules[0].byte_size()

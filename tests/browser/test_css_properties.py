@@ -1,0 +1,148 @@
+"""Edge-case tests for CSS values and selector properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.browser.context import EngineContext
+from repro.browser.css.parser import parse_declarations, parse_stylesheet_source
+from repro.browser.css.selectors import (
+    SelectorParseError,
+    parse_selector,
+    parse_selector_list,
+)
+from repro.browser.css.values import (
+    Color,
+    Length,
+    PROPERTIES,
+    initial_value,
+    is_inherited,
+    parse_value,
+)
+from repro.browser.html import Element
+
+
+def test_property_registry_defaults():
+    assert initial_value("display") == "inline"
+    assert initial_value("opacity") == 1.0
+    assert initial_value("nonexistent") is None
+    assert is_inherited("color")
+    assert not is_inherited("width")
+    assert not is_inherited("nonexistent")
+
+
+def test_every_property_has_an_initial_value():
+    for name, spec in PROPERTIES.items():
+        assert spec.initial is not None, name
+
+
+def test_length_resolution():
+    assert Length(10).resolve(1000) == 10
+    assert Length(25, percent=True).resolve(200) == 50
+    assert repr(Length(50, percent=True)) == "50%"
+    assert repr(Length(12)) == "12px"
+
+
+def test_color_repr_and_opacity():
+    c = Color(1, 2, 3, 0.5)
+    assert not c.opaque
+    assert "rgba(1,2,3,0.5)" in repr(c)
+    assert Color(0, 0, 0).opaque
+
+
+def test_parse_value_fallbacks():
+    # Unknown constructs degrade to the raw keyword.
+    assert parse_value("width", "calc(100% - 20px)") == "calc(100% - 20px)"
+    assert parse_value("color", "rgba(oops)") == "rgba(oops)"
+    # Named colors only apply to color-ish properties.
+    assert parse_value("display", "red") == "red"
+    assert parse_value("border-color", "red") == Color(230, 30, 30)
+
+
+def test_parse_declarations_skips_malformed():
+    decls = parse_declarations("color: red; broken; : nope; width: 5px;;")
+    names = [d.name for d in decls]
+    assert names == ["color", "width"]
+
+
+def test_nested_media_blocks():
+    sheet = parse_stylesheet_source(
+        "t", "@media screen { @media (min-width: 10px) { .x { color: red; } } }"
+    )
+    assert len(sheet.rules) == 1
+    assert sheet.rules[0].selectors[0].source == ".x"
+
+
+def test_unbalanced_braces_raise():
+    from repro.browser.css.parser import CSSParseError
+
+    with pytest.raises(CSSParseError):
+        parse_stylesheet_source("t", ".x { color: red;")
+
+
+def test_selector_list_skips_empty_parts():
+    selectors = parse_selector_list("div, , .a,")
+    assert len(selectors) == 2
+
+
+def test_bad_selector_raises():
+    with pytest.raises(SelectorParseError):
+        parse_selector("..bad")
+    with pytest.raises(SelectorParseError):
+        parse_selector("")
+
+
+# -- property-based: specificity ordering --------------------------------- #
+
+_tags = st.sampled_from(["div", "span", "p", "a"])
+_classes = st.lists(st.sampled_from(["a", "b", "c"]), max_size=3)
+
+
+@st.composite
+def compound_selectors(draw):
+    tag = draw(st.one_of(st.none(), _tags))
+    classes = draw(_classes)
+    ident = draw(st.one_of(st.none(), st.sampled_from(["x", "y"])))
+    parts = []
+    if tag:
+        parts.append(tag)
+    if ident:
+        parts.append(f"#{ident}")
+    parts.extend(f".{c}" for c in classes)
+    if not parts:
+        parts = ["*"]
+    return "".join(parts)
+
+
+@given(compound_selectors())
+@settings(max_examples=100, deadline=None)
+def test_specificity_components_count_parts(source):
+    selector = parse_selector(source)
+    ids, classes, tags = selector.specificity()
+    assert ids == source.count("#")
+    assert classes == source.count(".")
+    assert tags == (0 if source.startswith(("*", "#", ".")) else 1)
+
+
+@given(compound_selectors())
+@settings(max_examples=100, deadline=None)
+def test_matching_is_deterministic(source):
+    ctx = EngineContext()
+    ctx.spawn_threads()
+    element = Element(ctx, "div")
+    element.set_attribute("class", "a b")
+    element.set_attribute("id", "x")
+    selector = parse_selector(source)
+    assert selector.matches(element) == selector.matches(element)
+
+
+@given(compound_selectors())
+@settings(max_examples=100, deadline=None)
+def test_universal_superset(source):
+    """Anything a specific selector matches, `*` also matches."""
+    ctx = EngineContext()
+    ctx.spawn_threads()
+    element = Element(ctx, "div")
+    element.set_attribute("class", "a")
+    element.set_attribute("id", "x")
+    if parse_selector(source).matches(element):
+        assert parse_selector("*").matches(element)

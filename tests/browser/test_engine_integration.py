@@ -1,0 +1,164 @@
+"""Integration tests: full pipeline through BrowserEngine, then slicing."""
+
+import pytest
+
+from repro.browser import BrowserEngine, EngineConfig, PageSpec, UserAction
+from repro.browser.context import COMPOSITOR_THREAD, IO_THREAD, MAIN_THREAD
+from repro.profiler import Profiler, pixel_criteria, syscall_criteria
+
+SIMPLE_CSS = """
+body { margin: 0; background-color: #ffffff; }
+.hero { width: 100%; height: 300px; background-color: #131921; }
+.card { width: 200px; height: 150px; background-color: #eeeeee; margin: 8px; }
+.unused-rule-one { border-width: 3px; color: orange; }
+.unused-rule-two { padding: 40px; background-color: blue; }
+"""
+
+SIMPLE_JS = """
+function usedAtLoad() {
+    var hero = document.getElementById('hero');
+    hero.setAttribute('data-ready', 'yes');
+    return 1;
+}
+function neverCalledHelper(a, b) {
+    var table = [];
+    for (var i = 0; i < 50; i++) { table.push(a * i + b); }
+    return table;
+}
+var analytics = { hits: 0 };
+function trackPageView() {
+    analytics.hits = analytics.hits + 1;
+    var payload = 'pv=' + analytics.hits;
+    navigator.sendBeacon('https://stats.example/collect', payload);
+}
+usedAtLoad();
+trackPageView();
+"""
+
+SIMPLE_HTML = """<!DOCTYPE html>
+<html>
+<head>
+<title>Test page</title>
+<link rel="stylesheet" href="main.css">
+</head>
+<body>
+<div id="hero" class="hero">Welcome to the test page</div>
+<div class="card" id="card1">Card one content</div>
+<div class="card" id="card2">Card two content</div>
+<button id="menu-btn">Menu</button>
+<script src="app.js"></script>
+<script>
+document.getElementById('menu-btn').addEventListener('click', function(e) {
+    document.getElementById('card1').textContent = 'Menu is open now';
+});
+</script>
+</body>
+</html>
+"""
+
+
+def make_page():
+    return PageSpec(
+        url="https://example.test/",
+        html=SIMPLE_HTML,
+        stylesheets={"main.css": SIMPLE_CSS},
+        scripts={"app.js": SIMPLE_JS},
+    )
+
+
+@pytest.fixture(scope="module")
+def loaded_engine():
+    engine = BrowserEngine(EngineConfig(viewport_width=640, viewport_height=480))
+    engine.load_page(make_page())
+    return engine
+
+
+def test_load_reaches_first_frame(loaded_engine):
+    assert loaded_engine.loaded
+    store = loaded_engine.trace_store()
+    assert len(store) > 500
+    assert store.metadata.load_complete_index is not None
+    assert store.metadata.tile_buffers, "raster must emit pixel criteria"
+
+
+def test_all_threads_executed(loaded_engine):
+    counts = loaded_engine.trace_store().instructions_per_thread()
+    assert counts.get(MAIN_THREAD, 0) > 0
+    assert counts.get(COMPOSITOR_THREAD, 0) > 0
+    assert counts.get(IO_THREAD, 0) > 0
+    raster_tids = loaded_engine.ctx.raster_thread_ids()
+    assert any(counts.get(tid, 0) > 0 for tid in raster_tids)
+
+
+def test_dom_built_and_styled(loaded_engine):
+    doc = loaded_engine.document
+    hero = doc.get_element_by_id("hero")
+    assert hero is not None
+    # The load-time script ran and touched the DOM.
+    assert hero.get_attribute("data-ready") == "yes"
+    style = loaded_engine.resolver.style_of(hero)
+    assert style.background_color.r == 0x13
+
+
+def test_layout_produced_geometry(loaded_engine):
+    tree = loaded_engine.layout_tree
+    hero_box = tree.box_for(loaded_engine.document.get_element_by_id("hero"))
+    assert hero_box is not None
+    assert hero_box.rect.h == 300.0
+    assert tree.document_height() > 300.0
+
+
+def test_pixel_slice_is_partial(loaded_engine):
+    store = loaded_engine.trace_store()
+    prof = Profiler(store)
+    result = prof.pixel_slice()
+    fraction = result.fraction()
+    assert 0.05 < fraction < 0.95, f"implausible slice fraction {fraction:.2%}"
+
+
+def test_never_called_js_outside_slice(loaded_engine):
+    store = loaded_engine.trace_store()
+    prof = Profiler(store)
+    result = prof.pixel_slice()
+    # Find records of the never-called helper: it is only ever parsed, so
+    # no v8::js::neverCalledHelper frame may exist at all.
+    names = [name for _, name in store.symbols]
+    assert "v8::js::neverCalledHelper" not in names
+    assert "v8::js::usedAtLoad" in names
+
+
+def test_syscall_slice_superset_of_pixels(loaded_engine):
+    store = loaded_engine.trace_store()
+    prof = Profiler(store)
+    pixels = prof.slice(pixel_criteria(store))
+    syscalls = prof.combined_slice()
+    missing = sum(
+        1 for i in range(len(store)) if pixels.flags[i] and not syscalls.flags[i]
+    )
+    assert missing == 0, f"{missing} pixel-slice records missing from syscall slice"
+
+
+def test_click_renders_change():
+    engine = BrowserEngine(EngineConfig(viewport_width=640, viewport_height=480))
+    engine.load_page(make_page())
+    frames_before = engine.compositor.frame_count
+    engine.run_session(
+        [UserAction(kind="click", target_id="menu-btn", think_time_ms=100)]
+    )
+    card = engine.document.get_element_by_id("card1")
+    assert card.text_content() == "Menu is open now"
+    assert engine.compositor.frame_count > frames_before
+
+
+def test_coverage_tracks_unused_js(loaded_engine):
+    coverage = loaded_engine.interp.coverage
+    assert coverage.total_bytes() > 0
+    assert 0 < coverage.unused_bytes() < coverage.total_bytes()
+
+
+def test_unused_css_rules_detected(loaded_engine):
+    cssom = loaded_engine.cssom
+    matched = [r for r in cssom.all_rules() if r.ever_matched]
+    unmatched = [r for r in cssom.all_rules() if not r.ever_matched]
+    assert matched, "some rules must match"
+    assert unmatched, "the unused rules must not match"

@@ -1,0 +1,191 @@
+"""Unit tests for the HTML tokenizer, tree builder, and DOM."""
+
+import pytest
+
+from repro.browser.context import EngineContext
+from repro.browser.html import (
+    Comment,
+    Doctype,
+    EndTag,
+    HTMLLexError,
+    RawText,
+    StartTag,
+    Text,
+    parse_html,
+    token_list,
+)
+
+
+def make_ctx():
+    ctx = EngineContext()
+    ctx.spawn_threads()
+    return ctx
+
+
+def parse(ctx, source):
+    region = ctx.alloc_bytes("html", len(source))
+    return parse_html(ctx, source, region)
+
+
+# -- tokenizer ---------------------------------------------------------- #
+
+
+def test_tokenize_basic():
+    tokens = token_list("<div class=\"a\">hi</div>")
+    assert isinstance(tokens[0], StartTag)
+    assert tokens[0].name == "div"
+    assert tokens[0].attributes == {"class": "a"}
+    assert isinstance(tokens[1], Text)
+    assert tokens[1].text == "hi"
+    assert isinstance(tokens[2], EndTag)
+
+
+def test_tokenize_attribute_forms():
+    tokens = token_list("<input type=text disabled value='x'>")
+    tag = tokens[0]
+    assert tag.attributes == {"type": "text", "disabled": "", "value": "x"}
+
+
+def test_tokenize_self_closing():
+    tokens = token_list("<br/>")
+    assert tokens[0].self_closing
+
+
+def test_tokenize_comment_and_doctype():
+    tokens = token_list("<!DOCTYPE html><!-- hey --><p>x</p>")
+    assert isinstance(tokens[0], Doctype)
+    assert isinstance(tokens[1], Comment)
+    assert tokens[1].text.strip() == "hey"
+
+
+def test_tokenize_script_raw_text():
+    tokens = token_list("<script>if (a < b) { x(); }</script>")
+    assert isinstance(tokens[0], StartTag)
+    assert isinstance(tokens[1], RawText)
+    assert "a < b" in tokens[1].text
+    assert isinstance(tokens[2], EndTag)
+
+
+def test_tokenize_unclosed_comment_raises():
+    with pytest.raises(HTMLLexError):
+        token_list("<!-- never closed")
+
+
+def test_tokenize_spans_cover_source():
+    source = "<div>abc</div>"
+    tokens = token_list(source)
+    assert tokens[0].span == (0, 5)
+    assert tokens[1].span == (5, 8)
+    assert tokens[2].span == (8, len(source))
+
+
+# -- tree builder -------------------------------------------------------- #
+
+
+def test_parse_simple_document():
+    ctx = make_ctx()
+    parser = parse(
+        ctx,
+        "<html><head><title>T</title></head>"
+        "<body><div id='main'><p>hello</p></div></body></html>",
+    )
+    doc = parser.document
+    assert doc.body() is not None
+    main = doc.get_element_by_id("main")
+    assert main is not None
+    assert main.tag == "div"
+    paragraphs = doc.get_elements_by_tag("p")
+    assert len(paragraphs) == 1
+    assert paragraphs[0].text_content() == "hello"
+
+
+def test_parse_synthesizes_head_and_body():
+    ctx = make_ctx()
+    parser = parse(ctx, "<title>T</title><div>content</div>")
+    doc = parser.document
+    assert doc.head() is not None
+    assert doc.body() is not None
+    assert doc.get_elements_by_tag("title")[0].parent is doc.head()
+    assert doc.get_elements_by_tag("div")[0].parent is doc.body()
+
+
+def test_parse_auto_close_li():
+    ctx = make_ctx()
+    parser = parse(ctx, "<body><ul><li>a<li>b<li>c</ul></body>")
+    ul = parser.document.get_elements_by_tag("ul")[0]
+    assert [e.tag for e in ul.child_elements()] == ["li", "li", "li"]
+
+
+def test_parse_void_elements_have_no_children():
+    ctx = make_ctx()
+    parser = parse(ctx, "<body><img src='x.png'><p>after</p></body>")
+    img = parser.document.get_elements_by_tag("img")[0]
+    assert img.children == []
+    p = parser.document.get_elements_by_tag("p")[0]
+    assert p.parent.tag == "body"
+
+
+def test_parse_collects_scripts_and_styles():
+    ctx = make_ctx()
+    parser = parse(
+        ctx,
+        "<head><style>.a{color:red}</style></head>"
+        "<body><script>var x = 1;</script></body>",
+    )
+    assert len(parser.scripts) == 1
+    assert "var x = 1;" in parser.scripts[0][1]
+    assert len(parser.styles) == 1
+    assert ".a{color:red}" in parser.styles[0][1]
+
+
+def test_parse_stray_end_tag_ignored():
+    ctx = make_ctx()
+    parser = parse(ctx, "<body><div>x</div></span></body>")
+    assert parser.document.body() is not None
+
+
+def test_parse_emits_trace_records():
+    ctx = make_ctx()
+    before = len(ctx.tracer.store)
+    parse(ctx, "<body><div id='a'>text</div></body>")
+    assert len(ctx.tracer.store) > before
+
+
+def test_dom_classes_and_ancestors():
+    ctx = make_ctx()
+    parser = parse(ctx, "<body><div class='a b'><span id='s'>x</span></div></body>")
+    span = parser.document.get_element_by_id("s")
+    div = span.parent
+    assert div.has_class("a") and div.has_class("b")
+    assert [a.tag for a in span.ancestors()][:2] == ["div", "body"]
+
+
+def test_dom_descendants_in_document_order():
+    ctx = make_ctx()
+    parser = parse(ctx, "<body><div><p>1</p><p>2</p></div><span>3</span></body>")
+    body = parser.document.body()
+    tags = [n.tag for n in body.descendant_elements()]
+    assert tags == ["div", "p", "p", "span"]
+
+
+def test_reindex_after_mutation():
+    ctx = make_ctx()
+    parser = parse(ctx, "<body><div id='a'>x</div></body>")
+    doc = parser.document
+    from repro.browser.html import Element
+
+    new = Element(ctx, "div")
+    new.set_attribute("id", "later")
+    doc.body().append_child(new)
+    assert doc.get_element_by_id("later") is new
+
+
+def test_entities_decoded_in_text_and_attributes():
+    from repro.browser.html.entities import decode_entities
+
+    tokens = token_list('<div title="a &amp; b">1 &lt; 2 &copy; &#65;&#x42;</div>')
+    assert tokens[0].attributes["title"] == "a & b"
+    assert tokens[1].text == "1 < 2 © AB"
+    assert decode_entities("&unknown; stays") == "&unknown; stays"
+    assert decode_entities("no refs") == "no refs"
+    assert decode_entities("&#xZZ;") == "&#xZZ;"

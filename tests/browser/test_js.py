@@ -1,0 +1,440 @@
+"""Unit tests for the mini-JavaScript engine."""
+
+import pytest
+
+from repro.browser.context import EngineContext
+from repro.browser.html import parse_html
+from repro.browser.js import (
+    BrowserHooks,
+    Interpreter,
+    JSArray,
+    JSObject,
+    JSParseError,
+    JSRuntime,
+    parse_js,
+    tokenize_js,
+)
+
+
+def make_ctx():
+    ctx = EngineContext()
+    ctx.spawn_threads()
+    return ctx
+
+
+def run_js(source, html="<body><div id='a'>x</div></body>"):
+    ctx = make_ctx()
+    region = ctx.alloc_bytes("html", len(html))
+    parser = parse_html(ctx, html, region)
+    interp = Interpreter(ctx)
+    runtime = JSRuntime(interp, parser.document)
+    js_region = ctx.alloc_bytes("js", len(source))
+    script = interp.execute_script(source, "test.js", js_region)
+    return ctx, interp, runtime, script
+
+
+def global_value(interp, name):
+    return interp.global_env.get(name)
+
+
+# -- lexer/parser ---------------------------------------------------------- #
+
+
+def test_tokenize_js_basics():
+    tokens = tokenize_js("var x = 1 + 2; // comment\n'str'")
+    kinds = [t.kind for t in tokens]
+    assert kinds[:3] == ["keyword", "ident", "punct"]
+    assert tokens[-2].kind == "string"
+    assert tokens[-1].kind == "eof"
+
+
+def test_parse_js_program():
+    program = parse_js("function f(a, b) { return a + b; } var y = f(1, 2);")
+    assert len(program.body) == 2
+
+
+def test_parse_js_error():
+    with pytest.raises(JSParseError):
+        parse_js("var = ;")
+
+
+# -- evaluation -------------------------------------------------------------- #
+
+
+def test_arithmetic_and_vars():
+    _, interp, _, _ = run_js("var x = 2 * (3 + 4); var y = x % 5;")
+    assert global_value(interp, "x") == 14.0
+    assert global_value(interp, "y") == 4.0
+
+
+def test_string_concat_and_methods():
+    _, interp, _, _ = run_js(
+        "var s = 'ab' + 'cd'; var up = s.toUpperCase();"
+        " var i = s.indexOf('cd'); var len = s.length;"
+    )
+    assert global_value(interp, "s") == "abcd"
+    assert global_value(interp, "up") == "ABCD"
+    assert global_value(interp, "i") == 2.0
+    assert global_value(interp, "len") == 4.0
+
+
+def test_functions_closures_recursion():
+    _, interp, _, _ = run_js(
+        """
+        function makeCounter() {
+            var n = 0;
+            return function() { n = n + 1; return n; };
+        }
+        var c = makeCounter();
+        c(); c();
+        var result = c();
+        function fib(n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        var f = fib(10);
+        """
+    )
+    assert global_value(interp, "result") == 3.0
+    assert global_value(interp, "f") == 55.0
+
+
+def test_control_flow():
+    _, interp, _, _ = run_js(
+        """
+        var total = 0;
+        for (var i = 0; i < 10; i++) {
+            if (i % 2 === 0) continue;
+            total += i;
+        }
+        var j = 0;
+        while (true) { j++; if (j >= 5) break; }
+        """
+    )
+    assert global_value(interp, "total") == 25.0
+    assert global_value(interp, "j") == 5.0
+
+
+def test_objects_and_arrays():
+    _, interp, _, _ = run_js(
+        """
+        var obj = { a: 1, b: { c: 2 } };
+        obj.d = obj.a + obj.b.c;
+        var arr = [1, 2, 3];
+        arr.push(4);
+        var sum = 0;
+        arr.forEach(function(v) { sum += v; });
+        var doubled = arr.map(function(v) { return v * 2; });
+        var odds = arr.filter(function(v) { return v % 2 === 1; });
+        """
+    )
+    obj = global_value(interp, "obj")
+    assert isinstance(obj, JSObject)
+    assert obj.get("d") == 3.0
+    assert global_value(interp, "sum") == 10.0
+    assert global_value(interp, "doubled").elements == [2.0, 4.0, 6.0, 8.0]
+    assert global_value(interp, "odds").elements == [1.0, 3.0]
+
+
+def test_ternary_logical_typeof():
+    _, interp, _, _ = run_js(
+        """
+        var a = 1 > 0 ? 'yes' : 'no';
+        var b = null || 'fallback';
+        var c = 'x' && 'y';
+        var t = typeof 42;
+        """
+    )
+    assert global_value(interp, "a") == "yes"
+    assert global_value(interp, "b") == "fallback"
+    assert global_value(interp, "c") == "y"
+    assert global_value(interp, "t") == "number"
+
+
+def test_new_and_this():
+    _, interp, _, _ = run_js(
+        """
+        function Point(x, y) { this.x = x; this.y = y; }
+        var p = new Point(3, 4);
+        var mag = Math.sqrt(p.x * p.x + p.y * p.y);
+        """
+    )
+    assert global_value(interp, "mag") == 5.0
+
+
+def test_math_and_seeded_random():
+    ctx1, interp1, _, _ = run_js("var r = Math.random() + Math.random();")
+    ctx2, interp2, _, _ = run_js("var r = Math.random() + Math.random();")
+    # Deterministic: the same seed produces the same sequence.
+    assert global_value(interp1, "r") == global_value(interp2, "r")
+    _, interp, _, _ = run_js("var f = Math.floor(3.7); var m = Math.max(1, 9, 4);")
+    assert global_value(interp, "f") == 3.0
+    assert global_value(interp, "m") == 9.0
+
+
+# -- DOM bindings ------------------------------------------------------------ #
+
+
+def test_get_element_by_id_and_set_attribute():
+    ctx, interp, runtime, _ = run_js(
+        "var el = document.getElementById('a');"
+        " el.setAttribute('data-x', '42');"
+        " var back = el.getAttribute('data-x');"
+    )
+    assert global_value(interp, "back") == "42"
+    element = runtime.document.get_element_by_id("a")
+    assert element.get_attribute("data-x") == "42"
+
+
+def test_create_and_append_element():
+    ctx, interp, runtime, _ = run_js(
+        """
+        var parent = document.getElementById('a');
+        var child = document.createElement('span');
+        child.setAttribute('id', 'new');
+        parent.appendChild(child);
+        """
+    )
+    assert runtime.document.get_element_by_id("new") is not None
+
+
+def test_text_content_setter_mutates_dom():
+    ctx, interp, runtime, _ = run_js(
+        "document.getElementById('a').textContent = 'replaced';"
+    )
+    element = runtime.document.get_element_by_id("a")
+    assert element.text_content() == "replaced"
+
+
+def test_style_proxy_sets_inline_style():
+    ctx, interp, runtime, _ = run_js(
+        "document.getElementById('a').style.backgroundColor = 'red';"
+    )
+    element = runtime.document.get_element_by_id("a")
+    assert "background-color:red" in element.get_attribute("style")
+
+
+def test_event_listener_registration_and_dispatch():
+    ctx, interp, runtime, _ = run_js(
+        """
+        var hits = 0;
+        document.getElementById('a').addEventListener('click', function(e) {
+            hits = hits + 1;
+        });
+        """
+    )
+    element = runtime.document.get_element_by_id("a")
+    assert runtime.has_listener(element, "click")
+    ran = runtime.dispatch_event(element, "click")
+    assert ran == 1
+    assert global_value(interp, "hits") == 1.0
+
+
+def test_set_timeout_goes_through_hooks():
+    scheduled = []
+
+    class Hooks(BrowserHooks):
+        def schedule_timeout(self, callback, delay_ms):
+            scheduled.append(delay_ms)
+
+    ctx = make_ctx()
+    html = "<body></body>"
+    region = ctx.alloc_bytes("html", len(html))
+    parser = parse_html(ctx, html, region)
+    interp = Interpreter(ctx)
+    JSRuntime(interp, parser.document, hooks=Hooks())
+    js = "setTimeout(function() { var x = 1; }, 250);"
+    interp.execute_script(js, "t.js", ctx.alloc_bytes("js", len(js)))
+    assert scheduled == [250.0]
+
+
+def test_query_selector_all():
+    ctx, interp, runtime, _ = run_js(
+        "var n = document.querySelectorAll('div').length;",
+        html="<body><div>1</div><div>2</div><span>s</span></body>",
+    )
+    assert global_value(interp, "n") == 2.0
+
+
+# -- coverage ------------------------------------------------------------------ #
+
+
+def test_coverage_unused_function_bytes():
+    source = (
+        "function used() { return 1; }\n"
+        "function unusedButLong() { var a = 0; a += 1; a += 2; a += 3; return a; }\n"
+        "used();\n"
+    )
+    _, interp, _, script = run_js(source)
+    assert script.top_level_executed
+    assert 0 < script.used_bytes() < script.total_bytes
+    unused = script.unused_bytes()
+    assert unused >= len("{ var a = 0; a += 1; a += 2; a += 3; return a; }") - 2
+
+
+def test_coverage_all_used_when_everything_runs():
+    source = "function f() { return 2; }\nvar x = f();"
+    _, interp, _, script = run_js(source)
+    assert script.unused_bytes() == 0
+
+
+def test_lazy_compilation_on_first_call():
+    source = "function f() { return 1; }\nf(); f(); f();"
+    ctx, interp, _, _ = run_js(source)
+    names = [name for _, name in ctx.tracer.symbols]
+    assert "v8::Compiler::CompileFunction" in names
+    from repro.trace.records import InstrKind
+
+    compile_calls = sum(
+        1
+        for r in ctx.tracer.store.forward()
+        if r.kind == InstrKind.CALL
+        and r.pc
+        == ctx.tracer.pc_of("v8::Script::Run", "call:v8::Compiler::CompileFunction")
+    )
+    # One eager top-level compile plus exactly one lazy compile for f,
+    # despite three calls to f.
+    assert compile_calls == 2
+
+
+def test_js_records_are_v8_namespaced():
+    ctx, interp, _, _ = run_js("var x = 1 + 2;")
+    from repro.profiler.categorize import categorize_symbol
+
+    js_records = [
+        r
+        for r in ctx.tracer.store.forward()
+        if categorize_symbol(ctx.tracer.symbols.name(r.fn)) == "JavaScript"
+    ]
+    assert js_records, "expected JavaScript-category records in the trace"
+
+
+# -- extended language features ---------------------------------------------- #
+
+
+def test_do_while():
+    _, interp, _, _ = run_js("var n = 0; do { n++; } while (n < 3);")
+    assert global_value(interp, "n") == 3.0
+
+
+def test_do_while_runs_at_least_once():
+    _, interp, _, _ = run_js("var n = 0; do { n++; } while (false);")
+    assert global_value(interp, "n") == 1.0
+
+
+def test_for_in_over_object():
+    _, interp, _, _ = run_js(
+        """
+        var obj = { a: 1, b: 2, c: 3 };
+        var keys = [];
+        var total = 0;
+        for (var k in obj) { keys.push(k); total += obj[k]; }
+        var joined = keys.join('');
+        """
+    )
+    assert global_value(interp, "joined") == "abc"
+    assert global_value(interp, "total") == 6.0
+
+
+def test_for_in_over_array_indices():
+    _, interp, _, _ = run_js(
+        "var a = [10, 20, 30]; var s = 0; for (var i in a) { s += a[i]; }"
+    )
+    assert global_value(interp, "s") == 60.0
+
+
+def test_switch_with_fallthrough_and_default():
+    _, interp, _, _ = run_js(
+        """
+        function classify(x) {
+            var out = '';
+            switch (x) {
+                case 1: out += 'one ';
+                case 2: out += 'two'; break;
+                case 3: out += 'three'; break;
+                default: out = 'other';
+            }
+            return out;
+        }
+        var a = classify(1);
+        var b = classify(2);
+        var c = classify(3);
+        var d = classify(9);
+        """
+    )
+    assert global_value(interp, "a") == "one two"
+    assert global_value(interp, "b") == "two"
+    assert global_value(interp, "c") == "three"
+    assert global_value(interp, "d") == "other"
+
+
+def test_json_stringify():
+    _, interp, _, _ = run_js(
+        "var s = JSON.stringify({ a: 1, b: 'x', c: [true, null] });"
+    )
+    assert global_value(interp, "s") == '{"a":1,"b":"x","c":[true,null]}'
+
+
+def test_object_keys():
+    _, interp, _, _ = run_js(
+        "var ks = Object.keys({ x: 1, y: 2 }).join(',');"
+    )
+    assert global_value(interp, "ks") == "x,y"
+
+
+def test_array_concat_and_reduce():
+    _, interp, _, _ = run_js(
+        """
+        var merged = [1, 2].concat([3, 4], 5);
+        var sum = merged.reduce(function(acc, v) { return acc + v; }, 0);
+        var noInit = [2, 3, 4].reduce(function(acc, v) { return acc * v; });
+        """
+    )
+    assert global_value(interp, "merged").elements == [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert global_value(interp, "sum") == 15.0
+    assert global_value(interp, "noInit") == 24.0
+
+
+def test_keywords_not_usable_as_identifiers():
+    with pytest.raises(JSParseError):
+        parse_js("var switch = 1;")
+
+
+def test_try_catch_finally():
+    _, interp, _, _ = run_js(
+        """
+        var log = [];
+        function risky(n) { if (n > 2) { throw 'big:' + n; } return n * 10; }
+        var out = 0;
+        try { out = risky(1); log.push('ok'); }
+        catch (e) { log.push(e); }
+        finally { log.push('f1'); }
+        try { out = risky(5); } catch (e) { log.push(e); } finally { log.push('f2'); }
+        var joined = log.join('|');
+        """
+    )
+    assert global_value(interp, "joined") == "ok|f1|big:5|f2"
+    assert global_value(interp, "out") == 10.0
+
+
+def test_throw_propagates_through_frames():
+    _, interp, _, _ = run_js(
+        """
+        function deep() { throw 'boom'; }
+        function mid() { deep(); return 'unreached'; }
+        var got = '';
+        try { mid(); } catch (e) { got = e; }
+        """
+    )
+    assert global_value(interp, "got") == "boom"
+
+
+def test_try_finally_without_catch_reraises():
+    _, interp, _, _ = run_js(
+        """
+        var order = [];
+        function f() {
+            try { throw 'x'; } finally { order.push('inner-finally'); }
+        }
+        try { f(); } catch (e) { order.push('outer:' + e); }
+        var seq = order.join(',');
+        """
+    )
+    assert global_value(interp, "seq") == "inner-finally,outer:x"

@@ -1,0 +1,128 @@
+"""Semantics tests for JS value coercion and runtime helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.browser.context import EngineContext
+from repro.browser.js.lexer import JSLexError, tokenize_js
+from repro.browser.js.values import (
+    JSArray,
+    JSObject,
+    js_to_number,
+    js_to_string,
+    js_truthy,
+    js_typeof,
+)
+
+
+def make_ctx():
+    ctx = EngineContext()
+    ctx.spawn_threads()
+    return ctx
+
+
+# -- coercions ----------------------------------------------------------- #
+
+
+def test_truthiness_table():
+    assert not js_truthy(None)
+    assert not js_truthy(False)
+    assert not js_truthy(0.0)
+    assert not js_truthy("")
+    assert js_truthy(True)
+    assert js_truthy(1.5)
+    assert js_truthy("x")
+    assert js_truthy(JSObject(make_ctx()))
+
+
+def test_to_number_coercions():
+    assert js_to_number("42") == 42.0
+    assert js_to_number("") == 0.0
+    assert js_to_number(None) == 0.0
+    assert js_to_number(True) == 1.0
+    assert js_to_number(False) == 0.0
+    assert js_to_number("not a number") != js_to_number("not a number")  # NaN
+
+
+def test_to_string_numbers():
+    assert js_to_string(3.0) == "3"
+    assert js_to_string(3.5) == "3.5"
+    assert js_to_string(float("nan")) == "NaN"
+    assert js_to_string(None) == "undefined"
+    assert js_to_string(True) == "true"
+
+
+def test_to_string_composites():
+    ctx = make_ctx()
+    array = JSArray(ctx)
+    array.elements = [1.0, "a", None]
+    assert js_to_string(array) == "1,a,undefined"
+    assert js_to_string(JSObject(ctx)) == "[object Object]"
+
+
+def test_typeof_table():
+    ctx = make_ctx()
+    assert js_typeof(None) == "undefined"
+    assert js_typeof(True) == "boolean"
+    assert js_typeof(1.0) == "number"
+    assert js_typeof("s") == "string"
+    assert js_typeof(JSObject(ctx)) == "object"
+    assert js_typeof(JSArray(ctx)) == "object"
+
+
+# -- environment --------------------------------------------------------- #
+
+
+def test_environment_scoping():
+    from repro.browser.js.values import Environment, JSReferenceError
+
+    ctx = make_ctx()
+    outer = Environment(ctx)
+    inner = Environment(ctx, outer)
+    outer.define("x", 1.0)
+    assert inner.get("x") == 1.0
+    inner.define("x", 2.0)
+    assert inner.get("x") == 2.0
+    assert outer.get("x") == 1.0
+    with pytest.raises(JSReferenceError):
+        inner.get("missing")
+    # Sloppy-mode assignment to an undeclared name creates a global.
+    inner.set("implicit", 7.0)
+    assert outer.get("implicit") == 7.0
+
+
+def test_array_index_cells_bounded():
+    ctx = make_ctx()
+    array = JSArray(ctx)
+    cells = {array.index_cell(i) for i in range(1000)}
+    assert len(cells) <= JSArray.CELL_BOUND
+
+
+# -- lexer robustness ------------------------------------------------------ #
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=60))
+@settings(max_examples=150, deadline=None)
+def test_lexer_terminates_on_printable_ascii(source):
+    """The tokenizer either produces tokens or raises JSLexError — never
+    hangs or crashes with anything else."""
+    try:
+        tokens = tokenize_js(source)
+    except JSLexError:
+        return
+    assert tokens[-1].kind == "eof"
+    # Spans are within bounds and non-decreasing.
+    last = 0
+    for token in tokens[:-1]:
+        assert 0 <= token.start <= token.end <= len(source)
+        assert token.start >= last
+        last = token.start
+
+
+@given(st.lists(st.sampled_from(["foo", "bar42", "_x", "$y"]), min_size=1, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_lexer_identifier_round_trip(names):
+    source = " ".join(names)
+    tokens = tokenize_js(source)
+    idents = [t.value for t in tokens if t.kind == "ident"]
+    assert idents == names

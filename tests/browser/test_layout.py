@@ -1,0 +1,205 @@
+"""Unit tests for the layout engine."""
+
+import pytest
+
+from repro.browser.context import EngineConfig, EngineContext
+from repro.browser.css.cssom import CSSOM
+from repro.browser.css.parser import parse_css
+from repro.browser.html import parse_html
+from repro.browser.layout.engine import LayoutEngine
+from repro.browser.layout.geometry import Rect
+from repro.browser.style.resolver import StyleResolver
+
+
+def layout_page(html, css="", viewport=(800, 600)):
+    ctx = EngineContext(EngineConfig(viewport_width=viewport[0], viewport_height=viewport[1]))
+    ctx.spawn_threads()
+    region = ctx.alloc_bytes("html", len(html))
+    parser = parse_html(ctx, html, region)
+    cssom = CSSOM()
+    if css:
+        css_region = ctx.alloc_bytes("css", len(css))
+        cssom.add_sheet(parse_css(ctx, "test.css", css, css_region))
+    resolver = StyleResolver(ctx, cssom)
+    resolver.resolve_document(parser.document)
+    engine = LayoutEngine(ctx, resolver)
+    tree = engine.layout_document(parser.document)
+    return ctx, parser.document, tree
+
+
+def box_of(doc, tree, ident):
+    return tree.box_for(doc.get_element_by_id(ident))
+
+
+def test_blocks_stack_vertically():
+    _, doc, tree = layout_page(
+        "<body><div id='a' style='height:100px'>x</div>"
+        "<div id='b' style='height:50px'>y</div></body>"
+    )
+    a, b = box_of(doc, tree, "a"), box_of(doc, tree, "b")
+    assert a.rect.h == 100
+    assert b.rect.y >= a.rect.bottom
+
+
+def test_explicit_and_percentage_width():
+    _, doc, tree = layout_page(
+        "<body style='margin:0;padding:0'>"
+        "<div id='a' style='width:300px;height:10px'>.</div>"
+        "<div id='b' style='width:50%;height:10px'>.</div></body>"
+    )
+    assert box_of(doc, tree, "a").rect.w == 300
+    b = box_of(doc, tree, "b")
+    assert b.rect.w == pytest.approx(b.parent.rect.w / 2, rel=0.1)
+
+
+def test_auto_width_fills_container():
+    _, doc, tree = layout_page(
+        "<body style='margin:0'><div id='a' style='height:10px'>.</div></body>"
+    )
+    a = box_of(doc, tree, "a")
+    assert a.rect.w > 700  # body content width minus UA margins
+
+
+def test_margins_offset_position():
+    _, doc, tree = layout_page(
+        "<body style='margin:0;padding:0'>"
+        "<div id='a' style='margin:20px;height:30px;width:100px'>.</div></body>"
+    )
+    a = box_of(doc, tree, "a")
+    assert a.rect.x == pytest.approx(20)
+    assert a.rect.y == pytest.approx(20)
+
+
+def test_display_none_produces_no_box():
+    _, doc, tree = layout_page(
+        "<body><div id='a' style='display:none'>hidden</div>"
+        "<div id='b' style='height:10px'>.</div></body>"
+    )
+    assert box_of(doc, tree, "a") is None
+    assert box_of(doc, tree, "b") is not None
+
+
+def test_head_content_not_laid_out():
+    _, doc, tree = layout_page(
+        "<head><title>T</title></head><body><div id='a'>x</div></body>"
+    )
+    title = doc.get_elements_by_tag("title")[0]
+    assert tree.box_for(title) is None
+
+
+def test_inline_block_wraps_into_rows():
+    cards = "".join(
+        f"<div class='c' id='c{i}'>x</div>" for i in range(5)
+    )
+    _, doc, tree = layout_page(
+        f"<body style='margin:0;padding:0'>{cards}</body>",
+        css=".c { display: inline-block; width: 300px; height: 100px; margin: 0; }",
+        viewport=(700, 600),
+    )
+    # 700px fits two 300px cards per row -> rows of 2, 2, 1.
+    c0, c1, c2 = (box_of(doc, tree, f"c{i}") for i in range(3))
+    assert c0.rect.y == c1.rect.y
+    assert c1.rect.x > c0.rect.x
+    assert c2.rect.y > c0.rect.y  # wrapped
+
+
+def test_fixed_position_against_viewport():
+    _, doc, tree = layout_page(
+        "<body><div id='f' style='position:fixed;top:10px;left:20px;"
+        "width:50px;height:50px'>.</div></body>"
+    )
+    f = box_of(doc, tree, "f")
+    assert (f.rect.x, f.rect.y) == (20, 10)
+
+
+def test_absolute_position_out_of_flow():
+    _, doc, tree = layout_page(
+        "<body style='margin:0'><div id='a' style='position:absolute;top:100px;"
+        "left:0px;width:10px;height:10px'>.</div>"
+        "<div id='b' style='height:30px'>.</div></body>"
+    )
+    b = box_of(doc, tree, "b")
+    # The absolute box does not push the in-flow sibling down.
+    assert b.rect.y < 100
+
+
+def test_text_height_grows_with_content():
+    short = "<body style='margin:0'><div id='a'>word</div></body>"
+    long_text = "<body style='margin:0'><div id='a'>" + ("word " * 200) + "</div></body>"
+    _, doc1, tree1 = layout_page(short)
+    _, doc2, tree2 = layout_page(long_text)
+    assert box_of(doc2, tree2, "a").rect.h > box_of(doc1, tree1, "a").rect.h
+
+
+def test_replaced_elements_use_attributes():
+    _, doc, tree = layout_page(
+        "<body><img id='i' src='x.png' width='123' height='45'></body>"
+    )
+    i = box_of(doc, tree, "i")
+    assert (i.rect.w, i.rect.h) == (123, 45)
+
+
+def test_document_height_covers_content():
+    _, doc, tree = layout_page(
+        "<body style='margin:0'><div style='height:2000px'>.</div></body>"
+    )
+    assert tree.document_height() >= 2000
+
+
+def test_layout_emits_geometry_records():
+    ctx, doc, tree = layout_page("<body><div id='a'>x</div></body>")
+    names = [name for _, name in ctx.tracer.symbols]
+    assert "blink::layout::LayoutView::UpdateLayout" in names
+
+
+def test_rect_helpers():
+    a = Rect(0, 0, 10, 10)
+    b = Rect(5, 5, 10, 10)
+    assert a.intersects(b)
+    assert a.intersection(b) == Rect(5, 5, 5, 5)
+    assert a.union(b) == Rect(0, 0, 15, 15)
+    assert not a.contains_rect(b)
+    assert Rect(0, 0, 20, 20).contains_rect(b)
+    assert a.translate(1, 2) == Rect(1, 2, 10, 10)
+    assert Rect(0, 0, 0, 5).is_empty()
+    assert a.contains_point(9.5, 9.5)
+    assert not a.contains_point(10, 10)
+
+
+def test_flex_row_wraps_children():
+    cards = "".join(f"<div class='c' id='f{i}'>x</div>" for i in range(5))
+    _, doc, tree = layout_page(
+        f"<body style='margin:0;padding:0'><div id='flex' style='display:flex'>{cards}</div></body>",
+        css=".c { width: 300px; height: 100px; margin: 0; }",
+        viewport=(700, 600),
+    )
+    f0, f1, f2 = (box_of(doc, tree, f"f{i}") for i in range(3))
+    assert f0.rect.y == f1.rect.y
+    assert f1.rect.x > f0.rect.x
+    assert f2.rect.y > f0.rect.y  # wrapped to the second row
+    flex = box_of(doc, tree, "flex")
+    assert flex.rect.h >= 300  # three rows of 100px
+
+
+def test_font_metrics_proportional():
+    from repro.browser.layout.fonts import char_advance, line_count, measure_text
+
+    assert measure_text("iiii", 16) < measure_text("mmmm", 16)
+    assert char_advance("m", 16) > char_advance("i", 16)
+    assert measure_text("", 16) == 0.0
+    assert line_count("", 16, 100) == 0
+    assert line_count("word", 16, 1000) == 1
+    # A long text wraps into more lines in a narrower container.
+    text = "the quick brown fox jumps over the lazy dog " * 5
+    assert line_count(text, 16, 200) > line_count(text, 16, 600)
+
+
+def test_narrow_text_wraps_more_than_wide():
+    text = "word " * 60
+    _, doc1, tree1 = layout_page(
+        f"<body style='margin:0'><div id='a' style='width:150px'>{text}</div></body>"
+    )
+    _, doc2, tree2 = layout_page(
+        f"<body style='margin:0'><div id='a' style='width:600px'>{text}</div></body>"
+    )
+    assert box_of(doc1, tree1, "a").rect.h > box_of(doc2, tree2, "a").rect.h

@@ -1,0 +1,112 @@
+"""Engine-level tests of specific behavioural claims from the paper."""
+
+import pytest
+
+from repro.browser import BrowserEngine, EngineConfig, PageSpec, UserAction
+from repro.browser.context import COMPOSITOR_THREAD, MAIN_THREAD
+
+
+def make_engine():
+    engine = BrowserEngine(
+        EngineConfig(viewport_width=640, viewport_height=480, load_animation_ticks=0)
+    )
+    html = (
+        "<body style='margin:0'>"
+        "<div id='tall' style='height:2000px;background-color:#eeeeee'>content</div>"
+        "<button id='btn'>Go</button>"
+        "<script src='a.js'></script></body>"
+    )
+    js = (
+        "document.getElementById('btn').addEventListener('click', function(e) {"
+        " document.getElementById('btn').textContent = 'Clicked'; });"
+    )
+    engine.load_page(PageSpec(url="t", html=html, scripts={"a.js": js}))
+    return engine
+
+
+def _thread_counts(engine):
+    return engine.trace_store().instructions_per_thread()
+
+
+def test_scroll_is_compositor_fast_path():
+    """Paper V-A: 'user inputs that do not cause any major change to the
+    rendered page, such as scrolling, are handled in the compositor
+    thread' — the main thread stays (nearly) idle."""
+    engine = make_engine()
+    before = _thread_counts(engine)
+    engine.run_session([UserAction(kind="scroll", amount=400, think_time_ms=10)])
+    after = _thread_counts(engine)
+    main_delta = after[MAIN_THREAD] - before[MAIN_THREAD]
+    comp_delta = after[COMPOSITOR_THREAD] - before[COMPOSITOR_THREAD]
+    assert comp_delta > 0, "scroll must run on the compositor"
+    assert main_delta <= comp_delta * 0.1, (
+        f"scroll leaked onto the main thread: main+{main_delta}, comp+{comp_delta}"
+    )
+
+
+def test_click_goes_through_main_thread():
+    """Paper V-A: 'for other inputs, such as a mouse click to open a menu,
+    the compositor thread notifies the main thread to render the
+    changes'."""
+    engine = make_engine()
+    before = _thread_counts(engine)
+    engine.run_session([UserAction(kind="click", target_id="btn", think_time_ms=10)])
+    after = _thread_counts(engine)
+    assert after[MAIN_THREAD] > before[MAIN_THREAD]
+    assert engine.document.get_element_by_id("btn").text_content() == "Clicked"
+
+
+def test_interaction_renders_new_frame():
+    engine = make_engine()
+    frames = engine.compositor.frame_count
+    engine.run_session([UserAction(kind="click", target_id="btn", think_time_ms=10)])
+    assert engine.compositor.frame_count > frames
+
+
+def test_load_computations_dominate_interaction_computations():
+    """Paper II-A / Figure 2: 'the computations of load time are much more
+    intensive because the whole page is rendered from the ground up' while
+    interactions only touch a few elements."""
+    engine = make_engine()
+    load_records = len(engine.trace_store())
+    engine.run_session([UserAction(kind="click", target_id="btn", think_time_ms=10)])
+    interaction_records = len(engine.trace_store()) - load_records
+    assert interaction_records < load_records * 0.5
+
+
+def test_hidden_menu_costs_nothing_until_opened():
+    """Style/layout of display:none subtrees is skipped until a click
+    reveals them (the imperceptible-computation case inverted)."""
+    engine = BrowserEngine(
+        EngineConfig(viewport_width=640, viewport_height=480, load_animation_ticks=0)
+    )
+    html = (
+        "<body><button id='open'>Open</button>"
+        "<div id='menu' style='display:none'>"
+        + "".join(f"<p>item {i}</p>" for i in range(20))
+        + "</div><script src='a.js'></script></body>"
+    )
+    js = (
+        "document.getElementById('open').addEventListener('click', function(e) {"
+        " document.getElementById('menu').style.display = 'block'; });"
+    )
+    engine.load_page(PageSpec(url="t", html=html, scripts={"a.js": js}))
+    menu = engine.document.get_element_by_id("menu")
+    assert engine.layout_tree.box_for(menu) is None, "hidden at load"
+    engine.run_session([UserAction(kind="click", target_id="open", think_time_ms=10)])
+    assert engine.layout_tree.box_for(menu) is not None, "laid out after opening"
+
+
+# -- devtools inspectors ------------------------------------------------------ #
+
+
+def test_devtools_dumps():
+    from repro.browser.devtools import coverage_report, dump_dom, dump_layers
+
+    engine = make_engine()
+    dom = dump_dom(engine)
+    assert "<body" in dom and "id=btn" in dom
+    layers = dump_layers(engine)
+    assert "(root)" in layers and "presented" in layers
+    coverage = coverage_report(engine)
+    assert "JS" in coverage and "a.js" in coverage

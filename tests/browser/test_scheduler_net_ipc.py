@@ -1,0 +1,192 @@
+"""Unit tests for the scheduler, network stack, and IPC channel."""
+
+import pytest
+
+from repro.browser.context import EngineConfig, EngineContext, IO_THREAD, MAIN_THREAD
+from repro.browser.ipc.channel import IPCChannel
+from repro.browser.net.loader import NetworkStack, Resource
+from repro.browser.scheduler.loop import Scheduler
+from repro.trace.records import InstrKind
+
+
+def make_ctx():
+    ctx = EngineContext()
+    ctx.spawn_threads()
+    return ctx
+
+
+# -- scheduler ------------------------------------------------------------ #
+
+
+def test_tasks_run_in_post_order_per_thread():
+    ctx = make_ctx()
+    sched = Scheduler(ctx)
+    order = []
+    sched.post(MAIN_THREAD, "a", lambda: order.append("a"))
+    sched.post(MAIN_THREAD, "b", lambda: order.append("b"))
+    sched.run_until_idle()
+    assert order == ["a", "b"]
+
+
+def test_round_robin_across_threads():
+    ctx = make_ctx()
+    sched = Scheduler(ctx)
+    order = []
+    sched.post(2, "comp", lambda: order.append("comp"))
+    sched.post(MAIN_THREAD, "main", lambda: order.append("main"))
+    sched.run_until_idle()
+    # Sorted-tid round robin: main (tid 1) before compositor (tid 2).
+    assert order == ["main", "comp"]
+
+
+def test_tasks_can_post_more_tasks():
+    ctx = make_ctx()
+    sched = Scheduler(ctx)
+    order = []
+
+    def first():
+        order.append(1)
+        sched.post(MAIN_THREAD, "second", lambda: order.append(2))
+
+    sched.post(MAIN_THREAD, "first", first)
+    sched.run_until_idle()
+    assert order == [1, 2]
+
+
+def test_delayed_task_waits_for_clock():
+    ctx = make_ctx()
+    sched = Scheduler(ctx)
+    fired = []
+    sched.post_delayed(MAIN_THREAD, "later", lambda: fired.append(ctx.clock.now_us), 100.0)
+    start = ctx.clock.now_us
+    sched.run_until_idle()
+    assert fired and fired[0] >= start + 100_000
+
+
+def test_cross_thread_post_emits_futex_wake():
+    ctx = make_ctx()
+    sched = Scheduler(ctx)
+    ctx.tracer.switch(MAIN_THREAD)
+    sched.post(IO_THREAD, "x", lambda: None)
+    futexes = [
+        r for r in ctx.tracer.store.forward() if r.kind == InstrKind.SYSCALL and r.syscall == 202
+    ]
+    assert futexes, "cross-thread wake must issue a futex"
+
+
+def test_scheduler_executes_on_target_thread():
+    ctx = make_ctx()
+    sched = Scheduler(ctx)
+    seen = []
+    sched.post(IO_THREAD, "x", lambda: seen.append(ctx.tracer.current_tid))
+    sched.run_until_idle()
+    assert seen == [IO_THREAD]
+
+
+def test_run_until_idle_task_cap():
+    ctx = make_ctx()
+    sched = Scheduler(ctx)
+
+    def reposter():
+        sched.post(MAIN_THREAD, "again", reposter)
+
+    sched.post(MAIN_THREAD, "start", reposter)
+    executed = sched.run_until_idle(max_tasks=25)
+    assert executed == 25
+
+
+# -- network --------------------------------------------------------------- #
+
+
+def test_fetch_requires_io_thread():
+    ctx = make_ctx()
+    net = NetworkStack(ctx, IPCChannel(ctx))
+    ctx.tracer.switch(MAIN_THREAD)
+    with pytest.raises(RuntimeError):
+        net.fetch(Resource(url="u", kind="html", content="x"))
+
+
+def test_fetch_allocates_body_region_and_idles_latency():
+    ctx = make_ctx()
+    net = NetworkStack(ctx, IPCChannel(ctx))
+    ctx.tracer.switch(IO_THREAD)
+    before = ctx.clock.now_us
+    resource = net.fetch(Resource(url="u", kind="css", content="x" * 5000, latency_ms=50))
+    assert resource.region is not None
+    assert resource.region.size >= 5000 // 64
+    assert ctx.clock.now_us - before >= 50_000
+
+
+def test_fetch_emits_recvfrom_chunks():
+    ctx = make_ctx()
+    net = NetworkStack(ctx, IPCChannel(ctx))
+    ctx.tracer.switch(IO_THREAD)
+    net.fetch(Resource(url="u", kind="js", content="y" * 10_000))
+    recvs = [
+        r for r in ctx.tracer.store.forward()
+        if r.kind == InstrKind.SYSCALL and r.syscall == 45
+    ]
+    # 10 KB at ~1400 B per chunk -> at least 7 recvfroms.
+    assert len(recvs) >= 7
+    assert all(r.mem_written for r in recvs)
+
+
+def test_tls_decrypt_connects_wire_to_body():
+    ctx = make_ctx()
+    net = NetworkStack(ctx, IPCChannel(ctx))
+    ctx.tracer.switch(IO_THREAD)
+    resource = net.fetch(Resource(url="u", kind="js", content="z" * 2000))
+    body_cells = set(resource.region.all_cells())
+    decrypt_writes = set()
+    for rec in ctx.tracer.store.forward():
+        if ctx.tracer.symbols.name(rec.fn).startswith("net::SSLClientSocket"):
+            decrypt_writes.update(rec.mem_written)
+    assert body_cells & decrypt_writes, "decrypt must write the body cells"
+
+
+def test_beacon_emits_sendto():
+    ctx = make_ctx()
+    channel = IPCChannel(ctx)
+    net = NetworkStack(ctx, channel)
+    ctx.tracer.switch(IO_THREAD)
+    payload = ctx.memory.alloc_cell("payload")
+    net.send_beacon("https://t.example/x", payload)
+    sends = [
+        r for r in ctx.tracer.store.forward()
+        if r.kind == InstrKind.SYSCALL and r.syscall == 44
+    ]
+    assert sends
+    assert payload in sends[-1].mem_read
+
+
+# -- IPC --------------------------------------------------------------------- #
+
+
+def test_ipc_serialize_then_flush():
+    ctx = make_ctx()
+    channel = IPCChannel(ctx)
+    ctx.tracer.switch(MAIN_THREAD)
+    buffer_cell = channel.serialize("Test", weight=2)
+    ctx.tracer.switch(IO_THREAD)
+    channel.flush_on_io_thread(buffer_cell)
+    sends = [
+        r for r in ctx.tracer.store.forward()
+        if r.kind == InstrKind.SYSCALL and r.syscall == 44
+    ]
+    assert sends
+    assert buffer_cell in sends[-1].mem_read
+    assert channel.sent == 1
+
+
+def test_ipc_receive_returns_payload_cells():
+    ctx = make_ctx()
+    channel = IPCChannel(ctx)
+    ctx.tracer.switch(IO_THREAD)
+    cells = channel.receive("Nav", payload_size=3)
+    assert len(cells) == 3
+    assert channel.received == 1
+    recvs = [
+        r for r in ctx.tracer.store.forward()
+        if r.kind == InstrKind.SYSCALL and r.syscall == 45
+    ]
+    assert set(cells) <= set(recvs[-1].mem_written)

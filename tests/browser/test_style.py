@@ -1,0 +1,162 @@
+"""Unit tests for style resolution: cascade, inheritance, UA defaults."""
+
+import pytest
+
+from repro.browser.context import EngineContext
+from repro.browser.css.cssom import CSSOM
+from repro.browser.css.parser import parse_css
+from repro.browser.css.values import Color, Length
+from repro.browser.html import parse_html
+from repro.browser.style.computed import ComputedStyle
+from repro.browser.style.resolver import StyleResolver
+from repro.browser.style.ua import ua_defaults_for
+
+
+def resolve(html, css=""):
+    ctx = EngineContext()
+    ctx.spawn_threads()
+    region = ctx.alloc_bytes("html", len(html))
+    parser = parse_html(ctx, html, region)
+    cssom = CSSOM()
+    if css:
+        css_region = ctx.alloc_bytes("css", len(css))
+        cssom.add_sheet(parse_css(ctx, "t.css", css, css_region))
+    resolver = StyleResolver(ctx, cssom)
+    resolver.resolve_document(parser.document)
+    return ctx, parser.document, resolver
+
+
+def style_of(doc, resolver, ident):
+    return resolver.style_of(doc.get_element_by_id(ident))
+
+
+def test_ua_defaults_make_div_block_and_span_inline():
+    _, doc, resolver = resolve("<body><div id='d'>x</div><span id='s'>y</span></body>")
+    assert style_of(doc, resolver, "d").display == "block"
+    assert style_of(doc, resolver, "s").display == "inline"
+
+
+def test_ua_defaults_hide_head_elements():
+    assert ua_defaults_for("script")["display"] == "none"
+    assert ua_defaults_for("title")["display"] == "none"
+    assert ua_defaults_for("unknown-tag") == {}
+
+
+def test_author_rule_overrides_ua_default():
+    _, doc, resolver = resolve(
+        "<body><div id='d'>x</div></body>", "div { display: inline; }"
+    )
+    assert style_of(doc, resolver, "d").display == "inline"
+
+
+def test_specificity_id_beats_class_beats_tag():
+    css = """
+    div { background-color: #111111; }
+    .cls { background-color: #222222; }
+    #the { background-color: #333333; }
+    """
+    _, doc, resolver = resolve(
+        "<body><div id='the' class='cls'>x</div></body>", css
+    )
+    assert style_of(doc, resolver, "the").background_color == Color(0x33, 0x33, 0x33)
+
+
+def test_later_rule_wins_at_equal_specificity():
+    css = ".a { color: #111111; } .a { color: #222222; }"
+    _, doc, resolver = resolve("<body><div id='d' class='a'>x</div></body>", css)
+    assert style_of(doc, resolver, "d").color == Color(0x22, 0x22, 0x22)
+
+
+def test_important_beats_inline():
+    css = ".a { background-color: #111111 !important; }"
+    _, doc, resolver = resolve(
+        "<body><div id='d' class='a' style='background-color:#222222'>x</div></body>",
+        css,
+    )
+    assert style_of(doc, resolver, "d").background_color == Color(0x11, 0x11, 0x11)
+
+
+def test_inline_style_beats_rules():
+    css = ".a { background-color: #111111; }"
+    _, doc, resolver = resolve(
+        "<body><div id='d' class='a' style='background-color:#222222'>x</div></body>",
+        css,
+    )
+    assert style_of(doc, resolver, "d").background_color == Color(0x22, 0x22, 0x22)
+
+
+def test_color_inherits_background_does_not():
+    css = "#parent { color: #aa0000; background-color: #00aa00; }"
+    _, doc, resolver = resolve(
+        "<body><div id='parent'><div id='child'>x</div></div></body>", css
+    )
+    child = style_of(doc, resolver, "child")
+    assert child.color == Color(0xAA, 0, 0)
+    assert child.background_color.a == 0.0  # initial transparent
+
+
+def test_font_size_inherits_through_levels():
+    css = "#top { font-size: 30px; }"
+    _, doc, resolver = resolve(
+        "<body><div id='top'><div><span id='deep'>x</span></div></div></body>", css
+    )
+    assert style_of(doc, resolver, "deep").font_size == 30.0
+
+
+def test_unmatched_rules_marked_unused():
+    css = ".used { color: red; } .never { color: blue; }"
+    ctx, doc, resolver = resolve("<body><div id='d' class='used'>x</div></body>", css)
+    rules = resolver.cssom.all_rules()
+    used = [r for r in rules if r.ever_matched]
+    unused = [r for r in rules if not r.ever_matched]
+    assert len(used) == 1
+    assert len(unused) == 1
+
+
+def test_resolve_subtree_after_mutation():
+    ctx, doc, resolver = resolve(
+        "<body><div id='d'>x</div></body>", "#d { width: 10px; }"
+    )
+    element = doc.get_element_by_id("d")
+    element.set_attribute("style", "width: 77px")
+    resolver.resolve_subtree(element)
+    width = resolver.style_of(element).length_or_auto("width")
+    assert width == Length(77)
+
+
+def test_computed_style_helpers():
+    style = ComputedStyle.initial()
+    assert style.display == "inline"
+    assert style.visible
+    assert style.opacity == 1.0
+    assert not style.creates_layer
+    style.values["position"] = "fixed"
+    assert style.creates_layer
+    style.values["position"] = "static"
+    style.values["opacity"] = 0.4
+    assert style.creates_layer
+    assert not style.is_opaque
+
+
+def test_creates_layer_for_will_change_and_transform():
+    style = ComputedStyle.initial()
+    style.values["will-change"] = "transform"
+    assert style.creates_layer
+    style = ComputedStyle.initial()
+    style.values["transform"] = "translatex(10px)"
+    assert style.creates_layer
+
+
+def test_z_index_parsing_into_layer_order():
+    style = ComputedStyle.initial()
+    style.values["z-index"] = 7.0
+    assert style.z_index == 7
+    assert style.has_explicit_z
+
+
+def test_descendant_selector_cascades():
+    css = ".outer span { color: #0000aa; }"
+    _, doc, resolver = resolve(
+        "<body><div class='outer'><p><span id='s'>x</span></p></div></body>", css
+    )
+    assert style_of(doc, resolver, "s").color == Color(0, 0, 0xAA)

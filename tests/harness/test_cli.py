@@ -1,0 +1,28 @@
+"""Tests for the harness CLI entry point."""
+
+import pytest
+
+from repro.harness.__main__ import _TARGETS, main
+
+
+def test_usage_on_no_args(capsys):
+    assert main([]) == 2
+    assert "Usage" in capsys.readouterr().out
+
+
+def test_usage_on_unknown_target(capsys):
+    assert main(["nope"]) == 2
+
+
+def test_targets_cover_every_artifact():
+    assert set(_TARGETS) == {
+        "table1", "table2", "fig2", "fig4", "fig5", "bing-partial", "all"
+    }
+
+
+@pytest.mark.slow
+def test_bing_partial_target_runs(capsys):
+    # The cheapest full-pipeline target (one benchmark, cached thereafter).
+    assert main(["bing-partial"]) == 0
+    out = capsys.readouterr().out
+    assert "partial-slice" in out

@@ -1,0 +1,90 @@
+"""Integration tests for the experiment harness (one shared benchmark run)."""
+
+import pytest
+
+from repro.browser.context import MAIN_THREAD
+from repro.harness import paper
+from repro.harness.experiments import run_benchmark
+from repro.harness.reporting import (
+    bing_partial_report,
+    figure2_report,
+    figure5_report,
+    table2_report,
+)
+from repro.workloads import benchmark
+from repro.workloads.amazon import amazon_desktop
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    """A fast benchmark run shared by this module's tests."""
+    bench = amazon_desktop()
+    bench.config.load_animation_ticks = 10  # keep the unit test quick
+    return run_benchmark(bench)
+
+
+def test_experiment_result_fields(small_run):
+    assert small_run.name == "amazon_desktop"
+    assert len(small_run.store) > 10_000
+    assert 0.0 < small_run.pixel.fraction() < 1.0
+    assert small_run.stats.total == len(small_run.store)
+
+
+def test_experiment_coverage_accessors(small_run):
+    assert small_run.code_total_bytes() > 0
+    assert 0.0 < small_run.code_unused_fraction() < 1.0
+    assert small_run.css_used_bytes() <= small_run.css_total_bytes()
+
+
+def test_utilization_accessor(small_run):
+    series = small_run.utilization(MAIN_THREAD)
+    assert series
+    assert any(v > 0 for _, v in series)
+
+
+def test_thread_roles_present(small_run):
+    names = {t.name for t in small_run.stats.threads}
+    assert "CrRendererMain" in names
+    assert "Compositor" in names
+    assert "ChromeIOThread" in names
+    assert any(n.startswith("CompositorTileWorker") for n in names)
+    assert any(n.startswith("ThreadPoolForegroundWorker") for n in names)
+
+
+def test_paper_reference_tables_complete():
+    assert set(paper.TABLE2) == {
+        "amazon_desktop", "amazon_mobile", "google_maps", "bing"
+    }
+    for column in paper.TABLE2.values():
+        assert 0 < column.all_slice < 1
+        assert column.rasterizer_slices
+    assert paper.TABLE2_AVERAGE_SLICE == pytest.approx(0.45)
+    assert len(paper.TABLE1) == 6
+
+
+def test_reports_render(small_run):
+    results = {name: small_run for name in paper.TABLE2}
+    table2 = table2_report(results)
+    assert "Table II" in table2 and "Rasterizer" in table2
+    fig5 = figure5_report(results)
+    assert "Figure 5" in fig5
+    fig2 = figure2_report(small_run)
+    assert "Figure 2" in fig2
+
+
+def test_bing_partial_report_on_trace_with_marker(small_run):
+    report = bing_partial_report(small_run)
+    assert "load-only slice" in report
+
+
+def test_run_engine_executes_actions():
+    bench = benchmark("bing")
+    bench.actions = bench.actions[:2]
+    bench.late_scripts = {}
+    bench.config.load_animation_ticks = 5
+    bench.config.action_animation_ticks = 2
+    result = run_benchmark(bench)
+    # The menu opened: the panel's display flipped at least once.
+    panel = result.engine.document.get_element_by_id("menu-panel")
+    assert panel is not None
+    assert result.stats.total > 10_000

@@ -1,0 +1,66 @@
+"""Unit tests for the virtual clock and busy accounting."""
+
+import pytest
+
+from repro.machine.clock import VirtualClock
+
+
+def test_tick_advances_time():
+    clock = VirtualClock(instr_cost_us=0.5)
+    clock.tick(tid=1, instructions=10)
+    assert clock.now_us == pytest.approx(5.0)
+
+
+def test_idle_advances_without_busy():
+    clock = VirtualClock(instr_cost_us=1.0, bucket_us=100)
+    clock.idle(250)
+    series = clock.utilization_series(tid=1)
+    assert all(util == 0.0 for _, util in series)
+    assert clock.now_us == 250
+
+
+def test_idle_rejects_negative():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.idle(-1)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        VirtualClock(instr_cost_us=0)
+    with pytest.raises(ValueError):
+        VirtualClock(bucket_us=0)
+
+
+def test_utilization_full_bucket():
+    clock = VirtualClock(instr_cost_us=1.0, bucket_us=100)
+    clock.tick(tid=7, instructions=100)  # exactly one full bucket
+    series = clock.utilization_series(tid=7)
+    assert series[0][1] == pytest.approx(1.0)
+
+
+def test_burst_splits_across_buckets():
+    clock = VirtualClock(instr_cost_us=1.0, bucket_us=100)
+    clock.idle(50)
+    clock.tick(tid=3, instructions=100)  # 50us in bucket 0, 50us in bucket 1
+    series = clock.utilization_series(tid=3)
+    assert series[0][1] == pytest.approx(0.5)
+    assert series[1][1] == pytest.approx(0.5)
+
+
+def test_threads_accounted_separately():
+    clock = VirtualClock(instr_cost_us=1.0, bucket_us=100)
+    clock.tick(tid=1, instructions=30)
+    clock.tick(tid=2, instructions=20)
+    assert clock.busy_time_us(1) == pytest.approx(30)
+    assert clock.busy_time_us(2) == pytest.approx(20)
+    # Sequential execution: thread 2's work lands after thread 1's.
+    series2 = clock.utilization_series(tid=2)
+    assert series2[0][1] == pytest.approx(0.2)
+
+
+def test_series_x_axis_in_seconds():
+    clock = VirtualClock(instr_cost_us=1.0, bucket_us=1_000_000)
+    clock.idle(2_500_000)
+    series = clock.utilization_series(tid=1)
+    assert [x for x, _ in series] == pytest.approx([0.0, 1.0, 2.0])

@@ -1,0 +1,93 @@
+"""Unit tests for the abstract address space."""
+
+import pytest
+
+from repro.machine.memory import AddressSpace, MemRegion
+
+
+def test_regions_do_not_overlap():
+    space = AddressSpace()
+    a = space.alloc("dom:node", 10)
+    b = space.alloc("css:rule", 5)
+    assert a.base + a.size <= b.base
+    assert set(a.all_cells()).isdisjoint(b.all_cells())
+
+
+def test_null_page_is_never_allocated():
+    space = AddressSpace()
+    region = space.alloc("x", 1)
+    assert region.cell(0) >= 0x1000
+
+
+def test_cell_bounds_checked():
+    space = AddressSpace()
+    region = space.alloc("x", 3)
+    assert region.cell(2) == region.base + 2
+    with pytest.raises(IndexError):
+        region.cell(3)
+    with pytest.raises(IndexError):
+        region.cell(-1)
+
+
+def test_cells_slice():
+    space = AddressSpace()
+    region = space.alloc("x", 8)
+    assert region.cells(2, 3) == (region.base + 2, region.base + 3, region.base + 4)
+    assert region.cells() == region.all_cells()
+    with pytest.raises(IndexError):
+        region.cells(6, 3)
+
+
+def test_alloc_rejects_nonpositive_size():
+    space = AddressSpace()
+    with pytest.raises(ValueError):
+        space.alloc("bad", 0)
+    with pytest.raises(ValueError):
+        space.alloc("bad", -4)
+
+
+def test_find_region_binary_search():
+    space = AddressSpace()
+    regions = [space.alloc(f"r{i}", 7) for i in range(20)]
+    for region in regions:
+        assert space.find_region(region.cell(3)) is region
+    with pytest.raises(KeyError):
+        space.find_region(regions[-1].base + regions[-1].size)
+
+
+def test_contains():
+    space = AddressSpace()
+    region = space.alloc("x", 4)
+    assert region.contains(region.base)
+    assert region.contains(region.base + 3)
+    assert not region.contains(region.base + 4)
+
+
+def test_usage_by_prefix():
+    space = AddressSpace()
+    space.alloc("dom:a", 3)
+    space.alloc("dom:b", 4)
+    space.alloc("css:x", 5)
+    usage = space.usage_by_prefix()
+    assert usage["dom"] == 7
+    assert usage["css"] == 5
+
+
+def test_total_allocated():
+    space = AddressSpace()
+    space.alloc("a", 3)
+    space.alloc("b", 9)
+    assert space.total_allocated() == 12
+
+
+def test_alloc_cell_is_single_cell():
+    space = AddressSpace()
+    addr = space.alloc_cell("lonely")
+    region = space.find_region(addr)
+    assert region.size == 1
+    assert region.name == "lonely"
+
+
+def test_region_repr_mentions_name():
+    region = MemRegion("dom:node", 0x2000, 4)
+    assert "dom:node" in repr(region)

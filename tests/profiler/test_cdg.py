@@ -1,0 +1,67 @@
+"""Unit tests for control-dependence computation."""
+
+from repro.profiler.cdg import ControlDependenceIndex, control_dependences
+from repro.profiler.cfg import FunctionCFG
+
+
+def cfg_from_edges(fn, edges, exits):
+    cfg = FunctionCFG(fn=fn)
+    for src, dst in edges:
+        cfg.add_edge(src, dst)
+    cfg.exits.update(exits)
+    cfg.seal()
+    return cfg
+
+
+def test_diamond_arms_depend_on_branch():
+    cfg = cfg_from_edges(0, [(1, 2), (1, 3), (2, 4), (3, 4)], exits={4})
+    cd = control_dependences(cfg)
+    assert cd.get(2) == (1,)
+    assert cd.get(3) == (1,)
+    assert 4 not in cd  # the merge point is not control dependent on 1
+
+
+def test_loop_body_depends_on_head():
+    # 1(head) -> 2(body) -> 1, 1 -> 3(after)
+    cfg = cfg_from_edges(0, [(1, 2), (2, 1), (1, 3)], exits={3})
+    cd = control_dependences(cfg)
+    assert 1 in cd.get(2, ())
+    # The loop head itself is control-dependent on itself (executing the
+    # body re-reaches the head), the classic FOW self-dependence.
+    assert 1 in cd.get(1, ())
+    assert 3 not in cd
+
+
+def test_nested_branches():
+    #  1 -> {2, 6}; 2 -> {3, 4}; 3,4 -> 5; 5 -> 7; 6 -> 7
+    edges = [(1, 2), (1, 6), (2, 3), (2, 4), (3, 5), (4, 5), (5, 7), (6, 7)]
+    cfg = cfg_from_edges(0, edges, exits={7})
+    cd = control_dependences(cfg)
+    assert cd.get(3) == (2,)
+    assert cd.get(4) == (2,)
+    assert cd.get(2) == (1,)
+    assert cd.get(5) == (1,)  # 5 runs iff the 1->2 arm was taken
+    assert cd.get(6) == (1,)
+    assert 7 not in cd
+
+
+def test_straight_line_has_no_dependences():
+    cfg = cfg_from_edges(0, [(1, 2), (2, 3)], exits={3})
+    assert control_dependences(cfg) == {}
+
+
+def test_index_merges_functions():
+    cfg_a = cfg_from_edges(0, [(1, 2), (1, 3), (2, 4), (3, 4)], exits={4})
+    cfg_b = cfg_from_edges(1, [(10, 11), (10, 12), (11, 13), (12, 13)], exits={13})
+    index = ControlDependenceIndex({0: cfg_a, 1: cfg_b})
+    assert index.deps_of(2) == (1,)
+    assert index.deps_of(11) == (10,)
+    assert index.deps_of(99) == ()
+    assert len(index) == 4  # nodes 2,3 and 11,12
+
+
+def test_branch_to_exit_side():
+    # 1 -> 2 -> 3(exit), 1 -> 3: node 2 is control dependent on 1.
+    cfg = cfg_from_edges(0, [(1, 2), (2, 3), (1, 3)], exits={3})
+    cd = control_dependences(cfg)
+    assert cd.get(2) == (1,)

@@ -1,0 +1,152 @@
+"""Unit tests for dynamic CFG construction."""
+
+from repro.machine import Tracer
+from repro.profiler.cfg import DynamicCFGBuilder, build_cfgs
+from repro.trace.records import InstrKind
+
+
+def build(tracer):
+    return build_cfgs(tracer.store.forward())
+
+
+def fn_id(tracer, name):
+    return tracer.symbols.lookup(name)
+
+
+def make_tracer():
+    tracer = Tracer()
+    tracer.spawn_thread(1, "CrRendererMain", "root")
+    return tracer
+
+
+def test_linear_function():
+    tracer = make_tracer()
+    with tracer.function("f"):
+        tracer.op("a")
+        tracer.op("b")
+        tracer.op("c")
+    cfgs = build(tracer)
+    cfg = cfgs[fn_id(tracer, "f")]
+    pcs = [tracer.pc_of("f", label) for label in ("a", "b", "c")]
+    ret_pc = tracer.pc_of("f", "$ret")
+    assert set(cfg.nodes()) == set(pcs) | {ret_pc}
+    assert cfg.succs[pcs[0]] == {pcs[1]}
+    assert cfg.succs[pcs[1]] == {pcs[2]}
+    assert cfg.succs[pcs[2]] == {ret_pc}
+    assert cfg.entries == {pcs[0]}
+    assert cfg.exits == {ret_pc}
+
+
+def test_loop_creates_back_edge():
+    tracer = make_tracer()
+    with tracer.function("f"):
+        for _ in range(3):
+            tracer.compare_and_branch("head", reads=(0x1000,))
+            tracer.op("body")
+        tracer.compare_and_branch("head", reads=(0x1000,))  # exit evaluation
+        tracer.op("after")
+    cfgs = build(tracer)
+    cfg = cfgs[fn_id(tracer, "f")]
+    br = tracer.pc_of("f", "head$br")
+    body = tracer.pc_of("f", "body")
+    cmp_pc = tracer.pc_of("f", "head$cmp")
+    after = tracer.pc_of("f", "after")
+    assert body in cfg.succs[br]
+    assert after in cfg.succs[br]  # two successors: loop body and exit
+    assert cmp_pc in cfg.succs[body]  # back edge to loop head
+    assert br in cfg.branch_pcs
+
+
+def test_calls_split_functions():
+    tracer = make_tracer()
+    with tracer.function("caller"):
+        tracer.op("pre")
+        with tracer.function("callee"):
+            tracer.op("inner")
+        tracer.op("post")
+    cfgs = build(tracer)
+    caller_cfg = cfgs[fn_id(tracer, "caller")]
+    callee_cfg = cfgs[fn_id(tracer, "callee")]
+    inner_pc = tracer.pc_of("callee", "inner")
+    assert inner_pc in callee_cfg.succs
+    assert inner_pc not in caller_cfg.succs
+    # Fall-through edge: call site -> next caller instruction.
+    call_pc = tracer.pc_of("caller", "call:callee")
+    post_pc = tracer.pc_of("caller", "post")
+    assert post_pc in caller_cfg.succs[call_pc]
+
+
+def test_repeated_invocations_aggregate():
+    tracer = make_tracer()
+    for use_branch in (True, False):
+        with tracer.function("f"):
+            tracer.compare_and_branch("cond", reads=(0x1,))
+            if use_branch:
+                tracer.op("then")
+            else:
+                tracer.op("else")
+            tracer.op("merge")
+    cfgs = build(tracer)
+    cfg = cfgs[fn_id(tracer, "f")]
+    br = tracer.pc_of("f", "cond$br")
+    then_pc = tracer.pc_of("f", "then")
+    else_pc = tracer.pc_of("f", "else")
+    assert cfg.succs[br] == {then_pc, else_pc}
+
+
+def test_truncated_frame_marks_exit():
+    tracer = make_tracer()
+    tracer.call("f")
+    tracer.op("last")
+    # No ret: trace collection stopped mid-function.
+    cfgs = build(tracer)
+    cfg = cfgs[fn_id(tracer, "f")]
+    assert tracer.pc_of("f", "last") in cfg.exits
+
+
+def test_multithreaded_interleaving():
+    tracer = make_tracer()
+    tracer.spawn_thread(2, "Compositor", "root2")
+    tracer.switch(1)
+    tracer.call("f")
+    tracer.op("m1")
+    tracer.switch(2)
+    tracer.call("g")
+    tracer.op("c1")
+    tracer.switch(1)
+    tracer.op("m2")
+    tracer.ret()
+    tracer.switch(2)
+    tracer.op("c2")
+    tracer.ret()
+    cfgs = build(tracer)
+    f_cfg = cfgs[fn_id(tracer, "f")]
+    g_cfg = cfgs[fn_id(tracer, "g")]
+    # Interleaving must not create edges across threads.
+    m1, m2 = tracer.pc_of("f", "m1"), tracer.pc_of("f", "m2")
+    c1, c2 = tracer.pc_of("g", "c1"), tracer.pc_of("g", "c2")
+    assert m2 in f_cfg.succs[m1]
+    assert c2 in g_cfg.succs[c1]
+    assert c1 not in f_cfg.succs.get(m1, set())
+
+
+def test_seal_gives_every_cfg_an_exit():
+    builder = DynamicCFGBuilder()
+    tracer = make_tracer()
+    with tracer.function("f"):
+        tracer.op("a")
+    for rec in tracer.store.forward():
+        builder.feed(rec)
+    cfgs = builder.finish()
+    for cfg in cfgs.values():
+        assert cfg.exits, f"fn {cfg.fn} has no exits"
+
+
+def test_branch_pcs_collected():
+    tracer = make_tracer()
+    with tracer.function("f"):
+        tracer.compare_and_branch("x", reads=(0x1,))
+        tracer.op("a")
+    cfgs = build(tracer)
+    cfg = cfgs[fn_id(tracer, "f")]
+    assert cfg.branch_pcs == {tracer.pc_of("f", "x$br")}

@@ -1,0 +1,119 @@
+"""Tests for slice diffing and the call-tree profile."""
+
+import pytest
+
+from repro.machine import Tracer
+from repro.machine.tracer import TILE_MARKER
+from repro.profiler import Profiler, pixel_criteria, combined_criteria
+from repro.profiler.calltree import build_call_tree, hottest_paths, render_call_tree
+from repro.profiler.diff import diff_slices, exclusive_functions
+
+
+def traced_store():
+    tracer = Tracer()
+    tracer.spawn_thread(1, "CrRendererMain", "root")
+    buf, pixel = 0x10, 0x11
+    with tracer.function("work"):
+        with tracer.function("visible"):
+            tracer.op("w", writes=(pixel,))
+        with tracer.function("net_only"):
+            tracer.op("fill", writes=(buf,))
+            tracer.syscall("sendto", reads=(buf,))
+    with tracer.function("cc::Raster"):
+        tracer.op("raster", reads=(pixel,), writes=(0x12,))
+        tracer.marker(TILE_MARKER, cells=(0x12,))
+    return tracer
+
+
+def test_diff_pixel_vs_syscall():
+    tracer = traced_store()
+    prof = Profiler(tracer.store)
+    pixels = prof.slice(pixel_criteria(tracer.store))
+    syscalls = prof.slice(combined_criteria(tracer.store))
+    diff = diff_slices(pixels, syscalls)
+    assert diff.total == len(tracer.store)
+    assert diff.a_subset_of_b, "pixel slice must be within the syscall slice"
+    assert not diff.b_subset_of_a
+    assert diff.only_b > 0
+    assert 0.0 < diff.jaccard < 1.0
+    assert "jaccard" in diff.summary()
+
+
+def test_diff_identical_slices():
+    tracer = traced_store()
+    prof = Profiler(tracer.store)
+    a = prof.slice(pixel_criteria(tracer.store))
+    b = prof.slice(pixel_criteria(tracer.store))
+    diff = diff_slices(a, b)
+    assert diff.only_a == diff.only_b == 0
+    assert diff.jaccard == 1.0
+
+
+def test_diff_rejects_mismatched_traces():
+    tracer1 = traced_store()
+    tracer2 = Tracer()
+    tracer2.spawn_thread(1, "CrRendererMain", "root")
+    with tracer2.function("f"):
+        tracer2.op("a", writes=(1,))
+        tracer2.marker(TILE_MARKER, cells=(1,))
+    a = Profiler(tracer1.store).pixel_slice()
+    b = Profiler(tracer2.store).pixel_slice()
+    with pytest.raises(ValueError):
+        diff_slices(a, b)
+
+
+def test_exclusive_functions_names_the_output_path():
+    tracer = traced_store()
+    prof = Profiler(tracer.store)
+    pixels = prof.slice(pixel_criteria(tracer.store))
+    syscalls = prof.slice(combined_criteria(tracer.store))
+    rows = exclusive_functions(tracer.store, pixels, syscalls)
+    names = [name for name, _ in rows]
+    assert "net_only" in names
+
+
+def test_call_tree_structure():
+    tracer = traced_store()
+    roots = build_call_tree(tracer.store)
+    root = roots[1]
+    assert root.name == "root"
+    work = root.children[tracer.symbols.lookup("work")]
+    child_names = {c.name for c in work.children.values()}
+    assert child_names == {"visible", "net_only"}
+    # Totals add up to the trace length for the single thread.
+    assert root.total_records() == len(tracer.store)
+
+
+def test_call_tree_slice_split():
+    tracer = traced_store()
+    prof = Profiler(tracer.store)
+    result = prof.slice(pixel_criteria(tracer.store))
+    roots = build_call_tree(tracer.store, result)
+    root = roots[1]
+    work = root.children[tracer.symbols.lookup("work")]
+    visible = work.children[tracer.symbols.lookup("visible")]
+    net_only = work.children[tracer.symbols.lookup("net_only")]
+    assert visible.total_sliced() > 0
+    assert net_only.self_sliced == 0  # invisible under pixel criteria
+    assert root.total_sliced() == result.slice_size()
+
+
+def test_render_and_hottest_paths():
+    tracer = traced_store()
+    roots = build_call_tree(tracer.store)
+    lines = render_call_tree(roots[1], min_records=1)
+    assert any("work" in line for line in lines)
+    paths = hottest_paths(roots, limit=5)
+    assert paths[0][0] == "root"
+    assert paths[0][1] >= paths[-1][1]
+
+
+def test_call_tree_multithreaded():
+    tracer = traced_store()
+    tracer.spawn_thread(2, "Compositor", "root2")
+    tracer.switch(2)
+    with tracer.function("cc::Tick"):
+        tracer.op("t", writes=(0x99,))
+    roots = build_call_tree(tracer.store)
+    assert set(roots) == {1, 2}
+    assert roots[2].children, "thread 2 has its own subtree"

@@ -1,0 +1,98 @@
+"""Unit tests for postdominator computation on hand-built CFGs."""
+
+from repro.profiler.cfg import FunctionCFG, VIRTUAL_EXIT
+from repro.profiler.postdom import immediate_postdominators, postdominates
+
+
+def cfg_from_edges(edges, exits):
+    cfg = FunctionCFG(fn=0)
+    for src, dst in edges:
+        cfg.add_edge(src, dst)
+    cfg.exits.update(exits)
+    cfg.seal()
+    return cfg
+
+
+def test_linear_chain():
+    cfg = cfg_from_edges([(1, 2), (2, 3)], exits={3})
+    ipdom = immediate_postdominators(cfg)
+    assert ipdom[1] == 2
+    assert ipdom[2] == 3
+    assert ipdom[3] == VIRTUAL_EXIT
+
+
+def test_diamond_merge_postdominates_branch():
+    #    1
+    #   / \
+    #  2   3
+    #   \ /
+    #    4
+    cfg = cfg_from_edges([(1, 2), (1, 3), (2, 4), (3, 4)], exits={4})
+    ipdom = immediate_postdominators(cfg)
+    assert ipdom[1] == 4
+    assert ipdom[2] == 4
+    assert ipdom[3] == 4
+    assert postdominates(ipdom, 4, 1)
+    assert not postdominates(ipdom, 2, 1)
+
+
+def test_loop():
+    # 1 -> 2 -> 3 -> 2 (back edge), 2 -> 4 (exit)
+    cfg = cfg_from_edges([(1, 2), (2, 3), (3, 2), (2, 4)], exits={4})
+    ipdom = immediate_postdominators(cfg)
+    assert ipdom[1] == 2
+    assert ipdom[3] == 2  # after the body you must pass the head again
+    assert ipdom[2] == 4
+
+
+def test_multiple_exits():
+    #  1 -> 2 (exit), 1 -> 3 (exit): nothing but EXIT postdominates 1
+    cfg = cfg_from_edges([(1, 2), (1, 3)], exits={2, 3})
+    ipdom = immediate_postdominators(cfg)
+    assert ipdom[1] == VIRTUAL_EXIT
+    assert ipdom[2] == VIRTUAL_EXIT
+    assert ipdom[3] == VIRTUAL_EXIT
+
+
+def test_nested_diamond():
+    #      1
+    #     / \
+    #    2   6
+    #   / \  |
+    #  3   4 |
+    #   \ /  |
+    #    5   |
+    #     \ /
+    #      7
+    edges = [(1, 2), (1, 6), (2, 3), (2, 4), (3, 5), (4, 5), (5, 7), (6, 7)]
+    cfg = cfg_from_edges(edges, exits={7})
+    ipdom = immediate_postdominators(cfg)
+    assert ipdom[2] == 5
+    assert ipdom[1] == 7
+    assert ipdom[5] == 7
+    assert ipdom[6] == 7
+
+
+def test_postdominates_reflexive_and_transitive():
+    cfg = cfg_from_edges([(1, 2), (2, 3)], exits={3})
+    ipdom = immediate_postdominators(cfg)
+    assert postdominates(ipdom, 1, 1)
+    assert postdominates(ipdom, 3, 1)
+    assert not postdominates(ipdom, 1, 3)
+
+
+def test_single_node_function():
+    cfg = FunctionCFG(fn=0)
+    cfg.add_node(42)
+    cfg.exits.add(42)
+    cfg.seal()
+    ipdom = immediate_postdominators(cfg)
+    assert ipdom[42] == VIRTUAL_EXIT
+
+
+def test_every_node_postdominated_by_exit():
+    edges = [(1, 2), (2, 3), (3, 1), (2, 5), (5, 6), (6, 2), (5, 9)]
+    cfg = cfg_from_edges(edges, exits={9})
+    ipdom = immediate_postdominators(cfg)
+    for node in cfg.nodes():
+        assert postdominates(ipdom, VIRTUAL_EXIT, node)

@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis) for the profiler's core algorithms."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import Tracer
+from repro.profiler import (
+    Profiler,
+    custom_criteria,
+)
+from repro.profiler.cfg import FunctionCFG, VIRTUAL_EXIT
+from repro.profiler.cdg import control_dependences
+from repro.profiler.postdom import immediate_postdominators, postdominates
+from repro.browser.js.coverage import merge_spans, span_total
+
+# --------------------------------------------------------------------- #
+# Random CFGs                                                           #
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def connected_cfgs(draw):
+    """A random CFG where every node lies on an entry->exit path."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    cfg = FunctionCFG(fn=0)
+    # A spine guarantees connectivity and exit reachability.
+    for i in range(n - 1):
+        cfg.add_edge(i, i + 1)
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=12,
+        )
+    )
+    for src, dst in extra:
+        if src != dst:
+            cfg.add_edge(src, dst)
+    cfg.exits.add(n - 1)
+    cfg.seal()
+    return cfg
+
+
+@given(connected_cfgs())
+@settings(max_examples=80, deadline=None)
+def test_every_node_postdominated_by_virtual_exit(cfg):
+    ipdom = immediate_postdominators(cfg)
+    for node in cfg.nodes():
+        assert postdominates(ipdom, VIRTUAL_EXIT, node)
+
+
+@given(connected_cfgs())
+@settings(max_examples=80, deadline=None)
+def test_ipdom_is_a_strict_postdominator(cfg):
+    ipdom = immediate_postdominators(cfg)
+    for node in cfg.nodes():
+        parent = ipdom.get(node)
+        if parent is None or parent == VIRTUAL_EXIT:
+            continue
+        assert parent != node
+        assert postdominates(ipdom, parent, node)
+
+
+@given(connected_cfgs())
+@settings(max_examples=80, deadline=None)
+def test_control_dependence_only_on_real_branches(cfg):
+    cd = control_dependences(cfg)
+    for node, branches in cd.items():
+        for branch in branches:
+            assert len(cfg.succs[branch]) >= 2
+            # The dependent node must not postdominate the branch.
+            ipdom = immediate_postdominators(cfg)
+            assert not postdominates(ipdom, node, branch) or node == branch
+
+
+# --------------------------------------------------------------------- #
+# Random straight-line traces                                           #
+# --------------------------------------------------------------------- #
+
+_CELLS = list(range(0x1000, 0x1010))
+
+
+@st.composite
+def random_traces(draw):
+    """A tracer with a straight-line random dataflow program."""
+    tracer = Tracer()
+    tracer.spawn_thread(1, "CrRendererMain", "root")
+    n = draw(st.integers(min_value=1, max_value=40))
+    ops = []
+    with tracer.function("f"):
+        for i in range(n):
+            reads = tuple(
+                draw(st.sampled_from(_CELLS))
+                for _ in range(draw(st.integers(min_value=0, max_value=2)))
+            )
+            writes = (draw(st.sampled_from(_CELLS)),)
+            index = tracer.op(f"op{i}", reads=reads, writes=writes)
+            ops.append((index, reads, writes))
+    target = draw(st.sampled_from(_CELLS))
+    return tracer, ops, target
+
+
+@given(random_traces())
+@settings(max_examples=60, deadline=None)
+def test_slice_is_deterministic(data):
+    tracer, ops, target = data
+    store = tracer.store
+    criteria = custom_criteria("t", ((len(store) - 1, (target,)),))
+    first = Profiler(store).slice(criteria)
+    second = Profiler(store).slice(criteria)
+    assert bytes(first.flags) == bytes(second.flags)
+
+
+@given(random_traces())
+@settings(max_examples=60, deadline=None)
+def test_slice_soundness_latest_writer_rule(data):
+    """For every sliced op, the latest preceding writer of each of its read
+    cells is also in the slice (dynamic data-dependence closure)."""
+    tracer, ops, target = data
+    store = tracer.store
+    criteria = custom_criteria("t", ((len(store) - 1, (target,)),))
+    result = Profiler(store).slice(criteria)
+    last_writer = {}
+    writer_of = {}
+    for index, reads, writes in ops:
+        for cell in reads:
+            if cell in last_writer:
+                writer_of[(index, cell)] = last_writer[cell]
+        for cell in writes:
+            last_writer[cell] = index
+    for index, reads, writes in ops:
+        if not result.flags[index]:
+            continue
+        for cell in reads:
+            writer = writer_of.get((index, cell))
+            if writer is not None:
+                assert result.flags[writer], (
+                    f"sliced op {index} reads {cell:#x} from unsliced {writer}"
+                )
+
+
+@given(random_traces())
+@settings(max_examples=60, deadline=None)
+def test_more_criteria_never_shrink_slice(data):
+    tracer, ops, target = data
+    store = tracer.store
+    small = custom_criteria("s", ((len(store) - 1, (target,)),))
+    big = custom_criteria(
+        "b", ((len(store) - 1, (target, _CELLS[0], _CELLS[1])),)
+    )
+    prof = Profiler(store)
+    small_slice = prof.slice(small)
+    big_slice = prof.slice(big)
+    for i in range(len(store)):
+        if small_slice.flags[i]:
+            assert big_slice.flags[i]
+
+
+@given(random_traces())
+@settings(max_examples=40, deadline=None)
+def test_windowed_slice_is_subset(data):
+    tracer, ops, target = data
+    store = tracer.store
+    full = custom_criteria("f", ((len(store) - 1, (target,)),))
+    prof = Profiler(store)
+    full_slice = prof.slice(full)
+    windowed = prof.slice(full.windowed(len(store) // 2))
+    for i in range(len(store)):
+        if windowed.flags[i]:
+            assert full_slice.flags[i]
+
+
+# --------------------------------------------------------------------- #
+# Span merging (coverage accounting)                                    #
+# --------------------------------------------------------------------- #
+
+spans = st.lists(
+    st.tuples(st.integers(0, 500), st.integers(1, 100)).map(
+        lambda t: (t[0], t[0] + t[1])
+    ),
+    max_size=20,
+)
+
+
+@given(spans)
+@settings(max_examples=100, deadline=None)
+def test_merged_spans_disjoint_and_sorted(span_list):
+    merged = merge_spans(span_list)
+    for i in range(1, len(merged)):
+        assert merged[i - 1][1] < merged[i][0]
+
+
+@given(spans)
+@settings(max_examples=100, deadline=None)
+def test_span_total_bounded(span_list):
+    total = span_total(span_list)
+    naive = sum(end - start for start, end in span_list)
+    assert 0 <= total <= naive
+    if span_list:
+        hull = max(end for _, end in span_list) - min(start for start, _ in span_list)
+        assert total <= hull
+
+
+@given(spans)
+@settings(max_examples=100, deadline=None)
+def test_span_total_idempotent_under_merge(span_list):
+    merged = merge_spans(span_list)
+    assert span_total(merged) == span_total(span_list)

@@ -1,0 +1,133 @@
+"""Unit tests for slice statistics and namespace categorization."""
+
+import pytest
+
+from repro.machine import Tracer
+from repro.profiler import Profiler, custom_criteria
+from repro.profiler.categorize import (
+    CATEGORIES,
+    categorize_symbol,
+    categorize_unnecessary,
+)
+from repro.profiler.stats import (
+    compute_statistics,
+    per_function_fractions,
+    timeline_series,
+    windowed_fraction,
+)
+
+
+def make_trace_two_threads():
+    tracer = Tracer()
+    tracer.spawn_thread(1, "CrRendererMain", "base::threading::ThreadMain")
+    tracer.spawn_thread(2, "Compositor", "base::threading::ThreadMain")
+    out = 0x100
+    tracer.switch(1)
+    with tracer.function("v8::Execute"):
+        tracer.op("wasted", writes=(0x200,))
+        tracer.op("wasted2", writes=(0x201,))
+    with tracer.function("blink::css::Resolve"):
+        i_useful = tracer.op("style", writes=(0x300,))
+    tracer.switch(2)
+    with tracer.function("cc::Composite"):
+        i_out = tracer.op("frame", reads=(0x300,), writes=(out,))
+    crit = custom_criteria("t", ((i_out + 1, (out,)),))
+    return tracer, crit, i_useful, i_out
+
+
+def test_compute_statistics_per_thread():
+    tracer, crit, _, _ = make_trace_two_threads()
+    prof = Profiler(tracer.store)
+    result = prof.slice(crit)
+    stats = compute_statistics(tracer.store, result)
+    assert stats.total == len(tracer.store)
+    assert stats.in_slice == result.slice_size()
+    by_name = {t.name: t for t in stats.threads}
+    assert set(by_name) == {"CrRendererMain", "Compositor"}
+    assert sum(t.total for t in stats.threads) == stats.total
+    assert 0 < by_name["CrRendererMain"].fraction < 1
+    assert by_name["Compositor"].fraction > 0
+
+
+def test_statistics_lookup_helpers():
+    tracer, crit, _, _ = make_trace_two_threads()
+    prof = Profiler(tracer.store)
+    stats = prof.statistics(prof.slice(crit))
+    assert stats.thread_by_name("Compositor") is not None
+    assert stats.thread_by_name("nope") is None
+    assert len(stats.threads_by_prefix("C")) == 2
+
+
+def test_windowed_fraction():
+    tracer, crit, _, _ = make_trace_two_threads()
+    prof = Profiler(tracer.store)
+    result = prof.slice(crit)
+    full = windowed_fraction(result)
+    assert full == pytest.approx(result.fraction())
+    assert windowed_fraction(result, 0, 0) == 0.0
+    # A prefix window containing only the v8 waste has fraction < full
+    # trace fraction (the wasted ops sit at the front of the trace).
+    prefix = windowed_fraction(result, 0, 4)
+    assert prefix <= full
+
+
+def test_per_function_fractions_sorted():
+    tracer, crit, _, _ = make_trace_two_threads()
+    prof = Profiler(tracer.store)
+    rows = per_function_fractions(tracer.store, prof.slice(crit))
+    totals = [total for _, total, _ in rows]
+    assert totals == sorted(totals, reverse=True)
+    names = [name for name, _, _ in rows]
+    assert "v8::Execute" in names
+
+
+def test_timeline_series_orientation():
+    tracer, crit, _, _ = make_trace_two_threads()
+    prof = Profiler(tracer.store)
+    result = prof.slice(crit, sample_every=2)
+    series = timeline_series(result)
+    assert series[0][0] <= series[-1][0]
+    main_series = timeline_series(result, main=True)
+    assert all(0.0 <= y <= 1.0 for _, y in main_series)
+
+
+def test_categorize_symbol_rules():
+    assert categorize_symbol("v8::Parser::Parse") == "JavaScript"
+    assert categorize_symbol("base::debug::TraceLog") == "Debugging"
+    assert categorize_symbol("ipc::Channel::Send") == "IPC"
+    assert categorize_symbol("pthread::MutexLock") == "Multi-threading"
+    assert categorize_symbol("cc::TileManager::Run") == "Compositing"
+    assert categorize_symbol("skia::Canvas::DrawRect") == "Graphics"
+    assert categorize_symbol("blink::css::StyleResolver::Match") == "CSS"
+    assert categorize_symbol("blink::layout::BlockFlow") == "CSS"
+    assert categorize_symbol("base::message_loop::Pump") == "Other"
+    assert categorize_symbol("memcpy") is None
+    assert categorize_symbol("ccache_lookup") is None  # no :: -> no namespace
+
+
+def test_categorize_unknown_namespace_is_uncategorizable():
+    # Only hand-mapped namespaces are categorizable, as in the paper.
+    assert categorize_symbol("weird::Thing") is None
+    assert categorize_symbol("net::URLLoader::Start") is None
+    assert categorize_symbol("blink::html::TreeBuilder::ProcessText") is None
+
+
+def test_categorize_unnecessary_distribution():
+    tracer, crit, i_useful, i_out = make_trace_two_threads()
+    prof = Profiler(tracer.store)
+    result = prof.slice(crit)
+    dist = categorize_unnecessary(tracer.store, result)
+    assert dist.total_unnecessary == len(tracer.store) - result.slice_size()
+    assert dist.counts["JavaScript"] >= 2  # the two wasted v8 ops
+    assert dist.categorized + dist.uncategorized == dist.total_unnecessary
+    shares = dict(dist.shares())
+    assert set(shares) == set(CATEGORIES)
+    assert abs(sum(shares.values()) - 1.0) < 1e-9 or dist.categorized == 0
+    assert dist.dominant_category() == "JavaScript"
+
+
+def test_categorized_fraction_bounds():
+    tracer, crit, _, _ = make_trace_two_threads()
+    prof = Profiler(tracer.store)
+    dist = prof.categorize(prof.slice(crit))
+    assert 0.0 <= dist.categorized_fraction <= 1.0

@@ -1,0 +1,116 @@
+"""Unit tests for trace storage and the binary round trip."""
+
+import pytest
+
+from repro.machine import Tracer
+from repro.machine.tracer import LOAD_COMPLETE_MARKER, TILE_MARKER
+from repro.trace import (
+    InstrKind,
+    SymbolTable,
+    TraceRecord,
+    TraceStore,
+    load_trace,
+    save_trace,
+)
+
+
+def small_trace():
+    tracer = Tracer()
+    tracer.spawn_thread(1, "CrRendererMain", "root_main")
+    tracer.spawn_thread(2, "Compositor", "root_comp")
+    with tracer.function("blink::html::Parse"):
+        tracer.op("a", reads=(0x1000, 0x1001), writes=(0x2000,))
+        tracer.compare_and_branch("more", reads=(0x2000,))
+    tracer.switch(2)
+    with tracer.function("cc::Raster"):
+        tracer.syscall("recvfrom", writes=(0x3000,))
+        tracer.marker(TILE_MARKER, cells=(0x4000, 0x4001))
+        tracer.marker(LOAD_COMPLETE_MARKER)
+    return tracer.store
+
+
+def test_forward_backward_iteration():
+    store = small_trace()
+    fwd = list(store.forward())
+    bwd = list(store.backward())
+    assert fwd == list(reversed(bwd))
+    assert len(fwd) == len(store)
+
+
+def test_thread_ids_and_counts():
+    store = small_trace()
+    assert store.thread_ids() == [1, 2]
+    counts = store.instructions_per_thread()
+    assert sum(counts.values()) == len(store)
+    assert counts[1] > 0 and counts[2] > 0
+
+
+def test_round_trip_preserves_records(tmp_path):
+    store = small_trace()
+    path = tmp_path / "trace.ucwa"
+    save_trace(store, path)
+    loaded = load_trace(path)
+    assert len(loaded) == len(store)
+    for orig, back in zip(store.forward(), loaded.forward()):
+        assert orig.tid == back.tid
+        assert orig.pc == back.pc
+        assert orig.kind == back.kind
+        assert orig.regs_read == tuple(back.regs_read)
+        assert orig.regs_written == tuple(back.regs_written)
+        assert tuple(orig.mem_read) == tuple(back.mem_read)
+        assert tuple(orig.mem_written) == tuple(back.mem_written)
+        assert orig.syscall == back.syscall
+        assert orig.marker == back.marker
+
+
+def test_round_trip_preserves_symbols_and_metadata(tmp_path):
+    store = small_trace()
+    path = tmp_path / "trace.ucwa"
+    save_trace(store, path)
+    loaded = load_trace(path)
+    orig_names = [name for _, name in store.symbols]
+    back_names = [name for _, name in loaded.symbols]
+    assert orig_names == back_names
+    assert loaded.metadata.thread_names == store.metadata.thread_names
+    assert loaded.metadata.tile_buffers == store.metadata.tile_buffers
+    assert loaded.metadata.load_complete_index == store.metadata.load_complete_index
+
+
+def test_load_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.ucwa"
+    path.write_bytes(b"not a trace at all")
+    with pytest.raises(ValueError):
+        load_trace(path)
+
+
+def test_symbol_table_namespace():
+    table = SymbolTable()
+    sym = table.intern("cc::TileManager::ScheduleTasks")
+    assert table.namespace(sym) == "cc::TileManager"
+    assert table.top_level_namespace(sym) == "cc"
+    plain = table.intern("memcpy")
+    assert table.namespace(plain) is None
+    assert table.top_level_namespace(plain) is None
+
+
+def test_symbol_table_intern_idempotent():
+    table = SymbolTable()
+    a = table.intern("f")
+    b = table.intern("f")
+    assert a == b
+    assert table.lookup("f") == a
+    assert table.lookup("g") is None
+    assert table.name(a) == "f"
+
+
+def test_record_touches_memory():
+    rec = TraceRecord(tid=1, pc=10, kind=InstrKind.OP, fn=0)
+    assert not rec.touches_memory()
+    rec2 = TraceRecord(tid=1, pc=10, kind=InstrKind.OP, fn=0, mem_read=(1,))
+    assert rec2.touches_memory()
+
+
+def test_metadata_thread_roles():
+    store = small_trace()
+    assert store.metadata.main_thread_id() == 1
+    assert store.metadata.thread_ids_by_role("Comp") == [2]

@@ -1,0 +1,58 @@
+"""Tests for the trace CLI and full-trace persistence of a real workload."""
+
+import pytest
+
+from repro.profiler import Profiler, pixel_criteria
+from repro.trace import load_trace, save_trace
+from repro.trace.__main__ import main as trace_main
+from repro.harness.experiments import run_engine
+from repro.workloads import benchmark
+
+
+@pytest.fixture(scope="module")
+def saved_trace(tmp_path_factory):
+    bench = benchmark("wiki_article")
+    bench.config.load_animation_ticks = 4
+    engine = run_engine(bench)
+    path = tmp_path_factory.mktemp("traces") / "wiki.ucwa"
+    save_trace(engine.trace_store(), path)
+    return engine, path
+
+
+def test_real_trace_round_trip(saved_trace):
+    engine, path = saved_trace
+    loaded = load_trace(path)
+    store = engine.trace_store()
+    assert len(loaded) == len(store)
+    assert loaded.metadata.thread_names == store.metadata.thread_names
+    assert loaded.metadata.tile_buffers == store.metadata.tile_buffers
+
+
+def test_slice_identical_from_disk(saved_trace):
+    """Collect once, profile many: the stored trace slices identically."""
+    engine, path = saved_trace
+    loaded = load_trace(path)
+    original = Profiler(engine.trace_store()).pixel_slice()
+    replayed = Profiler(loaded).pixel_slice()
+    assert bytes(original.flags) == bytes(replayed.flags)
+
+
+def test_cli_info(saved_trace, capsys):
+    _, path = saved_trace
+    assert trace_main(["info", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "records" in out
+    assert "CrRendererMain" in out
+    assert "tile markers" in out
+
+
+def test_cli_slice(saved_trace, capsys):
+    _, path = saved_trace
+    assert trace_main(["slice", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "pixel slice:" in out
+
+
+def test_cli_usage_on_bad_args(capsys):
+    assert trace_main([]) == 2
+    assert trace_main(["bogus"]) == 2

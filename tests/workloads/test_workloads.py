@@ -1,0 +1,118 @@
+"""Unit tests for the benchmark workloads."""
+
+import pytest
+
+from repro.browser.js.parser import parse_js
+from repro.browser.css.parser import parse_stylesheet_source
+from repro.workloads import (
+    TABLE2_BENCHMARKS,
+    benchmark,
+    benchmark_names,
+)
+from repro.workloads.generator import (
+    css_framework,
+    js_analytics_library,
+    js_lazy_widgets,
+    js_utility_library,
+)
+
+
+def test_registry_contains_table2_benchmarks():
+    names = benchmark_names()
+    for name in TABLE2_BENCHMARKS:
+        assert name in names
+
+
+def test_unknown_benchmark_raises():
+    with pytest.raises(KeyError):
+        benchmark("not-a-site")
+
+
+@pytest.mark.parametrize("name", list(TABLE2_BENCHMARKS))
+def test_pages_build_and_parse(name):
+    bench = benchmark(name)
+    assert bench.page.html.startswith("<!DOCTYPE html>")
+    # Every generated script must be valid mini-JS.
+    for url, source in bench.page.scripts.items():
+        parse_js(source)
+    # Every stylesheet must parse into rules.
+    for url, source in bench.page.stylesheets.items():
+        sheet = parse_stylesheet_source(url, source)
+        assert sheet.rules
+
+
+def test_benchmarks_deterministic():
+    a = benchmark("amazon_desktop")
+    b = benchmark("amazon_desktop")
+    assert a.page.html == b.page.html
+    assert a.page.scripts == b.page.scripts
+    assert a.page.stylesheets == b.page.stylesheets
+
+
+def test_bing_has_paper_browse_session():
+    bench = benchmark("bing")
+    kinds = [a.kind for a in bench.actions]
+    # Two menu clicks, the news roll, and typed characters.
+    assert kinds.count("click") >= 3
+    assert kinds.count("type") >= 5
+    assert bench.late_scripts, "bing downloads more JS while browsing"
+
+
+def test_load_only_benchmarks_have_no_actions():
+    for name in ("amazon_desktop", "amazon_mobile", "google_maps", "bing_load_only"):
+        assert benchmark(name).load_only
+
+
+def test_mobile_viewport_and_low_res():
+    bench = benchmark("amazon_mobile")
+    assert (bench.config.viewport_width, bench.config.viewport_height) == (360, 640)
+    assert bench.config.raster_low_res
+
+
+def test_desktop_three_rasterizers():
+    assert benchmark("amazon_desktop").config.raster_threads == 3
+    assert benchmark("bing").config.raster_threads == 2
+
+
+def test_generated_library_used_split():
+    source = js_utility_library("lib", 10, 4, seed=1)
+    program = parse_js(source)
+    assert "lib_util9" in source
+    assert source.count("lib_registry.checksum +=") == 4
+
+
+def test_analytics_library_beacons():
+    source = js_analytics_library("m", beacon_every=2)
+    assert "sendBeacon" in source
+    parse_js(source)
+
+
+def test_lazy_widgets_activation_split():
+    source = js_lazy_widgets(8, 2)
+    assert source.count("widget_register(") >= 8
+    assert source.count("widget_activate(") >= 2 + 1  # defs + calls
+    parse_js(source)
+
+
+def test_css_framework_dead_rules():
+    sheet_src = css_framework("fw", ["used-a", "used-b"], n_extra_rules=5, seed=3)
+    sheet = parse_stylesheet_source("fw.css", sheet_src)
+    selectors = [
+        sel.source for rule in sheet.rules for sel in rule.selectors
+    ]
+    assert ".used-a" in selectors
+    assert any("fw-dead-" in s for s in selectors)
+
+
+def test_wiki_workload_builds_and_runs_light():
+    bench = benchmark("wiki_article")
+    assert bench.load_only
+    parse_js(bench.page.scripts["wiki.js"])
+    assert "toc" in bench.page.html
+
+
+def test_registry_includes_auxiliary_benchmarks():
+    names = benchmark_names()
+    for extra in ("bing_load_only", "amazon_desktop_browse", "google_maps_browse",
+                  "wiki_article"):
+        assert extra in names
