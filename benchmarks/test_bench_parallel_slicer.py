@@ -1,0 +1,89 @@
+"""Sequential-vs-parallel backward-slicer benchmark.
+
+Records wall-clock timings of both engines over the wiki/amazon/bing
+workload traces and prints the speedup report.  The equality assertion
+(parallel flags byte-identical to sequential) always runs; the speedup
+assertion only applies when the host actually has the cores to
+parallelize onto — on a 1-CPU container the worker processes serialize
+and the parallel engine's fixpoint re-execution makes it strictly slower,
+which the report shows honestly rather than hiding.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.harness.experiments import cached_run
+from repro.harness.reporting import parallel_speedup_report
+from repro.profiler import BackwardSlicer, ParallelSlicer, pixel_criteria
+
+#: workers used for the parallel timings (the acceptance configuration)
+WORKERS = int(os.environ.get("REPRO_SLICER_WORKERS", "4"))
+
+WORKLOADS = ("wiki_article", "amazon_desktop", "bing")
+
+#: filled by the per-workload benches, consumed by the summary test
+TIMINGS: dict = {}
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _time(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def _run_both(result):
+    store = result.store
+    cdi = result.profiler.control_dependence_index()
+    criteria = pixel_criteria(store)
+    seq, seq_s = _time(lambda: BackwardSlicer(store, cdi, criteria).run())
+    slicer = ParallelSlicer(store, cdi, criteria, workers=WORKERS)
+    par, par_s = _time(slicer.run)
+    return seq, par, seq_s, par_s
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_parallel_engine_benchmark(name, benchmark):
+    result = cached_run(name)
+    seq, par, seq_s, par_s = benchmark.pedantic(
+        _run_both, args=(result,), rounds=1, iterations=1
+    )
+    assert bytes(par.flags) == bytes(seq.flags), (
+        f"{name}: parallel flags diverge from sequential"
+    )
+    TIMINGS[name] = {
+        "records": len(result.store),
+        "sequential_s": seq_s,
+        "parallel_s": par_s,
+        "workers": WORKERS,
+        **{k: par.engine_stats[k] for k in ("epochs", "epoch_runs", "rounds",
+                                            "pass_throughs")},
+    }
+
+
+def test_speedup_summary(capsys):
+    assert set(TIMINGS) == set(WORKLOADS), "per-workload benches must run first"
+    with capsys.disabled():
+        print()
+        print(parallel_speedup_report(TIMINGS))
+    largest = max(TIMINGS, key=lambda n: TIMINGS[n]["records"])
+    t = TIMINGS[largest]
+    speedup = t["sequential_s"] / t["parallel_s"]
+    if _cpus() >= 4 and WORKERS >= 4:
+        assert speedup >= 1.5, (
+            f"{largest}: parallel speedup {speedup:.2f}x < 1.5x at "
+            f"{t['workers']} workers on {_cpus()} CPUs"
+        )
+    else:
+        pytest.skip(
+            f"host has {_cpus()} usable CPU(s); recorded "
+            f"{largest} speedup {speedup:.2f}x without asserting"
+        )

@@ -76,6 +76,17 @@ class EngineContext:
         self._debug_log_cell: Optional[int] = None
         self._ops_since_debug = 0
         self._spawned = False
+        self._next_node_id = 0
+
+    def next_node_id(self) -> int:
+        """Allocate a DOM node id, unique and stable within this context.
+
+        Per-context (not process-global) so that traces are reproducible
+        regardless of how many engines ran earlier in the process.
+        """
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        return node_id
 
     # ------------------------------------------------------------------ #
     # Thread setup                                                       #

@@ -24,12 +24,9 @@ VOID_ELEMENTS = frozenset(
 class Node:
     """Base class for DOM nodes."""
 
-    _next_id = 0
-
     def __init__(self, ctx: EngineContext) -> None:
         self.ctx = ctx
-        self.node_id = Node._next_id
-        Node._next_id += 1
+        self.node_id = ctx.next_node_id()
         self.parent: Optional["Element"] = None
         self._cells: Dict[str, int] = {}
 

@@ -1,0 +1,92 @@
+"""Frozen paper-number collection for regression goldens.
+
+:func:`collect_paper_numbers` computes the headline fractions behind
+Table I, Table II, and Figure 2 from fresh benchmark runs — the same
+quantities the reports print, but as raw floats.  The checked-in golden
+(``tests/harness/goldens/paper_numbers.json``) freezes them so slicer
+and engine refactors cannot silently shift the reproduced numbers; the
+regression test asserts equality within 1e-9.
+
+Regenerate the golden (after an *intentional* change to the measured
+numbers) with::
+
+    PYTHONPATH=src python -m repro.harness.goldens tests/harness/goldens/paper_numbers.json
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from ..analysis.coverage import coverage_row
+from ..analysis.utilization import busy_fraction, find_spikes
+from ..browser.context import MAIN_THREAD
+from . import paper
+from .experiments import cached_run
+
+#: (site label, benchmark name) pairs per Table I condition.
+TABLE1_RUNS = {
+    "Only Load": (
+        ("Amazon", "amazon_desktop"),
+        ("Bing", "bing_load_only"),
+        ("Google Maps", "google_maps"),
+    ),
+    "Load and Browse": (
+        ("Amazon", "amazon_desktop_browse"),
+        ("Bing", "bing"),
+        ("Google Maps", "google_maps_browse"),
+    ),
+}
+
+
+def collect_paper_numbers() -> Dict:
+    """All golden-frozen headline numbers, as plain JSON-able data."""
+    numbers: Dict = {"table2": {}, "table1": {}, "figure2": {}}
+
+    for name in paper.TABLE2:
+        result = cached_run(name)
+        stats = result.stats
+        rasters = stats.threads_by_prefix("CompositorTileWorker")
+        numbers["table2"][name] = {
+            "all_fraction": stats.fraction,
+            "main_fraction": stats.thread_by_name("CrRendererMain").fraction,
+            "compositor_fraction": stats.thread_by_name("Compositor").fraction,
+            "rasterizer_fractions": [t.fraction for t in rasters],
+            "total_instructions": stats.total,
+        }
+
+    for condition, runs in TABLE1_RUNS.items():
+        for site, bench_name in runs:
+            row = coverage_row(cached_run(bench_name), site, condition)
+            numbers["table1"][f"{site}|{condition}"] = {
+                "unused_fraction": row.unused_fraction,
+                "unused_bytes": row.unused_bytes,
+                "total_bytes": row.total_bytes,
+            }
+
+    fig2 = cached_run("amazon_desktop_browse")
+    series = fig2.utilization(MAIN_THREAD)
+    numbers["figure2"] = {
+        "mean_utilization": busy_fraction(series),
+        "spike_count": len(find_spikes(series)),
+    }
+    return numbers
+
+
+def main(argv) -> int:
+    if len(argv) != 1:
+        print(__doc__)
+        return 2
+    path = argv[0]
+    numbers = collect_paper_numbers()
+    with open(path, "w") as fh:
+        json.dump(numbers, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    raise SystemExit(main(sys.argv[1:]))

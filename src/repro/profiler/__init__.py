@@ -28,6 +28,8 @@ from .criteria import (
 from .calltree import CallNode, build_call_tree, hottest_paths, render_call_tree
 from .diff import SliceDiff, diff_slices, exclusive_functions
 from .explain import chain_heads, explain_record, reason_summary
+from .oracle import OracleSlicer, oracle_slice
+from .parallel import ParallelSlicer, SliceFrontier, default_workers
 from .postdom import immediate_postdominators, postdominates
 from .slicer import (
     BackwardSlicer,
@@ -64,6 +66,11 @@ __all__ = [
     "combined_criteria",
     "custom_criteria",
     "BackwardSlicer",
+    "ParallelSlicer",
+    "SliceFrontier",
+    "default_workers",
+    "OracleSlicer",
+    "oracle_slice",
     "SlicerOptions",
     "DEFAULT_OPTIONS",
     "SliceResult",

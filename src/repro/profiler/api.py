@@ -56,29 +56,78 @@ class Profiler:
         sample_every: Optional[int] = None,
         main_tid: Optional[int] = None,
         options: SlicerOptions = DEFAULT_OPTIONS,
+        engine: str = "sequential",
+        workers: Optional[int] = None,
+        epoch_size: Optional[int] = None,
     ) -> SliceResult:
-        """Run the backward pass for ``criteria``."""
-        slicer = BackwardSlicer(
-            self._store,
-            self.control_dependence_index(),
-            criteria,
-            sample_every=sample_every,
-            main_tid=main_tid,
-            options=options,
+        """Run the backward pass for ``criteria``.
+
+        ``engine`` selects the implementation: ``"sequential"`` (default,
+        single in-process pass) or ``"parallel"`` (epoch-sharded fixpoint
+        across ``workers`` processes; see ``docs/parallel-slicing.md``).
+        Both produce identical sliced-record sets.  ``workers`` defaults to
+        ``REPRO_SLICER_WORKERS`` or the CPU allowance; ``epoch_size``
+        overrides the automatic trace split (parallel engine only).
+        """
+        if engine == "sequential":
+            slicer = BackwardSlicer(
+                self._store,
+                self.control_dependence_index(),
+                criteria,
+                sample_every=sample_every,
+                main_tid=main_tid,
+                options=options,
+            )
+            return slicer.run()
+        if engine == "parallel":
+            from .parallel import ParallelSlicer
+
+            return ParallelSlicer(
+                self._store,
+                self.control_dependence_index(),
+                criteria,
+                workers=workers,
+                epoch_size=epoch_size,
+                sample_every=sample_every,
+                main_tid=main_tid,
+                options=options,
+            ).run()
+        raise ValueError(
+            f"unknown engine {engine!r}; expected 'sequential' or 'parallel'"
         )
-        return slicer.run()
 
-    def pixel_slice(self, sample_every: Optional[int] = None) -> SliceResult:
+    def pixel_slice(
+        self, sample_every: Optional[int] = None, engine: str = "sequential", **kwargs
+    ) -> SliceResult:
         """Slice on the pixels-buffer criteria (the paper's headline run)."""
-        return self.slice(pixel_criteria(self._store), sample_every=sample_every)
+        return self.slice(
+            pixel_criteria(self._store),
+            sample_every=sample_every,
+            engine=engine,
+            **kwargs,
+        )
 
-    def syscall_slice(self, sample_every: Optional[int] = None) -> SliceResult:
+    def syscall_slice(
+        self, sample_every: Optional[int] = None, engine: str = "sequential", **kwargs
+    ) -> SliceResult:
         """Slice on the syscall criteria."""
-        return self.slice(syscall_criteria(self._store), sample_every=sample_every)
+        return self.slice(
+            syscall_criteria(self._store),
+            sample_every=sample_every,
+            engine=engine,
+            **kwargs,
+        )
 
-    def combined_slice(self, sample_every: Optional[int] = None) -> SliceResult:
+    def combined_slice(
+        self, sample_every: Optional[int] = None, engine: str = "sequential", **kwargs
+    ) -> SliceResult:
         """Slice on pixels + syscalls together."""
-        return self.slice(combined_criteria(self._store), sample_every=sample_every)
+        return self.slice(
+            combined_criteria(self._store),
+            sample_every=sample_every,
+            engine=engine,
+            **kwargs,
+        )
 
     def statistics(self, result: SliceResult) -> SliceStatistics:
         """Per-thread and overall statistics of a slice."""

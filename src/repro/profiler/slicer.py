@@ -89,8 +89,14 @@ class SliceResult:
     visited: int = 0
     #: record index -> (reason kind, detail), when reasons were tracked.
     #: kinds: "data" (a written cell was live), "register", "control"
-    #: (pending branch), "call" (needed invocation), "syscall" (criteria).
+    #: (pending branch), "call" (needed invocation; both the CALL and its
+    #: retroactively-flagged RET carry this kind), "syscall" (criteria).
+    #: When tracking is on, every sliced record has exactly one entry, so
+    #: the per-kind counts sum to the slice size.
     reasons: Optional[Dict[int, Tuple[str, int]]] = None
+    #: engine diagnostics ("engine", and for the parallel engine: workers,
+    #: epochs, rounds, epoch_runs, pass_throughs); empty for sequential runs.
+    engine_stats: Dict[str, object] = field(default_factory=dict)
 
     def __contains__(self, index: int) -> bool:
         return bool(self.flags[index])
@@ -223,6 +229,11 @@ class BackwardSlicer:
                         in_slice_count += 1
                         if tid == main_tid:
                             in_slice_main += 1
+                        if reasons is not None:
+                            # The RET joins retroactively, paired with this
+                            # CALL; without a reason entry here the reason
+                            # counts would not sum to the slice size.
+                            reasons[callee.ret_index] = ("call", callee.fn)
                 # The frame the CALL itself belongs to:
                 if not stack:
                     stack.append(_BackwardFrame(rec.fn, ret_index=None, is_root=True))
@@ -302,10 +313,28 @@ def slice_trace(
     criteria: SlicingCriteria,
     cdi: Optional[ControlDependenceIndex] = None,
     sample_every: Optional[int] = None,
+    engine: str = "sequential",
+    workers: Optional[int] = None,
+    epoch_size: Optional[int] = None,
 ) -> SliceResult:
     """One-call convenience: forward pass (if needed) + backward pass."""
     if cdi is None:
         from .cdg import build_index
 
         cdi = build_index(store.forward())
+    if engine == "parallel":
+        from .parallel import ParallelSlicer
+
+        return ParallelSlicer(
+            store,
+            cdi,
+            criteria,
+            workers=workers,
+            epoch_size=epoch_size,
+            sample_every=sample_every,
+        ).run()
+    if engine != "sequential":
+        raise ValueError(
+            f"unknown engine {engine!r}; expected 'sequential' or 'parallel'"
+        )
     return BackwardSlicer(store, cdi, criteria, sample_every=sample_every).run()

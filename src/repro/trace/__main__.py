@@ -5,11 +5,14 @@ Usage::
     python -m repro.trace collect amazon_desktop /tmp/amazon.ucwa
     python -m repro.trace info /tmp/amazon.ucwa
     python -m repro.trace slice /tmp/amazon.ucwa
+    python -m repro.trace slice /tmp/amazon.ucwa --engine=parallel --workers=4
 
 ``collect`` runs a registered benchmark and saves its trace; ``info``
 prints per-thread and symbol statistics; ``slice`` runs the pixel-based
 backward slice on a stored trace (demonstrating the collect-once,
-profile-many workflow the paper uses).
+profile-many workflow the paper uses).  ``--engine=parallel`` selects
+the epoch-sharded engine (see docs/parallel-slicing.md); ``--workers``
+sets its process count (default: REPRO_SLICER_WORKERS or usable cores).
 """
 
 from __future__ import annotations
@@ -48,16 +51,19 @@ def _info(path: str) -> int:
     return 0
 
 
-def _slice(path: str) -> int:
+def _slice(path: str, engine: str = "sequential", workers: int = None) -> int:
     from ..profiler import Profiler, pixel_criteria
 
     store = load_trace(path)
     profiler = Profiler(store)
-    result = profiler.slice(pixel_criteria(store))
+    result = profiler.slice(pixel_criteria(store), engine=engine, workers=workers)
     stats = profiler.statistics(result)
     print(f"pixel slice: {stats.fraction:.1%} of {stats.total} records")
     for thread in stats.threads:
         print(f"  {thread.name:<28s} {thread.fraction:>6.1%}")
+    if result.engine_stats:
+        pairs = ", ".join(f"{k}={v}" for k, v in result.engine_stats.items())
+        print(f"engine: {pairs}")
     return 0
 
 
@@ -65,7 +71,24 @@ def main(argv) -> int:
     if len(argv) >= 2 and argv[0] == "info":
         return _info(argv[1])
     if len(argv) >= 2 and argv[0] == "slice":
-        return _slice(argv[1])
+        engine, workers = "sequential", None
+        for opt in argv[2:]:
+            if opt.startswith("--engine="):
+                engine = opt[len("--engine="):]
+            elif opt.startswith("--workers="):
+                try:
+                    workers = int(opt[len("--workers="):])
+                except ValueError:
+                    print(f"--workers expects an integer, got {opt!r}")
+                    return 2
+            else:
+                print(f"unknown option {opt!r}")
+                return 2
+        try:
+            return _slice(argv[1], engine=engine, workers=workers)
+        except ValueError as err:
+            print(f"error: {err}")
+            return 2
     if len(argv) >= 3 and argv[0] == "collect":
         return _collect(argv[1], argv[2])
     print(__doc__)

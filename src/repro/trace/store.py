@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Tuple, Union
 
 from .records import InstrKind, TraceRecord, TraceMetadata
 from .symbols import SymbolTable
@@ -54,6 +54,22 @@ class TraceStore:
         """Direct access to the underlying record list (read-only use)."""
         return self._records
 
+    def span(self, lo: int, hi: int) -> List[TraceRecord]:
+        """Records ``[lo, hi)`` in execution order (one epoch's worth)."""
+        return self._records[lo:hi]
+
+    def iter_epochs(
+        self, epoch_size: int
+    ) -> Iterator[Tuple[int, int, List[TraceRecord]]]:
+        """Yield ``(lo, hi, records)`` per epoch, earliest epoch first.
+
+        The epoch-sharded slicer uses this to materialize one epoch at a
+        time instead of holding (or shipping) the whole trace; each yield
+        covers ``[lo, hi)`` with ``hi - lo <= epoch_size``.
+        """
+        for lo, hi in epoch_bounds(len(self._records), epoch_size):
+            yield lo, hi, self._records[lo:hi]
+
     def thread_ids(self) -> List[int]:
         """Distinct thread ids present in the trace, sorted."""
         return sorted({r.tid for r in self._records})
@@ -64,6 +80,20 @@ class TraceStore:
         for record in self._records:
             counts[record.tid] = counts.get(record.tid, 0) + 1
         return counts
+
+
+def epoch_bounds(n_records: int, epoch_size: int) -> List[Tuple[int, int]]:
+    """Split ``range(n_records)`` into ``[lo, hi)`` epochs of ``epoch_size``.
+
+    The final epoch absorbs the remainder, so it may be shorter (never
+    longer) than ``epoch_size``.  An empty trace yields no epochs.
+    """
+    if epoch_size <= 0:
+        raise ValueError(f"epoch_size must be positive, got {epoch_size}")
+    return [
+        (lo, min(lo + epoch_size, n_records))
+        for lo in range(0, n_records, epoch_size)
+    ]
 
 
 def _pack_addr_list(addrs) -> bytes:
@@ -206,3 +236,86 @@ def load_trace(path: Union[str, Path]) -> TraceStore:
     (load_idx,) = cur.take("<q")
     meta.load_complete_index = None if load_idx < 0 else load_idx
     return store
+
+
+def iter_trace_epochs(
+    path: Union[str, Path], epoch_size: int
+) -> Iterator[Tuple[int, int, List[TraceRecord]]]:
+    """Stream a saved trace epoch by epoch without building a TraceStore.
+
+    Yields ``(lo, hi, records)`` for consecutive ``[lo, hi)`` windows of at
+    most ``epoch_size`` records, parsing directly from the file image.  Only
+    one epoch's records are materialized at a time, so a trace far larger
+    than memory-resident ``TraceStore`` comfort can still be sharded into
+    epochs for the parallel slicer.
+
+    The marker-name table lives *after* the record section in the UCWA
+    format, so a cheap length-only skip pass locates it first; the second
+    pass materializes records with marker names resolved.
+    """
+    if epoch_size <= 0:
+        raise ValueError(f"epoch_size must be positive, got {epoch_size}")
+    data = Path(path).read_bytes()
+    if not data.startswith(_HEADER):
+        raise ValueError(f"{path}: not a UCWA trace file")
+    cur = _Cursor(data[len(_HEADER) :])
+
+    (n_names,) = cur.take("<I")
+    for _ in range(n_names):
+        (length,) = cur.take("<H")
+        cur.take_bytes(length)
+
+    (n_records,) = cur.take("<Q")
+    records_pos = cur.pos
+
+    # Skip pass: records are variable length, so walk their length fields
+    # to find the marker table.
+    for _ in range(n_records):
+        cur.pos += _REC.size
+        (n_rr,) = cur.take("<B")
+        cur.pos += n_rr
+        (n_rw,) = cur.take("<B")
+        cur.pos += n_rw
+        (n_mr,) = cur.take("<H")
+        cur.pos += 8 * n_mr
+        (n_mw,) = cur.take("<H")
+        cur.pos += 8 * n_mw
+
+    (n_markers,) = cur.take("<H")
+    markers: List[str] = []
+    for _ in range(n_markers):
+        (length,) = cur.take("<H")
+        markers.append(cur.take_bytes(length).decode("utf-8"))
+
+    cur.pos = records_pos
+    index = 0
+    while index < n_records:
+        lo = index
+        hi = min(index + epoch_size, n_records)
+        chunk: List[TraceRecord] = []
+        for _ in range(hi - lo):
+            tid, pc, kind, fn, syscall, marker_id = cur.take("<IQBIhh")
+            (n_rr,) = cur.take("<B")
+            regs_read = tuple(cur.take_bytes(n_rr))
+            (n_rw,) = cur.take("<B")
+            regs_written = tuple(cur.take_bytes(n_rw))
+            (n_mr,) = cur.take("<H")
+            mem_read = cur.take(f"<{n_mr}Q") if n_mr else ()
+            (n_mw,) = cur.take("<H")
+            mem_written = cur.take(f"<{n_mw}Q") if n_mw else ()
+            chunk.append(
+                TraceRecord(
+                    tid=tid,
+                    pc=pc,
+                    kind=InstrKind(kind),
+                    fn=fn,
+                    regs_read=regs_read,
+                    regs_written=regs_written,
+                    mem_read=mem_read,
+                    mem_written=mem_written,
+                    syscall=None if syscall < 0 else syscall,
+                    marker=None if marker_id < 0 else markers[marker_id],
+                )
+            )
+        yield lo, hi, chunk
+        index = hi

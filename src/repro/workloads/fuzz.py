@@ -1,0 +1,205 @@
+"""Randomized workload generators for the differential slicer tests.
+
+Two levels of fuzzing, both deterministic given the seed:
+
+* :func:`random_trace` builds an instruction trace directly with
+  :class:`~repro.machine.tracer.Tracer` — random multi-threaded
+  interleavings of ops, compare-and-branch pairs, nested calls,
+  syscalls, and tile markers over a small shared cell pool (small pools
+  make dependences dense, which is what stresses the slicers).
+* :func:`random_page` assembles a full synthetic website from the
+  :mod:`.generator` content pieces plus a randomized browsing session,
+  to be run through the real browser engine.
+
+The differential tests slice the resulting traces with the sequential
+engine, the parallel engine, and the oracle, and assert identical
+sliced-record sets; on mismatch the failing seed reproduces the trace
+exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..browser import EngineConfig, PageSpec, UserAction
+from ..machine.registers import NUM_REGISTERS
+from ..machine.tracer import TILE_MARKER, Tracer
+from ..trace.store import TraceStore
+from .base import Benchmark
+from .generator import (
+    css_framework,
+    footer_links,
+    js_analytics_library,
+    js_lazy_widgets,
+    js_utility_library,
+    lorem,
+    nav_menu,
+    product_grid,
+)
+
+#: syscalls the fuzzer draws from (a mix of memory-reading, -writing and
+#: memory-free models from the machine's syscall table)
+_SYSCALL_NAMES = ("write", "read", "futex", "clock_gettime", "sched_yield")
+
+
+def random_trace(
+    seed: int,
+    target_records: int = 2_000,
+    n_threads: int = 3,
+    n_cells: int = 96,
+    max_depth: int = 5,
+) -> TraceStore:
+    """A random but well-formed multi-threaded trace.
+
+    Guarantees: every CALL is matched by a RET (threads are unwound at
+    the end), every BRANCH is preceded by its CMP, and at least one
+    ``TILE_MARKER`` with pixel cells is emitted on the main thread so
+    ``pixel_criteria`` always applies.
+    """
+    rng = random.Random(seed)
+    tracer = Tracer()
+    tids = list(range(1, n_threads + 1))
+    tracer.spawn_thread(1, "CrRendererMain", "main_loop")
+    for tid in tids[1:]:
+        tracer.spawn_thread(tid, f"Worker{tid}", f"worker_loop_{tid}")
+
+    cells = list(range(0x1000, 0x1000 + n_cells))
+    regs = list(range(1, NUM_REGISTERS))  # skip FLAGS; branches manage it
+    # Small per-function site-label pools so pcs repeat across dynamic
+    # instances (repeated pcs are what give the CDG real structure).
+    depth: dict = {tid: 0 for tid in tids}
+    pixel_cells = tuple(rng.sample(cells, k=min(8, n_cells)))
+    markers_emitted = 0
+
+    def some(pool, lo, hi):
+        return tuple(rng.sample(pool, k=rng.randint(lo, min(hi, len(pool)))))
+
+    while len(tracer.store) < target_records:
+        tid = rng.choice(tids)
+        tracer.switch(tid)
+        for _ in range(rng.randint(1, 6)):
+            roll = rng.random()
+            label = f"s{rng.randrange(8)}"
+            if roll < 0.45:
+                tracer.op(
+                    label,
+                    reads=some(cells, 0, 3),
+                    writes=some(cells, 0, 2),
+                    reg_reads=some(regs, 0, 2),
+                    reg_writes=some(regs, 0, 2),
+                )
+            elif roll < 0.70:
+                tracer.compare_and_branch(f"b{rng.randrange(6)}", some(cells, 1, 2))
+            elif roll < 0.82 and depth[tid] < max_depth:
+                tracer.call(f"fn_{rng.randrange(10)}", site=f"c{rng.randrange(6)}")
+                depth[tid] += 1
+            elif roll < 0.90 and depth[tid] > 0:
+                tracer.ret()
+                depth[tid] -= 1
+            elif roll < 0.96:
+                tracer.syscall(
+                    rng.choice(_SYSCALL_NAMES),
+                    reads=some(cells, 0, 2),
+                    writes=some(cells, 0, 2),
+                )
+            else:
+                tracer.marker(TILE_MARKER, some(pixel_cells, 1, 4))
+                markers_emitted += 1
+
+    # Make the pixel criteria non-empty even for unlucky rolls, seeding
+    # from cells something actually wrote.
+    tracer.switch(1)
+    if markers_emitted == 0 or rng.random() < 0.5:
+        tracer.op("final_paint", writes=pixel_cells[:4])
+        tracer.marker(TILE_MARKER, pixel_cells[:4])
+    # Unwind every thread so CALL/RET pairing is balanced.
+    for tid in tids:
+        tracer.switch(tid)
+        while depth[tid] > 0:
+            tracer.ret()
+            depth[tid] -= 1
+    return tracer.store
+
+
+def random_page(seed: int, n_actions: Optional[int] = None) -> Benchmark:
+    """A randomized synthetic website plus browsing session.
+
+    Reuses the deterministic content generators behind the bundled
+    benchmarks (utility/analytics/lazy-widget JS, a CSS framework with
+    dead rules, product grid, nav chrome) with seed-driven proportions.
+    """
+    rng = random.Random(seed)
+    lib_functions = rng.randint(6, 18)
+    lib = js_utility_library(
+        "fuzzlib",
+        n_functions=lib_functions,
+        n_used=rng.randint(1, lib_functions),
+        seed=seed,
+        loop_scale=rng.randint(8, 24),
+    )
+    widgets = js_lazy_widgets(
+        n_widgets=rng.randint(2, 6), n_activated=rng.randint(0, 2)
+    )
+    grid, images = product_grid(rng, rng.randint(4, 16))
+    nav = nav_menu(rng.randint(3, 8), rng)
+    used = ("card", "card-title", "card-price", "buy-btn", "nav-list", "nav-item")
+    sheet = css_framework("fuzzcss", used, n_extra_rules=rng.randint(5, 40), seed=seed)
+
+    html = f"""<!DOCTYPE html>
+<html><head><title>fuzz {seed}</title>
+<link rel="stylesheet" href="fuzz.css">
+<script src="fuzzlib.js"></script>
+<script src="widgets.js"></script>
+<script src="metrics.js"></script>
+</head><body onload="fuzzlib_init()">
+<header>{nav}</header>
+<main><p>{lorem(rng, rng.randint(30, 120))}</p>{grid}</main>
+{footer_links(rng)}
+</body></html>"""
+
+    page = PageSpec(
+        url=f"https://fuzz.example/{seed}",
+        html=html,
+        stylesheets={"fuzz.css": sheet},
+        scripts={
+            "fuzzlib.js": lib,
+            "widgets.js": widgets,
+            "metrics.js": js_analytics_library(),
+        },
+        images=images,
+    )
+    config = EngineConfig(
+        viewport_width=rng.choice((360, 800, 1280)),
+        viewport_height=rng.choice((640, 720, 800)),
+        raster_threads=rng.randint(1, 2),
+        load_animation_ticks=rng.randint(1, 3),
+        seed=seed,
+    )
+    if n_actions is None:
+        n_actions = rng.randint(0, 4)
+    actions: List[UserAction] = []
+    for _ in range(n_actions):
+        if rng.random() < 0.6:
+            actions.append(
+                UserAction(
+                    kind="scroll",
+                    amount=rng.choice((-300, 200, 400, 600)),
+                    think_time_ms=rng.randint(100, 800),
+                )
+            )
+        else:
+            actions.append(
+                UserAction(
+                    kind="click",
+                    target_id=f"nav{rng.randrange(3)}",
+                    think_time_ms=rng.randint(100, 800),
+                )
+            )
+    return Benchmark(
+        name=f"fuzz_{seed}",
+        description=f"randomized differential-test page (seed {seed})",
+        page=page,
+        config=config,
+        actions=actions,
+    )

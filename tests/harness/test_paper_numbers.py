@@ -1,0 +1,80 @@
+"""Golden regression tests for the reproduced paper numbers.
+
+``goldens/paper_numbers.json`` freezes the Table I / Table II / Figure 2
+headline fractions as currently measured.  A slicer or engine refactor
+that silently shifts any of them fails here; an *intentional* change is
+recorded by regenerating the golden::
+
+    PYTHONPATH=src python -m repro.harness.goldens tests/harness/goldens/paper_numbers.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.goldens import collect_paper_numbers
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "paper_numbers.json"
+TOLERANCE = 1e-9
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return collect_paper_numbers()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+def _assert_matches(measured, golden, path=""):
+    assert type(measured) is type(golden) or (
+        isinstance(measured, (int, float)) and isinstance(golden, (int, float))
+    ), f"{path}: type changed from {type(golden).__name__} to {type(measured).__name__}"
+    if isinstance(golden, dict):
+        assert set(measured) == set(golden), (
+            f"{path}: keys changed: measured has "
+            f"{sorted(set(measured) ^ set(golden))} differing"
+        )
+        for key in golden:
+            _assert_matches(measured[key], golden[key], f"{path}/{key}")
+    elif isinstance(golden, list):
+        assert len(measured) == len(golden), f"{path}: length changed"
+        for i, (m, g) in enumerate(zip(measured, golden)):
+            _assert_matches(m, g, f"{path}[{i}]")
+    elif isinstance(golden, float):
+        assert measured == pytest.approx(golden, abs=TOLERANCE), (
+            f"{path}: measured {measured!r} != golden {golden!r}"
+        )
+    else:
+        assert measured == golden, f"{path}: measured {measured!r} != golden {golden!r}"
+
+
+def test_golden_file_checked_in():
+    assert GOLDEN_PATH.exists(), (
+        "goldens/paper_numbers.json is missing; regenerate it with "
+        "`python -m repro.harness.goldens`"
+    )
+
+
+def test_table2_fractions_match_golden(measured, golden):
+    _assert_matches(measured["table2"], golden["table2"], "table2")
+
+
+def test_table1_fractions_match_golden(measured, golden):
+    _assert_matches(measured["table1"], golden["table1"], "table1")
+
+
+def test_figure2_numbers_match_golden(measured, golden):
+    _assert_matches(measured["figure2"], golden["figure2"], "figure2")
+
+
+def test_golden_covers_all_table2_benchmarks(golden):
+    from repro.harness import paper
+
+    assert set(golden["table2"]) == set(paper.TABLE2)

@@ -1,0 +1,131 @@
+"""Differential testing: parallel ≡ sequential ≡ oracle.
+
+Three independent implementations of the backward slice are run over the
+same randomized traces and must produce identical sliced-record sets:
+
+* the streaming sequential pass (``profiler/slicer.py``),
+* the epoch-sharded parallel fixpoint (``profiler/parallel.py``),
+* the transitive-closure oracle (``profiler/oracle.py``).
+
+The trio makes single-implementation bugs visible: the oracle shares no
+code or formulation with the streaming passes, so a bug would have to be
+reimplemented three independent ways to slip through.  On mismatch the
+failing seed is in the assertion message; ``random_trace(seed)``
+reproduces the trace exactly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.profiler import Profiler
+from repro.profiler.cdg import build_index
+from repro.profiler.criteria import (
+    combined_criteria,
+    pixel_criteria,
+    syscall_criteria,
+)
+from repro.profiler.oracle import OracleSlicer
+from repro.profiler.parallel import ParallelSlicer
+from repro.profiler.slicer import BackwardSlicer
+from repro.workloads.fuzz import random_page, random_trace
+
+# 60 seeds x 3 criteria = 180 randomized differential runs.
+SEEDS = range(60)
+
+#: worker count used for the in-test parallel runs; CI overrides this to
+#: exercise both the inline path (1) and real process pools (4).
+WORKERS = int(os.environ.get("REPRO_SLICER_WORKERS", "1"))
+
+
+def _criteria_variants(store):
+    variants = [syscall_criteria(store)]
+    if store.metadata.tile_buffers:
+        variants.append(pixel_criteria(store))
+        variants.append(combined_criteria(store))
+    return variants
+
+
+def _assert_equivalent(store, seed, *, workers=WORKERS, epoch_size=None):
+    cdi = build_index(store.forward())
+    for criteria in _criteria_variants(store):
+        seq = BackwardSlicer(store, cdi, criteria).run()
+        par = ParallelSlicer(
+            store, cdi, criteria, workers=workers, epoch_size=epoch_size
+        ).run()
+        orc = OracleSlicer(store, cdi, criteria).run()
+        label = f"seed={seed} criteria={criteria.name}"
+        assert bytes(par.flags) == bytes(seq.flags), (
+            f"parallel != sequential for {label}; "
+            f"first diffs at {_diff_indices(seq.flags, par.flags)}"
+        )
+        assert bytes(orc.flags) == bytes(seq.flags), (
+            f"oracle != sequential for {label}; "
+            f"first diffs at {_diff_indices(seq.flags, orc.flags)}"
+        )
+
+
+def _diff_indices(a, b, limit=10):
+    return [i for i, (x, y) in enumerate(zip(a, b)) if x != y][:limit]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_traces_all_engines_agree(seed):
+    store = random_trace(seed, target_records=1_500 + 100 * (seed % 7))
+    # Small epochs force many frontier hand-offs and fixpoint rounds.
+    _assert_equivalent(store, seed, epoch_size=128 + 13 * (seed % 5))
+
+
+@pytest.mark.parametrize("seed", (0, 1, 2))
+def test_random_traces_with_process_pool(seed):
+    """A few seeds through real worker processes (not the inline path)."""
+    store = random_trace(seed + 1000, target_records=4_000)
+    _assert_equivalent(store, seed + 1000, workers=4, epoch_size=512)
+
+
+@pytest.mark.parametrize("seed", (7, 21))
+def test_random_pages_all_engines_agree(seed):
+    """Full engine-generated traces from randomized synthetic pages."""
+    from repro.harness.experiments import run_engine
+
+    bench = random_page(seed, n_actions=1)
+    store = run_engine(bench, metrics_ticks=1).trace_store()
+    _assert_equivalent(store, seed, epoch_size=max(256, len(store) // 13))
+
+
+def test_engine_switch_on_profiler_api():
+    store = random_trace(123)
+    prof = Profiler(store)
+    seq = prof.pixel_slice()
+    par = prof.pixel_slice(engine="parallel", workers=WORKERS)
+    assert bytes(par.flags) == bytes(seq.flags)
+    assert par.engine_stats["engine"] == "parallel"
+    assert par.engine_stats["epoch_runs"] >= par.engine_stats["epochs"]
+    with pytest.raises(ValueError):
+        prof.pixel_slice(engine="turbo")
+
+
+def test_parallel_timeline_final_sample_matches_sequential():
+    store = random_trace(42, target_records=3_000)
+    prof = Profiler(store)
+    seq = prof.pixel_slice(sample_every=500)
+    par = prof.pixel_slice(sample_every=500, engine="parallel", workers=1)
+    assert par.timeline, "parallel engine should emit timeline samples"
+    assert par.timeline[-1] == seq.timeline[-1]
+
+
+def test_frontier_serialization_round_trip():
+    from repro.profiler.parallel import SliceFrontier
+    import pickle
+
+    frontier = SliceFrontier(
+        live_mem=(3, 9, 0xFFFF_FFFF_0000),
+        live_regs=((1, (2, 5)), (4, (1,))),
+        pending=((1, (1 << 21,)),),
+        stacks=((1, ((7, 1234, 1, 0), (9, -1, 0, 1))),),
+    )
+    assert SliceFrontier.from_bytes(frontier.to_bytes()) == frontier
+    assert pickle.loads(pickle.dumps(frontier)) == frontier
+    assert SliceFrontier.empty().to_bytes() == SliceFrontier().to_bytes()

@@ -1,0 +1,159 @@
+"""Property-based invariants of the backward slice.
+
+Checked over hypothesis-drawn random traces and one bundled engine
+workload:
+
+* **data closure** — for every sliced record, the latest earlier writer
+  of each cell it reads (and same-thread register it reads) is sliced;
+* **control closure** — for every sliced record, the nearest preceding
+  same-thread dynamic instance of each branch in its static
+  control-dependence set is sliced;
+* **call/ret balance** — a matched CALL/RET pair is either entirely in
+  or entirely out of the slice, per thread;
+* **criteria monotonicity** — adding criteria only grows the slice
+  (pixels ⊆ pixels + syscalls).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.profiler import Profiler
+from repro.profiler.cdg import build_index
+from repro.profiler.criteria import combined_criteria, pixel_criteria
+from repro.trace.records import InstrKind
+from repro.workloads.fuzz import random_trace
+
+
+def _writer_indexes(store):
+    """(mem writers per cell, reg writers per (tid, reg)), ascending.
+
+    RET records are excluded — they take no part in the liveness rule.
+    """
+    mem: Dict[int, List[int]] = {}
+    reg: Dict[Tuple[int, int], List[int]] = {}
+    for i, rec in enumerate(store.records()):
+        if rec.kind == InstrKind.RET:
+            continue
+        for addr in rec.mem_written:
+            mem.setdefault(addr, []).append(i)
+        for r in rec.regs_written:
+            reg.setdefault((rec.tid, r), []).append(i)
+    return mem, reg
+
+
+def _latest_before(indices: Optional[List[int]], i: int) -> Optional[int]:
+    if not indices:
+        return None
+    pos = bisect_left(indices, i)
+    return indices[pos - 1] if pos else None
+
+
+def _matched_call_ret_pairs(store) -> List[Tuple[int, int]]:
+    """(call_index, ret_index) pairs via forward stack simulation."""
+    pairs: List[Tuple[int, int]] = []
+    stacks: Dict[int, List[int]] = {}
+    for i, rec in enumerate(store.records()):
+        stack = stacks.setdefault(rec.tid, [])
+        if rec.kind == InstrKind.CALL:
+            stack.append(i)
+        elif rec.kind == InstrKind.RET and stack:
+            pairs.append((stack.pop(), i))
+    return pairs
+
+
+def _check_closure_properties(store, result, cdi):
+    records = store.records()
+    flags = result.flags
+    mem_writers, reg_writers = _writer_indexes(store)
+    branches: Dict[Tuple[int, int], List[int]] = {}
+    for i, rec in enumerate(records):
+        if rec.kind == InstrKind.BRANCH:
+            branches.setdefault((rec.tid, rec.pc), []).append(i)
+
+    for i, flag in enumerate(flags):
+        if not flag:
+            continue
+        rec = records[i]
+        if rec.kind == InstrKind.RET:
+            continue  # retroactively flagged; generates no dependences
+        for addr in rec.mem_read:
+            writer = _latest_before(mem_writers.get(addr), i)
+            assert writer is None or flags[writer], (
+                f"record {i} reads cell {addr:#x} but its latest writer "
+                f"{writer} is not sliced"
+            )
+        for r in rec.regs_read:
+            writer = _latest_before(reg_writers.get((rec.tid, r)), i)
+            assert writer is None or flags[writer], (
+                f"record {i} reads register {r} but its latest writer "
+                f"{writer} is not sliced"
+            )
+        for dep_pc in cdi.deps_of(rec.pc):
+            branch = _latest_before(branches.get((rec.tid, dep_pc)), i)
+            assert branch is None or flags[branch], (
+                f"record {i} is control dependent on pc {dep_pc:#x} but its "
+                f"nearest preceding instance {branch} is not sliced"
+            )
+
+    for call_index, ret_index in _matched_call_ret_pairs(store):
+        assert flags[call_index] == flags[ret_index], (
+            f"unbalanced pair: CALL {call_index} flag={flags[call_index]} "
+            f"vs RET {ret_index} flag={flags[ret_index]}"
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_slice_closure_invariants_on_random_traces(seed):
+    store = random_trace(seed, target_records=1_200)
+    cdi = build_index(store.forward())
+    prof = Profiler(store)
+    result = prof.combined_slice()
+    _check_closure_properties(store, result, cdi)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_slice_monotonic_in_criteria(seed):
+    store = random_trace(seed, target_records=1_200)
+    prof = Profiler(store)
+    pixel = prof.pixel_slice()
+    combined = prof.combined_slice()
+    for i, flag in enumerate(pixel.flags):
+        if flag:
+            assert combined.flags[i], (
+                f"seed {seed}: record {i} in pixel slice but not in "
+                f"pixel+syscall slice"
+            )
+    assert combined.slice_size() >= pixel.slice_size()
+
+
+@pytest.fixture(scope="module")
+def wiki_run():
+    from repro.harness.experiments import run_engine
+    from repro.workloads import benchmark
+
+    bench = benchmark("wiki_article")
+    return run_engine(bench).trace_store()
+
+
+def test_slice_closure_invariants_on_engine_workload(wiki_run):
+    store = wiki_run
+    cdi = build_index(store.forward())
+    prof = Profiler(store)
+    _check_closure_properties(store, prof.pixel_slice(), cdi)
+
+
+def test_slice_monotonic_on_engine_workload(wiki_run):
+    store = wiki_run
+    prof = Profiler(store)
+    pixel = prof.pixel_slice()
+    combined = prof.combined_slice()
+    assert all(
+        combined.flags[i] for i, flag in enumerate(pixel.flags) if flag
+    )

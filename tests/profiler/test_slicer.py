@@ -257,3 +257,104 @@ def test_slice_result_helpers():
     assert 0.0 < result.fraction() < 1.0
     assert result.total() == len(tracer.store)
     assert i_a in result.indices()
+
+
+# --------------------------------------------------------------------- #
+# Join-reason tracking                                                  #
+# --------------------------------------------------------------------- #
+
+
+def _reasons_trace():
+    """One trace that exercises every join kind.
+
+    data (cell), register, control (branch), call (CALL and its
+    retroactively-flagged RET), and syscall.
+    """
+    tracer = make_tracer()
+    cond, val, out = 0xE00, 0xE01, 0xE02
+    with tracer.function("f"):
+        tracer.op("cond_src", writes=(cond,))
+        tracer.compare_and_branch("if", reads=(cond,))
+        with tracer.function("g"):
+            tracer.op("make", writes=(val,), reg_writes=(3,))
+            tracer.op("shuffle", reg_reads=(3,), reg_writes=(4,))
+            tracer.op("spill", reg_reads=(4,), writes=(val,))
+        i_use = tracer.op("use", reads=(val,), writes=(out,))
+        tracer.syscall("write", reads=(out,))
+    # Second run through the other arm so the branch has two dynamic
+    # successors and real control dependence exists.
+    with tracer.function("f"):
+        tracer.op("cond_src", writes=(cond,))
+        tracer.compare_and_branch("if", reads=(cond,))
+        tracer.op("use", reads=(val,), writes=(out,))
+        tracer.syscall("write", reads=(out,))
+    crit = SlicingCriteria(
+        name="t",
+        criteria=custom_criteria("t", ((i_use + 1, (out,)),)).criteria,
+        include_syscalls=True,
+    )
+    return tracer, crit
+
+
+def test_track_reasons_records_every_join_kind():
+    from repro.profiler import SlicerOptions
+
+    tracer, crit = _reasons_trace()
+    result = slice_with(tracer, crit, options=SlicerOptions(track_reasons=True))
+    assert result.reasons is not None
+    kinds = {kind for kind, _ in result.reasons.values()}
+    assert {"data", "register", "control", "call", "syscall"} <= kinds
+
+
+def test_track_reasons_sum_to_slice_size():
+    from repro.profiler import SlicerOptions
+
+    tracer, crit = _reasons_trace()
+    result = slice_with(tracer, crit, options=SlicerOptions(track_reasons=True))
+    # Every sliced record carries exactly one reason — in particular the
+    # retroactively-flagged RETs of needed invocations must not be missed.
+    assert set(result.reasons) == set(result.indices())
+    assert len(result.reasons) == result.slice_size()
+
+
+def test_track_reasons_on_retroactive_ret():
+    from repro.profiler import SlicerOptions
+
+    tracer, crit = _reasons_trace()
+    result = slice_with(tracer, crit, options=SlicerOptions(track_reasons=True))
+    records = tracer.store.records()
+    g = tracer.symbols.lookup("g")
+    ret_g = next(
+        i for i, r in enumerate(records)
+        if r.kind == InstrKind.RET and r.fn == g
+    )
+    call_g = next(
+        i for i, r in enumerate(records)
+        if r.kind == InstrKind.CALL and r.pc == tracer.pc_of("f", "call:g")
+    )
+    assert ret_g in result and call_g in result
+    assert result.reasons[ret_g] == ("call", g)
+    assert result.reasons[call_g] == ("call", g)
+
+
+def test_reason_summary_matches_slice_size():
+    from repro.profiler import SlicerOptions, reason_summary
+
+    tracer, crit = _reasons_trace()
+    result = slice_with(tracer, crit, options=SlicerOptions(track_reasons=True))
+    summary = reason_summary(result)
+    assert sum(summary.values()) == result.slice_size()
+
+
+def test_track_reasons_parallel_engine_agrees():
+    from repro.profiler import SlicerOptions
+
+    tracer, crit = _reasons_trace()
+    seq = slice_with(tracer, crit, options=SlicerOptions(track_reasons=True))
+    par = slice_with(
+        tracer, crit,
+        options=SlicerOptions(track_reasons=True),
+        engine="parallel", workers=1, epoch_size=4,
+    )
+    assert bytes(par.flags) == bytes(seq.flags)
+    assert set(par.reasons) == set(seq.reasons)
