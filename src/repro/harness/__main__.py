@@ -8,7 +8,11 @@ Usage::
     python -m repro.harness fig4
     python -m repro.harness fig5
     python -m repro.harness bing-partial
+    python -m repro.harness static
     python -m repro.harness all
+
+``static`` cross-validates the static dead-code analyzer
+(``repro.jsstatic``) against each workload's dynamic coverage.
 """
 
 from __future__ import annotations
@@ -26,7 +30,27 @@ from .reporting import (
     table2_report,
 )
 
-_TARGETS = ("table1", "table2", "fig2", "fig4", "fig5", "bing-partial", "all")
+_TARGETS = (
+    "table1", "table2", "fig2", "fig4", "fig5", "bing-partial", "static", "all"
+)
+
+
+def _static() -> str:
+    from ..jsstatic.compare import compare_benchmark, comparison_report
+    from ..workloads import TABLE2_BENCHMARKS
+
+    names = ["wiki_article"] + [
+        n for n in TABLE2_BENCHMARKS if n != "wiki_article"
+    ]
+    comparisons = []
+    for name in names:
+        result = cached_run(name)
+        comparisons.append(
+            compare_benchmark(
+                name, engine=result.engine, pixel_fraction=result.stats.fraction
+            )
+        )
+    return comparison_report(comparisons)
 
 
 def _table1() -> str:
@@ -65,6 +89,9 @@ def main(argv) -> int:
         print()
     if target in ("bing-partial", "all"):
         print(bing_partial_report(cached_run("bing")))
+        print()
+    if target in ("static", "all"):
+        print(_static())
     return 0
 
 

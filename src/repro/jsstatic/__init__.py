@@ -1,0 +1,49 @@
+"""Static dead-code analysis over the mini-JS engine's AST.
+
+The dynamic side of this repository (byte coverage + pixel slicing)
+*observes* unnecessary JavaScript; this package *predicts* it without
+running anything, the way Lacuna/Muzeel-style tools attack web bloat
+statically.  The pipeline:
+
+* :mod:`.cfg` — per-function control-flow graphs (basic blocks over the
+  statement AST, with literal-constant branch folding);
+* :mod:`.dataflow` — intraprocedural reaching definitions, liveness, and
+  dead-store detection over those CFGs;
+* :mod:`.callgraph` — a page-level call graph whose edges model not just
+  direct calls but DOM/event-handler registration (``addEventListener``),
+  timers (``setTimeout`` / ``requestAnimationFrame``), array-method
+  callbacks, name aliasing, and value escape, so handlers are never
+  falsely dead;
+* :mod:`.analyzer` — unreachable-function and unreachable-statement
+  detection plus statically-dead byte accounting for a whole page;
+* :mod:`.compare` — cross-validation against the *dynamic* ground truth
+  (``repro.browser.js.coverage`` + the pixel slice): per-workload
+  precision/recall of the static "dead" verdicts.
+
+The analyzer is deliberately conservative ("sound"): a function it calls
+dead must never execute under any event sequence the engine can deliver.
+``python -m repro.jsstatic report`` quantifies the price of that
+conservatism per bundled workload.
+"""
+
+from .analyzer import PageAnalysis, analyze_page
+from .callgraph import CallGraph, EdgeKind, FunctionInfo, build_call_graph
+from .cfg import CFG, build_cfg
+from .compare import WorkloadComparison, compare_benchmark, comparison_report
+from .dataflow import DataflowResult, analyze_dataflow
+
+__all__ = [
+    "CFG",
+    "build_cfg",
+    "DataflowResult",
+    "analyze_dataflow",
+    "CallGraph",
+    "EdgeKind",
+    "FunctionInfo",
+    "build_call_graph",
+    "PageAnalysis",
+    "analyze_page",
+    "WorkloadComparison",
+    "compare_benchmark",
+    "comparison_report",
+]

@@ -1,0 +1,81 @@
+"""Static-analysis CLI: analyze workload scripts, cross-validate dynamically.
+
+Usage::
+
+    python -m repro.jsstatic report                # all Table II workloads
+    python -m repro.jsstatic report wiki_article bing
+    python -m repro.jsstatic analyze amazon_desktop
+
+``report`` runs each workload's full dynamic session (reusing the
+harness's per-process cache) and prints the precision/recall table of the
+static dead-code verdicts against dynamic coverage; ``analyze`` prints
+the raw static findings for one benchmark without running anything.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List
+
+
+def _default_names() -> List[str]:
+    from ..workloads import TABLE2_BENCHMARKS
+
+    names = ["wiki_article"]
+    names.extend(n for n in TABLE2_BENCHMARKS if n not in names)
+    return names
+
+
+def _report(names: List[str]) -> int:
+    from ..harness.experiments import cached_run
+    from .compare import compare_benchmark, comparison_report
+
+    comparisons = []
+    for name in names:
+        result = cached_run(name)
+        comparisons.append(
+            compare_benchmark(
+                name, engine=result.engine, pixel_fraction=result.stats.fraction
+            )
+        )
+    print(comparison_report(comparisons))
+    return 0 if all(c.is_sound for c in comparisons) else 1
+
+
+def _analyze(name: str) -> int:
+    from ..workloads import benchmark
+    from .analyzer import analyze_page
+    from .compare import benchmark_sources
+
+    analysis = analyze_page(benchmark_sources(benchmark(name)))
+    total = analysis.total_bytes()
+    dead_bytes = analysis.total_dead_bytes()
+    print(f"{name}: {len(analysis.graph.functions)} functions "
+          f"across {len(analysis.programs)} scripts")
+    print(f"statically dead functions: {len(analysis.dead_functions)} "
+          f"({dead_bytes} of {total} bytes)")
+    for info in analysis.dead_functions:
+        print(f"  dead fn   {info.script}:{info.label()} span={info.span}")
+    for url, stmt in analysis.unreachable_stmts():
+        print(f"  unreachable stmt {url} span={stmt.span}")
+    for label, store in analysis.dead_stores():
+        span = store.node.span if store.node is not None else None
+        print(f"  dead store {label}: {store.name} span={span}")
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    if argv and argv[0] == "report":
+        names = argv[1:] or _default_names()
+        return _report(names)
+    if len(argv) >= 2 and argv[0] == "analyze":
+        return _analyze(argv[1])
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:
+        sys.exit(0)

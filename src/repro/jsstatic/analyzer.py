@@ -1,0 +1,142 @@
+"""Whole-page static analysis: dead functions, unreachable statements,
+dead stores, and statically-dead byte accounting.
+
+``analyze_page`` takes the same inputs the engine does — script sources
+keyed by URL, in load order — and combines the package's pieces:
+
+* parse every script with the engine's own parser (so spans and function
+  boundaries match dynamic coverage exactly);
+* build the page call graph and compute dead functions;
+* build one CFG per region (script top level + every function body) and
+  collect unreachable statements and dead stores;
+* mirror :meth:`repro.browser.js.coverage.ScriptCoverage.used_bytes`'s
+  merged-span arithmetic to express "statically dead" as source bytes,
+  the unit Table I uses for the dynamic side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..browser.js import ast
+from ..browser.js.coverage import span_total
+from ..browser.js.parser import parse_js
+from .callgraph import CallGraph, FunctionInfo, build_call_graph
+from .cfg import CFG, build_cfg, unreachable_statements
+from .dataflow import DataflowResult, Definition, analyze_dataflow
+
+
+@dataclass
+class RegionReport:
+    """Static findings for one region (top level or function body)."""
+
+    script: str
+    #: None for a script top level, else the function
+    function: "FunctionInfo | None"
+    cfg: CFG
+    dataflow: DataflowResult
+    unreachable: List[ast.JSNode]
+
+    def label(self) -> str:
+        if self.function is None:
+            return f"{self.script}:<top>"
+        return f"{self.script}:{self.function.label()}"
+
+
+@dataclass
+class PageAnalysis:
+    """Aggregate static verdicts for one page's scripts."""
+
+    graph: CallGraph
+    programs: Dict[str, ast.Program]
+    script_bytes: Dict[str, int]
+    dead_functions: List[FunctionInfo]
+    regions: List[RegionReport] = field(default_factory=list)
+
+    # -- roll-ups --------------------------------------------------------- #
+
+    def unreachable_stmts(self) -> List[Tuple[str, ast.JSNode]]:
+        out: List[Tuple[str, ast.JSNode]] = []
+        for region in self.regions:
+            for stmt in region.unreachable:
+                out.append((region.script, stmt))
+        return out
+
+    def dead_stores(self) -> List[Tuple[str, Definition]]:
+        out: List[Tuple[str, Definition]] = []
+        for region in self.regions:
+            for store in region.dataflow.dead_stores:
+                out.append((region.label(), store))
+        return out
+
+    def dead_function_spans(self, script: str) -> List[Tuple[int, int]]:
+        return [f.span for f in self.dead_functions if f.script == script]
+
+    def statically_dead_bytes(self, script: str) -> int:
+        """Source bytes of ``script`` covered by statically-dead functions.
+
+        Uses the same merged-interval arithmetic as the dynamic
+        ``used_bytes`` so the two byte totals are directly comparable.
+        A function nested inside a dead one is itself dead (its defining
+        region can never run), so a plain merge is exact.
+        """
+        return span_total(self.dead_function_spans(script))
+
+    def total_dead_bytes(self) -> int:
+        return sum(self.statically_dead_bytes(url) for url in self.programs)
+
+    def total_bytes(self) -> int:
+        return sum(self.script_bytes.values())
+
+
+def analyze_page(scripts: Dict[str, str]) -> PageAnalysis:
+    """Statically analyze a page's scripts (``{url: source}`` in load order)."""
+    programs: Dict[str, ast.Program] = {
+        url: parse_js(source) for url, source in scripts.items()
+    }
+    graph = build_call_graph(programs)
+    live = graph.live_functions()
+    dead = [f for f in graph.functions if f.fid not in live]
+
+    # Propagate: a function inside a dead region is dead even if a name
+    # edge from elsewhere would resolve to it (its value is never created).
+    # live_functions() already handles this by only walking live regions,
+    # but name resolution is global, so re-check parents transitively.
+    dead_ids: Set[int] = {f.fid for f in dead}
+    changed = True
+    while changed:
+        changed = False
+        for info in graph.functions:
+            if info.fid in dead_ids:
+                continue
+            kind, key = info.parent
+            if kind == "fn" and int(key) in dead_ids:
+                # Defined only inside a function that never runs.  NOTE:
+                # this is an *additional* precision step and must stay
+                # conservative: the parent being dead means its body never
+                # executes, so this function's value is never created.
+                dead_ids.add(info.fid)
+                changed = True
+    dead = [f for f in graph.functions if f.fid in dead_ids]
+
+    analysis = PageAnalysis(
+        graph=graph,
+        programs=programs,
+        script_bytes={url: len(source) for url, source in scripts.items()},
+        dead_functions=dead,
+    )
+
+    for url, program in programs.items():
+        cfg = build_cfg(program.body)
+        flow = analyze_dataflow(cfg, [], program.body, is_function=False)
+        analysis.regions.append(
+            RegionReport(url, None, cfg, flow, unreachable_statements(cfg))
+        )
+    for info in graph.functions:
+        cfg = build_cfg(info.node.body)
+        flow = analyze_dataflow(cfg, list(info.node.params), info.node.body)
+        analysis.regions.append(
+            RegionReport(info.script, info, cfg, flow, unreachable_statements(cfg))
+        )
+    return analysis

@@ -1,0 +1,282 @@
+"""Page-level call graph with DOM/event registration edges.
+
+A *region* is one unit of straight-line reachability: a script's top
+level (``("top", url)``) or one function body (``("fn", fid)``).  Edges
+say "if this region ever runs, that function may later run".  Beyond
+direct calls, the builder models the ways the engine can invoke a
+function without a syntactic call:
+
+* ``handler`` — registered via ``addEventListener`` (element, document or
+  window) and fired by ``dispatch_event``;
+* ``timer`` — passed to ``setTimeout`` / ``requestAnimationFrame``;
+* ``callback`` — passed to an array higher-order method
+  (``forEach``/``map``/``filter``/``reduce``/``sort``);
+* ``ref`` — the function's *name* is read anywhere (aliasing: the value
+  may flow somewhere we cannot track);
+* ``escape`` — a function *value* appears in any other position (object
+  literal entry, call argument, return value, member store, ...).
+
+``ref`` and ``escape`` are the conservative safety net: any function
+whose value can be observed by running code is kept live, which is what
+makes the dead-function verdict sound.  Precision comes only from the
+cases with no edge at all: a declared-but-never-mentioned function, or a
+name bound to a function and never read.
+
+Name resolution is intentionally crude — one global namespace across all
+scripts, every binding of a name is a candidate target — because the
+engine itself resolves free identifiers through the shared global
+environment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..browser.js import ast
+
+#: region key: ("top", script url) or ("fn", function id as str)
+RegionKey = Tuple[str, str]
+
+#: array methods that synchronously invoke their first argument
+CALLBACK_METHODS = frozenset({"forEach", "map", "filter", "reduce", "sort"})
+#: global functions that schedule their first argument
+TIMER_FUNCTIONS = frozenset({"setTimeout", "requestAnimationFrame"})
+
+
+class EdgeKind(enum.Enum):
+    DIRECT = "direct"
+    REF = "ref"
+    HANDLER = "handler"
+    TIMER = "timer"
+    CALLBACK = "callback"
+    ESCAPE = "escape"
+
+
+@dataclass
+class FunctionInfo:
+    """One function (declaration or expression) found in a script."""
+
+    fid: int
+    script: str
+    node: ast.FunctionExpr
+    span: Tuple[int, int]
+    #: names under which running code can reach this function's value
+    aliases: Set[str] = field(default_factory=set)
+    #: region whose execution creates this function's value
+    parent: RegionKey = ("top", "")
+
+    @property
+    def name(self) -> Optional[str]:
+        return self.node.name
+
+    def label(self) -> str:
+        if self.aliases:
+            return sorted(self.aliases)[0]
+        return f"<anonymous@{self.span[0]}>"
+
+
+def region_of(info: FunctionInfo) -> RegionKey:
+    return ("fn", str(info.fid))
+
+
+@dataclass
+class CallGraph:
+    """Functions, regions, and may-invoke edges for one page."""
+
+    functions: List[FunctionInfo] = field(default_factory=list)
+    #: script urls in load order (their top levels are the roots)
+    scripts: List[str] = field(default_factory=list)
+    #: edges to a known function value
+    value_edges: Dict[RegionKey, List[Tuple[EdgeKind, int]]] = field(
+        default_factory=dict
+    )
+    #: edges to a *name*, resolved against every alias at fixpoint time
+    name_edges: Dict[RegionKey, List[Tuple[EdgeKind, str]]] = field(
+        default_factory=dict
+    )
+
+    def functions_named(self, name: str) -> List[FunctionInfo]:
+        return [f for f in self.functions if name in f.aliases]
+
+    def live_functions(self) -> Set[int]:
+        """Fixpoint: fids possibly invoked from any script top level."""
+        by_name: Dict[str, List[int]] = {}
+        for info in self.functions:
+            for alias in info.aliases:
+                by_name.setdefault(alias, []).append(info.fid)
+
+        live: Set[int] = set()
+        work: List[RegionKey] = [("top", url) for url in self.scripts]
+        seen_regions: Set[RegionKey] = set(work)
+        while work:
+            region = work.pop()
+            targets: Set[int] = set()
+            for _kind, fid in self.value_edges.get(region, ()):
+                targets.add(fid)
+            for _kind, name in self.name_edges.get(region, ()):
+                targets.update(by_name.get(name, ()))
+            for fid in targets:
+                if fid not in live:
+                    live.add(fid)
+                    fn_region = ("fn", str(fid))
+                    if fn_region not in seen_regions:
+                        seen_regions.add(fn_region)
+                        work.append(fn_region)
+        return live
+
+    def dead_functions(self) -> List[FunctionInfo]:
+        live = self.live_functions()
+        return [f for f in self.functions if f.fid not in live]
+
+
+class _Scanner:
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+
+    # -- edge plumbing --------------------------------------------------- #
+
+    def _value_edge(self, region: RegionKey, kind: EdgeKind, fid: int) -> None:
+        self.graph.value_edges.setdefault(region, []).append((kind, fid))
+
+    def _name_edge(self, region: RegionKey, kind: EdgeKind, name: str) -> None:
+        self.graph.name_edges.setdefault(region, []).append((kind, name))
+
+    def _register(self, script: str, func: ast.FunctionExpr,
+                  parent: RegionKey, aliases: Set[str]) -> FunctionInfo:
+        info = FunctionInfo(
+            fid=len(self.graph.functions),
+            script=script,
+            node=func,
+            span=func.span,
+            aliases=set(aliases),
+            parent=parent,
+        )
+        if func.name:
+            info.aliases.add(func.name)
+        self.graph.functions.append(info)
+        # The function body is its own region; scan it now.
+        self.scan_region(script, region_of(info), func.body)
+        return info
+
+    # -- region scan ------------------------------------------------------ #
+
+    def scan_script(self, url: str, program: ast.Program) -> None:
+        self.graph.scripts.append(url)
+        self.scan_region(url, ("top", url), program.body)
+
+    def scan_region(self, script: str, region: RegionKey,
+                    body: List[ast.JSNode]) -> None:
+        for stmt in body:
+            self._scan(script, region, stmt)
+
+    def _scan(self, script: str, region: RegionKey, node: ast.JSNode) -> None:
+        if isinstance(node, ast.FunctionDecl):
+            self._register(script, node.func, region,
+                           {node.func.name} if node.func.name else set())
+            return
+        if isinstance(node, ast.VarDecl):
+            if isinstance(node.init, ast.FunctionExpr):
+                self._register(script, node.init, region, {node.name})
+            elif node.init is not None:
+                self._scan(script, region, node.init)
+            return
+        if isinstance(node, ast.ExpressionStmt):
+            expr = node.expr
+            if (
+                isinstance(expr, ast.Assignment)
+                and expr.op == "="
+                and isinstance(expr.target, ast.Identifier)
+                and isinstance(expr.value, ast.FunctionExpr)
+            ):
+                # ``name = function () {...}`` — a pure aliasing store.
+                self._register(script, expr.value, region, {expr.target.name})
+                return
+            self._scan(script, region, expr)
+            return
+        if isinstance(node, ast.FunctionExpr):
+            # A function value in a non-aliasing position escapes.
+            info = self._register(script, node, region, set())
+            self._value_edge(region, EdgeKind.ESCAPE, info.fid)
+            return
+        if isinstance(node, ast.Identifier):
+            self._name_edge(region, EdgeKind.REF, node.name)
+            return
+        if isinstance(node, ast.Assignment):
+            if isinstance(node.target, ast.Identifier):
+                if node.op != "=":
+                    self._name_edge(region, EdgeKind.REF, node.target.name)
+            else:
+                self._scan(script, region, node.target)
+            self._scan(script, region, node.value)
+            return
+        if isinstance(node, ast.Call):
+            self._scan_call(script, region, node)
+            return
+        if isinstance(node, ast.SwitchStmt):
+            self._scan(script, region, node.discriminant)
+            for test, case_body in node.cases:
+                if test is not None:
+                    self._scan(script, region, test)
+                self.scan_region(script, region, case_body)
+            return
+        for child in _children(node):
+            self._scan(script, region, child)
+
+    def _scan_call(self, script: str, region: RegionKey, node: ast.Call) -> None:
+        callee = node.callee
+        special: Optional[EdgeKind] = None  # kind for the callback argument
+        callback_pos = 0
+
+        if isinstance(callee, ast.Identifier):
+            self._name_edge(region, EdgeKind.DIRECT, callee.name)
+            if callee.name in TIMER_FUNCTIONS:
+                special = EdgeKind.TIMER
+        elif isinstance(callee, ast.Member):
+            if callee.prop == "addEventListener":
+                special, callback_pos = EdgeKind.HANDLER, 1
+            elif callee.prop in CALLBACK_METHODS:
+                special = EdgeKind.CALLBACK
+            self._scan(script, region, callee.obj)
+            if callee.index is not None:
+                self._scan(script, region, callee.index)
+        elif isinstance(callee, ast.FunctionExpr):
+            # Immediately-invoked function expression.
+            info = self._register(script, callee, region, set())
+            self._value_edge(region, EdgeKind.DIRECT, info.fid)
+        else:
+            self._scan(script, region, callee)
+
+        for pos, arg in enumerate(node.args):
+            kind = special if (special is not None and pos == callback_pos) else None
+            if isinstance(arg, ast.FunctionExpr):
+                info = self._register(script, arg, region, set())
+                self._value_edge(region, kind or EdgeKind.ESCAPE, info.fid)
+            elif kind is not None and isinstance(arg, ast.Identifier):
+                self._name_edge(region, kind, arg.name)
+            else:
+                self._scan(script, region, arg)
+
+
+def _children(node: ast.JSNode) -> List[ast.JSNode]:
+    out: List[ast.JSNode] = []
+    for value in vars(node).values():
+        if isinstance(value, ast.JSNode):
+            out.append(value)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, ast.JSNode):
+                    out.append(item)
+                elif isinstance(item, tuple):
+                    out.extend(s for s in item if isinstance(s, ast.JSNode))
+    return out
+
+
+def build_call_graph(scripts: Dict[str, ast.Program]) -> CallGraph:
+    """Build the page call graph from parsed scripts in load order."""
+    graph = CallGraph()
+    scanner = _Scanner(graph)
+    for url, program in scripts.items():
+        scanner.scan_script(url, program)
+    return graph

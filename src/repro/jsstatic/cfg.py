@@ -1,0 +1,426 @@
+"""Control-flow graph construction over the mini-JS statement AST.
+
+One :class:`CFG` per function body (or script top level).  Blocks hold
+:class:`Item` entries — either simple statements or the evaluated parts of
+compound statements (an ``if`` test, a ``for`` update, a ``switch``
+discriminant), so every expression evaluation belongs to exactly one block
+and dataflow sees uses/defs in evaluation order.
+
+Branches on *literal* conditions are folded: ``if (false) {...}`` gets no
+edge into its consequent, which is how statically-unreachable statements
+fall out of plain graph reachability.  Exception edges are factored
+conservatively: every block inside a ``try`` gets an edge to the handler,
+so a partial execution of the protected region never invalidates a
+dataflow fact observed in the catch block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..browser.js import ast
+
+#: roles an Item can play inside its block
+ROLE_STMT = "stmt"
+ROLE_TEST = "test"
+ROLE_ITER = "iter"
+
+
+def js_literal_truthy(value: object) -> bool:
+    """Truthiness of a literal value (mirrors ``js_truthy`` for literals)."""
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return value != 0 and value == value  # NaN is falsy
+    if isinstance(value, str):
+        return len(value) > 0
+    return True
+
+
+def iter_child_nodes(node: object) -> Iterator[ast.JSNode]:
+    """Direct AST-node children of ``node`` (lists/tuples flattened)."""
+    if not isinstance(node, ast.JSNode):
+        return
+    for value in vars(node).values():
+        if isinstance(value, ast.JSNode):
+            yield value
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, ast.JSNode):
+                    yield item
+                elif isinstance(item, tuple):
+                    for sub in item:
+                        if isinstance(sub, ast.JSNode):
+                            yield sub
+
+
+def walk_expressions(node: ast.JSNode) -> Iterator[ast.JSNode]:
+    """Depth-first walk of an expression tree, not descending into
+    nested function bodies (those belong to other CFGs)."""
+    yield node
+    if isinstance(node, ast.FunctionExpr):
+        return
+    for child in iter_child_nodes(node):
+        yield from walk_expressions(child)
+
+
+@dataclass
+class Item:
+    """One evaluated unit inside a basic block."""
+
+    node: ast.JSNode
+    role: str = ROLE_STMT
+    #: statement this item belongs to (the compound head for tests/updates)
+    stmt: Optional[ast.JSNode] = None
+
+    def owner(self) -> ast.JSNode:
+        return self.stmt if self.stmt is not None else self.node
+
+
+@dataclass
+class BasicBlock:
+    bid: int
+    items: List[Item] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+
+class CFG:
+    """A function's control-flow graph.  Block 0 is the entry."""
+
+    def __init__(self) -> None:
+        self.blocks: List[BasicBlock] = []
+        self.entry = self.new_block().bid
+        self.exit = self.new_block().bid
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    def reachable_blocks(self) -> Set[int]:
+        """Blocks reachable from the entry (the exit is not implicitly so)."""
+        seen: Set[int] = set()
+        stack = [self.entry]
+        while stack:
+            bid = stack.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            stack.extend(self.blocks[bid].succs)
+        return seen
+
+    def items(self) -> Iterator[Tuple[int, Item]]:
+        for block in self.blocks:
+            for item in block.items:
+                yield block.bid, item
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.current = self.cfg.entry
+        self.break_targets: List[int] = []
+        self.continue_targets: List[int] = []
+        #: innermost enclosing catch-handler block, if any
+        self.handler_targets: List[int] = []
+        #: blocks created while inside each active try body
+        self.try_blocks: List[List[int]] = []
+
+    # -- plumbing ------------------------------------------------------- #
+
+    def _new(self) -> int:
+        bid = self.cfg.new_block().bid
+        for scope in self.try_blocks:
+            scope.append(bid)
+        return bid
+
+    def _append(self, node: ast.JSNode, role: str = ROLE_STMT,
+                stmt: Optional[ast.JSNode] = None) -> None:
+        self.cfg.blocks[self.current].items.append(Item(node, role, stmt))
+
+    def _goto_new(self, *preds: int) -> int:
+        bid = self._new()
+        for pred in preds:
+            self.cfg.edge(pred, bid)
+        self.current = bid
+        return bid
+
+    def _terminate(self, target: Optional[int]) -> None:
+        """End the current block with a jump; open an unreachable successor."""
+        if target is not None:
+            self.cfg.edge(self.current, target)
+        self.current = self._new()  # deliberately no incoming edge
+
+    # -- statements ----------------------------------------------------- #
+
+    def build_body(self, body: List[ast.JSNode]) -> None:
+        for stmt in body:
+            self.build_stmt(stmt)
+
+    def build_stmt(self, node: ast.JSNode) -> None:
+        cfg = self.cfg
+        if isinstance(node, (ast.VarDecl, ast.FunctionDecl, ast.ExpressionStmt)):
+            self._append(node)
+        elif isinstance(node, ast.ReturnStmt):
+            self._append(node)
+            self._terminate(cfg.exit)
+        elif isinstance(node, ast.ThrowStmt):
+            self._append(node)
+            target = self.handler_targets[-1] if self.handler_targets else cfg.exit
+            self._terminate(target)
+        elif isinstance(node, ast.BreakStmt):
+            self._append(node)
+            self._terminate(self.break_targets[-1] if self.break_targets else cfg.exit)
+        elif isinstance(node, ast.ContinueStmt):
+            self._append(node)
+            self._terminate(
+                self.continue_targets[-1] if self.continue_targets else cfg.exit
+            )
+        elif isinstance(node, ast.IfStmt):
+            self._build_if(node)
+        elif isinstance(node, ast.WhileStmt):
+            self._build_while(node)
+        elif isinstance(node, ast.DoWhileStmt):
+            self._build_do_while(node)
+        elif isinstance(node, ast.ForStmt):
+            self._build_for(node)
+        elif isinstance(node, ast.ForInStmt):
+            self._build_for_in(node)
+        elif isinstance(node, ast.SwitchStmt):
+            self._build_switch(node)
+        elif isinstance(node, ast.TryStmt):
+            self._build_try(node)
+        else:  # future statement kinds: treat as an opaque simple statement
+            self._append(node)
+
+    def _const_test(self, test: ast.JSNode) -> Optional[bool]:
+        if isinstance(test, ast.Literal):
+            return js_literal_truthy(test.value)
+        return None
+
+    def _build_if(self, node: ast.IfStmt) -> None:
+        self._append(node.test, ROLE_TEST, node)
+        const = self._const_test(node.test)
+        test_block = self.current
+        join = self._new()
+
+        # Both branch bodies are always *built* so a constant-false branch's
+        # statements land in edge-less blocks and report as unreachable;
+        # only the edge from the test is conditional on the folded constant.
+        for taken, body in ((True, node.consequent), (False, node.alternate)):
+            branch = self._new()
+            if const is None or const is taken:
+                self.cfg.edge(test_block, branch)
+            self.current = branch
+            self.build_body(body)
+            self.cfg.edge(self.current, join)
+        self.current = join
+
+    def _build_while(self, node: ast.WhileStmt) -> None:
+        head = self._goto_new(self.current)
+        self._append(node.test, ROLE_TEST, node)
+        const = self._const_test(node.test)
+        after = self._new()
+        if const is not True:
+            self.cfg.edge(head, after)
+        body = self._new()
+        if const is not False:
+            self.cfg.edge(head, body)
+        self.current = body
+        self.break_targets.append(after)
+        self.continue_targets.append(head)
+        self.build_body(node.body)
+        self.break_targets.pop()
+        self.continue_targets.pop()
+        self.cfg.edge(self.current, head)
+        self.current = after
+
+    def _build_do_while(self, node: ast.DoWhileStmt) -> None:
+        body = self._goto_new(self.current)
+        after = self._new()
+        tail = self._new()
+        self.current = body
+        self.break_targets.append(after)
+        self.continue_targets.append(tail)
+        self.build_body(node.body)
+        self.break_targets.pop()
+        self.continue_targets.pop()
+        self.cfg.edge(self.current, tail)
+        self.current = tail
+        self._append(node.test, ROLE_TEST, node)
+        const = self._const_test(node.test)
+        if const is not False:
+            self.cfg.edge(tail, body)
+        if const is not True:
+            self.cfg.edge(tail, after)
+        self.current = after
+
+    def _build_for(self, node: ast.ForStmt) -> None:
+        if node.init is not None:
+            self._append(node.init, ROLE_STMT, node)
+        head = self._goto_new(self.current)
+        const: Optional[bool] = True  # a missing test never exits the loop
+        if node.test is not None:
+            self._append(node.test, ROLE_TEST, node)
+            const = self._const_test(node.test)
+        after = self._new()
+        update = self._new()
+        if const is not True:
+            self.cfg.edge(head, after)
+        body = self._new()
+        if const is not False:
+            self.cfg.edge(head, body)
+        self.current = body
+        self.break_targets.append(after)
+        self.continue_targets.append(update)
+        self.build_body(node.body)
+        self.break_targets.pop()
+        self.continue_targets.pop()
+        self.cfg.edge(self.current, update)
+        self.current = update
+        if node.update is not None:
+            self._append(node.update, ROLE_STMT, node)
+        self.cfg.edge(update, head)
+        self.current = after
+
+    def _build_for_in(self, node: ast.ForInStmt) -> None:
+        self._append(node.obj, ROLE_STMT, node)
+        head = self._goto_new(self.current)
+        # The loop variable binding happens once per key.
+        after = self._new()
+        body = self._new()
+        self.cfg.edge(head, after)  # the object may have no keys
+        self.cfg.edge(head, body)
+        self.current = body
+        self._append(node, ROLE_ITER, node)  # binds node.name each iteration
+        self.break_targets.append(after)
+        self.continue_targets.append(head)
+        self.build_body(node.body)
+        self.break_targets.pop()
+        self.continue_targets.pop()
+        self.cfg.edge(self.current, head)
+        self.current = after
+
+    def _build_switch(self, node: ast.SwitchStmt) -> None:
+        self._append(node.discriminant, ROLE_TEST, node)
+        dispatch = self.current
+        after = self._new()
+        self.break_targets.append(after)
+
+        # One test block per non-default case, chained; one body block per
+        # case with fallthrough edges between consecutive bodies.
+        body_entries: List[int] = []
+        for test, _body in node.cases:
+            if test is not None:
+                test_block = self._goto_new(dispatch)
+                self._append(test, ROLE_TEST, node)
+                dispatch = test_block
+            body_entries.append(self._new())
+            self.cfg.edge(dispatch, body_entries[-1])
+
+        has_default = any(test is None for test, _ in node.cases)
+        if not has_default:
+            self.cfg.edge(dispatch, after)
+
+        prev_exit: Optional[int] = None
+        for (test, body), entry in zip(node.cases, body_entries):
+            if prev_exit is not None:
+                self.cfg.edge(prev_exit, entry)  # fallthrough
+            self.current = entry
+            self.build_body(body)
+            prev_exit = self.current
+        if prev_exit is not None:
+            self.cfg.edge(prev_exit, after)
+
+        self.break_targets.pop()
+        self.current = after
+
+    def _build_try(self, node: ast.TryStmt) -> None:
+        has_catch = node.param is not None or bool(node.handler)
+        entry = self.current
+        handler_block = self._new() if has_catch else None
+
+        try_entry = self._goto_new(entry)
+        if handler_block is not None:
+            self.handler_targets.append(handler_block)
+        self.try_blocks.append([try_entry])
+        self.build_body(node.block)
+        try_scope = self.try_blocks.pop()
+        if handler_block is not None:
+            self.handler_targets.pop()
+        try_exit = self.current
+
+        after = self._new()
+        self.cfg.edge(try_exit, after)
+
+        handler_scope: List[int] = []
+        if handler_block is not None:
+            # An exception can surface from any point in the protected
+            # region: factor an edge from every try block to the handler.
+            for bid in try_scope:
+                self.cfg.edge(bid, handler_block)
+            self.current = handler_block
+            handler_scope.append(handler_block)
+            self.try_blocks.append(handler_scope)
+            self._append(node, ROLE_ITER, node)  # binds the catch parameter
+            self.build_body(node.handler)
+            self.try_blocks.pop()
+            self.cfg.edge(self.current, after)
+
+        if node.finally_body:
+            # ``finally`` also runs on the exceptional paths we do not model
+            # as explicit rethrow chains; factoring an edge from every
+            # protected block into the finally-carrying join block keeps
+            # the dataflow conservative.
+            for bid in try_scope + handler_scope:
+                self.cfg.edge(bid, after)
+        self.current = after
+        if node.finally_body:
+            self.build_body(node.finally_body)
+
+
+def build_cfg(body: List[ast.JSNode]) -> CFG:
+    """Build the CFG of a statement list (function body or script top level)."""
+    builder = _Builder()
+    builder.build_body(body)
+    builder.cfg.edge(builder.current, builder.cfg.exit)
+    return builder.cfg
+
+
+def unreachable_statements(cfg: CFG) -> List[ast.JSNode]:
+    """Statements whose evaluation site is unreachable from the entry.
+
+    Returns the owning statement node of every item in an unreachable
+    block, deduplicated in first-seen order.  Sound given the builder's
+    conservative edges: a reported statement can never execute.
+    """
+    reachable = cfg.reachable_blocks()
+    live_owners: Set[int] = set()
+    for block in cfg.blocks:
+        if block.bid in reachable:
+            for item in block.items:
+                live_owners.add(item.owner().node_id)
+    seen: Set[int] = set()
+    dead: List[ast.JSNode] = []
+    for block in cfg.blocks:
+        if block.bid in reachable:
+            continue
+        for item in block.items:
+            owner = item.owner()
+            # A compound statement with reachable parts (e.g. a for-loop
+            # whose init/test run but whose body cannot) is reported at the
+            # granularity of the dead part, not the whole statement.
+            node = item.node if owner.node_id in live_owners else owner
+            if node.node_id not in seen:
+                seen.add(node.node_id)
+                dead.append(node)
+    return dead

@@ -1,0 +1,201 @@
+"""Cross-validation of static verdicts against dynamic ground truth.
+
+For one benchmark we have two views of every function in every script:
+
+* **static** — :func:`repro.jsstatic.analyze_page` says "dead" when no
+  chain of calls/registrations from any script top level can reach it;
+* **dynamic** — :mod:`repro.browser.js.coverage` records which functions
+  actually executed during the engine's full scripted session.
+
+Functions are matched by ``(script url, byte span)``: node ids differ
+between the analyzer's parse and the engine's parse, but a function's
+span inside its script is stable and unique.
+
+Soundness means the static "dead" set is a *subset* of the dynamic
+"never executed" set — precision must be exactly 1.0 and
+``false_dead`` empty.  Recall measures how much of the dynamically
+observed waste the static analysis predicts without running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .analyzer import PageAnalysis, analyze_page
+
+Span = Tuple[int, int]
+
+
+@dataclass
+class ScriptComparison:
+    """Static vs. dynamic verdicts for one script resource."""
+
+    url: str
+    n_functions: int
+    static_dead: Set[Span] = field(default_factory=set)
+    dynamic_dead: Set[Span] = field(default_factory=set)
+    #: executed functions the static side wrongly called dead (soundness
+    #: violations — must be empty)
+    false_dead: Set[Span] = field(default_factory=set)
+
+    @property
+    def true_dead(self) -> Set[Span]:
+        return self.static_dead & self.dynamic_dead
+
+
+@dataclass
+class WorkloadComparison:
+    """Per-workload precision/recall of the static dead-code verdicts."""
+
+    benchmark: str
+    analysis: PageAnalysis
+    scripts: List[ScriptComparison]
+    #: pixel-slice fraction of the same run, for the report's context column
+    pixel_fraction: Optional[float] = None
+
+    # -- aggregates ------------------------------------------------------- #
+
+    @property
+    def n_functions(self) -> int:
+        return sum(s.n_functions for s in self.scripts)
+
+    @property
+    def n_static_dead(self) -> int:
+        return sum(len(s.static_dead) for s in self.scripts)
+
+    @property
+    def n_dynamic_dead(self) -> int:
+        return sum(len(s.dynamic_dead) for s in self.scripts)
+
+    @property
+    def n_true_dead(self) -> int:
+        return sum(len(s.true_dead) for s in self.scripts)
+
+    @property
+    def false_dead(self) -> List[Tuple[str, Span]]:
+        return [(s.url, span) for s in self.scripts for span in sorted(s.false_dead)]
+
+    @property
+    def precision(self) -> float:
+        """true-dead / static-dead; 1.0 by soundness (vacuously if none)."""
+        return self.n_true_dead / self.n_static_dead if self.n_static_dead else 1.0
+
+    @property
+    def recall(self) -> float:
+        """true-dead / dynamic-dead; how much waste statics can predict."""
+        return self.n_true_dead / self.n_dynamic_dead if self.n_dynamic_dead else 1.0
+
+    @property
+    def is_sound(self) -> bool:
+        return not self.false_dead
+
+    def static_dead_bytes(self) -> int:
+        return self.analysis.total_dead_bytes()
+
+
+def benchmark_sources(bench) -> Dict[str, str]:
+    """All script sources a benchmark's session can execute, in load order."""
+    sources: Dict[str, str] = dict(bench.page.scripts)
+    for late in bench.late_scripts.values():
+        sources.update(late)
+    return sources
+
+
+def compare_coverage(
+    name: str, analysis: PageAnalysis, coverage,
+    pixel_fraction: Optional[float] = None,
+) -> WorkloadComparison:
+    """Join a finished analysis with a `CoverageTracker`'s ground truth."""
+    static_dead_by_script: Dict[str, Set[Span]] = {}
+    for info in analysis.dead_functions:
+        static_dead_by_script.setdefault(info.script, set()).add(info.span)
+
+    scripts: List[ScriptComparison] = []
+    for sc in coverage.scripts():
+        if sc.name not in analysis.programs:
+            continue  # e.g. inline scripts the caller chose not to analyze
+        executed: Set[Span] = {
+            sc.function_spans[node_id]
+            for node_id in sc.executed_functions
+            if node_id in sc.function_spans
+        }
+        all_spans: Set[Span] = set(sc.function_spans.values())
+        dynamic_dead = all_spans - executed
+        static_dead = static_dead_by_script.get(sc.name, set()) & all_spans
+        scripts.append(
+            ScriptComparison(
+                url=sc.name,
+                n_functions=len(all_spans),
+                static_dead=static_dead,
+                dynamic_dead=dynamic_dead,
+                false_dead=static_dead & executed,
+            )
+        )
+    return WorkloadComparison(name, analysis, scripts, pixel_fraction)
+
+
+def compare_benchmark(name: str, engine=None,
+                      pixel_fraction: Optional[float] = None) -> WorkloadComparison:
+    """Analyze a bundled benchmark statically and cross-validate it.
+
+    ``engine`` may be a finished :class:`~repro.browser.BrowserEngine`
+    (e.g. from ``harness.experiments.cached_run``); when omitted, the
+    benchmark's full session is run here.
+    """
+    from ..workloads import benchmark
+
+    bench = benchmark(name)
+    analysis = analyze_page(benchmark_sources(bench))
+    if engine is None:
+        from ..harness.experiments import run_engine
+
+        engine = run_engine(bench)
+    return compare_coverage(
+        name, analysis, engine.interp.coverage, pixel_fraction
+    )
+
+
+def comparison_report(comparisons: List[WorkloadComparison]) -> str:
+    """Render the per-workload precision/recall table (docs + CLI)."""
+    header = (
+        f"{'workload':<24s} {'funcs':>5s} {'dyn-dead':>8s} {'stat-dead':>9s} "
+        f"{'prec':>5s} {'recall':>6s} {'unreach':>7s} {'dead-st':>7s} "
+        f"{'stat-dead-B':>11s} {'dyn-unused-B':>12s} {'pixel':>6s}"
+    )
+    lines = [header, "-" * len(header)]
+    for cmp in comparisons:
+        dyn_unused = sum(
+            sc.unused_bytes()
+            for sc in _coverage_scripts(cmp)
+        )
+        pixel = f"{cmp.pixel_fraction:.1%}" if cmp.pixel_fraction is not None else "-"
+        lines.append(
+            f"{cmp.benchmark:<24s} {cmp.n_functions:>5d} {cmp.n_dynamic_dead:>8d} "
+            f"{cmp.n_static_dead:>9d} {cmp.precision:>5.2f} {cmp.recall:>6.2f} "
+            f"{len(cmp.analysis.unreachable_stmts()):>7d} "
+            f"{len(cmp.analysis.dead_stores()):>7d} "
+            f"{cmp.static_dead_bytes():>11d} {dyn_unused:>12d} {pixel:>6s}"
+        )
+        for url, span in cmp.false_dead:
+            lines.append(f"  !! UNSOUND: {url} span={span} executed dynamically")
+    return "\n".join(lines)
+
+
+def _coverage_scripts(cmp: WorkloadComparison):
+    """Dynamic byte totals are reconstructed from the comparison itself."""
+    # The comparison only kept spans; recompute unused bytes from the
+    # analysis's scripts and the dynamic dead spans (same merged-interval
+    # arithmetic as ScriptCoverage.used_bytes, without nested-span
+    # subtleties because dynamic-dead spans already exclude executed ones).
+    from ..browser.js.coverage import span_total
+
+    class _View:
+        def __init__(self, url: str, dead: Set[Span]) -> None:
+            self.url = url
+            self.dead = dead
+
+        def unused_bytes(self) -> int:
+            return span_total(sorted(self.dead))
+
+    return [_View(s.url, s.dynamic_dead) for s in cmp.scripts]

@@ -1,0 +1,329 @@
+"""Intraprocedural dataflow over a function's CFG.
+
+Three classic analyses, all at :class:`~repro.jsstatic.cfg.Item`
+granularity:
+
+* **reaching definitions** (forward, may) — which stores can supply the
+  value a read observes; used for the maybe-undefined diagnostic;
+* **liveness** (backward, may) — which variables may still be read;
+* **dead-store detection** — a definition of a *local, non-captured*
+  variable that no path can ever read again.
+
+Scope rules keep the verdicts sound for the mini-JS engine's semantics
+(no ``var`` hoisting; closures share the defining environment):
+
+* only names introduced in the function itself (parameters, ``var``
+  declarations, ``for-in`` loop variables, catch parameters) are
+  candidates — assignments to outer/global names are externally visible;
+* any name that also occurs inside a *nested* function is "captured" and
+  excluded entirely, because the closure can read it at any later time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..browser.js import ast
+from .cfg import CFG, Item, ROLE_ITER, iter_child_nodes
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One store to a named variable."""
+
+    did: int
+    name: str
+    block: int
+    index: int  # item index within the block; -1 for parameter entry defs
+    node: Optional[ast.JSNode]  # None for parameter entry definitions
+    #: False for ``var x;`` (defines undefined) — excluded from dead-store
+    #: reporting but still a definition for reaching purposes
+    has_value: bool = True
+
+
+@dataclass
+class ItemFacts:
+    """Uses and definitions of one CFG item, in evaluation order."""
+
+    uses: List[str] = field(default_factory=list)
+    defs: List[Tuple[str, bool]] = field(default_factory=list)  # (name, has_value)
+
+
+def _collect(node: ast.JSNode, facts: ItemFacts) -> None:
+    """Accumulate uses/defs of an expression/statement subtree.
+
+    Stops at nested :class:`~repro.browser.js.ast.FunctionExpr` boundaries;
+    their bodies belong to other CFGs (and make names captured).
+    """
+    if isinstance(node, ast.FunctionExpr):
+        return
+    if isinstance(node, ast.Identifier):
+        facts.uses.append(node.name)
+        return
+    if isinstance(node, ast.Assignment):
+        _collect(node.value, facts)
+        if isinstance(node.target, ast.Identifier):
+            if node.op != "=":
+                facts.uses.append(node.target.name)
+            facts.defs.append((node.target.name, True))
+        else:  # member target: object/index are reads, the store is a heap write
+            for child in iter_child_nodes(node.target):
+                _collect(child, facts)
+        return
+    if isinstance(node, ast.UpdateExpr):
+        if isinstance(node.target, ast.Identifier):
+            facts.uses.append(node.target.name)
+            facts.defs.append((node.target.name, True))
+        else:
+            for child in iter_child_nodes(node.target):
+                _collect(child, facts)
+        return
+    if isinstance(node, ast.VarDecl):
+        if node.init is not None:
+            _collect(node.init, facts)
+        facts.defs.append((node.name, node.init is not None))
+        return
+    if isinstance(node, ast.FunctionDecl):
+        facts.defs.append((node.func.name, True))
+        return
+    for child in iter_child_nodes(node):
+        _collect(child, facts)
+
+
+def item_facts(item: Item) -> ItemFacts:
+    facts = ItemFacts()
+    if item.role == ROLE_ITER:
+        # Binding items carry only their binding, not their subtrees (the
+        # iterated object / protected body live in other items).
+        if isinstance(item.node, ast.ForInStmt):
+            facts.defs.append((item.node.name, True))
+        elif isinstance(item.node, ast.TryStmt) and item.node.param is not None:
+            facts.defs.append((item.node.param, True))
+        return facts
+    _collect(item.node, facts)
+    return facts
+
+
+def _nested_function_names(body: List[ast.JSNode]) -> Set[str]:
+    """Every name mentioned inside any function nested under ``body``."""
+    captured: Set[str] = set()
+
+    def absorb(node: ast.JSNode) -> None:
+        """Record every name below ``node``, descending into everything."""
+        if isinstance(node, ast.Identifier):
+            captured.add(node.name)
+        elif isinstance(node, ast.VarDecl):
+            captured.add(node.name)
+        elif isinstance(node, ast.ForInStmt):
+            captured.add(node.name)
+        elif isinstance(node, ast.FunctionExpr):
+            captured.update(node.params)
+        for child in iter_child_nodes(node):
+            absorb(child)
+
+    def find(node: ast.JSNode) -> None:
+        if isinstance(node, ast.FunctionExpr):
+            absorb(node)
+            return
+        for child in iter_child_nodes(node):
+            find(child)
+
+    for stmt in body:
+        find(stmt)
+    return captured
+
+
+@dataclass
+class DataflowResult:
+    """Everything the analyzer derives from one function's dataflow."""
+
+    #: names introduced by the function (params + var/for-in/catch names)
+    local_names: Set[str]
+    #: names also referenced inside nested functions (excluded from verdicts)
+    captured_names: Set[str]
+    definitions: List[Definition]
+    #: stores to local non-captured variables that no path reads again
+    dead_stores: List[Definition]
+    #: (name, using node) pairs where a local read may precede every def
+    maybe_undefined: List[Tuple[str, ast.JSNode]]
+    #: per-block live-in sets (candidate names only)
+    live_in: Dict[int, Set[str]]
+
+
+def analyze_dataflow(cfg: CFG, params: List[str],
+                     body: List[ast.JSNode],
+                     is_function: bool = True) -> DataflowResult:
+    """Run reaching-defs + liveness + dead-store detection on one CFG.
+
+    ``is_function`` is False for script top level, where every name is a
+    global (externally visible across scripts) — dead-store and
+    maybe-undefined detection are then disabled, though the dataflow is
+    still computed for diagnostics.
+    """
+    facts: Dict[Tuple[int, int], ItemFacts] = {}
+    local_names: Set[str] = set(params)
+    for block in cfg.blocks:
+        for index, item in enumerate(block.items):
+            fact = item_facts(item)
+            facts[(block.bid, index)] = fact
+            for name, _has_value in fact.defs:
+                if isinstance(item.node, (ast.VarDecl, ast.ForInStmt)) or (
+                    isinstance(item.node, ast.TryStmt) and item.role == ROLE_ITER
+                ):
+                    local_names.add(name)
+
+    captured = _nested_function_names(body)
+    if is_function:
+        candidates = {n for n in local_names if n not in captured}
+    else:
+        candidates = set()
+
+    # ---------------- reaching definitions (forward, may) -------------- #
+    definitions: List[Definition] = []
+    for param in params:
+        definitions.append(
+            Definition(len(definitions), param, cfg.entry, -1, None, True)
+        )
+    # Synthetic "uninitialized" entry definitions for non-parameter locals:
+    # a use they reach has at least one path with no real store before it.
+    uninit_ids: Set[int] = set()
+    for name in sorted(local_names - set(params)):
+        d = Definition(len(definitions), name, cfg.entry, -1, None, False)
+        definitions.append(d)
+        uninit_ids.add(d.did)
+    def_ids_by_site: Dict[Tuple[int, int], List[int]] = {}
+    defs_by_name: Dict[str, Set[int]] = {}
+    for block in cfg.blocks:
+        for index, _item in enumerate(block.items):
+            ids: List[int] = []
+            for name, has_value in facts[(block.bid, index)].defs:
+                d = Definition(
+                    len(definitions), name, block.bid, index,
+                    _item.node, has_value,
+                )
+                definitions.append(d)
+                ids.append(d.did)
+            def_ids_by_site[(block.bid, index)] = ids
+    for d in definitions:
+        defs_by_name.setdefault(d.name, set()).add(d.did)
+
+    reach_in: Dict[int, Set[int]] = {b.bid: set() for b in cfg.blocks}
+    reach_in[cfg.entry] = {d.did for d in definitions if d.index == -1}
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            if block.bid == cfg.entry:
+                state = set(reach_in[cfg.entry])
+            else:
+                state = set()
+                for pred in block.preds:
+                    state |= _block_reach_out(
+                        cfg, pred, reach_in[pred], facts, def_ids_by_site,
+                        defs_by_name, definitions,
+                    )
+            if state != reach_in[block.bid] and block.bid != cfg.entry:
+                reach_in[block.bid] = state
+                changed = True
+
+    maybe_undefined: List[Tuple[str, ast.JSNode]] = []
+    if is_function:
+        reachable = cfg.reachable_blocks()
+        for block in cfg.blocks:
+            if block.bid not in reachable:
+                continue
+            live_defs = set(reach_in[block.bid])
+            for index, item in enumerate(block.items):
+                fact = facts[(block.bid, index)]
+                for name in fact.uses:
+                    if name in candidates and any(
+                        did in uninit_ids and definitions[did].name == name
+                        for did in live_defs
+                    ):
+                        maybe_undefined.append((name, item.owner()))
+                for did in def_ids_by_site[(block.bid, index)]:
+                    d = definitions[did]
+                    live_defs -= defs_by_name.get(d.name, set())
+                    live_defs.add(did)
+
+    # ---------------- liveness (backward, may) -------------------------- #
+    use_b: Dict[int, Set[str]] = {}
+    def_b: Dict[int, Set[str]] = {}
+    for block in cfg.blocks:
+        used: Set[str] = set()
+        defined: Set[str] = set()
+        for index, _item in enumerate(block.items):
+            fact = facts[(block.bid, index)]
+            for name in fact.uses:
+                if name not in defined:
+                    used.add(name)
+            for name, _hv in fact.defs:
+                defined.add(name)
+        use_b[block.bid] = used & candidates if candidates else used
+        def_b[block.bid] = defined
+
+    live_in: Dict[int, Set[str]] = {b.bid: set() for b in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(cfg.blocks):
+            live_out: Set[str] = set()
+            for succ in block.succs:
+                live_out |= live_in[succ]
+            new_in = use_b[block.bid] | (live_out - def_b[block.bid])
+            if new_in != live_in[block.bid]:
+                live_in[block.bid] = new_in
+                changed = True
+
+    dead_stores: List[Definition] = []
+    if is_function:
+        reachable = cfg.reachable_blocks()
+        for block in cfg.blocks:
+            if block.bid not in reachable:
+                continue  # unreachable stores are reported as unreachable code
+            live: Set[str] = set()
+            for succ in block.succs:
+                live |= live_in[succ]
+            for index in range(len(block.items) - 1, -1, -1):
+                fact = facts[(block.bid, index)]
+                for did in reversed(def_ids_by_site[(block.bid, index)]):
+                    d = definitions[did]
+                    if (
+                        d.name in candidates
+                        and d.has_value
+                        and d.name not in live
+                        and not isinstance(d.node, ast.FunctionDecl)
+                    ):
+                        dead_stores.append(d)
+                    live.discard(d.name)
+                live.update(n for n in fact.uses if n in candidates)
+
+    dead_stores.reverse()
+    return DataflowResult(
+        local_names=local_names,
+        captured_names=captured & local_names,
+        definitions=definitions,
+        dead_stores=dead_stores,
+        maybe_undefined=maybe_undefined,
+        live_in=live_in,
+    )
+
+
+def _block_reach_out(
+    cfg: CFG,
+    bid: int,
+    reach_in: Set[int],
+    facts: Dict[Tuple[int, int], ItemFacts],
+    def_ids_by_site: Dict[Tuple[int, int], List[int]],
+    defs_by_name: Dict[str, Set[int]],
+    definitions: List[Definition],
+) -> Set[int]:
+    state = set(reach_in)
+    block = cfg.blocks[bid]
+    for index in range(len(block.items)):
+        for did in def_ids_by_site[(bid, index)]:
+            d = definitions[did]
+            state -= defs_by_name.get(d.name, set())
+            state.add(did)
+    return state

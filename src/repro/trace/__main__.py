@@ -4,15 +4,19 @@ Usage::
 
     python -m repro.trace collect amazon_desktop /tmp/amazon.ucwa
     python -m repro.trace info /tmp/amazon.ucwa
+    python -m repro.trace lint /tmp/amazon.ucwa
     python -m repro.trace slice /tmp/amazon.ucwa
     python -m repro.trace slice /tmp/amazon.ucwa --engine=parallel --workers=4
 
 ``collect`` runs a registered benchmark and saves its trace; ``info``
-prints per-thread and symbol statistics; ``slice`` runs the pixel-based
-backward slice on a stored trace (demonstrating the collect-once,
-profile-many workflow the paper uses).  ``--engine=parallel`` selects
-the epoch-sharded engine (see docs/parallel-slicing.md); ``--workers``
-sets its process count (default: REPRO_SLICER_WORKERS or usable cores).
+prints per-thread and symbol statistics; ``lint`` checks the sanitizer's
+well-formedness invariants (CALL/RET balance, use-before-def, marker
+clock, epoch tiling — see repro/trace/lint.py) and exits non-zero on any
+violation; ``slice`` runs the pixel-based backward slice on a stored
+trace (demonstrating the collect-once, profile-many workflow the paper
+uses).  ``--engine=parallel`` selects the epoch-sharded engine (see
+docs/parallel-slicing.md); ``--workers`` sets its process count
+(default: REPRO_SLICER_WORKERS or usable cores).
 """
 
 from __future__ import annotations
@@ -51,6 +55,15 @@ def _info(path: str) -> int:
     return 0
 
 
+def _lint(path: str, epoch_size: int = 4096) -> int:
+    from .lint import lint_trace
+
+    report = lint_trace(load_trace(path), epoch_size=epoch_size)
+    print(f"{path}:")
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _slice(path: str, engine: str = "sequential", workers: int = None) -> int:
     from ..profiler import Profiler, pixel_criteria
 
@@ -70,6 +83,22 @@ def _slice(path: str, engine: str = "sequential", workers: int = None) -> int:
 def main(argv) -> int:
     if len(argv) >= 2 and argv[0] == "info":
         return _info(argv[1])
+    if len(argv) >= 2 and argv[0] == "lint":
+        epoch_size = 4096
+        for opt in argv[2:]:
+            if opt.startswith("--epoch-size="):
+                try:
+                    epoch_size = int(opt[len("--epoch-size="):])
+                except ValueError:
+                    print(f"--epoch-size expects an integer, got {opt!r}")
+                    return 2
+                if epoch_size < 1:
+                    print(f"--epoch-size must be >= 1, got {epoch_size}")
+                    return 2
+            else:
+                print(f"unknown option {opt!r}")
+                return 2
+        return _lint(argv[1], epoch_size=epoch_size)
     if len(argv) >= 2 and argv[0] == "slice":
         engine, workers = "sequential", None
         for opt in argv[2:]:
@@ -84,6 +113,15 @@ def main(argv) -> int:
             else:
                 print(f"unknown option {opt!r}")
                 return 2
+        # Validate up front, before the (possibly large) trace is loaded.
+        if engine not in ("sequential", "parallel"):
+            print(
+                f"unknown engine {engine!r}; expected 'sequential' or 'parallel'"
+            )
+            return 2
+        if workers is not None and workers < 1:
+            print(f"--workers must be >= 1, got {workers}")
+            return 2
         try:
             return _slice(argv[1], engine=engine, workers=workers)
         except ValueError as err:

@@ -1,0 +1,314 @@
+"""Trace sanitizer: well-formedness lint for instruction traces.
+
+A trace produced by :class:`~repro.machine.tracer.Tracer` obeys structural
+invariants the slicers silently rely on.  ``lint_trace`` checks them
+explicitly so a corrupted or hand-built trace fails loudly *before* a
+slicer produces quietly-wrong results.  Named checks:
+
+* ``call-ret-balance`` (error) — per thread, RETs never outnumber CALLs
+  at any prefix and every CALL is unwound by the end of the trace;
+* ``branch-flags-pairing`` (error) — every BRANCH reads FLAGS and is
+  immediately preceded on its thread by the CMP that wrote them;
+* ``register-use-before-def`` (error) — a record reads a register its
+  thread never wrote.  SYSCALL reads of the AMD64 argument registers are
+  exempt: the ABI hand-off is implicit in the tracer's model;
+* ``record-shape`` (error) — kind-specific fields are consistent
+  (SYSCALL has a syscall number, MARKER has a tag, register ids are in
+  range, the tid was spawned);
+* ``monotone-marker-clock`` (error) — tile-marker metadata indices are
+  strictly increasing, in range, and point at TILE_MARKER records whose
+  pixel cells match the metadata side channel;
+* ``epoch-consistency`` (error) — ``store.epoch_bounds`` tiles the trace
+  exactly (contiguous, non-overlapping, full coverage);
+* ``memory-use-before-def`` (warning) — a cell is read before any record
+  writes it.  Real engine traces legitimately read pre-initialized state
+  (fetched bytes, config), so this is diagnostic, not fatal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..machine.registers import (
+    NUM_REGISTERS,
+    SYSCALL_ARG_REGISTERS,
+    register_name,
+)
+from ..machine.tracer import TILE_MARKER
+from .records import InstrKind
+from .store import TraceStore, epoch_bounds
+
+ERROR = "error"
+WARNING = "warning"
+
+#: every named check, in report order
+CHECKS = (
+    "call-ret-balance",
+    "branch-flags-pairing",
+    "register-use-before-def",
+    "record-shape",
+    "monotone-marker-clock",
+    "epoch-consistency",
+    "memory-use-before-def",
+)
+
+_FLAGS = 0
+_SYSCALL_ARGS = set(SYSCALL_ARG_REGISTERS)
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One violation of a named invariant."""
+
+    check: str
+    severity: str
+    message: str
+    #: record index the issue anchors to, if any
+    index: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = f" @record {self.index}" if self.index is not None else ""
+        return f"[{self.severity}] {self.check}{where}: {self.message}"
+
+
+@dataclass
+class LintReport:
+    """All issues found in one trace, plus per-check tallies."""
+
+    n_records: int
+    issues: List[LintIssue] = field(default_factory=list)
+    #: total violations per check (issues are capped, counts are not)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> List[LintIssue]:
+        return [i for i in self.issues if i.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[LintIssue]:
+        return [i for i in self.issues if i.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-severity invariant is violated."""
+        return not any(
+            count and _SEVERITY[check] == ERROR
+            for check, count in self.counts.items()
+        )
+
+    def summary(self) -> str:
+        lines = [f"{self.n_records} records linted"]
+        for check in CHECKS:
+            count = self.counts.get(check, 0)
+            status = "ok" if count == 0 else f"{count} violation(s)"
+            lines.append(f"  {check:<24s} {status}")
+        shown = len(self.issues)
+        total = sum(self.counts.values())
+        if total > shown:
+            lines.append(f"  ({shown} of {total} issues shown)")
+        lines.extend(str(issue) for issue in self.issues)
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+_SEVERITY = {check: ERROR for check in CHECKS}
+_SEVERITY["memory-use-before-def"] = WARNING
+
+
+class TraceLintError(ValueError):
+    """Raised by :func:`lint_or_raise` when a trace violates an invariant."""
+
+    def __init__(self, report: LintReport) -> None:
+        self.report = report
+        failed = sorted(
+            check
+            for check, count in report.counts.items()
+            if count and _SEVERITY[check] == ERROR
+        )
+        super().__init__(
+            f"trace lint failed ({', '.join(failed)}):\n" + report.summary()
+        )
+
+
+class _Collector:
+    def __init__(self, max_issues_per_check: int) -> None:
+        self.max = max_issues_per_check
+        self.report: Optional[LintReport] = None
+
+    def bind(self, report: LintReport) -> None:
+        self.report = report
+
+    def add(self, check: str, message: str, index: Optional[int] = None) -> None:
+        report = self.report
+        assert report is not None
+        count = report.counts.get(check, 0)
+        report.counts[check] = count + 1
+        if count < self.max:
+            report.issues.append(
+                LintIssue(check, _SEVERITY[check], message, index)
+            )
+
+
+def lint_trace(
+    store: TraceStore,
+    epoch_size: int = 4096,
+    max_issues_per_check: int = 10,
+) -> LintReport:
+    """Check every invariant; return a report (never raises)."""
+    report = LintReport(n_records=len(store))
+    out = _Collector(max_issues_per_check)
+    out.bind(report)
+    for check in CHECKS:
+        report.counts.setdefault(check, 0)
+
+    known_tids = set(store.metadata.thread_names)
+    depth: Dict[int, int] = {}
+    regs_written: Dict[int, Set[int]] = {}
+    mem_written: Set[int] = set()
+    prev_kind: Dict[int, InstrKind] = {}
+    warned_cells: Set[int] = set()
+
+    for index, rec in enumerate(store.forward()):
+        # -- record-shape ---------------------------------------------- #
+        if rec.tid not in known_tids:
+            out.add("record-shape", f"tid {rec.tid} was never spawned", index)
+            known_tids.add(rec.tid)  # report each unknown tid once
+        if rec.kind == InstrKind.SYSCALL and rec.syscall is None:
+            out.add("record-shape", "SYSCALL record without syscall number", index)
+        if rec.kind != InstrKind.SYSCALL and rec.syscall is not None:
+            out.add(
+                "record-shape",
+                f"{rec.kind.name} record carries syscall={rec.syscall}",
+                index,
+            )
+        if rec.kind == InstrKind.MARKER and rec.marker is None:
+            out.add("record-shape", "MARKER record without marker tag", index)
+        for reg in (*rec.regs_read, *rec.regs_written):
+            if not 0 <= reg < NUM_REGISTERS:
+                out.add("record-shape", f"register id {reg} out of range", index)
+
+        # -- call-ret-balance ------------------------------------------ #
+        if rec.kind == InstrKind.CALL:
+            depth[rec.tid] = depth.get(rec.tid, 0) + 1
+        elif rec.kind == InstrKind.RET:
+            depth[rec.tid] = depth.get(rec.tid, 0) - 1
+            if depth[rec.tid] < 0:
+                out.add(
+                    "call-ret-balance",
+                    f"thread {rec.tid}: RET without matching CALL",
+                    index,
+                )
+                depth[rec.tid] = 0
+
+        # -- branch-flags-pairing -------------------------------------- #
+        if rec.kind == InstrKind.BRANCH:
+            if _FLAGS not in rec.regs_read:
+                out.add("branch-flags-pairing", "BRANCH does not read FLAGS", index)
+            if prev_kind.get(rec.tid) != InstrKind.CMP:
+                out.add(
+                    "branch-flags-pairing",
+                    f"thread {rec.tid}: BRANCH not preceded by CMP",
+                    index,
+                )
+        prev_kind[rec.tid] = rec.kind
+
+        # -- register-use-before-def ----------------------------------- #
+        written = regs_written.setdefault(rec.tid, set())
+        for reg in rec.regs_read:
+            if reg in written:
+                continue
+            if rec.kind == InstrKind.SYSCALL and reg in _SYSCALL_ARGS:
+                continue  # implicit ABI argument set-up
+            out.add(
+                "register-use-before-def",
+                f"thread {rec.tid} reads {register_name(reg)} before any write",
+                index,
+            )
+        written.update(rec.regs_written)
+
+        # -- memory-use-before-def (warning) --------------------------- #
+        for cell in rec.mem_read:
+            if cell not in mem_written and cell not in warned_cells:
+                warned_cells.add(cell)
+                out.add(
+                    "memory-use-before-def",
+                    f"cell {cell:#x} read before any write",
+                    index,
+                )
+        mem_written.update(rec.mem_written)
+
+    # -- call-ret-balance: final unwinding ----------------------------- #
+    for tid in sorted(depth):
+        if depth[tid] > 0:
+            out.add(
+                "call-ret-balance",
+                f"thread {tid}: {depth[tid]} CALL(s) never returned",
+            )
+
+    # -- monotone-marker-clock ----------------------------------------- #
+    last_index = -1
+    for index, cells in store.metadata.tile_buffers:
+        if index <= last_index:
+            out.add(
+                "monotone-marker-clock",
+                f"tile-marker index {index} not after previous {last_index}",
+                index,
+            )
+        last_index = index
+        if not 0 <= index < len(store):
+            out.add(
+                "monotone-marker-clock",
+                f"tile-marker index {index} outside trace of {len(store)}",
+            )
+            continue
+        rec = store[index]
+        if rec.kind != InstrKind.MARKER or rec.marker != TILE_MARKER:
+            out.add(
+                "monotone-marker-clock",
+                f"metadata points at {rec.kind.name}, not a {TILE_MARKER} marker",
+                index,
+            )
+        elif tuple(rec.mem_read) != tuple(cells):
+            out.add(
+                "monotone-marker-clock",
+                "metadata pixel cells disagree with the marker record",
+                index,
+            )
+    load_idx = store.metadata.load_complete_index
+    if load_idx is not None and not 0 <= load_idx < max(1, len(store)):
+        out.add(
+            "monotone-marker-clock",
+            f"load-complete index {load_idx} outside trace of {len(store)}",
+        )
+
+    # -- epoch-consistency --------------------------------------------- #
+    bounds = epoch_bounds(len(store), epoch_size)
+    expected_lo = 0
+    for lo, hi in bounds:
+        if lo != expected_lo or hi <= lo:
+            out.add(
+                "epoch-consistency",
+                f"epoch [{lo}, {hi}) does not continue at {expected_lo}",
+            )
+        if hi - lo > epoch_size:
+            out.add(
+                "epoch-consistency",
+                f"epoch [{lo}, {hi}) exceeds epoch size {epoch_size}",
+            )
+        expected_lo = hi
+    if len(store) and expected_lo != len(store):
+        out.add(
+            "epoch-consistency",
+            f"epochs cover {expected_lo} of {len(store)} records",
+        )
+
+    return report
+
+
+def lint_or_raise(store: TraceStore, epoch_size: int = 4096) -> LintReport:
+    """Lint and raise :class:`TraceLintError` on any error-severity issue."""
+    report = lint_trace(store, epoch_size=epoch_size)
+    if not report.ok:
+        raise TraceLintError(report)
+    return report

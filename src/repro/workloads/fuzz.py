@@ -52,10 +52,12 @@ def random_trace(
 ) -> TraceStore:
     """A random but well-formed multi-threaded trace.
 
-    Guarantees: every CALL is matched by a RET (threads are unwound at
-    the end), every BRANCH is preceded by its CMP, and at least one
-    ``TILE_MARKER`` with pixel cells is emitted on the main thread so
-    ``pixel_criteria`` always applies.
+    Guarantees (the same invariants ``repro.trace.lint`` checks): every
+    CALL is matched by a RET (threads are unwound at the end), every
+    BRANCH is preceded by its CMP, registers and memory cells are written
+    before they are read (per-thread boot ops seed the pools), and at
+    least one ``TILE_MARKER`` with pixel cells is emitted on the main
+    thread so ``pixel_criteria`` always applies.
     """
     rng = random.Random(seed)
     tracer = Tracer()
@@ -72,8 +74,36 @@ def random_trace(
     pixel_cells = tuple(rng.sample(cells, k=min(8, n_cells)))
     markers_emitted = 0
 
+    # Def-before-use bookkeeping: reads are sampled from what has already
+    # been written (registers per thread, memory cells globally), so the
+    # generated trace passes the sanitizer's use-before-def checks.
+    written_regs: dict = {tid: [] for tid in tids}
+    written_cells: List[int] = []
+    written_cell_set: set = set()
+
     def some(pool, lo, hi):
         return tuple(rng.sample(pool, k=rng.randint(lo, min(hi, len(pool)))))
+
+    def note_cells(written) -> None:
+        for cell in written:
+            if cell not in written_cell_set:
+                written_cell_set.add(cell)
+                written_cells.append(cell)
+
+    def note_regs(tid, written) -> None:
+        for reg in written:
+            if reg not in written_regs[tid]:
+                written_regs[tid].append(reg)
+
+    # Boot each thread: seed its register file and the shared cell pool
+    # (the main thread also initializes the pixel buffer).
+    for tid in tids:
+        tracer.switch(tid)
+        cell_writes = pixel_cells if tid == 1 else some(cells, 2, 4)
+        reg_writes = some(regs, 2, 4)
+        tracer.op("boot", writes=cell_writes, reg_writes=reg_writes)
+        note_cells(cell_writes)
+        note_regs(tid, reg_writes)
 
     while len(tracer.store) < target_records:
         tid = rng.choice(tids)
@@ -82,15 +112,21 @@ def random_trace(
             roll = rng.random()
             label = f"s{rng.randrange(8)}"
             if roll < 0.45:
+                reg_writes = some(regs, 0, 2)
+                cell_writes = some(cells, 0, 2)
                 tracer.op(
                     label,
-                    reads=some(cells, 0, 3),
-                    writes=some(cells, 0, 2),
-                    reg_reads=some(regs, 0, 2),
-                    reg_writes=some(regs, 0, 2),
+                    reads=some(written_cells, 0, 3),
+                    writes=cell_writes,
+                    reg_reads=some(written_regs[tid], 0, 2),
+                    reg_writes=reg_writes,
                 )
+                note_cells(cell_writes)
+                note_regs(tid, reg_writes)
             elif roll < 0.70:
-                tracer.compare_and_branch(f"b{rng.randrange(6)}", some(cells, 1, 2))
+                tracer.compare_and_branch(
+                    f"b{rng.randrange(6)}", some(written_cells, 1, 2)
+                )
             elif roll < 0.82 and depth[tid] < max_depth:
                 tracer.call(f"fn_{rng.randrange(10)}", site=f"c{rng.randrange(6)}")
                 depth[tid] += 1
@@ -98,11 +134,13 @@ def random_trace(
                 tracer.ret()
                 depth[tid] -= 1
             elif roll < 0.96:
+                cell_writes = some(cells, 0, 2)
                 tracer.syscall(
                     rng.choice(_SYSCALL_NAMES),
-                    reads=some(cells, 0, 2),
-                    writes=some(cells, 0, 2),
+                    reads=some(written_cells, 0, 2),
+                    writes=cell_writes,
                 )
+                note_cells(cell_writes)
             else:
                 tracer.marker(TILE_MARKER, some(pixel_cells, 1, 4))
                 markers_emitted += 1

@@ -1,0 +1,129 @@
+"""Call-graph liveness: handlers, timers, callbacks, aliases, escapes."""
+
+from repro.browser.js.parser import parse_js
+from repro.jsstatic.analyzer import analyze_page
+from repro.jsstatic.callgraph import EdgeKind, build_call_graph
+
+
+def _graph(source, url="s.js"):
+    return build_call_graph({url: parse_js(source)})
+
+
+def _dead_names(source):
+    graph = _graph(source)
+    return {f.label() for f in graph.dead_functions()}
+
+
+def test_unreferenced_function_is_dead():
+    assert _dead_names("function unused() { return 1; }") == {"unused"}
+
+
+def test_called_function_is_live():
+    assert _dead_names("function used() { return 1; } used();") == set()
+
+
+def test_transitive_call_chain_live():
+    src = "function a() { b(); } function b() { } a();"
+    assert _dead_names(src) == set()
+
+
+def test_uncalled_chain_dead():
+    src = "function a() { b(); } function b() { }"
+    assert _dead_names(src) == {"a", "b"}
+
+
+def test_event_handler_is_live():
+    src = (
+        "function onClick(ev) { react(ev); }"
+        "document.getElementById('x').addEventListener('click', onClick);"
+    )
+    assert _dead_names(src) == set()
+
+
+def test_inline_event_handler_is_live():
+    src = (
+        "window.addEventListener('load', function () { boot(); });"
+    )
+    assert _dead_names(src) == set()
+
+
+def test_timer_callback_is_live():
+    assert _dead_names("function tick() { } setTimeout(tick, 100);") == set()
+    assert _dead_names(
+        "requestAnimationFrame(function () { frame(); });"
+    ) == set()
+
+
+def test_array_callback_is_live():
+    src = "items.forEach(function (it) { use(it); });"
+    assert _dead_names(src) == set()
+
+
+def test_aliased_function_called_by_alias_is_live():
+    src = "var go = function () { return 1; }; go();"
+    assert _dead_names(src) == set()
+
+
+def test_aliased_function_never_referenced_is_dead():
+    assert _dead_names("var go = function () { return 1; };") == {"go"}
+
+
+def test_name_reference_without_call_keeps_function_live():
+    # The value may flow anywhere once its name is read.
+    src = "function maybe() { } var table = [maybe];"
+    assert _dead_names(src) == set()
+
+
+def test_object_literal_method_escapes_and_stays_live():
+    src = "var api = { run: function () { work(); } };"
+    assert _dead_names(src) == set()
+
+
+def test_iife_is_live():
+    assert _dead_names("(function () { boot(); })();") == set()
+
+
+def test_cross_script_call_resolves():
+    graph = build_call_graph({
+        "a.js": parse_js("function shared() { return 1; }"),
+        "b.js": parse_js("shared();"),
+    })
+    assert graph.dead_functions() == []
+
+
+def test_edge_kinds_recorded():
+    graph = _graph(
+        "function h() { }"
+        "el.addEventListener('click', h);"
+        "setTimeout(function () { }, 0);"
+    )
+    kinds = {
+        kind
+        for edges in list(graph.name_edges.values()) + list(graph.value_edges.values())
+        for kind, _target in edges
+    }
+    assert EdgeKind.HANDLER in kinds
+    assert EdgeKind.TIMER in kinds
+
+
+def test_function_inside_dead_function_is_dead():
+    # inner's name is referenced from the live top level, but its defining
+    # region (outer) never runs, so its value can never exist.
+    analysis = analyze_page({
+        "s.js": (
+            "function outer() { function inner() { } inner(); }"
+            "inner;"
+        )
+    })
+    dead = {f.label() for f in analysis.dead_functions}
+    assert dead == {"outer", "inner"}
+
+
+def test_nested_functions_in_live_function_follow_edges():
+    analysis = analyze_page({
+        "s.js": (
+            "function outer() { function inner() { } inner(); }"
+            "outer();"
+        )
+    })
+    assert analysis.dead_functions == []

@@ -1,0 +1,102 @@
+"""CFG construction: reachability, constant folding, exception edges."""
+
+from repro.browser.js.parser import parse_js
+from repro.jsstatic.cfg import build_cfg, unreachable_statements
+
+
+def _unreachable(source):
+    program = parse_js(source)
+    cfg = build_cfg(program.body)
+    return unreachable_statements(cfg)
+
+
+def _spans(nodes):
+    return [n.span for n in nodes]
+
+
+def test_straight_line_code_fully_reachable():
+    assert _unreachable("var a = 1; var b = a + 1; log(b);") == []
+
+
+def test_statements_after_return_unreachable():
+    dead = _unreachable(
+        "function f() { return 1; var x = 2; }\n"
+        "f();"
+    )
+    # The analysis runs on the top level here; check the function body too.
+    program = parse_js("function f() { return 1; var x = 2; }")
+    body = program.body[0].func.body
+    dead = unreachable_statements(build_cfg(body))
+    assert len(dead) == 1
+
+
+def test_constant_false_branch_unreachable():
+    dead = _unreachable("if (false) { touch(); } else { live(); }")
+    assert len(dead) == 1
+
+
+def test_constant_true_branch_keeps_consequent():
+    dead = _unreachable("if (true) { live(); } else { touch(); }")
+    assert len(dead) == 1  # only the alternate
+
+
+def test_non_constant_branch_fully_reachable():
+    assert _unreachable("if (x) { a(); } else { b(); }") == []
+
+
+def test_while_false_body_unreachable():
+    dead = _unreachable("while (false) { touch(); } after();")
+    assert len(dead) == 1
+
+
+def test_while_true_without_break_kills_following_code():
+    dead = _unreachable("while (true) { spin(); } after();")
+    assert _spans(dead)  # after() can never run
+    assert len(dead) == 1
+
+
+def test_while_true_with_break_keeps_following_code():
+    assert _unreachable("while (true) { break; } after();") == []
+
+
+def test_code_after_break_unreachable():
+    dead = _unreachable("while (x) { break; touch(); } after();")
+    assert len(dead) == 1
+
+
+def test_for_loop_reachable_and_constant_false_test():
+    assert _unreachable("for (var i = 0; i < 3; i = i + 1) { body(); }") == []
+    # A constant-false test makes both the body and the update dead, while
+    # the loop's init/test themselves stay reachable.
+    dead = _unreachable("for (var i = 0; false; i = i + 1) { body(); }")
+    assert len(dead) == 2
+
+
+def test_do_while_body_always_reachable():
+    assert _unreachable("do { body(); } while (false); after();") == []
+
+
+def test_for_in_reachable():
+    assert _unreachable("for (var k in obj) { use(k); } after();") == []
+
+
+def test_switch_cases_reachable_and_fallthrough():
+    src = (
+        "switch (x) {"
+        " case 1: a();"
+        " case 2: b(); break;"
+        " default: c();"
+        "} after();"
+    )
+    assert _unreachable(src) == []
+
+
+def test_try_catch_handler_reachable():
+    assert _unreachable(
+        "try { risky(); } catch (e) { handle(e); } after();"
+    ) == []
+
+
+def test_throw_then_code_unreachable():
+    dead = _unreachable("throw boom; touch();")
+    assert len(dead) == 1

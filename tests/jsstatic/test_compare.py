@@ -1,0 +1,83 @@
+"""Soundness + precision/recall of static verdicts vs. dynamic coverage.
+
+The acceptance bar for the whole analyzer: on the bundled workloads, no
+function reported statically dead is ever executed by the engine's full
+scripted session (precision == 1.0), and the comparison harness reports
+per-workload precision/recall.
+"""
+
+import pytest
+
+from repro.harness.experiments import run_engine
+from repro.jsstatic.compare import (
+    benchmark_sources,
+    compare_benchmark,
+    comparison_report,
+)
+from repro.workloads import benchmark
+
+WORKLOADS = ("wiki_article", "amazon_desktop", "bing", "google_maps")
+
+
+@pytest.fixture(scope="module")
+def comparisons():
+    out = {}
+    for name in WORKLOADS:
+        engine = run_engine(benchmark(name))
+        out[name] = compare_benchmark(name, engine=engine)
+    return out
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_static_dead_verdicts_are_sound(comparisons, name):
+    cmp = comparisons[name]
+    assert cmp.is_sound, f"unsound verdicts: {cmp.false_dead}"
+    assert cmp.precision == 1.0
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_static_dead_is_subset_of_dynamic_dead(comparisons, name):
+    for script in comparisons[name].scripts:
+        assert script.static_dead <= script.dynamic_dead
+
+
+def test_recall_is_meaningful_on_larger_workloads(comparisons):
+    # The synthetic app bundles carry deliberately-unused library tails;
+    # the analyzer should predict a solid majority of the dynamic waste.
+    for name in ("amazon_desktop", "bing", "google_maps"):
+        cmp = comparisons[name]
+        assert cmp.n_static_dead > 0
+        assert cmp.recall >= 0.5, f"{name}: recall {cmp.recall:.2f}"
+
+
+def test_every_coverage_script_is_analyzed(comparisons):
+    for name in WORKLOADS:
+        cmp = comparisons[name]
+        analyzed = set(cmp.analysis.programs)
+        compared = {s.url for s in cmp.scripts}
+        assert compared <= analyzed
+        assert compared  # the join must not be empty
+
+
+def test_report_contains_precision_and_recall(comparisons):
+    report = comparison_report(list(comparisons.values()))
+    assert "prec" in report and "recall" in report
+    for name in WORKLOADS:
+        assert name in report
+    assert "UNSOUND" not in report
+
+
+def test_benchmark_sources_include_late_scripts():
+    bench = benchmark("amazon_desktop_browse")
+    sources = benchmark_sources(bench)
+    assert set(bench.page.scripts) <= set(sources)
+    late_urls = {u for late in bench.late_scripts.values() for u in late}
+    assert late_urls <= set(sources)
+
+
+def test_cli_report_runs(capsys):
+    from repro.jsstatic.__main__ import main
+
+    assert main(["analyze", "wiki_article"]) == 0
+    out = capsys.readouterr().out
+    assert "statically dead functions" in out

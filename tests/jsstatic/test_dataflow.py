@@ -1,0 +1,121 @@
+"""Dataflow: dead stores, liveness across loops, captured-variable safety."""
+
+from repro.browser.js.parser import parse_js
+from repro.jsstatic.cfg import build_cfg
+from repro.jsstatic.dataflow import analyze_dataflow
+
+
+def _function_flow(source):
+    """Analyze the body of the first function declaration in ``source``."""
+    program = parse_js(source)
+    func = program.body[0].func
+    cfg = build_cfg(func.body)
+    return analyze_dataflow(cfg, list(func.params), func.body)
+
+
+def test_overwritten_local_is_dead_store():
+    flow = _function_flow(
+        "function f() { var x = 1; x = 2; return x; }"
+    )
+    assert [d.name for d in flow.dead_stores] == ["x"]
+
+
+def test_used_store_is_not_dead():
+    flow = _function_flow(
+        "function f() { var x = 1; var y = x + 1; return y; }"
+    )
+    assert flow.dead_stores == []
+
+
+def test_never_read_local_is_dead_store():
+    flow = _function_flow("function f() { var unused = compute(); }")
+    assert [d.name for d in flow.dead_stores] == ["unused"]
+
+
+def test_declaration_without_value_not_reported():
+    flow = _function_flow("function f() { var x; }")
+    assert flow.dead_stores == []
+
+
+def test_loop_carried_value_is_live():
+    # The store to acc in the loop is read by the *next* iteration.
+    flow = _function_flow(
+        "function f(n) {"
+        " var acc = 0;"
+        " for (var i = 0; i < n; i = i + 1) { acc = acc + i; }"
+        " return acc;"
+        "}"
+    )
+    assert flow.dead_stores == []
+
+
+def test_compound_assignment_reads_old_value():
+    flow = _function_flow(
+        "function f() { var x = 1; x += 2; return x; }"
+    )
+    assert flow.dead_stores == []
+
+
+def test_captured_variable_never_reported():
+    # The closure may read x at any time; the overwrite is not provably dead.
+    flow = _function_flow(
+        "function f() {"
+        " var x = 1;"
+        " var g = function () { return x; };"
+        " x = 2;"
+        " return g;"
+        "}"
+    )
+    assert "x" in flow.captured_names
+    assert all(d.name != "x" for d in flow.dead_stores)
+
+
+def test_global_assignment_never_reported():
+    # y is not declared locally: the store goes to the global environment
+    # and is visible to every other script.
+    flow = _function_flow("function f() { y = 1; }")
+    assert flow.dead_stores == []
+
+
+def test_branch_merges_keep_either_store_live():
+    flow = _function_flow(
+        "function f(c) {"
+        " var x = 0;"
+        " if (c) { x = 1; } else { x = 2; }"
+        " return x;"
+        "}"
+    )
+    names = [d.name for d in flow.dead_stores]
+    assert names == ["x"]  # only the initial 0 is dead; both branch stores live
+
+
+def test_maybe_undefined_detects_use_before_def_path():
+    flow = _function_flow(
+        "function f(c) {"
+        " if (c) { var x = 1; }"
+        " return x;"
+        "}"
+    )
+    assert any(name == "x" for name, _node in flow.maybe_undefined)
+
+
+def test_param_always_defined():
+    flow = _function_flow("function f(a) { return a; }")
+    assert flow.maybe_undefined == []
+    assert flow.dead_stores == []
+
+
+def test_catch_parameter_is_local():
+    flow = _function_flow(
+        "function f() { try { risky(); } catch (e) { return e; } }"
+    )
+    assert "e" in flow.local_names
+    assert flow.dead_stores == []
+
+
+def test_for_in_variable_is_local():
+    flow = _function_flow(
+        "function f(o) { for (var k in o) { use(k); } }"
+    )
+    assert "k" in flow.local_names
+    assert flow.dead_stores == []

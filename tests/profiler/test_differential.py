@@ -30,6 +30,7 @@ from repro.profiler.criteria import (
 from repro.profiler.oracle import OracleSlicer
 from repro.profiler.parallel import ParallelSlicer
 from repro.profiler.slicer import BackwardSlicer
+from repro.trace.lint import lint_or_raise
 from repro.workloads.fuzz import random_page, random_trace
 
 # 60 seeds x 3 criteria = 180 randomized differential runs.
@@ -49,6 +50,9 @@ def _criteria_variants(store):
 
 
 def _assert_equivalent(store, seed, *, workers=WORKERS, epoch_size=None):
+    # Sanitize first: a malformed trace would make any slicer agreement
+    # (or disagreement) meaningless.
+    lint_or_raise(store, epoch_size=epoch_size or 4096)
     cdi = build_index(store.forward())
     for criteria in _criteria_variants(store):
         seq = BackwardSlicer(store, cdi, criteria).run()

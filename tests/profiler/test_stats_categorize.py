@@ -131,3 +131,81 @@ def test_categorized_fraction_bounds():
     prof = Profiler(tracer.store)
     dist = prof.categorize(prof.slice(crit))
     assert 0.0 <= dist.categorized_fraction <= 1.0
+
+
+def test_categorize_symbol_exact_namespace_matches():
+    # A bare namespace name matches its rule without trailing components...
+    assert categorize_symbol("v8::Run") == "JavaScript"
+    assert categorize_symbol("cc::Schedule") == "Compositing"
+    # ...but matching is per ::-component: a *prefix of a component* is not
+    # a namespace match.
+    assert categorize_symbol("v8ish::Run") is None
+    assert categorize_symbol("ccx::Tile::Run") is None
+
+
+def test_categorize_symbol_nested_namespaces():
+    # Deeply nested components under a mapped namespace still match, and
+    # the first (most specific) rule wins over later generic ones.
+    assert categorize_symbol("base::debug::nested::deep::Probe") == "Debugging"
+    assert categorize_symbol("blink::paint::ops::Fill::Run") == "Graphics"
+    assert categorize_symbol("base::synchronization::internal::Futex::Wake") == (
+        "Multi-threading"
+    )
+    # "blink::css" must win before any broader "blink" handling could.
+    assert categorize_symbol("blink::css::parser::Tokenizer::Next") == "CSS"
+    # A mapped namespace nested *under* an unmapped one does not match.
+    assert categorize_symbol("net::v8::Helper") is None
+
+
+def make_trace_with_namespaceless_functions():
+    """A trace mixing mapped, unmapped, and namespace-free functions."""
+    tracer = Tracer()
+    tracer.spawn_thread(1, "CrRendererMain", "main_loop")  # no namespace
+    out = 0x900
+    tracer.op("plain", writes=(0x800,))  # in main_loop: uncategorizable
+    with tracer.function("memcpy"):  # C-style leaf: uncategorizable
+        tracer.op("copy", writes=(0x801,))
+    with tracer.function("net::URLLoader::Start"):  # unmapped namespace
+        tracer.op("fetch", writes=(0x802,))
+    with tracer.function("v8::Execute"):  # mapped
+        tracer.op("dead_js", writes=(0x803,))
+    i_out = tracer.op("sink", writes=(out,))
+    crit = custom_criteria("t", ((i_out + 1, (out,)),))
+    return tracer, crit
+
+
+def test_functions_without_namespace_are_uncategorized():
+    tracer, crit = make_trace_with_namespaceless_functions()
+    prof = Profiler(tracer.store)
+    dist = categorize_unnecessary(tracer.store, prof.slice(crit))
+    # plain + memcpy ops and the CALL/RET records of namespace-free or
+    # unmapped functions all land in `uncategorized`, never in a category.
+    assert dist.uncategorized > 0
+    assert dist.counts["JavaScript"] >= 1  # the dead v8 op
+    for cat in ("IPC", "CSS", "Compositing", "Graphics"):
+        assert dist.counts[cat] == 0
+
+
+def test_category_counts_sum_to_non_slice_total():
+    tracer, crit = make_trace_with_namespaceless_functions()
+    prof = Profiler(tracer.store)
+    result = prof.slice(crit)
+    dist = categorize_unnecessary(tracer.store, result)
+    non_slice_total = len(tracer.store) - result.slice_size()
+    assert dist.total_unnecessary == non_slice_total
+    assert sum(dist.counts.values()) + dist.uncategorized == non_slice_total
+    assert sum(dist.counts.values()) == dist.categorized
+
+
+def test_empty_distribution_degrades_gracefully():
+    # Slice everything: no non-slice instructions remain to categorize.
+    tracer = Tracer()
+    tracer.spawn_thread(1, "CrRendererMain", "main_loop")
+    i0 = tracer.op("only", writes=(0x10,))
+    crit = custom_criteria("all", ((i0 + 1, (0x10,)),))
+    prof = Profiler(tracer.store)
+    result = prof.slice(crit)
+    dist = categorize_unnecessary(tracer.store, result)
+    assert dist.total_unnecessary == len(tracer.store) - result.slice_size()
+    assert dist.categorized_fraction == 0.0 or dist.total_unnecessary > 0
+    assert dist.share("JavaScript") == 0.0

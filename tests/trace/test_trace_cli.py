@@ -56,3 +56,34 @@ def test_cli_slice(saved_trace, capsys):
 def test_cli_usage_on_bad_args(capsys):
     assert trace_main([]) == 2
     assert trace_main(["bogus"]) == 2
+
+
+def test_cli_slice_rejects_unknown_engine(saved_trace, capsys):
+    _, path = saved_trace
+    assert trace_main(["slice", str(path), "--engine=turbo"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown engine 'turbo'" in out
+    assert "sequential" in out and "parallel" in out
+
+
+@pytest.mark.parametrize("workers", ("0", "-3"))
+def test_cli_slice_rejects_non_positive_workers(saved_trace, workers, capsys):
+    _, path = saved_trace
+    assert trace_main(["slice", str(path), f"--workers={workers}"]) == 2
+    out = capsys.readouterr().out
+    assert "--workers must be >= 1" in out
+
+
+def test_cli_slice_rejects_non_integer_workers(saved_trace, capsys):
+    _, path = saved_trace
+    assert trace_main(["slice", str(path), "--workers=many"]) == 2
+    out = capsys.readouterr().out
+    assert "--workers expects an integer" in out
+
+
+def test_cli_lint_on_real_trace(saved_trace, capsys):
+    _, path = saved_trace
+    assert trace_main(["lint", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "call-ret-balance" in out
