@@ -67,7 +67,9 @@ class CompositorHost:
         """Adopt a new layer tree from the main thread."""
         tracer = self.ctx.tracer
         self.layers = []
-        with tracer.function("cc::LayerTreeHostImpl::CommitComplete"):
+        with tracer.function("cc::LayerTreeHostImpl::CommitComplete"), self.ctx.lock(
+            "cc:lock:tree"
+        ).held():
             for paint_layer in paint_layers:
                 layer = CompositedLayer(self.ctx, paint_layer)
                 self.layers.append(layer)
@@ -108,7 +110,9 @@ class CompositorHost:
 
     def recommit_layer(self, layer: CompositedLayer) -> None:
         """Re-copy one dirty layer's display list after a repaint."""
-        with self.ctx.tracer.function("cc::LayerTreeHostImpl::UpdateLayer"):
+        with self.ctx.tracer.function("cc::LayerTreeHostImpl::UpdateLayer"), self.ctx.lock(
+            "cc:lock:tree"
+        ).held():
             self._commit_items(layer)
 
     # ------------------------------------------------------------------ #
@@ -157,7 +161,9 @@ class CompositorHost:
             viewport.w,
             viewport.h + 2 * margin,
         )
-        with tracer.function("cc::TileManager::PrepareTiles"):
+        with tracer.function("cc::TileManager::PrepareTiles"), self.ctx.lock(
+            "cc:lock:tiles"
+        ).held():
             for layer in self.layers:
                 tracer.op(
                     "layer_priorities",
@@ -233,7 +239,11 @@ class CompositorHost:
         if task.low_res:
             self._raster_low_res(task)
             return
-        with tracer.function("cc::RasterBufferProvider::PlaybackToMemory"):
+        # Raster reads the committed tree and writes tile state: take the
+        # tree lock then the tile-manager lock, in that (canonical) order.
+        with tracer.function("cc::RasterBufferProvider::PlaybackToMemory"), self.ctx.lock(
+            "cc:lock:tree"
+        ).held(), self.ctx.lock("cc:lock:tiles").held():
             tracer.op(
                 "setup_playback",
                 reads=(tile.source_cell, layer.property_cell, layer.index_cell),
@@ -264,7 +274,9 @@ class CompositorHost:
         tracer = self.ctx.tracer
         layer, tile = task.layer, task.tile
         lowres = tile.lowres_pixels
-        with tracer.function("cc::RasterBufferProvider::PlaybackToMemory"):
+        with tracer.function("cc::RasterBufferProvider::PlaybackToMemory"), self.ctx.lock(
+            "cc:lock:tree"
+        ).held(), self.ctx.lock("cc:lock:tiles").held():
             tracer.op(
                 "setup_low_res",
                 reads=(tile.source_cell, layer.property_cell),
@@ -330,7 +342,9 @@ class CompositorHost:
         tracer = self.ctx.tracer
         viewport = self.viewport_rect()
         self.frame_count += 1
-        with tracer.function("cc::LayerTreeHostImpl::DrawLayers"):
+        with tracer.function("cc::LayerTreeHostImpl::DrawLayers"), self.ctx.lock(
+            "cc:lock:tree"
+        ).held():
             for layer in self.layers:
                 tracer.compare_and_branch(
                     "layer_visible", reads=(layer.property_cell,)
@@ -413,7 +427,9 @@ class CompositorHost:
                     reads=(self.animation_cell,),
                     writes=(self.animation_cell,),
                 )
-        with tracer.function("cc::LayerTreeHostImpl::UpdateDrawProperties"):
+        with tracer.function("cc::LayerTreeHostImpl::UpdateDrawProperties"), self.ctx.lock(
+            "cc:lock:tree"
+        ).held():
             for layer in self.layers:
                 tracer.op(
                     "update_transforms",
@@ -465,7 +481,9 @@ class CompositorHost:
     def invalidate(self, rect: Rect) -> int:
         """Dirty all tiles intersecting ``rect``; returns the tile count."""
         total = 0
-        with self.ctx.tracer.function("cc::LayerTreeHostImpl::SetNeedsRedraw"):
+        with self.ctx.tracer.function("cc::LayerTreeHostImpl::SetNeedsRedraw"), self.ctx.lock(
+            "cc:lock:tree"
+        ).held():
             for layer in self.layers:
                 count = layer.invalidate(rect)
                 if count:

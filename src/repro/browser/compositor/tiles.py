@@ -140,9 +140,11 @@ class CompositedLayer:
     def invalidate(self, rect: Rect) -> int:
         """Mark tiles intersecting ``rect`` dirty; returns how many."""
         count = 0
-        for tile in self.tiles_intersecting(rect):
-            tile.dirty = True
-            count += 1
+        # Dirty bits are tile-manager state shared with the raster path.
+        with self.ctx.lock("cc:lock:tiles").held():
+            for tile in self.tiles_intersecting(rect):
+                tile.dirty = True
+                count += 1
         return count
 
     def __repr__(self) -> str:

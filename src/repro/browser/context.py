@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from ..machine import AddressSpace, Tracer, VirtualClock
+from ..machine import AddressSpace, TracedLock, Tracer, VirtualClock
 from ..machine.memory import MemRegion
 
 #: Resource bytes are mirrored into one abstract cell per this many bytes.
@@ -77,6 +77,21 @@ class EngineContext:
         self._ops_since_debug = 0
         self._spawned = False
         self._next_node_id = 0
+        self._locks: Dict[str, TracedLock] = {}
+
+    def lock(self, name: str) -> TracedLock:
+        """The process-wide lock registry: one TracedLock per name.
+
+        Each lock is backed by a dedicated memory cell so release/acquire
+        pairs are visible to the race detector, and lock names are stable
+        so the static lock-order analysis can match acquisition sites
+        against dynamic traces.
+        """
+        lock = self._locks.get(name)
+        if lock is None:
+            lock = TracedLock(self.tracer, self.memory.alloc_cell(name), name)
+            self._locks[name] = lock
+        return lock
 
     def next_node_id(self) -> int:
         """Allocate a DOM node id, unique and stable within this context.
@@ -157,12 +172,15 @@ class EngineContext:
             self._debug_log_cell = self.memory.alloc_cell("debug:ring")
         tracer = self.tracer
         with tracer.function("base::trace_event::TraceLog::AddTraceEvent"):
-            for i in range(weight):
-                tracer.op(
-                    f"log{i}",
-                    reads=(self._debug_counter_cell,),
-                    writes=(self._debug_counter_cell, self._debug_log_cell),
-                )
+            # The ring buffer is shared by every thread in the process;
+            # real TraceLog serializes appends under its own lock.
+            with self.lock("base:lock:trace_event").held():
+                for i in range(weight):
+                    tracer.op(
+                        f"log{i}",
+                        reads=(self._debug_counter_cell,),
+                        writes=(self._debug_counter_cell, self._debug_log_cell),
+                    )
 
     def maybe_debug_event(self) -> None:
         """Emit a debug event every ``debug_event_period`` calls."""

@@ -138,8 +138,15 @@ class BrowserEngine:
         self.dirty_elements: Set[Element] = set()
         self._last_rects: Dict[int, Rect] = {}
         self._raster_rr = 0
+        self._decode_barrier: Optional[int] = None
+        self._pending_rasters: Optional[int] = None
         self.page: Optional[PageSpec] = None
         self.loaded = False
+
+    def _pending_rasters_cell(self) -> int:
+        if self._pending_rasters is None:
+            self._pending_rasters = self.ctx.memory.alloc_cell("cc:pending_rasters")
+        return self._pending_rasters
 
     # ------------------------------------------------------------------ #
     # Page load                                                          #
@@ -285,6 +292,13 @@ class BrowserEngine:
         if not worker_tids:
             worker_tids = (MAIN_THREAD,)
         caller_tid = tracer.current_tid
+        # Decode barrier: the caller publishes the fetched bytes before any
+        # worker starts, each worker publishes its bitmap when done, and
+        # the caller imports all of them before paint references the
+        # bitmaps.  Without these edges the raw thread switches below would
+        # be unsynchronized hand-offs (exactly what repro.tsan flags).
+        barrier = self._decode_barrier_cell()
+        tracer.sync_release(barrier)
         for i, url in enumerate(self.page.images):
             resource = self.net.fetched.get(url)
             if resource is None or resource.region is None:
@@ -292,6 +306,7 @@ class BrowserEngine:
             source = resource.region
             decoded = ctx.memory.alloc(f"bitmap:{url}", max(1, source.size))
             tracer.switch(worker_tids[i % len(worker_tids)])
+            tracer.sync_acquire(barrier)
             with tracer.function("blink::ImageDecoder::Decode"):
                 for offset in range(source.size):
                     tracer.op(
@@ -306,8 +321,15 @@ class BrowserEngine:
                             writes=(decoded.cell(offset),),
                         )
                 ctx.maybe_debug_event()
+            tracer.sync_release(barrier)
             self.painter.image_regions[url] = decoded
         tracer.switch(caller_tid)
+        tracer.sync_acquire(barrier)
+
+    def _decode_barrier_cell(self) -> int:
+        if self._decode_barrier is None:
+            self._decode_barrier = self.ctx.memory.alloc_cell("blink:decode_barrier")
+        return self._decode_barrier
 
     # ------------------------------------------------------------------ #
     # Rendering pipeline                                                 #
@@ -338,12 +360,23 @@ class BrowserEngine:
             )
             return
         remaining = {"count": len(tasks)}
+        # The completion count is shared by every raster worker; the traced
+        # lock chains all workers' histories into the last decrementer, so
+        # the draw it posts is ordered after every tile's pixel writes (not
+        # just its own).
+        pending_lock = self.ctx.lock("cc:lock:pending_rasters")
+        pending_cell = self._pending_rasters_cell()
 
         def run_task(task: RasterTask):
             def runner() -> None:
                 self.compositor.raster_tile(task)
-                remaining["count"] -= 1
-                if remaining["count"] == 0:
+                with pending_lock.held():
+                    self.ctx.tracer.op(
+                        "raster_done", reads=(pending_cell,), writes=(pending_cell,)
+                    )
+                    remaining["count"] -= 1
+                    done = remaining["count"] == 0
+                if done:
                     self.scheduler.post(
                         COMPOSITOR_THREAD, "Draw", lambda: self._draw(first_frame)
                     )

@@ -25,6 +25,10 @@ class IPCChannel:
     def __init__(self, ctx: EngineContext) -> None:
         self.ctx = ctx
         self.socket_cell = ctx.memory.alloc_cell("ipc:socket")
+        #: synchronization object of the channel: every serialize publishes
+        #: the sending thread's history here, every IO-thread flush/receive
+        #: imports it (Mojo's message pipe acts as a release/acquire pair).
+        self.sync_cell = ctx.memory.alloc_cell("ipc:channel")
         self.sent = 0
         self.received = 0
 
@@ -42,6 +46,7 @@ class IPCChannel:
                     else (),
                     writes=(buffer_cell,),
                 )
+            tracer.sync_release(self.sync_cell, kind="ipc")
         self.sent += 1
         return buffer_cell
 
@@ -49,6 +54,7 @@ class IPCChannel:
         """Write a serialized message to the socket (call on the IO thread)."""
         tracer = self.ctx.tracer
         with tracer.function("ipc::ChannelMojo::WriteToPipe"):
+            tracer.sync_acquire(self.sync_cell, kind="ipc")
             tracer.op("stage", reads=(buffer_cell,), writes=(self.socket_cell,))
             tracer.syscall("sendto", reads=(buffer_cell, self.socket_cell))
 
@@ -62,6 +68,7 @@ class IPCChannel:
             self.ctx.memory.alloc_cell(f"ipc:in:{name}:{i}") for i in range(payload_size)
         )
         with tracer.function("ipc::ChannelMojo::OnMessageReceived"):
+            tracer.sync_acquire(self.sync_cell, kind="ipc")
             tracer.syscall("recvfrom", writes=cells)
             for i, cell in enumerate(cells):
                 tracer.op(f"unpickle{i % 8}", reads=(cell,), writes=(cell,))

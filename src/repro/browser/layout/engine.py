@@ -44,7 +44,10 @@ class LayoutEngine:
         ctx = self.ctx
         viewport_w = float(ctx.config.viewport_width)
         body = document.body()
-        with ctx.tracer.function("blink::layout::LayoutView::UpdateLayout"):
+        # Layout tree mutation is guarded as in Blink (lifecycle exclusion).
+        with ctx.tracer.function("blink::layout::LayoutView::UpdateLayout"), ctx.lock(
+            "blink:lock:layout"
+        ).held():
             root_style = (
                 self.resolver.style_of(body).copy()
                 if body is not None

@@ -57,17 +57,33 @@ class Scheduler:
             self._queues[tid] = queue
         return queue
 
+    def _queue_lock(self, tid: int):
+        """Per-queue lock serializing posters against the popping thread.
+
+        Each critical section here happens-before the pop that dequeues the
+        task, which in turn happens-before the task body (program order on
+        the popped thread) — so everything a poster did before posting is
+        visible to the task without further synchronization.
+        """
+        return self.ctx.lock(f"sched:lock:queue:{tid}")
+
     def post(self, tid: int, name: str, fn: Callable[[], None]) -> None:
         """Post a task to ``tid``'s queue (wakes the thread)."""
         current = self.ctx.tracer.current_tid
-        if current != tid:
-            self._wake(tid)
-        self.queue_for(tid).append(Task(name, fn))
+        with self._queue_lock(tid).held():
+            if current != tid:
+                self._wake(tid)
+            self.queue_for(tid).append(Task(name, fn))
 
     def post_delayed(self, tid: int, name: str, fn: Callable[[], None], delay_ms: float) -> None:
         ready = self.ctx.clock.now_us + delay_ms * 1000.0
         self._seq += 1
-        self._delayed.append((ready, self._seq, tid, Task(name, fn)))
+        # The lock hand-off happens at post time, not promotion time:
+        # _promote_delayed is bookkeeping inside the scheduler loop and
+        # runs on whichever thread last executed, so the ordering edge to
+        # the eventual task body must be published by the posting thread.
+        with self._queue_lock(tid).held():
+            self._delayed.append((ready, self._seq, tid, Task(name, fn)))
 
     def _wake(self, tid: int) -> None:
         """futex wake: the posting thread signals the sleeping target."""
@@ -111,8 +127,12 @@ class Scheduler:
                 tracer.switch(tid)
                 cell = self._queue_cell(tid)
                 with tracer.function("base::message_loop::MessagePump::Run"):
-                    tracer.op("pop_task", reads=(cell,), writes=(cell,))
-                    tracer.compare_and_branch("has_work", reads=(cell,))
+                    # Dequeue under the queue lock; the task body runs
+                    # outside it (as in Chromium's MessagePump), ordered
+                    # after the pop by program order on this thread.
+                    with self._queue_lock(tid).held():
+                        tracer.op("pop_task", reads=(cell,), writes=(cell,))
+                        tracer.compare_and_branch("has_work", reads=(cell,))
                     with tracer.function("base::task::TaskAnnotator::RunTask"):
                         task.fn()
                 executed += 1

@@ -9,10 +9,15 @@ Usage::
     python -m repro.harness fig5
     python -m repro.harness bing-partial
     python -m repro.harness static
+    python -m repro.harness tsan
     python -m repro.harness all
 
 ``static`` cross-validates the static dead-code analyzer
 (``repro.jsstatic``) against each workload's dynamic coverage.
+``tsan`` runs the concurrency sanitizer: it asserts the four paper
+workloads are race-free under happens-before replay and folds per-thread
+sync-edge counts into the thread-breakdown report (see
+docs/race-detection.md).
 """
 
 from __future__ import annotations
@@ -31,8 +36,27 @@ from .reporting import (
 )
 
 _TARGETS = (
-    "table1", "table2", "fig2", "fig4", "fig5", "bing-partial", "static", "all"
+    "table1", "table2", "fig2", "fig4", "fig5", "bing-partial", "static",
+    "tsan", "all",
 )
+
+
+def _tsan() -> str:
+    from ..tsan.report import (
+        PAPER_WORKLOADS,
+        run_workload,
+        sync_breakdown,
+        workload_table,
+    )
+
+    results = [run_workload(name) for name in PAPER_WORKLOADS]
+    racy = [r.name for r in results if not r.report.ok]
+    assert not racy, f"paper workloads must be race-free, found races in {racy}"
+    sections = [workload_table(results), ""]
+    for result in results:
+        sections.append(sync_breakdown(result))
+        sections.append("")
+    return "\n".join(sections).rstrip()
 
 
 def _static() -> str:
@@ -92,6 +116,9 @@ def main(argv) -> int:
         print()
     if target in ("static", "all"):
         print(_static())
+        print()
+    if target in ("tsan", "all"):
+        print(_tsan())
     return 0
 
 

@@ -17,13 +17,14 @@ from .registers import (
     register_name,
 )
 from .syscalls import BY_NAME, BY_NUMBER, OUTPUT_SYSCALL_NUMBERS, SyscallModel, model_for
-from .tracer import FN_SPAN, LOAD_COMPLETE_MARKER, TILE_MARKER, Tracer
+from .tracer import FN_SPAN, LOAD_COMPLETE_MARKER, TILE_MARKER, TracedLock, Tracer
 
 __all__ = [
     "AddressSpace",
     "MemRegion",
     "VirtualClock",
     "Tracer",
+    "TracedLock",
     "FN_SPAN",
     "TILE_MARKER",
     "LOAD_COMPLETE_MARKER",

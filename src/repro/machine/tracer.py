@@ -19,7 +19,14 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
-from ..trace.records import InstrKind, TraceRecord, TraceMetadata
+from ..trace.records import (
+    SYNC_ACQUIRE,
+    SYNC_RELEASE,
+    InstrKind,
+    TraceMetadata,
+    TraceRecord,
+    sync_marker_tag,
+)
 from ..trace.store import TraceStore
 from ..trace.symbols import SymbolTable
 from .clock import VirtualClock
@@ -283,3 +290,64 @@ class Tracer:
         elif tag == LOAD_COMPLETE_MARKER:
             self.store.metadata.load_complete_index = index
         return index
+
+    # ------------------------------------------------------------------ #
+    # Synchronization events                                              #
+    # ------------------------------------------------------------------ #
+
+    def sync_release(self, obj: int, kind: Optional[str] = None) -> int:
+        """Publish the current thread's history into sync object ``obj``.
+
+        Everything this thread did before the release happens-before
+        whatever any thread does after a matching :meth:`sync_acquire` on
+        the same object.  ``kind`` selects the edge family recorded in the
+        marker tag (``ipc``, ``task``, ... — see
+        :func:`repro.trace.records.sync_marker_tag`).
+        """
+        return self.marker(sync_marker_tag(SYNC_RELEASE, kind), cells=(obj,))
+
+    def sync_acquire(self, obj: int, kind: Optional[str] = None) -> int:
+        """Import the history published into sync object ``obj``."""
+        return self.marker(sync_marker_tag(SYNC_ACQUIRE, kind), cells=(obj,))
+
+    def lock_acquire(self, obj: int) -> int:
+        """Acquire a mutual-exclusion lock identified by cell ``obj``."""
+        return self.marker(sync_marker_tag(SYNC_ACQUIRE, "lock"), cells=(obj,))
+
+    def lock_release(self, obj: int) -> int:
+        """Release a mutual-exclusion lock identified by cell ``obj``."""
+        return self.marker(sync_marker_tag(SYNC_RELEASE, "lock"), cells=(obj,))
+
+
+class TracedLock:
+    """A mutual-exclusion lock whose critical sections appear in the trace.
+
+    The lock itself is only a trace-level annotation — the engine is
+    cooperatively scheduled, so there is nothing to block on.  What the
+    annotation buys is a happens-before edge from each release to every
+    later acquire of the same lock cell, chaining the critical sections of
+    all threads into a total order the race detector can rely on.
+    """
+
+    __slots__ = ("tracer", "cell", "name")
+
+    def __init__(self, tracer: Tracer, cell: int, name: str) -> None:
+        self.tracer = tracer
+        self.cell = cell
+        self.name = name
+
+    def acquire(self) -> None:
+        self.tracer.lock_acquire(self.cell)
+
+    def release(self) -> None:
+        self.tracer.lock_release(self.cell)
+
+    @contextmanager
+    def held(self):
+        """Bracket a critical section (static lock-order analysis keys on
+        ``with ctx.lock("...").held():`` sites)."""
+        self.acquire()
+        try:
+            yield self
+        finally:
+            self.release()

@@ -4,15 +4,17 @@ Usage::
 
     python -m repro.trace collect amazon_desktop /tmp/amazon.ucwa
     python -m repro.trace info /tmp/amazon.ucwa
-    python -m repro.trace lint /tmp/amazon.ucwa
+    python -m repro.trace lint /tmp/amazon.ucwa [--json]
     python -m repro.trace slice /tmp/amazon.ucwa
     python -m repro.trace slice /tmp/amazon.ucwa --engine=parallel --workers=4
 
 ``collect`` runs a registered benchmark and saves its trace; ``info``
 prints per-thread and symbol statistics; ``lint`` checks the sanitizer's
-well-formedness invariants (CALL/RET balance, use-before-def, marker
-clock, epoch tiling — see repro/trace/lint.py) and exits non-zero on any
-violation; ``slice`` runs the pixel-based backward slice on a stored
+well-formedness invariants (CALL/RET balance, use-before-def, lock
+discipline, marker clock, epoch tiling — see repro/trace/lint.py) and
+exits non-zero on any error-severity violation; ``--json`` emits the
+machine-readable report instead; ``slice`` runs the pixel-based backward
+slice on a stored
 trace (demonstrating the collect-once, profile-many workflow the paper
 uses).  ``--engine=parallel`` selects the epoch-sharded engine (see
 docs/parallel-slicing.md); ``--workers`` sets its process count
@@ -21,8 +23,10 @@ docs/parallel-slicing.md); ``--workers`` sets its process count
 
 from __future__ import annotations
 
+import json
 import sys
 from collections import Counter
+from typing import Optional
 
 from .store import load_trace, save_trace
 
@@ -55,16 +59,40 @@ def _info(path: str) -> int:
     return 0
 
 
-def _lint(path: str, epoch_size: int = 4096) -> int:
+def _lint(path: str, epoch_size: int = 4096, as_json: bool = False) -> int:
     from .lint import lint_trace
 
     report = lint_trace(load_trace(path), epoch_size=epoch_size)
-    print(f"{path}:")
-    print(report.summary())
+    if as_json:
+        print(
+            json.dumps(
+                {
+                    "path": path,
+                    "n_records": report.n_records,
+                    "ok": report.ok,
+                    "counts": report.counts,
+                    "issues": [
+                        {
+                            "check": issue.check,
+                            "severity": issue.severity,
+                            "message": issue.message,
+                            "index": issue.index,
+                        }
+                        for issue in report.issues
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(f"{path}:")
+        print(report.summary())
     return 0 if report.ok else 1
 
 
-def _slice(path: str, engine: str = "sequential", workers: int = None) -> int:
+def _slice(
+    path: str, engine: str = "sequential", workers: Optional[int] = None
+) -> int:
     from ..profiler import Profiler, pixel_criteria
 
     store = load_trace(path)
@@ -85,8 +113,11 @@ def main(argv) -> int:
         return _info(argv[1])
     if len(argv) >= 2 and argv[0] == "lint":
         epoch_size = 4096
+        as_json = False
         for opt in argv[2:]:
-            if opt.startswith("--epoch-size="):
+            if opt == "--json":
+                as_json = True
+            elif opt.startswith("--epoch-size="):
                 try:
                     epoch_size = int(opt[len("--epoch-size="):])
                 except ValueError:
@@ -98,7 +129,7 @@ def main(argv) -> int:
             else:
                 print(f"unknown option {opt!r}")
                 return 2
-        return _lint(argv[1], epoch_size=epoch_size)
+        return _lint(argv[1], epoch_size=epoch_size, as_json=as_json)
     if len(argv) >= 2 and argv[0] == "slice":
         engine, workers = "sequential", None
         for opt in argv[2:]:

@@ -20,9 +20,19 @@ slicer produces quietly-wrong results.  Named checks:
   pixel cells match the metadata side channel;
 * ``epoch-consistency`` (error) — ``store.epoch_bounds`` tiles the trace
   exactly (contiguous, non-overlapping, full coverage);
+* ``ipc-use-before-def`` (error) — a record inside the IPC receive/flush
+  frames (``ipc::ChannelMojo::OnMessageReceived`` / ``WriteToPipe``) reads
+  a payload cell nothing ever wrote: a message consumed before any
+  ``send_from``/``recvfrom`` produced it;
+* ``lock-discipline`` (error) — per thread: recursive acquisition of a
+  lock already held, release of a lock not held, locks still held at the
+  end of the trace, or a malformed sync marker (sync/lock-tagged but not
+  parseable as a :class:`~repro.trace.records.SyncEvent`);
 * ``memory-use-before-def`` (warning) — a cell is read before any record
   writes it.  Real engine traces legitimately read pre-initialized state
-  (fetched bytes, config), so this is diagnostic, not fatal.
+  (fetched bytes, config), so this is diagnostic, not fatal.  Sync
+  markers are exempt: their single "read" cell names the synchronization
+  object, which is never data-written by design.
 """
 
 from __future__ import annotations
@@ -36,7 +46,7 @@ from ..machine.registers import (
     register_name,
 )
 from ..machine.tracer import TILE_MARKER
-from .records import InstrKind
+from .records import InstrKind, is_sync_marker, sync_event_of
 from .store import TraceStore, epoch_bounds
 
 ERROR = "error"
@@ -50,11 +60,19 @@ CHECKS = (
     "record-shape",
     "monotone-marker-clock",
     "epoch-consistency",
+    "ipc-use-before-def",
+    "lock-discipline",
     "memory-use-before-def",
 )
 
 _FLAGS = 0
 _SYSCALL_ARGS = set(SYSCALL_ARG_REGISTERS)
+
+#: frames whose reads consume IPC payload cells
+_IPC_CONSUMER_FNS = (
+    "ipc::ChannelMojo::OnMessageReceived",
+    "ipc::ChannelMojo::WriteToPipe",
+)
 
 
 @dataclass(frozen=True)
@@ -168,6 +186,13 @@ def lint_trace(
     mem_written: Set[int] = set()
     prev_kind: Dict[int, InstrKind] = {}
     warned_cells: Set[int] = set()
+    ipc_warned: Set[int] = set()
+    held_locks: Dict[int, List[int]] = {}
+    ipc_fns: Set[int] = set()
+    for fn_name in _IPC_CONSUMER_FNS:
+        sym = store.symbols.lookup(fn_name)
+        if sym is not None:
+            ipc_fns.add(sym)
 
     for index, rec in enumerate(store.forward()):
         # -- record-shape ---------------------------------------------- #
@@ -227,15 +252,61 @@ def lint_trace(
             )
         written.update(rec.regs_written)
 
-        # -- memory-use-before-def (warning) --------------------------- #
-        for cell in rec.mem_read:
-            if cell not in mem_written and cell not in warned_cells:
-                warned_cells.add(cell)
+        # -- lock-discipline ------------------------------------------- #
+        sync_marker = is_sync_marker(rec)
+        if sync_marker:
+            event = sync_event_of(index, rec)
+            if event is None:
                 out.add(
-                    "memory-use-before-def",
-                    f"cell {cell:#x} read before any write",
+                    "lock-discipline",
+                    f"malformed sync marker {rec.marker!r} "
+                    f"with {len(rec.mem_read)} sync cell(s)",
                     index,
                 )
+            elif event.kind == "lock":
+                held = held_locks.setdefault(event.tid, [])
+                if event.op == "acquire":
+                    if event.obj in held:
+                        out.add(
+                            "lock-discipline",
+                            f"thread {event.tid}: recursive acquire of lock "
+                            f"cell {event.obj:#x}",
+                            index,
+                        )
+                    else:
+                        held.append(event.obj)
+                elif event.obj in held:
+                    held.remove(event.obj)
+                else:
+                    out.add(
+                        "lock-discipline",
+                        f"thread {event.tid}: release of lock cell "
+                        f"{event.obj:#x} not held",
+                        index,
+                    )
+
+        # -- ipc-use-before-def ---------------------------------------- #
+        if rec.fn in ipc_fns and not sync_marker:
+            for cell in rec.mem_read:
+                if cell not in mem_written and cell not in ipc_warned:
+                    ipc_warned.add(cell)
+                    out.add(
+                        "ipc-use-before-def",
+                        f"{store.symbols.name(rec.fn)} consumes cell "
+                        f"{cell:#x} that no send ever wrote",
+                        index,
+                    )
+
+        # -- memory-use-before-def (warning) --------------------------- #
+        if not sync_marker:
+            for cell in rec.mem_read:
+                if cell not in mem_written and cell not in warned_cells:
+                    warned_cells.add(cell)
+                    out.add(
+                        "memory-use-before-def",
+                        f"cell {cell:#x} read before any write",
+                        index,
+                    )
         mem_written.update(rec.mem_written)
 
     # -- call-ret-balance: final unwinding ----------------------------- #
@@ -244,6 +315,14 @@ def lint_trace(
             out.add(
                 "call-ret-balance",
                 f"thread {tid}: {depth[tid]} CALL(s) never returned",
+            )
+
+    # -- lock-discipline: locks held past the end of the trace --------- #
+    for tid in sorted(held_locks):
+        for obj in held_locks[tid]:
+            out.add(
+                "lock-discipline",
+                f"thread {tid}: lock cell {obj:#x} still held at end of trace",
             )
 
     # -- monotone-marker-clock ----------------------------------------- #

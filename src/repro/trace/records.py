@@ -17,6 +17,93 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+#: Marker-tag prefixes of the synchronization-event convention.  A MARKER
+#: record whose tag starts with one of these is a *sync event*, not a data
+#: access: its single memory cell identifies the synchronization object
+#: (lock, task queue, IPC channel, hand-off token) and its tag encodes the
+#: release/acquire direction.  The happens-before race detector
+#: (:mod:`repro.tsan`) derives every cross-thread ordering edge from these
+#: records; everything else in the trace is treated as plain shared-memory
+#: access.
+SYNC_MARKER_PREFIX = "sync:"
+LOCK_MARKER_PREFIX = "lock:"
+
+LOCK_ACQUIRE_MARKER = "lock:acquire"
+LOCK_RELEASE_MARKER = "lock:release"
+
+#: release joins the releasing thread's clock into the object's clock;
+#: acquire joins the object's clock into the acquiring thread's clock.
+SYNC_RELEASE = "release"
+SYNC_ACQUIRE = "acquire"
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """One parsed synchronization marker.
+
+    Attributes:
+        index: record index in the trace.
+        tid: thread that executed the sync operation.
+        op: ``"release"`` or ``"acquire"``.
+        obj: abstract cell identifying the synchronization object.
+        kind: edge family — ``"lock"`` for mutual-exclusion locks,
+            ``"ipc"`` for channel edges, ``"task"`` for scheduler edges,
+            ``"plain"`` for bare hand-off tokens (thread-pool dispatch).
+    """
+
+    index: int
+    tid: int
+    op: str
+    obj: int
+    kind: str
+
+
+def sync_marker_tag(op: str, kind: Optional[str] = None) -> str:
+    """Compose the marker tag for a sync event (inverse of parsing)."""
+    if op not in (SYNC_RELEASE, SYNC_ACQUIRE):
+        raise ValueError(f"sync op must be release/acquire, got {op!r}")
+    if kind is None or kind == "plain":
+        return f"{SYNC_MARKER_PREFIX}{op}"
+    if kind == "lock":
+        return f"{LOCK_MARKER_PREFIX}{op}"
+    return f"{SYNC_MARKER_PREFIX}{kind}:{op}"
+
+
+def is_sync_marker(record: "TraceRecord") -> bool:
+    """True for MARKER records following the sync/lock tag convention."""
+    return (
+        record.kind == InstrKind.MARKER
+        and record.marker is not None
+        and (
+            record.marker.startswith(SYNC_MARKER_PREFIX)
+            or record.marker.startswith(LOCK_MARKER_PREFIX)
+        )
+    )
+
+
+def sync_event_of(index: int, record: "TraceRecord") -> Optional[SyncEvent]:
+    """Parse a record into a :class:`SyncEvent`, or None for non-sync records.
+
+    Malformed sync markers (unknown op, no object cell) return None; the
+    trace sanitizer's ``lock-discipline`` check reports them loudly.
+    """
+    if not is_sync_marker(record):
+        return None
+    tag = record.marker or ""
+    if tag.startswith(LOCK_MARKER_PREFIX):
+        kind, op = "lock", tag[len(LOCK_MARKER_PREFIX):]
+    else:
+        rest = tag[len(SYNC_MARKER_PREFIX):]
+        if ":" in rest:
+            kind, op = rest.split(":", 1)
+        else:
+            kind, op = "plain", rest
+    if op not in (SYNC_RELEASE, SYNC_ACQUIRE) or len(record.mem_read) != 1:
+        return None
+    return SyncEvent(
+        index=index, tid=record.tid, op=op, obj=record.mem_read[0], kind=kind
+    )
+
 
 class InstrKind(enum.IntEnum):
     """Kind of a dynamically executed instruction.

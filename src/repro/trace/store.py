@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import Iterable, Iterator, List, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 from .records import InstrKind, TraceRecord, TraceMetadata
 from .symbols import SymbolTable
@@ -23,7 +23,9 @@ _REC = struct.Struct("<IQBIhh")  # tid, pc, kind, fn, syscall(+1, -1=None), mark
 class TraceStore:
     """An in-memory instruction trace with its symbol table and metadata."""
 
-    def __init__(self, symbols: SymbolTable, metadata: TraceMetadata = None) -> None:
+    def __init__(
+        self, symbols: SymbolTable, metadata: Optional[TraceMetadata] = None
+    ) -> None:
         self.symbols = symbols
         self.metadata = metadata if metadata is not None else TraceMetadata()
         self._records: List[TraceRecord] = []
@@ -182,7 +184,7 @@ def load_trace(path: Union[str, Path]) -> TraceStore:
         symbols.intern(cur.take_bytes(length).decode("utf-8"))
 
     (n_records,) = cur.take("<Q")
-    raw_records = []
+    raw_records: List[tuple] = []
     for _ in range(n_records):
         tid, pc, kind, fn, syscall, marker_id = cur.take("<IQBIhh")
         (n_rr,) = cur.take("<B")
@@ -199,7 +201,7 @@ def load_trace(path: Union[str, Path]) -> TraceStore:
         )
 
     (n_markers,) = cur.take("<H")
-    markers = []
+    markers: List[str] = []
     for _ in range(n_markers):
         (length,) = cur.take("<H")
         markers.append(cur.take_bytes(length).decode("utf-8"))

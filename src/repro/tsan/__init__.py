@@ -1,0 +1,57 @@
+"""Concurrency sanitizer: happens-before race detection + lock-order analysis.
+
+The dynamic half (:mod:`.detector`) replays recorded traces with vector
+clocks, deriving ordering edges from the sync-marker convention of
+:mod:`repro.trace.records` (IPC channel release/acquire, scheduler queue
+locks, engine mutexes).  The static half (:mod:`.lockorder`) analyzes the
+engine sources for lock acquisition sites, builds the lock-order graph and
+reports deadlock cycles/inversions, cross-referenced against dynamically
+observed orders.  :mod:`.report` ties both to the paper workloads and the
+fuzz recall measurement; ``python -m repro.tsan`` is the CLI.
+"""
+
+from .detector import (
+    Access,
+    Race,
+    RaceDetector,
+    RaceReport,
+    cell_namer,
+    detect_races,
+)
+from .lockorder import (
+    AcquisitionSite,
+    LockOrderGraph,
+    ObservedOrders,
+    analyze_lock_order,
+    cross_reference,
+    observed_orders,
+)
+from .report import (
+    PAPER_WORKLOADS,
+    FuzzRecallResult,
+    WorkloadRaceResult,
+    full_report,
+    measure_recall,
+    run_workload,
+)
+
+__all__ = [
+    "Access",
+    "Race",
+    "RaceDetector",
+    "RaceReport",
+    "cell_namer",
+    "detect_races",
+    "AcquisitionSite",
+    "LockOrderGraph",
+    "ObservedOrders",
+    "analyze_lock_order",
+    "cross_reference",
+    "observed_orders",
+    "PAPER_WORKLOADS",
+    "FuzzRecallResult",
+    "WorkloadRaceResult",
+    "full_report",
+    "measure_recall",
+    "run_workload",
+]

@@ -1,0 +1,287 @@
+"""Happens-before data-race detection over recorded traces.
+
+The detector replays a :class:`~repro.trace.store.TraceStore` in program
+order, maintaining one vector clock per thread and one per synchronization
+object.  Sync events (the marker convention of
+:mod:`repro.trace.records`) move clocks:
+
+* ``release(m)``  — ``L_m |_|= C_t``, then ``C_t[t] += 1``;
+* ``acquire(m)`` — ``C_t |_|= L_m``.
+
+Every other record's memory accesses are checked against the last write
+epoch and the read epochs of each cell: two accesses to the same cell from
+different threads, at least one a write, race unless the earlier one's
+epoch is covered by the later thread's clock.  Registers are per-thread by
+construction and never checked.
+
+This is the dynamic half of the concurrency sanitizer; the static half
+(lock-order analysis) lives in :mod:`repro.tsan.lockorder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..trace.records import InstrKind, TraceRecord, sync_event_of
+from ..trace.store import TraceStore
+from .vclock import VectorClock, covers, fresh, join_into
+
+#: resolves a cell address to a human-readable region name (live runs can
+#: pass ``cell_namer(engine.ctx.memory)``; saved traces have no names).
+CellNamer = Callable[[int], Optional[str]]
+
+
+@dataclass(frozen=True)
+class Access:
+    """One side of a racy pair."""
+
+    index: int
+    tid: int
+    pc: int
+    fn: str
+    is_write: bool
+
+
+@dataclass(frozen=True)
+class Race:
+    """A pair of conflicting accesses unordered by happens-before."""
+
+    cell: int
+    cell_name: Optional[str]
+    #: "write-write", "read-write" (prior read, racing write) or
+    #: "write-read" (prior write, racing read)
+    kind: str
+    prior: Access
+    current: Access
+
+    def describe(self) -> str:
+        where = self.cell_name if self.cell_name else f"cell {self.cell:#x}"
+        return (
+            f"{self.kind} race on {where}: "
+            f"#{self.prior.index} tid={self.prior.tid} in {self.prior.fn} vs "
+            f"#{self.current.index} tid={self.current.tid} in {self.current.fn}"
+        )
+
+
+@dataclass
+class RaceReport:
+    """Everything the replay learned about one trace."""
+
+    n_records: int = 0
+    n_threads: int = 0
+    races: List[Race] = field(default_factory=list)
+    #: tid -> sync-edge kind ("lock", "ipc", "plain", ...) -> event count
+    sync_events: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    n_sync_objects: int = 0
+    #: cells with at least one reported race
+    racy_cells: Set[int] = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        return not self.races
+
+    def sync_event_total(self, tid: Optional[int] = None) -> int:
+        if tid is not None:
+            return sum(self.sync_events.get(tid, {}).values())
+        return sum(sum(kinds.values()) for kinds in self.sync_events.values())
+
+    def to_json(self) -> dict:
+        return {
+            "n_records": self.n_records,
+            "n_threads": self.n_threads,
+            "n_sync_objects": self.n_sync_objects,
+            "ok": self.ok,
+            "n_races": len(self.races),
+            "racy_cells": sorted(self.racy_cells),
+            "sync_events": {
+                str(tid): dict(sorted(kinds.items()))
+                for tid, kinds in sorted(self.sync_events.items())
+            },
+            "races": [
+                {
+                    "cell": race.cell,
+                    "cell_name": race.cell_name,
+                    "kind": race.kind,
+                    "prior": {
+                        "index": race.prior.index,
+                        "tid": race.prior.tid,
+                        "fn": race.prior.fn,
+                        "write": race.prior.is_write,
+                    },
+                    "current": {
+                        "index": race.current.index,
+                        "tid": race.current.tid,
+                        "fn": race.current.fn,
+                        "write": race.current.is_write,
+                    },
+                }
+                for race in self.races
+            ],
+        }
+
+
+def cell_namer(memory) -> CellNamer:
+    """Build a CellNamer from a live :class:`AddressSpace`."""
+
+    def name_of(cell: int) -> Optional[str]:
+        try:
+            region = memory.find_region(cell)
+        except (KeyError, ValueError):
+            return None
+        if region.size == 1:
+            return region.name
+        return f"{region.name}[{cell - region.base}]"
+
+    return name_of
+
+
+class RaceDetector:
+    """Single-pass vector-clock replay of one trace."""
+
+    def __init__(
+        self,
+        store: TraceStore,
+        cell_names: Optional[CellNamer] = None,
+        max_races: int = 1000,
+    ) -> None:
+        self.store = store
+        self.cell_names = cell_names
+        self.max_races = max_races
+        self._clocks: Dict[int, VectorClock] = {}
+        self._sync_clocks: Dict[int, VectorClock] = {}
+        # cell -> (tid, clk, index, pc) of the last write
+        self._write_epoch: Dict[int, Tuple[int, int, int, int]] = {}
+        # cell -> tid -> (clk, index, pc) of reads since the last write
+        self._read_epochs: Dict[int, Dict[int, Tuple[int, int, int]]] = {}
+        self._reported: Set[Tuple[int, str, int, int]] = set()
+        self.report = RaceReport()
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> RaceReport:
+        report = self.report
+        report.n_records = len(self.store)
+        for index, record in enumerate(self.store.forward()):
+            self._step(index, record)
+        report.n_threads = len(self._clocks)
+        report.n_sync_objects = len(self._sync_clocks)
+        return report
+
+    # ------------------------------------------------------------------ #
+
+    def _clock(self, tid: int) -> VectorClock:
+        clock = self._clocks.get(tid)
+        if clock is None:
+            clock = fresh(tid)
+            self._clocks[tid] = clock
+        return clock
+
+    def _step(self, index: int, record: TraceRecord) -> None:
+        tid = record.tid
+        clock = self._clock(tid)
+        event = sync_event_of(index, record)
+        if event is not None:
+            sync = self._sync_clocks.setdefault(event.obj, {})
+            if event.op == "release":
+                join_into(sync, clock)
+                clock[tid] += 1
+            else:
+                join_into(clock, sync)
+            by_kind = self.report.sync_events.setdefault(tid, {})
+            by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+            return
+        if record.kind == InstrKind.MARKER and record.marker is not None:
+            # Non-sync markers (tile_ready, load_complete) are observation
+            # points, not accesses.
+            return
+        for cell in record.mem_read:
+            self._check_read(index, record, clock, cell)
+        for cell in record.mem_written:
+            self._check_write(index, record, clock, cell)
+
+    def _check_read(
+        self, index: int, record: TraceRecord, clock: VectorClock, cell: int
+    ) -> None:
+        write = self._write_epoch.get(cell)
+        if write is not None:
+            wtid, wclk, windex, wpc = write
+            if wtid != record.tid and not covers(clock, wtid, wclk):
+                self._report(
+                    cell, "write-read", (windex, wtid, wpc, True), index, record, False
+                )
+        reads = self._read_epochs.get(cell)
+        if reads is None:
+            reads = {}
+            self._read_epochs[cell] = reads
+        reads[record.tid] = (clock[record.tid], index, record.pc)
+
+    def _check_write(
+        self, index: int, record: TraceRecord, clock: VectorClock, cell: int
+    ) -> None:
+        tid = record.tid
+        write = self._write_epoch.get(cell)
+        if write is not None:
+            wtid, wclk, windex, wpc = write
+            if wtid != tid and not covers(clock, wtid, wclk):
+                self._report(
+                    cell, "write-write", (windex, wtid, wpc, True), index, record, True
+                )
+        reads = self._read_epochs.get(cell)
+        if reads:
+            for rtid, (rclk, rindex, rpc) in reads.items():
+                if rtid != tid and not covers(clock, rtid, rclk):
+                    self._report(
+                        cell, "read-write", (rindex, rtid, rpc, False), index, record, True
+                    )
+            reads.clear()
+        self._write_epoch[cell] = (tid, clock[tid], index, record.pc)
+
+    def _report(
+        self,
+        cell: int,
+        kind: str,
+        prior: Tuple[int, int, int, bool],
+        index: int,
+        record: TraceRecord,
+        current_is_write: bool,
+    ) -> None:
+        pindex, ptid, ppc, pwrite = prior
+        key = (cell, kind, ppc, record.pc)
+        if key in self._reported or len(self.report.races) >= self.max_races:
+            return
+        self._reported.add(key)
+        symbols = self.store.symbols
+        prior_record = self.store[pindex]
+        name = self.cell_names(cell) if self.cell_names else None
+        self.report.races.append(
+            Race(
+                cell=cell,
+                cell_name=name,
+                kind=kind,
+                prior=Access(
+                    index=pindex,
+                    tid=ptid,
+                    pc=ppc,
+                    fn=symbols.name(prior_record.fn),
+                    is_write=pwrite,
+                ),
+                current=Access(
+                    index=index,
+                    tid=record.tid,
+                    pc=record.pc,
+                    fn=symbols.name(record.fn),
+                    is_write=current_is_write,
+                ),
+            )
+        )
+        self.report.racy_cells.add(cell)
+
+
+def detect_races(
+    store: TraceStore,
+    cell_names: Optional[CellNamer] = None,
+    max_races: int = 1000,
+) -> RaceReport:
+    """Replay ``store`` and return its :class:`RaceReport`."""
+    return RaceDetector(store, cell_names=cell_names, max_races=max_races).run()

@@ -1,0 +1,508 @@
+"""Static lock-order analysis over the engine's lock acquisition sites.
+
+Acquisition sites are ``with <expr>.held():`` statements where the context
+expression resolves to a :class:`~repro.machine.tracer.TracedLock`.  Three
+resolution strategies cover the engine's idioms:
+
+* inline ``ctx.lock("literal").held()`` — the name is the literal; f-string
+  names canonicalize each formatted field to ``*`` (a lock *family*, e.g.
+  ``sched:lock:queue:*``);
+* local aliases — ``pending_lock = self.ctx.lock("...")`` earlier in the
+  function (including enclosing functions for closures);
+* lock factories — helper methods whose return expression is a
+  ``.lock(...)`` call (``Scheduler._queue_lock``).
+
+The analysis tracks the set of locks statically held at each site (nested
+``with`` blocks), records direct ordering edges, and closes them
+interprocedurally: a call executed under held locks contributes edges to
+every lock the callee may (transitively) acquire.  Call targets resolve by
+bare method name — conservative, but ``self.method()`` binds to the
+enclosing class when possible and a function never resolves to itself
+through a non-``self`` receiver, which avoids spurious self-cycles from
+name collisions across classes.
+
+The resulting graph is checked for cycles (potential deadlocks) and
+inversion pairs, and can be cross-referenced against the orders actually
+observed in a trace (:func:`observed_orders`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..trace.records import SYNC_ACQUIRE, SYNC_RELEASE, sync_event_of
+from ..trace.store import TraceStore
+from .detector import CellNamer
+
+#: default analysis root: the simulated engine package.
+ENGINE_ROOT = Path(__file__).resolve().parents[1] / "browser"
+
+
+@dataclass(frozen=True)
+class AcquisitionSite:
+    """One static ``with <lock>.held():`` occurrence."""
+
+    lock: str
+    file: str
+    line: int
+    function: str
+    held: Tuple[str, ...]
+
+
+@dataclass
+class LockOrderGraph:
+    """Directed graph: edge a->b means b is acquired while a is held."""
+
+    locks: Set[str] = field(default_factory=set)
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    #: (held, acquired) -> witnessing sites ("file:line in function")
+    witnesses: Dict[Tuple[str, str], List[str]] = field(default_factory=dict)
+    sites: List[AcquisitionSite] = field(default_factory=list)
+    #: ``.held()`` sites whose lock name could not be resolved
+    unresolved: List[str] = field(default_factory=list)
+
+    def add_edge(self, held: str, acquired: str, witness: str) -> None:
+        self.locks.add(held)
+        self.locks.add(acquired)
+        self.edges.setdefault(held, set()).add(acquired)
+        where = self.witnesses.setdefault((held, acquired), [])
+        if witness not in where:
+            where.append(witness)
+
+    def cycles(self) -> List[List[str]]:
+        """Elementary cycles found by DFS (self-loops included)."""
+        found: List[List[str]] = []
+        seen_keys: Set[Tuple[str, ...]] = set()
+
+        def dfs(node: str, path: List[str], on_path: Set[str]) -> None:
+            for succ in sorted(self.edges.get(node, ())):
+                if succ in on_path:
+                    cycle = path[path.index(succ):] + [succ]
+                    key = tuple(sorted(cycle[:-1]))
+                    if key not in seen_keys:
+                        seen_keys.add(key)
+                        found.append(cycle)
+                    continue
+                on_path.add(succ)
+                dfs(succ, path + [succ], on_path)
+                on_path.discard(succ)
+
+        for start in sorted(self.locks):
+            dfs(start, [start], {start})
+        return found
+
+    def inversions(self) -> List[Tuple[str, str]]:
+        """Unordered pairs acquired in both orders somewhere."""
+        pairs: List[Tuple[str, str]] = []
+        for a in sorted(self.edges):
+            for b in sorted(self.edges[a]):
+                if a < b and a in self.edges.get(b, set()):
+                    pairs.append((a, b))
+        return pairs
+
+    def to_json(self) -> dict:
+        return {
+            "locks": sorted(self.locks),
+            "edges": {a: sorted(bs) for a, bs in sorted(self.edges.items())},
+            "n_sites": len(self.sites),
+            "unresolved_sites": list(self.unresolved),
+            "cycles": self.cycles(),
+            "inversions": [list(pair) for pair in self.inversions()],
+        }
+
+
+# ---------------------------------------------------------------------- #
+# Lock-name resolution                                                   #
+# ---------------------------------------------------------------------- #
+
+
+def _literal_lock_name(node: ast.expr) -> Optional[str]:
+    """Name from the argument of a ``.lock(...)`` call."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts: List[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append(value.value)
+            else:
+                parts.append("*")
+        return "".join(parts)
+    return None
+
+
+def _lock_call_name(node: ast.expr) -> Optional[str]:
+    """Resolve ``<expr>.lock(<name>)`` to a canonical lock name."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "lock"
+        and len(node.args) == 1
+    ):
+        return _literal_lock_name(node.args[0])
+    return None
+
+
+def _call_bare_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _receiver_is_self(node: ast.Call) -> bool:
+    return (
+        isinstance(node.func, ast.Attribute)
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "self"
+    )
+
+
+@dataclass
+class _FunctionFacts:
+    """Per-definition facts gathered in the AST pass."""
+
+    qualname: str
+    bare_name: str
+    class_name: Optional[str]
+    file: str
+    #: locks acquired directly anywhere in the body
+    direct_locks: Set[str] = field(default_factory=set)
+    #: (held-set, callee bare name, receiver-is-self, line) for every call
+    calls: List[Tuple[Tuple[str, ...], str, bool, int]] = field(default_factory=list)
+
+
+class _ModuleScanner:
+    """Scans one module; shares factory/lock tables across modules."""
+
+    def __init__(
+        self,
+        rel: str,
+        factories: Dict[str, str],
+        graph: LockOrderGraph,
+        functions: List[_FunctionFacts],
+    ) -> None:
+        self.rel = rel
+        self.factories = factories
+        self.graph = graph
+        self.functions = functions
+
+    def scan(self, tree: ast.Module) -> None:
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._scan_function(item, node.name, {})
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_function(node, None, {})
+
+    # -------------------------------------------------------------- #
+
+    def _resolve_held_expr(
+        self, node: ast.expr, aliases: Dict[str, str]
+    ) -> Optional[str]:
+        """Lock name of a with-item context expression, if it is a
+        ``.held()`` call; None for non-lock with statements."""
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "held"
+        ):
+            return None
+        inner = node.func.value
+        direct = _lock_call_name(inner)
+        if direct is not None:
+            return direct
+        if isinstance(inner, ast.Name):
+            return aliases.get(inner.id, "")
+        if isinstance(inner, ast.Call):
+            callee = _call_bare_name(inner)
+            if callee is not None and callee in self.factories:
+                return self.factories[callee]
+        return ""
+
+    def _scan_function(
+        self,
+        node,
+        class_name: Optional[str],
+        outer_aliases: Dict[str, str],
+        qual_prefix: str = "",
+    ) -> None:
+        qualname = f"{qual_prefix}{class_name + '.' if class_name else ''}{node.name}"
+        facts = _FunctionFacts(
+            qualname=qualname,
+            bare_name=node.name,
+            class_name=class_name,
+            file=self.rel,
+        )
+        self.functions.append(facts)
+        aliases = dict(outer_aliases)
+        self._scan_body(node.body, (), aliases, facts, class_name, qualname)
+
+    def _scan_body(
+        self,
+        stmts: Sequence[ast.stmt],
+        held: Tuple[str, ...],
+        aliases: Dict[str, str],
+        facts: _FunctionFacts,
+        class_name: Optional[str],
+        qualname: str,
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Closures run later, not under the locks held at their
+                # definition site; analyze them as their own functions
+                # (inheriting the enclosing alias scope).
+                self._scan_function(
+                    stmt, class_name, aliases, qual_prefix=f"{qualname}."
+                )
+                continue
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                lock_name = _lock_call_name(stmt.value)
+                if isinstance(target, ast.Name) and lock_name is not None:
+                    aliases[target.id] = lock_name
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner_held = held
+                for item in stmt.items:
+                    resolved = self._resolve_held_expr(item.context_expr, aliases)
+                    if resolved is None:
+                        self._record_calls(item.context_expr, inner_held, facts)
+                        continue
+                    if not resolved:
+                        self.graph.unresolved.append(
+                            f"{self.rel}:{item.context_expr.lineno} in {qualname}"
+                        )
+                        continue
+                    site = AcquisitionSite(
+                        lock=resolved,
+                        file=self.rel,
+                        line=item.context_expr.lineno,
+                        function=qualname,
+                        held=inner_held,
+                    )
+                    self.graph.sites.append(site)
+                    self.graph.locks.add(resolved)
+                    facts.direct_locks.add(resolved)
+                    witness = f"{self.rel}:{site.line} in {qualname}"
+                    for h in inner_held:
+                        self.graph.add_edge(h, resolved, witness)
+                    inner_held = inner_held + (resolved,)
+                self._scan_body(
+                    stmt.body, inner_held, aliases, facts, class_name, qualname
+                )
+                continue
+            # Recurse into compound statements, keeping the held set.
+            for body_field in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, body_field, None)
+                if inner:
+                    self._scan_body(
+                        inner, held, aliases, facts, class_name, qualname
+                    )
+            for handler in getattr(stmt, "handlers", ()):
+                self._scan_body(
+                    handler.body, held, aliases, facts, class_name, qualname
+                )
+            if not isinstance(stmt, (ast.If, ast.For, ast.While, ast.Try)):
+                self._record_calls(stmt, held, facts)
+            else:
+                # Condition/iterable expressions of compound statements.
+                for expr_field in ("test", "iter"):
+                    expr = getattr(stmt, expr_field, None)
+                    if expr is not None:
+                        self._record_calls(expr, held, facts)
+
+    def _record_calls(
+        self, node: ast.AST, held: Tuple[str, ...], facts: _FunctionFacts
+    ) -> None:
+        for call in ast.walk(node):
+            if isinstance(call, ast.Call):
+                name = _call_bare_name(call)
+                if name is not None:
+                    facts.calls.append(
+                        (held, name, _receiver_is_self(call), call.lineno)
+                    )
+
+
+# ---------------------------------------------------------------------- #
+# Interprocedural closure                                                 #
+# ---------------------------------------------------------------------- #
+
+
+def _collect_factories(trees: Dict[str, ast.Module]) -> Dict[str, str]:
+    """Functions whose return expression is a ``.lock(...)`` call."""
+    factories: Dict[str, str] = {}
+    for tree in trees.values():
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Return) and stmt.value is not None:
+                    name = _lock_call_name(stmt.value)
+                    if name is not None:
+                        factories[node.name] = name
+    return factories
+
+
+def analyze_lock_order(root: Optional[Path] = None) -> LockOrderGraph:
+    """Run the full static analysis over ``root`` (the engine package)."""
+    root = root if root is not None else ENGINE_ROOT
+    graph = LockOrderGraph()
+    functions: List[_FunctionFacts] = []
+    trees: Dict[str, ast.Module] = {}
+    for path in sorted(root.rglob("*.py")):
+        rel = str(path.relative_to(root.parent))
+        trees[rel] = ast.parse(path.read_text(), filename=rel)
+    # Pass 0: lock factories need global visibility before site resolution.
+    factories = _collect_factories(trees)
+    for rel, tree in trees.items():
+        _ModuleScanner(rel, factories, graph, functions).scan(tree)
+
+    by_bare: Dict[str, List[_FunctionFacts]] = {}
+    by_class_method: Dict[Tuple[str, str], List[_FunctionFacts]] = {}
+    for facts in functions:
+        by_bare.setdefault(facts.bare_name, []).append(facts)
+        if facts.class_name is not None:
+            by_class_method.setdefault(
+                (facts.class_name, facts.bare_name), []
+            ).append(facts)
+
+    def callees(facts: _FunctionFacts, name: str, is_self: bool) -> List[_FunctionFacts]:
+        if is_self and facts.class_name is not None:
+            bound = by_class_method.get((facts.class_name, name))
+            if bound:
+                return bound
+        # A method never resolves to itself through a foreign receiver —
+        # this is what keeps e.g. CompositorHost.invalidate calling
+        # layer.invalidate() from fabricating a tree->tree self-cycle.
+        return [f for f in by_bare.get(name, ()) if f is not facts]
+
+    # Fixpoint: may-acquire sets close over the call graph.
+    may_acquire: Dict[str, Set[str]] = {
+        facts.qualname: set(facts.direct_locks) for facts in functions
+    }
+    changed = True
+    while changed:
+        changed = False
+        for facts in functions:
+            acquired = may_acquire[facts.qualname]
+            before = len(acquired)
+            for _held, name, is_self, _line in facts.calls:
+                for callee in callees(facts, name, is_self):
+                    acquired |= may_acquire[callee.qualname]
+            if len(acquired) != before:
+                changed = True
+
+    # Interprocedural edges: calls under held locks pull in everything the
+    # callee may acquire.
+    for facts in functions:
+        for held, name, is_self, line in facts.calls:
+            if not held:
+                continue
+            for callee in callees(facts, name, is_self):
+                for lock in may_acquire[callee.qualname]:
+                    witness = (
+                        f"{facts.file}:{line} in {facts.qualname} "
+                        f"-> {callee.qualname}"
+                    )
+                    for h in held:
+                        graph.add_edge(h, lock, witness)
+    return graph
+
+
+# ---------------------------------------------------------------------- #
+# Dynamic observed orders                                                 #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class ObservedOrders:
+    """Lock orders actually exercised by one trace."""
+
+    #: (held name, acquired name) -> occurrence count
+    edges: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    locks: Set[str] = field(default_factory=set)
+    acquires: int = 0
+    releases: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "locks": sorted(self.locks),
+            "acquires": self.acquires,
+            "releases": self.releases,
+            "edges": [
+                {"held": a, "acquired": b, "count": n}
+                for (a, b), n in sorted(self.edges.items())
+            ],
+        }
+
+
+def observed_orders(
+    store: TraceStore, cell_names: Optional[CellNamer] = None
+) -> ObservedOrders:
+    """Replay lock events in ``store``; collect held->acquired pairs."""
+    observed = ObservedOrders()
+    held: Dict[int, List[int]] = {}
+    names: Dict[int, str] = {}
+
+    def name_of(cell: int) -> str:
+        name = names.get(cell)
+        if name is None:
+            resolved = cell_names(cell) if cell_names else None
+            name = resolved if resolved else f"cell:{cell:#x}"
+            names[cell] = name
+        return name
+
+    for index, record in enumerate(store.forward()):
+        event = sync_event_of(index, record)
+        if event is None or event.kind != "lock":
+            continue
+        stack = held.setdefault(event.tid, [])
+        if event.op == SYNC_ACQUIRE:
+            observed.acquires += 1
+            observed.locks.add(name_of(event.obj))
+            for h in stack:
+                key = (name_of(h), name_of(event.obj))
+                observed.edges[key] = observed.edges.get(key, 0) + 1
+            stack.append(event.obj)
+        elif event.op == SYNC_RELEASE:
+            observed.releases += 1
+            if event.obj in stack:
+                stack.remove(event.obj)
+    return observed
+
+
+def cross_reference(
+    graph: LockOrderGraph, observed: ObservedOrders
+) -> Dict[str, List]:
+    """Compare observed orders against the static graph.
+
+    Static lock names may be families (``sched:lock:queue:*``), so matching
+    is by ``fnmatch`` pattern.  Returns the observed edges the static pass
+    did not predict (should be empty: the static analysis over-approximates)
+    and the static edges never exercised dynamically.
+    """
+    static_edges = [
+        (a, b) for a, succs in graph.edges.items() for b in succs
+    ]
+
+    def predicted(a: str, b: str) -> bool:
+        return any(fnmatch(a, p) and fnmatch(b, q) for p, q in static_edges)
+
+    unpredicted = sorted(
+        [a, b] for (a, b) in observed.edges if not predicted(a, b)
+    )
+    exercised: Set[Tuple[str, str]] = set()
+    for (a, b) in observed.edges:
+        for p, q in static_edges:
+            if fnmatch(a, p) and fnmatch(b, q):
+                exercised.add((p, q))
+    unexercised = sorted(
+        [p, q] for (p, q) in static_edges if (p, q) not in exercised
+    )
+    return {"unpredicted_observed": unpredicted, "unexercised_static": unexercised}

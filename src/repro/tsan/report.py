@@ -1,0 +1,254 @@
+"""The concurrency-sanitizer report: workload races, recall, lock order.
+
+Three sections, matching the acceptance criteria of the sanitizer:
+
+* the four paper workloads replayed through the race detector (expected
+  race-free), with per-thread sync-edge counts folded into the thread
+  breakdown;
+* fuzz recall — deliberately injected unsynchronized access pairs in
+  otherwise well-synchronized random traces, measured the same way
+  ``jsstatic/compare.py`` measures recall against dynamic ground truth —
+  plus the false-positive check on clean sync traces;
+* the static lock-order graph, its cycles/inversions, and the
+  cross-reference against the orders each workload actually exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..workloads.fuzz import random_sync_trace
+from .detector import RaceReport, cell_namer, detect_races
+from .lockorder import (
+    LockOrderGraph,
+    ObservedOrders,
+    analyze_lock_order,
+    cross_reference,
+    observed_orders,
+)
+
+#: the paper's four workloads (Section II benchmarks).
+PAPER_WORKLOADS = ("wiki_article", "amazon_desktop", "bing", "google_maps")
+
+#: fuzz-recall defaults: seeds x injections per seed.
+RECALL_SEEDS = tuple(range(12))
+RECALL_INJECTIONS = 5
+CLEAN_SEEDS = tuple(range(12, 20))
+
+
+@dataclass
+class WorkloadRaceResult:
+    """Race detection + observed lock orders for one workload."""
+
+    name: str
+    report: RaceReport
+    observed: ObservedOrders
+    thread_names: Dict[int, str]
+    instructions: Dict[int, int]
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "race_free": self.report.ok,
+            "n_races": len(self.report.races),
+            "n_records": self.report.n_records,
+            "n_threads": self.report.n_threads,
+            "n_sync_objects": self.report.n_sync_objects,
+            "sync_events": self.report.to_json()["sync_events"],
+            "observed_lock_orders": self.observed.to_json(),
+        }
+
+
+@dataclass
+class FuzzRecallResult:
+    """Ground-truth detection rates over the sync fuzz traces."""
+
+    injected: int = 0
+    detected: int = 0
+    clean_traces: int = 0
+    clean_with_false_positives: int = 0
+    per_seed: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def recall(self) -> float:
+        return self.detected / self.injected if self.injected else 1.0
+
+    def to_json(self) -> dict:
+        return {
+            "injected": self.injected,
+            "detected": self.detected,
+            "recall": self.recall,
+            "clean_traces": self.clean_traces,
+            "clean_with_false_positives": self.clean_with_false_positives,
+            "per_seed": [
+                {"seed": seed, "injected": inj, "detected": det}
+                for seed, inj, det in self.per_seed
+            ],
+        }
+
+
+def run_workload(name: str) -> WorkloadRaceResult:
+    """Race-check one registered workload (cached engine run)."""
+    from ..harness.experiments import cached_run
+
+    result = cached_run(name)
+    namer = cell_namer(result.engine.ctx.memory)
+    return WorkloadRaceResult(
+        name=name,
+        report=detect_races(result.store, cell_names=namer),
+        observed=observed_orders(result.store, cell_names=namer),
+        thread_names=dict(result.store.metadata.thread_names),
+        instructions=result.store.instructions_per_thread(),
+    )
+
+
+def measure_recall(
+    seeds: Sequence[int] = RECALL_SEEDS,
+    injections: int = RECALL_INJECTIONS,
+    clean_seeds: Sequence[int] = CLEAN_SEEDS,
+    target_records: int = 2_500,
+) -> FuzzRecallResult:
+    """Detection rate on injected races; false positives on clean traces."""
+    result = FuzzRecallResult()
+    for seed in seeds:
+        store, injected = random_sync_trace(
+            seed, target_records=target_records, inject_races=injections
+        )
+        report = detect_races(store)
+        detected = sum(1 for d in injected if d.cell in report.racy_cells)
+        result.injected += len(injected)
+        result.detected += detected
+        result.per_seed.append((seed, len(injected), detected))
+    for seed in clean_seeds:
+        store, injected = random_sync_trace(seed, target_records=target_records)
+        assert not injected
+        result.clean_traces += 1
+        if not detect_races(store).ok:
+            result.clean_with_false_positives += 1
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# Rendering                                                               #
+# ---------------------------------------------------------------------- #
+
+
+def _thread_label(result: WorkloadRaceResult, tid: int) -> str:
+    return result.thread_names.get(tid, f"tid{tid}")
+
+
+def workload_table(results: Sequence[WorkloadRaceResult]) -> str:
+    lines = [
+        "Race detection over the paper workloads",
+        "=" * 71,
+        f"{'workload':<18} {'records':>9} {'threads':>7} "
+        f"{'sync events':>11} {'races':>6}  verdict",
+        "-" * 71,
+    ]
+    for result in results:
+        verdict = "race-free" if result.report.ok else "RACES FOUND"
+        lines.append(
+            f"{result.name:<18} {result.report.n_records:>9} "
+            f"{result.report.n_threads:>7} "
+            f"{result.report.sync_event_total():>11} "
+            f"{len(result.report.races):>6}  {verdict}"
+        )
+    return "\n".join(lines)
+
+
+def sync_breakdown(result: WorkloadRaceResult) -> str:
+    """Per-thread sync-edge counts next to the instruction breakdown."""
+    lines = [
+        f"Per-thread sync edges: {result.name}",
+        "-" * 66,
+        f"{'thread':<28} {'instructions':>12} {'sync events':>11}  kinds",
+    ]
+    for tid in sorted(result.instructions):
+        kinds = result.report.sync_events.get(tid, {})
+        kinds_text = (
+            " ".join(f"{k}={v}" for k, v in sorted(kinds.items())) or "-"
+        )
+        lines.append(
+            f"{_thread_label(result, tid):<28} "
+            f"{result.instructions.get(tid, 0):>12} "
+            f"{result.report.sync_event_total(tid):>11}  {kinds_text}"
+        )
+    return "\n".join(lines)
+
+
+def recall_table(recall: FuzzRecallResult) -> str:
+    lines = [
+        "Fuzz-injected race recall",
+        "=" * 46,
+        f"injected pairs : {recall.injected}",
+        f"detected       : {recall.detected}",
+        f"recall         : {recall.recall:.3f}",
+        f"clean traces   : {recall.clean_traces} "
+        f"({recall.clean_with_false_positives} with false positives)",
+    ]
+    return "\n".join(lines)
+
+
+def lock_order_section(
+    graph: LockOrderGraph, results: Sequence[WorkloadRaceResult]
+) -> str:
+    lines = [
+        "Static lock-order analysis",
+        "=" * 60,
+        f"locks: {len(graph.locks)}  acquisition sites: {len(graph.sites)}  "
+        f"unresolved: {len(graph.unresolved)}",
+    ]
+    for a in sorted(graph.edges):
+        for b in sorted(graph.edges[a]):
+            lines.append(f"  {a} -> {b}")
+    cycles = graph.cycles()
+    inversions = graph.inversions()
+    lines.append(
+        f"cycles: {len(cycles)}  inversion pairs: {len(inversions)}"
+    )
+    for cycle in cycles:
+        lines.append("  CYCLE: " + " -> ".join(cycle))
+    for a, b in inversions:
+        lines.append(f"  INVERSION: {a} <-> {b}")
+    for result in results:
+        xref = cross_reference(graph, result.observed)
+        lines.append(
+            f"{result.name}: observed {len(result.observed.edges)} distinct "
+            f"orders over {result.observed.acquires} acquires; "
+            f"unpredicted={len(xref['unpredicted_observed'])} "
+            f"unexercised={len(xref['unexercised_static'])}"
+        )
+        for a, b in xref["unpredicted_observed"]:
+            lines.append(f"  UNPREDICTED: {a} -> {b}")
+    return "\n".join(lines)
+
+
+def full_report(
+    workloads: Sequence[str] = PAPER_WORKLOADS,
+    include_recall: bool = True,
+) -> Tuple[str, dict]:
+    """Build the complete report; returns (text, json-ready dict)."""
+    results = [run_workload(name) for name in workloads]
+    graph = analyze_lock_order()
+    sections = [workload_table(results), ""]
+    for result in results:
+        sections.append(sync_breakdown(result))
+        sections.append("")
+    recall: Optional[FuzzRecallResult] = None
+    if include_recall:
+        recall = measure_recall()
+        sections.append(recall_table(recall))
+        sections.append("")
+    sections.append(lock_order_section(graph, results))
+    data = {
+        "workloads": [result.to_json() for result in results],
+        "lock_order": graph.to_json(),
+        "cross_reference": {
+            result.name: cross_reference(graph, result.observed)
+            for result in results
+        },
+    }
+    if recall is not None:
+        data["fuzz_recall"] = recall.to_json()
+    return "\n".join(sections), data

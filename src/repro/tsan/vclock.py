@@ -1,0 +1,31 @@
+"""Vector clocks for happens-before tracking.
+
+Clocks are sparse dicts mapping thread id to a logical timestamp.  A
+thread's own component counts its release operations (FastTrack-style
+epochs): it is incremented after each release so that accesses performed
+*after* publishing are not covered by the published clock.  An absent
+component reads as zero, which is never ordered after any real timestamp.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+VectorClock = Dict[int, int]
+
+
+def fresh(tid: int) -> VectorClock:
+    """Initial clock of a thread: its own component starts at 1."""
+    return {tid: 1}
+
+
+def join_into(target: VectorClock, other: VectorClock) -> None:
+    """In-place component-wise maximum (``target |_| other``)."""
+    for tid, clk in other.items():
+        if clk > target.get(tid, 0):
+            target[tid] = clk
+
+
+def covers(clock: VectorClock, tid: int, clk: int) -> bool:
+    """Does ``clock`` order the epoch ``(tid, clk)`` before the present?"""
+    return clk <= clock.get(tid, 0)

@@ -20,7 +20,8 @@ exactly.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..browser import EngineConfig, PageSpec, UserAction
 from ..machine.registers import NUM_REGISTERS
@@ -158,6 +159,180 @@ def random_trace(
             tracer.ret()
             depth[tid] -= 1
     return tracer.store
+
+
+@dataclass(frozen=True)
+class InjectedRace:
+    """Ground truth for one deliberately unsynchronized access pair."""
+
+    cell: int
+    first_index: int
+    second_index: int
+    first_tid: int
+    second_tid: int
+
+
+def random_sync_trace(
+    seed: int,
+    target_records: int = 2_500,
+    n_threads: int = 4,
+    n_locks: int = 3,
+    inject_races: int = 0,
+) -> Tuple[TraceStore, List[InjectedRace]]:
+    """A *well-synchronized* random trace, with optional injected races.
+
+    Unlike :func:`random_trace` (whose threads deliberately share cells
+    without any ordering — dense dependences for the slicer differential
+    tests), every cross-thread access here is ordered by a sync edge:
+
+    * each thread owns a private cell pool nobody else touches;
+    * shared cells are partitioned into lock-guarded groups, only ever
+      accessed inside ``lock:acquire``/``lock:release`` sections;
+    * message-passing hand-offs write a transfer cell, release a sync
+      token, and the consumer acquires the token before reading.
+
+    With ``inject_races=0`` the trace is race-free by construction (the
+    detector's false-positive check).  Each injection performs one
+    conflicting cross-thread pair on a lock-guarded cell *without* taking
+    the lock, separated by a small burst of ordinary activity; the
+    returned descriptors are the ground truth for measuring recall.  An
+    injection can still be masked by an incidental release/acquire chain
+    between its two halves, so measured recall is honest rather than 1.0
+    by definition.
+    """
+    rng = random.Random(seed ^ 0x5CAB)
+    tracer = Tracer()
+    tids = list(range(1, n_threads + 1))
+    tracer.spawn_thread(1, "CrRendererMain", "main_loop")
+    for tid in tids[1:]:
+        tracer.spawn_thread(tid, f"Worker{tid}", f"worker_loop_{tid}")
+
+    private = {tid: [0x2000 + tid * 0x100 + i for i in range(8)] for tid in tids}
+    lock_cells = [0x9000 + j for j in range(n_locks)]
+    guarded = {j: [0x4000 + j * 0x10 + i for i in range(4)] for j in range(n_locks)}
+    tokens = [0xA000 + j for j in range(n_threads)]
+    depth = {tid: 0 for tid in tids}
+
+    # Boot: every thread seeds its private pool; the main thread seeds the
+    # guarded groups under their locks.
+    for tid in tids:
+        tracer.switch(tid)
+        tracer.op("boot", writes=tuple(private[tid]))
+    tracer.switch(1)
+    for j in range(n_locks):
+        tracer.lock_acquire(lock_cells[j])
+        tracer.op(f"init_group{j}", writes=tuple(guarded[j]))
+        tracer.lock_release(lock_cells[j])
+
+    def private_block(tid: int) -> None:
+        pool = private[tid]
+        for _ in range(rng.randint(1, 4)):
+            roll = rng.random()
+            if roll < 0.55:
+                tracer.op(
+                    f"p{rng.randrange(8)}",
+                    reads=tuple(rng.sample(pool, k=rng.randint(0, 2))),
+                    writes=tuple(rng.sample(pool, k=rng.randint(1, 2))),
+                )
+            elif roll < 0.75:
+                tracer.compare_and_branch(
+                    f"b{rng.randrange(6)}", tuple(rng.sample(pool, k=1))
+                )
+            elif roll < 0.85 and depth[tid] < 4:
+                tracer.call(f"fn_{rng.randrange(8)}", site=f"c{rng.randrange(4)}")
+                depth[tid] += 1
+            elif roll < 0.92 and depth[tid] > 0:
+                tracer.ret()
+                depth[tid] -= 1
+            else:
+                tracer.syscall(
+                    rng.choice(_SYSCALL_NAMES),
+                    reads=tuple(rng.sample(pool, k=1)),
+                    writes=tuple(rng.sample(pool, k=1)),
+                )
+
+    def critical_section(tid: int) -> None:
+        j = rng.randrange(n_locks)
+        tracer.lock_acquire(lock_cells[j])
+        for _ in range(rng.randint(1, 3)):
+            cell = rng.choice(guarded[j])
+            tracer.op(f"cs{rng.randrange(8)}", reads=(cell,), writes=(cell,))
+        tracer.lock_release(lock_cells[j])
+
+    transfer_counter = [0]
+
+    def hand_off(producer: int) -> None:
+        consumer = rng.choice([t for t in tids if t != producer])
+        token = tokens[producer - 1]
+        # Fresh cell per hand-off: reusing one would need an ack edge back
+        # to the producer before its next write (write-after-read).
+        transfer = 0x6000 + transfer_counter[0]
+        transfer_counter[0] += 1
+        tracer.switch(producer)
+        tracer.op("produce", writes=(transfer,))
+        tracer.sync_release(token)
+        tracer.switch(consumer)
+        tracer.sync_acquire(token)
+        tracer.op("consume", reads=(transfer,), writes=(transfer,))
+
+    def activity_block() -> None:
+        tid = rng.choice(tids)
+        tracer.switch(tid)
+        roll = rng.random()
+        if roll < 0.60:
+            private_block(tid)
+        elif roll < 0.90:
+            critical_section(tid)
+        else:
+            hand_off(tid)
+
+    injected: List[InjectedRace] = []
+    inject_at = sorted(
+        rng.sample(range(10, max(11, target_records - 50)), k=inject_races)
+    )
+
+    def inject() -> None:
+        j = rng.randrange(n_locks)
+        cell = rng.choice(guarded[j])
+        first, second = rng.sample(tids, k=2)
+        tracer.switch(first)
+        first_index = tracer.op("racy_write", writes=(cell,))
+        # A short burst of unrelated activity keeps the pair apart; an
+        # unlucky burst can legitimately mask the race via an incidental
+        # release/acquire chain involving both threads.
+        for _ in range(rng.randint(0, 2)):
+            activity_block()
+        tracer.switch(second)
+        if rng.random() < 0.5:
+            second_index = tracer.op("racy_read", reads=(cell,))
+        else:
+            second_index = tracer.op("racy_write2", writes=(cell,))
+        injected.append(
+            InjectedRace(
+                cell=cell,
+                first_index=first_index,
+                second_index=second_index,
+                first_tid=first,
+                second_tid=second,
+            )
+        )
+
+    while len(tracer.store) < target_records:
+        if inject_at and len(tracer.store) >= inject_at[0]:
+            inject_at.pop(0)
+            inject()
+        else:
+            activity_block()
+    while inject_at:
+        inject_at.pop(0)
+        inject()
+
+    for tid in tids:
+        tracer.switch(tid)
+        while depth[tid] > 0:
+            tracer.ret()
+            depth[tid] -= 1
+    return tracer.store, injected
 
 
 def random_page(seed: int, n_actions: Optional[int] = None) -> Benchmark:

@@ -83,6 +83,64 @@ def test_scheduler_executes_on_target_thread():
     assert seen == [IO_THREAD]
 
 
+def test_promote_delayed_preserves_post_order_per_tid():
+    # Equal ready times must not reorder: the seq counter breaks ties in
+    # post order when _promote_delayed sorts the delayed heap.
+    ctx = make_ctx()
+    sched = Scheduler(ctx)
+    order = []
+    for tag in ("a", "b", "c"):
+        sched.post_delayed(MAIN_THREAD, tag, lambda t=tag: order.append(t), 50.0)
+    sched.run_until_idle()
+    assert order == ["a", "b", "c"]
+
+
+def test_promote_delayed_interleaves_by_ready_time():
+    ctx = make_ctx()
+    sched = Scheduler(ctx)
+    order = []
+    sched.post_delayed(MAIN_THREAD, "late", lambda: order.append("late"), 200.0)
+    sched.post_delayed(MAIN_THREAD, "early", lambda: order.append("early"), 10.0)
+    sched.run_until_idle()
+    assert order == ["early", "late"]
+
+
+def test_wake_writes_attributed_to_posting_thread():
+    ctx = make_ctx()
+    sched = Scheduler(ctx)
+    ctx.tracer.switch(MAIN_THREAD)
+    sched.post(IO_THREAD, "x", lambda: None)
+    signal_records = [
+        r for r in ctx.tracer.store.forward()
+        if ctx.tracer.symbols.name(r.fn).endswith("WaitableEvent::Signal")
+    ]
+    assert signal_records, "cross-thread post must signal the target"
+    # The poster performs the wake; nothing here runs on the woken thread.
+    assert all(r.tid == MAIN_THREAD for r in signal_records)
+
+
+def test_post_brackets_the_wake_in_the_queue_lock():
+    from repro.trace.records import sync_event_of
+
+    ctx = make_ctx()
+    sched = Scheduler(ctx)
+    ctx.tracer.switch(MAIN_THREAD)
+    sched.post(IO_THREAD, "x", lambda: None)
+    store = ctx.tracer.store
+    lock_events = [
+        e
+        for i, r in enumerate(store.forward())
+        if (e := sync_event_of(i, r)) is not None and e.kind == "lock"
+    ]
+    assert [e.op for e in lock_events] == ["acquire", "release"]
+    assert all(e.tid == MAIN_THREAD for e in lock_events)
+    futex_at = next(
+        i for i, r in enumerate(store.forward())
+        if r.kind == InstrKind.SYSCALL and r.syscall == 202
+    )
+    assert lock_events[0].index < futex_at < lock_events[1].index
+
+
 def test_run_until_idle_task_cap():
     ctx = make_ctx()
     sched = Scheduler(ctx)
@@ -190,3 +248,79 @@ def test_ipc_receive_returns_payload_cells():
         if r.kind == InstrKind.SYSCALL and r.syscall == 45
     ]
     assert set(cells) <= set(recvs[-1].mem_written)
+
+
+def test_ipc_round_trip_preserves_payload_dataflow():
+    # serialize -> flush: the pickle ops read the payload cells into the
+    # buffer, and the flush's sendto reads that same buffer — so the
+    # payload is connected to the wire through the trace's dataflow.
+    ctx = make_ctx()
+    channel = IPCChannel(ctx)
+    ctx.tracer.switch(MAIN_THREAD)
+    payload = tuple(ctx.memory.alloc_cell(f"p{i}") for i in range(2))
+    buffer_cell = channel.serialize("Frame", payload=payload, weight=4)
+    ctx.tracer.switch(IO_THREAD)
+    channel.flush_on_io_thread(buffer_cell)
+    store = ctx.tracer.store
+    pickled_reads = set()
+    for rec in store.forward():
+        if buffer_cell in rec.mem_written:
+            pickled_reads.update(rec.mem_read)
+    assert set(payload) <= pickled_reads
+    sends = [
+        r for r in store.forward()
+        if r.kind == InstrKind.SYSCALL and r.syscall == 44
+    ]
+    assert buffer_cell in sends[-1].mem_read
+
+
+def test_ipc_weight_accounting():
+    ctx = make_ctx()
+    channel = IPCChannel(ctx)
+    ctx.tracer.switch(MAIN_THREAD)
+    buffer_cell = channel.serialize("Metrics", weight=6)
+    pickles = [
+        r for r in ctx.tracer.store.forward()
+        if buffer_cell in r.mem_written
+        and ctx.tracer.symbols.name(r.fn) == "ipc::ChannelMojo::Send"
+    ]
+    # One header write plus exactly `weight` pickle ops.
+    assert len(pickles) == 7
+    assert channel.sent == 1
+
+
+def test_ipc_records_land_on_their_endpoint_threads():
+    ctx = make_ctx()
+    channel = IPCChannel(ctx)
+    ctx.tracer.switch(MAIN_THREAD)
+    buffer_cell = channel.serialize("Swap")
+    ctx.tracer.switch(IO_THREAD)
+    channel.flush_on_io_thread(buffer_cell)
+    channel.receive("Ack")
+    by_fn = {}
+    for rec in ctx.tracer.store.forward():
+        by_fn.setdefault(ctx.tracer.symbols.name(rec.fn), set()).add(rec.tid)
+    assert by_fn["ipc::ChannelMojo::Send"] == {MAIN_THREAD}
+    assert by_fn["ipc::ChannelMojo::WriteToPipe"] == {IO_THREAD}
+    assert by_fn["ipc::ChannelMojo::OnMessageReceived"] == {IO_THREAD}
+
+
+def test_ipc_channel_is_a_sync_object():
+    # Every serialize releases the channel, every flush/receive acquires
+    # it: the race detector sees the Mojo pipe as a release/acquire pair.
+    from repro.trace.records import sync_event_of
+
+    ctx = make_ctx()
+    channel = IPCChannel(ctx)
+    ctx.tracer.switch(MAIN_THREAD)
+    buffer_cell = channel.serialize("Swap")
+    ctx.tracer.switch(IO_THREAD)
+    channel.flush_on_io_thread(buffer_cell)
+    channel.receive("Ack")
+    events = [
+        e
+        for i, r in enumerate(ctx.tracer.store.forward())
+        if (e := sync_event_of(i, r)) is not None and e.kind == "ipc"
+    ]
+    assert [e.op for e in events] == ["release", "acquire", "acquire"]
+    assert all(e.obj == channel.sync_cell for e in events)

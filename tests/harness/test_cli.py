@@ -17,7 +17,7 @@ def test_usage_on_unknown_target(capsys):
 def test_targets_cover_every_artifact():
     assert set(_TARGETS) == {
         "table1", "table2", "fig2", "fig4", "fig5", "bing-partial", "static",
-        "all",
+        "tsan", "all",
     }
 
 

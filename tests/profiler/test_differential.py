@@ -93,10 +93,28 @@ def test_random_traces_with_process_pool(seed):
 def test_random_pages_all_engines_agree(seed):
     """Full engine-generated traces from randomized synthetic pages."""
     from repro.harness.experiments import run_engine
+    from repro.tsan.detector import detect_races
 
     bench = random_page(seed, n_actions=1)
     store = run_engine(bench, metrics_ticks=1).trace_store()
+    # Engine-generated traces must also be race-free under the concurrency
+    # sanitizer: an unsynchronized cross-thread pair would make the slice
+    # depend on interleaving, voiding the sequential/parallel comparison.
+    report = detect_races(store)
+    assert report.ok, "\n".join(r.describe() for r in report.races[:5])
     _assert_equivalent(store, seed, epoch_size=max(256, len(store) // 13))
+
+
+@pytest.mark.parametrize("seed", (3, 11))
+def test_sync_fuzz_traces_slice_identically(seed):
+    """Well-synchronized fuzz traces through all three slicers too."""
+    from repro.tsan.detector import detect_races
+    from repro.workloads.fuzz import random_sync_trace
+
+    store, injected = random_sync_trace(seed, target_records=2_000)
+    assert not injected
+    assert detect_races(store).ok
+    _assert_equivalent(store, seed, epoch_size=256)
 
 
 def test_engine_switch_on_profiler_api():

@@ -161,6 +161,124 @@ def test_unknown_tid_is_named_violation():
     assert report.counts["record-shape"] == 1
 
 
+def _locked_store(ops):
+    """A clean trace plus a scripted sequence of lock marker events."""
+    tracer = Tracer()
+    tracer.spawn_thread(1, "CrRendererMain", "main_loop")
+    tracer.op("init", writes=(0x10,))
+    for op, cell in ops:
+        if op == "acquire":
+            tracer.lock_acquire(cell)
+        else:
+            tracer.lock_release(cell)
+    return tracer.store
+
+
+def test_recursive_lock_acquire_is_named_violation():
+    store = _locked_store(
+        [("acquire", 0x900), ("acquire", 0x900), ("release", 0x900)]
+    )
+    report = lint_trace(store)
+    assert report.counts["lock-discipline"] == 1
+    assert "recursive" in str(report.errors[0])
+
+
+def test_release_of_unheld_lock_is_named_violation():
+    store = _locked_store([("release", 0x900)])
+    report = lint_trace(store)
+    assert report.counts["lock-discipline"] == 1
+    assert "not held" in str(report.errors[0])
+
+
+def test_lock_held_at_trace_end_is_named_violation():
+    store = _locked_store([("acquire", 0x900)])
+    report = lint_trace(store)
+    assert report.counts["lock-discipline"] == 1
+    assert "still held" in str(report.errors[0])
+
+
+def test_malformed_sync_marker_is_named_violation():
+    tracer = Tracer()
+    tracer.spawn_thread(1, "CrRendererMain", "main_loop")
+    tracer.marker("sync:release", (0x900, 0x901))  # two sync cells: invalid
+    report = lint_trace(tracer.store)
+    assert report.counts["lock-discipline"] == 1
+    assert "malformed" in str(report.errors[0])
+
+
+def test_sync_markers_are_exempt_from_memory_use_before_def():
+    # Sync cells are never data-written; the markers that "read" them must
+    # not trip the use-before-def heuristics.
+    store = _locked_store([("acquire", 0x900), ("release", 0x900)])
+    report = lint_trace(store)
+    assert report.counts["memory-use-before-def"] == 0
+
+
+def test_ipc_use_before_def_is_named_violation():
+    tracer = Tracer()
+    tracer.spawn_thread(3, "Chrome_ChildIOThread", "io_loop")
+    with tracer.function("ipc::ChannelMojo::OnMessageReceived"):
+        tracer.op("unpickle0", reads=(0x700,), writes=(0x700,))
+    report = lint_trace(tracer.store)
+    assert not report.ok
+    assert report.counts["ipc-use-before-def"] == 1
+    # The generic warning fires too, but only the IPC check is an error.
+    assert report.counts["memory-use-before-def"] == 1
+
+
+def test_ipc_frames_with_produced_payloads_pass():
+    from repro.browser.context import EngineContext, IO_THREAD, MAIN_THREAD
+    from repro.browser.ipc.channel import IPCChannel
+
+    ctx = EngineContext()
+    ctx.spawn_threads()
+    channel = IPCChannel(ctx)
+    ctx.tracer.switch(MAIN_THREAD)
+    buffer_cell = channel.serialize("Swap")
+    ctx.tracer.switch(IO_THREAD)
+    channel.flush_on_io_thread(buffer_cell)
+    channel.receive("Ack")
+    report = lint_trace(ctx.tracer.store)
+    assert report.counts["ipc-use-before-def"] == 0
+    assert report.counts["lock-discipline"] == 0
+
+
+def test_cli_lint_json_output(tmp_path, capsys):
+    import json
+
+    from repro.trace.__main__ import main as trace_main
+
+    path = tmp_path / "clean.ucwa"
+    save_trace(random_trace(13, target_records=800), path)
+    assert trace_main(["lint", str(path), "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["ok"] is True
+    assert data["path"] == str(path)
+    from repro.trace.lint import CHECKS
+
+    assert set(data["counts"]) == set(CHECKS)
+    assert data["issues"] == []
+
+
+def test_cli_lint_json_reports_findings_and_fails(tmp_path, capsys):
+    import json
+
+    from repro.trace.__main__ import main as trace_main
+
+    tracer = Tracer()
+    tracer.spawn_thread(1, "CrRendererMain", "main_loop")
+    tracer.op("init", writes=(0x10,))
+    tracer.lock_acquire(0x900)  # never released
+    path = tmp_path / "held.ucwa"
+    save_trace(tracer.store, path)
+    assert trace_main(["lint", str(path), "--json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["ok"] is False
+    assert data["counts"]["lock-discipline"] == 1
+    assert data["issues"][0]["check"] == "lock-discipline"
+    assert data["issues"][0]["severity"] == "error"
+
+
 def test_cli_lint_passes_on_clean_trace(tmp_path, capsys):
     from repro.trace.__main__ import main as trace_main
 

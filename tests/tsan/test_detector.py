@@ -1,0 +1,196 @@
+"""Happens-before race detector: hand-built traces, fuzz recall, workloads."""
+
+import pytest
+
+from repro.machine.tracer import Tracer
+from repro.tsan.detector import detect_races
+from repro.tsan.report import measure_recall
+from repro.tsan.vclock import covers, fresh, join_into
+from repro.workloads.fuzz import random_sync_trace, random_trace
+
+CELL = 0x100
+LOCK = 0x900
+SYNC = 0x910
+
+
+def _two_threads():
+    tracer = Tracer()
+    tracer.spawn_thread(1, "CrRendererMain", "main_loop")
+    tracer.spawn_thread(2, "Compositor", "comp_loop")
+    return tracer
+
+
+# -- vector clocks --------------------------------------------------------- #
+
+
+def test_fresh_clock_covers_only_its_own_past():
+    clock = fresh(1)
+    assert covers(clock, 1, 1)
+    assert not covers(clock, 1, 2)
+    assert not covers(clock, 2, 1)
+
+
+def test_join_takes_componentwise_max():
+    a = {1: 3, 2: 1}
+    join_into(a, {2: 5, 3: 2})
+    assert a == {1: 3, 2: 5, 3: 2}
+
+
+# -- hand-built races ------------------------------------------------------ #
+
+
+def test_unsynchronized_write_write_is_a_race():
+    tracer = _two_threads()
+    tracer.op("w1", writes=(CELL,))
+    tracer.switch(2)
+    tracer.op("w2", writes=(CELL,))
+    report = detect_races(tracer.store)
+    assert not report.ok
+    assert [race.kind for race in report.races] == ["write-write"]
+    assert report.races[0].prior.tid == 1
+    assert report.races[0].current.tid == 2
+    assert report.racy_cells == {CELL}
+
+
+def test_unsynchronized_write_read_is_a_race():
+    tracer = _two_threads()
+    tracer.op("w", writes=(CELL,))
+    tracer.switch(2)
+    tracer.op("r", reads=(CELL,))
+    report = detect_races(tracer.store)
+    assert [race.kind for race in report.races] == ["write-read"]
+
+
+def test_unsynchronized_read_write_is_a_race():
+    tracer = _two_threads()
+    tracer.op("w", writes=(CELL,))
+    tracer.sync_release(SYNC)
+    tracer.switch(2)
+    tracer.sync_acquire(SYNC)
+    tracer.op("r", reads=(CELL,))  # ordered after the write: fine
+    tracer.switch(1)
+    tracer.op("w2", writes=(CELL,))  # unordered with thread 2's read
+    report = detect_races(tracer.store)
+    assert [race.kind for race in report.races] == ["read-write"]
+
+
+def test_release_acquire_orders_the_pair():
+    tracer = _two_threads()
+    tracer.op("w1", writes=(CELL,))
+    tracer.sync_release(SYNC)
+    tracer.switch(2)
+    tracer.sync_acquire(SYNC)
+    tracer.op("w2", writes=(CELL,))
+    report = detect_races(tracer.store)
+    assert report.ok
+    assert report.n_sync_objects == 1
+    assert report.sync_events == {1: {"plain": 1}, 2: {"plain": 1}}
+
+
+def test_lock_critical_sections_are_ordered():
+    tracer = _two_threads()
+    tracer.lock_acquire(LOCK)
+    tracer.op("w1", writes=(CELL,))
+    tracer.lock_release(LOCK)
+    tracer.switch(2)
+    tracer.lock_acquire(LOCK)
+    tracer.op("w2", writes=(CELL,))
+    tracer.lock_release(LOCK)
+    report = detect_races(tracer.store)
+    assert report.ok
+    assert report.sync_events[1]["lock"] == 2
+
+
+def test_same_thread_accesses_never_race():
+    tracer = _two_threads()
+    tracer.op("w1", writes=(CELL,))
+    tracer.op("w2", writes=(CELL,))
+    tracer.op("r", reads=(CELL,))
+    assert detect_races(tracer.store).ok
+
+
+def test_non_sync_markers_are_not_accesses():
+    tracer = _two_threads()
+    tracer.op("w", writes=(CELL,))
+    tracer.switch(2)
+    tracer.marker("tile_ready", (CELL,))
+    assert detect_races(tracer.store).ok
+
+
+def test_duplicate_pc_pairs_report_once():
+    tracer = _two_threads()
+    for _ in range(5):
+        tracer.switch(1)
+        tracer.op("w1", writes=(CELL,))
+        tracer.switch(2)
+        tracer.op("w2", writes=(CELL,))
+    report = detect_races(tracer.store)
+    # Same (cell, kind, prior pc, current pc) every round: one race each way.
+    assert len(report.races) == 2
+
+
+def test_max_races_caps_the_report():
+    report = detect_races(random_trace(0, target_records=1_500), max_races=7)
+    assert len(report.races) == 7
+
+
+def test_race_describe_names_the_cell():
+    tracer = _two_threads()
+    tracer.op("w1", writes=(CELL,))
+    tracer.switch(2)
+    tracer.op("w2", writes=(CELL,))
+    report = detect_races(tracer.store, cell_names=lambda c: "shared:state")
+    assert "shared:state" in report.races[0].describe()
+
+
+# -- fuzz ground truth ----------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_clean_sync_traces_have_no_false_positives(seed):
+    store, injected = random_sync_trace(seed, target_records=2_000)
+    assert not injected
+    report = detect_races(store)
+    assert report.ok, report.races[0].describe() if report.races else ""
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_injected_races_are_detected(seed):
+    store, injected = random_sync_trace(
+        seed, target_records=2_000, inject_races=4
+    )
+    assert len(injected) == 4
+    report = detect_races(store)
+    detected = sum(1 for d in injected if d.cell in report.racy_cells)
+    assert detected == len(injected)
+
+
+def test_measured_recall_meets_the_bar():
+    result = measure_recall(
+        seeds=range(6), injections=4, clean_seeds=range(6, 10),
+        target_records=1_500,
+    )
+    assert result.injected == 24
+    assert result.recall >= 0.9
+    assert result.clean_with_false_positives == 0
+
+
+# -- engine workloads ------------------------------------------------------ #
+
+
+def test_wiki_workload_is_race_free():
+    from repro.harness.experiments import run_engine
+    from repro.workloads import benchmark
+
+    bench = benchmark("wiki_article")
+    bench.config.load_animation_ticks = 2
+    engine = run_engine(bench)
+    from repro.tsan.detector import cell_namer
+
+    report = detect_races(
+        engine.trace_store(), cell_names=cell_namer(engine.ctx.memory)
+    )
+    assert report.ok, "\n".join(r.describe() for r in report.races[:5])
+    # Every engine thread that ran synchronizes at least once.
+    assert report.sync_event_total() > 0
+    assert report.n_sync_objects >= 3

@@ -1,0 +1,186 @@
+"""Static lock-order analysis: engine graph, synthetic cycles, observed orders."""
+
+import textwrap
+
+import pytest
+
+from repro.machine.tracer import Tracer
+from repro.tsan.lockorder import (
+    analyze_lock_order,
+    cross_reference,
+    observed_orders,
+)
+
+
+@pytest.fixture(scope="module")
+def engine_graph():
+    return analyze_lock_order()
+
+
+def test_engine_locks_are_discovered(engine_graph):
+    expected = {
+        "base:lock:trace_event",
+        "blink:lock:layout",
+        "cc:lock:pending_rasters",
+        "cc:lock:tiles",
+        "cc:lock:tree",
+        "sched:lock:queue:*",
+    }
+    assert expected <= engine_graph.locks
+
+
+def test_engine_sites_resolve(engine_graph):
+    assert engine_graph.unresolved == []
+    assert len(engine_graph.sites) >= 10
+
+
+def test_engine_graph_is_acyclic(engine_graph):
+    assert engine_graph.cycles() == []
+    assert engine_graph.inversions() == []
+
+
+def test_tree_before_tiles_is_a_static_edge(engine_graph):
+    assert "cc:lock:tiles" in engine_graph.edges["cc:lock:tree"]
+
+
+def _analyze_source(tmp_path, source):
+    (tmp_path / "mod.py").write_text(textwrap.dedent(source))
+    return analyze_lock_order(root=tmp_path)
+
+
+def test_synthetic_inversion_is_a_cycle(tmp_path):
+    graph = _analyze_source(
+        tmp_path,
+        '''
+        class Widget:
+            def ab(self):
+                with self.ctx.lock("lock:a").held():
+                    with self.ctx.lock("lock:b").held():
+                        pass
+
+            def ba(self):
+                with self.ctx.lock("lock:b").held():
+                    with self.ctx.lock("lock:a").held():
+                        pass
+        ''',
+    )
+    assert graph.edges["lock:a"] == {"lock:b"}
+    assert graph.edges["lock:b"] == {"lock:a"}
+    assert graph.cycles()
+    assert graph.inversions() == [("lock:a", "lock:b")]
+
+
+def test_alias_and_factory_resolution(tmp_path):
+    graph = _analyze_source(
+        tmp_path,
+        '''
+        class Widget:
+            def _inner_lock(self):
+                return self.ctx.lock("lock:inner")
+
+            def work(self):
+                outer = self.ctx.lock("lock:outer")
+                with outer.held():
+                    with self._inner_lock().held():
+                        pass
+        ''',
+    )
+    assert graph.edges["lock:outer"] == {"lock:inner"}
+    assert graph.unresolved == []
+
+
+def test_interprocedural_edge_through_a_call(tmp_path):
+    graph = _analyze_source(
+        tmp_path,
+        '''
+        class Widget:
+            def leaf(self):
+                with self.ctx.lock("lock:leaf").held():
+                    pass
+
+            def caller(self):
+                with self.ctx.lock("lock:root").held():
+                    self.leaf()
+        ''',
+    )
+    assert "lock:leaf" in graph.edges["lock:root"]
+
+
+def test_fstring_names_become_families(tmp_path):
+    graph = _analyze_source(
+        tmp_path,
+        '''
+        class Widget:
+            def work(self, tid):
+                with self.ctx.lock(f"lock:q:{tid}").held():
+                    pass
+        ''',
+    )
+    assert "lock:q:*" in graph.locks
+
+
+def test_unresolvable_site_is_reported(tmp_path):
+    graph = _analyze_source(
+        tmp_path,
+        '''
+        def work(mystery):
+            with mystery.held():
+                pass
+        ''',
+    )
+    assert len(graph.unresolved) == 1
+
+
+# -- observed orders & cross-reference ------------------------------------- #
+
+
+def _nested_lock_trace():
+    tracer = Tracer()
+    tracer.spawn_thread(1, "CrRendererMain", "main_loop")
+    a, b = 0x900, 0x901
+    tracer.lock_acquire(a)
+    tracer.lock_acquire(b)
+    tracer.lock_release(b)
+    tracer.lock_release(a)
+    return tracer.store, {0x900: "lock:a", 0x901: "lock:b"}
+
+
+def test_observed_orders_count_nested_pairs():
+    store, names = _nested_lock_trace()
+    observed = observed_orders(store, cell_names=names.get)
+    assert observed.edges == {("lock:a", "lock:b"): 1}
+    assert observed.acquires == 2
+    assert observed.releases == 2
+
+
+def test_cross_reference_flags_unpredicted_orders(tmp_path):
+    graph = _analyze_source(
+        tmp_path,
+        '''
+        def work(ctx):
+            with ctx.lock("lock:b").held():
+                with ctx.lock("lock:a").held():
+                    pass
+        ''',
+    )
+    store, names = _nested_lock_trace()  # observes a -> b
+    xref = cross_reference(graph, observed_orders(store, cell_names=names.get))
+    assert xref["unpredicted_observed"] == [["lock:a", "lock:b"]]
+    assert xref["unexercised_static"] == [["lock:b", "lock:a"]]
+
+
+@pytest.mark.parametrize("name", ["wiki_article"])
+def test_engine_observed_orders_are_predicted(engine_graph, name):
+    from repro.harness.experiments import run_engine
+    from repro.tsan.detector import cell_namer
+    from repro.workloads import benchmark
+
+    bench = benchmark(name)
+    bench.config.load_animation_ticks = 2
+    engine = run_engine(bench)
+    observed = observed_orders(
+        engine.trace_store(), cell_names=cell_namer(engine.ctx.memory)
+    )
+    assert observed.acquires == observed.releases > 0
+    xref = cross_reference(engine_graph, observed)
+    assert xref["unpredicted_observed"] == []
