@@ -115,6 +115,40 @@ class CompositorHost:
         ).held():
             self._commit_items(layer)
 
+    def recommit_span(
+        self,
+        layer: CompositedLayer,
+        start: int,
+        n_removed: int,
+        added: List[DisplayItem],
+    ) -> None:
+        """Splice one repainted subtree's items into the cc-side list.
+
+        The incremental-commit counterpart of
+        ``Painter.repaint_subtree``: only the ``added`` items are copied
+        and re-indexed; everything outside the span keeps its committed
+        cells, so commit cost scales with the dirty subtree, not the
+        layer.
+        """
+        tracer = self.ctx.tracer
+        with tracer.function("cc::LayerTreeHostImpl::UpdateLayer"), self.ctx.lock(
+            "cc:lock:tree"
+        ).held():
+            fresh = []
+            for j, item in enumerate(added):
+                cc_cell = self.ctx.memory.alloc_cell(
+                    f"cc:item:L{layer.paint.layer_id}:{start + j}"
+                )
+                tracer.op(f"copy_item{j % 32}", reads=item.cells, writes=(cc_cell,))
+                tracer.op(
+                    f"rtree_insert{j % 32}",
+                    reads=(cc_cell, layer.index_cell),
+                    writes=(layer.index_cell,),
+                )
+                fresh.append((item, cc_cell))
+            layer.cc_items[start : start + n_removed] = fresh
+            self.ctx.maybe_debug_event()
+
     # ------------------------------------------------------------------ #
     # Tile management (compositor thread)                                #
     # ------------------------------------------------------------------ #

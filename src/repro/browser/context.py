@@ -60,6 +60,11 @@ class EngineConfig:
     load_animation_ticks: int = 30
     #: BeginFrame ticks pumped after each user action
     action_animation_ticks: int = 6
+    #: drive update frames through the invalidation-driven incremental
+    #: pipeline (dirty subtree re-style / re-layout / re-paint / re-raster).
+    #: False restores the legacy full-rebuild path for every frame; frame 0
+    #: (the load frame) is identical either way.
+    incremental: bool = True
     #: random seed for workload-level jitter
     seed: int = 1
 

@@ -7,6 +7,18 @@ layout -> paint -> commit -> tile raster (worker threads, with the pixel
 criteria markers) -> draw -> frame swap, followed by a scripted browsing
 session (scrolls on the compositor fast path; clicks/typing through the
 main thread with incremental re-render of the dirtied region).
+
+Rendering is organized as an invalidation-driven frame loop: DOM
+mutations mark elements dirty at an invalidation level (see
+:mod:`repro.browser.invalidation`); each produced frame — the first full
+render ("load"), each re-render ("update"), each compositor scroll redraw
+("scroll") — is bracketed by FRAME_BEGIN/FRAME_END trace markers so the
+profiler can slice per-frame epochs.  At most one frame is in flight:
+work arriving while a frame is open is deferred to the next frame.  With
+``EngineConfig.incremental`` (the default) an update frame re-resolves
+style, re-lays-out, re-paints, and re-commits only the dirty subtrees;
+with it off every update frame rebuilds the whole pipeline (the legacy
+behaviour).  Frame 0 is byte-identical between the two modes.
 """
 
 from __future__ import annotations
@@ -28,6 +40,13 @@ from .css.cssom import CSSOM
 from .css.parser import parse_css
 from .html.dom import Document, Element
 from .html.parser import parse_html
+from .invalidation import (
+    NEEDS_LAYOUT,
+    NEEDS_STYLE_RESOLVE,
+    STYLE,
+    DirtySet,
+    is_connected,
+)
 from .ipc.channel import IPCChannel
 from .js.interpreter import Interpreter
 from .js.runtime import BrowserHooks, JSRuntime
@@ -76,8 +95,8 @@ class _EngineHooks(BrowserHooks):
     def __init__(self, engine: "BrowserEngine") -> None:
         self.engine = engine
 
-    def on_dom_mutated(self, element: Element) -> None:
-        self.engine.dirty_elements.add(element)
+    def on_dom_mutated(self, element: Element, level: str = STYLE) -> None:
+        self.engine.mark_dirty(element, level)
 
     def schedule_timeout(self, callback: TV, delay_ms: float) -> None:
         engine = self.engine
@@ -135,13 +154,20 @@ class BrowserEngine:
         self.interp: Optional[Interpreter] = None
         self.runtime: Optional[JSRuntime] = None
 
-        self.dirty_elements: Set[Element] = set()
+        self.dirty = DirtySet()
         self._last_rects: Dict[int, Rect] = {}
         self._raster_rr = 0
         self._decode_barrier: Optional[int] = None
         self._pending_rasters: Optional[int] = None
         self.page: Optional[PageSpec] = None
         self.loaded = False
+
+        # Frame loop state: at most one frame is open at a time; render
+        # and scroll requests arriving mid-frame are deferred to the next.
+        self._next_frame_id = 0
+        self._open_frame: Optional[int] = None
+        self._render_pending = False
+        self._scroll_pending = False
 
     def _pending_rasters_cell(self) -> int:
         if self._pending_rasters is None:
@@ -275,7 +301,7 @@ class BrowserEngine:
         # the network bytes.
         self._decode_images()
 
-        self.dirty_elements.clear()  # load-time script mutations render now
+        self.dirty.clear()  # load-time script mutations render now
         self._full_render(first_frame=True)
 
     def _decode_images(self) -> None:
@@ -332,12 +358,37 @@ class BrowserEngine:
         return self._decode_barrier
 
     # ------------------------------------------------------------------ #
+    # Frame lifecycle                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _frame_begin(self, kind: str) -> int:
+        """Open a new frame epoch (emits the FRAME_BEGIN marker)."""
+        frame_id = self._next_frame_id
+        self._next_frame_id += 1
+        self._open_frame = frame_id
+        self.ctx.tracer.frame_begin(frame_id, kind)
+        return frame_id
+
+    def _frame_end(self, frame_id: int) -> None:
+        """Close the open frame and start any deferred follow-up frame."""
+        self.ctx.tracer.frame_end(frame_id)
+        self._open_frame = None
+        if self._scroll_pending:
+            self._scroll_pending = False
+            next_id = self._frame_begin("scroll")
+            self._raster_then_draw(first_frame=False, frame_id=next_id)
+        elif self._render_pending:
+            self._render_pending = False
+            self.scheduler.post(MAIN_THREAD, "BeginMainFrame", self._render_if_dirty)
+
+    # ------------------------------------------------------------------ #
     # Rendering pipeline                                                 #
     # ------------------------------------------------------------------ #
 
     def _full_render(self, first_frame: bool) -> None:
         """style -> layout -> paint -> commit -> raster -> draw."""
         ctx = self.ctx
+        frame_id = self._frame_begin("load" if first_frame else "update")
         self.resolver = StyleResolver(ctx, self.cssom)
         self.resolver.resolve_document(self.document)
         self.layout = LayoutEngine(ctx, self.resolver)
@@ -347,16 +398,18 @@ class BrowserEngine:
 
         def commit_and_raster() -> None:
             self.compositor.commit(self.paint_layers)
-            self._raster_then_draw(first_frame=first_frame)
+            self._raster_then_draw(first_frame=first_frame, frame_id=frame_id)
 
         self.scheduler.post(COMPOSITOR_THREAD, "Commit", commit_and_raster)
 
-    def _raster_then_draw(self, first_frame: bool) -> None:
+    def _raster_then_draw(
+        self, first_frame: bool, frame_id: Optional[int] = None
+    ) -> None:
         """Schedule raster tasks; the last one posts the draw."""
         tasks = self.compositor.prepare_raster_tasks()
         if not tasks:
             self.scheduler.post(
-                COMPOSITOR_THREAD, "Draw", lambda: self._draw(first_frame)
+                COMPOSITOR_THREAD, "Draw", lambda: self._draw(first_frame, frame_id)
             )
             return
         remaining = {"count": len(tasks)}
@@ -378,7 +431,9 @@ class BrowserEngine:
                     done = remaining["count"] == 0
                 if done:
                     self.scheduler.post(
-                        COMPOSITOR_THREAD, "Draw", lambda: self._draw(first_frame)
+                        COMPOSITOR_THREAD,
+                        "Draw",
+                        lambda: self._draw(first_frame, frame_id),
                     )
 
             return runner
@@ -389,7 +444,7 @@ class BrowserEngine:
             self._raster_rr += 1
             self.scheduler.post(tid, "RasterTask", run_task(task))
 
-    def _draw(self, first_frame: bool) -> None:
+    def _draw(self, first_frame: bool, frame_id: Optional[int] = None) -> None:
         framebuffer_cells = self.compositor.draw_frame()
         # Swap: the frame goes to the display through the GPU channel.
         tracer = self.ctx.tracer
@@ -402,6 +457,8 @@ class BrowserEngine:
             self.loaded = True
             tracer.marker(LOAD_COMPLETE_MARKER)
             self.scheduler.post(MAIN_THREAD, "LoadEvent", self._fire_load_event)
+        if frame_id is not None:
+            self._frame_end(frame_id)
 
     def _fire_load_event(self) -> None:
         if self.runtime is not None:
@@ -420,42 +477,155 @@ class BrowserEngine:
             if box.element is not None:
                 self._last_rects[box.element.node_id] = box.rect
 
-    def _dirty_roots(self) -> List[Element]:
-        """Deduplicate dirty elements: drop those inside another dirty one."""
-        dirty = list(self.dirty_elements)
-        roots: List[Element] = []
-        dirty_ids = {e.node_id for e in dirty}
-        for element in dirty:
-            if any(a.node_id in dirty_ids for a in element.ancestors()):
-                continue
-            roots.append(element)
-        return roots
+    def mark_dirty(self, element: Element, level: str = STYLE) -> None:
+        """Record a DOM invalidation for the next update frame.
+
+        Mutations on detached subtrees are dropped: a node that is not
+        connected to the document renders nothing, so invalidating it
+        would only schedule unnecessary work.
+        """
+        if self.document is None or not is_connected(element, self.document):
+            return
+        self.dirty.mark(element, level)
 
     def _render_if_dirty(self) -> None:
-        if not self.dirty_elements or self.resolver is None:
+        if not self.dirty or self.resolver is None:
             return
-        ctx = self.ctx
-        tracer = ctx.tracer
-        roots = self._dirty_roots()
-        old_rects = [
-            self._last_rects.get(el.node_id)
-            for el in roots
-            if self._last_rects.get(el.node_id) is not None
-        ]
-        self.dirty_elements.clear()
+        if self._open_frame is not None:
+            # A frame is already in flight; fold this invalidation into
+            # the next frame instead of rendering concurrently.
+            self._render_pending = True
+            return
+        frame_id = self._frame_begin("update")
+        if self.ctx.config.incremental:
+            self._incremental_update(frame_id)
+        else:
+            self._legacy_update(frame_id)
 
-        with tracer.function("blink::scheduler::BeginMainFrame"):
-            for root in roots:
-                self.resolver.resolve_subtree(root)
-            self.layout_tree = self.layout.layout_document(self.document)
-
+    def _dirty_rect_for(self, roots: List, old_rects: List[Rect]) -> Rect:
         dirty_rect = Rect(0, 0, 0, 0)
         for rect in old_rects:
             dirty_rect = dirty_rect.union(rect)
-        for root in roots:
-            box = self.layout_tree.box_for(root)
+        for element, _level in roots:
+            box = self.layout_tree.box_for(element)
             if box is not None:
                 dirty_rect = dirty_rect.union(box.document_bounds())
+        return dirty_rect
+
+    def _layer_for_element(self, element: Element) -> Optional[PaintLayer]:
+        """The paint layer whose display list holds ``element``'s items."""
+        by_owner = {
+            layer.owner.node_id: layer
+            for layer in self.paint_layers
+            if layer.owner is not None
+        }
+        layer = by_owner.get(element.node_id)
+        if layer is not None:
+            return layer
+        for ancestor in element.ancestors():
+            layer = by_owner.get(ancestor.node_id)
+            if layer is not None:
+                return layer
+        for layer in self.paint_layers:
+            if layer.is_root():
+                return layer
+        return None
+
+    def _incremental_update(self, frame_id: int) -> None:
+        """One invalidation-driven update frame.
+
+        Per dirty root, the invalidation level selects which stages run:
+        style recalc (unless layout-only), subtree relayout (unless
+        paint-only), then a spliced subtree repaint.  Any stage that
+        cannot prove the incremental step sound falls back to the full
+        stage (whole-document layout / whole-layer repaint), never to a
+        wrong frame.
+        """
+        ctx = self.ctx
+        tracer = ctx.tracer
+        roots = self.dirty.roots()
+        old_rects = [
+            rect
+            for element, _level in roots
+            if (rect := self._last_rects.get(element.node_id)) is not None
+        ]
+        self.dirty.clear()
+
+        full_layout = False
+        with tracer.function("blink::scheduler::BeginMainFrame"):
+            for element, level in roots:
+                if NEEDS_STYLE_RESOLVE[level]:
+                    self.resolver.mark_invalid(element)
+                    self.resolver.resolve_subtree(element)
+            for element, level in roots:
+                if not NEEDS_LAYOUT[level]:
+                    continue
+                if self.layout.relayout_subtree(self.layout_tree, element) is None:
+                    full_layout = True
+                    break
+            if full_layout:
+                self.layout_tree = self.layout.layout_document(self.document)
+
+        dirty_rect = self._dirty_rect_for(roots, old_rects)
+        self._remember_rects()
+
+        promoted = {
+            layer.owner.node_id for layer in self.paint_layers if layer.owner is not None
+        }
+        repainted: List[PaintLayer] = []
+        spans: List[Tuple[PaintLayer, Tuple]] = []
+        if full_layout:
+            # Geometry moved beyond one subtree: repaint affected layers.
+            for layer in self.paint_layers:
+                if layer.bounds.intersects(dirty_rect) or layer.is_root():
+                    self.painter.repaint_layer(layer, self.layout_tree, promoted)
+                    repainted.append(layer)
+        else:
+            for element, _level in roots:
+                layer = self._layer_for_element(element)
+                if layer is None or layer in repainted:
+                    continue
+                span = self.painter.repaint_subtree(
+                    layer, self.layout_tree, element, promoted
+                )
+                if span is None:
+                    self.painter.repaint_layer(layer, self.layout_tree, promoted)
+                    repainted.append(layer)
+                else:
+                    spans.append((layer, span))
+
+        def compositor_update() -> None:
+            for layer in repainted:
+                cc_layer = self.compositor.layer_for(layer)
+                if cc_layer is not None:
+                    self.compositor.recommit_layer(cc_layer)
+            for layer, (start, n_removed, added) in spans:
+                cc_layer = self.compositor.layer_for(layer)
+                if cc_layer is not None:
+                    self.compositor.recommit_span(cc_layer, start, n_removed, added)
+            self.compositor.invalidate(dirty_rect)
+            self._raster_then_draw(first_frame=False, frame_id=frame_id)
+
+        self.scheduler.post(COMPOSITOR_THREAD, "UpdateLayers", compositor_update)
+
+    def _legacy_update(self, frame_id: int) -> None:
+        """Full-rebuild update frame (``EngineConfig.incremental`` off)."""
+        ctx = self.ctx
+        tracer = ctx.tracer
+        roots = self.dirty.roots()
+        old_rects = [
+            rect
+            for element, _level in roots
+            if (rect := self._last_rects.get(element.node_id)) is not None
+        ]
+        self.dirty.clear()
+
+        with tracer.function("blink::scheduler::BeginMainFrame"):
+            for element, _level in roots:
+                self.resolver.resolve_subtree(element)
+            self.layout_tree = self.layout.layout_document(self.document)
+
+        dirty_rect = self._dirty_rect_for(roots, old_rects)
         self._remember_rects()
 
         # Repaint layers whose content intersects the dirty rect.
@@ -472,7 +642,7 @@ class BrowserEngine:
                 if cc_layer is not None and layer.bounds.intersects(dirty_rect):
                     self.compositor.recommit_layer(cc_layer)
             self.compositor.invalidate(dirty_rect)
-            self._raster_then_draw(first_frame=False)
+            self._raster_then_draw(first_frame=False, frame_id=frame_id)
 
         self.scheduler.post(COMPOSITOR_THREAD, "UpdateLayers", compositor_update)
 
@@ -518,7 +688,13 @@ class BrowserEngine:
             tracer.compare_and_branch("is_scroll", reads=cells[:1])
             if action.kind == "scroll":
                 self.compositor.scroll_by(action.amount)
-                self._raster_then_draw(first_frame=False)
+                if self._open_frame is not None:
+                    # The scroll offset is applied; defer the redraw to a
+                    # fresh frame once the in-flight one completes.
+                    self._scroll_pending = True
+                    return
+                scroll_frame = self._frame_begin("scroll")
+                self._raster_then_draw(first_frame=False, frame_id=scroll_frame)
                 return
             # Non-scroll input: forward to the main thread.
             tracer.op("forward_to_main", reads=cells[:1], writes=cells[:1])
@@ -553,7 +729,7 @@ class BrowserEngine:
                     reads=cells[:1],
                     writes=(target.cell("attr:value"),),
                 )
-                self.dirty_elements.add(target)
+                self.mark_dirty(target, STYLE)
                 self.runtime.dispatch_event(target, "input")
         self._render_if_dirty()
 

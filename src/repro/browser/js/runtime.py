@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..context import EngineContext
 from ..html.dom import Document, Element, TextNode
+from ..invalidation import LAYOUT, PAINT, STYLE
 from .interpreter import Interpreter
 from .values import (
     TV,
@@ -37,8 +38,13 @@ class BrowserHooks:
     isolation (unit tests, examples); the real engine overrides them.
     """
 
-    def on_dom_mutated(self, element: Element) -> None:
-        """Called after a scripted DOM mutation (dirties style/layout)."""
+    def on_dom_mutated(self, element: Element, level: str = STYLE) -> None:
+        """Called after a scripted DOM mutation.
+
+        ``level`` is the invalidation level (see
+        :mod:`repro.browser.invalidation`): the widest pipeline stage the
+        mutation can affect.
+        """
 
     def schedule_timeout(self, callback: TV, delay_ms: float) -> None:
         """setTimeout: post ``callback`` to the main thread after a delay."""
@@ -154,21 +160,35 @@ class JSRuntime:
             tracer = self.ctx.tracer
             if name == "textContent" or name == "innerHTML":
                 text = js_to_string(value.value)
+                only_text_children = all(
+                    isinstance(child, TextNode) for child in element.children
+                )
+                if only_text_children and element.text_content() == text:
+                    # No-op write: the binding still runs (and is traced),
+                    # but the DOM is unchanged, so nothing is invalidated.
+                    tracer.op("dom_set_text", reads=(value.cell,))
+                    return
                 element.children = []
                 node = TextNode(self.ctx, text)
                 element.append_child(node)
                 tracer.op(
                     "dom_set_text", reads=(value.cell,), writes=(node.cell("text"),)
                 )
-                self.hooks.on_dom_mutated(element)
+                # Replacing text re-measures the box but keeps its computed
+                # style: geometry-only invalidation.
+                self.hooks.on_dom_mutated(element, LAYOUT)
             elif name == "className":
-                element.set_attribute("class", js_to_string(value.value))
+                text = js_to_string(value.value)
+                if (element.get_attribute("class") or "") == text:
+                    tracer.op("dom_set_class", reads=(value.cell,))
+                    return
+                element.set_attribute("class", text)
                 tracer.op(
                     "dom_set_class",
                     reads=(value.cell,),
                     writes=(element.cell("attr:class"),),
                 )
-                self.hooks.on_dom_mutated(element)
+                self.hooks.on_dom_mutated(element, STYLE)
 
         return setter
 
@@ -177,14 +197,21 @@ class JSRuntime:
 
         def setter(name: str, value: TV) -> None:
             css_name = _camel_to_css(name)
+            decl = f"{css_name}:{js_to_string(value.value)}"
             inline = element.get_attribute("style") or ""
-            element.set_attribute("style", f"{inline};{css_name}:{js_to_string(value.value)}")
+            if inline == decl or inline.endswith(f";{decl}"):
+                # Writing the value already in effect: traced, no dirty bit.
+                self.ctx.tracer.op("dom_set_style", reads=(value.cell,))
+                return
+            element.set_attribute("style", f"{inline};{decl}")
             self.ctx.tracer.op(
                 "dom_set_style",
                 reads=(value.cell,),
                 writes=(element.cell("attr:style"),),
             )
-            self.hooks.on_dom_mutated(element)
+            # color/background-color change pixels but never geometry.
+            level = PAINT if css_name in ("color", "background-color") else STYLE
+            self.hooks.on_dom_mutated(element, level)
 
         proxy.setter_hook = setter  # type: ignore[attr-defined]
         return proxy
@@ -450,13 +477,17 @@ def _bind_element(runtime: JSRuntime, element: Element, method):
 def _el_set_attribute(runtime: JSRuntime, element: Element, interp, args: List[TV]) -> TV:
     name = js_to_string(args[0].value) if args else ""
     value = js_to_string(args[1].value) if len(args) > 1 else ""
+    if element.get_attribute(name) == value:
+        # Rewriting the current value: traced, but invalidates nothing.
+        interp.ctx.tracer.op("dom_set_attr", reads=tuple(a.cell for a in args[:2]))
+        return TV(None, interp.undefined_cell)
     element.set_attribute(name, value)
     interp.ctx.tracer.op(
         "dom_set_attr",
         reads=tuple(a.cell for a in args[:2]),
         writes=(element.cell(f"attr:{name.lower()}"),),
     )
-    runtime.hooks.on_dom_mutated(element)
+    runtime.hooks.on_dom_mutated(element, STYLE)
     return TV(None, interp.undefined_cell)
 
 
@@ -480,7 +511,7 @@ def _el_append_child(runtime: JSRuntime, element: Element, interp, args: List[TV
         "dom_append_child", reads=(args[0].cell,), writes=(element.cell("links"),)
     )
     runtime.document.reindex()
-    runtime.hooks.on_dom_mutated(element)
+    runtime.hooks.on_dom_mutated(element, STYLE)
     return args[0]
 
 
@@ -493,7 +524,7 @@ def _el_remove_child(runtime: JSRuntime, element: Element, interp, args: List[TV
     interp.ctx.tracer.op(
         "dom_remove_child", reads=(args[0].cell,), writes=(element.cell("links"),)
     )
-    runtime.hooks.on_dom_mutated(element)
+    runtime.hooks.on_dom_mutated(element, STYLE)
     return args[0]
 
 

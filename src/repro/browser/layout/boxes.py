@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..html.dom import Element, TextNode
 from ..style.computed import ComputedStyle
@@ -12,7 +12,9 @@ from .geometry import EMPTY_RECT, Rect
 class LayoutBox:
     """One box in the layout tree (border-box geometry, document coords)."""
 
-    __slots__ = ("element", "text_node", "style", "rect", "children", "parent")
+    __slots__ = (
+        "element", "text_node", "style", "rect", "children", "parent", "placement",
+    )
 
     def __init__(
         self,
@@ -26,6 +28,11 @@ class LayoutBox:
         self.rect: Rect = EMPTY_RECT
         self.children: List["LayoutBox"] = []
         self.parent: Optional["LayoutBox"] = None
+        #: (containing rect, block cursor y) captured when this box was
+        #: placed as a block child — the inputs incremental relayout needs
+        #: to re-place the box without re-running its container.  None for
+        #: boxes placed by inline/flex/out-of-flow positioning.
+        self.placement: Optional[Tuple[Rect, float]] = None
 
     @property
     def is_text(self) -> bool:

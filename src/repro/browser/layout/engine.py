@@ -61,6 +61,44 @@ class LayoutEngine:
                 root.rect = Rect(0, 0, viewport_w, height)
         return LayoutTree(root)
 
+    def relayout_subtree(
+        self, tree: LayoutTree, element: Element
+    ) -> Optional[LayoutBox]:
+        """Re-lay out one dirty block subtree in place.
+
+        Re-runs block placement for ``element``'s box using the recorded
+        placement inputs (containing rect + block cursor), then splices the
+        fresh box into the existing tree.  Returns the new box, or ``None``
+        when incremental relayout is unsound and the caller must fall back
+        to a full :meth:`layout_document` pass:
+
+        - the element has no box (display:none, or never laid out),
+        - the box was not placed by plain block flow (no placement record),
+        - the element's new style removes it from flow, or
+        - the re-laid-out box's border rect changed, which would shift
+          later siblings (their cursor positions depend on this height).
+        """
+        old_box = tree.box_for(element)
+        if old_box is None or old_box.parent is None or old_box.placement is None:
+            return None
+        style = self.resolver.style_of(element)
+        if style.display == "none" or style.position in ("absolute", "fixed"):
+            return None
+        new_box = LayoutBox(style, element=element)
+        container, cursor_y = old_box.placement
+        ctx = self.ctx
+        with ctx.tracer.function(
+            "blink::layout::LayoutView::UpdateSubtreeLayout"
+        ), ctx.lock("blink:lock:layout").held():
+            self._place_block_child(new_box, container, cursor_y)
+        if new_box.rect != old_box.rect:
+            return None
+        parent = old_box.parent
+        parent.children[parent.children.index(old_box)] = new_box
+        new_box.parent = parent
+        old_box.parent = None
+        return new_box
+
     # ------------------------------------------------------------------ #
 
     def _children_boxes(self, box: LayoutBox) -> None:
@@ -154,6 +192,7 @@ class LayoutEngine:
         ctx = self.ctx
         tracer = ctx.tracer
         style = child.style
+        child.placement = (container, cursor_y)
         margin_l = style.side("margin", "left")
         margin_r = style.side("margin", "right")
         margin_t = style.side("margin", "top")

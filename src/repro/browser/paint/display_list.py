@@ -22,6 +22,9 @@ class DisplayItem:
             resource's byte cells for an "image" item).
         color: paint color (backgrounds/text) for blending realism.
         opaque: True when the item fully covers ``rect`` with alpha 1.
+        owner_id: node id of the element the item paints (for text runs,
+            the parent element) — the key incremental repaint uses to find
+            a dirty subtree's contiguous item span.  -1 when unknown.
     """
 
     kind: str
@@ -30,6 +33,7 @@ class DisplayItem:
     source_cells: Tuple[int, ...] = ()
     color: Optional[Color] = None
     opaque: bool = False
+    owner_id: int = -1
 
 
 @dataclass

@@ -84,6 +84,67 @@ class Painter:
             finally:
                 self._skip_promoted = set()
 
+    def repaint_subtree(
+        self,
+        layer: PaintLayer,
+        tree: LayoutTree,
+        element: Element,
+        promoted_ids: Optional[set] = None,
+    ) -> Optional[Tuple[int, int, List[DisplayItem]]]:
+        """Re-record only ``element``'s subtree items inside ``layer``.
+
+        Paint order is a depth-first walk, so a subtree's items occupy one
+        contiguous span of the display list.  The span is located by the
+        items' ``owner_id`` tags, widened over adjacent items whose owners
+        no longer exist anywhere in the layout tree (stale items of
+        removed children), and replaced wholesale by a fresh recording of
+        the subtree.
+
+        Returns ``(start, n_removed, new_items)`` for the compositor's
+        matching splice, or ``None`` when the span cannot be found (the
+        element painted nothing into this layer — e.g. it owns another
+        layer, or was invisible) and the caller must fall back to
+        :meth:`repaint_layer`.
+        """
+        box = tree.box_for(element)
+        if box is None:
+            return None
+        ids = {element.node_id}
+        for node in element.descendants():
+            ids.add(node.node_id)
+        positions = [
+            i for i, item in enumerate(layer.items) if item.owner_id in ids
+        ]
+        if not positions:
+            return None
+        lo, hi = positions[0], positions[-1]
+        live = {
+            b.element.node_id for b in tree.all_boxes() if b.element is not None
+        }
+        while lo > 0 and layer.items[lo - 1].owner_id not in live:
+            lo -= 1
+        while hi + 1 < len(layer.items) and layer.items[hi + 1].owner_id not in live:
+            hi += 1
+        n_removed = hi - lo + 1
+
+        skip = set(promoted_ids or ())
+        skip.discard(element.node_id)
+        self._skip_promoted = skip
+        saved = layer.items
+        layer.items = []
+        try:
+            with self.ctx.tracer.function(
+                "blink::paint::PaintController::RepaintSubtree"
+            ):
+                self._record_element(box, layer)
+                self._paint_into(box, layer, [layer], allow_promotion=False)
+        finally:
+            fresh = layer.items
+            layer.items = saved
+            self._skip_promoted = set()
+        layer.items[lo : hi + 1] = fresh
+        return (lo, n_removed, fresh)
+
     # ------------------------------------------------------------------ #
 
     def _new_layer(
@@ -184,6 +245,7 @@ class Painter:
                     cells=(cell,),
                     color=background,
                     opaque=background.opaque and style.opacity >= 1.0,
+                    owner_id=element.node_id,
                 )
             )
         if element.tag == "img":
@@ -207,6 +269,7 @@ class Painter:
                     cells=(cell,),
                     source_cells=source_cells,
                     opaque=True,
+                    owner_id=element.node_id,
                 )
             )
         self.ctx.maybe_debug_event()
@@ -229,6 +292,10 @@ class Painter:
         )
         layer.add(
             DisplayItem(
-                kind="text", rect=box.rect, cells=(cell,), color=box.style.color
+                kind="text",
+                rect=box.rect,
+                cells=(cell,),
+                color=box.style.color,
+                owner_id=node.parent.node_id if node.parent is not None else -1,
             )
         )

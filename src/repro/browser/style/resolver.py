@@ -13,7 +13,7 @@ which layout and paint read downstream.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from ..context import EngineContext
 from ..css.cssom import CSSOM, Declaration
@@ -37,6 +37,23 @@ class StyleResolver:
         self.cssom = cssom
         self.index = RuleIndex(cssom)
         self.computed: Dict[int, ComputedStyle] = {}
+        #: node ids whose computed style is stale (must be re-resolved
+        #: before layout/paint may consume it).  Nodes never resolved are
+        #: implicitly invalid; this set tracks *re*-invalidations.
+        self._invalid: Set[int] = set()
+
+    def mark_invalid(self, element: Element) -> None:
+        """Invalidate ``element`` and every descendant element's style."""
+        self._invalid.add(element.node_id)
+        for child in element.descendant_elements():
+            self._invalid.add(child.node_id)
+
+    def needs_resolve(self, element: Element) -> bool:
+        """True if the element's computed style is missing or stale."""
+        return (
+            element.node_id not in self.computed
+            or element.node_id in self._invalid
+        )
 
     def resolve_document(self, document: Document) -> Dict[int, ComputedStyle]:
         """Resolve every element, parent before child (DOM order)."""
@@ -65,6 +82,7 @@ class StyleResolver:
     ) -> None:
         style = self._resolve_element(element, parent_style)
         self.computed[element.node_id] = style
+        self._invalid.discard(element.node_id)
         for child in element.child_elements():
             self._resolve_subtree(child, style)
 

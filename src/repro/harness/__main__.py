@@ -10,6 +10,7 @@ Usage::
     python -m repro.harness bing-partial
     python -m repro.harness static
     python -m repro.harness tsan
+    python -m repro.harness frames [workload ...]
     python -m repro.harness all
 
 ``static`` cross-validates the static dead-code analyzer
@@ -18,18 +19,24 @@ Usage::
 workloads are race-free under happens-before replay and folds per-thread
 sync-edge counts into the thread-breakdown report (see
 docs/race-detection.md).
+``frames`` runs the multi-frame workloads (default: ticker, livefeed,
+scrollseq) through the incremental pipeline and prints each frame's
+pixel-slice and redundancy breakdown (see docs/incremental-pipeline.md).
+
+Unknown targets and unknown workload names exit with status 2.
 """
 
 from __future__ import annotations
 
 import sys
 
-from .experiments import cached_run
+from .experiments import cached_frames, cached_run
 from .reporting import (
     bing_partial_report,
     figure2_report,
     figure4_report,
     figure5_report,
+    frames_report,
     run_all_table2,
     table1_report,
     table2_report,
@@ -37,7 +44,7 @@ from .reporting import (
 
 _TARGETS = (
     "table1", "table2", "fig2", "fig4", "fig5", "bing-partial", "static",
-    "tsan", "all",
+    "tsan", "frames", "all",
 )
 
 
@@ -91,11 +98,31 @@ def _table1() -> str:
     return table1_report(load, browse)
 
 
+def _frames(names) -> str:
+    return frames_report({name: cached_frames(name) for name in names})
+
+
 def main(argv) -> int:
-    if len(argv) != 1 or argv[0] not in _TARGETS:
+    if not argv or argv[0] not in _TARGETS:
         print(__doc__)
         return 2
     target = argv[0]
+    if target != "frames" and len(argv) != 1:
+        print(__doc__)
+        return 2
+
+    from ..workloads import MULTIFRAME_BENCHMARKS, benchmark_names
+
+    frame_names = list(argv[1:]) or list(MULTIFRAME_BENCHMARKS)
+    if target == "frames":
+        unknown = [n for n in frame_names if n not in benchmark_names()]
+        if unknown:
+            print(
+                f"unknown workload(s): {', '.join(unknown)}; "
+                f"available: {', '.join(benchmark_names())}",
+                file=sys.stderr,
+            )
+            return 2
     if target in ("table1", "all"):
         print(_table1())
         print()
@@ -119,6 +146,9 @@ def main(argv) -> int:
         print()
     if target in ("tsan", "all"):
         print(_tsan())
+        print()
+    if target in ("frames", "all"):
+        print(_frames(frame_names))
     return 0
 
 

@@ -17,8 +17,10 @@ from ..browser import BrowserEngine, MAIN_THREAD
 from ..profiler import (
     CategoryDistribution,
     Profiler,
+    RedundancyReport,
     SliceResult,
     SliceStatistics,
+    analyze_frames,
     pixel_criteria,
 )
 from ..trace.store import TraceStore
@@ -119,3 +121,47 @@ def cached_run(name: str) -> ExperimentResult:
     from ..workloads import benchmark
 
     return run_benchmark(benchmark(name))
+
+
+@dataclass
+class FrameExperimentResult:
+    """A multi-frame benchmark run plus its per-frame redundancy profile."""
+
+    benchmark: Benchmark
+    engine: BrowserEngine
+    store: TraceStore
+    report: RedundancyReport
+
+    @property
+    def name(self) -> str:
+        return self.benchmark.name
+
+
+def run_frames(
+    bench: Benchmark, sample_every: Optional[int] = None
+) -> FrameExperimentResult:
+    """Run a multi-frame benchmark and profile each frame epoch.
+
+    Unlike :func:`run_benchmark` this drives the page purely through the
+    incremental frame pipeline (timer ticks and scripted actions), then
+    slices each frame's own pixel criterion and classifies its non-slice
+    work as redundant vs. fresh (see :mod:`repro.profiler.redundancy`).
+    """
+    engine = BrowserEngine(bench.config)
+    engine.load_page(bench.page)
+    engine.run_session(bench.actions)
+    store = engine.trace_store()
+    if sample_every is None:
+        sample_every = max(1, len(store) // 200)
+    report = analyze_frames(store, sample_every=sample_every)
+    return FrameExperimentResult(
+        benchmark=bench, engine=engine, store=store, report=report
+    )
+
+
+@lru_cache(maxsize=None)
+def cached_frames(name: str) -> FrameExperimentResult:
+    """Run a registered multi-frame benchmark once per process."""
+    from ..workloads import benchmark
+
+    return run_frames(benchmark(name))

@@ -11,7 +11,7 @@ from ..browser.context import MAIN_THREAD
 from ..profiler import pixel_criteria
 from ..profiler.stats import timeline_series, windowed_fraction
 from . import paper
-from .experiments import ExperimentResult, cached_run
+from .experiments import ExperimentResult, FrameExperimentResult, cached_run
 
 
 def table2_report(results: Dict[str, ExperimentResult]) -> str:
@@ -156,6 +156,45 @@ def bing_partial_report(result: ExperimentResult) -> str:
             f"{paper.BING_FULL_SESSION_SLICE_OF_LOAD - paper.BING_LOAD_ONLY_SLICE:+.1%}",
         ]
     )
+
+
+def frames_report(results: Dict[str, FrameExperimentResult]) -> str:
+    """Per-frame redundancy breakdown for the multi-frame workloads.
+
+    One block per workload: each complete frame epoch's instruction count,
+    its own pixel-slice share, and the redundant / fresh-unnecessary split
+    of the rest, plus the steady-state size relative to the load frame.
+    """
+    lines = [
+        "Cross-frame redundancy: per-frame pixel slices "
+        "(incremental frame pipeline)",
+        "=" * 78,
+    ]
+    for name, result in results.items():
+        report = result.report
+        lines.append(f"{name} ({len(report.frames)} frames)")
+        lines.append(
+            f"  {'frame':<7s}{'kind':<8s}{'instrs':>8s}{'slice':>8s}"
+            f"{'redund':>8s}{'fresh':>8s}{'red%':>7s}{'vs f0':>8s}"
+        )
+        first = report.first()
+        for frame in report.frames:
+            vs_first = (
+                frame.total / first.total if first and first.total else 0.0
+            )
+            lines.append(
+                f"  {frame.frame_id:<7d}{frame.kind:<8s}{frame.total:>8d}"
+                f"{frame.in_slice:>8d}{frame.redundant:>8d}"
+                f"{frame.fresh_unnecessary:>8d}"
+                f"{frame.redundant_fraction:>7.1%}{vs_first:>8.1%}"
+            )
+        ratio = report.steady_state_ratio()
+        if ratio is not None:
+            lines.append(
+                f"  steady-state frames average {ratio:.1%} of the load frame"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
 
 
 def parallel_speedup_report(timings: Dict[str, Dict[str, object]]) -> str:

@@ -20,8 +20,11 @@ from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
 from ..trace.records import (
+    FRAME_BEGIN_MARKER,
+    FRAME_END_MARKER,
     SYNC_ACQUIRE,
     SYNC_RELEASE,
+    FrameSpan,
     InstrKind,
     TraceMetadata,
     TraceRecord,
@@ -289,6 +292,40 @@ class Tracer:
             self.store.metadata.tile_buffers.append((index, tuple(cells)))
         elif tag == LOAD_COMPLETE_MARKER:
             self.store.metadata.load_complete_index = index
+        return index
+
+    # ------------------------------------------------------------------ #
+    # Frame epochs                                                       #
+    # ------------------------------------------------------------------ #
+
+    def frame_begin(self, frame_id: int, kind: str) -> int:
+        """Open frame ``frame_id`` (emit FRAME_BEGIN, record its span).
+
+        Frames must be strictly increasing and non-overlapping: opening a
+        new frame while another is still open is a pipeline bug, surfaced
+        here rather than left for the trace linter to find post-mortem.
+        """
+        frames = self.store.metadata.frames
+        if frames and not frames[-1].complete:
+            raise RuntimeError(
+                f"frame {frame_id} opened while frame "
+                f"{frames[-1].frame_id} is still open"
+            )
+        if frames and frame_id <= frames[-1].frame_id:
+            raise RuntimeError(
+                f"frame ids must increase: {frame_id} after {frames[-1].frame_id}"
+            )
+        index = self.marker(FRAME_BEGIN_MARKER)
+        frames.append(FrameSpan(frame_id=frame_id, kind=kind, begin=index))
+        return index
+
+    def frame_end(self, frame_id: int) -> int:
+        """Close frame ``frame_id`` (emit FRAME_END, complete its span)."""
+        frames = self.store.metadata.frames
+        if not frames or frames[-1].complete or frames[-1].frame_id != frame_id:
+            raise RuntimeError(f"frame {frame_id} is not the open frame")
+        index = self.marker(FRAME_END_MARKER)
+        frames[-1].end = index
         return index
 
     # ------------------------------------------------------------------ #

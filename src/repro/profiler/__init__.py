@@ -31,6 +31,12 @@ from .explain import chain_heads, explain_record, reason_summary
 from .oracle import OracleSlicer, oracle_slice
 from .parallel import ParallelSlicer, SliceFrontier, default_workers
 from .postdom import immediate_postdominators, postdominates
+from .redundancy import (
+    FrameRedundancy,
+    RedundancyReport,
+    analyze_frames,
+    frame_pixel_criteria,
+)
 from .slicer import (
     BackwardSlicer,
     DEFAULT_OPTIONS,
@@ -56,6 +62,10 @@ __all__ = [
     "build_cfgs",
     "immediate_postdominators",
     "postdominates",
+    "FrameRedundancy",
+    "RedundancyReport",
+    "analyze_frames",
+    "frame_pixel_criteria",
     "ControlDependenceIndex",
     "control_dependences",
     "build_index",

@@ -11,7 +11,8 @@ Usage::
 ``collect`` runs a registered benchmark and saves its trace; ``info``
 prints per-thread and symbol statistics; ``lint`` checks the sanitizer's
 well-formedness invariants (CALL/RET balance, use-before-def, lock
-discipline, marker clock, epoch tiling — see repro/trace/lint.py) and
+discipline, marker clock, frame-epoch monotonicity, epoch tiling — see
+repro/trace/lint.py) and
 exits non-zero on any error-severity violation; ``--json`` emits the
 machine-readable report instead; ``slice`` runs the pixel-based backward
 slice on a stored
@@ -35,7 +36,12 @@ def _collect(name: str, path: str) -> int:
     from ..harness.experiments import run_engine
     from ..workloads import benchmark
 
-    engine = run_engine(benchmark(name))
+    try:
+        bench = benchmark(name)
+    except KeyError as err:
+        print(f"error: {err.args[0]}", file=sys.stderr)
+        return 2
+    engine = run_engine(bench)
     store = engine.trace_store()
     save_trace(store, path)
     print(f"saved {len(store)} records ({len(store.thread_ids())} threads) to {path}")
@@ -52,6 +58,11 @@ def _info(path: str) -> int:
         print(f"  {name:<28s} {counts[tid]:>8d}")
     print(f"tile markers: {len(store.metadata.tile_buffers)}")
     print(f"load-complete index: {store.metadata.load_complete_index}")
+    frames = store.metadata.frames
+    if frames:
+        kinds = Counter(span.kind for span in frames)
+        kind_text = ", ".join(f"{count} {kind}" for kind, count in sorted(kinds.items()))
+        print(f"frames: {len(frames)} ({kind_text})")
     top = Counter(store.symbols.name(r.fn) for r in store.forward())
     print("top functions:")
     for fn_name, count in top.most_common(10):

@@ -28,6 +28,11 @@ slicer produces quietly-wrong results.  Named checks:
   lock already held, release of a lock not held, locks still held at the
   end of the trace, or a malformed sync marker (sync/lock-tagged but not
   parseable as a :class:`~repro.trace.records.SyncEvent`);
+* ``frame-epoch-monotonicity`` (error) — FRAME_BEGIN/FRAME_END markers
+  pair up in the record stream (no nested or unclosed frames), and the
+  frame-span metadata mirrors them exactly: ids strictly increasing,
+  spans complete, non-overlapping, in trace order, each endpoint pointing
+  at the matching marker record;
 * ``memory-use-before-def`` (warning) — a cell is read before any record
   writes it.  Real engine traces legitimately read pre-initialized state
   (fetched bytes, config), so this is diagnostic, not fatal.  Sync
@@ -46,7 +51,13 @@ from ..machine.registers import (
     register_name,
 )
 from ..machine.tracer import TILE_MARKER
-from .records import InstrKind, is_sync_marker, sync_event_of
+from .records import (
+    FRAME_BEGIN_MARKER,
+    FRAME_END_MARKER,
+    InstrKind,
+    is_sync_marker,
+    sync_event_of,
+)
 from .store import TraceStore, epoch_bounds
 
 ERROR = "error"
@@ -62,6 +73,7 @@ CHECKS = (
     "epoch-consistency",
     "ipc-use-before-def",
     "lock-discipline",
+    "frame-epoch-monotonicity",
     "memory-use-before-def",
 )
 
@@ -188,6 +200,8 @@ def lint_trace(
     warned_cells: Set[int] = set()
     ipc_warned: Set[int] = set()
     held_locks: Dict[int, List[int]] = {}
+    open_frame_begin: Optional[int] = None
+    n_stream_frames = 0
     ipc_fns: Set[int] = set()
     for fn_name in _IPC_CONSUMER_FNS:
         sym = store.symbols.lookup(fn_name)
@@ -285,6 +299,27 @@ def lint_trace(
                         index,
                     )
 
+        # -- frame-epoch-monotonicity: marker pairing ------------------ #
+        if rec.kind == InstrKind.MARKER:
+            if rec.marker == FRAME_BEGIN_MARKER:
+                if open_frame_begin is not None:
+                    out.add(
+                        "frame-epoch-monotonicity",
+                        f"frame begun while frame at {open_frame_begin} "
+                        "is still open",
+                        index,
+                    )
+                open_frame_begin = index
+                n_stream_frames += 1
+            elif rec.marker == FRAME_END_MARKER:
+                if open_frame_begin is None:
+                    out.add(
+                        "frame-epoch-monotonicity",
+                        "frame ended with no frame open",
+                        index,
+                    )
+                open_frame_begin = None
+
         # -- ipc-use-before-def ---------------------------------------- #
         if rec.fn in ipc_fns and not sync_marker:
             for cell in rec.mem_read:
@@ -360,6 +395,61 @@ def lint_trace(
             "monotone-marker-clock",
             f"load-complete index {load_idx} outside trace of {len(store)}",
         )
+
+    # -- frame-epoch-monotonicity: metadata vs record stream ------------ #
+    if open_frame_begin is not None:
+        out.add(
+            "frame-epoch-monotonicity",
+            f"frame begun at {open_frame_begin} never ended",
+        )
+    frames = store.metadata.frames
+    if len(frames) != n_stream_frames:
+        out.add(
+            "frame-epoch-monotonicity",
+            f"metadata lists {len(frames)} frame(s) but the trace "
+            f"contains {n_stream_frames} frame-begin marker(s)",
+        )
+    prev_id = None
+    prev_end = -1
+    for span in frames:
+        if prev_id is not None and span.frame_id <= prev_id:
+            out.add(
+                "frame-epoch-monotonicity",
+                f"frame id {span.frame_id} not after previous {prev_id}",
+                span.begin,
+            )
+        prev_id = span.frame_id
+        if span.end is None:
+            out.add(
+                "frame-epoch-monotonicity",
+                f"frame {span.frame_id} has no end marker",
+                span.begin,
+            )
+            continue
+        if span.begin <= prev_end or span.end <= span.begin:
+            out.add(
+                "frame-epoch-monotonicity",
+                f"frame {span.frame_id} span [{span.begin}, {span.end}] "
+                f"overlaps or inverts (previous end {prev_end})",
+                span.begin,
+            )
+        prev_end = max(prev_end, span.end)
+        for where, tag in ((span.begin, FRAME_BEGIN_MARKER), (span.end, FRAME_END_MARKER)):
+            if not 0 <= where < len(store):
+                out.add(
+                    "frame-epoch-monotonicity",
+                    f"frame {span.frame_id} index {where} outside trace "
+                    f"of {len(store)}",
+                )
+                continue
+            rec = store[where]
+            if rec.kind != InstrKind.MARKER or rec.marker != tag:
+                out.add(
+                    "frame-epoch-monotonicity",
+                    f"frame {span.frame_id} metadata points at "
+                    f"{rec.kind.name}, not a {tag} marker",
+                    where,
+                )
 
     # -- epoch-consistency --------------------------------------------- #
     bounds = epoch_bounds(len(store), epoch_size)

@@ -105,6 +105,46 @@ def sync_event_of(index: int, record: "TraceRecord") -> Optional[SyncEvent]:
     )
 
 
+#: Marker tags bracketing one frame of the incremental render pipeline.
+#: The tracer emits FRAME_BEGIN when the engine starts producing a frame
+#: (BeginMainFrame / scroll handling) and FRAME_END right after that
+#: frame's draw; the span of records between them is the frame's trace
+#: epoch.  The "frame:" prefix is disjoint from the sync/lock prefixes, so
+#: frame markers are never mistaken for happens-before edges.
+FRAME_BEGIN_MARKER = "frame:begin"
+FRAME_END_MARKER = "frame:end"
+
+
+@dataclass
+class FrameSpan:
+    """One rendered frame's extent in the trace (metadata side channel).
+
+    Attributes:
+        frame_id: 0-based frame number, strictly increasing per trace.
+        kind: what produced the frame — ``"load"`` (the first full
+            render), ``"update"`` (an invalidation-driven re-render), or
+            ``"scroll"`` (a compositor-thread scroll redraw).
+        begin: record index of the FRAME_BEGIN marker.
+        end: record index of the FRAME_END marker (``None`` while the
+            frame is still open during collection).
+    """
+
+    frame_id: int
+    kind: str
+    begin: int
+    end: Optional[int] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.end is not None
+
+    def n_records(self) -> int:
+        """Number of records in the frame span, markers included."""
+        if self.end is None:
+            return 0
+        return self.end - self.begin + 1
+
+
 class InstrKind(enum.IntEnum):
     """Kind of a dynamically executed instruction.
 
@@ -182,12 +222,15 @@ class TraceMetadata:
             MARKER occurrence, in trace order).
         load_complete_index: record index at which the page finished
             loading (used for the Bing partial-slice experiment).
+        frames: list of :class:`FrameSpan`, one per rendered frame, in
+            frame-id order (the incremental pipeline's frame epochs).
         notes: free-form annotations (workload name, viewport, ...).
     """
 
     thread_names: dict = field(default_factory=dict)
     tile_buffers: list = field(default_factory=list)
     load_complete_index: Optional[int] = None
+    frames: list = field(default_factory=list)
     notes: dict = field(default_factory=dict)
 
     def main_thread_id(self) -> Optional[int]:
@@ -202,3 +245,7 @@ class TraceMetadata:
         return sorted(
             tid for tid, name in self.thread_names.items() if name.startswith(prefix)
         )
+
+    def complete_frames(self) -> list:
+        """Frame spans that have both begin and end markers, in order."""
+        return [span for span in self.frames if span.complete]

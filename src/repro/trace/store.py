@@ -13,10 +13,14 @@ import struct
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
-from .records import InstrKind, TraceRecord, TraceMetadata
+from .records import FrameSpan, InstrKind, TraceRecord, TraceMetadata
 from .symbols import SymbolTable
 
-_HEADER = b"UCWA1\n"  # Unnecessary Computations in Web Apps, format v1
+# Unnecessary Computations in Web Apps.  v2 appends a frame-span section to
+# the metadata (the incremental pipeline's frame epochs); v1 files are still
+# readable and simply have no frames.
+_HEADER = b"UCWA2\n"
+_HEADER_V1 = b"UCWA1\n"
 _REC = struct.Struct("<IQBIhh")  # tid, pc, kind, fn, syscall(+1, -1=None), marker id(+1)
 
 
@@ -75,6 +79,10 @@ class TraceStore:
     def thread_ids(self) -> List[int]:
         """Distinct thread ids present in the trace, sorted."""
         return sorted({r.tid for r in self._records})
+
+    def frame_spans(self) -> List[FrameSpan]:
+        """Completed frame spans (incremental pipeline epochs), in order."""
+        return self.metadata.complete_frames()
 
     def instructions_per_thread(self) -> dict:
         """Map tid -> number of records executed by that thread."""
@@ -148,6 +156,12 @@ def save_trace(store: TraceStore, path: Union[str, Path]) -> None:
     load_idx = -1 if meta.load_complete_index is None else meta.load_complete_index
     chunks.append(struct.pack("<q", load_idx))
 
+    chunks.append(struct.pack("<I", len(meta.frames)))
+    for span in meta.frames:
+        end = -1 if span.end is None else span.end
+        raw = span.kind.encode("utf-8")
+        chunks.append(struct.pack("<IqqH", span.frame_id, span.begin, end, len(raw)) + raw)
+
     path.write_bytes(b"".join(chunks))
 
 
@@ -173,7 +187,11 @@ class _Cursor:
 def load_trace(path: Union[str, Path]) -> TraceStore:
     """Load a trace previously written by :func:`save_trace`."""
     data = Path(path).read_bytes()
-    if not data.startswith(_HEADER):
+    if data.startswith(_HEADER):
+        has_frames = True
+    elif data.startswith(_HEADER_V1):
+        has_frames = False
+    else:
         raise ValueError(f"{path}: not a UCWA trace file")
     cur = _Cursor(data[len(_HEADER) :])
 
@@ -237,6 +255,19 @@ def load_trace(path: Union[str, Path]) -> TraceStore:
         meta.tile_buffers.append((index, tuple(cells)))
     (load_idx,) = cur.take("<q")
     meta.load_complete_index = None if load_idx < 0 else load_idx
+    if has_frames:
+        (n_frames,) = cur.take("<I")
+        for _ in range(n_frames):
+            frame_id, begin, end, length = cur.take("<IqqH")
+            kind = cur.take_bytes(length).decode("utf-8")
+            meta.frames.append(
+                FrameSpan(
+                    frame_id=frame_id,
+                    kind=kind,
+                    begin=begin,
+                    end=None if end < 0 else end,
+                )
+            )
     return store
 
 
@@ -258,7 +289,7 @@ def iter_trace_epochs(
     if epoch_size <= 0:
         raise ValueError(f"epoch_size must be positive, got {epoch_size}")
     data = Path(path).read_bytes()
-    if not data.startswith(_HEADER):
+    if not (data.startswith(_HEADER) or data.startswith(_HEADER_V1)):
         raise ValueError(f"{path}: not a UCWA trace file")
     cur = _Cursor(data[len(_HEADER) :])
 

@@ -17,10 +17,14 @@ from .amazon import (
 from .base import Benchmark
 from .bing import bing, bing_actions, bing_load_only
 from .maps import google_maps, google_maps_browse, maps_browse_actions
+from .multiframe import livefeed, scrollseq, scrollseq_actions, ticker
 from .wiki import wiki_article, wiki_reading_actions
 
 #: The paper's four Table II benchmarks, in column order.
 TABLE2_BENCHMARKS = ("amazon_desktop", "amazon_mobile", "google_maps", "bing")
+
+#: Multi-frame workloads for the incremental pipeline / redundancy study.
+MULTIFRAME_BENCHMARKS = ("ticker", "livefeed", "scrollseq")
 
 _REGISTRY: Dict[str, Callable[[], Benchmark]] = {
     "amazon_desktop": amazon_desktop,
@@ -31,6 +35,9 @@ _REGISTRY: Dict[str, Callable[[], Benchmark]] = {
     "amazon_desktop_browse": amazon_desktop_browse,
     "google_maps_browse": google_maps_browse,
     "wiki_article": wiki_article,
+    "ticker": ticker,
+    "livefeed": livefeed,
+    "scrollseq": scrollseq,
 }
 
 
@@ -54,6 +61,11 @@ __all__ = [
     "benchmark",
     "benchmark_names",
     "TABLE2_BENCHMARKS",
+    "MULTIFRAME_BENCHMARKS",
+    "ticker",
+    "livefeed",
+    "scrollseq",
+    "scrollseq_actions",
     "amazon_desktop",
     "amazon_mobile",
     "amazon_desktop_browse",

@@ -1,0 +1,250 @@
+"""Multi-frame workloads for the incremental frame pipeline.
+
+Unlike the paper's four load-centric benchmarks, these pages keep
+rendering after the first frame: a JS-timer ticker rewrites one line of
+text, a live feed appends and retires story items, and a scroll sequence
+pans through a long article.  Each produces a trace with many frame
+epochs, which the cross-frame redundancy profiler
+(:mod:`repro.profiler.redundancy`) compares frame-by-frame to measure how
+much steady-state work merely reproduces the previous frame's values.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..browser import EngineConfig, PageSpec, UserAction
+from .base import Benchmark
+from .generator import css_framework, lorem
+
+_TICKER_CLASSES = ("masthead", "clock", "story", "footer")
+
+
+def _ticker_page(n_ticks: int = 8, seed: int = 71) -> PageSpec:
+    rng = random.Random(seed)
+    stories = "".join(
+        f'<p class="story">{lorem(rng, 40)}</p>' for _ in range(20)
+    )
+    html = f"""<!DOCTYPE html>
+<html>
+<head>
+<title>Ticker</title>
+<link rel="stylesheet" href="ticker.css">
+</head>
+<body>
+<div class="masthead" id="masthead">{lorem(rng, 6).title()}</div>
+<div class="clock" id="clock">tick -</div>
+{stories}
+<div class="footer" id="footer">{lorem(rng, 10)}</div>
+<script src="ticker.js"></script>
+</body>
+</html>"""
+
+    ticker_js = f"""
+// A clock widget: a setTimeout chain rewrites one line of text.  The
+// page around it never changes, so every frame after the first is a
+// probe of how much of the pipeline re-runs for a one-element update.
+var count = 0;
+function tick() {{
+    var clock = document.getElementById('clock');
+    clock.textContent = 'tick ' + count;
+    count = count + 1;
+    if (count < {n_ticks}) {{
+        setTimeout(tick, 50);
+    }}
+}}
+setTimeout(tick, 50);
+"""
+
+    css = "\n".join(
+        (
+            css_framework("ticker", list(_TICKER_CLASSES), n_extra_rules=12, seed=seed + 1),
+            """
+body { margin: 0; background-color: #ffffff; }
+.masthead { height: 60px; background-color: #1a1a2e; color: #ffffff; font-size: 22px; }
+.clock { width: 320px; height: 40px; background-color: #f0f0f4; font-size: 18px; }
+.story { font-size: 14px; line-height: 20px; color: #202122; }
+.footer { height: 48px; background-color: #e8e8ee; font-size: 12px; }
+""",
+        )
+    )
+
+    return PageSpec(
+        url="https://ticker.example/",
+        html=html,
+        stylesheets={"ticker.css": css},
+        scripts={"ticker.js": ticker_js},
+    )
+
+
+def ticker() -> Benchmark:
+    """JS-timer ticker: one text line updates every 50 ms."""
+    return Benchmark(
+        name="ticker",
+        description="Ticker: JS-timer text updates",
+        page=_ticker_page(),
+        config=EngineConfig(
+            viewport_width=1024,
+            viewport_height=768,
+            raster_threads=2,
+            load_animation_ticks=6,
+            seed=71,
+        ),
+    )
+
+
+_FEED_CLASSES = ("feed", "feed-item", "sidebar", "banner", "archive", "archive-item")
+
+
+def _livefeed_page(n_stories: int = 10, keep: int = 5, seed: int = 73) -> PageSpec:
+    rng = random.Random(seed)
+    seed_items = "".join(
+        f'<div class="feed-item">seeded story: {lorem(rng, 10)}</div>'
+        for _ in range(keep)
+    )
+    archive = "".join(
+        f'<p class="archive-item">{lorem(rng, 25)}</p>' for _ in range(8)
+    )
+    html = f"""<!DOCTYPE html>
+<html>
+<head>
+<title>Live feed</title>
+<link rel="stylesheet" href="feed.css">
+</head>
+<body>
+<div class="banner" id="banner">{lorem(rng, 8).title()}</div>
+<div class="feed" id="feed">{seed_items}</div>
+<div class="sidebar" id="sidebar">{lorem(rng, 30)}</div>
+<div class="archive" id="archive">{archive}</div>
+<script src="feed.js"></script>
+</body>
+</html>"""
+
+    feed_js = f"""
+// A live feed: each timer tick builds a story off-screen (the detached
+// subtree is mutated before insertion), appends it, and retires the
+// oldest so {keep} stay showing.
+var n = 0;
+function feedTick() {{
+    var feed = document.getElementById('feed');
+    var item = document.createElement('div');
+    item.setAttribute('class', 'feed-item');
+    item.textContent = 'story ' + n + ': breaking update';
+    feed.appendChild(item);
+    feed.removeChild(feed.children[0]);
+    n = n + 1;
+    if (n < {n_stories}) {{
+        setTimeout(feedTick, 60);
+    }}
+}}
+setTimeout(feedTick, 60);
+"""
+
+    css = "\n".join(
+        (
+            css_framework("feed", list(_FEED_CLASSES), n_extra_rules=12, seed=seed + 1),
+            """
+body { margin: 0; background-color: #fafafa; }
+.banner { height: 56px; background-color: #b71c1c; color: #ffffff; font-size: 20px; }
+.feed { width: 640px; height: 420px; background-color: #ffffff; }
+.feed-item { height: 64px; background-color: #f5f5f5; font-size: 14px; }
+.sidebar { width: 300px; background-color: #eeeeee; font-size: 13px; }
+""",
+        )
+    )
+
+    return PageSpec(
+        url="https://livefeed.example/",
+        html=html,
+        stylesheets={"feed.css": css},
+        scripts={"feed.js": feed_js},
+    )
+
+
+def livefeed() -> Benchmark:
+    """DOM-mutating live feed: items appended and retired on a timer."""
+    return Benchmark(
+        name="livefeed",
+        description="Live feed: DOM append/remove updates",
+        page=_livefeed_page(),
+        config=EngineConfig(
+            viewport_width=1024,
+            viewport_height=768,
+            raster_threads=2,
+            load_animation_ticks=6,
+            seed=73,
+        ),
+    )
+
+
+_SCROLL_CLASSES = ("chapter", "heading", "para")
+
+
+def _scrollseq_page(n_chapters: int = 12, seed: int = 79) -> PageSpec:
+    rng = random.Random(seed)
+    chapters: List[str] = []
+    for index in range(n_chapters):
+        paras = "".join(
+            f'<p class="para">{lorem(rng, 50)}</p>' for _ in range(3)
+        )
+        chapters.append(
+            f'<div class="chapter"><h2 class="heading">Chapter {index + 1}</h2>{paras}</div>'
+        )
+    html = f"""<!DOCTYPE html>
+<html>
+<head>
+<title>Scroll sequence</title>
+<link rel="stylesheet" href="scroll.css">
+</head>
+<body>
+{''.join(chapters)}
+</body>
+</html>"""
+
+    css = "\n".join(
+        (
+            css_framework("scroll", list(_SCROLL_CLASSES), n_extra_rules=10, seed=seed + 1),
+            """
+body { margin: 0; background-color: #ffffff; }
+.chapter { width: 80%; }
+.heading { font-size: 24px; color: #111111; }
+.para { font-size: 14px; line-height: 21px; color: #202122; }
+""",
+        )
+    )
+
+    return PageSpec(
+        url="https://scrollseq.example/long-read",
+        html=html,
+        stylesheets={"scroll.css": css},
+    )
+
+
+def scrollseq_actions() -> List[UserAction]:
+    """Pan down the article in tile-sized steps, then flick back up."""
+    return [
+        UserAction(kind="scroll", amount=500, think_time_ms=800),
+        UserAction(kind="scroll", amount=500, think_time_ms=700),
+        UserAction(kind="scroll", amount=500, think_time_ms=700),
+        UserAction(kind="scroll", amount=-800, think_time_ms=900),
+    ]
+
+
+def scrollseq() -> Benchmark:
+    """Scroll sequence: compositor-thread frames over a static page."""
+    return Benchmark(
+        name="scrollseq",
+        description="Scroll sequence: compositor pans",
+        page=_scrollseq_page(),
+        config=EngineConfig(
+            viewport_width=1024,
+            viewport_height=768,
+            raster_threads=2,
+            interest_margin=256,
+            load_animation_ticks=6,
+            action_animation_ticks=2,
+            seed=79,
+        ),
+        actions=scrollseq_actions(),
+    )

@@ -17,8 +17,33 @@ def test_usage_on_unknown_target(capsys):
 def test_targets_cover_every_artifact():
     assert set(_TARGETS) == {
         "table1", "table2", "fig2", "fig4", "fig5", "bing-partial", "static",
-        "tsan", "all",
+        "tsan", "frames", "all",
     }
+
+
+def test_unknown_workload_name_exits_nonzero(capsys):
+    assert main(["frames", "no_such_workload"]) == 2
+    err = capsys.readouterr().err
+    assert "no_such_workload" in err
+    assert "available" in err
+
+
+def test_extra_args_rejected_for_table_targets(capsys):
+    assert main(["table2", "amazon_desktop"]) == 2
+
+
+def test_frames_target_runs(capsys):
+    assert main(["frames", "ticker"]) == 0
+    out = capsys.readouterr().out
+    assert "Cross-frame redundancy" in out
+    assert "steady-state" in out
+
+
+def test_trace_collect_unknown_workload_exits_nonzero(tmp_path, capsys):
+    from repro.trace.__main__ import main as trace_main
+
+    assert trace_main(["collect", "no_such_workload", str(tmp_path / "x.ucwa")]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err
 
 
 @pytest.mark.slow

@@ -1,0 +1,117 @@
+"""Edge-case coverage for slice provenance (explain) and comparison (diff)."""
+
+import pytest
+
+from repro.machine import Tracer
+from repro.machine.registers import RBX
+from repro.machine.tracer import TILE_MARKER
+from repro.profiler import (
+    Profiler,
+    SlicerOptions,
+    chain_heads,
+    diff_slices,
+    explain_record,
+    pixel_criteria,
+    reason_summary,
+)
+
+
+def _store():
+    tracer = Tracer()
+    tracer.spawn_thread(1, "CrRendererMain", "main_loop")
+    tracer.op("dead", writes=(0x90,))
+    tracer.op("seed", writes=(0x10,), reg_writes=(RBX,))
+    tracer.call("helper")
+    tracer.op("mix", reads=(0x10,), writes=(0x20,), reg_reads=(RBX,))
+    tracer.ret()
+    tracer.compare_and_branch("guard", reads=(0x20,))
+    tracer.op("paint", reads=(0x20,), writes=(0x30,))
+    tracer.marker(TILE_MARKER, cells=(0x30,))
+    return tracer.store
+
+
+@pytest.fixture(scope="module")
+def tracked():
+    store = _store()
+    profiler = Profiler(store)
+    result = profiler.slice(
+        pixel_criteria(store), options=SlicerOptions(track_reasons=True)
+    )
+    return store, result
+
+
+def test_explain_covers_every_reason_kind(tracked):
+    store, result = tracked
+    seen = set()
+    for index in result.indices():
+        text = explain_record(store, result, index)
+        assert f"record {index}" in text
+        seen.add(result.reasons[index][0])
+    # control-dependence reasons are covered in test_explain_persistence;
+    # this straight-line trace exercises the data and call chains.
+    assert {"data", "call"} <= seen
+
+
+def test_explain_register_reason(tracked):
+    store, result = tracked
+    reg_indices = [
+        i for i in result.indices() if result.reasons[i][0] == "register"
+    ]
+    for index in reg_indices:
+        assert "live register" in explain_record(store, result, index)
+
+
+def test_explain_record_outside_slice(tracked):
+    store, result = tracked
+    outside = [i for i in range(len(result.flags)) if not result.flags[i]]
+    assert outside, "the dead record must stay out of the slice"
+    assert "not in the slice" in explain_record(store, result, outside[0])
+
+
+def test_explain_without_reason_tracking():
+    store = _store()
+    result = Profiler(store).slice(pixel_criteria(store))
+    index = result.indices()[0]
+    assert "track_reasons=True" in explain_record(store, result, index)
+    with pytest.raises(ValueError, match="track_reasons"):
+        reason_summary(result)
+
+
+def test_reason_summary_accounts_for_whole_slice(tracked):
+    _, result = tracked
+    summary = reason_summary(result)
+    assert sum(summary.values()) == result.slice_size()
+    assert all(count > 0 for count in summary.values())
+
+
+def test_chain_heads_respects_limit(tracked):
+    store, result = tracked
+    heads = chain_heads(store, result, limit=2)
+    assert len(heads) == 2
+    assert heads[0][0] == result.indices()[0]
+    assert all(isinstance(name, str) for _, name in heads)
+
+
+def test_diff_empty_slices_have_unit_jaccard():
+    store = _store()
+    result = Profiler(store).slice(pixel_criteria(store))
+    empty_a = type(result)(criteria_name="a", flags=bytearray(len(result.flags)))
+    empty_b = type(result)(criteria_name="b", flags=bytearray(len(result.flags)))
+    diff = diff_slices(empty_a, empty_b)
+    assert diff.both == diff.only_a == diff.only_b == 0
+    assert diff.neither == len(result.flags)
+    assert diff.jaccard == 1.0
+    assert diff.a_subset_of_b and diff.b_subset_of_a
+    assert "jaccard" in diff.summary()
+
+
+def test_diff_subset_relations(tracked):
+    _, result = tracked
+    narrowed = type(result)(
+        criteria_name="narrow", flags=bytearray(result.flags)
+    )
+    narrowed.flags[result.indices()[0]] = 0
+    diff = diff_slices(narrowed, result)
+    assert diff.a_subset_of_b and not diff.b_subset_of_a
+    assert diff.only_b == 1 and diff.only_a == 0
+    assert diff.jaccard < 1.0
