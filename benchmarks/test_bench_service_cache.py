@@ -1,0 +1,79 @@
+"""Cold-vs-warm benchmark of the profiling service's result cache.
+
+Submits each workload to an in-process daemon twice: the cold submit
+runs the workload and slices it inside a supervised worker process, the
+warm submit must be answered from the content-addressed cache without
+invoking the slicer at all.  The assertion is deliberately loose (warm
+<= 10% of cold) because the real observed gap is orders of magnitude —
+the smoke runs in EXPERIMENTS.md measure 400-3000x.
+"""
+
+import tempfile
+import time
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobSpec
+from repro.service.server import ProfilingServer
+
+WORKLOADS = ("wiki_article", "bing")
+
+#: filled by the per-workload benches, consumed by the summary test
+TIMINGS: dict = {}
+
+
+@pytest.fixture(scope="module")
+def service():
+    with tempfile.TemporaryDirectory(prefix="repro-svc-bench-") as tmp:
+        server = ProfilingServer(f"{tmp}/s.sock", f"{tmp}/cache", workers=2)
+        server.start()
+        try:
+            yield ServiceClient(server.socket_path)
+        finally:
+            server.close()
+
+
+def _submit_timed(client, spec):
+    start = time.perf_counter()
+    response = client.submit(spec, wait=True)
+    return response, time.perf_counter() - start
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_service_cache_benchmark(name, service, benchmark):
+    spec = JobSpec(workload=name)
+
+    def cold_then_warm():
+        cold, cold_s = _submit_timed(service, spec)
+        warm, warm_s = _submit_timed(service, spec)
+        return cold, warm, cold_s, warm_s
+
+    cold, warm, cold_s, warm_s = benchmark.pedantic(
+        cold_then_warm, rounds=1, iterations=1
+    )
+    TIMINGS[name] = (cold_s, warm_s)
+
+    assert cold["outcome"] == "ok"
+    assert warm["outcome"] in ("cache-memory", "cache-disk")
+    assert warm["result"]["flags_sha256"] == cold["result"]["flags_sha256"]
+    assert warm_s <= cold_s * 0.10, (
+        f"{name}: warm submit took {warm_s:.3f}s vs cold {cold_s:.3f}s — "
+        f"the cache hit must cost at most 10% of the cold run"
+    )
+
+
+def test_report(service):
+    assert set(TIMINGS) == set(WORKLOADS), "run the per-workload benches first"
+    print()
+    print("service result cache: cold vs warm submit")
+    print(f"{'workload':<16s} {'cold (s)':>9s} {'warm (s)':>9s} {'speedup':>9s}")
+    for name, (cold_s, warm_s) in TIMINGS.items():
+        speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+        print(f"{name:<16s} {cold_s:>9.3f} {warm_s:>9.3f} {speedup:>8.1f}x")
+    stats = service.stats()
+    cache = stats["cache"]
+    print(
+        f"cache: {cache['memory_hits']} memory + {cache['disk_hits']} disk hits, "
+        f"hit rate {cache['hit_rate']:.0%}"
+    )

@@ -11,6 +11,7 @@ Usage::
     python -m repro.harness static
     python -m repro.harness tsan
     python -m repro.harness frames [workload ...]
+    python -m repro.harness service [workload ...] [--golden=PATH] [--rounds=N]
     python -m repro.harness all
 
 ``static`` cross-validates the static dead-code analyzer
@@ -22,8 +23,15 @@ docs/race-detection.md).
 ``frames`` runs the multi-frame workloads (default: ticker, livefeed,
 scrollseq) through the incremental pipeline and prints each frame's
 pixel-slice and redundancy breakdown (see docs/incremental-pipeline.md).
+``service`` smoke-tests the profiling daemon (see
+docs/profiling-service.md): it boots an in-process server, submits the
+paper workloads (default: the four Table II benchmarks) for ``--rounds``
+rounds (default 2), and asserts repeat rounds are served from the
+content-addressed cache with byte-identical results; ``--golden=PATH``
+additionally checks fractions against the frozen paper numbers.
 
-Unknown targets and unknown workload names exit with status 2.
+Unknown targets and unknown workload names exit with status 2 —
+uniformly, for every subcommand.
 """
 
 from __future__ import annotations
@@ -44,8 +52,11 @@ from .reporting import (
 
 _TARGETS = (
     "table1", "table2", "fig2", "fig4", "fig5", "bing-partial", "static",
-    "tsan", "frames", "all",
+    "tsan", "frames", "service", "all",
 )
+
+#: Targets that accept workload-name arguments (the rest take none).
+_WORKLOAD_TARGETS = ("frames", "service")
 
 
 def _tsan() -> str:
@@ -102,27 +113,69 @@ def _frames(names) -> str:
     return frames_report({name: cached_frames(name) for name in names})
 
 
+def _service(names, options) -> str:
+    from .service import run_service_smoke
+
+    golden = options.get("golden")
+    rounds = int(options.get("rounds", "2"))
+    return run_service_smoke(names, golden_path=golden, rounds=rounds)
+
+
 def main(argv) -> int:
     if not argv or argv[0] not in _TARGETS:
         print(__doc__)
         return 2
     target = argv[0]
-    if target != "frames" and len(argv) != 1:
-        print(__doc__)
+
+    options = {}
+    workload_args = []
+    for arg in argv[1:]:
+        if arg.startswith("--"):
+            key, _, value = arg[2:].partition("=")
+            options[key] = value
+        else:
+            workload_args.append(arg)
+    if options and target != "service":
+        print(f"target {target!r} takes no options", file=sys.stderr)
+        return 2
+    if target == "service":
+        unknown_opts = sorted(set(options) - {"golden", "rounds"})
+        if unknown_opts:
+            print(f"unknown option(s): {', '.join(unknown_opts)}", file=sys.stderr)
+            return 2
+        rounds = options.get("rounds")
+        if rounds is not None and (not rounds.isdigit() or int(rounds) < 1):
+            print(f"--rounds expects a positive integer, got {rounds!r}",
+                  file=sys.stderr)
+            return 2
+
+    from ..workloads import (
+        MULTIFRAME_BENCHMARKS,
+        TABLE2_BENCHMARKS,
+        benchmark_names,
+        unknown_names,
+    )
+
+    # Workload-name arguments are validated uniformly, for every target:
+    # a bad name exits 2 with the same message everywhere.
+    unknown = unknown_names(workload_args)
+    if unknown:
+        print(
+            f"unknown workload(s): {', '.join(unknown)}; "
+            f"available: {', '.join(benchmark_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    if workload_args and target not in _WORKLOAD_TARGETS:
+        print(
+            f"target {target!r} takes no workload arguments "
+            f"(only {', '.join(_WORKLOAD_TARGETS)} do)",
+            file=sys.stderr,
+        )
         return 2
 
-    from ..workloads import MULTIFRAME_BENCHMARKS, benchmark_names
-
-    frame_names = list(argv[1:]) or list(MULTIFRAME_BENCHMARKS)
-    if target == "frames":
-        unknown = [n for n in frame_names if n not in benchmark_names()]
-        if unknown:
-            print(
-                f"unknown workload(s): {', '.join(unknown)}; "
-                f"available: {', '.join(benchmark_names())}",
-                file=sys.stderr,
-            )
-            return 2
+    frame_names = workload_args or list(MULTIFRAME_BENCHMARKS)
+    service_names = workload_args or list(TABLE2_BENCHMARKS)
     if target in ("table1", "all"):
         print(_table1())
         print()
@@ -149,6 +202,9 @@ def main(argv) -> int:
         print()
     if target in ("frames", "all"):
         print(_frames(frame_names))
+        print()
+    if target in ("service", "all"):
+        print(_service(service_names, options))
     return 0
 
 

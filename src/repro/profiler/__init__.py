@@ -18,9 +18,12 @@ from .categorize import (
 from .cdg import ControlDependenceIndex, build_index, control_dependences
 from .cfg import VIRTUAL_EXIT, DynamicCFGBuilder, FunctionCFG, build_cfgs
 from .criteria import (
+    CRITERIA_FAMILIES,
     Criterion,
     SlicingCriteria,
     combined_criteria,
+    criteria_from_name,
+    criteria_names,
     custom_criteria,
     pixel_criteria,
     syscall_criteria,
@@ -71,6 +74,9 @@ __all__ = [
     "build_index",
     "Criterion",
     "SlicingCriteria",
+    "CRITERIA_FAMILIES",
+    "criteria_from_name",
+    "criteria_names",
     "pixel_criteria",
     "syscall_criteria",
     "combined_criteria",

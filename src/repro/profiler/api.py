@@ -17,7 +17,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..trace.store import TraceStore
 from .categorize import CategoryDistribution, categorize_unnecessary
@@ -26,6 +26,7 @@ from .cfg import build_cfgs
 from .criteria import (
     SlicingCriteria,
     combined_criteria,
+    criteria_from_name,
     pixel_criteria,
     syscall_criteria,
 )
@@ -136,3 +137,72 @@ class Profiler:
     def categorize(self, result: SliceResult) -> CategoryDistribution:
         """Namespace categorization of the non-slice instructions."""
         return categorize_unnecessary(self._store, result)
+
+
+# --------------------------------------------------------------------- #
+# Pure job entry points (the profiling service's unit of work)          #
+# --------------------------------------------------------------------- #
+
+
+def job_criteria(
+    store: TraceStore, criteria: str = "pixels", frame: Optional[int] = None
+) -> SlicingCriteria:
+    """Instantiate a named criteria family, optionally scoped to a frame.
+
+    ``frame`` selects one complete frame epoch by position (0 = load
+    frame): pixel points are restricted to tiles rastered inside the
+    span and the criteria are windowed to the frame's last record, so
+    the slice answers "what fed *this* frame's output".  Raises
+    ``KeyError`` for an unknown family and ``ValueError`` for an
+    out-of-range frame or a criteria family the trace cannot support.
+    """
+    if frame is None:
+        return criteria_from_name(store, criteria)
+    spans = store.frame_spans()
+    if frame < 0 or frame >= len(spans):
+        raise ValueError(
+            f"frame {frame} out of range; trace has {len(spans)} complete frames"
+        )
+    span = spans[frame]
+    from .redundancy import frame_pixel_criteria
+
+    if criteria == "pixels":
+        return frame_pixel_criteria(store, span)
+    base = criteria_from_name(store, criteria)
+    in_span = tuple(
+        crit for crit in base.criteria if span.begin <= crit.index <= span.end
+    )
+    return SlicingCriteria(
+        name=f"{criteria}:frame{span.frame_id}",
+        criteria=in_span,
+        include_syscalls=base.include_syscalls,
+        window_end=span.end,
+    )
+
+
+def run_slice_job(
+    store: TraceStore,
+    criteria: str = "pixels",
+    engine: str = "sequential",
+    workers: Optional[int] = None,
+    frame: Optional[int] = None,
+    sample_every: Optional[int] = None,
+    options: SlicerOptions = DEFAULT_OPTIONS,
+) -> Tuple[SliceResult, SliceStatistics]:
+    """Run one profiling job: slice ``store`` and compute its statistics.
+
+    This is the pure, side-effect-free entry point the profiling service
+    executes in its worker processes (and what ``python -m repro.trace
+    slice`` drives): everything a job needs arrives as arguments, and the
+    full outcome is in the return value, so the call is safe to retry,
+    cache, or run in a throwaway process.
+    """
+    profiler = Profiler(store)
+    result = profiler.slice(
+        job_criteria(store, criteria, frame),
+        sample_every=sample_every,
+        engine=engine,
+        workers=workers,
+        options=options,
+    )
+    return result, profiler.statistics(result)

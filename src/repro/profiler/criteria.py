@@ -121,6 +121,36 @@ def combined_criteria(store: TraceStore) -> SlicingCriteria:
     )
 
 
+#: Criteria family name -> factory, the names the CLIs and the profiling
+#: service accept for ``--criteria`` / the job-spec ``criteria`` field.
+CRITERIA_FAMILIES = {
+    "pixels": pixel_criteria,
+    "syscalls": syscall_criteria,
+    "pixels+syscalls": combined_criteria,
+}
+
+
+def criteria_names() -> Tuple[str, ...]:
+    """The registered criteria family names, sorted."""
+    return tuple(sorted(CRITERIA_FAMILIES))
+
+
+def criteria_from_name(store: TraceStore, name: str) -> SlicingCriteria:
+    """Instantiate a criteria family by name against one trace.
+
+    Raises ``KeyError`` (with the available names in the message) for an
+    unregistered family, ``ValueError`` when the family does not apply to
+    the trace (e.g. pixels on a trace with no tile markers).
+    """
+    try:
+        factory = CRITERIA_FAMILIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown criteria {name!r}; available: {', '.join(criteria_names())}"
+        ) from None
+    return factory(store)
+
+
 def custom_criteria(
     name: str, points: Tuple[Tuple[int, Tuple[int, ...]], ...]
 ) -> SlicingCriteria:

@@ -1,0 +1,38 @@
+"""Profiling-as-a-service: a long-running analysis daemon.
+
+The batch tools (``python -m repro.trace slice``, ``python -m
+repro.harness``) re-pay the full backward pass on every invocation.  This
+package wraps the same engines in a service front end so analysis traffic
+amortizes: a daemon (:mod:`.server`) accepts jobs over a length-prefixed
+JSON protocol (:mod:`.protocol`) on a local socket, runs them on a
+supervised worker pool (:mod:`.worker`) that isolates crashes and
+enforces per-job timeouts, and answers repeat submits from a
+content-addressed result cache (:mod:`.cache`) keyed by trace digest ×
+criteria × engine × code version — a warm submit never touches the
+slicer.  :mod:`.client` is the library interface, ``python -m
+repro.service`` the CLI, and :mod:`.metrics` the ``stats`` endpoint's
+bookkeeping.  See ``docs/profiling-service.md``.
+"""
+
+from .cache import ResultCache, cache_key, code_version
+from .client import ServiceClient, ServiceError
+from .jobs import JobSpec, SpecError, execute_job
+from .metrics import ServiceMetrics
+from .protocol import ProtocolError, recv_message, send_message
+from .server import ProfilingServer
+
+__all__ = [
+    "ProfilingServer",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceMetrics",
+    "JobSpec",
+    "SpecError",
+    "execute_job",
+    "ResultCache",
+    "cache_key",
+    "code_version",
+    "ProtocolError",
+    "send_message",
+    "recv_message",
+]

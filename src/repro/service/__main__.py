@@ -1,0 +1,262 @@
+"""Profiling-service CLI: run the daemon or talk to one.
+
+Usage::
+
+    python -m repro.service serve --socket=/tmp/repro.sock --cache-dir=/tmp/repro-cache \\
+        [--workers=2] [--queue-size=16] [--job-timeout=300]
+    python -m repro.service submit --socket=/tmp/repro.sock --workload=wiki_article \\
+        [--criteria=pixels] [--engine=sequential] [--slicer-workers=4] [--frame=N] [--no-wait]
+    python -m repro.service submit --socket=/tmp/repro.sock --trace=/tmp/amazon.ucwa ...
+    python -m repro.service status --socket=/tmp/repro.sock JOB_ID
+    python -m repro.service stats --socket=/tmp/repro.sock
+    python -m repro.service shutdown --socket=/tmp/repro.sock [--now]
+
+``submit`` waits for the result by default and prints a one-line summary
+plus the cache disposition; ``--no-wait`` returns the job id immediately
+(poll with ``status``).  Protocol, cache-key recipe, and failure
+semantics are documented in docs/profiling-service.md.  Unknown
+subcommands, options, and values exit with status 2; a job that fails
+(timeout, crash, error) exits with status 1.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from .client import ServiceClient, ServiceError
+from .jobs import JobSpec, SpecError
+
+_COMMANDS = ("serve", "submit", "status", "stats", "shutdown")
+
+
+def _parse_options(argv: List[str]) -> Optional[Tuple[Dict[str, str], List[str]]]:
+    """Split ``--key=value`` / ``--flag`` options from positionals."""
+    options: Dict[str, str] = {}
+    positional: List[str] = []
+    for arg in argv:
+        if arg.startswith("--"):
+            key, sep, value = arg[2:].partition("=")
+            if not key:
+                print(f"malformed option {arg!r}", file=sys.stderr)
+                return None
+            options[key] = value if sep else "true"
+        else:
+            positional.append(arg)
+    return options, positional
+
+
+def _take_int(options: Dict[str, str], key: str) -> Optional[int]:
+    raw = options.pop(key, None)
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise SpecError(f"--{key} expects an integer, got {raw!r}") from None
+
+
+def _take_float(options: Dict[str, str], key: str) -> Optional[float]:
+    raw = options.pop(key, None)
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise SpecError(f"--{key} expects a number, got {raw!r}") from None
+
+
+def _require_socket(options: Dict[str, str]) -> Optional[str]:
+    path = options.pop("socket", None)
+    if not path:
+        print("--socket=PATH is required", file=sys.stderr)
+        return None
+    return path
+
+
+def _reject_leftovers(options: Dict[str, str], positional: List[str]) -> bool:
+    if options:
+        print(f"unknown option(s): {', '.join(sorted(options))}", file=sys.stderr)
+        return False
+    if positional:
+        print(f"unexpected argument(s): {', '.join(positional)}", file=sys.stderr)
+        return False
+    return True
+
+
+def _serve(argv: List[str]) -> int:
+    from .server import ProfilingServer
+
+    parsed = _parse_options(argv)
+    if parsed is None:
+        return 2
+    options, positional = parsed
+    socket_path = _require_socket(options)
+    cache_dir = options.pop("cache-dir", None)
+    if not cache_dir:
+        print("--cache-dir=DIR is required", file=sys.stderr)
+    if socket_path is None or not cache_dir:
+        return 2
+    try:
+        workers = _take_int(options, "workers") or 2
+        queue_size = _take_int(options, "queue-size") or 16
+        timeout_s = _take_float(options, "job-timeout") or 300.0
+    except SpecError as err:
+        print(str(err), file=sys.stderr)
+        return 2
+    if not _reject_leftovers(options, positional):
+        return 2
+    server = ProfilingServer(
+        socket_path,
+        cache_dir,
+        workers=workers,
+        queue_size=queue_size,
+        default_timeout_s=timeout_s,
+    )
+    server.start()
+    print(
+        f"profiling service listening on {socket_path} "
+        f"(workers={workers}, queue={queue_size}, cache={cache_dir})"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.close()
+    print("profiling service stopped")
+    return 0
+
+
+def _print_result(status: Dict) -> int:
+    outcome = status.get("outcome")
+    if outcome in ("ok", "cache-memory", "cache-disk"):
+        result = status["result"]
+        via = "sliced" if outcome == "ok" else f"cache hit ({status['cache']})"
+        print(
+            f"{status['id']}: {result['criteria']} slice "
+            f"{result['fraction']:.1%} of {result['total']} records "
+            f"[{via}, engine={result['engine']}]"
+        )
+        return 0
+    error = status.get("error") or {}
+    print(
+        f"{status.get('id', '?')}: {outcome or status.get('state')} — "
+        f"{error.get('code', '?')}: {error.get('message', '')}",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _submit(argv: List[str]) -> int:
+    parsed = _parse_options(argv)
+    if parsed is None:
+        return 2
+    options, positional = parsed
+    socket_path = _require_socket(options)
+    if socket_path is None:
+        return 2
+    no_wait = options.pop("no-wait", None) is not None
+    try:
+        spec = JobSpec(
+            workload=options.pop("workload", None),
+            trace_path=options.pop("trace", None),
+            criteria=options.pop("criteria", "pixels"),
+            engine=options.pop("engine", "sequential"),
+            workers=_take_int(options, "slicer-workers"),
+            frame=_take_int(options, "frame"),
+            timeout_s=_take_float(options, "timeout"),
+            fault=options.pop("fault", None),
+        ).validate()
+    except SpecError as err:
+        print(f"invalid job spec: {err}", file=sys.stderr)
+        return 2
+    if not _reject_leftovers(options, positional):
+        return 2
+    try:
+        response = ServiceClient(socket_path).submit(spec, wait=not no_wait)
+    except ServiceError as err:
+        print(f"submit failed — {err}", file=sys.stderr)
+        return 2 if err.code in ("invalid-spec", "unreachable") else 1
+    if no_wait:
+        print(f"{response['id']}: {response['state']}")
+        return 0
+    return _print_result(response)
+
+
+def _status(argv: List[str]) -> int:
+    parsed = _parse_options(argv)
+    if parsed is None:
+        return 2
+    options, positional = parsed
+    socket_path = _require_socket(options)
+    if socket_path is None:
+        return 2
+    if len(positional) != 1 or options:
+        print("usage: status --socket=PATH JOB_ID", file=sys.stderr)
+        return 2
+    try:
+        status = ServiceClient(socket_path).status(positional[0])
+    except ServiceError as err:
+        print(f"status failed — {err}", file=sys.stderr)
+        return 1
+    if status.get("state") != "done":
+        print(f"{status['id']}: {status['state']}")
+        return 0
+    return _print_result(status)
+
+
+def _stats(argv: List[str]) -> int:
+    parsed = _parse_options(argv)
+    if parsed is None:
+        return 2
+    options, positional = parsed
+    socket_path = _require_socket(options)
+    if socket_path is None or not _reject_leftovers(options, positional):
+        return 2
+    try:
+        stats = ServiceClient(socket_path).stats()
+    except ServiceError as err:
+        print(f"stats failed — {err}", file=sys.stderr)
+        return 1
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    return 0
+
+
+def _shutdown(argv: List[str]) -> int:
+    parsed = _parse_options(argv)
+    if parsed is None:
+        return 2
+    options, positional = parsed
+    socket_path = _require_socket(options)
+    if socket_path is None:
+        return 2
+    now = options.pop("now", None) is not None
+    if not _reject_leftovers(options, positional):
+        return 2
+    try:
+        response = ServiceClient(socket_path).shutdown(drain=not now)
+    except ServiceError as err:
+        print(f"shutdown failed — {err}", file=sys.stderr)
+        return 1
+    print("draining" if response.get("draining") else "stopping now")
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    if not argv or argv[0] not in _COMMANDS:
+        print(__doc__)
+        return 2
+    command, rest = argv[0], argv[1:]
+    if command == "serve":
+        return _serve(rest)
+    if command == "submit":
+        return _submit(rest)
+    if command == "status":
+        return _status(rest)
+    if command == "stats":
+        return _stats(rest)
+    return _shutdown(rest)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,205 @@
+"""Content-addressed result cache (in-memory LRU over an on-disk store).
+
+Cache keys follow the recipe in ``docs/profiling-service.md``::
+
+    key = sha256({trace_digest, criteria, frame, engine, code_version})
+
+* ``trace_digest`` content-addresses the *input*: sha256 of the trace
+  file's bytes for path jobs, :func:`repro.trace.store.trace_digest` of
+  the collected trace for workload jobs.  Editing a trace file therefore
+  invalidates its entries automatically — there is no explicit
+  invalidation API.
+* ``criteria``/``frame``/``engine`` address the *question* asked of it.
+* ``code_version`` addresses the *analyzer*: a digest over the profiler
+  and trace package sources, so upgrading the slicer silently retires
+  every stale entry instead of serving results the current code would
+  not produce.
+
+Reads check a bounded in-memory LRU first, then the on-disk JSON store
+(``<dir>/results/<key>.json``); disk hits are promoted into the LRU.
+Writes go straight through to disk, so a daemon restart keeps its warm
+set.  The workload→digest memo (:class:`WorkloadDigestMemo`) lets the
+server answer a repeat *workload* submit without even re-running the
+workload: the first run records the digest its deterministic trace
+hashed to, also keyed by ``code_version``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+
+def code_version() -> str:
+    """Digest of the analyzer's source (profiler + trace + this package).
+
+    Computed once per process over the sorted ``.py`` files of the
+    packages whose behaviour determines a job's result.  Any edit to the
+    slicer, the trace codecs, or the service's own job execution yields a
+    new version and thereby a disjoint cache-key space.
+    """
+    global _CODE_VERSION
+    version = _CODE_VERSION
+    if version is None:
+        import repro.profiler
+        import repro.trace
+
+        hasher = hashlib.sha256()
+        roots = [
+            Path(repro.profiler.__file__).parent,
+            Path(repro.trace.__file__).parent,
+            Path(__file__).parent,
+        ]
+        for root in roots:
+            for source in sorted(root.glob("*.py")):
+                hasher.update(source.name.encode("utf-8"))
+                hasher.update(source.read_bytes())
+        version = hasher.hexdigest()[:16]
+        _CODE_VERSION = version
+    return version
+
+
+_CODE_VERSION: Optional[str] = None
+
+
+def cache_key(
+    trace_digest: str,
+    criteria: str,
+    engine: str,
+    frame: Optional[int] = None,
+    version: Optional[str] = None,
+) -> str:
+    """The content-addressed result key (hex sha256)."""
+    payload = {
+        "trace_digest": trace_digest,
+        "criteria": criteria,
+        "engine": engine,
+        "frame": frame,
+        "code_version": version if version is not None else code_version(),
+    }
+    raw = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(raw).hexdigest()
+
+
+class ResultCache:
+    """Two-tier result cache: bounded LRU in front of a directory store.
+
+    Thread-safe; every method may be called from connection handler and
+    supervisor threads concurrently.  Hit/miss counters live here so the
+    ``stats`` endpoint reports the cache's own truth rather than the
+    server's bookkeeping.
+    """
+
+    def __init__(self, directory: Union[str, Path], memory_entries: int = 128) -> None:
+        if memory_entries < 1:
+            raise ValueError(f"memory_entries must be >= 1, got {memory_entries}")
+        self._dir = Path(directory) / "results"
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._memory_entries = memory_entries
+        self._lru: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self._dir / f"{key}.json"
+
+    def _remember(self, key: str, payload: Dict[str, Any]) -> None:
+        self._lru[key] = payload
+        self._lru.move_to_end(key)
+        while len(self._lru) > self._memory_entries:
+            self._lru.popitem(last=False)
+
+    def lookup(self, key: str) -> Optional[Tuple[Dict[str, Any], str]]:
+        """Look up a result: ``(payload, tier)`` with tier ``"memory"`` or
+        ``"disk"``, or None on miss.  Updates the hit counters."""
+        with self._lock:
+            payload = self._lru.get(key)
+            if payload is not None:
+                self._lru.move_to_end(key)
+                self.memory_hits += 1
+                return payload, "memory"
+            path = self._path(key)
+            try:
+                payload = json.loads(path.read_text("utf-8"))
+            except FileNotFoundError:
+                self.misses += 1
+                return None
+            except (OSError, json.JSONDecodeError):
+                # A torn or corrupt entry is a miss; drop it so the slot
+                # heals on the next put.
+                path.unlink(missing_ok=True)
+                self.misses += 1
+                return None
+            self.disk_hits += 1
+            self._remember(key, payload)
+            return payload, "disk"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Like :meth:`lookup` but returns the payload alone."""
+        found = self.lookup(key)
+        return None if found is None else found[0]
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store a result in both tiers (write-through)."""
+        raw = json.dumps(payload, sort_keys=True)
+        with self._lock:
+            tmp = self._path(key).with_suffix(".tmp")
+            tmp.write_text(raw, "utf-8")
+            tmp.replace(self._path(key))
+            self._remember(key, payload)
+
+    def contains(self, key: str) -> bool:
+        """Presence check without counting a hit or a miss."""
+        with self._lock:
+            return key in self._lru or self._path(key).exists()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            lookups = self.memory_hits + self.disk_hits + self.misses
+            hits = self.memory_hits + self.disk_hits
+            return {
+                "memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "hit_rate": hits / lookups if lookups else 0.0,
+                "entries_memory": len(self._lru),
+                "entries_disk": sum(1 for _ in self._dir.glob("*.json")),
+            }
+
+
+class WorkloadDigestMemo:
+    """Persisted workload-name → trace-digest memo, keyed by code version.
+
+    Registered workloads are deterministic, so once a workload has been
+    traced under the current analyzer its digest — and therefore its
+    result cache key — is known without re-running it.  The memo is the
+    bridge that makes a *workload* submit as warm as a *trace-path* one.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self._path = Path(directory) / "workload-digests.json"
+        self._lock = threading.Lock()
+        self._memo: Dict[str, Dict[str, str]] = {}
+        try:
+            data = json.loads(self._path.read_text("utf-8"))
+            if isinstance(data, dict):
+                self._memo = data
+        except (FileNotFoundError, OSError, json.JSONDecodeError):
+            pass
+
+    def get(self, workload: str) -> Optional[str]:
+        with self._lock:
+            return self._memo.get(code_version(), {}).get(workload)
+
+    def put(self, workload: str, digest: str) -> None:
+        with self._lock:
+            self._memo.setdefault(code_version(), {})[workload] = digest
+            tmp = self._path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(self._memo, indent=2, sort_keys=True), "utf-8")
+            tmp.replace(self._path)

@@ -1,0 +1,113 @@
+"""Client library for the profiling daemon.
+
+:class:`ServiceClient` opens one short-lived connection per call — the
+daemon is local, connects are cheap, and per-call connections mean a
+client never holds a handler thread hostage between requests (the one
+deliberate exception: ``submit(wait=True)`` and ``wait()`` keep their
+connection open while the server blocks on the job's completion).
+
+Failures arrive as :class:`ServiceError` with the server's stable error
+code on it, so callers branch on ``err.code`` rather than message text.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional, Union
+
+from .jobs import JobSpec
+from .protocol import ProtocolError, recv_message, send_message
+
+
+class ServiceError(Exception):
+    """An error response from the daemon (or a transport failure)."""
+
+    def __init__(self, code: str, message: str, details: Optional[Dict] = None):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.details = details or {}
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.server.ProfilingServer` socket."""
+
+    def __init__(self, socket_path: str, connect_timeout_s: float = 5.0) -> None:
+        self._socket_path = socket_path
+        self._connect_timeout_s = connect_timeout_s
+
+    def request(
+        self, message: Dict[str, Any], timeout_s: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """One round trip; raises :class:`ServiceError` on ``ok: false``.
+
+        ``timeout_s`` bounds the wait for the *response* (None = forever),
+        independent of the connect timeout.
+        """
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(self._connect_timeout_s)
+            try:
+                sock.connect(self._socket_path)
+            except OSError as err:
+                raise ServiceError(
+                    "unreachable", f"cannot connect to {self._socket_path}: {err}"
+                ) from None
+            sock.settimeout(timeout_s)
+            try:
+                send_message(sock, message)
+                response = recv_message(sock)
+            except (ProtocolError, OSError) as err:
+                raise ServiceError("transport", str(err)) from None
+            if response is None:
+                raise ServiceError("transport", "server closed the connection")
+            if not response.get("ok"):
+                error = response.get("error") or {}
+                raise ServiceError(
+                    error.get("code", "unknown"),
+                    error.get("message", "unspecified error"),
+                    details=error,
+                )
+            return response
+        finally:
+            sock.close()
+
+    # -- operations ----------------------------------------------------- #
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def submit(
+        self,
+        spec: Union[JobSpec, Dict[str, Any]],
+        wait: bool = False,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit a job; with ``wait=True`` block until it completes."""
+        spec_dict = spec.to_dict() if isinstance(spec, JobSpec) else spec
+        return self.request(
+            {"op": "submit", "spec": spec_dict, "wait": wait}, timeout_s=timeout_s
+        )
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request({"op": "status", "id": job_id})
+
+    def wait(
+        self, job_id: str, timeout_s: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Block (server-side) until the job completes, then its status."""
+        request: Dict[str, Any] = {"op": "wait", "id": job_id}
+        if timeout_s is not None:
+            request["timeout_s"] = timeout_s
+        # Give the transport slack beyond the server-side wait budget.
+        transport = None if timeout_s is None else timeout_s + 5.0
+        return self.request(request, timeout_s=transport)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request({"op": "cancel", "id": job_id})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})["stats"]
+
+    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+        return self.request({"op": "shutdown", "mode": "drain" if drain else "now"})

@@ -1,0 +1,193 @@
+"""Job specs and their execution (the service's unit of work).
+
+A :class:`JobSpec` names *what* to analyze — a registered workload or a
+stored trace file — and *how*: criteria family, slicing engine, worker
+count, optional frame selection.  Specs are plain JSON-able data so they
+travel over the wire, key the coalescing map, and re-execute identically
+on retry.
+
+:func:`execute_job` is the function the supervised worker processes run:
+resolve the spec to a trace, digest it, slice it through the pure
+:func:`repro.profiler.api.run_slice_job` entry point, and return a
+JSON-able result payload.  It is deliberately side-effect-free (no server
+state, no cache) so a crashed attempt can simply be run again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, asdict
+from typing import Any, Dict, Optional
+
+from ..profiler.api import run_slice_job
+from ..profiler.criteria import criteria_names
+from ..trace.store import TraceStore, file_digest, load_trace, trace_digest
+
+_ENGINES = ("sequential", "parallel")
+
+#: Fault-injection hooks, honoured inside the worker process just before
+#: the slice runs.  They exist so the failure paths (crash isolation,
+#: retry-once, timeouts) are deterministically testable end-to-end:
+#: ``crash`` kills the process on every attempt, ``crash-once`` only on
+#: the first, ``hang`` sleeps past any reasonable timeout, ``error``
+#: raises a structured job error.
+FAULTS = ("crash", "crash-once", "hang", "error")
+
+
+class SpecError(ValueError):
+    """A job spec that fails validation (maps to the invalid-spec code)."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One profiling job: analysis target × criteria × engine."""
+
+    workload: Optional[str] = None
+    trace_path: Optional[str] = None
+    criteria: str = "pixels"
+    engine: str = "sequential"
+    workers: Optional[int] = None
+    frame: Optional[int] = None
+    timeout_s: Optional[float] = None
+    fault: Optional[str] = None
+
+    def validate(self) -> "JobSpec":
+        """Check the spec against the registries; raise :class:`SpecError`."""
+        from ..workloads import benchmark_names, unknown_names
+
+        if bool(self.workload) == bool(self.trace_path):
+            raise SpecError("exactly one of 'workload' or 'trace_path' is required")
+        if self.workload is not None and unknown_names([self.workload]):
+            raise SpecError(
+                f"unknown workload {self.workload!r}; "
+                f"available: {', '.join(benchmark_names())}"
+            )
+        if self.criteria not in criteria_names():
+            raise SpecError(
+                f"unknown criteria {self.criteria!r}; "
+                f"available: {', '.join(criteria_names())}"
+            )
+        if self.engine not in _ENGINES:
+            raise SpecError(
+                f"unknown engine {self.engine!r}; expected one of {_ENGINES}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise SpecError(f"workers must be >= 1, got {self.workers}")
+        if self.frame is not None and self.frame < 0:
+            raise SpecError(f"frame must be >= 0, got {self.frame}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise SpecError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.fault is not None and self.fault not in FAULTS:
+            raise SpecError(
+                f"unknown fault {self.fault!r}; available: {', '.join(FAULTS)}"
+            )
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (drops unset fields for stable fingerprints)."""
+        return {k: v for k, v in asdict(self).items() if v is not None}
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "JobSpec":
+        """Parse a wire-form spec, rejecting unknown fields."""
+        if not isinstance(data, dict):
+            raise SpecError(f"job spec must be an object, got {type(data).__name__}")
+        known = {f for f in JobSpec.__dataclass_fields__}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(f"unknown job-spec field(s): {', '.join(unknown)}")
+        return JobSpec(**data).validate()
+
+    def fingerprint(self) -> str:
+        """Identity of the job for submit coalescing.
+
+        Covers every result-affecting field (and the fault hook, so a
+        fault-injected job never coalesces with a clean one) but not
+        ``timeout_s``, which only bounds execution.
+        """
+        payload = self.to_dict()
+        payload.pop("timeout_s", None)
+        if self.trace_path is not None:
+            payload["trace_path"] = os.path.abspath(self.trace_path)
+        raw = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(raw).hexdigest()
+
+
+def resolve_trace(spec: JobSpec) -> TraceStore:
+    """Materialize the spec's trace: load the file or run the workload.
+
+    Workload runs use the same recipe as ``harness.experiments
+    .run_benchmark`` (``metrics_ticks=2``), so a service job over a
+    workload sees the byte-identical trace the in-process harness sees.
+    """
+    if spec.trace_path is not None:
+        return load_trace(spec.trace_path)
+    from ..harness.experiments import run_engine
+    from ..workloads import benchmark
+
+    assert spec.workload is not None  # validate() guarantees one target
+    return run_engine(benchmark(spec.workload), metrics_ticks=2).trace_store()
+
+
+def _inject_fault(spec: JobSpec, attempt: int) -> None:
+    if spec.fault is None:
+        return
+    if spec.fault == "crash" or (spec.fault == "crash-once" and attempt == 0):
+        os._exit(17)
+    if spec.fault == "hang":
+        time.sleep(3600.0)
+    if spec.fault == "error":
+        raise SpecError("injected job error")
+
+
+def execute_job(spec: JobSpec, attempt: int = 0) -> Dict[str, Any]:
+    """Run one job to completion and return its JSON-able result payload.
+
+    The payload carries the trace digest (for content-addressed caching
+    by the server), a sha256 over the slice flags (so two runs can be
+    compared for byte-identity without shipping the flags), per-thread
+    statistics matching :func:`repro.profiler.stats.compute_statistics`,
+    the engine diagnostics, and per-stage timings.
+    """
+    t0 = time.perf_counter()
+    store = resolve_trace(spec)
+    if spec.trace_path is not None:
+        digest = file_digest(spec.trace_path)
+    else:
+        digest = trace_digest(store)
+    t1 = time.perf_counter()
+    _inject_fault(spec, attempt)
+    result, stats = run_slice_job(
+        store,
+        criteria=spec.criteria,
+        engine=spec.engine,
+        workers=spec.workers,
+        frame=spec.frame,
+    )
+    t2 = time.perf_counter()
+    return {
+        "criteria": result.criteria_name,
+        "engine": spec.engine,
+        "trace_digest": digest,
+        "total": stats.total,
+        "slice_size": stats.in_slice,
+        "fraction": stats.fraction,
+        "flags_sha256": hashlib.sha256(bytes(result.flags)).hexdigest(),
+        "threads": [
+            {
+                "tid": t.tid,
+                "name": t.name,
+                "total": t.total,
+                "in_slice": t.in_slice,
+            }
+            for t in stats.threads
+        ],
+        "engine_stats": dict(result.engine_stats),
+        "timings": {
+            "resolve_s": t1 - t0,
+            "slice_s": t2 - t1,
+        },
+    }

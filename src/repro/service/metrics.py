@@ -1,0 +1,112 @@
+"""Service observability: outcome counters and per-stage latency.
+
+Every job contributes one sample per stage (queue wait, trace resolve,
+slice, total) and exactly one terminal outcome.  The ``stats`` endpoint
+renders this as JSON; nothing here depends on the server, so the module
+is unit-testable in isolation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Iterable
+
+#: Latency samples kept per stage; a rolling window so a long-lived
+#: daemon reports recent behaviour, not its whole history.
+WINDOW = 4096
+
+#: Percentiles the stats endpoint reports.
+PERCENTILES = (50, 90, 99)
+
+#: Terminal job outcomes (every submitted job ends in exactly one).
+OUTCOMES = (
+    "ok",
+    "cache-memory",
+    "cache-disk",
+    "error",
+    "timeout",
+    "crashed",
+    "cancelled",
+)
+
+
+def percentile(samples: Iterable[float], p: float) -> float:
+    """Nearest-rank percentile (p in [0, 100]) of a non-empty sample set."""
+    ordered = sorted(samples)
+    if not ordered:
+        raise ValueError("percentile of an empty sample set")
+    rank = max(1, -(-len(ordered) * p // 100))  # ceil without math import
+    return ordered[int(rank) - 1]
+
+
+class _Stage:
+    __slots__ = ("samples", "count", "total")
+
+    def __init__(self) -> None:
+        self.samples: Deque[float] = deque(maxlen=WINDOW)
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.samples.append(seconds)
+        self.count += 1
+        self.total += seconds
+
+    def snapshot(self) -> Dict[str, Any]:
+        if not self.samples:
+            return {"count": self.count}
+        window = list(self.samples)
+        summary: Dict[str, Any] = {
+            "count": self.count,
+            "mean_s": self.total / self.count,
+        }
+        for p in PERCENTILES:
+            summary[f"p{p}_s"] = percentile(window, p)
+        return summary
+
+
+class ServiceMetrics:
+    """Thread-safe counters + latency histograms behind one lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stages: Dict[str, _Stage] = {}
+        self._counters: Dict[str, int] = {}
+        self._outcomes: Dict[str, int] = {}
+        self._started = time.monotonic()
+
+    def observe(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            self._stages.setdefault(stage, _Stage()).add(seconds)
+
+    def increment(self, counter: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + by
+
+    def outcome(self, outcome: str) -> None:
+        if outcome not in OUTCOMES:
+            raise ValueError(f"unknown outcome {outcome!r}")
+        with self._lock:
+            self._outcomes[outcome] = self._outcomes.get(outcome, 0) + 1
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def outcome_counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._outcomes)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The stats endpoint's payload (sans server-owned gauges)."""
+        with self._lock:
+            return {
+                "uptime_s": time.monotonic() - self._started,
+                "counters": dict(self._counters),
+                "outcomes": {name: self._outcomes.get(name, 0) for name in OUTCOMES},
+                "latency": {
+                    stage: s.snapshot() for stage, s in sorted(self._stages.items())
+                },
+            }

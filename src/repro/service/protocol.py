@@ -1,0 +1,114 @@
+"""Wire protocol of the profiling service.
+
+Every message — request or response — is one JSON object framed by a
+4-byte big-endian length prefix.  Length-prefixed JSON keeps the protocol
+introspectable (``socat`` + a JSON pretty-printer debugs it) while making
+message boundaries explicit, so a reader never has to guess where one
+document ends and the next begins.
+
+Requests carry an ``op`` field::
+
+    {"op": "ping"}
+    {"op": "submit", "spec": {...}, "wait": true}
+    {"op": "status", "id": "job-3"}
+    {"op": "wait",   "id": "job-3", "timeout_s": 30}
+    {"op": "cancel", "id": "job-3"}
+    {"op": "stats"}
+    {"op": "shutdown", "mode": "drain"}   # or "now"
+
+Responses carry ``ok``: ``{"ok": true, ...}`` on success, or
+``{"ok": false, "error": {"code": ..., "message": ...}}``.  Error codes
+are stable strings (``invalid-spec``, ``busy``, ``shutting-down``,
+``no-such-job``, ``bad-request``, ``timeout``, ``crashed``,
+``cancelled``, ``job-failed``, ``internal``) so clients can branch
+without parsing prose.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+_LENGTH = struct.Struct(">I")
+
+#: Upper bound on one framed message.  Large enough for any stats or
+#: result payload, small enough that a corrupt length prefix fails fast
+#: instead of trying to allocate gigabytes.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+#: Stable error codes (the protocol's enum; also used in job outcomes).
+ERR_INVALID_SPEC = "invalid-spec"
+ERR_BUSY = "busy"
+ERR_SHUTTING_DOWN = "shutting-down"
+ERR_NO_SUCH_JOB = "no-such-job"
+ERR_BAD_REQUEST = "bad-request"
+ERR_TIMEOUT = "timeout"
+ERR_CRASHED = "crashed"
+ERR_CANCELLED = "cancelled"
+ERR_JOB_FAILED = "job-failed"
+ERR_INTERNAL = "internal"
+
+
+class ProtocolError(Exception):
+    """A malformed frame or JSON document on the wire."""
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Frame and send one JSON message."""
+    raw = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(raw) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message of {len(raw)} bytes exceeds frame limit")
+    sock.sendall(_LENGTH.pack(len(raw)) + raw)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes, or None on a clean EOF at a frame edge."""
+    parts = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes read)"
+            )
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+def recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Receive one framed JSON message; None on clean end-of-stream."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds limit")
+    raw = _recv_exact(sock, length)
+    if raw is None:
+        raise ProtocolError("connection closed before frame body")
+    try:
+        message = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise ProtocolError(f"frame is not valid JSON: {err}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(f"expected a JSON object, got {type(message).__name__}")
+    return message
+
+
+def ok(**fields: Any) -> Dict[str, Any]:
+    """A success response."""
+    response: Dict[str, Any] = {"ok": True}
+    response.update(fields)
+    return response
+
+
+def error(code: str, message: str, **fields: Any) -> Dict[str, Any]:
+    """A failure response with a stable error code."""
+    err: Dict[str, Any] = {"code": code, "message": message}
+    err.update(fields)
+    return {"ok": False, "error": err}

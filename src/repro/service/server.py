@@ -1,0 +1,460 @@
+"""The profiling daemon: socket front end, job registry, cache glue.
+
+One :class:`ProfilingServer` owns
+
+* a Unix-domain listener speaking the length-prefixed JSON protocol,
+  one handler thread per connection;
+* a bounded job queue drained by the supervised
+  :class:`~repro.service.worker.WorkerPool` — a full queue rejects the
+  submit with an explicit ``busy`` error rather than blocking the
+  client (backpressure is a response, not a hang);
+* the content-addressed :class:`~repro.service.cache.ResultCache` plus
+  the workload→digest memo, probed at submit time so a warm submit
+  completes in the connection handler without ever touching the queue;
+* an in-flight fingerprint map that coalesces concurrent submits of the
+  identical job onto one execution;
+* :class:`~repro.service.metrics.ServiceMetrics` behind the ``stats``
+  endpoint.
+
+Shutdown is graceful by default: a ``shutdown`` request flips the server
+into draining mode (new submits are refused with ``shutting-down``),
+running and queued jobs finish, and only then does the listener close.
+``mode="now"`` additionally cancels queued and running jobs first.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..trace.store import file_digest
+from . import protocol
+from .cache import ResultCache, WorkloadDigestMemo, cache_key
+from .jobs import JobSpec, SpecError
+from .metrics import ServiceMetrics
+from .worker import Attempt, WorkerPool
+
+
+@dataclass
+class Job:
+    """Server-side state of one submitted job."""
+
+    id: str
+    spec: JobSpec
+    fingerprint: str
+    state: str = "queued"  # queued | running | done
+    outcome: Optional[str] = None  # see metrics.OUTCOMES
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[Dict[str, Any]] = None
+    cache_tier: Optional[str] = None  # memory | disk, for cache outcomes
+    attempts: int = 0
+    coalesced_submits: int = 0
+    submitted_at: float = field(default_factory=time.perf_counter)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def status_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "outcome": self.outcome,
+            "attempts": self.attempts,
+            "coalesced_submits": self.coalesced_submits,
+            "cache": self.cache_tier,
+            "spec": self.spec.to_dict(),
+        }
+        if self.result is not None:
+            payload["result"] = self.result
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.started_at is not None:
+            payload["queue_wait_s"] = self.started_at - self.submitted_at
+        if self.finished_at is not None and self.started_at is not None:
+            payload["run_s"] = self.finished_at - self.started_at
+        return payload
+
+
+class ProfilingServer:
+    """Long-running profiling daemon on a local Unix socket."""
+
+    def __init__(
+        self,
+        socket_path: Union[str, Path],
+        cache_dir: Union[str, Path],
+        workers: int = 2,
+        queue_size: int = 16,
+        default_timeout_s: float = 300.0,
+        memory_cache_entries: int = 128,
+    ) -> None:
+        self._socket_path = str(socket_path)
+        self._cache_dir = Path(cache_dir)
+        self._cache_dir.mkdir(parents=True, exist_ok=True)
+        self.cache = ResultCache(self._cache_dir, memory_cache_entries)
+        self.memo = WorkloadDigestMemo(self._cache_dir)
+        self.metrics = ServiceMetrics()
+        self._pool = WorkerPool(
+            workers,
+            queue_size,
+            on_start=self._job_started,
+            on_done=self._job_done,
+            default_timeout_s=default_timeout_s,
+        )
+        self._workers = workers
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, str] = {}  # fingerprint -> job id
+        self._next_id = 0
+        self._lock = threading.Lock()
+        self._draining = False
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._closed = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Bind the socket and start the pool + accept thread."""
+        if os.path.exists(self._socket_path):
+            os.unlink(self._socket_path)
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(self._socket_path)
+        listener.listen(64)
+        self._listener = listener
+        self._pool.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="service-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def serve_forever(self) -> None:
+        """Block until a shutdown request (or :meth:`close`) completes."""
+        self._closed.wait()
+
+    def close(self) -> None:
+        """Immediate local shutdown (tests / ``finally`` blocks)."""
+        self._shutdown(drain=False)
+
+    @property
+    def socket_path(self) -> str:
+        return self._socket_path
+
+    def _shutdown(self, drain: bool) -> None:
+        with self._lock:
+            if self._closed.is_set():
+                return
+            self._draining = True
+        if not drain:
+            for job in list(self._jobs.values()):
+                job.cancel_event.set()
+        while not self._pool.idle():
+            time.sleep(0.02)
+        self._pool.stop()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        if os.path.exists(self._socket_path):
+            try:
+                os.unlink(self._socket_path)
+            except OSError:  # pragma: no cover
+                pass
+        self._closed.set()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling                                                #
+    # ------------------------------------------------------------------ #
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:  # listener closed
+                return
+            thread = threading.Thread(
+                target=self._handle_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                try:
+                    request = protocol.recv_message(conn)
+                except protocol.ProtocolError as err:
+                    protocol.send_message(
+                        conn, protocol.error(protocol.ERR_BAD_REQUEST, str(err))
+                    )
+                    return
+                if request is None:
+                    return
+                try:
+                    response = self._dispatch(request)
+                except Exception as err:  # noqa: BLE001 — handler boundary
+                    response = protocol.error(
+                        protocol.ERR_INTERNAL, f"{type(err).__name__}: {err}"
+                    )
+                protocol.send_message(conn, response)
+        except OSError:
+            pass  # client went away; nothing to clean up
+        finally:
+            conn.close()
+
+    def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        if op == "ping":
+            return protocol.ok(pong=True)
+        if op == "submit":
+            return self._handle_submit(request)
+        if op == "status":
+            return self._handle_status(request)
+        if op == "wait":
+            return self._handle_wait(request)
+        if op == "cancel":
+            return self._handle_cancel(request)
+        if op == "stats":
+            return protocol.ok(stats=self.stats())
+        if op == "shutdown":
+            return self._handle_shutdown(request)
+        return protocol.error(protocol.ERR_BAD_REQUEST, f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------ #
+    # Submit path                                                        #
+    # ------------------------------------------------------------------ #
+
+    def _probe_digest(self, spec: JobSpec) -> Optional[str]:
+        """The job's trace digest, when knowable without running it."""
+        if spec.trace_path is not None:
+            try:
+                return file_digest(spec.trace_path)
+            except OSError:
+                return None  # surfaced as a job error by the worker
+        assert spec.workload is not None
+        return self.memo.get(spec.workload)
+
+    def _handle_submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            spec = JobSpec.from_dict(request.get("spec") or {})
+        except (SpecError, TypeError) as err:
+            self.metrics.increment("invalid_specs")
+            return protocol.error(protocol.ERR_INVALID_SPEC, str(err))
+        wait = bool(request.get("wait", False))
+        self.metrics.increment("submits")
+
+        fingerprint = spec.fingerprint()
+        coalesced = False
+        with self._lock:
+            if self._draining:
+                return protocol.error(
+                    protocol.ERR_SHUTTING_DOWN, "server is draining"
+                )
+            # Coalesce onto an in-flight identical job.
+            existing_id = self._inflight.get(fingerprint)
+            if existing_id is not None:
+                job = self._jobs[existing_id]
+                job.coalesced_submits += 1
+                self.metrics.increment("coalesced")
+                coalesced = True
+            else:
+                job = self._admit_job(spec, fingerprint)
+                if isinstance(job, dict):
+                    return job  # busy rejection
+        # The wait (if any) happens outside the lock: _job_done needs the
+        # lock to retire the in-flight entry before it sets job.done.
+        return self._submit_response(job, wait, coalesced=coalesced)
+
+    def _admit_job(
+        self, spec: JobSpec, fingerprint: str
+    ) -> Union[Job, Dict[str, Any]]:
+        """Cache-probe then enqueue one new job; caller holds the lock."""
+        # Content-addressed fast path: a known digest whose result is
+        # already cached never touches the queue.
+        if spec.fault is None:
+            digest = self._probe_digest(spec)
+            if digest is not None:
+                key = cache_key(digest, spec.criteria, spec.engine, spec.frame)
+                found = self.cache.lookup(key)
+                if found is not None:
+                    payload, tier = found
+                    job = self._new_job(spec, fingerprint)
+                    job.state = "done"
+                    job.outcome = f"cache-{tier}"
+                    job.cache_tier = tier
+                    job.result = payload
+                    job.started_at = job.submitted_at
+                    job.finished_at = time.perf_counter()
+                    job.done.set()
+                    self.metrics.outcome(f"cache-{tier}")
+                    self.metrics.observe("total", 0.0)
+                    return job
+
+        job = self._new_job(spec, fingerprint)
+        self._inflight[fingerprint] = job.id
+        try:
+            self._pool.submit_nowait(job)
+        except queue.Full:
+            del self._jobs[job.id]
+            del self._inflight[fingerprint]
+            self.metrics.increment("busy_rejected")
+            return protocol.error(
+                protocol.ERR_BUSY,
+                f"job queue is full ({self._pool.queue_depth()} queued)",
+            )
+        return job
+
+    def _new_job(self, spec: JobSpec, fingerprint: str) -> Job:
+        self._next_id += 1
+        job = Job(id=f"job-{self._next_id}", spec=spec, fingerprint=fingerprint)
+        self._jobs[job.id] = job
+        return job
+
+    def _submit_response(
+        self, job: Job, wait: bool, coalesced: bool = False
+    ) -> Dict[str, Any]:
+        if wait:
+            job.done.wait()
+        return protocol.ok(coalesced=coalesced, **job.status_payload())
+
+    # ------------------------------------------------------------------ #
+    # Other ops                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _find_job(self, request: Dict[str, Any]) -> Union[Job, Dict[str, Any]]:
+        job_id = request.get("id")
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            return protocol.error(protocol.ERR_NO_SUCH_JOB, f"no job {job_id!r}")
+        return job
+
+    def _handle_status(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        job = self._find_job(request)
+        if isinstance(job, dict):
+            return job
+        return protocol.ok(**job.status_payload())
+
+    def _handle_wait(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        job = self._find_job(request)
+        if isinstance(job, dict):
+            return job
+        timeout_s = request.get("timeout_s")
+        finished = job.done.wait(timeout=timeout_s)
+        if not finished:
+            return protocol.error(
+                protocol.ERR_TIMEOUT, f"{job.id} still {job.state} after {timeout_s}s"
+            )
+        return protocol.ok(**job.status_payload())
+
+    def _handle_cancel(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        job = self._find_job(request)
+        if isinstance(job, dict):
+            return job
+        if job.state != "done":
+            job.cancel_event.set()
+        return protocol.ok(id=job.id, state=job.state, cancelling=job.state != "done")
+
+    def _handle_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        mode = request.get("mode", "drain")
+        if mode not in ("drain", "now"):
+            return protocol.error(
+                protocol.ERR_BAD_REQUEST, f"unknown shutdown mode {mode!r}"
+            )
+        thread = threading.Thread(
+            target=self._shutdown,
+            kwargs={"drain": mode == "drain"},
+            name="service-shutdown",
+            daemon=True,
+        )
+        thread.start()
+        return protocol.ok(draining=mode == "drain", stopping=True)
+
+    def stats(self) -> Dict[str, Any]:
+        """The stats endpoint: metrics snapshot + live gauges."""
+        snapshot = self.metrics.snapshot()
+        with self._lock:
+            snapshot["queue_depth"] = self._pool.queue_depth()
+            snapshot["running"] = self._pool.running()
+            snapshot["workers"] = self._workers
+            snapshot["jobs_tracked"] = len(self._jobs)
+            snapshot["draining"] = self._draining
+        snapshot["cache"] = self.cache.stats()
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # Worker-pool callbacks                                              #
+    # ------------------------------------------------------------------ #
+
+    def _job_started(self, job: Job) -> None:
+        job.started_at = time.perf_counter()
+        job.state = "running"
+        self.metrics.observe("queue_wait", job.started_at - job.submitted_at)
+
+    def _job_done(self, job: Job, attempt: Attempt, attempts: int) -> None:
+        job.finished_at = time.perf_counter()
+        job.state = "done"
+        job.attempts = attempts
+        if attempts > 1:
+            self.metrics.increment("retries", attempts - 1)
+
+        if attempt.kind == "ok":
+            job.outcome = "ok"
+            job.result = attempt.payload
+            self._record_success(job, attempt.payload)
+        elif attempt.kind == "error":
+            job.outcome = "error"
+            job.error = attempt.payload
+        elif attempt.kind == "timeout":
+            job.outcome = "timeout"
+            job.error = {
+                "code": protocol.ERR_TIMEOUT,
+                "message": f"job exceeded its {job.spec.timeout_s or 'default'} "
+                f"second budget",
+            }
+        elif attempt.kind == "crashed":
+            job.outcome = "crashed"
+            job.error = {
+                "code": protocol.ERR_CRASHED,
+                "message": f"worker process died (exit code {attempt.exitcode}) "
+                f"on both attempts",
+            }
+        else:  # cancelled
+            job.outcome = "cancelled"
+            job.error = {
+                "code": protocol.ERR_CANCELLED,
+                "message": "job was cancelled",
+            }
+
+        self.metrics.outcome(job.outcome)
+        self.metrics.observe("total", job.finished_at - job.submitted_at)
+        timings = (attempt.payload or {}).get("timings", {})
+        if "resolve_s" in timings:
+            self.metrics.observe("resolve", timings["resolve_s"])
+        if "slice_s" in timings:
+            self.metrics.observe("slice", timings["slice_s"])
+
+        with self._lock:
+            if self._inflight.get(job.fingerprint) == job.id:
+                del self._inflight[job.fingerprint]
+        job.done.set()
+
+    def _record_success(self, job: Job, payload: Dict[str, Any]) -> None:
+        """Write-through to the content-addressed cache and digest memo."""
+        if job.spec.fault is not None:
+            return  # fault-injected runs must never poison the cache
+        digest = payload.get("trace_digest")
+        if not digest:
+            return
+        key = cache_key(digest, job.spec.criteria, job.spec.engine, job.spec.frame)
+        self.cache.put(key, payload)
+        if job.spec.workload is not None:
+            self.memo.put(job.spec.workload, digest)

@@ -6,6 +6,7 @@ Usage::
     python -m repro.trace info /tmp/amazon.ucwa
     python -m repro.trace lint /tmp/amazon.ucwa [--json]
     python -m repro.trace slice /tmp/amazon.ucwa
+    python -m repro.trace slice /tmp/amazon.ucwa --criteria=syscalls
     python -m repro.trace slice /tmp/amazon.ucwa --engine=parallel --workers=4
 
 ``collect`` runs a registered benchmark and saves its trace; ``info``
@@ -14,12 +15,14 @@ well-formedness invariants (CALL/RET balance, use-before-def, lock
 discipline, marker clock, frame-epoch monotonicity, epoch tiling — see
 repro/trace/lint.py) and
 exits non-zero on any error-severity violation; ``--json`` emits the
-machine-readable report instead; ``slice`` runs the pixel-based backward
-slice on a stored
-trace (demonstrating the collect-once, profile-many workflow the paper
-uses).  ``--engine=parallel`` selects the epoch-sharded engine (see
+machine-readable report instead; ``slice`` runs a backward slice on a
+stored trace (demonstrating the collect-once, profile-many workflow the
+paper uses).  ``--criteria`` picks the criteria family — ``pixels``
+(default), ``syscalls``, or ``pixels+syscalls`` (paper Section V);
+``--engine=parallel`` selects the epoch-sharded engine (see
 docs/parallel-slicing.md); ``--workers`` sets its process count
-(default: REPRO_SLICER_WORKERS or usable cores).
+(default: REPRO_SLICER_WORKERS or usable cores).  Unknown criteria,
+engines, and workload names exit with status 2.
 """
 
 from __future__ import annotations
@@ -102,15 +105,18 @@ def _lint(path: str, epoch_size: int = 4096, as_json: bool = False) -> int:
 
 
 def _slice(
-    path: str, engine: str = "sequential", workers: Optional[int] = None
+    path: str,
+    engine: str = "sequential",
+    workers: Optional[int] = None,
+    criteria: str = "pixels",
 ) -> int:
-    from ..profiler import Profiler, pixel_criteria
+    from ..profiler.api import run_slice_job
 
     store = load_trace(path)
-    profiler = Profiler(store)
-    result = profiler.slice(pixel_criteria(store), engine=engine, workers=workers)
-    stats = profiler.statistics(result)
-    print(f"pixel slice: {stats.fraction:.1%} of {stats.total} records")
+    result, stats = run_slice_job(
+        store, criteria=criteria, engine=engine, workers=workers
+    )
+    print(f"{criteria} slice: {stats.fraction:.1%} of {stats.total} records")
     for thread in stats.threads:
         print(f"  {thread.name:<28s} {thread.fraction:>6.1%}")
     if result.engine_stats:
@@ -142,10 +148,14 @@ def main(argv) -> int:
                 return 2
         return _lint(argv[1], epoch_size=epoch_size, as_json=as_json)
     if len(argv) >= 2 and argv[0] == "slice":
-        engine, workers = "sequential", None
+        from ..profiler.criteria import criteria_names
+
+        engine, workers, criteria = "sequential", None, "pixels"
         for opt in argv[2:]:
             if opt.startswith("--engine="):
                 engine = opt[len("--engine="):]
+            elif opt.startswith("--criteria="):
+                criteria = opt[len("--criteria="):]
             elif opt.startswith("--workers="):
                 try:
                     workers = int(opt[len("--workers="):])
@@ -161,11 +171,17 @@ def main(argv) -> int:
                 f"unknown engine {engine!r}; expected 'sequential' or 'parallel'"
             )
             return 2
+        if criteria not in criteria_names():
+            print(
+                f"unknown criteria {criteria!r}; "
+                f"available: {', '.join(criteria_names())}"
+            )
+            return 2
         if workers is not None and workers < 1:
             print(f"--workers must be >= 1, got {workers}")
             return 2
         try:
-            return _slice(argv[1], engine=engine, workers=workers)
+            return _slice(argv[1], engine=engine, workers=workers, criteria=criteria)
         except ValueError as err:
             print(f"error: {err}")
             return 2

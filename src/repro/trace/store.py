@@ -9,6 +9,7 @@ paper notes the computed CDG is likewise reusable across criteria).
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
@@ -110,9 +111,15 @@ def _pack_addr_list(addrs) -> bytes:
     return struct.pack("<H", len(addrs)) + struct.pack(f"<{len(addrs)}Q", *addrs)
 
 
-def save_trace(store: TraceStore, path: Union[str, Path]) -> None:
-    """Serialize a :class:`TraceStore` (records + symbols + metadata)."""
-    path = Path(path)
+def serialize_trace(store: TraceStore) -> bytes:
+    """Canonical UCWA2 byte image of a trace (records + symbols + metadata).
+
+    The encoding is deterministic for a given store: symbol names are
+    emitted in intern order, marker ids are assigned in first-use order,
+    and metadata maps are sorted.  :func:`save_trace` writes exactly these
+    bytes, and :func:`trace_digest` hashes them, so two stores holding the
+    same trace always share one digest.
+    """
     markers: List[str] = []
     marker_ids: dict = {}
     chunks: List[bytes] = [_HEADER]
@@ -162,7 +169,38 @@ def save_trace(store: TraceStore, path: Union[str, Path]) -> None:
         raw = span.kind.encode("utf-8")
         chunks.append(struct.pack("<IqqH", span.frame_id, span.begin, end, len(raw)) + raw)
 
-    path.write_bytes(b"".join(chunks))
+    return b"".join(chunks)
+
+
+def save_trace(store: TraceStore, path: Union[str, Path]) -> None:
+    """Serialize a :class:`TraceStore` (records + symbols + metadata)."""
+    Path(path).write_bytes(serialize_trace(store))
+
+
+def trace_digest(store: TraceStore) -> str:
+    """Stable content digest of a trace (hex sha256 of its byte image).
+
+    Used as the content-addressing component of profiling-service cache
+    keys: two submits over byte-identical traces share a digest, and any
+    change to records, symbols, or metadata produces a new one.
+    """
+    return hashlib.sha256(serialize_trace(store)).hexdigest()
+
+
+def file_digest(path: Union[str, Path]) -> str:
+    """Hex sha256 of a trace file's raw bytes.
+
+    For an on-disk job this is the cache-key digest: cheaper than parsing
+    the trace, and any edit to the file (even a metadata-only one)
+    invalidates dependent cache entries.  Note a v1 file and its v2
+    re-save hash differently — the digest addresses *bytes*, not the
+    decoded record set.
+    """
+    hasher = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            hasher.update(block)
+    return hasher.hexdigest()
 
 
 class _Cursor:

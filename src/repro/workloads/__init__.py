@@ -56,10 +56,21 @@ def benchmark_names() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def unknown_names(names) -> List[str]:
+    """The subset of ``names`` that is not a registered benchmark.
+
+    CLI front ends (harness subcommands, the profiling service's job-spec
+    validation) use this to reject bad workload names up front — uniformly
+    with exit status 2 — instead of failing midway through a run.
+    """
+    return [name for name in names if name not in _REGISTRY]
+
+
 __all__ = [
     "Benchmark",
     "benchmark",
     "benchmark_names",
+    "unknown_names",
     "TABLE2_BENCHMARKS",
     "MULTIFRAME_BENCHMARKS",
     "ticker",

@@ -17,19 +17,41 @@ def test_usage_on_unknown_target(capsys):
 def test_targets_cover_every_artifact():
     assert set(_TARGETS) == {
         "table1", "table2", "fig2", "fig4", "fig5", "bing-partial", "static",
-        "tsan", "frames", "all",
+        "tsan", "frames", "service", "all",
     }
 
 
-def test_unknown_workload_name_exits_nonzero(capsys):
-    assert main(["frames", "no_such_workload"]) == 2
+@pytest.mark.parametrize("target", _TARGETS)
+def test_unknown_workload_name_exits_2_on_every_subcommand(target, capsys):
+    """The exit code and message are uniform across all subcommands."""
+    assert main([target, "no_such_workload"]) == 2
     err = capsys.readouterr().err
-    assert "no_such_workload" in err
+    assert "unknown workload(s): no_such_workload" in err
     assert "available" in err
 
 
 def test_extra_args_rejected_for_table_targets(capsys):
     assert main(["table2", "amazon_desktop"]) == 2
+    err = capsys.readouterr().err
+    assert "takes no workload arguments" in err
+
+
+def test_service_rejects_unknown_options(capsys):
+    assert main(["service", "--banana=1"]) == 2
+    assert "unknown option(s): banana" in capsys.readouterr().err
+    assert main(["service", "--rounds=zero"]) == 2
+    assert "--rounds expects a positive integer" in capsys.readouterr().err
+    assert main(["frames", "--golden=x"]) == 2
+    assert "takes no options" in capsys.readouterr().err
+
+
+def test_service_target_smoke(capsys):
+    """The service smoke target end-to-end on one real workload."""
+    assert main(["service", "wiki_article"]) == 0
+    out = capsys.readouterr().out
+    assert "Profiling-service smoke" in out
+    assert "cache-memory" in out
+    assert "hit rate 100%" in out
 
 
 def test_frames_target_runs(capsys):

@@ -1,0 +1,54 @@
+"""Shared fixtures: a saved fuzz trace and in-process daemon instances.
+
+Sockets live in a short ``mkdtemp`` directory rather than ``tmp_path``
+because ``AF_UNIX`` paths are capped at ~108 bytes and pytest's nested
+tmp directories can exceed that.
+"""
+
+import shutil
+import tempfile
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.server import ProfilingServer
+from repro.trace.store import save_trace
+from repro.workloads.fuzz import random_trace
+
+
+@pytest.fixture(scope="session")
+def fuzz_trace_path(tmp_path_factory):
+    """A well-formed ~4k-record trace on disk (pixel markers guaranteed)."""
+    store = random_trace(seed=11, target_records=4_000)
+    path = tmp_path_factory.mktemp("svc-traces") / "fuzz.ucwa"
+    save_trace(store, path)
+    return path
+
+
+@pytest.fixture
+def service_factory():
+    """Boot in-process daemons; everything is torn down at test end."""
+    started = []
+    tmp_dirs = []
+
+    def boot(**kwargs) -> ProfilingServer:
+        tmp = tempfile.mkdtemp(prefix="repro-svc-")
+        tmp_dirs.append(tmp)
+        kwargs.setdefault("workers", 2)
+        kwargs.setdefault("queue_size", 16)
+        server = ProfilingServer(f"{tmp}/s.sock", f"{tmp}/cache", **kwargs)
+        server.start()
+        started.append(server)
+        return server
+
+    yield boot
+    for server in started:
+        server.close()
+    for tmp in tmp_dirs:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+@pytest.fixture
+def service(service_factory):
+    server = service_factory()
+    return server, ServiceClient(server.socket_path)

@@ -1,0 +1,101 @@
+"""Wire-protocol framing tests (socketpair, no daemon involved)."""
+
+import json
+import socket
+import struct
+
+import pytest
+
+from repro.service import protocol
+
+
+def _pair():
+    return socket.socketpair()
+
+
+def test_round_trip_single_message():
+    a, b = _pair()
+    try:
+        message = {"op": "submit", "spec": {"workload": "bing"}, "wait": True}
+        protocol.send_message(a, message)
+        assert protocol.recv_message(b) == message
+    finally:
+        a.close()
+        b.close()
+
+
+def test_round_trip_back_to_back_frames():
+    """Message boundaries are explicit: two frames never bleed together."""
+    a, b = _pair()
+    try:
+        protocol.send_message(a, {"op": "ping"})
+        protocol.send_message(a, {"op": "stats"})
+        assert protocol.recv_message(b) == {"op": "ping"}
+        assert protocol.recv_message(b) == {"op": "stats"}
+    finally:
+        a.close()
+        b.close()
+
+
+def test_clean_eof_returns_none():
+    a, b = _pair()
+    a.close()
+    try:
+        assert protocol.recv_message(b) is None
+    finally:
+        b.close()
+
+
+def test_eof_mid_frame_is_protocol_error():
+    a, b = _pair()
+    try:
+        raw = json.dumps({"op": "ping"}).encode()
+        a.sendall(struct.pack(">I", len(raw)) + raw[: len(raw) // 2])
+        a.close()
+        with pytest.raises(protocol.ProtocolError, match="mid-frame|before frame body"):
+            protocol.recv_message(b)
+    finally:
+        b.close()
+
+
+def test_oversized_length_prefix_rejected_without_allocating():
+    a, b = _pair()
+    try:
+        a.sendall(struct.pack(">I", protocol.MAX_MESSAGE_BYTES + 1))
+        with pytest.raises(protocol.ProtocolError, match="exceeds limit"):
+            protocol.recv_message(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_invalid_json_is_protocol_error():
+    a, b = _pair()
+    try:
+        raw = b"not json at all"
+        a.sendall(struct.pack(">I", len(raw)) + raw)
+        with pytest.raises(protocol.ProtocolError, match="not valid JSON"):
+            protocol.recv_message(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_non_object_payload_is_protocol_error():
+    a, b = _pair()
+    try:
+        raw = json.dumps([1, 2, 3]).encode()
+        a.sendall(struct.pack(">I", len(raw)) + raw)
+        with pytest.raises(protocol.ProtocolError, match="expected a JSON object"):
+            protocol.recv_message(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_ok_and_error_helpers():
+    assert protocol.ok(pong=True) == {"ok": True, "pong": True}
+    response = protocol.error(protocol.ERR_BUSY, "queue full")
+    assert response["ok"] is False
+    assert response["error"]["code"] == "busy"
+    assert response["error"]["message"] == "queue full"

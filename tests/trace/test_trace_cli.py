@@ -50,7 +50,44 @@ def test_cli_slice(saved_trace, capsys):
     _, path = saved_trace
     assert trace_main(["slice", str(path)]) == 0
     out = capsys.readouterr().out
-    assert "pixel slice:" in out
+    assert "pixels slice:" in out
+
+
+def test_cli_slice_criteria_families(saved_trace, capsys):
+    """--criteria switches the slicing-criteria family (paper Section V)."""
+    _, path = saved_trace
+    assert trace_main(["slice", str(path), "--criteria=syscalls"]) == 0
+    out = capsys.readouterr().out
+    assert "syscalls slice:" in out
+
+    assert trace_main(["slice", str(path), "--criteria=pixels+syscalls"]) == 0
+    out = capsys.readouterr().out
+    assert "pixels+syscalls slice:" in out
+
+
+def test_cli_slice_combined_criteria_is_superset(saved_trace, capsys):
+    """pixels+syscalls can only widen the slice, never shrink it."""
+    import re
+
+    _, path = saved_trace
+
+    def fraction(criteria):
+        assert trace_main(["slice", str(path), f"--criteria={criteria}"]) == 0
+        match = re.search(r"slice: ([\d.]+)%", capsys.readouterr().out)
+        assert match is not None
+        return float(match.group(1))
+
+    combined = fraction("pixels+syscalls")
+    assert combined >= fraction("pixels")
+    assert combined >= fraction("syscalls")
+
+
+def test_cli_slice_rejects_unknown_criteria(saved_trace, capsys):
+    _, path = saved_trace
+    assert trace_main(["slice", str(path), "--criteria=colors"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown criteria 'colors'" in out
+    assert "pixels" in out and "syscalls" in out and "pixels+syscalls" in out
 
 
 def test_cli_usage_on_bad_args(capsys):
