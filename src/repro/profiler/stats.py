@@ -54,14 +54,23 @@ class SliceStatistics:
 
 
 def compute_statistics(store: TraceStore, result: SliceResult) -> SliceStatistics:
-    """Per-thread and overall slice statistics."""
-    totals: Dict[int, int] = {}
-    sliced: Dict[int, int] = {}
+    """Per-thread and overall slice statistics.
+
+    Columnar traces expose a vectorized ``thread_slice_counts`` hook (two
+    ``bincount`` calls over the tid column); row stores take the record
+    walk below.
+    """
     flags = result.flags
-    for i, rec in enumerate(store.forward()):
-        totals[rec.tid] = totals.get(rec.tid, 0) + 1
-        if flags[i]:
-            sliced[rec.tid] = sliced.get(rec.tid, 0) + 1
+    fast = getattr(store, "thread_slice_counts", None)
+    if fast is not None:
+        totals, sliced = fast(flags)
+    else:
+        totals = {}
+        sliced = {}
+        for i, rec in enumerate(store.forward()):
+            totals[rec.tid] = totals.get(rec.tid, 0) + 1
+            if flags[i]:
+                sliced[rec.tid] = sliced.get(rec.tid, 0) + 1
 
     names = store.metadata.thread_names
     threads = tuple(

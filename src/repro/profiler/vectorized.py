@@ -1,0 +1,766 @@
+"""Vectorized backward slicer over columnar (UCWA3) traces.
+
+The sequential pass (:mod:`.slicer`) and the epoch-sharded parallel pass
+(:mod:`.parallel`) both stream per-record Python objects.  This engine
+reformulates the backward slice the way :mod:`.oracle` does — as a
+reachability closure over explicit dependence edges — but computes the
+edges with batch array joins over the columnar trace:
+
+* **data / register edges**: writers are sorted by ``(location, index)``
+  composite keys; every read resolves its nearest preceding writer with
+  one ``np.searchsorted`` per pool instead of one hash probe per operand.
+* **control edges**: static control-dependence sets are expanded per
+  *unique* pc, then gathered per record; the nearest preceding same-thread
+  branch instance is another sorted-key join.
+* **call edges**: one forward pass reconstructs dynamic invocations
+  (identical attribution to the oracle's), after which every record's
+  enclosing CALL is a single array gather.
+
+Every edge points from a record to a strictly *earlier* record, so the
+transitive closure needs exactly one pass over the edge stream sorted by
+descending source: when the stream reaches source ``s``, every path into
+``s`` has already been applied.  The deduplicated, descending-sorted
+stream is what a v3 file caches in its ``EDGE`` section — a cold slice
+then skips straight to the sweep.
+
+Equivalence with the liveness formulation is argued in
+:mod:`.oracle` and enforced by ``tests/profiler/test_vectorized_differential.py``
+(byte-identical flags, categories, and join reasons across engines).
+Join *reasons* (``track_reasons``) are reproduced by a sparse replay of
+the liveness pass that visits only sliced records and criteria points —
+the live sets are mutated exclusively by records in the slice, so the
+replay's state matches the full sequential walk at every visited index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..trace.columnar import ColumnarTrace, SliceIndex
+from ..trace.records import InstrKind
+from ..trace.store import TraceStore
+from .cdg import ControlDependenceIndex
+from .criteria import SlicingCriteria
+from .parallel import EpochSummary
+from .slicer import (
+    DEFAULT_OPTIONS,
+    SliceResult,
+    SlicerOptions,
+    TimelineSample,
+)
+
+_RET = int(InstrKind.RET)
+_CALL = int(InstrKind.CALL)
+_BRANCH = int(InstrKind.BRANCH)
+_SYSCALL = int(InstrKind.SYSCALL)
+
+
+# --------------------------------------------------------------------- #
+# Derived structure: invocations, writer tables, edges                  #
+# --------------------------------------------------------------------- #
+
+
+def build_invocations(
+    cols: ColumnarTrace,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Reconstruct dynamic invocations by forward simulation.
+
+    Returns ``(inv_id, inv_call, inv_ret, inv_fn)``: a per-record
+    invocation id (RETs carry the invocation they close) and, per
+    invocation, its CALL index, RET index, and function symbol (-1 when
+    absent).  The attribution rules mirror :class:`.oracle.OracleSlicer`
+    exactly: a fn mismatch on a non-CALL record opens a truncated frame,
+    a RET on an empty stack re-seeds the thread root.
+    """
+    n = len(cols)
+    inv_id = np.full(n, -1, np.int64)
+    call_of: List[int] = []
+    ret_of: List[int] = []
+    fn_of: List[Optional[int]] = []
+    stacks: Dict[int, List[int]] = {}
+    kinds = cols.kind.tolist()
+    tids = cols.tid.tolist()
+    fns = cols.fn.tolist()
+    next_inv = 0
+    for i in range(n):
+        kind = kinds[i]
+        stack = stacks.get(tids[i])
+        if stack is None:
+            stack = stacks[tids[i]] = [next_inv]
+            call_of.append(-1)
+            ret_of.append(-1)
+            fn_of.append(fns[i])
+            next_inv += 1
+        top = stack[-1]
+        if kind == _RET:
+            if fn_of[top] is None:
+                fn_of[top] = fns[i]
+            ret_of[top] = i
+            inv_id[i] = top
+            stack.pop()
+            if not stack:
+                stack.append(next_inv)
+                call_of.append(-1)
+                ret_of.append(-1)
+                fn_of.append(None)
+                next_inv += 1
+            continue
+        if fn_of[top] is None:
+            fn_of[top] = fns[i]
+        elif fn_of[top] != fns[i] and kind != _CALL:
+            top = next_inv
+            call_of.append(-1)
+            ret_of.append(-1)
+            fn_of.append(fns[i])
+            next_inv += 1
+            stack.append(top)
+        inv_id[i] = top
+        if kind == _CALL:
+            stack.append(next_inv)
+            call_of.append(i)
+            ret_of.append(-1)
+            fn_of.append(None)
+            next_inv += 1
+    return (
+        inv_id,
+        np.array(call_of, np.int64),
+        np.array(ret_of, np.int64),
+        np.array([-1 if f is None else f for f in fn_of], np.int64),
+    )
+
+
+def _pool_owners(off: np.ndarray) -> np.ndarray:
+    n = len(off) - 1
+    return np.repeat(np.arange(n, dtype=np.int64), np.diff(off))
+
+
+def _mem_writer_table(cols: ColumnarTrace):
+    """``(uaddr, sorted (addr,idx) keys, writer indices)`` for non-RET
+    memory writes; key = ``dense_addr * (n+1) + index``."""
+    table = cols._writer_tables.get("mem")
+    if table is None:
+        n = len(cols)
+        own = _pool_owners(cols.mw_off)
+        keep = (cols.kind != _RET)[own]
+        widx = own[keep]
+        waddr = np.asarray(cols.mw)[keep]
+        uaddr = np.unique(waddr)
+        dense = np.searchsorted(uaddr, waddr).astype(np.int64)
+        key = dense * (n + 1) + widx
+        order = np.argsort(key)
+        table = (uaddr, key[order], widx[order])
+        cols._writer_tables["mem"] = table
+    return table
+
+
+def _reg_writer_table(cols: ColumnarTrace):
+    """Same shape for register writes; key = ``(dense_tid*256 + reg)``
+    (registers are byte-sized by construction of the trace format)."""
+    table = cols._writer_tables.get("reg")
+    if table is None:
+        n = len(cols)
+        utid = np.unique(cols.tid).astype(np.int64)
+        own = _pool_owners(cols.rw_off)
+        keep = (cols.kind != _RET)[own]
+        widx = own[keep]
+        wreg = np.asarray(cols.rw)[keep].astype(np.int64)
+        wtid = np.searchsorted(utid, cols.tid[widx].astype(np.int64))
+        key = (wtid * 256 + wreg) * (n + 1) + widx
+        order = np.argsort(key)
+        table = (utid, key[order], widx[order])
+        cols._writer_tables["reg"] = table
+    return table
+
+
+def _nearest_before(
+    sorted_keys: np.ndarray,
+    sorted_values: np.ndarray,
+    bucket: np.ndarray,
+    query_key: np.ndarray,
+    span: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """For each query, the value of the largest key < ``query_key`` that
+    shares its bucket (``key // span``).  Returns (hit mask, values)."""
+    pos = np.searchsorted(sorted_keys, query_key, side="left") - 1
+    clamped = np.maximum(pos, 0)
+    hit = (pos >= 0) & (sorted_keys[clamped] // span == bucket)
+    return hit, sorted_values[clamped]
+
+
+def build_edges(
+    cols: ColumnarTrace,
+    inv_id: np.ndarray,
+    inv_call: np.ndarray,
+    cd_map: Dict[int, Tuple[int, ...]],
+    options: SlicerOptions = DEFAULT_OPTIONS,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All dependence edges, deduplicated, sorted by descending source.
+
+    Every target is strictly below its source.  ``cd_map`` supplies the
+    static control-dependence sets (pass ``{}`` with
+    ``options.control_dependences`` off); ablation options prune the
+    corresponding edge kinds, matching the sequential engine's switches.
+    """
+    n = len(cols)
+    notret = cols.kind != _RET
+    span = n + 1
+    srcs: List[np.ndarray] = []
+    tgts: List[np.ndarray] = []
+
+    # -- data: each read -> nearest preceding writer of the cell -------- #
+    uaddr, wkeys, widx = _mem_writer_table(cols)
+    own = _pool_owners(cols.mr_off)
+    keep = notret[own]
+    ridx = own[keep]
+    raddr = np.asarray(cols.mr)[keep]
+    dense = np.searchsorted(uaddr, raddr)
+    present = dense < len(uaddr)
+    present &= uaddr[np.minimum(dense, max(len(uaddr) - 1, 0))] == raddr
+    dense = dense[present].astype(np.int64)
+    ridx = ridx[present]
+    hit, values = _nearest_before(wkeys, widx, dense, dense * span + ridx, span)
+    srcs.append(ridx[hit])
+    tgts.append(values[hit])
+
+    # -- register: per-thread nearest preceding writer ------------------ #
+    utid, rkeys, rwidx = _reg_writer_table(cols)
+    own = _pool_owners(cols.rr_off)
+    keep = notret[own]
+    ridx = own[keep]
+    rreg = np.asarray(cols.rr)[keep].astype(np.int64)
+    rtid = np.searchsorted(utid, cols.tid[ridx].astype(np.int64))
+    bucket = rtid * 256 + rreg
+    hit, values = _nearest_before(rkeys, rwidx, bucket, bucket * span + ridx, span)
+    srcs.append(ridx[hit])
+    tgts.append(values[hit])
+
+    # -- control: nearest preceding same-thread branch instance --------- #
+    if options.control_dependences and cd_map:
+        upc, pc_inv = np.unique(cols.pc, return_inverse=True)
+        deps_per = [cd_map.get(int(p), ()) for p in upc]
+        dep_counts = np.array([len(d) for d in deps_per], np.int64)
+        if int(dep_counts.sum()):
+            rec_counts = dep_counts[pc_inv]
+            rec_counts[~notret] = 0
+            ctrl_src = np.repeat(np.arange(n, dtype=np.int64), rec_counts)
+            if len(ctrl_src):
+                flat = np.array(
+                    [d for deps in deps_per for d in deps], np.uint64
+                )
+                upc_off = np.zeros(len(upc) + 1, np.int64)
+                np.cumsum(dep_counts, out=upc_off[1:])
+                csum = np.zeros(n + 1, np.int64)
+                np.cumsum(rec_counts, out=csum[1:])
+                within = np.arange(len(ctrl_src)) - np.repeat(
+                    csum[:-1], rec_counts
+                )
+                dep_pc = flat[np.repeat(upc_off[pc_inv], rec_counts) + within]
+
+                br = np.nonzero(cols.kind == _BRANCH)[0]
+                ubpc = np.unique(np.asarray(cols.pc)[br])
+                nb = max(len(ubpc), 1)
+                btid = np.searchsorted(utid, cols.tid[br].astype(np.int64))
+                bpc = np.searchsorted(ubpc, np.asarray(cols.pc)[br])
+                bkey = (btid * nb + bpc) * span + br
+                order = np.argsort(bkey)
+                bkey_s = bkey[order]
+                br_s = br[order]
+
+                qpc = np.searchsorted(ubpc, dep_pc)
+                present = qpc < len(ubpc)
+                present &= (
+                    ubpc[np.minimum(qpc, max(len(ubpc) - 1, 0))] == dep_pc
+                )
+                ctrl_src = ctrl_src[present]
+                qtid = np.searchsorted(
+                    utid, cols.tid[ctrl_src].astype(np.int64)
+                )
+                bucket = qtid * nb + qpc[present].astype(np.int64)
+                hit, values = _nearest_before(
+                    bkey_s, br_s, bucket, bucket * span + ctrl_src, span
+                )
+                srcs.append(ctrl_src[hit])
+                tgts.append(values[hit])
+
+    # -- call-site: every record -> its invocation's CALL --------------- #
+    if options.call_site_dependences:
+        target = np.full(n, -1, np.int64)
+        has_inv = (inv_id >= 0) & notret
+        target[has_inv] = inv_call[inv_id[has_inv]]
+        call_src = np.nonzero(target >= 0)[0]
+        srcs.append(call_src)
+        tgts.append(target[call_src])
+
+    src = np.concatenate(srcs) if srcs else np.zeros(0, np.int64)
+    tgt = np.concatenate(tgts) if tgts else np.zeros(0, np.int64)
+    key = np.unique(src.astype(np.int64) * span + tgt)
+    src = (key // span)[::-1]
+    tgt = (key % span)[::-1]
+    return src, tgt
+
+
+def attach_index(cols: ColumnarTrace) -> SliceIndex:
+    """Derive and attach the cacheable slice index (``INVT``/``EDGE``).
+
+    Runs the forward CDG pass when control-dependence sets are needed, so
+    this is a convert-time cost; cold slices over a file carrying the
+    index skip both the CDG build and the edge joins entirely.
+    """
+    if cols.index is not None:
+        return cols.index
+    inv_id, inv_call, inv_ret, inv_fn = build_invocations(cols)
+    from .cdg import build_index as build_cdg
+
+    cd_map = build_cdg(cols.forward())._cd
+    src, tgt = build_edges(cols, inv_id, inv_call, cd_map, DEFAULT_OPTIONS)
+    cols.index = SliceIndex(
+        inv_id=inv_id,
+        inv_call=inv_call,
+        inv_ret=inv_ret,
+        inv_fn=inv_fn,
+        edge_src=src,
+        edge_tgt=tgt,
+    )
+    return cols.index
+
+
+# --------------------------------------------------------------------- #
+# Seeds, closure, reasons, timeline                                     #
+# --------------------------------------------------------------------- #
+
+
+def _resolve_seeds(
+    cols: ColumnarTrace,
+    crit_by_index: Dict[int, object],
+    include_syscalls: bool,
+    window_end: Optional[int],
+) -> np.ndarray:
+    """Record indices seeding the closure.
+
+    A criterion's cell or register resolves to the latest non-RET writer
+    at or *before* the criterion index (inclusive: the streaming pass
+    applies criteria before processing the record itself); syscall seeds
+    are the SYSCALL records inside the window.
+    """
+    n = len(cols)
+    span = n + 1
+    seeds: List[np.ndarray] = []
+
+    cells: List[int] = []
+    cell_at: List[int] = []
+    regs: List[int] = []
+    reg_tid: List[int] = []
+    reg_at: List[int] = []
+    for i, crit in crit_by_index.items():
+        for cell in crit.cells:  # type: ignore[attr-defined]
+            cells.append(cell)
+            cell_at.append(i)
+        for tid, reg in crit.regs:  # type: ignore[attr-defined]
+            regs.append(reg)
+            reg_tid.append(tid)
+            reg_at.append(i)
+
+    if cells:
+        carr = np.array(cells, np.uint64)
+        cached = cols._writer_tables.get("mem")
+        if cached is not None:
+            uaddr, wkeys, widx = cached
+        else:
+            # Build a writer table restricted to the criteria cells: far
+            # cheaper than the full table when only seeds are needed (the
+            # stored-index cold path never builds the full table).
+            ucrit = np.unique(carr)
+            own = _pool_owners(cols.mw_off)
+            keep = (cols.kind != _RET)[own]
+            widx = own[keep]
+            waddr = np.asarray(cols.mw)[keep]
+            pos = np.searchsorted(ucrit, waddr)
+            rel = pos < len(ucrit)
+            rel &= ucrit[np.minimum(pos, max(len(ucrit) - 1, 0))] == waddr
+            uaddr = ucrit
+            widx = widx[rel]
+            key = pos[rel].astype(np.int64) * span + widx
+            order = np.argsort(key)
+            wkeys = key[order]
+            widx = widx[order]
+        dense = np.searchsorted(uaddr, carr)
+        present = dense < len(uaddr)
+        present &= uaddr[np.minimum(dense, max(len(uaddr) - 1, 0))] == carr
+        dense = dense[present].astype(np.int64)
+        at = np.array(cell_at, np.int64)[present]
+        hit, values = _nearest_before(
+            wkeys, widx, dense, dense * span + at + 1, span
+        )
+        seeds.append(values[hit])
+
+    if regs:
+        utid, rkeys, rwidx = _reg_writer_table(cols)
+        tarr = np.array(reg_tid, np.int64)
+        dense = np.searchsorted(utid, tarr)
+        present = dense < len(utid)
+        present &= utid[np.minimum(dense, max(len(utid) - 1, 0))] == tarr
+        bucket = dense[present] * 256 + np.array(regs, np.int64)[present]
+        at = np.array(reg_at, np.int64)[present]
+        hit, values = _nearest_before(
+            rkeys, rwidx, bucket, bucket * span + at + 1, span
+        )
+        seeds.append(values[hit])
+
+    if include_syscalls:
+        sys_idx = np.nonzero(cols.kind == _SYSCALL)[0]
+        if window_end is not None:
+            sys_idx = sys_idx[sys_idx <= window_end]
+        seeds.append(sys_idx.astype(np.int64))
+
+    if not seeds:
+        return np.zeros(0, np.int64)
+    return np.unique(np.concatenate(seeds))
+
+
+def _closure(
+    n: int, seeds: Iterable[int], src: np.ndarray, tgt: np.ndarray
+) -> bytearray:
+    """Single-pass reachability over the descending-source edge stream.
+
+    Correct because every edge targets a strictly lower index: by the
+    time the stream reaches source ``s``, all edges into ``s`` (whose
+    sources are > ``s``) have already been applied, so ``flags[s]`` is
+    final when its out-edges fire.
+    """
+    flags = bytearray(n)
+    for s in seeds:
+        flags[s] = 1
+    for s, t in zip(src.tolist(), tgt.tolist()):
+        if flags[s]:
+            flags[t] = 1
+    return flags
+
+
+def _flag_needed_rets(
+    flags: bytearray,
+    notret: np.ndarray,
+    inv_id: np.ndarray,
+    inv_call: np.ndarray,
+    inv_ret: np.ndarray,
+) -> np.ndarray:
+    """Flag the RET of every needed invocation that has a CALL in trace.
+
+    RETs never generate dependences of their own (the streaming pass
+    skips them before gen/kill), so this is a pure post-pass.  Returns
+    the needed-invocation id array (reused by the reasons replay).
+    """
+    flagged = np.frombuffer(bytes(flags), np.uint8).astype(bool)
+    needed = np.unique(inv_id[np.nonzero(flagged & notret)[0]])
+    needed = needed[needed >= 0]
+    rets = inv_ret[needed]
+    rets = rets[(rets >= 0) & (inv_call[needed] >= 0)]
+    for r in rets.tolist():
+        flags[r] = 1
+    return needed
+
+
+def _replay_reasons(
+    cols: ColumnarTrace,
+    flags: bytearray,
+    crit_by_index: Dict[int, object],
+    include_syscalls: bool,
+    window_end: Optional[int],
+    deps_of,
+    options: SlicerOptions,
+    inv_id: np.ndarray,
+    inv_call: np.ndarray,
+    inv_ret: np.ndarray,
+    inv_fn: np.ndarray,
+    needed_invs: np.ndarray,
+) -> Dict[int, Tuple[str, int]]:
+    """Sparse backward replay assigning one join reason per sliced record.
+
+    The full sequential pass mutates its live sets only at records that
+    join the slice (plus criteria points), so replaying just those
+    indices in descending order reproduces the exact state — and thus the
+    exact reason precedence (call > control > syscall > data > register)
+    — the sequential engine saw at each sliced record.
+    """
+    n = len(cols)
+    flagged = np.frombuffer(bytes(flags), np.uint8)
+    visit = sorted(
+        set(np.nonzero(flagged)[0].tolist()) | set(crit_by_index.keys()),
+        reverse=True,
+    )
+    callee_of = np.full(n, -1, np.int64)
+    with_call = np.nonzero(inv_call >= 0)[0]
+    callee_of[inv_call[with_call]] = with_call
+    needed = np.zeros(len(inv_call), bool)
+    needed[needed_invs] = True
+    fns = cols.fn
+
+    reasons: Dict[int, Tuple[str, int]] = {}
+    live_mem: set = set()
+    live_regs: Dict[int, set] = {}
+    pending: Dict[int, set] = {}
+    call_site = options.call_site_dependences
+
+    for i in visit:
+        crit = crit_by_index.get(i)
+        if crit is not None:
+            live_mem.update(crit.cells)  # type: ignore[attr-defined]
+            for reg_tid, reg in crit.regs:  # type: ignore[attr-defined]
+                live_regs.setdefault(reg_tid, set()).add(reg)
+        if not flagged[i]:
+            continue
+        rec = cols[i]
+        if rec.kind == InstrKind.RET:
+            # Retroactively flagged with its CALL; carries the frame's fn.
+            reasons[i] = ("call", rec.fn)
+            continue
+        tid = rec.tid
+        reason: Optional[Tuple[str, int]] = None
+        if rec.kind == InstrKind.CALL and call_site:
+            callee = callee_of[i]
+            if callee >= 0 and needed[callee]:
+                ret = inv_ret[callee]
+                fn = int(fns[ret]) if ret >= 0 else int(inv_fn[callee])
+                reason = ("call", fn)
+        elif rec.kind == InstrKind.BRANCH:
+            tpending = pending.get(tid)
+            if tpending and rec.pc in tpending:
+                reason = ("control", rec.pc)
+                tpending.discard(rec.pc)
+        elif rec.kind == InstrKind.SYSCALL:
+            if include_syscalls and (window_end is None or i <= window_end):
+                reason = ("syscall", rec.syscall or 0)
+        if reason is None:
+            for addr in rec.mem_written:
+                if addr in live_mem:
+                    reason = ("data", addr)
+                    break
+        if reason is None:
+            tregs = live_regs.get(tid)
+            if tregs:
+                for reg in rec.regs_written:
+                    if reg in tregs:
+                        reason = ("register", reg)
+                        break
+        reasons[i] = reason if reason is not None else ("data", -1)
+        # gen/kill + pending, exactly as the sequential in-slice block
+        live_mem.difference_update(rec.mem_written)
+        tregs = live_regs.get(tid)
+        if tregs:
+            tregs.difference_update(rec.regs_written)
+        live_mem.update(rec.mem_read)
+        if rec.regs_read:
+            live_regs.setdefault(tid, set()).update(rec.regs_read)
+        cdeps = deps_of(rec.pc)
+        if cdeps:
+            pending.setdefault(tid, set()).update(cdeps)
+    return reasons
+
+
+def reconstruct_timeline_columnar(
+    cols: ColumnarTrace,
+    flags: bytearray,
+    sample_every: int,
+    main_tid: Optional[int],
+) -> List[TimelineSample]:
+    """Figure-4 timeline samples from the final flags, vectorized.
+
+    Matches :meth:`.parallel.ParallelSlicer._reconstruct_timeline`: every
+    record counts when visited (backward), so intermediate samples can
+    differ from the sequential engine's by not-yet-paired RETs, while the
+    final sample is identical.
+    """
+    n = len(cols)
+    if n == 0:
+        return [TimelineSample(0, 0, 0, 0)]
+    rev_flags = np.frombuffer(bytes(flags), np.uint8)[::-1].astype(np.int64)
+    if main_tid is None:
+        rev_main = np.zeros(n, np.int64)
+    else:
+        rev_main = (cols.tid == main_tid)[::-1].astype(np.int64)
+    cum_in = np.cumsum(rev_flags)
+    cum_pm = np.cumsum(rev_main)
+    cum_im = np.cumsum(rev_flags * rev_main)
+    samples = [
+        TimelineSample(
+            p, int(cum_in[p - 1]), int(cum_pm[p - 1]), int(cum_im[p - 1])
+        )
+        for p in range(sample_every, n + 1, sample_every)
+    ]
+    samples.append(
+        TimelineSample(n, int(cum_in[-1]), int(cum_pm[-1]), int(cum_im[-1]))
+    )
+    return samples
+
+
+def summarize_epoch_columnar(
+    cols: ColumnarTrace, lo: int, hi: int
+) -> EpochSummary:
+    """Columnar :func:`.parallel.summarize_epoch`: the epoch's write and
+    branch footprint from column slices, no record materialization."""
+    summary = EpochSummary()
+    kind = cols.kind[lo:hi]
+    tid = cols.tid[lo:hi]
+    notret = kind != _RET
+    summary.tids = set(tid.tolist()) if hi - lo < 64 else set(
+        np.unique(tid).tolist()
+    )
+
+    off = cols.mw_off[lo : hi + 1]
+    own = np.repeat(np.arange(hi - lo, dtype=np.int64), np.diff(off))
+    vals = np.asarray(cols.mw)[off[0] : off[-1]]
+    summary.mem_written = set(np.unique(vals[notret[own]]).tolist())
+
+    off = cols.rw_off[lo : hi + 1]
+    own = np.repeat(np.arange(hi - lo, dtype=np.int64), np.diff(off))
+    vals = np.asarray(cols.rw)[off[0] : off[-1]]
+    keep = notret[own]
+    pair = tid[own[keep]].astype(np.int64) * 256 + vals[keep]
+    for key in np.unique(pair).tolist():
+        summary.regs_written.setdefault(key // 256, set()).add(key % 256)
+
+    branch = np.nonzero(kind == _BRANCH)[0]
+    if len(branch):
+        btid = tid[branch]
+        bpc = cols.pc[lo:hi][branch]
+        for t in np.unique(btid).tolist():
+            summary.branch_pcs[t] = set(bpc[btid == t].tolist())
+    return summary
+
+
+# --------------------------------------------------------------------- #
+# The engine                                                            #
+# --------------------------------------------------------------------- #
+
+
+class VectorizedSlicer:
+    """Array-join backward slicer (engine name ``"vectorized"``).
+
+    Accepts a :class:`ColumnarTrace` directly or converts a row store on
+    entry.  ``cdi``/``cdi_provider`` supply the control-dependence index
+    lazily: a trace carrying a stored slice index under default options
+    never needs it (the cold-path win), while ablations, index-less
+    traces, and ``track_reasons`` resolve it on demand.
+    """
+
+    def __init__(
+        self,
+        trace,
+        cdi: Optional[ControlDependenceIndex] = None,
+        criteria: Optional[SlicingCriteria] = None,
+        sample_every: Optional[int] = None,
+        main_tid: Optional[int] = None,
+        options: SlicerOptions = DEFAULT_OPTIONS,
+        cdi_provider=None,
+    ) -> None:
+        if criteria is None:
+            raise ValueError("criteria are required")
+        self._cols = (
+            trace
+            if isinstance(trace, ColumnarTrace)
+            else ColumnarTrace.from_store(trace)
+        )
+        self._cdi = cdi
+        self._cdi_provider = cdi_provider
+        self._criteria = criteria
+        self._sample_every = sample_every
+        meta_main = self._cols.metadata.main_thread_id()
+        self._main_tid = main_tid if main_tid is not None else meta_main
+        self._options = options
+
+    def _cd_map(self) -> Dict[int, Tuple[int, ...]]:
+        if self._cdi is None:
+            if self._cdi_provider is not None:
+                self._cdi = self._cdi_provider()
+            else:
+                from .cdg import build_index
+
+                self._cdi = build_index(self._cols.forward())
+        return self._cdi._cd
+
+    def run(self) -> SliceResult:
+        cols = self._cols
+        n = len(cols)
+        criteria = self._criteria
+        options = self._options
+        crit_by_index = criteria.by_index()
+
+        # -- dependence structure (stored index or rebuilt) ------------- #
+        index = cols.index
+        default_edges = (
+            options.control_dependences and options.call_site_dependences
+        )
+        if index is not None:
+            inv_id = index.inv_id
+            inv_call = index.inv_call
+            inv_ret = index.inv_ret
+            inv_fn = index.inv_fn
+        else:
+            inv_id, inv_call, inv_ret, inv_fn = build_invocations(cols)
+        if index is not None and default_edges:
+            src, tgt = index.edge_src, index.edge_tgt
+            stored = True
+        else:
+            cd_map = self._cd_map() if options.control_dependences else {}
+            src, tgt = build_edges(cols, inv_id, inv_call, cd_map, options)
+            stored = False
+
+        # -- seeds + closure + RET post-pass ---------------------------- #
+        seeds = _resolve_seeds(
+            cols, crit_by_index, criteria.include_syscalls, criteria.window_end
+        )
+        flags = _closure(n, seeds.tolist(), src, tgt)
+        notret = cols.kind != _RET
+        if options.call_site_dependences:
+            needed = _flag_needed_rets(flags, notret, inv_id, inv_call, inv_ret)
+        else:
+            needed = np.zeros(0, np.int64)
+
+        result = SliceResult(criteria_name=criteria.name, flags=flags)
+        result.visited = n
+        if options.track_reasons:
+            deps_of = (
+                (lambda pc, _get=self._cd_map().get: _get(pc, ()))
+                if options.control_dependences
+                else (lambda pc: ())
+            )
+            result.reasons = _replay_reasons(
+                cols,
+                flags,
+                crit_by_index,
+                criteria.include_syscalls,
+                criteria.window_end,
+                deps_of,
+                options,
+                inv_id,
+                inv_call,
+                inv_ret,
+                inv_fn,
+                needed,
+            )
+        if self._sample_every:
+            result.timeline = reconstruct_timeline_columnar(
+                cols, flags, self._sample_every, self._main_tid
+            )
+        result.engine_stats = {
+            "engine": "vectorized",
+            "records": n,
+            "edges": int(len(src)),
+            "seeds": int(len(seeds)),
+            "stored_index": stored,
+        }
+        return result
+
+
+def vectorized_slice(
+    trace,
+    criteria: SlicingCriteria,
+    cdi: Optional[ControlDependenceIndex] = None,
+    sample_every: Optional[int] = None,
+    options: SlicerOptions = DEFAULT_OPTIONS,
+) -> SliceResult:
+    """One-call convenience mirroring :func:`.slicer.slice_trace`."""
+    return VectorizedSlicer(
+        trace, cdi, criteria, sample_every=sample_every, options=options
+    ).run()

@@ -24,9 +24,9 @@ from typing import Any, Dict, Optional
 
 from ..profiler.api import run_slice_job
 from ..profiler.criteria import criteria_names
-from ..trace.store import TraceStore, file_digest, load_trace, trace_digest
+from ..trace.store import file_digest, load_any_trace, trace_digest
 
-_ENGINES = ("sequential", "parallel")
+_ENGINES = ("sequential", "parallel", "vectorized")
 
 #: Fault-injection hooks, honoured inside the worker process just before
 #: the slice runs.  They exist so the failure paths (crash isolation,
@@ -116,15 +116,18 @@ class JobSpec:
         return hashlib.sha256(raw).hexdigest()
 
 
-def resolve_trace(spec: JobSpec) -> TraceStore:
+def resolve_trace(spec: JobSpec):
     """Materialize the spec's trace: load the file or run the workload.
 
-    Workload runs use the same recipe as ``harness.experiments
-    .run_benchmark`` (``metrics_ticks=2``), so a service job over a
-    workload sees the byte-identical trace the in-process harness sees.
+    Trace files load through :func:`repro.trace.store.load_any_trace`, so
+    path jobs accept every UCWA format (columnar v3 included — the cheap
+    way to feed the ``vectorized`` engine).  Workload runs use the same
+    recipe as ``harness.experiments.run_benchmark`` (``metrics_ticks=2``),
+    so a service job over a workload sees the byte-identical trace the
+    in-process harness sees.
     """
     if spec.trace_path is not None:
-        return load_trace(spec.trace_path)
+        return load_any_trace(spec.trace_path)
     from ..harness.experiments import run_engine
     from ..workloads import benchmark
 

@@ -7,7 +7,7 @@ profiler in :mod:`repro.profiler`).
 """
 
 from .records import InstrKind, TraceRecord, TraceMetadata
-from .store import TraceStore, save_trace, load_trace
+from .store import TraceStore, save_trace, load_trace, load_any_trace
 from .symbols import SymbolTable
 
 __all__ = [
@@ -18,4 +18,5 @@ __all__ = [
     "SymbolTable",
     "save_trace",
     "load_trace",
+    "load_any_trace",
 ]

@@ -3,26 +3,37 @@
 Usage::
 
     python -m repro.trace collect amazon_desktop /tmp/amazon.ucwa
+    python -m repro.trace collect amazon_desktop /tmp/amazon.ucwa --format=v3
     python -m repro.trace info /tmp/amazon.ucwa
     python -m repro.trace lint /tmp/amazon.ucwa [--json]
+    python -m repro.trace convert /tmp/amazon.ucwa /tmp/amazon3.ucwa
     python -m repro.trace slice /tmp/amazon.ucwa
     python -m repro.trace slice /tmp/amazon.ucwa --criteria=syscalls
     python -m repro.trace slice /tmp/amazon.ucwa --engine=parallel --workers=4
+    python -m repro.trace slice /tmp/amazon3.ucwa --engine=vectorized
 
-``collect`` runs a registered benchmark and saves its trace; ``info``
+``collect`` runs a registered benchmark and saves its trace
+(``--format=v3`` writes the columnar UCWA3 layout with a precomputed
+slice index; the default stays the row-oriented UCWA2); ``info``
 prints per-thread and symbol statistics; ``lint`` checks the sanitizer's
 well-formedness invariants (CALL/RET balance, use-before-def, lock
 discipline, marker clock, frame-epoch monotonicity, epoch tiling — see
 repro/trace/lint.py) and
 exits non-zero on any error-severity violation; ``--json`` emits the
-machine-readable report instead; ``slice`` runs a backward slice on a
+machine-readable report instead; ``convert`` re-encodes a trace between
+formats (``--format=v3`` default, ``--format=v2`` for the row layout,
+``--no-index`` to skip the stored slice index — see
+docs/trace-format.md); ``slice`` runs a backward slice on a
 stored trace (demonstrating the collect-once, profile-many workflow the
 paper uses).  ``--criteria`` picks the criteria family — ``pixels``
 (default), ``syscalls``, or ``pixels+syscalls`` (paper Section V);
 ``--engine=parallel`` selects the epoch-sharded engine (see
-docs/parallel-slicing.md); ``--workers`` sets its process count
-(default: REPRO_SLICER_WORKERS or usable cores).  Unknown criteria,
-engines, and workload names exit with status 2.
+docs/parallel-slicing.md); ``--engine=vectorized`` the array-join
+engine (fastest on UCWA3 traces); ``--workers`` sets the parallel
+engine's process count (default: REPRO_SLICER_WORKERS or usable
+cores).  ``info``, ``lint``, ``convert``, and ``slice`` accept every
+UCWA format.  Unknown criteria, engines, formats, and workload names
+exit with status 2.
 """
 
 from __future__ import annotations
@@ -32,10 +43,10 @@ import sys
 from collections import Counter
 from typing import Optional
 
-from .store import load_trace, save_trace
+from .store import load_any_trace, save_trace
 
 
-def _collect(name: str, path: str) -> int:
+def _collect(name: str, path: str, fmt: str = "v2") -> int:
     from ..harness.experiments import run_engine
     from ..workloads import benchmark
 
@@ -46,13 +57,31 @@ def _collect(name: str, path: str) -> int:
         return 2
     engine = run_engine(bench)
     store = engine.trace_store()
-    save_trace(store, path)
+    if fmt == "v3":
+        from ..profiler.vectorized import attach_index
+        from .columnar import ColumnarTrace, save_columnar
+
+        cols = ColumnarTrace.from_store(store)
+        attach_index(cols)
+        save_columnar(cols, path)
+    else:
+        save_trace(store, path)
     print(f"saved {len(store)} records ({len(store.thread_ids())} threads) to {path}")
     return 0
 
 
+def _convert(src: str, dst: str, fmt: str = "v3", with_index: bool = True) -> int:
+    from .columnar import convert_trace
+
+    convert_trace(src, dst, fmt=fmt, with_index=with_index)
+    import os
+
+    print(f"wrote {dst} ({fmt}, {os.path.getsize(dst)} bytes)")
+    return 0
+
+
 def _info(path: str) -> int:
-    store = load_trace(path)
+    store = load_any_trace(path)
     print(f"{path}: {len(store)} records")
     print(f"threads:")
     counts = store.instructions_per_thread()
@@ -76,7 +105,7 @@ def _info(path: str) -> int:
 def _lint(path: str, epoch_size: int = 4096, as_json: bool = False) -> int:
     from .lint import lint_trace
 
-    report = lint_trace(load_trace(path), epoch_size=epoch_size)
+    report = lint_trace(load_any_trace(path), epoch_size=epoch_size)
     if as_json:
         print(
             json.dumps(
@@ -112,7 +141,7 @@ def _slice(
 ) -> int:
     from ..profiler.api import run_slice_job
 
-    store = load_trace(path)
+    store = load_any_trace(path)
     result, stats = run_slice_job(
         store, criteria=criteria, engine=engine, workers=workers
     )
@@ -166,9 +195,10 @@ def main(argv) -> int:
                 print(f"unknown option {opt!r}")
                 return 2
         # Validate up front, before the (possibly large) trace is loaded.
-        if engine not in ("sequential", "parallel"):
+        if engine not in ("sequential", "parallel", "vectorized"):
             print(
-                f"unknown engine {engine!r}; expected 'sequential' or 'parallel'"
+                f"unknown engine {engine!r}; expected 'sequential', "
+                f"'parallel', or 'vectorized'"
             )
             return 2
         if criteria not in criteria_names():
@@ -185,8 +215,36 @@ def main(argv) -> int:
         except ValueError as err:
             print(f"error: {err}")
             return 2
+    if len(argv) >= 3 and argv[0] == "convert":
+        fmt, with_index = "v3", True
+        for opt in argv[3:]:
+            if opt.startswith("--format="):
+                fmt = opt[len("--format="):]
+            elif opt == "--no-index":
+                with_index = False
+            else:
+                print(f"unknown option {opt!r}")
+                return 2
+        if fmt not in ("v2", "v3"):
+            print(f"unknown format {fmt!r}; expected 'v2' or 'v3'")
+            return 2
+        try:
+            return _convert(argv[1], argv[2], fmt=fmt, with_index=with_index)
+        except (ValueError, OSError) as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
     if len(argv) >= 3 and argv[0] == "collect":
-        return _collect(argv[1], argv[2])
+        fmt = "v2"
+        for opt in argv[3:]:
+            if opt.startswith("--format="):
+                fmt = opt[len("--format="):]
+            else:
+                print(f"unknown option {opt!r}")
+                return 2
+        if fmt not in ("v2", "v3"):
+            print(f"unknown format {fmt!r}; expected 'v2' or 'v3'")
+            return 2
+        return _collect(argv[1], argv[2], fmt=fmt)
     print(__doc__)
     return 2
 

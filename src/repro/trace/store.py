@@ -5,6 +5,24 @@ forward pass and a backward pass.  ``TraceStore`` is the in-memory
 equivalent; :func:`save_trace` / :func:`load_trace` provide a durable binary
 round trip so traces can be collected once and profiled many times (the
 paper notes the computed CDG is likewise reusable across criteria).
+
+Three on-disk formats share the ``.ucwa`` extension:
+
+* **UCWA1** — records + symbols + metadata, no frame spans.
+* **UCWA2** — UCWA1 plus a frame-span metadata section.  This is the
+  *canonical* record-stream encoding: :func:`serialize_trace` always emits
+  it and :func:`trace_digest` hashes it, whatever format the trace was
+  loaded from.
+* **UCWA3** — the columnar struct-of-arrays layout (:mod:`.columnar`),
+  holding the same logical content plus optional derived index sections.
+
+:func:`load_any_trace` dispatches on the header; :func:`load_trace` reads
+the row-oriented v1/v2 encodings only.
+
+All v1/v2 parsing goes through one shared *section walker*
+(:class:`_RecordWalker` + :func:`_read_record` / :func:`_skip_record`), so
+the full loader, the epoch streamer's length-only skip pass, and the
+columnar converter can never disagree about where a section starts.
 """
 
 from __future__ import annotations
@@ -12,17 +30,44 @@ from __future__ import annotations
 import hashlib
 import struct
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Tuple, Union
+from typing import (
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    Union,
+)
 
 from .records import FrameSpan, InstrKind, TraceRecord, TraceMetadata
 from .symbols import SymbolTable
 
 # Unnecessary Computations in Web Apps.  v2 appends a frame-span section to
 # the metadata (the incremental pipeline's frame epochs); v1 files are still
-# readable and simply have no frames.
+# readable and simply have no frames.  v3 is the columnar format handled by
+# :mod:`repro.trace.columnar`.
 _HEADER = b"UCWA2\n"
 _HEADER_V1 = b"UCWA1\n"
+_HEADER_V3 = b"UCWA3\n"
 _REC = struct.Struct("<IQBIhh")  # tid, pc, kind, fn, syscall(+1, -1=None), marker id(+1)
+
+
+class TraceSource(Protocol):
+    """Anything that can stand in for a trace when serializing/hashing.
+
+    Both :class:`TraceStore` and :class:`repro.trace.columnar.ColumnarTrace`
+    satisfy this structurally, so :func:`serialize_trace` and
+    :func:`trace_digest` accept either — which is what makes the digest
+    format-invariant.
+    """
+
+    symbols: SymbolTable
+    metadata: TraceMetadata
+
+    def __len__(self) -> int: ...
+
+    def forward(self) -> Iterator[TraceRecord]: ...
 
 
 class TraceStore:
@@ -111,14 +156,44 @@ def _pack_addr_list(addrs) -> bytes:
     return struct.pack("<H", len(addrs)) + struct.pack(f"<{len(addrs)}Q", *addrs)
 
 
-def serialize_trace(store: TraceStore) -> bytes:
+def _encode_metadata(meta: TraceMetadata) -> bytes:
+    """Canonical v2 byte image of the metadata tail (maps sorted).
+
+    Shared by :func:`serialize_trace` and the columnar format's ``META``
+    section, so both formats agree byte-for-byte on metadata encoding.
+    ``notes`` are deliberately not serialized (collection-time scratch).
+    """
+    chunks: List[bytes] = []
+    chunks.append(struct.pack("<H", len(meta.thread_names)))
+    for tid, name in sorted(meta.thread_names.items()):
+        raw = name.encode("utf-8")
+        chunks.append(struct.pack("<IH", tid, len(raw)) + raw)
+    chunks.append(struct.pack("<I", len(meta.tile_buffers)))
+    for index, cells in meta.tile_buffers:
+        chunks.append(struct.pack("<Q", index) + _pack_addr_list(cells))
+    load_idx = -1 if meta.load_complete_index is None else meta.load_complete_index
+    chunks.append(struct.pack("<q", load_idx))
+
+    chunks.append(struct.pack("<I", len(meta.frames)))
+    for span in meta.frames:
+        end = -1 if span.end is None else span.end
+        raw = span.kind.encode("utf-8")
+        chunks.append(
+            struct.pack("<IqqH", span.frame_id, span.begin, end, len(raw)) + raw
+        )
+    return b"".join(chunks)
+
+
+def serialize_trace(store: TraceSource) -> bytes:
     """Canonical UCWA2 byte image of a trace (records + symbols + metadata).
 
-    The encoding is deterministic for a given store: symbol names are
+    The encoding is deterministic for a given trace: symbol names are
     emitted in intern order, marker ids are assigned in first-use order,
     and metadata maps are sorted.  :func:`save_trace` writes exactly these
     bytes, and :func:`trace_digest` hashes them, so two stores holding the
-    same trace always share one digest.
+    same trace always share one digest — including a
+    :class:`~repro.trace.columnar.ColumnarTrace` holding the same records
+    (the digest is format-invariant by construction).
     """
     markers: List[str] = []
     marker_ids: dict = {}
@@ -152,37 +227,24 @@ def serialize_trace(store: TraceStore) -> bytes:
         raw = marker.encode("utf-8")
         chunks.append(struct.pack("<H", len(raw)) + raw)
 
-    meta = store.metadata
-    chunks.append(struct.pack("<H", len(meta.thread_names)))
-    for tid, name in sorted(meta.thread_names.items()):
-        raw = name.encode("utf-8")
-        chunks.append(struct.pack("<IH", tid, len(raw)) + raw)
-    chunks.append(struct.pack("<I", len(meta.tile_buffers)))
-    for index, cells in meta.tile_buffers:
-        chunks.append(struct.pack("<Q", index) + _pack_addr_list(cells))
-    load_idx = -1 if meta.load_complete_index is None else meta.load_complete_index
-    chunks.append(struct.pack("<q", load_idx))
-
-    chunks.append(struct.pack("<I", len(meta.frames)))
-    for span in meta.frames:
-        end = -1 if span.end is None else span.end
-        raw = span.kind.encode("utf-8")
-        chunks.append(struct.pack("<IqqH", span.frame_id, span.begin, end, len(raw)) + raw)
-
+    chunks.append(_encode_metadata(store.metadata))
     return b"".join(chunks)
 
 
-def save_trace(store: TraceStore, path: Union[str, Path]) -> None:
-    """Serialize a :class:`TraceStore` (records + symbols + metadata)."""
+def save_trace(store: TraceSource, path: Union[str, Path]) -> None:
+    """Serialize a trace (records + symbols + metadata) in UCWA2 form."""
     Path(path).write_bytes(serialize_trace(store))
 
 
-def trace_digest(store: TraceStore) -> str:
+def trace_digest(store: TraceSource) -> str:
     """Stable content digest of a trace (hex sha256 of its byte image).
 
     Used as the content-addressing component of profiling-service cache
     keys: two submits over byte-identical traces share a digest, and any
-    change to records, symbols, or metadata produces a new one.
+    change to records, symbols, or metadata produces a new one.  The hash
+    is always taken over the canonical UCWA2 image, so a trace and its
+    columnar (UCWA3) conversion share one digest and service cache keys
+    never churn across formats.
     """
     return hashlib.sha256(serialize_trace(store)).hexdigest()
 
@@ -192,9 +254,10 @@ def file_digest(path: Union[str, Path]) -> str:
 
     For an on-disk job this is the cache-key digest: cheaper than parsing
     the trace, and any edit to the file (even a metadata-only one)
-    invalidates dependent cache entries.  Note a v1 file and its v2
+    invalidates dependent cache entries.  Note a v1 file and its v2/v3
     re-save hash differently — the digest addresses *bytes*, not the
-    decoded record set.
+    decoded record set (use :func:`trace_digest` for format-invariant
+    identity).
     """
     hasher = hashlib.sha256()
     with open(path, "rb") as fh:
@@ -204,109 +267,234 @@ def file_digest(path: Union[str, Path]) -> str:
 
 
 class _Cursor:
-    """Tiny sequential unpacker over a bytes object."""
+    """Tiny sequential unpacker over a bytes object.
 
-    def __init__(self, data: bytes) -> None:
+    Every read is bounds-checked: running off the end of the buffer raises
+    ``ValueError`` carrying ``label`` (the file path), never a bare
+    ``struct.error`` or a silently-truncated byte string.
+    """
+
+    def __init__(self, data: bytes, label: str = "<trace>") -> None:
         self.data = data
         self.pos = 0
+        self.label = label
+
+    def _need(self, n: int) -> None:
+        if self.pos + n > len(self.data):
+            raise ValueError(
+                f"{self.label}: truncated trace file "
+                f"(need {n} bytes at offset {self.pos}, "
+                f"have {len(self.data) - self.pos})"
+            )
 
     def take(self, fmt: str):
         st = struct.Struct(fmt)
+        self._need(st.size)
         values = st.unpack_from(self.data, self.pos)
         self.pos += st.size
         return values
 
     def take_bytes(self, n: int) -> bytes:
+        self._need(n)
         raw = self.data[self.pos : self.pos + n]
         self.pos += n
         return raw
 
+    def skip(self, n: int) -> None:
+        self._need(n)
+        self.pos += n
+
+
+#: Raw record fields, in :class:`TraceRecord` constructor order plus the
+#: still-unresolved marker id: (tid, pc, kind, fn, regs_read, regs_written,
+#: mem_read, mem_written, syscall-or-None, marker_id-or--1).
+RawRecord = Tuple[
+    int, int, int, int,
+    Tuple[int, ...], Tuple[int, ...], Tuple[int, ...], Tuple[int, ...],
+    Optional[int], int,
+]
+
+
+def _read_record(cur: _Cursor) -> RawRecord:
+    """Decode one record at the cursor (the single record-layout decoder)."""
+    tid, pc, kind, fn, syscall, marker_id = cur.take("<IQBIhh")
+    (n_rr,) = cur.take("<B")
+    regs_read = tuple(cur.take_bytes(n_rr))
+    (n_rw,) = cur.take("<B")
+    regs_written = tuple(cur.take_bytes(n_rw))
+    (n_mr,) = cur.take("<H")
+    mem_read = cur.take(f"<{n_mr}Q") if n_mr else ()
+    (n_mw,) = cur.take("<H")
+    mem_written = cur.take(f"<{n_mw}Q") if n_mw else ()
+    return (
+        tid, pc, kind, fn, regs_read, regs_written, mem_read, mem_written,
+        None if syscall < 0 else syscall, marker_id,
+    )
+
+
+def _skip_record(cur: _Cursor) -> None:
+    """Advance the cursor past one record using only its length fields.
+
+    Walks the same fields in the same order as :func:`_read_record`, so the
+    two can never disagree about a record's extent — the regression tests
+    assert both land on identical section boundaries.
+    """
+    cur.skip(_REC.size)
+    (n_rr,) = cur.take("<B")
+    cur.skip(n_rr)
+    (n_rw,) = cur.take("<B")
+    cur.skip(n_rw)
+    (n_mr,) = cur.take("<H")
+    cur.skip(8 * n_mr)
+    (n_mw,) = cur.take("<H")
+    cur.skip(8 * n_mw)
+
+
+def _materialize(raw: RawRecord, markers: List[str]) -> TraceRecord:
+    (tid, pc, kind, fn, regs_read, regs_written, mem_read, mem_written,
+     syscall, marker_id) = raw
+    return TraceRecord(
+        tid=tid,
+        pc=pc,
+        kind=InstrKind(kind),
+        fn=fn,
+        regs_read=regs_read,
+        regs_written=regs_written,
+        mem_read=mem_read,
+        mem_written=mem_written,
+        syscall=syscall,
+        marker=None if marker_id < 0 else markers[marker_id],
+    )
+
+
+class _RecordWalker:
+    """Positioned view over a v1/v2 file image: one walker per section.
+
+    The walker owns all knowledge of section order (symbols, records,
+    markers, metadata); :func:`load_trace`, :func:`iter_trace_epochs`, and
+    the columnar converter all drive the same instance methods, so a
+    format change cannot desync them.
+    """
+
+    def __init__(self, data: bytes, path: str) -> None:
+        if data.startswith(_HEADER):
+            self.has_frames = True
+        elif data.startswith(_HEADER_V1):
+            self.has_frames = False
+        elif data.startswith(_HEADER_V3):
+            raise ValueError(
+                f"{path}: UCWA3 columnar trace; use load_any_trace() or "
+                f"repro.trace.columnar.load_columnar()"
+            )
+        else:
+            raise ValueError(f"{path}: not a UCWA trace file")
+        self.path = path
+        self.cur = _Cursor(data[len(_HEADER):], label=str(path))
+        self.n_records = 0
+        self._records_pos: Optional[int] = None
+
+    def read_symbols(self) -> SymbolTable:
+        symbols = SymbolTable()
+        cur = self.cur
+        (n_names,) = cur.take("<I")
+        for _ in range(n_names):
+            (length,) = cur.take("<H")
+            symbols.intern(cur.take_bytes(length).decode("utf-8"))
+        (self.n_records,) = cur.take("<Q")
+        self._records_pos = cur.pos
+        return symbols
+
+    def skip_records(self) -> None:
+        """Length-only pass over the record section (to reach the markers)."""
+        for _ in range(self.n_records):
+            _skip_record(self.cur)
+
+    def rewind_to_records(self) -> None:
+        assert self._records_pos is not None, "read_symbols() first"
+        self.cur.pos = self._records_pos
+
+    def read_record(self) -> RawRecord:
+        return _read_record(self.cur)
+
+    def read_markers(self) -> List[str]:
+        cur = self.cur
+        (n_markers,) = cur.take("<H")
+        markers: List[str] = []
+        for _ in range(n_markers):
+            (length,) = cur.take("<H")
+            markers.append(cur.take_bytes(length).decode("utf-8"))
+        return markers
+
+    def read_metadata(self, meta: TraceMetadata) -> None:
+        cur = self.cur
+        (n_threads,) = cur.take("<H")
+        for _ in range(n_threads):
+            tid, length = cur.take("<IH")
+            meta.thread_names[tid] = cur.take_bytes(length).decode("utf-8")
+        (n_tiles,) = cur.take("<I")
+        for _ in range(n_tiles):
+            (index,) = cur.take("<Q")
+            (n_cells,) = cur.take("<H")
+            cells = cur.take(f"<{n_cells}Q") if n_cells else ()
+            meta.tile_buffers.append((index, tuple(cells)))
+        (load_idx,) = cur.take("<q")
+        meta.load_complete_index = None if load_idx < 0 else load_idx
+        if self.has_frames:
+            (n_frames,) = cur.take("<I")
+            for _ in range(n_frames):
+                frame_id, begin, end, length = cur.take("<IqqH")
+                kind = cur.take_bytes(length).decode("utf-8")
+                meta.frames.append(
+                    FrameSpan(
+                        frame_id=frame_id,
+                        kind=kind,
+                        begin=begin,
+                        end=None if end < 0 else end,
+                    )
+                )
+
 
 def load_trace(path: Union[str, Path]) -> TraceStore:
-    """Load a trace previously written by :func:`save_trace`."""
+    """Load a v1/v2 trace previously written by :func:`save_trace`.
+
+    Malformed input — wrong header, truncated file, a length field that
+    runs past the end — raises ``ValueError`` with the path in the
+    message.  For format-dispatching loads (v3 included) use
+    :func:`load_any_trace`.
+    """
     data = Path(path).read_bytes()
-    if data.startswith(_HEADER):
-        has_frames = True
-    elif data.startswith(_HEADER_V1):
-        has_frames = False
-    else:
-        raise ValueError(f"{path}: not a UCWA trace file")
-    cur = _Cursor(data[len(_HEADER) :])
+    walker = _RecordWalker(data, str(path))
+    symbols = walker.read_symbols()
 
-    symbols = SymbolTable()
-    (n_names,) = cur.take("<I")
-    for _ in range(n_names):
-        (length,) = cur.take("<H")
-        symbols.intern(cur.take_bytes(length).decode("utf-8"))
-
-    (n_records,) = cur.take("<Q")
-    raw_records: List[tuple] = []
-    for _ in range(n_records):
-        tid, pc, kind, fn, syscall, marker_id = cur.take("<IQBIhh")
-        (n_rr,) = cur.take("<B")
-        regs_read = tuple(cur.take_bytes(n_rr))
-        (n_rw,) = cur.take("<B")
-        regs_written = tuple(cur.take_bytes(n_rw))
-        (n_mr,) = cur.take("<H")
-        mem_read = cur.take(f"<{n_mr}Q") if n_mr else ()
-        (n_mw,) = cur.take("<H")
-        mem_written = cur.take(f"<{n_mw}Q") if n_mw else ()
-        raw_records.append(
-            (tid, pc, kind, fn, regs_read, regs_written, mem_read, mem_written,
-             None if syscall < 0 else syscall, marker_id)
-        )
-
-    (n_markers,) = cur.take("<H")
-    markers: List[str] = []
-    for _ in range(n_markers):
-        (length,) = cur.take("<H")
-        markers.append(cur.take_bytes(length).decode("utf-8"))
+    raw_records: List[RawRecord] = [
+        walker.read_record() for _ in range(walker.n_records)
+    ]
+    markers = walker.read_markers()
 
     store = TraceStore(symbols)
-    for (tid, pc, kind, fn, regs_read, regs_written, mem_read, mem_written,
-         syscall, marker_id) in raw_records:
-        store.append(
-            TraceRecord(
-                tid=tid,
-                pc=pc,
-                kind=InstrKind(kind),
-                fn=fn,
-                regs_read=regs_read,
-                regs_written=regs_written,
-                mem_read=mem_read,
-                mem_written=mem_written,
-                syscall=syscall,
-                marker=None if marker_id < 0 else markers[marker_id],
-            )
-        )
-
-    meta = store.metadata
-    (n_threads,) = cur.take("<H")
-    for _ in range(n_threads):
-        tid, length = cur.take("<IH")
-        meta.thread_names[tid] = cur.take_bytes(length).decode("utf-8")
-    (n_tiles,) = cur.take("<I")
-    for _ in range(n_tiles):
-        (index,) = cur.take("<Q")
-        (n_cells,) = cur.take("<H")
-        cells = cur.take(f"<{n_cells}Q") if n_cells else ()
-        meta.tile_buffers.append((index, tuple(cells)))
-    (load_idx,) = cur.take("<q")
-    meta.load_complete_index = None if load_idx < 0 else load_idx
-    if has_frames:
-        (n_frames,) = cur.take("<I")
-        for _ in range(n_frames):
-            frame_id, begin, end, length = cur.take("<IqqH")
-            kind = cur.take_bytes(length).decode("utf-8")
-            meta.frames.append(
-                FrameSpan(
-                    frame_id=frame_id,
-                    kind=kind,
-                    begin=begin,
-                    end=None if end < 0 else end,
-                )
-            )
+    append = store.append
+    for raw in raw_records:
+        append(_materialize(raw, markers))
+    walker.read_metadata(store.metadata)
     return store
+
+
+def load_any_trace(path: Union[str, Path]):
+    """Load a trace of any UCWA format, dispatching on the header.
+
+    Returns a :class:`TraceStore` for v1/v2 files and a
+    :class:`repro.trace.columnar.ColumnarTrace` for v3 files.  Both satisfy
+    the trace API the profiler consumes (``forward()``, ``records()``,
+    ``metadata``, ``symbols``, indexing), so callers can stay
+    format-agnostic.
+    """
+    with open(path, "rb") as fh:
+        head = fh.read(len(_HEADER_V3))
+    if head == _HEADER_V3:
+        from .columnar import load_columnar
+
+        return load_columnar(path)
+    return load_trace(path)
 
 
 def iter_trace_epochs(
@@ -321,72 +509,27 @@ def iter_trace_epochs(
     epochs for the parallel slicer.
 
     The marker-name table lives *after* the record section in the UCWA
-    format, so a cheap length-only skip pass locates it first; the second
-    pass materializes records with marker names resolved.
+    format, so a length-only skip pass (the shared
+    :func:`_skip_record` walker) locates it first; the second pass
+    materializes records with marker names resolved.
     """
     if epoch_size <= 0:
         raise ValueError(f"epoch_size must be positive, got {epoch_size}")
     data = Path(path).read_bytes()
-    if not (data.startswith(_HEADER) or data.startswith(_HEADER_V1)):
-        raise ValueError(f"{path}: not a UCWA trace file")
-    cur = _Cursor(data[len(_HEADER) :])
+    walker = _RecordWalker(data, str(path))
+    walker.read_symbols()
 
-    (n_names,) = cur.take("<I")
-    for _ in range(n_names):
-        (length,) = cur.take("<H")
-        cur.take_bytes(length)
+    walker.skip_records()
+    markers = walker.read_markers()
 
-    (n_records,) = cur.take("<Q")
-    records_pos = cur.pos
-
-    # Skip pass: records are variable length, so walk their length fields
-    # to find the marker table.
-    for _ in range(n_records):
-        cur.pos += _REC.size
-        (n_rr,) = cur.take("<B")
-        cur.pos += n_rr
-        (n_rw,) = cur.take("<B")
-        cur.pos += n_rw
-        (n_mr,) = cur.take("<H")
-        cur.pos += 8 * n_mr
-        (n_mw,) = cur.take("<H")
-        cur.pos += 8 * n_mw
-
-    (n_markers,) = cur.take("<H")
-    markers: List[str] = []
-    for _ in range(n_markers):
-        (length,) = cur.take("<H")
-        markers.append(cur.take_bytes(length).decode("utf-8"))
-
-    cur.pos = records_pos
+    walker.rewind_to_records()
+    n_records = walker.n_records
     index = 0
     while index < n_records:
         lo = index
         hi = min(index + epoch_size, n_records)
-        chunk: List[TraceRecord] = []
-        for _ in range(hi - lo):
-            tid, pc, kind, fn, syscall, marker_id = cur.take("<IQBIhh")
-            (n_rr,) = cur.take("<B")
-            regs_read = tuple(cur.take_bytes(n_rr))
-            (n_rw,) = cur.take("<B")
-            regs_written = tuple(cur.take_bytes(n_rw))
-            (n_mr,) = cur.take("<H")
-            mem_read = cur.take(f"<{n_mr}Q") if n_mr else ()
-            (n_mw,) = cur.take("<H")
-            mem_written = cur.take(f"<{n_mw}Q") if n_mw else ()
-            chunk.append(
-                TraceRecord(
-                    tid=tid,
-                    pc=pc,
-                    kind=InstrKind(kind),
-                    fn=fn,
-                    regs_read=regs_read,
-                    regs_written=regs_written,
-                    mem_read=mem_read,
-                    mem_written=mem_written,
-                    syscall=None if syscall < 0 else syscall,
-                    marker=None if marker_id < 0 else markers[marker_id],
-                )
-            )
+        chunk = [
+            _materialize(walker.read_record(), markers) for _ in range(hi - lo)
+        ]
         yield lo, hi, chunk
         index = hi
