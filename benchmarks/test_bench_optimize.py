@@ -1,0 +1,70 @@
+"""Optimizer payoff on Bing: the transformed session must do at least
+10% less traced work while rendering byte-identical frames.
+
+This is the headline claim of the proof-carrying waste eliminator (see
+docs/optimizer.md): the paper's ~50% useless-instruction fractions leave
+enough statically-provable waste that even a conservative rewriter wins
+double digits on a real workload.
+"""
+
+import pytest
+
+from repro.jsstatic.compare import benchmark_sources
+from repro.optimize import optimize_benchmark, plan_scripts
+from repro.profiler import (
+    image_attribution,
+    image_region_cells,
+    script_attribution,
+    script_region_cells,
+)
+from repro.workloads import benchmark as get_benchmark
+
+
+@pytest.fixture(scope="module")
+def bing_optimized():
+    return optimize_benchmark("bing")
+
+
+def test_planning_benchmark(bing_result, benchmark):
+    """Static planning alone (no re-execution) against cached evidence."""
+    bench = get_benchmark("bing")
+    touches = script_attribution(
+        bing_result.store, bing_result.pixel,
+        script_region_cells(bing_result.engine),
+    )
+    image_touches = image_attribution(
+        bing_result.store, bing_result.pixel,
+        image_region_cells(bing_result.engine),
+    )
+    sources = dict(benchmark_sources(bench))
+    late = [url for batch in bench.late_scripts.values() for url in batch]
+
+    def run():
+        return plan_scripts(
+            "bing", sources, pixel_touches=touches, late_urls=late,
+            image_touches=image_touches,
+        )
+
+    plan = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert plan.applied()
+
+
+def test_bing_saves_at_least_ten_percent(bing_optimized):
+    assert bing_optimized.records_saved_fraction >= 0.10, (
+        f"expected >=10% record reduction on bing, got "
+        f"{bing_optimized.records_saved_fraction:.1%}"
+    )
+
+
+def test_bing_framebuffers_byte_identical(bing_optimized):
+    bing_optimized.check()
+    assert bing_optimized.original_digests == bing_optimized.transformed_digests
+    assert bing_optimized.tripwire_hits == []
+
+
+def test_bing_every_applied_rewrite_is_proved(bing_optimized):
+    for rewrite in bing_optimized.plan.applied():
+        assert rewrite.proof.category.value in (
+            "proven-safe", "dynamically-safe"
+        )
+        assert rewrite.proof.evidence

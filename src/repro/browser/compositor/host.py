@@ -20,6 +20,7 @@ Runs the last stage of the paper's Figure 1 pipeline:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -58,6 +59,10 @@ class CompositorHost:
         #: animation timeline state (curve evaluation feeds transforms)
         self.animation_cell = ctx.memory.alloc_cell("cc:animation_timeline")
         self.frame_count = 0
+        #: one semantic digest per drawn frame (see :meth:`draw_frame`);
+        #: value-based (geometry + colors + content, no cell ids), so two
+        #: runs draw identical pixels iff their digest lists are equal.
+        self.frame_digests: List[str] = []
 
     # ------------------------------------------------------------------ #
     # Commit (compositor thread)                                         #
@@ -376,10 +381,11 @@ class CompositorHost:
         tracer = self.ctx.tracer
         viewport = self.viewport_rect()
         self.frame_count += 1
+        snapshot: List[Tuple] = [("scroll", round(self.scroll_y, 3))]
         with tracer.function("cc::LayerTreeHostImpl::DrawLayers"), self.ctx.lock(
             "cc:lock:tree"
         ).held():
-            for layer in self.layers:
+            for order, layer in enumerate(self.layers):
                 tracer.compare_and_branch(
                     "layer_visible", reads=(layer.property_cell,)
                 )
@@ -402,6 +408,7 @@ class CompositorHost:
                         # draw-quad upload).
                         tracer.marker(TILE_MARKER, cells=tile.pixel_cells())
                         tile.marked = True
+                    snapshot.append(self._tile_snapshot(order, layer, tile, visible_part))
                     tracer.op(
                         "draw_quad",
                         reads=tile.pixel_cells()[:8] + (layer.property_cell,),
@@ -414,7 +421,36 @@ class CompositorHost:
                             "glTexSubImage2D", reads=tile.pixel_cells()[8:10]
                         )
             self.ctx.maybe_debug_event()
+        digest = hashlib.sha256(repr(snapshot).encode()).hexdigest()
+        self.frame_digests.append(digest)
         return self.framebuffer.all_cells()
+
+    def _tile_snapshot(
+        self, order: int, layer: CompositedLayer, tile: Tile, visible_part: Rect
+    ) -> Tuple:
+        """A value-based description of what one drawn tile shows.
+
+        Captures draw order, geometry, and the display items' visual
+        content (kind, rect, color, opacity, text/src detail) — but no
+        abstract cell ids or node ids, which are allocation-order
+        artifacts that may legally differ between otherwise
+        pixel-identical runs.  Pure bookkeeping: emits no trace records,
+        so existing trace goldens are unaffected.
+        """
+
+        def _rect(r: Rect) -> Tuple[float, float, float, float]:
+            return (round(r.x, 3), round(r.y, 3), round(r.w, 3), round(r.h, 3))
+
+        items = tuple(
+            (item.kind, _rect(item.rect), str(item.color), item.opaque,
+             round(layer.paint.opacity, 4), item.detail)
+            for item, _cc_cell in layer.items_for_tile(tile)
+            if item.rect.intersects(visible_part)
+        )
+        return (
+            "tile", order, layer.paint.z_index, layer.paint.fixed,
+            tile.col, tile.row, _rect(visible_part), items,
+        )
 
     def _fb_cells_for(self, rect: Rect, viewport: Rect) -> Tuple[int, ...]:
         """Framebuffer block cells covered by a viewport-space rect."""

@@ -845,5 +845,15 @@ class BrowserEngine:
     def trace_store(self):
         return self.ctx.tracer.store
 
+    def frame_digests(self) -> List[str]:
+        """Semantic per-frame framebuffer digests, in draw order.
+
+        Two runs rendered identical pixels iff their digest lists are
+        equal (see :meth:`CompositorHost.draw_frame`); the optimizer's
+        verification harness compares these between the original and the
+        transformed run.
+        """
+        return list(self.compositor.frame_digests)
+
     def utilization_series(self, tid: int = MAIN_THREAD):
         return self.ctx.clock.utilization_series(tid)

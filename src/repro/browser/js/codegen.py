@@ -1,0 +1,309 @@
+"""AST -> source serialization for the mini-JavaScript language.
+
+The optimizer rewrites programs at the AST level (stubbing dead function
+bodies, pruning constant branches) and then needs runnable *source* back:
+the engine's interpreter charges parse/compile cost per source byte, so
+transformed programs must be re-emitted as text and re-parsed, giving them
+self-consistent spans in the new coordinate space.
+
+Round-trip contract (tested in ``tests/optimize/test_codegen.py``): for
+every program the mini-parser accepts, ``parse(generate(parse(src)))``
+produces a structurally identical AST.  Two parser artifacts need special
+care:
+
+* the parser wraps standalone ``{ ... }`` blocks and multi-declarator
+  ``var a = 1, b = 2`` statements in a *synthetic* ``IfStmt`` whose test
+  is a ``Literal(True)`` with a zero-width span — those are unwrapped
+  back into plain statement sequences (semantically identical: the
+  language has function-level scoping only);
+* the lexer stores *decoded* string values, so strings are re-escaped on
+  the way out, and parenthesization is reconstructed from operator
+  precedence (the AST carries no paren nodes).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+
+#: Internal precedence levels (higher binds tighter).  Mirrors the
+#: parser's grammar: sequence < assignment < conditional < `||` < `&&`
+#: < equality < relational < additive < multiplicative < unary < postfix.
+_SEQUENCE = 1
+_ASSIGN = 2
+_CONDITIONAL = 3
+_LOGICAL_OR = 4
+_LOGICAL_AND = 5
+_UNARY = 10
+_POSTFIX = 11
+_PRIMARY = 12
+
+_BINARY_LEVEL = {
+    "==": 6, "!=": 6, "===": 6, "!==": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7, "in": 7,
+    "+": 8, "-": 8,
+    "*": 9, "/": 9, "%": 9,
+}
+
+
+class JSCodegenError(ValueError):
+    """Raised on an AST shape the generator cannot serialize."""
+
+
+def is_synthetic_block(stmt: ast.JSNode) -> bool:
+    """True for the parser's ``if (true)`` wrapper around a statement list.
+
+    The wrapper's test is a ``Literal(True)`` with a degenerate
+    (zero-width) span; a real ``if (true)`` test spans the 4-byte
+    ``true`` token, so the two cannot be confused.
+    """
+    return (
+        isinstance(stmt, ast.IfStmt)
+        and not stmt.alternate
+        and isinstance(stmt.test, ast.Literal)
+        and stmt.test.value is True
+        and stmt.test.span[0] == stmt.test.span[1]
+    )
+
+
+def generate(program: ast.Program) -> str:
+    """Serialize a parsed program back to JavaScript source."""
+    return gen_statements(program.body, indent=0)
+
+
+def gen_statements(stmts: List[ast.JSNode], indent: int = 0) -> str:
+    lines: List[str] = []
+    for stmt in stmts:
+        lines.append(gen_statement(stmt, indent))
+    return "\n".join(lines)
+
+
+def gen_statement(stmt: ast.JSNode, indent: int = 0) -> str:
+    pad = "  " * indent
+    if is_synthetic_block(stmt):
+        # Unwrap the parser's block/multi-var wrapper into its statements.
+        # (An empty block vanishes: the grammar has no empty statement.)
+        return gen_statements(stmt.consequent, indent) if stmt.consequent else pad
+    if isinstance(stmt, ast.VarDecl):
+        init = f" = {_expr(stmt.init, _ASSIGN)}" if stmt.init is not None else ""
+        return f"{pad}{stmt.kind} {stmt.name}{init};"
+    if isinstance(stmt, ast.FunctionDecl):
+        return pad + _function(stmt.func, indent)
+    if isinstance(stmt, ast.ExpressionStmt):
+        return f"{pad}{_expr(stmt.expr, _SEQUENCE)};"
+    if isinstance(stmt, ast.IfStmt):
+        out = (
+            f"{pad}if ({_expr(stmt.test, _SEQUENCE)}) "
+            + _block(stmt.consequent, indent)
+        )
+        if stmt.alternate:
+            out += " else " + _block(stmt.alternate, indent)
+        return out
+    if isinstance(stmt, ast.WhileStmt):
+        return f"{pad}while ({_expr(stmt.test, _SEQUENCE)}) " + _block(stmt.body, indent)
+    if isinstance(stmt, ast.DoWhileStmt):
+        return (
+            f"{pad}do " + _block(stmt.body, indent)
+            + f" while ({_expr(stmt.test, _SEQUENCE)});"
+        )
+    if isinstance(stmt, ast.ForInStmt):
+        return (
+            f"{pad}for (var {stmt.name} in {_expr(stmt.obj, _SEQUENCE)}) "
+            + _block(stmt.body, indent)
+        )
+    if isinstance(stmt, ast.ForStmt):
+        init = ""
+        if isinstance(stmt.init, ast.VarDecl):
+            tail = (
+                f" = {_expr(stmt.init.init, _ASSIGN)}"
+                if stmt.init.init is not None else ""
+            )
+            init = f"{stmt.init.kind} {stmt.init.name}{tail}"
+        elif isinstance(stmt.init, ast.ExpressionStmt):
+            init = _expr(stmt.init.expr, _SEQUENCE)
+        elif stmt.init is not None:
+            init = _expr(stmt.init, _SEQUENCE)
+        test = _expr(stmt.test, _SEQUENCE) if stmt.test is not None else ""
+        update = _expr(stmt.update, _SEQUENCE) if stmt.update is not None else ""
+        return f"{pad}for ({init}; {test}; {update}) " + _block(stmt.body, indent)
+    if isinstance(stmt, ast.SwitchStmt):
+        lines = [f"{pad}switch ({_expr(stmt.discriminant, _SEQUENCE)}) {{"]
+        for test, body in stmt.cases:
+            label = (
+                f"case {_expr(test, _SEQUENCE)}:" if test is not None else "default:"
+            )
+            lines.append(f"{pad}  {label}")
+            for inner in body:
+                lines.append(gen_statement(inner, indent + 2))
+        lines.append(pad + "}")
+        return "\n".join(lines)
+    if isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is None:
+            return pad + "return;"
+        return f"{pad}return {_expr(stmt.value, _SEQUENCE)};"
+    if isinstance(stmt, ast.BreakStmt):
+        return pad + "break;"
+    if isinstance(stmt, ast.ContinueStmt):
+        return pad + "continue;"
+    if isinstance(stmt, ast.ThrowStmt):
+        return f"{pad}throw {_expr(stmt.value, _SEQUENCE)};"
+    if isinstance(stmt, ast.TryStmt):
+        out = f"{pad}try " + _block(stmt.block, indent)
+        if stmt.handler or stmt.param is not None:
+            out += f" catch ({stmt.param or '__err__'}) " + _block(stmt.handler, indent)
+        if stmt.finally_body:
+            out += " finally " + _block(stmt.finally_body, indent)
+        return out
+    raise JSCodegenError(f"unsupported statement node {type(stmt).__name__}")
+
+
+def _block(stmts: List[ast.JSNode], indent: int) -> str:
+    if not stmts:
+        return "{ }"
+    pad = "  " * indent
+    return "{\n" + gen_statements(stmts, indent + 1) + f"\n{pad}}}"
+
+
+def _function(func: ast.FunctionExpr, indent: int) -> str:
+    name = f" {func.name}" if func.name else ""
+    params = ", ".join(func.params)
+    pad = "  " * indent
+    if not func.body:
+        return f"function{name}({params}) {{ }}"
+    return (
+        f"function{name}({params}) {{\n"
+        + gen_statements(func.body, indent + 1)
+        + f"\n{pad}}}"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Expressions                                                           #
+# --------------------------------------------------------------------- #
+
+
+def _expr(node: ast.JSNode, min_level: int) -> str:
+    text, level = _render(node)
+    if level < min_level:
+        return f"({text})"
+    return text
+
+
+def _render(node: ast.JSNode):
+    """Return (source text, precedence level) for one expression node."""
+    if isinstance(node, ast.Literal):
+        return _literal(node), _PRIMARY
+    if isinstance(node, ast.Identifier):
+        return node.name, _PRIMARY
+    if isinstance(node, ast.ThisExpr):
+        return "this", _PRIMARY
+    if isinstance(node, ast.ArrayLiteral):
+        inner = ", ".join(_expr(el, _ASSIGN) for el in node.elements)
+        return f"[{inner}]", _PRIMARY
+    if isinstance(node, ast.ObjectLiteral):
+        inner = ", ".join(
+            f"{_object_key(key)}: {_expr(value, _ASSIGN)}"
+            for key, value in node.entries
+        )
+        # Always parenthesized: at statement (or callee) position a bare
+        # `{` would re-parse as a block.
+        return f"({{{inner}}})", _PRIMARY
+    if isinstance(node, ast.FunctionExpr):
+        # Always parenthesized: at statement position bare `function`
+        # would re-parse as a declaration.  Parens vanish at re-parse.
+        return f"({_function(node, 0)})", _PRIMARY
+    if isinstance(node, ast.Unary):
+        op = node.op
+        spacer = " " if op.isalpha() else ""
+        operand = _expr(node.operand, _UNARY)
+        if not spacer and operand.startswith(op[0]):
+            spacer = " "  # avoid `- -x` fusing into `--x`
+        return f"{op}{spacer}{operand}", _UNARY
+    if isinstance(node, ast.UpdateExpr):
+        if node.prefix:
+            return f"{node.op}{_expr(node.target, _UNARY)}", _UNARY
+        return f"{_expr(node.target, _POSTFIX)}{node.op}", _POSTFIX
+    if isinstance(node, ast.Binary):
+        if node.op == ",":
+            left = _expr(node.left, _SEQUENCE)
+            right = _expr(node.right, _ASSIGN)
+            return f"{left}, {right}", _SEQUENCE
+        level = _BINARY_LEVEL[node.op]
+        left = _expr(node.left, level)
+        right = _expr(node.right, level + 1)
+        return f"{left} {node.op} {right}", level
+    if isinstance(node, ast.Logical):
+        level = _LOGICAL_AND if node.op == "&&" else _LOGICAL_OR
+        left = _expr(node.left, level)
+        right = _expr(node.right, level + 1)
+        return f"{left} {node.op} {right}", level
+    if isinstance(node, ast.Conditional):
+        test = _expr(node.test, _LOGICAL_OR)
+        consequent = _expr(node.consequent, _ASSIGN)
+        alternate = _expr(node.alternate, _ASSIGN)
+        return f"{test} ? {consequent} : {alternate}", _CONDITIONAL
+    if isinstance(node, ast.Assignment):
+        target = _expr(node.target, _POSTFIX)
+        value = _expr(node.value, _ASSIGN)
+        return f"{target} {node.op} {value}", _ASSIGN
+    if isinstance(node, ast.Member):
+        obj = _expr(node.obj, _POSTFIX)
+        if node.prop is not None:
+            return f"{obj}.{node.prop}", _POSTFIX
+        return f"{obj}[{_expr(node.index, _SEQUENCE)}]", _POSTFIX
+    if isinstance(node, ast.Call):
+        callee = _expr(node.callee, _POSTFIX)
+        args = ", ".join(_expr(arg, _ASSIGN) for arg in node.args)
+        prefix = "new " if node.is_new else ""
+        return f"{prefix}{callee}({args})", _POSTFIX
+    raise JSCodegenError(f"unsupported expression node {type(node).__name__}")
+
+
+def _literal(node: ast.Literal) -> str:
+    value = node.value
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        text = repr(value)
+        if "e" in text or "E" in text:
+            # The lexer has no exponent notation; spell it out.
+            text = f"{value:.15f}".rstrip("0")
+        return text
+    if isinstance(value, (int,)):
+        return str(value)
+    if isinstance(value, str):
+        return _string(value)
+    raise JSCodegenError(f"unsupported literal value {value!r}")
+
+
+def _string(value: str) -> str:
+    out = []
+    for ch in value:
+        if ch == "\\":
+            out.append("\\\\")
+        elif ch == '"':
+            out.append('\\"')
+        elif ch == "\n":
+            out.append("\\n")
+        elif ch == "\t":
+            out.append("\\t")
+        else:
+            out.append(ch)
+    return '"' + "".join(out) + '"'
+
+
+def _object_key(key: str) -> str:
+    from .lexer import KEYWORDS
+
+    if key and (key[0].isalpha() or key[0] in "_$") and all(
+        c.isalnum() or c in "_$" for c in key
+    ) and key not in KEYWORDS:
+        return key
+    return _string(key)

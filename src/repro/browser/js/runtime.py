@@ -79,6 +79,10 @@ class JSRuntime:
         #: (element node_id or -1 for window, event type) -> handlers
         self.listeners: Dict[Tuple[int, str], List[TV]] = {}
         self._rng_state = (self.ctx.config.seed * 2654435761 + 1) % (2**31)
+        #: ids passed to ``__tripwire(id)`` — the optimizer stubs the body
+        #: of every provably-dead function with such a call, so a non-empty
+        #: list after a verification run falsifies the static proof.
+        self.tripwire_hits: List[float] = []
         self._install_globals()
 
     # ------------------------------------------------------------------ #
@@ -263,6 +267,7 @@ class JSRuntime:
         env.define("parseFloat", NativeFunction("parseFloat", _parse_float))
         env.define("String", NativeFunction("String", _to_string))
         env.define("Number", NativeFunction("Number", _to_number))
+        env.define("__tripwire", NativeFunction("__tripwire", self._tripwire))
 
     def _document_getter(self, document: JSObject):
         interp = self.interp
@@ -395,6 +400,12 @@ class JSRuntime:
         if args:
             self.hooks.request_animation_frame(args[0])
         return interp.make_tv(0.0)
+
+    def _tripwire(self, interp: Interpreter, this, args: List[TV]) -> TV:
+        """Record that an optimizer-stubbed "dead" function was entered."""
+        fid = js_to_number(args[0].value) if args else -1.0
+        self.tripwire_hits.append(fid)
+        return TV(None, interp.undefined_cell)
 
     def _send_beacon(self, interp: Interpreter, this, args: List[TV]) -> TV:
         url = js_to_string(args[0].value) if args else ""

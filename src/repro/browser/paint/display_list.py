@@ -25,6 +25,9 @@ class DisplayItem:
         owner_id: node id of the element the item paints (for text runs,
             the parent element) — the key incremental repaint uses to find
             a dirty subtree's contiguous item span.  -1 when unknown.
+        detail: the drawn content itself (a text run's characters, an
+            image's src) so frame snapshots compare what the user sees,
+            not just geometry.
     """
 
     kind: str
@@ -34,6 +37,7 @@ class DisplayItem:
     color: Optional[Color] = None
     opaque: bool = False
     owner_id: int = -1
+    detail: str = ""
 
 
 @dataclass

@@ -270,6 +270,7 @@ class Painter:
                     source_cells=source_cells,
                     opaque=True,
                     owner_id=element.node_id,
+                    detail=src,
                 )
             )
         self.ctx.maybe_debug_event()
@@ -297,5 +298,6 @@ class Painter:
                 cells=(cell,),
                 color=box.style.color,
                 owner_id=node.parent.node_id if node.parent is not None else -1,
+                detail=node.text,
             )
         )

@@ -12,6 +12,7 @@ Usage::
     python -m repro.harness tsan
     python -m repro.harness frames [workload ...]
     python -m repro.harness service [workload ...] [--golden=PATH] [--rounds=N]
+    python -m repro.harness optimize [workload ...]
     python -m repro.harness all
 
 ``static`` cross-validates the static dead-code analyzer
@@ -29,6 +30,11 @@ paper workloads (default: the four Table II benchmarks) for ``--rounds``
 rounds (default 2), and asserts repeat rounds are served from the
 content-addressed cache with byte-identical results; ``--golden=PATH``
 additionally checks fractions against the frozen paper numbers.
+``optimize`` runs the proof-carrying waste eliminator (see
+docs/optimizer.md) on each named workload (default: the four paper
+sites): it rewrites the workload's JS from static + trace evidence,
+re-executes, and asserts the framebuffer is pixel-identical with zero
+dead-function trip-wire hits.
 
 Unknown targets and unknown workload names exit with status 2 —
 uniformly, for every subcommand.
@@ -52,11 +58,11 @@ from .reporting import (
 
 _TARGETS = (
     "table1", "table2", "fig2", "fig4", "fig5", "bing-partial", "static",
-    "tsan", "frames", "service", "all",
+    "tsan", "frames", "service", "optimize", "all",
 )
 
 #: Targets that accept workload-name arguments (the rest take none).
-_WORKLOAD_TARGETS = ("frames", "service")
+_WORKLOAD_TARGETS = ("frames", "service", "optimize")
 
 
 def _tsan() -> str:
@@ -107,6 +113,17 @@ def _table1() -> str:
         "google_maps": cached_run("google_maps_browse"),
     }
     return table1_report(load, browse)
+
+
+def _optimize(names) -> str:
+    from ..optimize import optimize_benchmark, verification_report
+
+    sections = []
+    for name in names:
+        result = optimize_benchmark(name)
+        result.check()
+        sections.append(verification_report(result))
+    return "\n\n".join(sections)
 
 
 def _frames(names) -> str:
@@ -176,6 +193,9 @@ def main(argv) -> int:
 
     frame_names = workload_args or list(MULTIFRAME_BENCHMARKS)
     service_names = workload_args or list(TABLE2_BENCHMARKS)
+    optimize_names = workload_args or ["wiki_article"] + [
+        n for n in TABLE2_BENCHMARKS if n != "wiki_article"
+    ]
     if target in ("table1", "all"):
         print(_table1())
         print()
@@ -205,6 +225,9 @@ def main(argv) -> int:
         print()
     if target in ("service", "all"):
         print(_service(service_names, options))
+        print()
+    if target in ("optimize", "all"):
+        print(_optimize(optimize_names))
     return 0
 
 

@@ -73,6 +73,13 @@ def run_engine(bench: Benchmark, metrics_ticks: int = 4) -> BrowserEngine:
     """Run a benchmark's full session and return the engine."""
     engine = BrowserEngine(bench.config)
     engine.load_page(bench.page)
+    if bench.deferred_scripts:
+        # Optimizer-deferred scripts run right after the load frame: the
+        # load-time pixels are already on screen, so pulling these out of
+        # the critical path cannot change them (verified by frame digests).
+        for url, source in bench.deferred_scripts.items():
+            engine.load_additional_script(url, source)
+        engine.scheduler.run_until_idle()
     engine.pump_animation_frames(bench.config.load_animation_ticks)
     for _ in range(metrics_ticks):
         engine.emit_metrics_tick()

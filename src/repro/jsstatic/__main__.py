@@ -4,12 +4,16 @@ Usage::
 
     python -m repro.jsstatic report                # all Table II workloads
     python -m repro.jsstatic report wiki_article bing
+    python -m repro.jsstatic report --json bing
     python -m repro.jsstatic analyze amazon_desktop
 
 ``report`` runs each workload's full dynamic session (reusing the
 harness's per-process cache) and prints the precision/recall table of the
-static dead-code verdicts against dynamic coverage; ``analyze`` prints
-the raw static findings for one benchmark without running anything.
+static dead-code verdicts against dynamic coverage; with ``--json`` it
+instead emits machine-readable per-function verdicts (script, name,
+span, verdict, reason, executed) plus the per-workload aggregates.
+``analyze`` prints the raw static findings for one benchmark without
+running anything.
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ def _default_names() -> List[str]:
     return names
 
 
-def _report(names: List[str]) -> int:
+def _report(names: List[str], as_json: bool = False) -> int:
     from ..harness.experiments import cached_run
     from .compare import compare_benchmark, comparison_report
 
@@ -38,7 +42,27 @@ def _report(names: List[str]) -> int:
                 name, engine=result.engine, pixel_fraction=result.stats.fraction
             )
         )
-    print(comparison_report(comparisons))
+    if as_json:
+        import json
+
+        from .compare import function_verdicts
+
+        payload = [
+            {
+                "benchmark": c.benchmark,
+                "n_functions": c.n_functions,
+                "n_static_dead": c.n_static_dead,
+                "n_dynamic_dead": c.n_dynamic_dead,
+                "precision": c.precision,
+                "recall": c.recall,
+                "sound": c.is_sound,
+                "functions": function_verdicts(c),
+            }
+            for c in comparisons
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        print(comparison_report(comparisons))
     return 0 if all(c.is_sound for c in comparisons) else 1
 
 
@@ -66,8 +90,10 @@ def _analyze(name: str) -> int:
 
 def main(argv: List[str]) -> int:
     if argv and argv[0] == "report":
-        names = argv[1:] or _default_names()
-        return _report(names)
+        rest = argv[1:]
+        as_json = "--json" in rest
+        names = [a for a in rest if a != "--json"] or _default_names()
+        return _report(names, as_json=as_json)
     if len(argv) >= 2 and argv[0] == "analyze":
         return _analyze(argv[1])
     print(__doc__)

@@ -199,3 +199,79 @@ def _coverage_scripts(cmp: WorkloadComparison):
             return span_total(sorted(self.dead))
 
     return [_View(s.url, s.dynamic_dead) for s in cmp.scripts]
+
+
+def function_verdicts(cmp: WorkloadComparison) -> List[Dict[str, object]]:
+    """Machine-readable per-function verdicts for one workload.
+
+    One entry per function the analyzer found: the script, the
+    function's label and byte span, the static ``verdict`` ("dead" or
+    "live"), the ``reason`` behind it (which edge keeps a live function
+    reachable; why a dead one is unreachable), and — when the dynamic
+    run covered the script — whether the function actually ``executed``.
+    """
+    analysis = cmp.analysis
+    graph = analysis.graph
+    dead_ids = {f.fid for f in analysis.dead_functions}
+    fn_by_fid = {info.fid: info for info in graph.functions}
+    covered = {s.url for s in cmp.scripts}
+    dynamic_dead = {
+        (s.url, span) for s in cmp.scripts for span in s.dynamic_dead
+    }
+    out: List[Dict[str, object]] = []
+    for info in graph.functions:
+        dead = info.fid in dead_ids
+        if dead:
+            pkind, pident = info.parent
+            if pkind == "fn" and int(pident) in dead_ids:
+                parent = fn_by_fid[int(pident)].label()
+                reason = f"enclosing function {parent} is dead"
+            else:
+                reason = (
+                    "no call, registration, or escape edge from a live "
+                    "region reaches it"
+                )
+        else:
+            reason = _liveness_reason(graph, info, dead_ids, fn_by_fid)
+        executed: Optional[bool] = None
+        if info.script in covered:
+            executed = (info.script, info.span) not in dynamic_dead
+        out.append(
+            {
+                "script": info.script,
+                "name": info.label(),
+                "span": list(info.span),
+                "verdict": "dead" if dead else "live",
+                "reason": reason,
+                "executed": executed,
+            }
+        )
+    return out
+
+
+def _liveness_reason(graph, info, dead_ids: Set[int], fn_by_fid) -> str:
+    """The first live edge that reaches ``info``, as human-readable text."""
+
+    def _where(region) -> Optional[str]:
+        kind, ident = region
+        if kind == "top":
+            return f"top level of {ident}"
+        if int(ident) in dead_ids:
+            return None  # edges from dead regions keep nothing alive
+        return fn_by_fid[int(ident)].label()
+
+    for region, edges in graph.value_edges.items():
+        where = _where(region)
+        if where is None:
+            continue
+        for kind, fid in edges:
+            if fid == info.fid:
+                return f"{kind.name.lower()} edge from {where}"
+    for region, edges in graph.name_edges.items():
+        where = _where(region)
+        if where is None:
+            continue
+        for kind, name in edges:
+            if name in info.aliases:
+                return f"{kind.name.lower()} edge to '{name}' from {where}"
+    return "reachable from page load"

@@ -1,0 +1,62 @@
+"""Proof-carrying waste eliminator.
+
+Consumes the repo's two evidence streams — the jsstatic dead-function
+call graph and the profiler's pixel-slice attribution — and rewrites a
+workload's JS (plus its resource set) before execution.  Every transform
+carries a :class:`~repro.optimize.transforms.Proof`: the safety category
+(``PROVEN_SAFE`` from static analysis alone, ``DYNAMICALLY_SAFE`` when a
+recorded trace discharges the obligation, ``UNSAFE`` for refusals), the
+obligation itself, and the evidence source.  The verification harness
+(:mod:`.verify`) then re-runs the transformed workload and asserts the
+framebuffer digests are byte-identical, no dead-function trip-wire
+fired, and trace records were actually removed.
+"""
+
+from .purity import (
+    Purity,
+    PurityAnalysis,
+    PurityInfo,
+    analyze_page_purity,
+)
+from .transforms import (
+    ObservabilityIndex,
+    OptimizationPlan,
+    Proof,
+    ProofCategory,
+    Rewrite,
+    ScriptPlan,
+    build_observability,
+    eliminate_discarded_calls,
+    plan_deferrals,
+    plan_image_elisions,
+    plan_scripts,
+    prune_constant_branches,
+    stub_dead_functions,
+)
+from .report import plan_report, verification_report
+from .verify import PassStats, VerificationResult, optimize_benchmark
+
+__all__ = [
+    "Purity",
+    "PurityInfo",
+    "PurityAnalysis",
+    "analyze_page_purity",
+    "ObservabilityIndex",
+    "build_observability",
+    "Proof",
+    "ProofCategory",
+    "Rewrite",
+    "ScriptPlan",
+    "OptimizationPlan",
+    "eliminate_discarded_calls",
+    "stub_dead_functions",
+    "prune_constant_branches",
+    "plan_deferrals",
+    "plan_image_elisions",
+    "plan_scripts",
+    "PassStats",
+    "VerificationResult",
+    "optimize_benchmark",
+    "plan_report",
+    "verification_report",
+]

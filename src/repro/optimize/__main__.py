@@ -1,0 +1,91 @@
+"""Optimizer CLI: rewrite a workload's JS, re-run it, verify pixels.
+
+Usage::
+
+    python -m repro.optimize run <workload> [...]
+    python -m repro.optimize plan <workload> [...]
+
+``run`` executes the full optimize-and-verify cycle for each named
+workload: plan all five transform passes against the original run's
+evidence, re-execute the transformed workload, and assert the per-frame
+framebuffer digests are byte-identical with zero dead-function
+trip-wire hits.  ``plan`` prints the planned rewrites (applied and
+refused, with their proof obligations) without the verification re-run.
+
+Unknown workload names exit with status 2 — uniformly with the other
+CLI front ends.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List
+
+_COMMANDS = ("run", "plan")
+
+
+def _validate(names: List[str]) -> int:
+    from ..workloads import benchmark_names, unknown_names
+
+    unknown = unknown_names(names)
+    if unknown:
+        print(
+            f"unknown workload(s): {', '.join(unknown)}; "
+            f"available: {', '.join(benchmark_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _run(names: List[str]) -> int:
+    from .report import verification_report
+    from .verify import optimize_benchmark
+
+    status = 0
+    for i, name in enumerate(names):
+        if i:
+            print()
+        result = optimize_benchmark(name)
+        print(verification_report(result))
+        if not result.verified:
+            status = 1
+    return status
+
+
+def _plan(names: List[str]) -> int:
+    from ..jsstatic.compare import benchmark_sources
+    from ..workloads import benchmark
+    from .report import plan_report
+    from .transforms import plan_scripts
+
+    for i, name in enumerate(names):
+        if i:
+            print()
+        bench = benchmark(name)
+        late = {
+            url for batch in bench.late_scripts.values() for url in batch
+        }
+        plan = plan_scripts(
+            name, benchmark_sources(bench), late_urls=late
+        )
+        print(plan_report(plan))
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) >= 2 and argv[0] in _COMMANDS:
+        names = argv[1:]
+        status = _validate(names)
+        if status:
+            return status
+        return _run(names) if argv[0] == "run" else _plan(names)
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:
+        sys.exit(0)

@@ -1,0 +1,70 @@
+"""Human-readable rendering of an optimize-and-verify cycle."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .transforms import OptimizationPlan, ProofCategory
+from .verify import VerificationResult
+
+
+def plan_report(plan: OptimizationPlan) -> str:
+    """Every rewrite the planner decided, applied and refused."""
+    lines: List[str] = [f"optimization plan: {plan.benchmark}"]
+    for category in (ProofCategory.PROVEN_SAFE, ProofCategory.DYNAMICALLY_SAFE):
+        rewrites = [
+            r for r in plan.applied() if r.proof.category is category
+        ]
+        lines.append(f"  {category.value} ({len(rewrites)} applied)")
+        for r in rewrites:
+            lines.append(
+                f"    {r.pass_name:20s} {r.script}:{r.target} "
+                f"[{r.proof.evidence}]"
+            )
+    refused = plan.refused()
+    lines.append(f"  refused ({len(refused)})")
+    for r in refused:
+        lines.append(
+            f"    {r.pass_name:20s} {r.script}:{r.target} — "
+            f"{r.proof.obligation}"
+        )
+    return "\n".join(lines)
+
+
+def verification_report(result: VerificationResult) -> str:
+    """The verification verdict plus the per-pass accounting table."""
+    lines: List[str] = [f"== optimize {result.benchmark} =="]
+    n_frames = len(result.original_digests)
+    lines.append(
+        f"pixel identity : {'OK' if result.pixel_identical else 'FAILED'}"
+        f" ({n_frames} frames)"
+    )
+    lines.append(
+        f"trip-wires     : {len(result.tripwire_hits)}"
+        f" {'OK' if not result.tripwire_hits else 'FIRED'}"
+    )
+    lines.append(
+        f"trace records  : {result.original_records} -> "
+        f"{result.transformed_records} "
+        f"({result.records_saved:+d}, "
+        f"{result.records_saved_fraction:.1%} saved)"
+    )
+    lines.append(f"{'pass':<22} {'applied':>7} {'bytes':>8} {'records':>8}")
+    for stat in result.pass_stats:
+        lines.append(
+            f"{stat.name:<22} {stat.applied:>7} {stat.bytes_removed:>8} "
+            f"{stat.records:>8}"
+        )
+    applied = result.plan.applied()
+    proven = sum(
+        1 for r in applied if r.proof.category is ProofCategory.PROVEN_SAFE
+    )
+    dynamic = sum(
+        1 for r in applied
+        if r.proof.category is ProofCategory.DYNAMICALLY_SAFE
+    )
+    lines.append(
+        f"proofs         : {proven} proven-safe, {dynamic} dynamically-safe, "
+        f"{len(result.plan.refused())} refused"
+    )
+    return "\n".join(lines)

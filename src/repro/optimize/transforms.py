@@ -1,0 +1,1303 @@
+"""Proof-carrying transform passes over a workload's scripts.
+
+Five passes, in application order:
+
+1. **discarded-call-elim** — remove a statement-level call whose result
+   is discarded (or dead-stored) when the callee's *synchronous closure*
+   is provably unobservable: DOM-free, IO-free, registration-free, no
+   unknown calls, and every global it writes is only ever read back
+   inside the closure itself — a closure that, per the call graph, no
+   live region can invoke once the eliminated call sites are gone.  The
+   page-wide :class:`ObservabilityIndex` supplies the read/write facts.
+2. **dead-function-elim** — Muzeel-style body stubbing.  Every function
+   the call-graph fixpoint proves unreachable (including functions that
+   *became* unreachable after pass 1) gets its body replaced by a single
+   ``__tripwire(fid)`` call.  The stub is the proof's *runtime check*:
+   if the static verdict were wrong the trip-wire would fire during
+   verification, which asserts zero hits.
+3. **branch-prune** — fold ``if (<literal>)`` statements whose test the
+   parser produced as a real constant (the parser's zero-width synthetic
+   wrappers are never touched).  A branch containing a function
+   declaration is *not* pruned — the rewrite is recorded as ``UNSAFE``
+   and skipped, since a sibling reference to the declared name could
+   observe the difference.
+4. **defer-script** — pull a whole script out of the load phase.
+   ``PROVEN_SAFE`` needs the purity analysis to show the script's
+   synchronous load-time execution is DOM-free with no unknown calls, no
+   timer registrations, no ``load``-event handlers, and no other script
+   mentioning its bindings.  When other scripts *do* reference its
+   bindings (but never from a region synchronously reachable at load),
+   the deferral demotes to ``DYNAMICALLY_SAFE``, justified by the
+   observed trace: no flagged record of the pixel slice touches the
+   script's source-byte cells.
+5. **elide-image** — drop an image resource whose fetched bytes no
+   flagged pixel-slice record ever touches: the raster path reads an
+   image's source cells whenever it paints into a drawn tile, so a
+   zero-touch image was never rastered into any frame.  Purely dynamic
+   evidence, hence always ``DYNAMICALLY_SAFE``.
+
+Every applied (or refused) rewrite carries a :class:`Proof` naming its
+category, the obligation discharged, and the evidence source.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..browser.js import ast
+from ..browser.js.codegen import generate
+from ..jsstatic.analyzer import PageAnalysis, analyze_page
+from ..jsstatic.callgraph import EdgeKind, FunctionInfo, RegionKey
+from .purity import (
+    PurityAnalysis,
+    PurityInfo,
+    _RECEIVER_MUTATOR_METHODS,
+    _declared_names,
+    analyze_page_purity,
+)
+
+
+class ProofCategory(enum.Enum):
+    PROVEN_SAFE = "proven-safe"
+    DYNAMICALLY_SAFE = "dynamically-safe"
+    UNSAFE = "unsafe"
+
+
+@dataclass
+class Proof:
+    """Why one rewrite preserves the rendered pixels."""
+
+    category: ProofCategory
+    #: the property that must hold for the rewrite to be sound
+    obligation: str
+    #: where the discharge came from, e.g. "jsstatic:callgraph"
+    evidence: str
+
+
+@dataclass
+class Rewrite:
+    """One transformation of one script or resource (applied or refused)."""
+
+    #: "discarded-call-elim" | "dead-function-elim" | "branch-prune"
+    #: | "defer-script" | "elide-image"
+    pass_name: str
+    script: str
+    target: str
+    span: Tuple[int, int]
+    proof: Proof
+    applied: bool = True
+
+
+@dataclass
+class ScriptPlan:
+    """Per-script outcome of planning."""
+
+    url: str
+    original_source: str
+    transformed_source: str
+    deferred: bool = False
+    rewrites: List[Rewrite] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return self.deferred or self.transformed_source != self.original_source
+
+
+@dataclass
+class OptimizationPlan:
+    """Everything the optimizer decided for one workload."""
+
+    benchmark: str
+    scripts: Dict[str, ScriptPlan] = field(default_factory=dict)
+    #: image-resource rewrites (elide-image pass)
+    image_rewrites: List[Rewrite] = field(default_factory=list)
+    analysis: Optional[PageAnalysis] = None
+    purity: Optional[PurityAnalysis] = None
+
+    @property
+    def rewrites(self) -> List[Rewrite]:
+        out: List[Rewrite] = []
+        for plan in self.scripts.values():
+            out.extend(plan.rewrites)
+        out.extend(self.image_rewrites)
+        return out
+
+    def applied(self, pass_name: Optional[str] = None) -> List[Rewrite]:
+        return [
+            r for r in self.rewrites
+            if r.applied and (pass_name is None or r.pass_name == pass_name)
+        ]
+
+    def refused(self) -> List[Rewrite]:
+        return [r for r in self.rewrites if not r.applied]
+
+    def replacements(self) -> Dict[str, str]:
+        return {
+            url: plan.transformed_source
+            for url, plan in self.scripts.items()
+            if plan.transformed_source != plan.original_source
+        }
+
+    def deferred_urls(self) -> List[str]:
+        return [url for url, plan in self.scripts.items() if plan.deferred]
+
+    def elided_images(self) -> List[str]:
+        return [r.target for r in self.image_rewrites if r.applied]
+
+
+# --------------------------------------------------------------------- #
+# Page-wide observability index                                          #
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ObservabilityIndex:
+    """Who reads / writes each global binding, by region.
+
+    A *read* is an occurrence whose value can influence later execution:
+    an expression use, a call argument, a callee, a member read.  Pure
+    overwrite positions are recorded as *writes* only — the target of an
+    assignment, the base of a member store (``G.p = v``), and the
+    receiver of a ``push``/``pop`` whose call result is discarded all
+    mutate the binding without observing it.
+    """
+
+    reads: Dict[str, Set[RegionKey]] = field(default_factory=dict)
+    writes: Dict[str, Set[RegionKey]] = field(default_factory=dict)
+
+
+_STMT_LIST_FIELDS = (
+    "consequent", "alternate", "body", "block", "handler", "finally_body",
+)
+
+
+class _ObsWalker:
+    """Scope-tracking walk classifying global occurrences."""
+
+    def __init__(self, index: ObservabilityIndex, fid_of: Dict[int, int]) -> None:
+        self.index = index
+        self.fid_of = fid_of
+        self.scopes: List[Set[str]] = []
+        self.region: RegionKey = ("top", "")
+
+    def _is_local(self, name: str) -> bool:
+        return any(name in scope for scope in self.scopes)
+
+    def _read(self, name: str) -> None:
+        if not self._is_local(name):
+            self.index.reads.setdefault(name, set()).add(self.region)
+
+    def _write(self, name: str) -> None:
+        if not self._is_local(name):
+            self.index.writes.setdefault(name, set()).add(self.region)
+
+    # -- statements ------------------------------------------------------ #
+
+    def walk_program(self, url: str, program: ast.Program) -> None:
+        self.region = ("top", url)
+        self.scopes = []
+        for stmt in program.body:
+            self.stmt(stmt)
+
+    def stmt(self, node: ast.JSNode) -> None:
+        if isinstance(node, ast.ExpressionStmt):
+            self.expr(node.expr, discarded=True)
+            return
+        if isinstance(node, ast.VarDecl):
+            self._write(node.name)
+            if node.init is not None:
+                self.expr(node.init)
+            return
+        if isinstance(node, ast.FunctionDecl):
+            self.function(node.func)
+            return
+        if isinstance(node, ast.ForInStmt):
+            self._write(node.name)
+            self.expr(node.obj)
+            for stmt in node.body:
+                self.stmt(stmt)
+            return
+        if isinstance(node, ast.ForStmt):
+            if node.init is not None:
+                if isinstance(node.init, ast.VarDecl):
+                    self.stmt(node.init)
+                else:
+                    self.expr(node.init)
+            if node.test is not None:
+                self.expr(node.test)
+            if node.update is not None:
+                self.expr(node.update)
+            for stmt in node.body:
+                self.stmt(stmt)
+            return
+        if isinstance(node, ast.SwitchStmt):
+            self.expr(node.discriminant)
+            for test, case_body in node.cases:
+                if test is not None:
+                    self.expr(test)
+                for stmt in case_body:
+                    self.stmt(stmt)
+            return
+        for attr in _STMT_LIST_FIELDS:
+            value = getattr(node, attr, None)
+            if isinstance(value, list):
+                for stmt in value:
+                    if isinstance(stmt, ast.JSNode):
+                        self.stmt(stmt)
+        for name, value in vars(node).items():
+            if name in ("span", "node_id"):
+                continue
+            if isinstance(value, ast.JSNode):
+                self.expr(value)
+
+    # -- expressions ----------------------------------------------------- #
+
+    def expr(self, node: ast.JSNode, discarded: bool = False) -> None:
+        if isinstance(node, ast.Identifier):
+            self._read(node.name)
+            return
+        if isinstance(node, ast.Assignment):
+            self._store_target(node.target)
+            self.expr(node.value)
+            return
+        if isinstance(node, ast.UpdateExpr):
+            self._store_target(node.target)
+            return
+        if isinstance(node, ast.Call):
+            callee = node.callee
+            if (
+                discarded
+                and not node.is_new
+                and isinstance(callee, ast.Member)
+                and callee.prop in _RECEIVER_MUTATOR_METHODS
+                and isinstance(callee.obj, ast.Identifier)
+            ):
+                # receiver mutated, result dropped: a pure overwrite
+                self._write(callee.obj.name)
+                if callee.index is not None:
+                    self.expr(callee.index)
+            else:
+                self.expr(callee)
+            for arg in node.args:
+                self.expr(arg)
+            return
+        if isinstance(node, ast.Member):
+            self.expr(node.obj)
+            if node.index is not None:
+                self.expr(node.index)
+            return
+        if isinstance(node, ast.FunctionExpr):
+            self.function(node)
+            return
+        for name, value in vars(node).items():
+            if name in ("span", "node_id"):
+                continue
+            if isinstance(value, ast.JSNode):
+                self.expr(value)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, ast.JSNode):
+                        self.expr(item)
+                    elif isinstance(item, tuple):
+                        for sub in item:
+                            if isinstance(sub, ast.JSNode):
+                                self.expr(sub)
+
+    def _store_target(self, target: ast.JSNode) -> None:
+        if isinstance(target, ast.Identifier):
+            self._write(target.name)
+            return
+        if isinstance(target, ast.Member):
+            if isinstance(target.obj, ast.Identifier):
+                self._write(target.obj.name)
+            else:
+                self.expr(target.obj)
+            if target.index is not None:
+                self.expr(target.index)
+            return
+        self.expr(target)
+
+    def function(self, node: ast.FunctionExpr) -> None:
+        saved_region = self.region
+        fid = self.fid_of.get(id(node))
+        if fid is not None:
+            self.region = ("fn", str(fid))
+        local_names: Set[str] = set(node.params)
+        _declared_names(node.body, local_names)
+        if node.name:
+            local_names.add(node.name)
+        self.scopes.append(local_names)
+        for stmt in node.body:
+            self.stmt(stmt)
+        self.scopes.pop()
+        self.region = saved_region
+
+
+def build_observability(
+    programs: Dict[str, ast.Program], functions: Iterable[FunctionInfo]
+) -> ObservabilityIndex:
+    """Index every global read/write across a page's scripts."""
+    index = ObservabilityIndex()
+    fid_of = {id(info.node): info.fid for info in functions}
+    walker = _ObsWalker(index, fid_of)
+    for url, program in programs.items():
+        walker.walk_program(url, program)
+    return index
+
+
+# --------------------------------------------------------------------- #
+# Pass 1: discarded-call elimination                                     #
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _Candidate:
+    """A statement-level call whose result nothing consumes."""
+
+    url: str
+    region: RegionKey
+    stmt: ast.JSNode
+    call: ast.Call
+    alias: str
+    fids: Tuple[int, ...]
+    #: dead-store variable name when the statement is ``var x = f(...)``
+    dead_store: Optional[str] = None
+    #: enclosing function body (None when the statement is top-level)
+    fn_body: Optional[List[ast.JSNode]] = None
+    closure: Set[RegionKey] = field(default_factory=set)
+    joined: PurityInfo = field(default_factory=PurityInfo)
+
+    @property
+    def target(self) -> str:
+        prefix = f"var {self.dead_store} = " if self.dead_store else ""
+        return f"{prefix}{self.alias}()@{self.stmt.span[0]}"
+
+
+class _CandidateCollector:
+    """Find discarded-call statements, tracking the containing region."""
+
+    def __init__(
+        self,
+        url: str,
+        fid_of: Dict[int, int],
+        by_name: Dict[str, List[int]],
+    ) -> None:
+        self.url = url
+        self.fid_of = fid_of
+        self.by_name = by_name
+        self.region: RegionKey = ("top", url)
+        self.fn_body: Optional[List[ast.JSNode]] = None
+        self.out: List[_Candidate] = []
+
+    def walk_body(self, body: List[ast.JSNode]) -> None:
+        for stmt in body:
+            call: Optional[ast.Call] = None
+            dead: Optional[str] = None
+            if isinstance(stmt, ast.ExpressionStmt) and isinstance(
+                stmt.expr, ast.Call
+            ):
+                call = stmt.expr
+            elif isinstance(stmt, ast.VarDecl) and isinstance(
+                stmt.init, ast.Call
+            ):
+                call, dead = stmt.init, stmt.name
+            if (
+                call is not None
+                and not call.is_new
+                and isinstance(call.callee, ast.Identifier)
+                and call.callee.name in self.by_name
+            ):
+                self.out.append(
+                    _Candidate(
+                        url=self.url,
+                        region=self.region,
+                        stmt=stmt,
+                        call=call,
+                        alias=call.callee.name,
+                        fids=tuple(self.by_name[call.callee.name]),
+                        dead_store=dead,
+                        fn_body=self.fn_body,
+                    )
+                )
+            self.visit(stmt)
+
+    def visit(self, node: ast.JSNode) -> None:
+        if isinstance(node, ast.FunctionExpr):
+            saved = (self.region, self.fn_body)
+            fid = self.fid_of.get(id(node))
+            if fid is not None:
+                self.region = ("fn", str(fid))
+            self.fn_body = node.body
+            self.walk_body(node.body)
+            self.region, self.fn_body = saved
+            return
+        if isinstance(node, ast.SwitchStmt):
+            self.visit(node.discriminant)
+            for test, case_body in node.cases:
+                if test is not None:
+                    self.visit(test)
+                self.walk_body(case_body)
+            return
+        for name, value in vars(node).items():
+            if name in ("span", "node_id"):
+                continue
+            if isinstance(value, ast.JSNode):
+                self.visit(value)
+            elif (
+                isinstance(value, list)
+                and value
+                and all(isinstance(item, ast.JSNode) for item in value)
+            ):
+                self.walk_body(value)
+
+
+def _child_nodes(node: ast.JSNode) -> List[ast.JSNode]:
+    out: List[ast.JSNode] = []
+    for name, value in vars(node).items():
+        if name in ("span", "node_id"):
+            continue
+        if isinstance(value, ast.JSNode):
+            out.append(value)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, ast.JSNode):
+                    out.append(item)
+                elif isinstance(item, tuple):
+                    out.extend(s for s in item if isinstance(s, ast.JSNode))
+    return out
+
+
+def _effect_free(node: ast.JSNode) -> bool:
+    """Evaluating the expression cannot write or call anything."""
+    if isinstance(node, (ast.Literal, ast.Identifier, ast.ThisExpr)):
+        return True
+    if isinstance(node, ast.Member):
+        return _effect_free(node.obj) and (
+            node.index is None or _effect_free(node.index)
+        )
+    if isinstance(node, (ast.Binary, ast.Logical)):
+        return _effect_free(node.left) and _effect_free(node.right)
+    if isinstance(node, ast.Unary):
+        return _effect_free(node.operand)
+    if isinstance(node, ast.Conditional):
+        return (
+            _effect_free(node.test)
+            and _effect_free(node.consequent)
+            and _effect_free(node.alternate)
+        )
+    if isinstance(node, ast.ArrayLiteral):
+        return all(_effect_free(e) for e in node.elements)
+    if isinstance(node, ast.ObjectLiteral):
+        return all(
+            _effect_free(v)
+            for entry in node.entries
+            for v in entry
+            if isinstance(v, ast.JSNode)
+        )
+    return False
+
+
+def _has_throw(body: List[ast.JSNode]) -> bool:
+    """A throw statement in the body itself (nested functions excluded)."""
+    for stmt in body:
+        if isinstance(stmt, ast.ThrowStmt):
+            return True
+        if isinstance(stmt, ast.FunctionExpr):
+            continue
+        for child in _child_nodes(stmt):
+            if not isinstance(child, ast.FunctionExpr) and _has_throw([child]):
+                return True
+    return False
+
+
+def _closure_throws(
+    closure: Set[RegionKey], fn_by_fid: Dict[int, FunctionInfo]
+) -> bool:
+    for kind, ident in closure:
+        if kind != "fn":
+            continue
+        info = fn_by_fid.get(int(ident))
+        if info is not None and _has_throw(info.node.body):
+            return True
+    return False
+
+
+def _count_mentions(
+    body: List[ast.JSNode], name: str, skip: ast.JSNode
+) -> int:
+    """Occurrences of ``name`` in ``body`` outside the ``skip`` statement."""
+    count = 0
+
+    def walk(node: ast.JSNode) -> None:
+        nonlocal count
+        if node is skip:
+            return
+        if isinstance(node, ast.Identifier) and node.name == name:
+            count += 1
+            return
+        if isinstance(node, (ast.VarDecl, ast.ForInStmt)) and node.name == name:
+            count += 1
+        for child in _child_nodes(node):
+            walk(child)
+
+    for stmt in body:
+        walk(stmt)
+    return count
+
+
+def _phase1_eligibility(
+    candidates: List[_Candidate],
+    purity: PurityAnalysis,
+    fn_by_fid: Dict[int, FunctionInfo],
+    obs: ObservabilityIndex,
+) -> Tuple[List[_Candidate], List[Tuple[_Candidate, str]]]:
+    """Per-candidate checks that do not depend on the eligible set."""
+    eligible: List[_Candidate] = []
+    refusals: List[Tuple[_Candidate, str]] = []
+    for cand in candidates:
+        joined = PurityInfo()
+        for fid in cand.fids:
+            joined.join(purity.of_function(fid))
+        cand.joined = joined
+        cand.closure = purity.sync_closure(
+            {("fn", str(fid)) for fid in cand.fids}
+        )
+        reasons: List[str] = []
+        if joined.dom_write:
+            reasons.append("the callee closure writes the DOM")
+        if joined.io:
+            reasons.append("the callee closure performs IO")
+        if joined.registers:
+            reasons.append(
+                f"the callee closure registers {sorted(joined.registers)}"
+            )
+        if joined.unknown_calls:
+            reasons.append(
+                "the callee closure makes unknown calls "
+                f"{sorted(joined.unknown_calls)[:4]}"
+            )
+        if "*" in joined.global_writes:
+            reasons.append("the callee closure stores through unnamable bases")
+        if any(not _effect_free(arg) for arg in cand.call.args):
+            reasons.append("an argument expression has effects")
+        if _closure_throws(cand.closure, fn_by_fid):
+            reasons.append("the callee closure contains a throw")
+        if cand.dead_store is not None:
+            if cand.fn_body is not None:
+                if _count_mentions(cand.fn_body, cand.dead_store, cand.stmt):
+                    reasons.append(
+                        f"the stored variable '{cand.dead_store}' is "
+                        "mentioned again in its scope"
+                    )
+            elif obs.reads.get(cand.dead_store):
+                reasons.append(
+                    f"the stored global '{cand.dead_store}' is read elsewhere"
+                )
+        if reasons:
+            refusals.append((cand, "; ".join(reasons)))
+        else:
+            eligible.append(cand)
+    return eligible, refusals
+
+
+def _confinement_failure(
+    cand: _Candidate,
+    graph: "object",
+    fn_by_fid: Dict[int, FunctionInfo],
+    cand_calls: Counter,
+    obs: ObservabilityIndex,
+) -> Optional[str]:
+    """Why a writing closure might still be observable, or None if safe.
+
+    Only consulted when the closure writes named globals: then (a) every
+    observing read of each written global must sit inside the closure,
+    and (b) the closure's functions must be invocable *only* through the
+    eliminated call statements — any other mention (a non-DIRECT edge,
+    a value escape, or a call the pass is not removing) means the
+    closure could run later and observe its own missing writes.
+    """
+    closure = cand.closure
+    for written in sorted(cand.joined.global_writes):
+        outside = obs.reads.get(written, set()) - closure
+        if outside:
+            return (
+                f"global '{written}' written by the closure is read "
+                "outside it"
+            )
+    for kind, ident in sorted(closure):
+        if kind != "fn":
+            continue
+        info = fn_by_fid[int(ident)]
+        for region, vedges in graph.value_edges.items():
+            if region in closure:
+                continue
+            if any(fid == info.fid for _k, fid in vedges):
+                return f"{info.label()} escapes by value outside the closure"
+        for region, nedges in graph.name_edges.items():
+            if region in closure:
+                continue
+            mentions = [(k, n) for k, n in nedges if n in info.aliases]
+            if not mentions:
+                continue
+            if any(k != EdgeKind.DIRECT for k, _n in mentions):
+                return (
+                    f"{info.label()} is referenced (not just called) "
+                    "outside the closure"
+                )
+            for alias_name, n_edges in Counter(
+                n for _k, n in mentions
+            ).items():
+                if n_edges != cand_calls.get((region, alias_name), 0):
+                    return (
+                        f"{info.label()} is called outside the "
+                        "eliminated statements"
+                    )
+    return None
+
+
+def _phase2_confinement(
+    eligible: List[_Candidate],
+    graph: "object",
+    fn_by_fid: Dict[int, FunctionInfo],
+    obs: ObservabilityIndex,
+) -> Tuple[List[_Candidate], List[Tuple[_Candidate, str]]]:
+    """Shrink the eligible set to a fixpoint.
+
+    Dropping one candidate re-exposes its call site as a real invocation,
+    which can invalidate another candidate relying on the same closure
+    never running — hence the loop.
+    """
+    refusals: List[Tuple[_Candidate, str]] = []
+    current = list(eligible)
+    while True:
+        cand_calls: Counter = Counter(
+            (c.region, c.alias) for c in current
+        )
+        keep: List[_Candidate] = []
+        dropped: List[Tuple[_Candidate, str]] = []
+        for cand in current:
+            if not cand.joined.global_writes:
+                keep.append(cand)
+                continue
+            reason = _confinement_failure(
+                cand, graph, fn_by_fid, cand_calls, obs
+            )
+            if reason is None:
+                keep.append(cand)
+            else:
+                dropped.append((cand, reason))
+        if not dropped:
+            return keep, refusals
+        refusals.extend(dropped)
+        current = keep
+
+
+def _remove_statements(
+    body: List[ast.JSNode], remove_ids: Set[int]
+) -> List[ast.JSNode]:
+    out: List[ast.JSNode] = []
+    for stmt in body:
+        if stmt.node_id in remove_ids:
+            continue
+        _remove_nested(stmt, remove_ids)
+        out.append(stmt)
+    return out
+
+
+def _remove_nested(node: ast.JSNode, remove_ids: Set[int]) -> None:
+    if isinstance(node, ast.SwitchStmt):
+        self_cases = []
+        for test, case_body in node.cases:
+            if test is not None:
+                _remove_nested(test, remove_ids)
+            self_cases.append((test, _remove_statements(case_body, remove_ids)))
+        node.cases = self_cases
+        _remove_nested(node.discriminant, remove_ids)
+        return
+    for name, value in vars(node).items():
+        if name in ("span", "node_id"):
+            continue
+        if isinstance(value, ast.JSNode):
+            _remove_nested(value, remove_ids)
+        elif (
+            isinstance(value, list)
+            and value
+            and all(isinstance(item, ast.JSNode) for item in value)
+        ):
+            setattr(node, name, _remove_statements(value, remove_ids))
+
+
+def eliminate_discarded_calls(
+    analysis: PageAnalysis,
+    purity: PurityAnalysis,
+    obs: ObservabilityIndex,
+    plans: Dict[str, ScriptPlan],
+) -> Set[str]:
+    """Remove provably-unobservable discarded calls; return changed URLs."""
+    graph = analysis.graph
+    by_name: Dict[str, List[int]] = {}
+    for info in graph.functions:
+        for alias in info.aliases:
+            by_name.setdefault(alias, []).append(info.fid)
+    fid_of = {id(info.node): info.fid for info in graph.functions}
+    fn_by_fid = {info.fid: info for info in graph.functions}
+
+    candidates: List[_Candidate] = []
+    for url, program in analysis.programs.items():
+        collector = _CandidateCollector(url, fid_of, by_name)
+        collector.walk_body(program.body)
+        candidates.extend(collector.out)
+
+    eligible, refusals = _phase1_eligibility(
+        candidates, purity, fn_by_fid, obs
+    )
+    eligible, confinement_refusals = _phase2_confinement(
+        eligible, graph, fn_by_fid, obs
+    )
+    refusals.extend(confinement_refusals)
+
+    for cand, reason in refusals:
+        plans[cand.url].rewrites.append(
+            Rewrite(
+                pass_name="discarded-call-elim",
+                script=cand.url,
+                target=cand.target,
+                span=cand.stmt.span,
+                proof=Proof(
+                    category=ProofCategory.UNSAFE,
+                    obligation=reason,
+                    evidence="jsstatic:purity+observability",
+                ),
+                applied=False,
+            )
+        )
+
+    remove_by_url: Dict[str, Set[int]] = {}
+    for cand in eligible:
+        remove_by_url.setdefault(cand.url, set()).add(cand.stmt.node_id)
+        if cand.joined.global_writes:
+            obligation = (
+                "the callee closure is DOM/IO/registration-free; globals "
+                f"{sorted(cand.joined.global_writes)} it writes are read "
+                "only within the closure, which no live region can invoke "
+                "once the eliminated call sites are gone; arguments are "
+                "effect-free and the result is discarded"
+            )
+        else:
+            obligation = (
+                "the callee closure writes nothing beyond locals and "
+                "fresh allocations; arguments are effect-free and the "
+                "result is discarded"
+            )
+        plans[cand.url].rewrites.append(
+            Rewrite(
+                pass_name="discarded-call-elim",
+                script=cand.url,
+                target=cand.target,
+                span=cand.stmt.span,
+                proof=Proof(
+                    category=ProofCategory.PROVEN_SAFE,
+                    obligation=obligation,
+                    evidence="jsstatic:purity+observability",
+                ),
+            )
+        )
+    for url, ids in remove_by_url.items():
+        program = analysis.programs[url]
+        program.body = _remove_statements(program.body, ids)
+    return set(remove_by_url)
+
+
+# --------------------------------------------------------------------- #
+# Pass 2: dead-function elimination                                      #
+# --------------------------------------------------------------------- #
+
+
+def stub_dead_functions(
+    analysis: PageAnalysis, plans: Dict[str, ScriptPlan]
+) -> None:
+    """Replace every dead function's body with a ``__tripwire`` call.
+
+    Nested dead functions vanish with their parent's body, so only the
+    outermost dead function of each chain is stubbed (stubbing a child
+    whose parent is also being stubbed would be mutating dropped code).
+    """
+    dead_ids: Set[int] = {f.fid for f in analysis.dead_functions}
+    for info in analysis.dead_functions:
+        kind, key = info.parent
+        covered_by_parent = kind == "fn" and int(key) in dead_ids
+        if not covered_by_parent:
+            trip = ast.ExpressionStmt(
+                span=(0, 0),
+                expr=ast.Call(
+                    span=(0, 0),
+                    callee=ast.Identifier(span=(0, 0), name="__tripwire"),
+                    args=[ast.Literal(span=(0, 0), value=float(info.fid))],
+                ),
+            )
+            info.node.body = [trip]
+        plans[info.script].rewrites.append(
+            Rewrite(
+                pass_name="dead-function-elim",
+                script=info.script,
+                target=info.label(),
+                span=info.span,
+                proof=Proof(
+                    category=ProofCategory.PROVEN_SAFE,
+                    obligation=(
+                        "no live region has a call/ref/handler/timer/"
+                        "callback/escape edge to this function; the stub "
+                        "trips __tripwire if the verdict were wrong"
+                    ),
+                    evidence="jsstatic:callgraph",
+                ),
+            )
+        )
+
+
+# --------------------------------------------------------------------- #
+# Pass 3: constant-branch pruning                                        #
+# --------------------------------------------------------------------- #
+
+
+def _is_constant_test(node: ast.JSNode) -> bool:
+    """A real source-level literal test (not a synthetic wrapper)."""
+    return (
+        isinstance(node, ast.Literal)
+        and isinstance(node.value, (bool, float, str))
+        and node.span[0] < node.span[1]
+    )
+
+
+def _contains_fndecl(stmts: List[ast.JSNode]) -> bool:
+    for stmt in stmts:
+        if isinstance(stmt, ast.FunctionDecl):
+            return True
+        for value in vars(stmt).values():
+            if isinstance(value, list) and any(
+                isinstance(s, ast.JSNode) for s in value
+            ):
+                if _contains_fndecl([s for s in value if isinstance(s, ast.JSNode)]):
+                    return True
+    return False
+
+
+def _truthy(value: object) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return value != 0.0
+    if isinstance(value, str):
+        return value != ""
+    return False
+
+
+def prune_constant_branches(
+    url: str, body: List[ast.JSNode], plan: ScriptPlan
+) -> List[ast.JSNode]:
+    """Fold ``if (<literal>)`` statements; returns the new statement list."""
+    out: List[ast.JSNode] = []
+    for stmt in body:
+        if isinstance(stmt, ast.IfStmt) and _is_constant_test(stmt.test):
+            taken = stmt.consequent if _truthy(stmt.test.value) else stmt.alternate
+            dropped = stmt.alternate if _truthy(stmt.test.value) else stmt.consequent
+            if _contains_fndecl(dropped):
+                plan.rewrites.append(
+                    Rewrite(
+                        pass_name="branch-prune",
+                        script=url,
+                        target=f"if@{stmt.span[0]}",
+                        span=stmt.span,
+                        proof=Proof(
+                            category=ProofCategory.UNSAFE,
+                            obligation=(
+                                "dropped branch declares a function; a "
+                                "reference to that name could observe "
+                                "the pruning"
+                            ),
+                            evidence="jsstatic:cfg-fold",
+                        ),
+                        applied=False,
+                    )
+                )
+                out.append(stmt)
+                continue
+            plan.rewrites.append(
+                Rewrite(
+                    pass_name="branch-prune",
+                    script=url,
+                    target=f"if@{stmt.span[0]}",
+                    span=stmt.span,
+                    proof=Proof(
+                        category=ProofCategory.PROVEN_SAFE,
+                        obligation=(
+                            "test is a source literal; the dropped arm "
+                            "is statically unreachable"
+                        ),
+                        evidence="jsstatic:cfg-fold",
+                    ),
+                )
+            )
+            out.extend(prune_constant_branches(url, list(taken), plan))
+            continue
+        _prune_nested(url, stmt, plan)
+        out.append(stmt)
+    return out
+
+
+def _prune_nested(url: str, node: ast.JSNode, plan: ScriptPlan) -> None:
+    """Recurse into statement-list fields and function bodies."""
+    if isinstance(node, ast.FunctionExpr):
+        node.body = prune_constant_branches(url, node.body, plan)
+        return
+    if isinstance(node, ast.FunctionDecl):
+        _prune_nested(url, node.func, plan)
+        return
+    for attr in ("consequent", "alternate", "body", "block", "handler",
+                 "finally_body"):
+        value = getattr(node, attr, None)
+        if isinstance(value, list) and all(
+            isinstance(s, ast.JSNode) for s in value
+        ) and value:
+            setattr(node, attr, prune_constant_branches(url, value, plan))
+    if isinstance(node, ast.SwitchStmt):
+        node.cases = [
+            (test, prune_constant_branches(url, case_body, plan))
+            for test, case_body in node.cases
+        ]
+    for value in vars(node).values():
+        if isinstance(value, ast.JSNode):
+            _prune_nested(url, value, plan)
+
+
+# --------------------------------------------------------------------- #
+# Pass 4: script deferral                                                #
+# --------------------------------------------------------------------- #
+
+
+def _script_bindings(analysis: PageAnalysis, url: str) -> Set[str]:
+    """Names ``url`` binds that other scripts could reach: its functions'
+    aliases plus its top-level var declarations."""
+    names: Set[str] = set()
+    for info in analysis.graph.functions:
+        if info.script == url:
+            names |= info.aliases
+    for stmt in analysis.programs[url].body:
+        _top_level_vars(stmt, names)
+    return names
+
+
+def _top_level_vars(node: ast.JSNode, acc: Set[str]) -> None:
+    if isinstance(node, ast.VarDecl):
+        acc.add(node.name)
+        return
+    if isinstance(node, ast.FunctionExpr):
+        return
+    for value in vars(node).values():
+        if isinstance(value, ast.JSNode):
+            _top_level_vars(value, acc)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.JSNode):
+                    _top_level_vars(item, acc)
+
+
+def _cross_references(
+    analysis: PageAnalysis,
+    url: str,
+    bindings: Set[str],
+    load_urls: Set[str],
+) -> Tuple[Set[RegionKey], Set[RegionKey]]:
+    """Regions of *other* scripts that mention ``url``'s bindings.
+
+    Returns ``(load_reachable, deferred_only)``: referencing regions that
+    can run synchronously during another load-phase script's execution,
+    vs. regions that only run later (handlers, timers, escaped values,
+    and the browse phase's late-fetched scripts — a deferred script is
+    injected right after the load frame, before any of those run).
+    """
+    graph = analysis.graph
+    fn_script = {str(info.fid): info.script for info in graph.functions}
+
+    def _region_script(key: RegionKey) -> str:
+        kind, ident = key
+        return ident if kind == "top" else fn_script[ident]
+
+    referencing: Set[RegionKey] = set()
+    for key, edges in graph.name_edges.items():
+        if _region_script(key) == url:
+            continue
+        if any(name in bindings for _kind, name in edges):
+            referencing.add(key)
+
+    # Synchronous closure of the other load-phase scripts' top levels.
+    by_name: Dict[str, List[int]] = {}
+    for info in graph.functions:
+        for alias in info.aliases:
+            by_name.setdefault(alias, []).append(info.fid)
+    load_reachable: Set[RegionKey] = set()
+    work: List[RegionKey] = [
+        ("top", other)
+        for other in graph.scripts
+        if other != url and other in load_urls
+    ]
+    seen: Set[RegionKey] = set(work)
+    while work:
+        key = work.pop()
+        load_reachable.add(key)
+        targets: Set[RegionKey] = set()
+        for kind, fid in graph.value_edges.get(key, ()):
+            if kind in (EdgeKind.DIRECT, EdgeKind.CALLBACK):
+                targets.add(("fn", str(fid)))
+        for kind, name in graph.name_edges.get(key, ()):
+            if kind in (EdgeKind.DIRECT, EdgeKind.CALLBACK):
+                for fid in by_name.get(name, ()):
+                    targets.add(("fn", str(fid)))
+        for target in targets:
+            if target not in seen:
+                seen.add(target)
+                work.append(target)
+
+    sync_refs = {key for key in referencing if key in load_reachable}
+    late_refs = referencing - sync_refs
+    return sync_refs, late_refs
+
+
+def plan_deferrals(
+    analysis: PageAnalysis,
+    purity: PurityAnalysis,
+    plans: Dict[str, ScriptPlan],
+    pixel_touches: Optional[Mapping[str, int]] = None,
+    load_urls: Optional[Set[str]] = None,
+) -> None:
+    """Decide per load-phase script whether its execution can be deferred.
+
+    ``pixel_touches`` is the dynamic evidence (flagged pixel-slice records
+    touching each script's source-byte cells, from an original run); when
+    absent, only ``PROVEN_SAFE`` deferrals are made.  ``load_urls``
+    restricts candidacy (and the load-reachability closure) to the
+    scripts fetched during the load phase; late-fetched browse-phase
+    scripts are analyzed but never deferred.
+    """
+    if load_urls is None:
+        load_urls = set(analysis.graph.scripts)
+    for url in analysis.graph.scripts:
+        if url not in load_urls:
+            continue
+        info: PurityInfo = purity.of_script(url)
+        blockers: List[str] = []
+        if info.dom_write:
+            blockers.append("writes the DOM at load")
+        if info.unknown_calls:
+            blockers.append(f"unknown calls {sorted(info.unknown_calls)}")
+        if "timer" in info.registers:
+            blockers.append("schedules timers at load")
+        if any(r in ("handler:load", "handler:?") for r in info.registers):
+            blockers.append("registers a load handler")
+        bindings = _script_bindings(analysis, url)
+        sync_refs, late_refs = _cross_references(
+            analysis, url, bindings, load_urls
+        )
+        if sync_refs:
+            blockers.append(
+                f"{len(sync_refs)} load-reachable cross-script reference(s)"
+            )
+
+        if blockers:
+            plans[url].rewrites.append(
+                Rewrite(
+                    pass_name="defer-script",
+                    script=url,
+                    target=url,
+                    span=(0, len(plans[url].original_source)),
+                    proof=Proof(
+                        category=ProofCategory.UNSAFE,
+                        obligation="; ".join(blockers),
+                        evidence="jsstatic:purity",
+                    ),
+                    applied=False,
+                )
+            )
+            continue
+
+        if not late_refs:
+            proof = Proof(
+                category=ProofCategory.PROVEN_SAFE,
+                obligation=(
+                    "load-time execution is DOM-free with no unknown "
+                    "calls, no timer/load-handler registrations, and no "
+                    "other script references its bindings"
+                ),
+                evidence="jsstatic:purity+callgraph",
+            )
+        else:
+            touches = None if pixel_touches is None else pixel_touches.get(url)
+            if touches != 0:
+                plans[url].rewrites.append(
+                    Rewrite(
+                        pass_name="defer-script",
+                        script=url,
+                        target=url,
+                        span=(0, len(plans[url].original_source)),
+                        proof=Proof(
+                            category=ProofCategory.UNSAFE,
+                            obligation=(
+                                "cross-script references exist and the "
+                                "trace evidence is missing or shows "
+                                f"{touches} pixel-slice record(s) touching "
+                                "this script's bytes"
+                            ),
+                            evidence="profiler:pixel-slice",
+                        ),
+                        applied=False,
+                    )
+                )
+                continue
+            proof = Proof(
+                category=ProofCategory.DYNAMICALLY_SAFE,
+                obligation=(
+                    "cross-script references only from regions that run "
+                    "after injection; zero flagged pixel-slice records "
+                    "touch this script's source bytes in the observed "
+                    "trace"
+                ),
+                evidence="profiler:pixel-slice",
+            )
+        plans[url].deferred = True
+        plans[url].rewrites.append(
+            Rewrite(
+                pass_name="defer-script",
+                script=url,
+                target=url,
+                span=(0, len(plans[url].original_source)),
+                proof=proof,
+            )
+        )
+
+
+# --------------------------------------------------------------------- #
+# Pass 5: image elision                                                  #
+# --------------------------------------------------------------------- #
+
+
+def plan_image_elisions(
+    plan: OptimizationPlan,
+    image_touches: Optional[Mapping[str, Tuple[int, int]]],
+) -> None:
+    """Drop images the pixel slice never touched.
+
+    ``image_touches`` maps each image URL to ``(flagged, total)`` record
+    counts against the image's fetched-byte cells in the original run.
+    The raster path reads those cells whenever the image paints into a
+    drawn tile, so ``flagged == 0`` means no frame ever showed it; the
+    engine treats a missing image resource as a silent no-op (the
+    painter records the same display item with no source cells).
+    """
+    if not image_touches:
+        return
+    for url, (flagged, total) in sorted(image_touches.items()):
+        if total == 0:
+            continue  # never fetched; nothing to elide
+        if flagged == 0:
+            proof = Proof(
+                category=ProofCategory.DYNAMICALLY_SAFE,
+                obligation=(
+                    "no flagged pixel-slice record touches the image's "
+                    "fetched bytes — it was never rastered into a drawn "
+                    "tile of any frame"
+                ),
+                evidence="profiler:pixel-slice",
+            )
+            applied = True
+        else:
+            proof = Proof(
+                category=ProofCategory.UNSAFE,
+                obligation=(
+                    f"{flagged} flagged pixel-slice record(s) touch the "
+                    "image's fetched bytes — it reaches the framebuffer"
+                ),
+                evidence="profiler:pixel-slice",
+            )
+            applied = False
+        plan.image_rewrites.append(
+            Rewrite(
+                pass_name="elide-image",
+                script=url,
+                target=url,
+                span=(0, 0),
+                proof=proof,
+                applied=applied,
+            )
+        )
+
+
+# --------------------------------------------------------------------- #
+# Orchestration                                                          #
+# --------------------------------------------------------------------- #
+
+_REWRITING_PASSES = frozenset(
+    {"discarded-call-elim", "dead-function-elim", "branch-prune"}
+)
+
+
+def plan_scripts(
+    benchmark_name: str,
+    sources: Dict[str, str],
+    pixel_touches: Optional[Mapping[str, int]] = None,
+    late_urls: Iterable[str] = (),
+    image_touches: Optional[Mapping[str, Tuple[int, int]]] = None,
+) -> OptimizationPlan:
+    """Run all passes over ``sources`` and emit transformed JS.
+
+    The cascade runs in two analysis rounds: discarded-call elimination
+    rewrites against the first round, then the result is re-analyzed so
+    functions whose *only* invokers were eliminated statements are
+    recognized as dead and stubbed by the second round.  ``sources``
+    must include browse-phase late scripts (named in ``late_urls``) so
+    cross-script reference checks see the whole page.
+    """
+    late = set(late_urls)
+    plans: Dict[str, ScriptPlan] = {
+        url: ScriptPlan(url=url, original_source=src, transformed_source=src)
+        for url, src in sources.items()
+    }
+
+    analysis0 = analyze_page(sources)
+    purity0 = analyze_page_purity(analysis0.graph, analysis0.programs)
+    obs = build_observability(analysis0.programs, analysis0.graph.functions)
+    changed = eliminate_discarded_calls(analysis0, purity0, obs, plans)
+
+    intermediate = {
+        url: (generate(analysis0.programs[url]) if url in changed else src)
+        for url, src in sources.items()
+    }
+    analysis = analyze_page(intermediate)
+    purity = analyze_page_purity(analysis.graph, analysis.programs)
+
+    stub_dead_functions(analysis, plans)
+    for url, program in analysis.programs.items():
+        program.body = prune_constant_branches(url, program.body, plans[url])
+    plan_deferrals(
+        analysis, purity, plans, pixel_touches,
+        load_urls=set(sources) - late,
+    )
+
+    for url, program in analysis.programs.items():
+        plan = plans[url]
+        if any(
+            r.applied and r.pass_name in _REWRITING_PASSES
+            for r in plan.rewrites
+        ):
+            plan.transformed_source = generate(program)
+
+    out = OptimizationPlan(
+        benchmark=benchmark_name,
+        scripts=plans,
+        analysis=analysis,
+        purity=purity,
+    )
+    plan_image_elisions(out, image_touches)
+    return out

@@ -1,0 +1,264 @@
+"""Verification harness: re-run the transformed workload, prove nothing
+the user sees changed.
+
+The optimizer's ultimate gate is dynamic, not static: the original and
+transformed workloads both run end to end, and verification asserts
+
+* **pixel identity** — the per-frame framebuffer digests (semantic
+  snapshots of every drawn tile, see
+  :meth:`repro.browser.compositor.host.CompositorHost.draw_frame`) are
+  byte-for-byte equal, frame by frame;
+* **zero trip-wires** — no stubbed "dead" function was ever entered;
+* **work removed** — the transformed trace has fewer records, accounted
+  per pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..browser.context import BYTES_PER_CELL
+from ..harness.experiments import ExperimentResult, run_benchmark
+from ..profiler import (
+    image_attribution,
+    image_region_cells,
+    script_attribution,
+    script_region_cells,
+)
+from ..workloads import benchmark
+from .transforms import OptimizationPlan, Rewrite, plan_scripts
+
+
+@dataclass
+class PassStats:
+    """Measured effect of one transform pass."""
+
+    name: str
+    applied: int
+    bytes_removed: int
+    #: trace records saved (rewriting/eliding passes) or moved off the
+    #: load path (deferral), measured against the original run
+    records: int
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one optimize-and-verify cycle."""
+
+    benchmark: str
+    plan: OptimizationPlan
+    original: ExperimentResult
+    transformed: ExperimentResult
+    pixel_touches: Dict[str, int]
+    image_touches: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    pass_stats: List[PassStats] = field(default_factory=list)
+
+    # -- verdicts --------------------------------------------------------- #
+
+    @property
+    def original_digests(self) -> List[str]:
+        return self.original.engine.frame_digests()
+
+    @property
+    def transformed_digests(self) -> List[str]:
+        return self.transformed.engine.frame_digests()
+
+    @property
+    def pixel_identical(self) -> bool:
+        return self.original_digests == self.transformed_digests
+
+    @property
+    def tripwire_hits(self) -> List[float]:
+        runtime = self.transformed.engine.runtime
+        return list(runtime.tripwire_hits) if runtime is not None else []
+
+    @property
+    def original_records(self) -> int:
+        return len(self.original.store)
+
+    @property
+    def transformed_records(self) -> int:
+        return len(self.transformed.store)
+
+    @property
+    def records_saved(self) -> int:
+        return self.original_records - self.transformed_records
+
+    @property
+    def records_saved_fraction(self) -> float:
+        total = self.original_records
+        return self.records_saved / total if total else 0.0
+
+    @property
+    def verified(self) -> bool:
+        return self.pixel_identical and not self.tripwire_hits
+
+    def check(self) -> None:
+        """Raise if any safety assertion fails."""
+        if self.tripwire_hits:
+            hits = sorted(set(int(f) for f in self.tripwire_hits))
+            raise AssertionError(
+                f"{self.benchmark}: {len(self.tripwire_hits)} trip-wire "
+                f"hit(s) — statically-dead functions ran: fids {hits}"
+            )
+        orig, trans = self.original_digests, self.transformed_digests
+        if orig != trans:
+            detail = f"{len(orig)} vs {len(trans)} frames"
+            for i, (a, b) in enumerate(zip(orig, trans)):
+                if a != b:
+                    detail = f"first mismatch at frame {i}"
+                    break
+            raise AssertionError(
+                f"{self.benchmark}: framebuffer digests differ ({detail})"
+            )
+
+
+def _deferred_record_count(
+    result: ExperimentResult, urls: List[str]
+) -> int:
+    """Original-run records touching the deferred scripts' source bytes."""
+    cells = script_region_cells(result.engine)
+    wanted = frozenset().union(*(cells.get(url, frozenset()) for url in urls))
+    if not wanted:
+        return 0
+    count = 0
+    for record in result.store.records():
+        if not wanted.isdisjoint(record.mem_read) or not wanted.isdisjoint(
+            record.mem_written
+        ):
+            count += 1
+    return count
+
+
+def _pass_stats(
+    plan: OptimizationPlan,
+    original: ExperimentResult,
+    records_saved: int,
+    image_touches: Dict[str, Tuple[int, int]],
+) -> List[PassStats]:
+    """Account the measured record delta to the passes that caused it.
+
+    Image records are measured exactly (cell attribution on the original
+    run), as are records *moved* by deferral.  The remaining delta is the
+    work the three rewriting passes removed; dead-function-elim and
+    branch-prune save source-cell work (fetch/tokenize/compile: ~3
+    records per 64-byte cell removed), and everything beyond that
+    estimate is execution the discarded-call pass eliminated.
+    """
+    stats: List[PassStats] = []
+    elided = set(plan.elided_images())
+    image_records = sum(
+        total for url, (_f, total) in image_touches.items() if url in elided
+    )
+    remaining = max(0, records_saved - image_records)
+
+    byte_deltas: Dict[str, int] = {}
+    for name in ("dead-function-elim", "branch-prune"):
+        rewrites = [
+            r for r in plan.applied(name)
+            # nested dead functions disappear with their parent's stub;
+            # count bytes once, at the outermost rewrite
+            if name != "dead-function-elim" or _outermost(plan, r)
+        ]
+        byte_deltas[name] = sum(r.span[1] - r.span[0] for r in rewrites)
+    source_estimates = {
+        name: round(bytes_removed / BYTES_PER_CELL * 3)
+        for name, bytes_removed in byte_deltas.items()
+    }
+    source_total = sum(source_estimates.values())
+    scale = min(1.0, remaining / source_total) if source_total else 0.0
+
+    discarded = plan.applied("discarded-call-elim")
+    discarded_bytes = sum(r.span[1] - r.span[0] for r in discarded)
+    stats.append(
+        PassStats(
+            name="discarded-call-elim",
+            applied=len(discarded),
+            bytes_removed=discarded_bytes,
+            records=remaining - round(source_total * scale),
+        )
+    )
+    for name in ("dead-function-elim", "branch-prune"):
+        stats.append(
+            PassStats(
+                name=name,
+                applied=len(plan.applied(name)),
+                bytes_removed=byte_deltas[name],
+                records=round(source_estimates[name] * scale),
+            )
+        )
+    deferred = plan.deferred_urls()
+    stats.append(
+        PassStats(
+            name="defer-script",
+            applied=len(deferred),
+            bytes_removed=0,
+            records=_deferred_record_count(original, deferred),
+        )
+    )
+    stats.append(
+        PassStats(
+            name="elide-image",
+            applied=len(elided),
+            bytes_removed=0,
+            records=image_records,
+        )
+    )
+    return stats
+
+
+def _outermost(plan: OptimizationPlan, rewrite: Rewrite) -> bool:
+    """True when no other applied dead-function span encloses this one."""
+    for other in plan.applied("dead-function-elim"):
+        if other is rewrite or other.script != rewrite.script:
+            continue
+        if other.span[0] <= rewrite.span[0] and rewrite.span[1] <= other.span[1]:
+            return False
+    return True
+
+
+def optimize_benchmark(name: str, metrics_ticks: int = 2) -> VerificationResult:
+    """Plan, transform, re-run, and verify one registered workload."""
+    bench = benchmark(name)
+    original = run_benchmark(bench, metrics_ticks=metrics_ticks)
+
+    script_cells = script_region_cells(original.engine)
+    touches = script_attribution(original.store, original.pixel, script_cells)
+    image_touches = image_attribution(
+        original.store, original.pixel, image_region_cells(original.engine)
+    )
+
+    sources = dict(bench.page.scripts)
+    late_urls: List[str] = []
+    for batch in bench.late_scripts.values():
+        for url, src in batch.items():
+            sources[url] = src
+            late_urls.append(url)
+
+    plan = plan_scripts(
+        name,
+        sources,
+        pixel_touches=touches,
+        late_urls=late_urls,
+        image_touches=image_touches,
+    )
+    transformed_bench = bench.with_scripts(
+        plan.replacements(),
+        deferred=plan.deferred_urls(),
+        dropped_images=plan.elided_images(),
+    )
+    transformed = run_benchmark(transformed_bench, metrics_ticks=metrics_ticks)
+
+    result = VerificationResult(
+        benchmark=name,
+        plan=plan,
+        original=original,
+        transformed=transformed,
+        pixel_touches=touches,
+        image_touches=image_touches,
+    )
+    result.pass_stats = _pass_stats(
+        plan, original, result.records_saved, image_touches
+    )
+    return result

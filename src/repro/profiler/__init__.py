@@ -9,6 +9,12 @@ categorization of unnecessary computations (:mod:`.categorize`).
 """
 
 from .api import Profiler
+from .attribution import (
+    image_attribution,
+    image_region_cells,
+    script_attribution,
+    script_region_cells,
+)
 from .categorize import (
     CATEGORIES,
     CategoryDistribution,
@@ -59,6 +65,10 @@ from .stats import (
 
 __all__ = [
     "Profiler",
+    "script_attribution",
+    "script_region_cells",
+    "image_attribution",
+    "image_region_cells",
     "DynamicCFGBuilder",
     "FunctionCFG",
     "VIRTUAL_EXIT",

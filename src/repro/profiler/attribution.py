@@ -1,0 +1,95 @@
+"""Per-script attribution of slice records.
+
+Maps a pixel slice back onto the *scripts that fed it*.  Every value a
+script produces chains through its source-byte cells: the parser reads
+the region's byte cells, ``compile`` records copy them into the function's
+code cell, and every `const`/`closure`/`fndecl` the interpreter executes
+reads the current code cell.  A script therefore contributed to the slice
+criterion iff some flagged record touches the script's region cells — the
+fact the optimizer's deferral pass uses to prove (dynamically) that a
+script is off the load-frame pixel path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from ..trace.store import TraceStore
+from .slicer import SliceResult
+
+
+def script_region_cells(engine: object) -> Dict[str, FrozenSet[int]]:
+    """URL -> source-byte cell set for every fetched JS resource."""
+    return _resource_cells(engine, "js")
+
+
+def image_region_cells(engine: object) -> Dict[str, FrozenSet[int]]:
+    """URL -> fetched-byte cell set for every fetched image resource."""
+    return _resource_cells(engine, "img")
+
+
+def _resource_cells(engine: object, kind: str) -> Dict[str, FrozenSet[int]]:
+    cells: Dict[str, FrozenSet[int]] = {}
+    for url, resource in engine.net.fetched.items():  # type: ignore[attr-defined]
+        if resource.kind == kind and resource.region is not None:
+            cells[url] = frozenset(resource.region.all_cells())
+    return cells
+
+
+def image_attribution(
+    store: TraceStore,
+    result: SliceResult,
+    image_cells: Mapping[str, FrozenSet[int]],
+) -> Dict[str, Tuple[int, int]]:
+    """URL -> (flagged, total) records touching each image's byte cells.
+
+    ``total`` counts every trace record (fetch, decode, raster) that read
+    or wrote the image's cells; ``flagged`` counts those in the pixel
+    slice.  ``flagged == 0`` with ``total > 0`` is the optimizer's
+    evidence that an image was fetched and decoded but never rastered
+    into a drawn tile — the elide-image pass's eligibility test.
+    """
+    flags = result.flags
+    counts: Dict[str, Tuple[int, int]] = {
+        url: (0, 0) for url in image_cells
+    }
+    for i in range(len(store)):
+        record = store[i]
+        touched = set(record.mem_read) | set(record.mem_written)
+        if not touched:
+            continue
+        for url, cells in image_cells.items():
+            if not touched.isdisjoint(cells):
+                flagged, total = counts[url]
+                counts[url] = (flagged + (1 if flags[i] else 0), total + 1)
+    return counts
+
+
+def script_attribution(
+    store: TraceStore,
+    result: SliceResult,
+    script_cells: Mapping[str, FrozenSet[int]],
+    indices: Iterable[int] = None,
+) -> Dict[str, int]:
+    """Count flagged records touching each script's source-byte cells.
+
+    ``indices`` restricts the scan (e.g. to the load-frame prefix);
+    by default every flagged record in the slice is attributed.  A
+    record touching two scripts' cells counts for both — attribution
+    measures reach, not a partition.
+    """
+    counts: Dict[str, int] = {url: 0 for url in script_cells}
+    flags = result.flags
+    if indices is None:
+        indices = (i for i in range(len(store)) if flags[i])
+    for i in indices:
+        if not flags[i]:
+            continue
+        record = store[i]
+        touched = set(record.mem_read) | set(record.mem_written)
+        if not touched:
+            continue
+        for url, cells in script_cells.items():
+            if not touched.isdisjoint(cells):
+                counts[url] += 1
+    return counts

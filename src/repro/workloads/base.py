@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List
 
 from ..browser import EngineConfig, PageSpec, UserAction
 
@@ -22,7 +22,55 @@ class Benchmark:
     #: action index -> {url: source} (models Table I's "more code bytes are
     #: downloaded while browsing")
     late_scripts: Dict[int, Dict[str, str]] = field(default_factory=dict)
+    #: scripts pulled out of the load phase by the optimizer: fetched and
+    #: executed right after the load frame, before the browse session
+    #: (the "To Block or Not to Block"-style deferral)
+    deferred_scripts: Dict[str, str] = field(default_factory=dict)
 
     @property
     def load_only(self) -> bool:
         return not self.actions
+
+    def with_scripts(
+        self,
+        replacements: Dict[str, str],
+        deferred: Iterable[str] = (),
+        dropped_images: Iterable[str] = (),
+    ) -> "Benchmark":
+        """A copy of this benchmark running different JS.
+
+        ``replacements`` maps script URLs to new sources (URLs not listed
+        keep their original source; late-fetched scripts are replaced in
+        place); URLs in ``deferred`` are removed from the load phase
+        entirely and injected after the load frame instead; image URLs in
+        ``dropped_images`` are never fetched or decoded.  The page, config,
+        and session are shared, so the copy runs the same site with
+        transformed resources — the hook the optimizer uses to re-execute
+        a workload it has rewritten.
+        """
+        scripts = dict(self.page.scripts)
+        scripts.update(
+            {url: src for url, src in replacements.items() if url in scripts}
+        )
+        deferred_set = set(deferred)
+        deferred_scripts = {
+            url: scripts.pop(url) for url in list(scripts) if url in deferred_set
+        }
+        late_scripts = {
+            idx: {
+                url: replacements.get(url, src) for url, src in batch.items()
+            }
+            for idx, batch in self.late_scripts.items()
+        }
+        dropped = set(dropped_images)
+        images = {
+            url: size
+            for url, size in self.page.images.items()
+            if url not in dropped
+        }
+        return replace(
+            self,
+            page=replace(self.page, scripts=scripts, images=images),
+            late_scripts=late_scripts,
+            deferred_scripts=deferred_scripts,
+        )

@@ -17,7 +17,7 @@ def test_usage_on_unknown_target(capsys):
 def test_targets_cover_every_artifact():
     assert set(_TARGETS) == {
         "table1", "table2", "fig2", "fig4", "fig5", "bing-partial", "static",
-        "tsan", "frames", "service", "all",
+        "tsan", "frames", "service", "optimize", "all",
     }
 
 
@@ -59,6 +59,26 @@ def test_frames_target_runs(capsys):
     out = capsys.readouterr().out
     assert "Cross-frame redundancy" in out
     assert "steady-state" in out
+
+
+@pytest.mark.parametrize("command", ["run", "plan"])
+def test_optimize_cli_unknown_workload_exits_2(command, capsys):
+    """repro.optimize subcommands share the uniform exit-2 contract."""
+    from repro.optimize.__main__ import main as optimize_main
+
+    assert optimize_main([command, "no_such_workload"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown workload(s): no_such_workload" in err
+    assert "available" in err
+
+
+def test_optimize_cli_usage_on_bad_args(capsys):
+    from repro.optimize.__main__ import main as optimize_main
+
+    assert optimize_main([]) == 2
+    assert "Usage" in capsys.readouterr().out
+    assert optimize_main(["run"]) == 2
+    assert optimize_main(["nope", "wiki_article"]) == 2
 
 
 def test_trace_collect_unknown_workload_exits_nonzero(tmp_path, capsys):

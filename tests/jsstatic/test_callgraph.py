@@ -106,6 +106,72 @@ def test_edge_kinds_recorded():
     assert EdgeKind.TIMER in kinds
 
 
+def test_escape_edge_for_function_in_array_literal():
+    # A FunctionExpr in a non-aliasing position must produce an ESCAPE
+    # value edge from the enclosing region to that function's value.
+    graph = _graph("var table = [function () { work(); }];")
+    edges = graph.value_edges[("top", "s.js")]
+    assert len(graph.functions) == 1
+    fid = graph.functions[0].fid
+    assert (EdgeKind.ESCAPE, fid) in edges
+    assert graph.dead_functions() == []
+
+
+def test_escape_edge_for_function_passed_to_unknown_callee():
+    # register() is not a timer/handler/callback API, so the argument
+    # escapes rather than getting a special invocation edge.
+    graph = _graph("register(function () { });")
+    kinds = {kind for kind, _fid in graph.value_edges[("top", "s.js")]}
+    assert kinds == {EdgeKind.ESCAPE}
+
+
+def test_timer_name_edge_for_identifier_callback():
+    graph = _graph("function tick() { } setTimeout(tick, 100);")
+    names = graph.name_edges[("top", "s.js")]
+    assert (EdgeKind.TIMER, "tick") in names
+
+
+def test_timer_value_edge_for_inline_callback():
+    graph = _graph("requestAnimationFrame(function () { });")
+    edges = graph.value_edges[("top", "s.js")]
+    fid = graph.functions[0].fid
+    assert (EdgeKind.TIMER, fid) in edges
+
+
+def test_timer_edge_only_for_callback_position():
+    # Only argument 0 of a timer call is the callback; a function-valued
+    # name in any later position is an ordinary REF.
+    graph = _graph("function tick() { } setTimeout(tick, delay);")
+    names = graph.name_edges[("top", "s.js")]
+    assert (EdgeKind.TIMER, "tick") in names
+    assert (EdgeKind.REF, "delay") in names
+    assert (EdgeKind.TIMER, "delay") not in names
+
+
+def test_handler_registered_only_by_dead_registrar_stays_dead():
+    # The HANDLER edge to the callback exists, but it originates from a
+    # region (the registrar) that never runs — the fixpoint must not
+    # follow edges out of dead regions.
+    src = (
+        "function registrar() { el.addEventListener('click', handler); }"
+        "function handler() { }"
+    )
+    graph = _graph(src)
+    registrar = graph.functions_named("registrar")[0]
+    edges = graph.name_edges[("fn", str(registrar.fid))]
+    assert (EdgeKind.HANDLER, "handler") in edges
+    assert _dead_names(src) == {"registrar", "handler"}
+
+
+def test_handler_registered_by_live_registrar_is_live():
+    src = (
+        "function registrar() { el.addEventListener('click', handler); }"
+        "function handler() { }"
+        "registrar();"
+    )
+    assert _dead_names(src) == set()
+
+
 def test_function_inside_dead_function_is_dead():
     # inner's name is referenced from the live top level, but its defining
     # region (outer) never runs, so its value can never exist.

@@ -1,0 +1,64 @@
+"""Observability index: which global uses count as reads vs pure overwrites."""
+
+from repro.browser.js.parser import parse_js
+from repro.jsstatic.callgraph import build_call_graph, region_of
+from repro.optimize import build_observability
+
+
+def _obs(source, url="s.js"):
+    programs = {url: parse_js(source)}
+    graph = build_call_graph(programs)
+    return build_observability(programs, graph.functions), graph
+
+
+def test_plain_assignment_target_is_write_only():
+    obs, _ = _obs("var g = 0; g = 1;")
+    assert not obs.reads.get("g")
+    assert ("top", "s.js") in obs.writes["g"]
+
+
+def test_expression_use_is_a_read():
+    obs, _ = _obs("var g = 0; use(g);")
+    assert ("top", "s.js") in obs.reads["g"]
+
+
+def test_compound_assignment_target_is_write_only():
+    # ``g += 1`` re-reads g, but only to overwrite it: nothing else can
+    # observe the old value, so for elimination purposes it is a write.
+    obs, _ = _obs("var g = 0; g += 1;")
+    assert not obs.reads.get("g")
+
+
+def test_member_store_base_is_write_only():
+    obs, _ = _obs("var reg = { n: 0 }; reg.n = 1;")
+    assert not obs.reads.get("reg")
+    assert ("top", "s.js") in obs.writes["reg"]
+
+
+def test_member_read_base_is_a_read():
+    obs, _ = _obs("var reg = { n: 0 }; use(reg.n);")
+    assert ("top", "s.js") in obs.reads["reg"]
+
+
+def test_push_with_discarded_result_is_write_only():
+    obs, _ = _obs("var arr = []; arr.push(1);")
+    assert not obs.reads.get("arr")
+    assert ("top", "s.js") in obs.writes["arr"]
+
+
+def test_push_with_bound_result_is_a_read():
+    obs, _ = _obs("var arr = []; var n = arr.push(1);")
+    assert ("top", "s.js") in obs.reads["arr"]
+
+
+def test_locals_are_not_indexed():
+    obs, _ = _obs("function f() { var x = 0; use(x); }")
+    assert "x" not in obs.reads
+    assert "x" not in obs.writes
+
+
+def test_reads_are_attributed_to_the_enclosing_function_region():
+    obs, graph = _obs("var g = 0; function f() { return g; }")
+    f = graph.functions_named("f")[0]
+    assert region_of(f) in obs.reads["g"]
+    assert ("top", "s.js") not in obs.reads["g"]

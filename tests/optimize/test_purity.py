@@ -1,0 +1,98 @@
+"""Purity lattice: per-region effect verdicts and the interprocedural join."""
+
+from repro.browser.js.parser import parse_js
+from repro.jsstatic.callgraph import build_call_graph, region_of
+from repro.optimize import Purity, analyze_page_purity
+
+
+def _analyze(source, url="s.js"):
+    programs = {url: parse_js(source)}
+    graph = build_call_graph(programs)
+    return analyze_page_purity(graph, programs), graph
+
+
+def _of(source, name):
+    analysis, graph = _analyze(source)
+    info = graph.functions_named(name)[0]
+    return analysis.of_function(info.fid)
+
+
+def test_arithmetic_function_is_pure():
+    info = _of("function f(a, b) { return a + b * 2; }", "f")
+    assert info.level is Purity.PURE
+
+
+def test_local_assignment_is_local_write():
+    info = _of("function f() { var x = 0; x = x + 1; return x; }", "f")
+    assert info.level is Purity.LOCAL_WRITE
+    assert not info.global_write
+
+
+def test_push_onto_fresh_local_is_local_write():
+    info = _of("function f() { var a = []; a.push(1); return a; }", "f")
+    assert info.level is Purity.LOCAL_WRITE
+
+
+def test_dom_store_is_dom_write():
+    src = "function f() { document.getElementById('x').textContent = 'hi'; }"
+    info = _of(src, "f")
+    assert info.level is Purity.DOM_WRITE
+    assert info.dom_write
+
+
+def test_global_store_is_global_escape_with_named_write():
+    info = _of("var g = 0; function f() { g = 1; }", "f")
+    assert info.level is Purity.GLOBAL_ESCAPE
+    assert info.global_writes == {"g"}
+
+
+def test_console_io_is_global_escape():
+    info = _of("function f() { console.log('x'); }", "f")
+    assert info.io
+    assert info.level is Purity.GLOBAL_ESCAPE
+
+
+def test_timer_registration_is_recorded():
+    src = "function f() { setTimeout(function () { }, 10); }"
+    info = _of(src, "f")
+    assert "timer" in info.registers
+
+
+def test_unresolved_call_is_unknown():
+    info = _of("function f() { mystery(); }", "f")
+    assert "mystery" in info.unknown_calls
+    assert info.level is Purity.GLOBAL_ESCAPE
+
+
+def test_fixpoint_absorbs_synchronous_callee_effects():
+    src = (
+        "var g = 0;"
+        "function leaf() { g = 1; }"
+        "function root() { leaf(); }"
+    )
+    info = _of(src, "root")
+    assert info.global_writes == {"g"}
+    assert info.level is Purity.GLOBAL_ESCAPE
+
+
+def test_sync_closure_reaches_transitive_callees():
+    src = (
+        "function leaf() { return 1; }"
+        "function mid() { return leaf(); }"
+        "function root() { return mid(); }"
+    )
+    analysis, graph = _analyze(src)
+    root = graph.functions_named("root")[0]
+    leaf = graph.functions_named("leaf")[0]
+    closure = analysis.sync_closure({region_of(root)})
+    assert region_of(leaf) in closure
+
+
+def test_script_top_level_region_is_analyzed():
+    # Stores to names the script itself declares are the top level's own
+    # locals; a store to an undeclared name is a global write.
+    analysis, _graph = _analyze("var mine = 1; shared = 2; console.log(mine);")
+    top = analysis.of_script("s.js")
+    assert top.io
+    assert "shared" in top.global_writes
+    assert "mine" not in top.global_writes

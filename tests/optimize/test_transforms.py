@@ -1,0 +1,191 @@
+"""Transform passes: eligibility, confinement, cascades, and refusals."""
+
+from repro.browser.js.codegen import generate
+from repro.browser.js.parser import parse_js
+from repro.optimize import (
+    OptimizationPlan,
+    ProofCategory,
+    plan_image_elisions,
+    plan_scripts,
+)
+
+
+def _plan(source, url="s.js", **kwargs):
+    return plan_scripts("synthetic", {url: source}, **kwargs)
+
+
+def _applied(plan, pass_name):
+    return plan.applied(pass_name)
+
+
+def _refused(plan, pass_name):
+    return [r for r in plan.refused() if r.pass_name == pass_name]
+
+
+# -- codegen round trip ------------------------------------------------- #
+
+def test_codegen_is_idempotent():
+    src = (
+        "var reg = { n: 0 };\n"
+        "function bump(k) { if (k > 0) { reg.n = reg.n + k; } return reg.n; }\n"
+        "bump(2);\n"
+        "el.addEventListener('click', function (ev) { bump(1); });\n"
+    )
+    once = generate(parse_js(src))
+    twice = generate(parse_js(once))
+    assert once == twice
+
+
+# -- pass 1: discarded-call elimination --------------------------------- #
+
+def test_confined_global_writer_is_eliminated_and_stubbed():
+    src = (
+        "var reg = { n: 0 };\n"
+        "function bump() { reg.n = reg.n + 1; }\n"
+        "bump();\n"
+    )
+    plan = _plan(src)
+    elim = _applied(plan, "discarded-call-elim")
+    assert len(elim) == 1
+    assert "bump()" in elim[0].target
+    assert elim[0].proof.category is ProofCategory.PROVEN_SAFE
+    assert elim[0].proof.evidence == "jsstatic:purity+observability"
+    # The cascade re-analysis sees bump as dead and stubs it.
+    stubs = _applied(plan, "dead-function-elim")
+    assert any(r.target == "bump" for r in stubs)
+    transformed = plan.scripts["s.js"].transformed_source
+    assert "__tripwire" in transformed
+    parse_js(transformed)  # still valid JS
+
+
+def test_global_read_outside_closure_blocks_elimination():
+    src = (
+        "var reg = { n: 0 };\n"
+        "function bump() { reg.n = reg.n + 1; }\n"
+        "bump();\n"
+        "probe(reg.n);\n"
+    )
+    plan = _plan(src)
+    assert _applied(plan, "discarded-call-elim") == []
+    refusals = _refused(plan, "discarded-call-elim")
+    assert len(refusals) == 1
+    assert refusals[0].proof.category is ProofCategory.UNSAFE
+
+
+def test_live_second_caller_blocks_elimination():
+    # bump's registry would dangle: a handler can still invoke bump after
+    # the candidate call site is gone, so confinement must refuse.
+    src = (
+        "var reg = { n: 0 };\n"
+        "function bump() { reg.n = reg.n + 1; }\n"
+        "bump();\n"
+        "function live() { bump(); return reg.n; }\n"
+        "el.addEventListener('click', live);\n"
+    )
+    plan = _plan(src)
+    assert _applied(plan, "discarded-call-elim") == []
+    # Both bump() call sites (top level and inside live) are candidates,
+    # and both are refused: live reads reg outside bump's closure.
+    refusals = _refused(plan, "discarded-call-elim")
+    assert len(refusals) == 2
+    assert all("read outside" in r.proof.obligation for r in refusals)
+
+
+def test_io_in_callee_blocks_elimination():
+    plan = _plan("function logit() { console.log(1); }\nlogit();\n")
+    assert _applied(plan, "discarded-call-elim") == []
+    refusals = _refused(plan, "discarded-call-elim")
+    assert len(refusals) == 1
+
+
+def test_bound_result_that_is_later_read_blocks_elimination():
+    src = (
+        "function keep() { return 1; }\n"
+        "var out = keep();\n"
+        "use(out);\n"
+    )
+    plan = _plan(src)
+    assert _applied(plan, "discarded-call-elim") == []
+
+
+def test_pure_callee_with_dead_store_is_eliminated():
+    src = (
+        "function calc() { return 1 + 2; }\n"
+        "var unused = calc();\n"
+        "calc();\n"
+    )
+    plan = _plan(src)
+    elim = _applied(plan, "discarded-call-elim")
+    assert len(elim) == 2
+    transformed = plan.scripts["s.js"].transformed_source
+    assert "unused" not in transformed
+
+
+# -- pass 3: constant-branch pruning ------------------------------------ #
+
+def test_literal_false_branch_is_pruned():
+    src = (
+        "function heavy() { work(); }\n"
+        "function light() { return 1; }\n"
+        "if (false) { heavy(); } else { light(); }\n"
+    )
+    plan = _plan(src)
+    pruned = _applied(plan, "branch-prune")
+    assert len(pruned) == 1
+    assert pruned[0].proof.category is ProofCategory.PROVEN_SAFE
+    transformed = plan.scripts["s.js"].transformed_source
+    assert "light()" in transformed
+    # The dropped arm's call site is gone (liveness analysis ran before
+    # pruning, so heavy keeps its body — only the branch is folded).
+    assert "heavy();" not in transformed
+
+
+def test_branch_with_function_declaration_is_refused():
+    src = (
+        "if (true) { go(); } else { function trap() { } }\n"
+        "function go() { }\n"
+    )
+    plan = _plan(src)
+    refusals = _refused(plan, "branch-prune")
+    assert len(refusals) == 1
+    assert "declares a function" in refusals[0].proof.obligation
+
+
+def test_identifier_test_is_not_pruned():
+    src = "var flag = false;\nif (flag) { go(); }\nfunction go() { }\n"
+    plan = _plan(src)
+    assert _applied(plan, "branch-prune") == []
+    assert _refused(plan, "branch-prune") == []
+
+
+# -- pass 5: image elision ---------------------------------------------- #
+
+def test_image_elision_partitions_by_flagged_touches():
+    plan = OptimizationPlan(benchmark="synthetic")
+    plan_image_elisions(
+        plan,
+        {"unseen.png": (0, 10), "drawn.png": (3, 10), "unfetched.png": (0, 0)},
+    )
+    assert plan.elided_images() == ["unseen.png"]
+    applied = plan.applied("elide-image")
+    assert applied[0].proof.category is ProofCategory.DYNAMICALLY_SAFE
+    assert applied[0].proof.evidence == "profiler:pixel-slice"
+    refused = [r for r in plan.image_rewrites if not r.applied]
+    assert [r.target for r in refused] == ["drawn.png"]
+    targets = {r.target for r in plan.image_rewrites}
+    assert "unfetched.png" not in targets
+
+
+def test_no_image_evidence_plans_nothing():
+    plan = OptimizationPlan(benchmark="synthetic")
+    plan_image_elisions(plan, None)
+    plan_image_elisions(plan, {})
+    assert plan.image_rewrites == []
+
+
+# -- plan bookkeeping --------------------------------------------------- #
+
+def test_unchanged_script_has_no_replacement():
+    plan = _plan("var x = 1;\nuse(x);\n")
+    assert plan.replacements() == {}
+    assert plan.deferred_urls() == []

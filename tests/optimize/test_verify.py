@@ -1,0 +1,73 @@
+"""End-to-end optimize-and-verify: pixel identity, trip-wires, accounting."""
+
+import pytest
+
+from repro.harness.experiments import run_benchmark
+from repro.optimize import optimize_benchmark, verification_report
+from repro.workloads import benchmark
+
+
+@pytest.fixture(scope="module")
+def wiki_result():
+    return optimize_benchmark("wiki_article")
+
+
+def test_wiki_verifies_pixel_identical(wiki_result):
+    wiki_result.check()  # raises on any safety failure
+    assert wiki_result.verified
+    assert wiki_result.pixel_identical
+    assert wiki_result.tripwire_hits == []
+    assert len(wiki_result.original_digests) > 1
+
+
+def test_wiki_every_applied_rewrite_carries_a_discharged_proof(wiki_result):
+    applied = wiki_result.plan.applied()
+    assert applied, "the optimizer must find something on wiki_article"
+    for rewrite in applied:
+        assert rewrite.proof.category.value in (
+            "proven-safe", "dynamically-safe"
+        )
+        assert rewrite.proof.evidence
+        assert rewrite.proof.obligation
+
+
+def test_wiki_pass_stats_account_the_record_delta(wiki_result):
+    names = [s.name for s in wiki_result.pass_stats]
+    assert names == [
+        "discarded-call-elim", "dead-function-elim", "branch-prune",
+        "defer-script", "elide-image",
+    ]
+    by_name = {s.name: s for s in wiki_result.pass_stats}
+    # wiki's only win is moving metrics.js off the load path.
+    assert by_name["defer-script"].applied == 1
+    assert by_name["defer-script"].records > 0
+
+
+def test_verification_report_renders(wiki_result):
+    text = verification_report(wiki_result)
+    assert "optimize wiki_article" in text
+    assert "pixel identity : OK" in text
+    assert "trip-wires     : 0 OK" in text
+    assert "defer-script" in text
+
+
+def test_tripwire_fires_when_a_stubbed_function_runs():
+    # Simulate a wrong dead verdict: a script whose live path enters a
+    # __tripwire stub must surface the hit on runtime.tripwire_hits.
+    bench = benchmark("wiki_article")
+    url = next(iter(bench.page.scripts))
+    tripped = bench.with_scripts(
+        {url: "function stub() { __tripwire(7); }\nstub();\n"}
+    )
+    result = run_benchmark(tripped, metrics_ticks=2)
+    assert 7.0 in result.engine.runtime.tripwire_hits
+
+
+def test_optimize_is_deterministic():
+    a = optimize_benchmark("wiki_article")
+    b = optimize_benchmark("wiki_article")
+    assert a.transformed_digests == b.transformed_digests
+    assert a.transformed_records == b.transformed_records
+    assert [r.target for r in a.plan.rewrites] == [
+        r.target for r in b.plan.rewrites
+    ]
