@@ -1,0 +1,66 @@
+"""Regression guard on static dead-function quality for the paper workloads.
+
+Precision is the soundness contract: exactly 1.00 everywhere, no
+executed function ever called dead.  Recall is floored at the PR-2
+name-match baseline per workload (amazon_desktop 0.80, amazon_mobile
+0.75, google_maps 0.93, bing 0.91), so the interprocedural value-flow
+analysis can only improve it — a change that silently drops resolution
+back to the REF over-approximation fails here before it lands.
+"""
+
+import pytest
+
+from repro.jsstatic.compare import compare_benchmark
+
+#: PR-2 edge-fixpoint recall per workload — the floor value flow must beat
+BASELINE_RECALL = {
+    "amazon_desktop": 0.80,
+    "amazon_mobile": 0.75,
+    "google_maps": 0.93,
+    "bing": 0.91,
+}
+
+
+@pytest.fixture(scope="module")
+def comparisons(table2_results):
+    return {
+        name: compare_benchmark(name, engine=result.engine)
+        for name, result in table2_results.items()
+    }
+
+
+@pytest.mark.parametrize("name", sorted(BASELINE_RECALL))
+def test_precision_is_exactly_one(comparisons, name):
+    cmp = comparisons[name]
+    assert cmp.is_sound, f"{name}: false dead {cmp.false_dead}"
+    assert cmp.precision == 1.0
+
+
+@pytest.mark.parametrize("name", sorted(BASELINE_RECALL))
+def test_recall_no_worse_than_pr2_baseline(comparisons, name):
+    cmp = comparisons[name]
+    floor = BASELINE_RECALL[name]
+    assert cmp.recall >= floor, (
+        f"{name}: recall {cmp.recall:.2f} fell below the PR-2 "
+        f"baseline {floor:.2f}"
+    )
+
+
+def test_valueflow_carries_the_paper_workloads(comparisons):
+    """The resolved analysis (not the fallback) must drive liveness."""
+    for name, cmp in comparisons.items():
+        flow = cmp.analysis.graph.valueflow
+        assert flow is not None and flow.ok, (
+            f"{name}: value flow bailed out"
+            + (f" ({flow.reason})" if flow is not None else "")
+        )
+
+
+def test_recall_improves_on_library_heavy_workloads(comparisons):
+    """The tentpole claim: strictly above baseline on >= 2 of the three."""
+    improved = [
+        name
+        for name in ("amazon_desktop", "bing", "google_maps")
+        if comparisons[name].recall > BASELINE_RECALL[name]
+    ]
+    assert len(improved) >= 2, f"recall improved only on {improved}"

@@ -6,20 +6,31 @@ Usage::
     python -m repro.jsstatic report wiki_article bing
     python -m repro.jsstatic report --json bing
     python -m repro.jsstatic analyze amazon_desktop
+    python -m repro.jsstatic callgraph bing
+    python -m repro.jsstatic callgraph --json google_maps
 
 ``report`` runs each workload's full dynamic session (reusing the
 harness's per-process cache) and prints the precision/recall table of the
 static dead-code verdicts against dynamic coverage; with ``--json`` it
 instead emits machine-readable per-function verdicts (script, name,
-span, verdict, reason, executed) plus the per-workload aggregates.
+span, verdict, reason, executed), per-call-site resolution verdicts from
+the value-flow analysis (status resolved/fallback with the flow chain of
+every target), plus the per-workload aggregates.
 ``analyze`` prints the raw static findings for one benchmark without
 running anything.
+``callgraph`` dumps the page call graph — every edge with its kind
+(direct/ref/handler/timer/callback/escape/vflow) and, for value-flow
+resolved edges, the flow chain that produced the resolution — without
+running anything; ``--json`` emits the same data machine-readably.
+
+Unknown workload names exit with status 2, uniformly with the other CLI
+front ends.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import List
+from typing import Dict, List
 
 
 def _default_names() -> List[str]:
@@ -28,6 +39,20 @@ def _default_names() -> List[str]:
     names = ["wiki_article"]
     names.extend(n for n in TABLE2_BENCHMARKS if n not in names)
     return names
+
+
+def _validate(names: List[str]) -> int:
+    from ..workloads import benchmark_names, unknown_names
+
+    unknown = unknown_names(names)
+    if unknown:
+        print(
+            f"unknown workload(s): {', '.join(unknown)}; "
+            f"available: {', '.join(benchmark_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
 
 
 def _report(names: List[str], as_json: bool = False) -> int:
@@ -45,7 +70,7 @@ def _report(names: List[str], as_json: bool = False) -> int:
     if as_json:
         import json
 
-        from .compare import function_verdicts
+        from .compare import call_site_verdicts, function_verdicts
 
         payload = [
             {
@@ -57,6 +82,7 @@ def _report(names: List[str], as_json: bool = False) -> int:
                 "recall": c.recall,
                 "sound": c.is_sound,
                 "functions": function_verdicts(c),
+                "call_sites": call_site_verdicts(c.analysis),
             }
             for c in comparisons
         ]
@@ -88,13 +114,82 @@ def _analyze(name: str) -> int:
     return 0
 
 
+def _callgraph_payload(name: str) -> Dict[str, object]:
+    """Edges (with kind + resolution provenance) for one workload."""
+    from ..workloads import benchmark
+    from .analyzer import analyze_page
+    from .callgraph import callgraph_edges
+    from .compare import benchmark_sources, call_site_verdicts
+
+    analysis = analyze_page(benchmark_sources(benchmark(name)))
+    graph = analysis.graph
+    flow = graph.valueflow
+    return {
+        "benchmark": name,
+        "n_functions": len(graph.functions),
+        "n_scripts": len(analysis.programs),
+        "valueflow": (
+            {"ok": flow.ok, "rounds": flow.rounds}
+            if flow is not None
+            else {"ok": False, "rounds": 0}
+        ),
+        "liveness": (
+            "value-flow resolved"
+            if flow is not None and flow.ok
+            else "edge fixpoint (fallback)"
+        ),
+        "edges": callgraph_edges(graph),
+        "call_sites": call_site_verdicts(analysis),
+    }
+
+
+def _callgraph(names: List[str], as_json: bool = False) -> int:
+    payloads = [_callgraph_payload(name) for name in names]
+    if as_json:
+        import json
+
+        print(json.dumps(payloads, indent=2))
+        return 0
+    for i, payload in enumerate(payloads):
+        if i:
+            print()
+        edges = payload["edges"]
+        sites = payload["call_sites"]
+        assert isinstance(edges, list) and isinstance(sites, list)
+        resolved = sum(1 for s in sites if s["status"] == "resolved")
+        print(
+            f"callgraph {payload['benchmark']}: {payload['n_functions']} "
+            f"functions, {len(edges)} edges, liveness via "
+            f"{payload['liveness']}"
+        )
+        print(
+            f"call sites: {len(sites)} seen, {resolved} resolved, "
+            f"{len(sites) - resolved} fallback"
+        )
+        for edge in edges:
+            prov = f"  [{edge['provenance']}]" if edge.get("provenance") else ""
+            print(
+                f"  {edge['region']:<40s} --{edge['kind']:>8s}--> "
+                f"{edge['target']}{prov}"
+            )
+    return 0
+
+
 def main(argv: List[str]) -> int:
-    if argv and argv[0] == "report":
+    if argv and argv[0] in ("report", "callgraph"):
         rest = argv[1:]
         as_json = "--json" in rest
         names = [a for a in rest if a != "--json"] or _default_names()
-        return _report(names, as_json=as_json)
+        status = _validate(names)
+        if status:
+            return status
+        if argv[0] == "report":
+            return _report(names, as_json=as_json)
+        return _callgraph(names, as_json=as_json)
     if len(argv) >= 2 and argv[0] == "analyze":
+        status = _validate(argv[1:2])
+        if status:
+            return status
         return _analyze(argv[1])
     print(__doc__)
     return 2

@@ -90,12 +90,17 @@ class PageAnalysis:
         return sum(self.script_bytes.values())
 
 
-def analyze_page(scripts: Dict[str, str]) -> PageAnalysis:
-    """Statically analyze a page's scripts (``{url: source}`` in load order)."""
+def analyze_page(scripts: Dict[str, str], resolve: bool = True) -> PageAnalysis:
+    """Statically analyze a page's scripts (``{url: source}`` in load order).
+
+    ``resolve=False`` skips the interprocedural value-flow analysis and
+    reproduces the PR-2 edge-fixpoint liveness (used as the recall
+    baseline in benchmarks).
+    """
     programs: Dict[str, ast.Program] = {
         url: parse_js(source) for url, source in scripts.items()
     }
-    graph = build_call_graph(programs)
+    graph = build_call_graph(programs, resolve=resolve)
     live = graph.live_functions()
     dead = [f for f in graph.functions if f.fid not in live]
 

@@ -32,9 +32,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..browser.js import ast
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .valueflow import ValueFlowResult
 
 #: region key: ("top", script url) or ("fn", function id as str)
 RegionKey = Tuple[str, str]
@@ -52,6 +55,8 @@ class EdgeKind(enum.Enum):
     TIMER = "timer"
     CALLBACK = "callback"
     ESCAPE = "escape"
+    #: call edge resolved by the interprocedural value-flow analysis
+    VFLOW = "vflow"
 
 
 @dataclass
@@ -96,12 +101,26 @@ class CallGraph:
     name_edges: Dict[RegionKey, List[Tuple[EdgeKind, str]]] = field(
         default_factory=dict
     )
+    #: successful value-flow analysis, when ``build_call_graph`` ran with
+    #: ``resolve=True`` and the interpreter covered every script
+    valueflow: Optional["ValueFlowResult"] = None
 
     def functions_named(self, name: str) -> List[FunctionInfo]:
         return [f for f in self.functions if name in f.aliases]
 
     def live_functions(self) -> Set[int]:
-        """Fixpoint: fids possibly invoked from any script top level."""
+        """Fids possibly invoked from any script top level.
+
+        When the value-flow analysis succeeded its resolved liveness
+        (invoked ∪ registered ∪ escaped) replaces the name/escape edge
+        fixpoint; otherwise the PR-2 over-approximation applies.
+        """
+        if self.valueflow is not None and self.valueflow.ok:
+            return set(self.valueflow.live_fids)
+        return self._edge_fixpoint()
+
+    def _edge_fixpoint(self) -> Set[int]:
+        """Fixpoint over REF/ESCAPE/etc edges (the sound fallback)."""
         by_name: Dict[str, List[int]] = {}
         for info in self.functions:
             for alias in info.aliases:
@@ -273,10 +292,85 @@ def _children(node: ast.JSNode) -> List[ast.JSNode]:
     return out
 
 
-def build_call_graph(scripts: Dict[str, ast.Program]) -> CallGraph:
-    """Build the page call graph from parsed scripts in load order."""
+def callgraph_edges(graph: CallGraph) -> List[Dict[str, object]]:
+    """Flat edge dump with kind and resolution provenance (CLI/report).
+
+    One dict per edge: the source ``region`` (a top level or a function
+    label), the edge ``kind``, the ``target`` (function label for value
+    edges, the referenced name for name edges), and — for ``vflow``
+    edges — the ``provenance`` flow chain the value-flow analysis
+    recorded when it resolved a call site in that region to that target.
+    """
+    fn_by_fid = {info.fid: info for info in graph.functions}
+
+    def _region_label(region: RegionKey) -> str:
+        kind, ident = region
+        if kind == "fn":
+            info = fn_by_fid.get(int(ident))
+            return info.label() if info is not None else f"<fn#{ident}>"
+        return f"<top:{ident}>"
+
+    def _fn_label(fid: int) -> str:
+        info = fn_by_fid.get(fid)
+        return info.label() if info is not None else f"<fn#{fid}>"
+
+    # (region, fid) -> flow chain, from the resolved call sites
+    chains: Dict[Tuple[RegionKey, int], str] = {}
+    flow = graph.valueflow
+    if flow is not None and flow.ok:
+        for site in flow.sites.values():
+            for fid, chain in site.chains.items():
+                chains.setdefault((site.region, fid), chain)
+
+    out: List[Dict[str, object]] = []
+    regions = set(graph.value_edges) | set(graph.name_edges)
+    for region in sorted(regions, key=_region_label):
+        for kind, fid in graph.value_edges.get(region, ()):
+            entry: Dict[str, object] = {
+                "region": _region_label(region),
+                "kind": kind.value,
+                "target": _fn_label(fid),
+            }
+            if kind is EdgeKind.VFLOW:
+                entry["provenance"] = chains.get((region, fid), "direct")
+            out.append(entry)
+        for kind, name in graph.name_edges.get(region, ()):
+            out.append(
+                {
+                    "region": _region_label(region),
+                    "kind": kind.value,
+                    "target": name,
+                }
+            )
+    return out
+
+
+def build_call_graph(scripts: Dict[str, ast.Program],
+                     resolve: bool = True) -> CallGraph:
+    """Build the page call graph from parsed scripts in load order.
+
+    With ``resolve=True`` (the default) the interprocedural value-flow
+    analysis runs on top of the syntactic scan: resolved call sites add
+    ``VFLOW`` value edges and liveness comes from the resolved
+    invoked/registered/escaped sets.  If the analysis cannot cover the
+    page it records nothing and the edge fixpoint stays authoritative.
+    """
     graph = CallGraph()
     scanner = _Scanner(graph)
     for url, program in scripts.items():
         scanner.scan_script(url, program)
+    if resolve:
+        from .valueflow import resolve_value_flow
+
+        flow = resolve_value_flow(graph, scripts)
+        if flow.ok:
+            graph.valueflow = flow
+            for site in flow.sites.values():
+                if site.incomplete:
+                    continue
+                edges = graph.value_edges.setdefault(site.region, [])
+                for fid in site.targets:
+                    edge = (EdgeKind.VFLOW, fid)
+                    if edge not in edges:
+                        edges.append(edge)
     return graph

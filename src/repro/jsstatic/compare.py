@@ -212,6 +212,9 @@ def function_verdicts(cmp: WorkloadComparison) -> List[Dict[str, object]]:
     """
     analysis = cmp.analysis
     graph = analysis.graph
+    flow = graph.valueflow if (
+        graph.valueflow is not None and graph.valueflow.ok
+    ) else None
     dead_ids = {f.fid for f in analysis.dead_functions}
     fn_by_fid = {info.fid: info for info in graph.functions}
     covered = {s.url for s in cmp.scripts}
@@ -226,11 +229,18 @@ def function_verdicts(cmp: WorkloadComparison) -> List[Dict[str, object]]:
             if pkind == "fn" and int(pident) in dead_ids:
                 parent = fn_by_fid[int(pident)].label()
                 reason = f"enclosing function {parent} is dead"
+            elif flow is not None:
+                reason = (
+                    "value flow proves no invocation, registration, or "
+                    "escape can reach its value"
+                )
             else:
                 reason = (
                     "no call, registration, or escape edge from a live "
                     "region reaches it"
                 )
+        elif flow is not None:
+            reason = _valueflow_reason(flow, info.fid)
         else:
             reason = _liveness_reason(graph, info, dead_ids, fn_by_fid)
         executed: Optional[bool] = None
@@ -244,6 +254,64 @@ def function_verdicts(cmp: WorkloadComparison) -> List[Dict[str, object]]:
                 "verdict": "dead" if dead else "live",
                 "reason": reason,
                 "executed": executed,
+            }
+        )
+    return out
+
+
+def _valueflow_reason(flow, fid: int) -> str:
+    """Why the value-flow analysis keeps a function live."""
+    if fid in flow.invoked_fids and fid not in flow.escaped_fids:
+        return "a resolved call site invokes it"
+    if fid in flow.registered_fids:
+        return "registered as an event/timer/callback target"
+    if fid in flow.escaped_fids:
+        why = flow.escape_reasons.get(fid, "value leaves the tracked subset")
+        return f"escapes ({why}); kept live conservatively"
+    return "reachable from page load"
+
+
+def call_site_verdicts(analysis: PageAnalysis) -> List[Dict[str, object]]:
+    """Per-call-site resolution verdicts from the value-flow analysis.
+
+    One entry per call site the abstract interpreter reached:
+    ``status`` is "resolved" (the target set is exhaustive) or
+    "fallback" (an untracked value may also be called there, so the
+    name-match over-approximation still applies), with the flow chain
+    of each resolved target as auditable evidence.  Empty when the
+    analysis bailed out (``graph.valueflow`` unset or not ok).
+    """
+    graph = analysis.graph
+    flow = graph.valueflow
+    if flow is None or not flow.ok:
+        return []
+    fn_by_fid = {info.fid: info for info in graph.functions}
+
+    def _label(fid: int) -> str:
+        info = fn_by_fid.get(fid)
+        return info.label() if info is not None else f"<fn#{fid}>"
+
+    out: List[Dict[str, object]] = []
+    for node_id in sorted(flow.sites):
+        site = flow.sites[node_id]
+        region_kind, region_ident = site.region
+        if region_kind == "fn":
+            region_label = _label(int(region_ident))
+        else:
+            region_label = f"<top:{region_ident}>"
+        out.append(
+            {
+                "script": site.script,
+                "region": region_label,
+                "span": list(site.span),
+                "callee": site.callee,
+                "kind": site.kind,
+                "status": site.status,
+                "targets": sorted(_label(fid) for fid in site.targets),
+                "chains": {
+                    _label(fid): chain
+                    for fid, chain in sorted(site.chains.items())
+                },
             }
         )
     return out

@@ -1,0 +1,1021 @@
+"""Interprocedural value-flow analysis: function points-to with provenance.
+
+The PR-2 call graph keeps every function alive whose *name* is ever read
+(``EdgeKind.REF``) or whose value appears in a non-aliasing position
+(``EdgeKind.ESCAPE``).  That over-approximation is sound but caps
+dead-function recall on library-heavy pages: a handler stored into a
+registry object (``widget_handlers[id] = handler``) escapes even though
+the registry is a plain tracked object and the handler is provably never
+loaded back out.
+
+This module runs a monotone abstract interpretation over the parsed
+scripts instead.  Abstract values are small sets of :class:`Atom`:
+
+* ``fn``  — one function value, tagged with the frame in which its
+  closure was created (``fid`` + ``env``);
+* ``obj`` — one tracked heap object (allocation-site + calling-context
+  keyed), with a property map in an abstract heap;
+* ``str`` / ``num`` — single concrete primitives, kept exact so that
+  computed property keys and registration ids resolve;
+* ``prim`` — any other primitive;
+* ``unknown`` — anything the analysis cannot track (DOM handles,
+  builtin results, unresolved reads).
+
+Function bodies are analyzed per *cell* — ``(fid, env, argkey)`` where
+``argkey`` abstracts each argument to a single str/num/fn atom or ``T``.
+That context sensitivity is what distinguishes
+``widget_register('w0', fn0)`` from ``widget_register('w2', fn2)``:
+each registration stores into its own key of the registry object.
+
+Soundness invariants:
+
+* every state component only grows (value sets, heap, returns,
+  invoked/registered/escaped); global rounds re-run every reachable
+  cell until nothing changes, so the result is a fixpoint;
+* a function value that reaches any position the interpreter does not
+  model (unknown callee argument, store through an unknown base, throw,
+  callback return) is *escaped*: it is kept live and its body is
+  re-analyzed each round with unknown arguments, exactly like the old
+  ESCAPE edge;
+* any unsupported AST shape, or exhaustion of the step/cell/object
+  budgets, aborts the whole analysis (``ok=False``) and the caller
+  falls back to the PR-2 edge fixpoint — never a partial result.
+
+Liveness is then simply ``invoked ∪ registered ∪ escaped``, and every
+resolved call site carries its target set plus a human-readable flow
+chain for the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..browser.js import ast
+from .callgraph import CALLBACK_METHODS, TIMER_FUNCTIONS, CallGraph, RegionKey
+
+__all__ = ["Atom", "CallSite", "ValueFlowResult", "resolve_value_flow"]
+
+# -- tuning ------------------------------------------------------------- #
+
+MAX_ROUNDS = 60
+MAX_STEPS = 2_000_000
+MAX_CELLS = 2_000
+MAX_OBJECTS = 5_000
+MAX_STR_LEN = 64
+MAX_CHAIN = 6
+
+
+class _Bail(Exception):
+    """Raised to abandon the analysis and fall back to the edge fixpoint."""
+
+
+# -- abstract values ---------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One abstract value.  ``kind`` selects which payload fields apply."""
+
+    kind: str  # "fn" | "obj" | "str" | "num" | "prim" | "unknown"
+    fid: int = -1
+    env: int = -1
+    oid: int = -1
+    text: str = ""
+    num: float = 0.0
+
+
+UNKNOWN = Atom("unknown")
+PRIM = Atom("prim")
+
+
+def _fn(fid: int, env: int) -> Atom:
+    return Atom("fn", fid=fid, env=env)
+
+
+def _obj(oid: int) -> Atom:
+    return Atom("obj", oid=oid)
+
+
+def _str(text: str) -> Atom:
+    return Atom("str", text=text)
+
+
+def _num(value: float) -> Atom:
+    return Atom("num", num=value)
+
+
+Atoms = Set[Atom]
+
+#: one element of a cell's argument key: an exact atom or the top "T"
+ArgAbstract = Union[Atom, str]
+#: ("top", url) | ("fn", fid, env, argkey) | ("event",)
+CellKey = Tuple[object, ...]
+
+
+def _abstract(atoms: Atoms) -> ArgAbstract:
+    if len(atoms) == 1:
+        atom = next(iter(atoms))
+        if atom.kind in ("str", "num", "fn"):
+            return atom
+    return "T"
+
+
+def _prop_key(atoms: Atoms) -> Optional[str]:
+    """Exact property key from an index value set, or None for unknown."""
+    if len(atoms) == 1:
+        atom = next(iter(atoms))
+        if atom.kind == "str":
+            return atom.text
+        if atom.kind == "num" and float(atom.num).is_integer():
+            return str(int(atom.num))
+    return None
+
+
+# -- call sites ---------------------------------------------------------- #
+
+
+@dataclass
+class CallSite:
+    """Resolution verdict for one syntactic call site."""
+
+    node_id: int
+    script: str
+    region: RegionKey
+    span: Tuple[int, int]
+    callee: str
+    kind: str  # "call" | "method" | "callback" | "new"
+    targets: Set[int] = field(default_factory=set)
+    incomplete: bool = False
+    chains: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def status(self) -> str:
+        return "fallback" if self.incomplete else "resolved"
+
+
+# -- frames and cells ----------------------------------------------------- #
+
+
+@dataclass
+class _Frame:
+    parent: int  # frame id, or -1 for the global scope
+    names: Set[str]  # locally declared names (params + var/function decls)
+    vars: Dict[str, Atoms] = field(default_factory=dict)
+
+
+@dataclass
+class _Cell:
+    key: CellKey
+    script: str
+    region: RegionKey
+    frame: int = -1
+    body: Sequence[ast.JSNode] = ()
+    returns: Atoms = field(default_factory=set)
+    round_mark: int = -1
+    evaluating: bool = False
+
+
+# -- result -------------------------------------------------------------- #
+
+
+@dataclass
+class ValueFlowResult:
+    ok: bool
+    reason: str = ""
+    rounds: int = 0
+    live_fids: Set[int] = field(default_factory=set)
+    invoked_fids: Set[int] = field(default_factory=set)
+    registered_fids: Set[int] = field(default_factory=set)
+    escaped_fids: Set[int] = field(default_factory=set)
+    escape_reasons: Dict[int, str] = field(default_factory=dict)
+    #: call-site verdicts keyed by the Call node's node_id
+    sites: Dict[int, CallSite] = field(default_factory=dict)
+    #: (oid, key) property stores performed by each cell
+    cell_stores: Dict[CellKey, Set[Tuple[int, str]]] = field(default_factory=dict)
+    #: page-wide property loads: oid -> key -> contexts ("read"|"selfupdate")
+    obj_loads: Dict[int, Dict[str, Set[str]]] = field(default_factory=dict)
+    #: cells entered from each call site
+    site_cells: Dict[int, Set[CellKey]] = field(default_factory=dict)
+    #: caller cell -> callee cells
+    cell_calls: Dict[CellKey, Set[CellKey]] = field(default_factory=dict)
+    #: bare global-name (re)bindings performed by each cell
+    cell_gwrites: Dict[CellKey, Set[str]] = field(default_factory=dict)
+    escaped_objs: Set[int] = field(default_factory=set)
+    #: first global name an object was bound to (provenance labels)
+    obj_labels: Dict[int, str] = field(default_factory=dict)
+
+    def transitive_cells(self, node_id: int) -> Set[CellKey]:
+        """All cells reachable from the given call site's entry cells."""
+        seen: Set[CellKey] = set()
+        work = list(self.site_cells.get(node_id, ()))
+        while work:
+            cell = work.pop()
+            if cell in seen:
+                continue
+            seen.add(cell)
+            work.extend(self.cell_calls.get(cell, ()))
+        return seen
+
+    def unobservable_store(self, oid: int, key: str) -> Optional[str]:
+        """None if a store to ``oid.key`` can never be observed, else why not.
+
+        A store is unobservable when the object never escapes and the
+        property is *cold* (never loaded anywhere on the page) or *inert*
+        (every load is the read half of a compound self-update such as
+        ``obj.key += 1``, whose result flows only back into the same
+        property).
+        """
+        if key == "*":
+            return "store key is not statically known"
+        if oid in self.escaped_objs:
+            return "object escapes the analyzable subset"
+        loads = self.obj_loads.get(oid, {})
+        if "*" in loads:
+            return "object has unknown-key reads"
+        contexts = loads.get(key, set())
+        if not contexts:
+            return None  # cold: never read
+        if contexts == {"selfupdate"}:
+            return None  # inert: only compound self-updates
+        return "property is read elsewhere on the page"
+
+    def label_for(self, oid: int) -> str:
+        return self.obj_labels.get(oid, f"<obj#{oid}>")
+
+
+# -- declared-name walker -------------------------------------------------- #
+
+
+def _declared_names(body: Sequence[ast.JSNode]) -> Set[str]:
+    """var/function/for-in/catch names declared in a function body.
+
+    Walks statement lists only — nested FunctionExprs have their own
+    scopes and are not entered.
+    """
+    names: Set[str] = set()
+
+    def walk(stmts: Sequence[ast.JSNode]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.VarDecl):
+                names.add(stmt.name)
+            elif isinstance(stmt, ast.FunctionDecl):
+                if stmt.func.name:
+                    names.add(stmt.func.name)
+            elif isinstance(stmt, ast.IfStmt):
+                walk(stmt.consequent)
+                walk(stmt.alternate)
+            elif isinstance(stmt, (ast.WhileStmt, ast.DoWhileStmt)):
+                walk(stmt.body)
+            elif isinstance(stmt, ast.ForStmt):
+                if isinstance(stmt.init, ast.VarDecl):
+                    names.add(stmt.init.name)
+                walk(stmt.body)
+            elif isinstance(stmt, ast.ForInStmt):
+                names.add(stmt.name)
+                walk(stmt.body)
+            elif isinstance(stmt, ast.SwitchStmt):
+                for _test, case_body in stmt.cases:
+                    walk(case_body)
+            elif isinstance(stmt, ast.TryStmt):
+                walk(stmt.block)
+                if stmt.param:
+                    names.add(stmt.param)
+                walk(stmt.handler)
+                walk(stmt.finally_body)
+    walk(body)
+    return names
+
+
+def _hoisted_decls(body: Sequence[ast.JSNode]) -> List[ast.FunctionDecl]:
+    """FunctionDecls hoisted to the top of a function/script scope."""
+    decls: List[ast.FunctionDecl] = []
+
+    def walk(stmts: Sequence[ast.JSNode]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.FunctionDecl):
+                decls.append(stmt)
+            elif isinstance(stmt, ast.IfStmt):
+                walk(stmt.consequent)
+                walk(stmt.alternate)
+            elif isinstance(stmt, (ast.WhileStmt, ast.DoWhileStmt,
+                                   ast.ForStmt, ast.ForInStmt)):
+                walk(stmt.body)
+            elif isinstance(stmt, ast.SwitchStmt):
+                for _test, case_body in stmt.cases:
+                    walk(case_body)
+            elif isinstance(stmt, ast.TryStmt):
+                walk(stmt.block)
+                walk(stmt.handler)
+                walk(stmt.finally_body)
+    walk(body)
+    return decls
+
+
+# -- the interpreter ------------------------------------------------------- #
+
+
+class _Interp:
+    def __init__(self, graph: CallGraph, programs: Dict[str, ast.Program]) -> None:
+        self.graph = graph
+        self.programs = programs
+        self.fid_by_node: Dict[int, int] = {
+            info.node.node_id: info.fid for info in graph.functions
+        }
+        self.fn_nodes: Dict[int, ast.FunctionExpr] = {
+            info.fid: info.node for info in graph.functions
+        }
+        self.fn_script: Dict[int, str] = {
+            info.fid: info.script for info in graph.functions
+        }
+
+        self.globals: Dict[str, Atoms] = {}
+        self.frames: List[_Frame] = []
+        self.cells: Dict[CellKey, _Cell] = {}
+        self.heap: Dict[int, Dict[str, Atoms]] = {}
+        self.obj_memo: Dict[Tuple[int, CellKey], int] = {}
+        self.next_oid = 0
+
+        self.invoked: Set[int] = set()
+        self.registered: Set[Atom] = set()
+        self.escaped: Set[Atom] = set()
+        self.escape_reasons: Dict[int, str] = {}
+        self.escaped_objs: Set[int] = set()
+
+        self.sites: Dict[int, CallSite] = {}
+        self.cell_stores: Dict[CellKey, Set[Tuple[int, str]]] = {}
+        self.obj_loads: Dict[int, Dict[str, Set[str]]] = {}
+        self.site_cells: Dict[int, Set[CellKey]] = {}
+        self.cell_calls: Dict[CellKey, Set[CellKey]] = {}
+        self.cell_gwrites: Dict[CellKey, Set[str]] = {}
+        self.obj_labels: Dict[int, str] = {}
+        self.flows: Dict[Atom, List[str]] = {}
+
+        self.round = 0
+        self.steps = 0
+        self.changed = False
+        self.event_cell = _Cell(key=("event",), script="<event>",
+                                region=("top", "<event>"))
+
+    # -- bookkeeping ------------------------------------------------------ #
+
+    def _step(self) -> None:
+        self.steps += 1
+        if self.steps > MAX_STEPS:
+            raise _Bail("step budget exhausted")
+
+    def _mark(self) -> None:
+        self.changed = True
+
+    def _note(self, atom: Atom, note: str) -> None:
+        if atom.kind != "fn":
+            return
+        chain = self.flows.setdefault(atom, [])
+        if len(chain) < MAX_CHAIN and note not in chain:
+            chain.append(note)
+
+    def _chain_text(self, atom: Atom) -> str:
+        return " -> ".join(self.flows.get(atom, [])) or "direct"
+
+    # -- frames ------------------------------------------------------------ #
+
+    def _new_frame(self, parent: int, names: Set[str]) -> int:
+        self.frames.append(_Frame(parent=parent, names=names))
+        return len(self.frames) - 1
+
+    def _bind(self, frame_id: int, name: str, atoms: Atoms,
+              cell: _Cell) -> None:
+        """Assign through the scope chain; records global rebinds."""
+        fid = frame_id
+        while fid != -1:
+            frame = self.frames[fid]
+            if name in frame.names:
+                slot = frame.vars.setdefault(name, set())
+                before = len(slot)
+                slot |= atoms
+                if len(slot) != before:
+                    self._mark()
+                for atom in atoms:
+                    self._note(atom, f"bound to '{name}'")
+                return
+            fid = frame.parent
+        slot = self.globals.setdefault(name, set())
+        before = len(slot)
+        slot |= atoms
+        if len(slot) != before:
+            self._mark()
+        self.cell_gwrites.setdefault(cell.key, set()).add(name)
+        for atom in atoms:
+            self._note(atom, f"bound to global '{name}'")
+            if atom.kind == "obj" and atom.oid not in self.obj_labels:
+                self.obj_labels[atom.oid] = name
+
+    def _lookup(self, frame_id: int, name: str) -> Optional[Atoms]:
+        fid = frame_id
+        while fid != -1:
+            frame = self.frames[fid]
+            if name in frame.vars:
+                return frame.vars[name]
+            if name in frame.names:
+                return {PRIM}  # declared but not yet assigned
+            fid = frame.parent
+        return self.globals.get(name)
+
+    # -- heap -------------------------------------------------------------- #
+
+    def _alloc(self, node: ast.JSNode, cell: _Cell) -> int:
+        memo_key = (node.node_id, cell.key)
+        oid = self.obj_memo.get(memo_key)
+        if oid is None:
+            if len(self.heap) >= MAX_OBJECTS:
+                raise _Bail("object budget exhausted")
+            oid = self.next_oid
+            self.next_oid += 1
+            self.obj_memo[memo_key] = oid
+            self.heap[oid] = {}
+            self._mark()
+        return oid
+
+    def _escape_obj(self, oid: int) -> None:
+        if oid in self.escaped_objs:
+            return
+        self.escaped_objs.add(oid)
+        self._mark()
+        for atoms in list(self.heap.get(oid, {}).values()):
+            for atom in atoms:
+                self._escape(atom, f"stored in escaped object "
+                                   f"{self.obj_labels.get(oid, oid)}")
+
+    def _escape(self, atom: Atom, reason: str) -> None:
+        if atom.kind == "obj":
+            self._escape_obj(atom.oid)
+            return
+        if atom.kind != "fn":
+            return
+        if atom not in self.escaped:
+            self.escaped.add(atom)
+            self.escape_reasons.setdefault(atom.fid, reason)
+            self._note(atom, f"escaped: {reason}")
+            self._mark()
+
+    def _store(self, oid: int, key: str, atoms: Atoms, cell: _Cell) -> None:
+        props = self.heap.setdefault(oid, {})
+        slot = props.setdefault(key, set())
+        before = len(slot)
+        slot |= atoms
+        if len(slot) != before:
+            self._mark()
+        self.cell_stores.setdefault(cell.key, set()).add((oid, key))
+        label = self.obj_labels.get(oid, f"<obj#{oid}>")
+        for atom in atoms:
+            self._note(atom, f"stored at {label}['{key}']")
+        if oid in self.escaped_objs:
+            for atom in atoms:
+                self._escape(atom, f"stored in escaped object {label}")
+
+    def _load(self, oid: int, key: Optional[str], ctx: str) -> Atoms:
+        loads = self.obj_loads.setdefault(oid, {})
+        loads.setdefault(key if key is not None else "*", set()).add(ctx)
+        props = self.heap.get(oid, {})
+        out: Atoms = set()
+        if key is None:
+            for atoms in props.values():
+                out |= atoms
+            out.add(PRIM)
+        else:
+            out |= props.get(key, set())
+            out |= props.get("*", set())
+            if key not in props:
+                out.add(PRIM)
+        if oid in self.escaped_objs:
+            out.add(UNKNOWN)
+        return out
+
+    # -- sites -------------------------------------------------------------- #
+
+    def _site(self, node: ast.Call, cell: _Cell, callee: str,
+              kind: str) -> CallSite:
+        site = self.sites.get(node.node_id)
+        if site is None:
+            site = CallSite(node_id=node.node_id, script=cell.script,
+                            region=cell.region, span=node.span,
+                            callee=callee, kind=kind)
+            self.sites[node.node_id] = site
+            self._mark()
+        return site
+
+    def _site_target(self, site: CallSite, atom: Atom) -> None:
+        if atom.fid not in site.targets:
+            site.targets.add(atom.fid)
+            site.chains[atom.fid] = self._chain_text(atom)
+            self._mark()
+
+    def _site_incomplete(self, site: CallSite) -> None:
+        if not site.incomplete:
+            site.incomplete = True
+            self._mark()
+
+    # -- registration ------------------------------------------------------- #
+
+    def _register(self, atoms: Atoms, how: str) -> None:
+        for atom in atoms:
+            if atom.kind == "fn":
+                if atom not in self.registered:
+                    self.registered.add(atom)
+                    self._note(atom, f"registered as {how}")
+                    self._mark()
+            elif atom is UNKNOWN:
+                pass  # registering an untracked value invokes nothing we own
+            elif atom.kind == "obj":
+                self._escape_obj(atom.oid)
+
+    # -- function calls ------------------------------------------------------ #
+
+    def _call_function(self, atom: Atom, args: List[Atoms],
+                       caller: _Cell, site: Optional[CallSite]) -> Atoms:
+        self._step()
+        fid = atom.fid
+        node = self.fn_nodes.get(fid)
+        if node is None:
+            raise _Bail(f"unknown function id {fid}")
+        params = node.params
+        padded = [set(a) for a in args[: len(params)]]
+        while len(padded) < len(params):
+            padded.append({PRIM})
+        argkey = tuple(_abstract(a) for a in padded)
+        key: CellKey = ("fn", fid, atom.env, argkey)
+
+        cell = self.cells.get(key)
+        if cell is None:
+            if len(self.cells) >= MAX_CELLS:
+                raise _Bail("cell budget exhausted")
+            names = _declared_names(node.body) | set(params)
+            frame_id = self._new_frame(atom.env, names)
+            cell = _Cell(key=key, script=self.fn_script.get(fid, "?"),
+                         region=("fn", str(fid)), frame=frame_id,
+                         body=node.body)
+            self.cells[key] = cell
+            self._mark()
+        frame = self.frames[cell.frame]
+        for pname, atoms in zip(params, padded):
+            slot = frame.vars.setdefault(pname, set())
+            before = len(slot)
+            slot |= atoms
+            if len(slot) != before:
+                self._mark()
+
+        if fid not in self.invoked:
+            self.invoked.add(fid)
+            self._mark()
+        self.cell_calls.setdefault(caller.key, set()).add(key)
+        if site is not None:
+            self.site_cells.setdefault(site.node_id, set()).add(key)
+            self._site_target(site, atom)
+
+        if not cell.evaluating and cell.round_mark != self.round:
+            cell.round_mark = self.round
+            cell.evaluating = True
+            try:
+                self._hoist(cell)
+                self._exec_stmts(cell.body, cell)
+            finally:
+                cell.evaluating = False
+        return set(cell.returns)
+
+    def _invoke(self, callees: Atoms, args: List[Atoms], cell: _Cell,
+                site: Optional[CallSite]) -> Atoms:
+        """Dispatch a resolved callee set; returns the abstract result."""
+        result: Atoms = set()
+        for atom in callees:
+            if atom.kind == "fn":
+                result |= self._call_function(atom, args, cell, site)
+            elif atom is UNKNOWN:
+                if site is not None:
+                    self._site_incomplete(site)
+                for arg in args:
+                    for a in arg:
+                        self._escape(a, "passed through an unresolved callee")
+                result.add(UNKNOWN)
+            # str/num/prim/obj callees throw at runtime: no flow.
+        return result
+
+    def _hoist(self, cell: _Cell) -> None:
+        for decl in _hoisted_decls(cell.body):
+            fid = self.fid_by_node.get(decl.func.node_id)
+            if fid is None:
+                raise _Bail("function declaration missing from scan")
+            atom = _fn(fid, cell.frame)
+            if decl.func.name:
+                self._bind(cell.frame, decl.func.name, {atom}, cell)
+
+    # -- statements ----------------------------------------------------------- #
+
+    def _exec_stmts(self, body: Sequence[ast.JSNode], cell: _Cell) -> None:
+        for stmt in body:
+            self._exec(stmt, cell)
+
+    def _exec(self, stmt: ast.JSNode, cell: _Cell) -> None:
+        self._step()
+        if isinstance(stmt, ast.VarDecl):
+            atoms = self._eval(stmt.init, cell) if stmt.init else {PRIM}
+            self._bind(cell.frame, stmt.name, atoms, cell)
+        elif isinstance(stmt, ast.FunctionDecl):
+            pass  # bound at hoist time
+        elif isinstance(stmt, ast.ExpressionStmt):
+            self._eval(stmt.expr, cell)
+        elif isinstance(stmt, ast.IfStmt):
+            self._eval(stmt.test, cell)
+            self._exec_stmts(stmt.consequent, cell)
+            self._exec_stmts(stmt.alternate, cell)
+        elif isinstance(stmt, (ast.WhileStmt, ast.DoWhileStmt)):
+            self._eval(stmt.test, cell)
+            self._exec_stmts(stmt.body, cell)
+        elif isinstance(stmt, ast.ForStmt):
+            if isinstance(stmt.init, ast.VarDecl):
+                self._exec(stmt.init, cell)
+            elif stmt.init is not None:
+                self._eval(stmt.init, cell)
+            if stmt.test is not None:
+                self._eval(stmt.test, cell)
+            self._exec_stmts(stmt.body, cell)
+            if stmt.update is not None:
+                self._eval(stmt.update, cell)
+        elif isinstance(stmt, ast.ForInStmt):
+            obj_atoms = self._eval(stmt.obj, cell)
+            for atom in obj_atoms:
+                if atom.kind == "obj":
+                    self._load(atom.oid, None, "read")
+            self._bind(cell.frame, stmt.name, {UNKNOWN}, cell)
+            self._exec_stmts(stmt.body, cell)
+        elif isinstance(stmt, ast.SwitchStmt):
+            self._eval(stmt.discriminant, cell)
+            for test, case_body in stmt.cases:
+                if test is not None:
+                    self._eval(test, cell)
+                self._exec_stmts(case_body, cell)
+        elif isinstance(stmt, ast.ReturnStmt):
+            atoms = self._eval(stmt.value, cell) if stmt.value else {PRIM}
+            before = len(cell.returns)
+            cell.returns |= atoms
+            if len(cell.returns) != before:
+                self._mark()
+        elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            pass
+        elif isinstance(stmt, ast.ThrowStmt):
+            for atom in self._eval(stmt.value, cell):
+                self._escape(atom, "thrown as an exception")
+        elif isinstance(stmt, ast.TryStmt):
+            self._exec_stmts(stmt.block, cell)
+            if stmt.param:
+                self._bind(cell.frame, stmt.param, {UNKNOWN}, cell)
+            self._exec_stmts(stmt.handler, cell)
+            self._exec_stmts(stmt.finally_body, cell)
+        elif isinstance(stmt, ast.FunctionExpr):
+            self._eval(stmt, cell)
+        else:
+            raise _Bail(f"unsupported statement {type(stmt).__name__}")
+
+    # -- expressions ------------------------------------------------------------ #
+
+    def _eval(self, node: ast.JSNode, cell: _Cell) -> Atoms:
+        self._step()
+        if isinstance(node, ast.Literal):
+            value = node.value
+            if isinstance(value, str):
+                return {_str(value)}
+            if isinstance(value, bool) or value is None:
+                return {PRIM}
+            if isinstance(value, (int, float)):
+                return {_num(float(value))}
+            return {PRIM}
+        if isinstance(node, ast.Identifier):
+            found = self._lookup(cell.frame, node.name)
+            return set(found) if found is not None else {UNKNOWN}
+        if isinstance(node, ast.ThisExpr):
+            return {UNKNOWN}
+        if isinstance(node, ast.ArrayLiteral):
+            oid = self._alloc(node, cell)
+            for index, element in enumerate(node.elements):
+                self._store(oid, str(index), self._eval(element, cell), cell)
+            return {_obj(oid)}
+        if isinstance(node, ast.ObjectLiteral):
+            oid = self._alloc(node, cell)
+            for key, value in node.entries:
+                self._store(oid, key, self._eval(value, cell), cell)
+            return {_obj(oid)}
+        if isinstance(node, ast.FunctionExpr):
+            fid = self.fid_by_node.get(node.node_id)
+            if fid is None:
+                raise _Bail("function expression missing from scan")
+            atom = _fn(fid, cell.frame)
+            self._note(atom, f"defined in {cell.script}")
+            return {atom}
+        if isinstance(node, ast.Unary):
+            self._eval(node.operand, cell)
+            return {PRIM}
+        if isinstance(node, ast.Binary):
+            return self._eval_binary(node, cell)
+        if isinstance(node, ast.Logical):
+            return self._eval(node.left, cell) | self._eval(node.right, cell)
+        if isinstance(node, ast.Conditional):
+            self._eval(node.test, cell)  # truthiness only: no escape
+            return (self._eval(node.consequent, cell)
+                    | self._eval(node.alternate, cell))
+        if isinstance(node, ast.Assignment):
+            return self._eval_assignment(node, cell)
+        if isinstance(node, ast.UpdateExpr):
+            target = node.target
+            if isinstance(target, ast.Identifier):
+                self._bind(cell.frame, target.name, {PRIM}, cell)
+            elif isinstance(target, ast.Member):
+                self._member_selfupdate(target, cell)
+            else:
+                raise _Bail("unsupported update target")
+            return {PRIM}
+        if isinstance(node, ast.Member):
+            return self._eval_member_load(node, cell, "read")
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, cell)
+        raise _Bail(f"unsupported expression {type(node).__name__}")
+
+    def _eval_binary(self, node: ast.Binary, cell: _Cell) -> Atoms:
+        left = self._eval(node.left, cell)
+        right = self._eval(node.right, cell)
+        if node.op == "+" and len(left) == 1 and len(right) == 1:
+            lhs, rhs = next(iter(left)), next(iter(right))
+            if lhs.kind == "str" and rhs.kind == "str":
+                text = lhs.text + rhs.text
+                return {_str(text)} if len(text) <= MAX_STR_LEN else {PRIM}
+            if lhs.kind == "num" and rhs.kind == "num":
+                return {_num(lhs.num + rhs.num)}
+            if lhs.kind == "str" and rhs.kind == "num":
+                text = lhs.text + (str(int(rhs.num))
+                                   if float(rhs.num).is_integer()
+                                   else str(rhs.num))
+                return {_str(text)} if len(text) <= MAX_STR_LEN else {PRIM}
+        return {PRIM}
+
+    def _eval_assignment(self, node: ast.Assignment, cell: _Cell) -> Atoms:
+        target = node.target
+        if isinstance(target, ast.Identifier):
+            if node.op == "=":
+                atoms = self._eval(node.value, cell)
+                self._bind(cell.frame, target.name, atoms, cell)
+                return set(atoms)
+            self._eval(node.value, cell)
+            self._bind(cell.frame, target.name, {PRIM}, cell)
+            return {PRIM}
+        if isinstance(target, ast.Member):
+            if node.op == "=":
+                atoms = self._eval(node.value, cell)
+                self._member_store(target, atoms, cell)
+                return set(atoms)
+            self._eval(node.value, cell)
+            self._member_selfupdate(target, cell)
+            return {PRIM}
+        raise _Bail("unsupported assignment target")
+
+    # -- member access ------------------------------------------------------------ #
+
+    def _member_parts(self, node: ast.Member,
+                      cell: _Cell) -> Tuple[Atoms, Optional[str]]:
+        base = self._eval(node.obj, cell)
+        if node.prop is not None:
+            return base, node.prop
+        index = self._eval(node.index, cell) if node.index is not None else set()
+        return base, _prop_key(index)
+
+    def _eval_member_load(self, node: ast.Member, cell: _Cell,
+                          ctx: str) -> Atoms:
+        base, key = self._member_parts(node, cell)
+        out: Atoms = set()
+        for atom in base:
+            if atom.kind == "obj":
+                out |= self._load(atom.oid, key, ctx)
+            elif atom is UNKNOWN:
+                out.add(UNKNOWN)
+            else:
+                out.add(PRIM)  # property of a primitive
+        return out or {PRIM}
+
+    def _member_store(self, node: ast.Member, atoms: Atoms,
+                      cell: _Cell) -> None:
+        base, key = self._member_parts(node, cell)
+        for atom in base:
+            if atom.kind == "obj":
+                self._store(atom.oid, key if key is not None else "*",
+                            atoms, cell)
+            elif atom is UNKNOWN:
+                # Sentinel (-1, "*"): this cell writes somewhere we cannot
+                # name — any observability proof over its stores must fail.
+                self.cell_stores.setdefault(cell.key, set()).add((-1, "*"))
+                for stored in atoms:
+                    self._escape(stored, "stored through an untracked base")
+        # stores on primitives are lost at runtime: nothing flows
+
+    def _member_selfupdate(self, node: ast.Member, cell: _Cell) -> None:
+        """Compound update ``obj.key += v`` — read + write of primitives."""
+        base, key = self._member_parts(node, cell)
+        for atom in base:
+            if atom.kind == "obj":
+                self._load(atom.oid, key, "selfupdate")
+                self._store(atom.oid, key if key is not None else "*",
+                            {PRIM}, cell)
+            elif atom is UNKNOWN:
+                self.cell_stores.setdefault(cell.key, set()).add((-1, "*"))
+
+    # -- calls ------------------------------------------------------------------- #
+
+    def _eval_call(self, node: ast.Call, cell: _Cell) -> Atoms:
+        callee = node.callee
+        if isinstance(callee, ast.Identifier):
+            return self._call_identifier(node, callee, cell)
+        if isinstance(callee, ast.Member):
+            return self._call_member(node, callee, cell)
+        # IIFE or computed callee expression
+        callees = self._eval(callee, cell)
+        args = [self._eval(arg, cell) for arg in node.args]
+        kind = "new" if node.is_new else "call"
+        site = self._site(node, cell, "<expression>", kind)
+        result = self._invoke(callees, args, cell, site)
+        return {UNKNOWN} if node.is_new else (result or {PRIM})
+
+    def _call_identifier(self, node: ast.Call, callee: ast.Identifier,
+                         cell: _Cell) -> Atoms:
+        bound = self._lookup(cell.frame, callee.name)
+        if bound is not None:
+            args = [self._eval(arg, cell) for arg in node.args]
+            kind = "new" if node.is_new else "call"
+            site = self._site(node, cell, callee.name, kind)
+            result = self._invoke(set(bound), args, cell, site)
+            return {UNKNOWN} if node.is_new else (result or {PRIM})
+        if callee.name in TIMER_FUNCTIONS:
+            args = [self._eval(arg, cell) for arg in node.args]
+            if args:
+                self._register(args[0], f"{callee.name} callback")
+            for extra in args[1:]:
+                for atom in extra:
+                    self._escape(atom, f"passed to {callee.name}")
+            return {PRIM}
+        # Unknown global callee: arguments leave the analyzable subset.
+        args = [self._eval(arg, cell) for arg in node.args]
+        site = self._site(node, cell, callee.name, "call")
+        self._site_incomplete(site)
+        for arg in args:
+            for atom in arg:
+                self._escape(atom, f"passed to unknown callee '{callee.name}'")
+        return {UNKNOWN}
+
+    def _call_member(self, node: ast.Call, callee: ast.Member,
+                     cell: _Cell) -> Atoms:
+        base = self._eval(callee.obj, cell)
+        if callee.index is not None:
+            index_atoms = self._eval(callee.index, cell)
+            prop = _prop_key(index_atoms)
+        else:
+            prop = callee.prop
+
+        if prop == "addEventListener":
+            args = [self._eval(arg, cell) for arg in node.args]
+            if len(args) > 1:
+                self._register(args[1], "event handler")
+            return {PRIM}
+
+        if prop in CALLBACK_METHODS:
+            args = [self._eval(arg, cell) for arg in node.args]
+            site = self._site(node, cell, f".{prop}", "callback")
+            element_atoms: Atoms = {UNKNOWN}
+            for atom in base:
+                if atom.kind == "obj":
+                    element_atoms |= self._load(atom.oid, None, "read")
+                elif atom is UNKNOWN:
+                    self._site_incomplete(site)
+            result: Atoms = set()
+            if args:
+                cb_args = [element_atoms, {UNKNOWN}, {UNKNOWN}]
+                returned = self._invoke(args[0], cb_args, cell, site)
+                for atom in returned:
+                    self._escape(atom, f"returned from a .{prop} callback")
+                result.add(UNKNOWN)
+            for extra in args[1:]:
+                for atom in extra:
+                    self._escape(atom, f"passed to .{prop}")
+            return result or {PRIM}
+
+        if prop in ("push", "unshift"):
+            args = [self._eval(arg, cell) for arg in node.args]
+            for atom in base:
+                if atom.kind == "obj":
+                    for arg in args:
+                        self._store(atom.oid, "*", arg, cell)
+                elif atom is UNKNOWN:
+                    self.cell_stores.setdefault(cell.key, set()).add((-1, "*"))
+                    for arg in args:
+                        for stored in arg:
+                            self._escape(stored,
+                                         "pushed into an untracked array")
+            return {PRIM}
+
+        if prop in ("pop", "shift"):
+            out: Atoms = set()
+            for atom in base:
+                if atom.kind == "obj":
+                    out |= self._load(atom.oid, None, "read")
+                elif atom is UNKNOWN:
+                    out.add(UNKNOWN)
+            return out or {PRIM}
+
+        # Generic method call: resolve through the abstract heap.
+        args = [self._eval(arg, cell) for arg in node.args]
+        label = f".{prop}" if prop is not None else ".<computed>"
+        kind = "new" if node.is_new else "method"
+        site = self._site(node, cell, label, kind)
+        result = set()
+        for atom in base:
+            if atom.kind == "obj":
+                loaded = self._load(atom.oid, prop, "read")
+                result |= self._invoke(loaded, args, cell, site)
+            else:
+                # Builtin / untracked receiver: the method may invoke any
+                # function argument (e.g. String.replace callbacks).
+                self._site_incomplete(site)
+                for arg in args:
+                    for stored in arg:
+                        self._escape(stored, f"passed to builtin {label}()")
+                result.add(UNKNOWN)
+        return {UNKNOWN} if node.is_new else (result or {PRIM})
+
+    # -- driver ------------------------------------------------------------------ #
+
+    def _top_cell(self, url: str) -> _Cell:
+        key: CellKey = ("top", url)
+        cell = self.cells.get(key)
+        if cell is None:
+            program = self.programs[url]
+            frame_id = self._new_frame(-1, set())
+            cell = _Cell(key=key, script=url, region=("top", url),
+                         frame=frame_id, body=program.body)
+            self.cells[key] = cell
+        return cell
+
+    def run(self) -> None:
+        while True:
+            self.round += 1
+            if self.round > MAX_ROUNDS:
+                raise _Bail("round budget exhausted")
+            self.changed = False
+            for url in self.graph.scripts:
+                cell = self._top_cell(url)
+                cell.round_mark = self.round
+                cell.evaluating = True
+                try:
+                    self._hoist(cell)
+                    self._exec_stmts(cell.body, cell)
+                finally:
+                    cell.evaluating = False
+            for atom in list(self.registered | self.escaped):
+                params = self.fn_nodes[atom.fid].params
+                self._call_function(atom, [{UNKNOWN}] * len(params),
+                                    self.event_cell, None)
+            if not self.changed:
+                break
+
+    def result(self) -> ValueFlowResult:
+        registered_fids = {a.fid for a in self.registered}
+        escaped_fids = {a.fid for a in self.escaped}
+        live = self.invoked | registered_fids | escaped_fids
+        return ValueFlowResult(
+            ok=True,
+            rounds=self.round,
+            live_fids=live,
+            invoked_fids=set(self.invoked),
+            registered_fids=registered_fids,
+            escaped_fids=escaped_fids,
+            escape_reasons=dict(self.escape_reasons),
+            sites=self.sites,
+            cell_stores=self.cell_stores,
+            obj_loads=self.obj_loads,
+            site_cells=self.site_cells,
+            cell_calls=self.cell_calls,
+            cell_gwrites=self.cell_gwrites,
+            escaped_objs=self.escaped_objs,
+            obj_labels=self.obj_labels,
+        )
+
+
+def resolve_value_flow(graph: CallGraph,
+                       programs: Dict[str, ast.Program]) -> ValueFlowResult:
+    """Run the value-flow analysis over an already-scanned call graph.
+
+    Returns a failed result (``ok=False``) — and the caller must fall
+    back to the edge-fixpoint liveness — if any script uses a construct
+    the interpreter does not model or an analysis budget is exhausted.
+    """
+    try:
+        interp = _Interp(graph, programs)
+        interp.run()
+        return interp.result()
+    except _Bail as bail:
+        return ValueFlowResult(ok=False, reason=str(bail))
+    except RecursionError:
+        return ValueFlowResult(ok=False, reason="recursion limit")

@@ -4,13 +4,17 @@ Usage::
 
     python -m repro.optimize run <workload> [...]
     python -m repro.optimize plan <workload> [...]
+    python -m repro.optimize plan --json <workload> [...]
 
 ``run`` executes the full optimize-and-verify cycle for each named
 workload: plan all five transform passes against the original run's
 evidence, re-execute the transformed workload, and assert the per-frame
 framebuffer digests are byte-identical with zero dead-function
 trip-wire hits.  ``plan`` prints the planned rewrites (applied and
-refused, with their proof obligations) without the verification re-run.
+refused, with their proof obligations) without the verification re-run;
+``plan --json`` emits the same decisions machine-readably, with the
+applied and refused lists sorted so plans from different analysis
+versions diff cleanly.
 
 Unknown workload names exit with status 2 — uniformly with the other
 CLI front ends.
@@ -53,15 +57,14 @@ def _run(names: List[str]) -> int:
     return status
 
 
-def _plan(names: List[str]) -> int:
+def _plan(names: List[str], as_json: bool = False) -> int:
     from ..jsstatic.compare import benchmark_sources
     from ..workloads import benchmark
-    from .report import plan_report
+    from .report import plan_json, plan_report
     from .transforms import plan_scripts
 
+    payloads = []
     for i, name in enumerate(names):
-        if i:
-            print()
         bench = benchmark(name)
         late = {
             url for batch in bench.late_scripts.values() for url in batch
@@ -69,17 +72,34 @@ def _plan(names: List[str]) -> int:
         plan = plan_scripts(
             name, benchmark_sources(bench), late_urls=late
         )
-        print(plan_report(plan))
+        if as_json:
+            payloads.append(plan_json(plan))
+        else:
+            if i:
+                print()
+            print(plan_report(plan))
+    if as_json:
+        import json
+
+        print(json.dumps(payloads, indent=2))
     return 0
 
 
 def main(argv: List[str]) -> int:
     if len(argv) >= 2 and argv[0] in _COMMANDS:
-        names = argv[1:]
+        rest = argv[1:]
+        as_json = "--json" in rest
+        names = [a for a in rest if a != "--json"]
+        if not names:
+            print(__doc__)
+            return 2
+        if as_json and argv[0] == "run":
+            print(__doc__)
+            return 2
         status = _validate(names)
         if status:
             return status
-        return _run(names) if argv[0] == "run" else _plan(names)
+        return _run(names) if argv[0] == "run" else _plan(names, as_json)
     print(__doc__)
     return 2
 

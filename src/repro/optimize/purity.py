@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Set, Tuple
 
 from ..browser.js import ast
 from ..jsstatic.callgraph import (
@@ -139,6 +139,12 @@ class _EffectScanner:
         self.fresh_locals: Set[str] = set()
         #: called global names, resolved interprocedurally later
         self.called_names: Set[str] = set()
+        #: (name, call node) for identifier calls — lets the page-level
+        #: pass consult value-flow call-site resolutions
+        self.named_calls: List[Tuple[str, ast.Call]] = []
+        #: (".prop", call node) for method calls with unmodeled receivers;
+        #: unknown unless value flow resolved the site
+        self.unknown_method_calls: List[Tuple[str, ast.Call]] = []
 
     def scan_body(self, body: List[ast.JSNode]) -> None:
         self.fresh_locals = _fresh_locals(body, self.locals)
@@ -226,6 +232,7 @@ class _EffectScanner:
                 self.info.registers.add("timer")
             elif name not in _BUILTIN_GLOBALS:
                 self.called_names.add(name)
+                self.named_calls.append((name, node))
         elif isinstance(callee, ast.Member):
             prop = callee.prop
             if prop == "addEventListener":
@@ -254,10 +261,14 @@ class _EffectScanner:
                         self.info.global_writes.add(callee.obj.name)
                     else:
                         self.info.global_writes.add("*")
-            elif prop in _KNOWN_METHODS or prop is None:
-                pass  # bounded effects (or a computed member, scanned below)
+            elif prop in _KNOWN_METHODS:
+                pass  # bounded effects
+            elif prop is None:
+                # Computed-member call: may invoke any stored function.
+                # Unknown unless value flow resolved the site.
+                self.unknown_method_calls.append((".<computed>", node))
             else:
-                self.info.unknown_calls.add(f".{prop}")
+                self.unknown_method_calls.append((f".{prop}", node))
             self.scan(callee.obj)
             if callee.index is not None:
                 self.scan(callee.index)
@@ -408,14 +419,40 @@ def analyze_page_purity(
         scanner = _EffectScanner(info, local_names)
         scanner.scan_body(body)
         callees: Set[RegionKey] = set()
-        for name in scanner.called_names:
+        flow = graph.valueflow if (
+            graph.valueflow is not None and graph.valueflow.ok
+        ) else None
+
+        def _resolved_site(call: ast.Call) -> "List[int] | None":
+            """Value-flow target fids when the site is fully resolved."""
+            if flow is None:
+                return None
+            site = flow.sites.get(call.node_id)
+            if site is None or site.incomplete:
+                return None
+            return sorted(site.targets)
+
+        for name, call in scanner.named_calls:
+            targets = _resolved_site(call)
+            if targets is not None:
+                callees.update(("fn", str(fid)) for fid in targets)
+                continue
             fids = by_name.get(name)
             if fids:
                 callees.update(("fn", str(fid)) for fid in fids)
             else:
                 info.unknown_calls.add(name)
+        for label, call in scanner.unknown_method_calls:
+            targets = _resolved_site(call)
+            if targets is not None:
+                callees.update(("fn", str(fid)) for fid in targets)
+            else:
+                info.unknown_calls.add(label)
         for kind, fid in graph.value_edges.get(key, ()):
-            if kind in (EdgeKind.DIRECT, EdgeKind.CALLBACK):
+            # VFLOW edges are resolved synchronous invocations from this
+            # region — their effects belong in its summary just like a
+            # direct call's (IIFEs and calls through data structures).
+            if kind in (EdgeKind.DIRECT, EdgeKind.CALLBACK, EdgeKind.VFLOW):
                 callees.add(("fn", str(fid)))
         for kind, name in graph.name_edges.get(key, ()):
             if kind == EdgeKind.CALLBACK:

@@ -2,10 +2,52 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
-from .transforms import OptimizationPlan, ProofCategory
+from .transforms import OptimizationPlan, ProofCategory, Rewrite
 from .verify import VerificationResult
+
+
+def _rewrite_json(r: Rewrite) -> Dict[str, object]:
+    return {
+        "pass": r.pass_name,
+        "script": r.script,
+        "target": r.target,
+        "span": list(r.span),
+        "category": r.proof.category.value,
+        "obligation": r.proof.obligation,
+        "evidence": r.proof.evidence,
+    }
+
+
+def plan_json(plan: OptimizationPlan) -> Dict[str, object]:
+    """Machine-readable plan: applied rewrites plus the refusal list.
+
+    Both lists are sorted by (pass, script, span) so two plans diff
+    cleanly — the refusal list is the artifact later analysis passes
+    burn down, so its order must not depend on planning internals.
+    """
+    order = (lambda r: (r.pass_name, r.script, r.span))
+    applied = sorted(plan.applied(), key=order)
+    refused = sorted(plan.refused(), key=order)
+    return {
+        "benchmark": plan.benchmark,
+        "applied": [_rewrite_json(r) for r in applied],
+        "refused": [_rewrite_json(r) for r in refused],
+        "summary": {
+            "applied": len(applied),
+            "refused": len(refused),
+            "proven_safe": sum(
+                1 for r in applied
+                if r.proof.category is ProofCategory.PROVEN_SAFE
+            ),
+            "dynamically_safe": sum(
+                1 for r in applied
+                if r.proof.category is ProofCategory.DYNAMICALLY_SAFE
+            ),
+            "deferred_scripts": sorted(plan.deferred_urls()),
+        },
+    }
 
 
 def plan_report(plan: OptimizationPlan) -> str:

@@ -51,6 +51,7 @@ from ..browser.js import ast
 from ..browser.js.codegen import generate
 from ..jsstatic.analyzer import PageAnalysis, analyze_page
 from ..jsstatic.callgraph import EdgeKind, FunctionInfo, RegionKey
+from ..jsstatic.valueflow import ValueFlowResult
 from .purity import (
     PurityAnalysis,
     PurityInfo,
@@ -634,7 +635,12 @@ def _confinement_failure(
         for region, vedges in graph.value_edges.items():
             if region in closure:
                 continue
-            if any(fid == info.fid for _k, fid in vedges):
+            # VFLOW edges are resolved *invocations* (already covered by
+            # the call-count check below), not value escapes.
+            if any(
+                fid == info.fid and kind is not EdgeKind.VFLOW
+                for kind, fid in vedges
+            ):
                 return f"{info.label()} escapes by value outside the closure"
         for region, nedges in graph.name_edges.items():
             if region in closure:
@@ -693,6 +699,99 @@ def _phase2_confinement(
             return keep, refusals
         refusals.extend(dropped)
         current = keep
+
+
+def _valueflow_discharge(
+    cand: _Candidate,
+    flow: "ValueFlowResult",
+    purity: PurityAnalysis,
+    fn_by_fid: Dict[int, FunctionInfo],
+    fid_of: Dict[int, int],
+    obs: ObservabilityIndex,
+) -> Optional[str]:
+    """Obligation text if value flow proves a refused candidate safe.
+
+    The phase-1/2 proof fails whenever an argument is a ``FunctionExpr``
+    (lazy-widget registrations) or a written global is read outside the
+    closure.  Value flow can still discharge the candidate when:
+
+    * the call site resolves completely to the candidate's callees;
+    * every argument is effect-free, or is a function value the resolved
+      program never invokes, registers, or leaks;
+    * the resolved closure does no DOM/IO/registration/unknown work and
+      cannot throw;
+    * every global binding and property store performed by the cells the
+      call (transitively) enters is unobservable: properties of tracked,
+      non-escaping objects that are never read — or only read by compound
+      self-updates (``obj.count += 1``) whose results feed no other read.
+
+    Removing such a statement is strictly behavior-shrinking, so the
+    facts (computed over the original program) stay valid for the
+    transformed one.
+    """
+    site = flow.sites.get(cand.call.node_id)
+    if site is None or site.incomplete or not site.targets:
+        return None
+    if not set(site.targets) <= set(cand.fids):
+        return None
+
+    never_run: List[int] = []
+    for arg in cand.call.args:
+        if isinstance(arg, ast.FunctionExpr):
+            arg_fid = fid_of.get(id(arg))
+            if arg_fid is None or arg_fid in flow.live_fids:
+                return None
+            never_run.append(arg_fid)
+        elif not _effect_free(arg):
+            return None
+
+    if cand.dead_store is not None:
+        if cand.fn_body is not None:
+            if _count_mentions(cand.fn_body, cand.dead_store, cand.stmt):
+                return None
+        elif obs.reads.get(cand.dead_store):
+            return None
+
+    joined = PurityInfo()
+    for fid in site.targets:
+        joined.join(purity.of_function(fid))
+    if joined.dom_write or joined.io or joined.registers or joined.unknown_calls:
+        return None
+
+    cells = flow.transitive_cells(cand.call.node_id)
+    confined: Set[str] = set()
+    for cell in cells:
+        if flow.cell_gwrites.get(cell):
+            return None
+        if cell and cell[0] == "fn":
+            info = fn_by_fid.get(int(str(cell[1])))
+            if info is not None and _has_throw(info.node.body):
+                return None
+        for oid, key in flow.cell_stores.get(cell, ()):
+            if flow.unobservable_store(oid, key) is not None:
+                return None
+            confined.add(f"{flow.label_for(oid)}.{key}")
+
+    targets = ", ".join(
+        fn_by_fid[fid].label() for fid in sorted(site.targets)
+    )
+    parts = [f"call resolves only to [{targets}]"]
+    if never_run:
+        names = ", ".join(
+            fn_by_fid[fid].label() for fid in sorted(never_run)
+        )
+        parts.append(
+            f"function argument(s) [{names}] are never invoked, "
+            "registered, or leaked anywhere in the resolved program"
+        )
+    if confined:
+        parts.append(
+            "stores are confined to never-read or self-update-only "
+            f"properties {sorted(confined)[:4]}"
+        )
+    else:
+        parts.append("the resolved closure performs no observable store")
+    return "; ".join(parts)
 
 
 def _remove_statements(
@@ -759,6 +858,23 @@ def eliminate_discarded_calls(
     )
     refusals.extend(confinement_refusals)
 
+    # Phase 3: value-flow discharge.  Strictly additive — it only moves
+    # candidates from refused to applied, and removing more discarded
+    # calls cannot invalidate the phase-1/2 proofs (fewer invocations).
+    rescued: List[Tuple[_Candidate, str]] = []
+    flow = graph.valueflow
+    if flow is not None and flow.ok:
+        remaining: List[Tuple[_Candidate, str]] = []
+        for cand, reason in refusals:
+            obligation = _valueflow_discharge(
+                cand, flow, purity, fn_by_fid, fid_of, obs
+            )
+            if obligation is None:
+                remaining.append((cand, reason))
+            else:
+                rescued.append((cand, obligation))
+        refusals = remaining
+
     for cand, reason in refusals:
         plans[cand.url].rewrites.append(
             Rewrite(
@@ -802,6 +918,21 @@ def eliminate_discarded_calls(
                     category=ProofCategory.PROVEN_SAFE,
                     obligation=obligation,
                     evidence="jsstatic:purity+observability",
+                ),
+            )
+        )
+    for cand, obligation in rescued:
+        remove_by_url.setdefault(cand.url, set()).add(cand.stmt.node_id)
+        plans[cand.url].rewrites.append(
+            Rewrite(
+                pass_name="discarded-call-elim",
+                script=cand.url,
+                target=cand.target,
+                span=cand.stmt.span,
+                proof=Proof(
+                    category=ProofCategory.PROVEN_SAFE,
+                    obligation=obligation,
+                    evidence="jsstatic:valueflow",
                 ),
             )
         )

@@ -81,6 +81,79 @@ def test_optimize_cli_usage_on_bad_args(capsys):
     assert optimize_main(["nope", "wiki_article"]) == 2
 
 
+def test_optimize_plan_json_is_machine_readable(capsys):
+    import json
+
+    from repro.optimize.__main__ import main as optimize_main
+
+    assert optimize_main(["plan", "--json", "wiki_article"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [p["benchmark"] for p in payload] == ["wiki_article"]
+    plan = payload[0]
+    assert set(plan) == {"benchmark", "applied", "refused", "summary"}
+    for rewrite in plan["applied"] + plan["refused"]:
+        assert set(rewrite) == {
+            "pass", "script", "target", "span", "category", "obligation",
+            "evidence",
+        }
+    # The refusal list is the diffable artifact: sorted deterministically.
+    keys = [(r["pass"], r["script"], tuple(r["span"])) for r in plan["refused"]]
+    assert keys == sorted(keys)
+    assert plan["summary"]["applied"] == len(plan["applied"])
+    assert plan["summary"]["refused"] == len(plan["refused"])
+
+
+def test_optimize_run_rejects_json(capsys):
+    from repro.optimize.__main__ import main as optimize_main
+
+    assert optimize_main(["run", "--json", "wiki_article"]) == 2
+
+
+@pytest.mark.parametrize("command", ["report", "analyze", "callgraph"])
+def test_jsstatic_cli_unknown_workload_exits_2(command, capsys):
+    """repro.jsstatic subcommands share the uniform exit-2 contract."""
+    from repro.jsstatic.__main__ import main as jsstatic_main
+
+    assert jsstatic_main([command, "no_such_workload"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown workload(s): no_such_workload" in err
+    assert "available" in err
+
+
+def test_jsstatic_callgraph_dumps_edges_with_provenance(capsys):
+    from repro.jsstatic.__main__ import main as jsstatic_main
+
+    assert jsstatic_main(["callgraph", "wiki_article"]) == 0
+    out = capsys.readouterr().out
+    assert "callgraph wiki_article" in out
+    assert "--" in out and "-->" in out
+    assert "call sites:" in out
+    assert "resolved" in out
+
+
+def test_jsstatic_callgraph_json_shape(capsys):
+    import json
+
+    from repro.jsstatic.__main__ import main as jsstatic_main
+
+    assert jsstatic_main(["callgraph", "--json", "wiki_article"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [p["benchmark"] for p in payload] == ["wiki_article"]
+    graph = payload[0]
+    assert graph["valueflow"]["ok"] is True
+    assert graph["liveness"] == "value-flow resolved"
+    kinds = {e["kind"] for e in graph["edges"]}
+    assert "vflow" in kinds
+    for edge in graph["edges"]:
+        assert {"region", "kind", "target"} <= set(edge)
+        if edge["kind"] == "vflow":
+            assert edge["provenance"]
+    for site in graph["call_sites"]:
+        assert site["status"] in ("resolved", "fallback")
+        assert {"script", "region", "span", "callee", "kind", "targets",
+                "chains"} <= set(site)
+
+
 def test_trace_collect_unknown_workload_exits_nonzero(tmp_path, capsys):
     from repro.trace.__main__ import main as trace_main
 

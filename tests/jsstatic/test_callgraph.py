@@ -68,14 +68,28 @@ def test_aliased_function_never_referenced_is_dead():
     assert _dead_names("var go = function () { return 1; };") == {"go"}
 
 
-def test_name_reference_without_call_keeps_function_live():
-    # The value may flow anywhere once its name is read.
+def test_name_reference_without_call_is_resolved_dead():
+    # Value flow tracks the array store: the function value sits in a
+    # tracked object that is never read back, so it can never run.
     src = "function maybe() { } var table = [maybe];"
-    assert _dead_names(src) == set()
+    assert _dead_names(src) == {"maybe"}
 
 
-def test_object_literal_method_escapes_and_stays_live():
-    src = "var api = { run: function () { work(); } };"
+def test_name_reference_without_call_stays_live_without_valueflow():
+    # The PR-2 edge fixpoint keeps the REF over-approximation.
+    src = "function maybe() { } var table = [maybe];"
+    graph = build_call_graph({"s.js": parse_js(src)}, resolve=False)
+    assert graph.dead_functions() == []
+
+
+def test_object_literal_method_never_loaded_is_dead():
+    graph = _graph("var api = { run: function () { work(); } };")
+    assert len(graph.functions) == 1
+    assert [f.fid for f in graph.dead_functions()] == [graph.functions[0].fid]
+
+
+def test_object_literal_method_called_through_property_is_live():
+    src = "var api = { run: function () { } }; api.run();"
     assert _dead_names(src) == set()
 
 
@@ -107,13 +121,19 @@ def test_edge_kinds_recorded():
 
 
 def test_escape_edge_for_function_in_array_literal():
-    # A FunctionExpr in a non-aliasing position must produce an ESCAPE
-    # value edge from the enclosing region to that function's value.
+    # The syntactic scanner still records the ESCAPE value edge (it is
+    # the fallback evidence), but value flow proves the array is never
+    # read, so the function resolves dead.
     graph = _graph("var table = [function () { work(); }];")
     edges = graph.value_edges[("top", "s.js")]
     assert len(graph.functions) == 1
     fid = graph.functions[0].fid
     assert (EdgeKind.ESCAPE, fid) in edges
+    assert [f.fid for f in graph.dead_functions()] == [fid]
+    graph = build_call_graph(
+        {"s.js": parse_js("var table = [function () { work(); }];")},
+        resolve=False,
+    )
     assert graph.dead_functions() == []
 
 

@@ -1,0 +1,297 @@
+"""Interprocedural value-flow analysis: resolution, escapes, fallbacks."""
+
+from repro.browser.js.parser import parse_js
+from repro.jsstatic import valueflow
+from repro.jsstatic.analyzer import analyze_page
+from repro.jsstatic.callgraph import EdgeKind, build_call_graph
+from repro.jsstatic.compare import call_site_verdicts
+from repro.jsstatic.valueflow import resolve_value_flow
+
+
+def _graph(source, url="s.js"):
+    return build_call_graph({url: parse_js(source)})
+
+
+def _flow(source, url="s.js"):
+    graph = _graph(source, url)
+    assert graph.valueflow is not None and graph.valueflow.ok
+    return graph, graph.valueflow
+
+
+def _dead_names(source):
+    graph = _graph(source)
+    return {f.label() for f in graph.dead_functions()}
+
+
+def _fid(graph, name):
+    infos = graph.functions_named(name)
+    assert len(infos) == 1, name
+    return infos[0].fid
+
+
+# -- resolution through assignments, properties, arrays, returns --------- #
+
+def test_alias_call_resolves_to_single_target():
+    graph, flow = _flow("function a() { } var b = a; b();")
+    fid = _fid(graph, "a")
+    assert fid in flow.invoked_fids
+    sites = [s for s in flow.sites.values() if s.callee == "b"]
+    assert len(sites) == 1
+    assert sites[0].status == "resolved"
+    assert sites[0].targets == {fid}
+    assert "bound to global 'b'" in sites[0].chains[fid]
+
+
+def test_property_store_then_load_invokes():
+    src = "var api = {}; api.run = function () { }; api.run();"
+    graph, flow = _flow(src)
+    assert flow.invoked_fids == {graph.functions[0].fid}
+    assert _dead_names(src) == set()
+
+
+def test_property_stored_never_loaded_is_dead():
+    src = "var api = {}; api.run = function () { };"
+    assert _dead_names(src) == {"<anonymous@25>"} or len(_dead_names(src)) == 1
+
+
+def test_array_element_call_resolves():
+    src = "function f() { } var t = [f]; t[0]();"
+    assert _dead_names(src) == set()
+
+
+def test_array_element_never_indexed_is_dead():
+    src = "function f() { } var t = [f];"
+    assert _dead_names(src) == {"f"}
+
+
+def test_computed_string_key_resolves():
+    src = (
+        "var reg = {};\n"
+        "reg['h' + 1] = function () { };\n"
+        "reg['h1']();\n"
+    )
+    assert _dead_names(src) == set()
+
+
+def test_returned_closure_is_invoked():
+    src = "function mk() { return function () { }; } var g = mk(); g();"
+    assert _dead_names(src) == set()
+
+
+def test_returned_closure_never_called_is_dead():
+    src = "function mk() { return function () { }; } var g = mk();"
+    dead = _dead_names(src)
+    assert len(dead) == 1 and "mk" not in dead
+
+
+def test_closure_captured_variable_resolves():
+    src = (
+        "function outer() {\n"
+        "  var helper = function () { };\n"
+        "  function inner() { helper(); }\n"
+        "  inner();\n"
+        "}\n"
+        "outer();\n"
+    )
+    assert _dead_names(src) == set()
+
+
+def test_callback_argument_flows_into_parameter():
+    src = (
+        "function call_it(cb) { cb(); }\n"
+        "call_it(function () { work_done(); });\n"
+        "function work_done() { }\n"
+    )
+    assert _dead_names(src) == set()
+
+
+def test_callback_argument_parked_unrun_is_dead():
+    # The lazy-widget shape: the handler is stored in a registry keyed
+    # by id and no activation ever reads it back.
+    src = (
+        "var handlers = {};\n"
+        "function register(id, fn) { handlers[id] = fn; }\n"
+        "register('w0', function () { heavy(); });\n"
+    )
+    dead = _dead_names(src)
+    assert "register" not in dead
+    assert len(dead) == 1  # the handler
+
+
+def test_context_sensitivity_separates_registrations():
+    # Two registrations through the same registrar: only the activated
+    # key's handler is live.
+    src = (
+        "var handlers = {};\n"
+        "function register(id, fn) { handlers[id] = fn; }\n"
+        "function activate(id) { handlers[id](); }\n"
+        "register('a', function () { ran_a(); });\n"
+        "register('b', function () { ran_b(); });\n"
+        "function ran_a() { }\n"
+        "function ran_b() { }\n"
+        "activate('a');\n"
+    )
+    dead = _dead_names(src)
+    assert "ran_a" not in dead
+    assert "ran_b" in dead
+
+
+# -- registrations and escapes ------------------------------------------- #
+
+def test_settimeout_argument_is_registered_live():
+    graph, flow = _flow("setTimeout(function () { tick(); }, 100);")
+    fid = graph.functions[0].fid
+    assert fid in flow.registered_fids
+    assert fid in flow.live_fids
+
+
+def test_add_event_listener_argument_is_registered_live():
+    src = "el.addEventListener('click', function (ev) { });"
+    graph, flow = _flow(src)
+    assert graph.functions[0].fid in flow.registered_fids
+
+
+def test_function_passed_to_unknown_callee_escapes():
+    graph, flow = _flow("function f() { } mystery(f);")
+    fid = _fid(graph, "f")
+    assert fid in flow.escaped_fids
+    assert fid in flow.live_fids
+    assert "mystery" in flow.escape_reasons[fid]
+    sites = [s for s in flow.sites.values() if s.callee == "mystery"]
+    assert sites and sites[0].status == "fallback"
+
+
+def test_function_stored_through_unknown_base_escapes():
+    graph, flow = _flow("function f() { } window.hook = f;")
+    assert _fid(graph, "f") in flow.escaped_fids
+
+
+def test_thrown_function_escapes():
+    graph, flow = _flow("function f() { } throw f;")
+    assert _fid(graph, "f") in flow.escaped_fids
+
+
+def test_escaped_function_body_reanalyzed_with_unknown_args():
+    # Once f escapes, anything *it* references must stay live too.
+    src = "function g() { } function f() { g(); } mystery(f);"
+    assert _dead_names(src) == set()
+
+
+def test_escaped_object_contents_escape():
+    src = (
+        "function f() { }\n"
+        "var box = { fn: f };\n"
+        "mystery(box);\n"
+    )
+    graph, flow = _flow(src)
+    fid = _fid(graph, "f")
+    assert fid in flow.escaped_fids
+    assert flow.escaped_objs
+
+
+# -- observability facts -------------------------------------------------- #
+
+def test_cold_store_is_unobservable():
+    src = "var o = {}; function w() { o.n = 1; } w();"
+    _graph_, flow = _flow(src)
+    stores = {s for key in flow.cell_stores.values() for s in key}
+    oid, prop = next((s for s in stores if s[1] == "n"))
+    assert flow.unobservable_store(oid, prop) is None
+
+
+def test_read_store_is_observable():
+    src = "var o = {}; function w() { o.n = 1; } w(); use(o.n);"
+    _graph_, flow = _flow(src)
+    stores = {s for key in flow.cell_stores.values() for s in key}
+    oid, prop = next((s for s in stores if s[1] == "n"))
+    assert flow.unobservable_store(oid, prop) is not None
+
+
+def test_selfupdate_only_store_is_unobservable():
+    src = "var o = { n: 0 }; function w() { o.n += 1; } w();"
+    _graph_, flow = _flow(src)
+    stores = {s for key in flow.cell_stores.values() for s in key}
+    oid, prop = next((s for s in stores if s[1] == "n"))
+    assert flow.unobservable_store(oid, prop) is None
+
+
+def test_escaped_object_store_is_observable():
+    src = "var o = {}; o.n = 1; mystery(o);"
+    _graph_, flow = _flow(src)
+    oid = next(iter(flow.escaped_objs))
+    assert "escapes" in flow.unobservable_store(oid, "n")
+
+
+# -- fallback semantics ---------------------------------------------------- #
+
+def test_budget_exhaustion_falls_back_to_edge_fixpoint(monkeypatch):
+    monkeypatch.setattr(valueflow, "MAX_STEPS", 3)
+    src = "function maybe() { } var table = [maybe];"
+    graph = build_call_graph({"s.js": parse_js(src)})
+    assert graph.valueflow is None  # bailed out, nothing recorded
+    # The REF/ESCAPE over-approximation is authoritative again.
+    assert graph.dead_functions() == []
+
+
+def test_failed_resolution_reports_reason(monkeypatch):
+    monkeypatch.setattr(valueflow, "MAX_ROUNDS", 0)
+    flow = resolve_value_flow(
+        build_call_graph({"s.js": parse_js("var x = 1;")}, resolve=False),
+        {"s.js": parse_js("var x = 1;")},
+    )
+    assert not flow.ok
+    assert "round budget" in flow.reason
+
+
+def test_resolve_false_skips_the_analysis():
+    graph = build_call_graph(
+        {"s.js": parse_js("function f() { } f();")}, resolve=False
+    )
+    assert graph.valueflow is None
+    assert graph.dead_functions() == []
+
+
+# -- graph wiring and report plumbing -------------------------------------- #
+
+def test_resolved_sites_add_vflow_edges():
+    graph, flow = _flow("function a() { } a();")
+    edges = graph.value_edges[("top", "s.js")]
+    assert (EdgeKind.VFLOW, _fid(graph, "a")) in edges
+
+
+def test_incomplete_sites_add_no_vflow_edges():
+    graph, flow = _flow("mystery(1);")
+    for edges in graph.value_edges.values():
+        assert all(kind is not EdgeKind.VFLOW for kind, _ in edges)
+
+
+def test_call_site_verdicts_shape():
+    analysis = analyze_page(
+        {"s.js": "function a() { } var b = a; b(); mystery(2);"}
+    )
+    verdicts = call_site_verdicts(analysis)
+    by_callee = {v["callee"]: v for v in verdicts}
+    assert by_callee["b"]["status"] == "resolved"
+    assert by_callee["b"]["targets"] == ["a"]
+    assert "bound to global 'b'" in by_callee["b"]["chains"]["a"]
+    assert by_callee["mystery"]["status"] == "fallback"
+
+
+def test_call_site_verdicts_empty_without_valueflow():
+    analysis = analyze_page({"s.js": "function f() { } f();"}, resolve=False)
+    assert call_site_verdicts(analysis) == []
+
+
+def test_liveness_is_fixpoint_stable():
+    # Re-running the analysis over the same graph yields identical sets.
+    src = (
+        "var handlers = {};\n"
+        "function register(id, fn) { handlers[id] = fn; }\n"
+        "register('w0', function () { });\n"
+        "setTimeout(function () { register('w1', function () { }); }, 5);\n"
+    )
+    first = _graph(src)
+    second = _graph(src)
+    assert first.valueflow.live_fids == second.valueflow.live_fids
+    assert first.valueflow.invoked_fids == second.valueflow.invoked_fids
+    assert first.valueflow.escaped_fids == second.valueflow.escaped_fids

@@ -1,0 +1,43 @@
+"""Fuzz-differential soundness: value-flow liveness vs. byte coverage.
+
+The value-flow analysis replaces the REF over-approximation with
+resolved liveness, so the property that must never break is that no
+function the engine *actually executed* (byte-coverage ground truth) is
+marked dead by the resolved graph.  Each seed builds a randomized
+synthetic page — the same 60-seed corpus the slicer differential tests
+use — runs its full browsing session through the engine, and joins the
+static verdicts against the recorded coverage; a failing seed reproduces
+the page exactly.
+"""
+
+import pytest
+
+from repro.harness.experiments import run_engine
+from repro.jsstatic.analyzer import analyze_page
+from repro.jsstatic.compare import benchmark_sources, compare_coverage
+from repro.workloads.fuzz import random_page
+
+SEEDS = range(60)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_no_executed_function_marked_dead(seed):
+    bench = random_page(seed)
+    analysis = analyze_page(benchmark_sources(bench))
+    engine = run_engine(bench)
+    cmp = compare_coverage(f"fuzz-{seed}", analysis, engine.interp.coverage)
+    assert cmp.is_sound, (
+        f"seed={seed}: executed functions marked dead: {cmp.false_dead}"
+    )
+    assert cmp.precision == 1.0
+
+
+def test_corpus_mostly_resolves():
+    """The analysis itself (not the fallback) must carry the corpus."""
+    resolved = 0
+    for seed in SEEDS:
+        analysis = analyze_page(benchmark_sources(random_page(seed)))
+        flow = analysis.graph.valueflow
+        if flow is not None and flow.ok:
+            resolved += 1
+    assert resolved >= 54, f"value flow resolved only {resolved}/60 seeds"

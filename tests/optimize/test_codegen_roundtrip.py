@@ -1,0 +1,52 @@
+"""Codegen idempotency over every script of every bundled workload.
+
+The optimizer's rewrites go through parse -> mutate -> generate; the
+verification re-run then re-parses the generated source.  That substrate
+is only trustworthy if generation is a fixpoint: parsing generated
+output and generating again must reproduce the exact same text, for
+every real script we ship — not just the synthetic snippets the unit
+tests use.
+"""
+
+import pytest
+
+from repro.browser.js.codegen import generate
+from repro.browser.js.parser import parse_js
+from repro.jsstatic.compare import benchmark_sources
+from repro.workloads import benchmark, benchmark_names
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_codegen_round_trip_is_idempotent_on_workload(name):
+    sources = benchmark_sources(benchmark(name))
+    for url, source in sources.items():
+        once = generate(parse_js(source))
+        twice = generate(parse_js(once))
+        assert once == twice, f"{name}:{url} codegen is not idempotent"
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_reparsed_ast_produces_identical_analysis_input(name):
+    """parse(generate(parse(src))) sees the same function population."""
+    from repro.jsstatic.callgraph import build_call_graph
+
+    sources = benchmark_sources(benchmark(name))
+    original = build_call_graph(
+        {url: parse_js(src) for url, src in sources.items()}, resolve=False
+    )
+    regenerated = build_call_graph(
+        {
+            url: parse_js(generate(parse_js(src)))
+            for url, src in sources.items()
+        },
+        resolve=False,
+    )
+    assert len(original.functions) == len(regenerated.functions)
+    # Anonymous labels embed byte offsets, which legitimately shift with
+    # the regenerated layout — compare the named population in order.
+    def _named(graph):
+        return [
+            sorted(f.aliases) for f in graph.functions if f.aliases
+        ]
+
+    assert _named(original) == _named(regenerated)

@@ -183,6 +183,70 @@ def test_no_image_evidence_plans_nothing():
     assert plan.image_rewrites == []
 
 
+# -- phase 3: value-flow discharge -------------------------------------- #
+
+_LAZY_WIDGET = (
+    "var handlers = {};\n"
+    "function widget_register(id, fn) { handlers[id] = fn; }\n"
+    "widget_register('w0', function () { heavy(); });\n"
+)
+
+
+def test_lazy_widget_registration_discharged_proven_safe():
+    # The PR-7 proof refused every FunctionExpr-argument registration;
+    # value flow proves the parked handler can never run and the
+    # registry store is never read, so the call is eliminated.
+    plan = _plan(_LAZY_WIDGET)
+    elim = _applied(plan, "discarded-call-elim")
+    assert len(elim) == 1
+    assert "widget_register()" in elim[0].target
+    assert elim[0].proof.category is ProofCategory.PROVEN_SAFE
+    assert elim[0].proof.evidence == "jsstatic:valueflow"
+    assert "never invoked" in elim[0].proof.obligation
+    # The cascade then stubs the now-unreachable registrar.
+    stubs = _applied(plan, "dead-function-elim")
+    assert any(r.target == "widget_register" for r in stubs)
+    transformed = plan.scripts["s.js"].transformed_source
+    assert "widget_register('w0'" not in transformed
+
+
+def test_activated_widget_blocks_the_discharge():
+    # Same registry, but an activation path reads the handler back out:
+    # the handler is live, so the registration must survive.
+    src = _LAZY_WIDGET + (
+        "function widget_activate(id) { handlers[id](); }\n"
+        "widget_activate('w0');\n"
+    )
+    plan = _plan(src)
+    assert all(
+        "widget_register" not in r.target
+        for r in _applied(plan, "discarded-call-elim")
+    )
+    assert "widget_register('w0'" in plan.scripts["s.js"].transformed_source
+
+
+def test_registry_read_elsewhere_blocks_the_discharge():
+    # The handler never runs, but the stored property is read: removing
+    # the registration would change what probe() observes.
+    src = _LAZY_WIDGET + "probe(handlers['w0']);\n"
+    plan = _plan(src)
+    assert all(
+        r.proof.evidence != "jsstatic:valueflow"
+        for r in _applied(plan, "discarded-call-elim")
+    )
+    assert "widget_register('w0'" in plan.scripts["s.js"].transformed_source
+
+
+def test_effectful_extra_argument_blocks_the_discharge():
+    src = (
+        "var handlers = {};\n"
+        "function widget_register(id, fn) { handlers[id] = fn; }\n"
+        "widget_register(next_id(), function () { heavy(); });\n"
+    )
+    plan = _plan(src)
+    assert _applied(plan, "discarded-call-elim") == []
+
+
 # -- plan bookkeeping --------------------------------------------------- #
 
 def test_unchanged_script_has_no_replacement():
