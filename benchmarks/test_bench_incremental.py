@@ -1,0 +1,120 @@
+"""Incremental vs. full re-slicing on the multi-frame workloads.
+
+EXPERIMENTS.md's incremental table comes from here: for each of the
+three animation/streaming workloads (ticker, livefeed, scrollseq) every
+frame is sliced twice — cold sequential and incrementally against the
+shared checkpoint — asserting byte-identity (flags *and* unnecessary
+categories) and measuring how many records the steady-state incremental
+pass actually touches.  The headline claim this guards: once the
+checkpoint is warm, slicing frame ``N+1`` costs a small fraction of a
+full re-slice.
+"""
+
+import pytest
+
+from repro.browser import BrowserEngine
+from repro.profiler import Profiler
+from repro.profiler.categorize import categorize_unnecessary
+from repro.profiler.redundancy import frame_pixel_criteria
+from repro.workloads import benchmark as load_benchmark
+
+WORKLOADS = ("ticker", "livefeed", "scrollseq")
+
+#: frames after this index must hit the memoized steady state
+WARMUP_FRAMES = 3
+
+#: per-workload steady-state budget for records touched per frame slice,
+#: as a fraction of a full re-slice.  Repetitive animation (ticker,
+#: livefeed) repeats its dependence frontiers, so memos hit and frames
+#: cost ~10-16% (the CI guard is the 50% ceiling).  scrollseq is the
+#: honest outlier: every scroll frame reads *different* scroll-offset
+#: cells produced during load, so earlier regions' flags genuinely
+#: change per frame and byte-identity forces their re-run — reuse is
+#: bounded to the unaffected regions.
+STEADY_STATE_BUDGET = {"ticker": 0.5, "livefeed": 0.5, "scrollseq": 1.0}
+
+
+def _trace(name):
+    bench = load_benchmark(name)
+    engine = BrowserEngine(bench.config)
+    engine.load_page(bench.page)
+    engine.run_session(bench.actions)
+    return engine.trace_store()
+
+
+@pytest.fixture(scope="module", params=WORKLOADS)
+def workload_frames(request):
+    """(name, store, per-frame sequential + incremental results)."""
+    store = _trace(request.param)
+    profiler = Profiler(store)
+    frames = []
+    for span in store.frame_spans():
+        criteria = frame_pixel_criteria(store, span)
+        seq = profiler.slice(criteria, engine="sequential")
+        inc = profiler.slice(criteria, engine="incremental")
+        frames.append((span, seq, inc))
+    assert len(frames) >= 5, f"{request.param}: expected a frame animation"
+    return request.param, store, frames
+
+
+def test_per_frame_byte_identity(workload_frames):
+    name, store, frames = workload_frames
+    for span, seq, inc in frames:
+        assert bytes(inc.flags) == bytes(seq.flags), (
+            f"{name} frame {span.frame_id}: incremental != sequential"
+        )
+        seq_cats = categorize_unnecessary(store, seq)
+        inc_cats = categorize_unnecessary(store, inc)
+        assert inc_cats.counts == seq_cats.counts, (
+            f"{name} frame {span.frame_id}: category split diverged"
+        )
+
+
+def test_steady_state_touches_fraction(workload_frames):
+    name, _store, frames = workload_frames
+    budget = STEADY_STATE_BUDGET[name]
+    fractions = []
+    for span, _seq, inc in frames[WARMUP_FRAMES:]:
+        stats = inc.engine_stats
+        fraction = stats["records_touched"] / stats["records_total"]
+        fractions.append(fraction)
+        assert fraction <= budget, (
+            f"{name} frame {span.frame_id}: incremental touched "
+            f"{fraction:.1%} of the trace (budget {budget:.0%})"
+        )
+        assert stats["memo_exact"] + stats["memo_pass_through"] > 0
+    print(
+        f"\n{name}: steady-state incremental touches "
+        f"{min(fractions):.1%}-{max(fractions):.1%} of the trace "
+        f"across {len(fractions)} frames"
+    )
+
+
+def test_incremental_steady_state_benchmark(benchmark):
+    """Wall-clock of one steady-state frame slice against a warm
+    checkpoint (compare with ``test_full_reslice_benchmark``)."""
+    store = _trace("ticker")
+    profiler = Profiler(store)
+    spans = store.frame_spans()
+    for span in spans[:-1]:  # warm the checkpoint
+        profiler.slice(frame_pixel_criteria(store, span), engine="incremental")
+    last = frame_pixel_criteria(store, spans[-1])
+
+    result = benchmark.pedantic(
+        lambda: profiler.slice(last, engine="incremental"),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.slice_size() > 0
+
+
+def test_full_reslice_benchmark(benchmark):
+    store = _trace("ticker")
+    profiler = Profiler(store)
+    last = frame_pixel_criteria(store, store.frame_spans()[-1])
+    result = benchmark.pedantic(
+        lambda: profiler.slice(last, engine="sequential"),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.slice_size() > 0

@@ -145,7 +145,7 @@ class FrameExperimentResult:
 
 
 def run_frames(
-    bench: Benchmark, sample_every: Optional[int] = None
+    bench: Benchmark, slice_engine: str = "sequential"
 ) -> FrameExperimentResult:
     """Run a multi-frame benchmark and profile each frame epoch.
 
@@ -153,22 +153,23 @@ def run_frames(
     incremental frame pipeline (timer ticks and scripted actions), then
     slices each frame's own pixel criterion and classifies its non-slice
     work as redundant vs. fresh (see :mod:`repro.profiler.redundancy`).
+    ``slice_engine="incremental"`` profiles all frames in one streaming
+    checkpointed pass instead of F independent full slices (identical
+    report).
     """
     engine = BrowserEngine(bench.config)
     engine.load_page(bench.page)
     engine.run_session(bench.actions)
     store = engine.trace_store()
-    if sample_every is None:
-        sample_every = max(1, len(store) // 200)
-    report = analyze_frames(store, sample_every=sample_every)
+    report = analyze_frames(store, engine=slice_engine)
     return FrameExperimentResult(
         benchmark=bench, engine=engine, store=store, report=report
     )
 
 
 @lru_cache(maxsize=None)
-def cached_frames(name: str) -> FrameExperimentResult:
+def cached_frames(name: str, slice_engine: str = "sequential") -> FrameExperimentResult:
     """Run a registered multi-frame benchmark once per process."""
     from ..workloads import benchmark
 
-    return run_frames(benchmark(name))
+    return run_frames(benchmark(name), slice_engine=slice_engine)

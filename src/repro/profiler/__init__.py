@@ -37,6 +37,13 @@ from .criteria import (
 from .calltree import CallNode, build_call_tree, hottest_paths, render_call_tree
 from .diff import SliceDiff, diff_slices, exclusive_functions
 from .explain import chain_heads, explain_record, reason_summary
+from .incremental import (
+    IncrementalCDI,
+    IncrementalFrameResult,
+    IncrementalSlicer,
+    SliceCheckpoint,
+    StreamingSliceSession,
+)
 from .oracle import OracleSlicer, oracle_slice
 from .parallel import ParallelSlicer, SliceFrontier, default_workers
 from .postdom import immediate_postdominators, postdominates
@@ -95,6 +102,11 @@ __all__ = [
     "ParallelSlicer",
     "SliceFrontier",
     "default_workers",
+    "IncrementalSlicer",
+    "IncrementalCDI",
+    "IncrementalFrameResult",
+    "SliceCheckpoint",
+    "StreamingSliceSession",
     "OracleSlicer",
     "oracle_slice",
     "SlicerOptions",

@@ -17,7 +17,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..trace.store import TraceStore
 from .categorize import CategoryDistribution, categorize_unnecessary
@@ -33,6 +33,9 @@ from .criteria import (
 from .slicer import BackwardSlicer, SliceResult, SlicerOptions, DEFAULT_OPTIONS
 from .stats import SliceStatistics, compute_statistics
 
+if TYPE_CHECKING:
+    from .incremental import SliceCheckpoint
+
 
 class Profiler:
     """Dynamic backward-slicing profiler over one instruction trace."""
@@ -40,6 +43,21 @@ class Profiler:
     def __init__(self, store: TraceStore) -> None:
         self._store = store
         self._cdi: Optional[ControlDependenceIndex] = None
+        self._checkpoint: Optional["SliceCheckpoint"] = None
+
+    def slice_checkpoint(self) -> "SliceCheckpoint":
+        """The profiler-lifetime checkpoint the incremental engine extends.
+
+        Shared across every ``engine="incremental"`` slice of this
+        profiler, so a sweep of per-frame queries (``analyze_frames``,
+        the ``frames`` harness target) pays for each seedless region's
+        backward run once instead of once per frame.
+        """
+        if self._checkpoint is None:
+            from .incremental import SliceCheckpoint
+
+            self._checkpoint = SliceCheckpoint()
+        return self._checkpoint
 
     @property
     def store(self) -> TraceStore:
@@ -60,17 +78,22 @@ class Profiler:
         engine: str = "sequential",
         workers: Optional[int] = None,
         epoch_size: Optional[int] = None,
+        checkpoint: Optional["SliceCheckpoint"] = None,
     ) -> SliceResult:
         """Run the backward pass for ``criteria``.
 
         ``engine`` selects the implementation: ``"sequential"`` (default,
         single in-process pass), ``"parallel"`` (epoch-sharded fixpoint
         across ``workers`` processes; see ``docs/parallel-slicing.md``),
-        or ``"vectorized"`` (array-join closure over a columnar trace;
-        converts row stores on entry).  All produce identical
+        ``"vectorized"`` (array-join closure over a columnar trace;
+        converts row stores on entry), or ``"incremental"``
+        (frame-region memoization against a checkpoint; see
+        ``docs/incremental-slicing.md``).  All produce identical
         sliced-record sets.  ``workers`` defaults to
         ``REPRO_SLICER_WORKERS`` or the CPU allowance; ``epoch_size``
-        overrides the automatic trace split (parallel engine only).
+        overrides the automatic trace split (parallel engine only);
+        ``checkpoint`` overrides the profiler-lifetime checkpoint
+        (incremental engine only).
         """
         if engine == "sequential":
             slicer = BackwardSlicer(
@@ -110,9 +133,23 @@ class Profiler:
                 options=options,
                 cdi_provider=self.control_dependence_index,
             ).run()
+        if engine == "incremental":
+            from .incremental import IncrementalSlicer
+
+            return IncrementalSlicer(
+                self._store,
+                self.control_dependence_index(),
+                criteria,
+                checkpoint=(
+                    checkpoint if checkpoint is not None else self.slice_checkpoint()
+                ),
+                sample_every=sample_every,
+                main_tid=main_tid,
+                options=options,
+            ).run()
         raise ValueError(
             f"unknown engine {engine!r}; expected 'sequential', 'parallel', "
-            f"or 'vectorized'"
+            f"'vectorized', or 'incremental'"
         )
 
     def pixel_slice(
@@ -206,6 +243,7 @@ def run_slice_job(
     frame: Optional[int] = None,
     sample_every: Optional[int] = None,
     options: SlicerOptions = DEFAULT_OPTIONS,
+    checkpoint: Optional["SliceCheckpoint"] = None,
 ) -> Tuple[SliceResult, SliceStatistics]:
     """Run one profiling job: slice ``store`` and compute its statistics.
 
@@ -213,7 +251,10 @@ def run_slice_job(
     executes in its worker processes (and what ``python -m repro.trace
     slice`` drives): everything a job needs arrives as arguments, and the
     full outcome is in the return value, so the call is safe to retry,
-    cache, or run in a throwaway process.
+    cache, or run in a throwaway process.  ``checkpoint`` carries
+    incremental-engine state across jobs of the same trace (the service
+    persists it next to its result cache, so successive frame submits of
+    one trace digest pay only the per-frame delta).
     """
     profiler = Profiler(store)
     result = profiler.slice(
@@ -222,5 +263,6 @@ def run_slice_job(
         engine=engine,
         workers=workers,
         options=options,
+        checkpoint=checkpoint,
     )
     return result, profiler.statistics(result)

@@ -865,38 +865,43 @@ class ParallelSlicer:
                     store, flags, self._sample_every, self._main_tid
                 )
             else:
-                result.timeline = self._reconstruct_timeline(records, flags)
+                result.timeline = reconstruct_timeline(
+                    records, flags, self._sample_every, self._main_tid
+                )
         return result
 
-    def _reconstruct_timeline(
-        self, records: Sequence[TraceRecord], flags: bytearray
-    ) -> List[TimelineSample]:
-        """Rebuild Figure-4 timeline samples from the final flags.
 
-        The sequential engine counts a retroactively-flagged RET when its
-        CALL is processed; this reconstruction counts every record when it
-        is visited, so intermediate samples can differ by the number of
-        not-yet-paired RETs.  The final sample is identical.
-        """
-        sample_every = self._sample_every
-        main_tid = self._main_tid
-        samples: List[TimelineSample] = []
-        processed = 0
-        in_slice = 0
-        processed_main = 0
-        in_slice_main = 0
-        for i in range(len(records) - 1, -1, -1):
-            flag = flags[i]
-            processed += 1
-            in_slice += flag
-            if records[i].tid == main_tid:
-                processed_main += 1
-                in_slice_main += flag
-            if processed % sample_every == 0:
-                samples.append(
-                    TimelineSample(processed, in_slice, processed_main, in_slice_main)
-                )
-        samples.append(
-            TimelineSample(processed, in_slice, processed_main, in_slice_main)
-        )
-        return samples
+def reconstruct_timeline(
+    records: Sequence[TraceRecord],
+    flags: bytearray,
+    sample_every: int,
+    main_tid: Optional[int],
+) -> List[TimelineSample]:
+    """Rebuild Figure-4 timeline samples from the final flags.
+
+    The sequential engine counts a retroactively-flagged RET when its
+    CALL is processed; this reconstruction counts every record when it
+    is visited, so intermediate samples can differ by the number of
+    not-yet-paired RETs.  The final sample is identical.  Shared by the
+    parallel and incremental engines (row-store path).
+    """
+    samples: List[TimelineSample] = []
+    processed = 0
+    in_slice = 0
+    processed_main = 0
+    in_slice_main = 0
+    for i in range(len(records) - 1, -1, -1):
+        flag = flags[i]
+        processed += 1
+        in_slice += flag
+        if records[i].tid == main_tid:
+            processed_main += 1
+            in_slice_main += flag
+        if processed % sample_every == 0:
+            samples.append(
+                TimelineSample(processed, in_slice, processed_main, in_slice_main)
+            )
+    samples.append(
+        TimelineSample(processed, in_slice, processed_main, in_slice_main)
+    )
+    return samples

@@ -156,9 +156,18 @@ def analyze_frames(
 ) -> RedundancyReport:
     """Per-frame pixel slices plus redundant/fresh classification.
 
+    ``engine="incremental"`` turns the F independent full slices into one
+    streaming pass: every per-frame query extends the profiler's shared
+    checkpoint, so each seedless region's backward run is paid once and
+    later frames reuse it (same flags, byte for byte — the split is
+    engine-invariant).  ``sample_every`` is ignored for per-frame slices
+    (the classification never reads timelines, and reconstructing F of
+    them costs O(F·n)).
+
     Raises ``ValueError`` when the trace records no complete frame epochs
     (i.e. it predates the incremental pipeline's frame markers).
     """
+    del sample_every  # accepted for API compatibility; timelines unused
     spans = [span for span in store.frame_spans() if span.complete]
     if not spans:
         raise ValueError(
@@ -172,9 +181,7 @@ def analyze_frames(
     for span in spans:
         criteria = frame_pixel_criteria(store, span)
         if criteria.criteria:
-            result = profiler.slice(
-                criteria, sample_every=sample_every, engine=engine
-            )
+            result = profiler.slice(criteria, engine=engine)
             flags = result.flags
         else:
             flags = bytearray(len(records))

@@ -316,6 +316,7 @@ def slice_trace(
     engine: str = "sequential",
     workers: Optional[int] = None,
     epoch_size: Optional[int] = None,
+    checkpoint=None,
 ) -> SliceResult:
     """One-call convenience: forward pass (if needed) + backward pass."""
     if cdi is None:
@@ -339,9 +340,15 @@ def slice_trace(
         return VectorizedSlicer(
             store, cdi, criteria, sample_every=sample_every
         ).run()
+    if engine == "incremental":
+        from .incremental import IncrementalSlicer
+
+        return IncrementalSlicer(
+            store, cdi, criteria, checkpoint=checkpoint, sample_every=sample_every
+        ).run()
     if engine != "sequential":
         raise ValueError(
             f"unknown engine {engine!r}; expected 'sequential', 'parallel', "
-            f"or 'vectorized'"
+            f"'vectorized', or 'incremental'"
         )
     return BackwardSlicer(store, cdi, criteria, sample_every=sample_every).run()

@@ -26,7 +26,7 @@ from ..profiler.api import run_slice_job
 from ..profiler.criteria import criteria_names
 from ..trace.store import file_digest, load_any_trace, trace_digest
 
-_ENGINES = ("sequential", "parallel", "vectorized")
+_ENGINES = ("sequential", "parallel", "vectorized", "incremental")
 
 #: Fault-injection hooks, honoured inside the worker process just before
 #: the slice runs.  They exist so the failure paths (crash isolation,
@@ -53,6 +53,10 @@ class JobSpec:
     frame: Optional[int] = None
     timeout_s: Optional[float] = None
     fault: Optional[str] = None
+    #: directory holding per-trace-digest incremental checkpoints; the
+    #: server injects its own cache-derived path for incremental jobs, so
+    #: successive frame submits of one trace pay only the per-frame delta
+    checkpoint_dir: Optional[str] = None
 
     def validate(self) -> "JobSpec":
         """Check the spec against the registries; raise :class:`SpecError`."""
@@ -106,10 +110,12 @@ class JobSpec:
 
         Covers every result-affecting field (and the fault hook, so a
         fault-injected job never coalesces with a clean one) but not
-        ``timeout_s``, which only bounds execution.
+        ``timeout_s`` or ``checkpoint_dir``, which only affect how fast
+        the (byte-identical) result is produced.
         """
         payload = self.to_dict()
         payload.pop("timeout_s", None)
+        payload.pop("checkpoint_dir", None)
         if self.trace_path is not None:
             payload["trace_path"] = os.path.abspath(self.trace_path)
         raw = json.dumps(payload, sort_keys=True).encode("utf-8")
@@ -163,14 +169,42 @@ def execute_job(spec: JobSpec, attempt: int = 0) -> Dict[str, Any]:
         digest = trace_digest(store)
     t1 = time.perf_counter()
     _inject_fault(spec, attempt)
+    checkpoint = None
+    checkpoint_path = None
+    checkpoint_state = None
+    if spec.engine == "incremental" and spec.checkpoint_dir is not None:
+        from pathlib import Path
+
+        from ..profiler.incremental import SliceCheckpoint
+        from ..trace.checkpoint import CHECKPOINT_SUFFIX
+
+        ckpt_dir = Path(spec.checkpoint_dir)
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+        checkpoint_path = ckpt_dir / f"{digest[:32]}{CHECKPOINT_SUFFIX}"
+        if checkpoint_path.exists():
+            try:
+                checkpoint = SliceCheckpoint.load(checkpoint_path)
+                checkpoint_state = "warm"
+            except ValueError:
+                checkpoint = None  # torn/stale file: rebuild from scratch
+        if checkpoint is None:
+            checkpoint = SliceCheckpoint(trace_digest=digest)
+            checkpoint_state = "cold"
     result, stats = run_slice_job(
         store,
         criteria=spec.criteria,
         engine=spec.engine,
         workers=spec.workers,
         frame=spec.frame,
+        checkpoint=checkpoint,
     )
+    if checkpoint is not None and checkpoint_path is not None:
+        checkpoint.trace_digest = digest
+        checkpoint.save(checkpoint_path)
     t2 = time.perf_counter()
+    engine_stats = dict(result.engine_stats)
+    if checkpoint_state is not None:
+        engine_stats["checkpoint"] = checkpoint_state
     return {
         "criteria": result.criteria_name,
         "engine": spec.engine,
@@ -188,7 +222,7 @@ def execute_job(spec: JobSpec, attempt: int = 0) -> Dict[str, Any]:
             }
             for t in stats.threads
         ],
-        "engine_stats": dict(result.engine_stats),
+        "engine_stats": engine_stats,
         "timings": {
             "resolve_s": t1 - t0,
             "slice_s": t2 - t1,

@@ -29,7 +29,7 @@ import queue
 import socket
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
@@ -248,6 +248,13 @@ class ProfilingServer:
         except (SpecError, TypeError) as err:
             self.metrics.increment("invalid_specs")
             return protocol.error(protocol.ERR_INVALID_SPEC, str(err))
+        if spec.engine == "incremental" and spec.checkpoint_dir is None:
+            # frames-incremental path: successive frame submits of one
+            # trace digest share a persisted checkpoint under the cache
+            # dir, so each pays only the per-frame delta.
+            spec = replace(
+                spec, checkpoint_dir=str(self._cache_dir / "checkpoints")
+            )
         wait = bool(request.get("wait", False))
         self.metrics.increment("submits")
 

@@ -5,7 +5,7 @@ Usage::
     python -m repro.trace collect amazon_desktop /tmp/amazon.ucwa
     python -m repro.trace collect amazon_desktop /tmp/amazon.ucwa --format=v3
     python -m repro.trace info /tmp/amazon.ucwa
-    python -m repro.trace lint /tmp/amazon.ucwa [--json]
+    python -m repro.trace lint /tmp/amazon.ucwa [--json] [--checkpoint=PATH]
     python -m repro.trace convert /tmp/amazon.ucwa /tmp/amazon3.ucwa
     python -m repro.trace slice /tmp/amazon.ucwa
     python -m repro.trace slice /tmp/amazon.ucwa --criteria=syscalls
@@ -20,7 +20,11 @@ well-formedness invariants (CALL/RET balance, use-before-def, lock
 discipline, marker clock, frame-epoch monotonicity, epoch tiling — see
 repro/trace/lint.py) and
 exits non-zero on any error-severity violation; ``--json`` emits the
-machine-readable report instead; ``convert`` re-encodes a trace between
+machine-readable report instead; ``--checkpoint=PATH`` additionally runs
+the ``checkpoint-consistency`` check against a serialized incremental
+slice checkpoint (a ``TRACE.ckpt`` sidecar, when present, is picked up
+automatically; see docs/incremental-slicing.md); ``convert`` re-encodes
+a trace between
 formats (``--format=v3`` default, ``--format=v2`` for the row layout,
 ``--no-index`` to skip the stored slice index — see
 docs/trace-format.md); ``slice`` runs a backward slice on a
@@ -29,7 +33,9 @@ paper uses).  ``--criteria`` picks the criteria family — ``pixels``
 (default), ``syscalls``, or ``pixels+syscalls`` (paper Section V);
 ``--engine=parallel`` selects the epoch-sharded engine (see
 docs/parallel-slicing.md); ``--engine=vectorized`` the array-join
-engine (fastest on UCWA3 traces); ``--workers`` sets the parallel
+engine (fastest on UCWA3 traces); ``--engine=incremental`` the
+frame-region checkpointing engine (see docs/incremental-slicing.md);
+``--workers`` sets the parallel
 engine's process count (default: REPRO_SLICER_WORKERS or usable
 cores).  ``info``, ``lint``, ``convert``, and ``slice`` accept every
 UCWA format.  Unknown criteria, engines, formats, and workload names
@@ -102,10 +108,30 @@ def _info(path: str) -> int:
     return 0
 
 
-def _lint(path: str, epoch_size: int = 4096, as_json: bool = False) -> int:
+def _lint(
+    path: str,
+    epoch_size: int = 4096,
+    as_json: bool = False,
+    checkpoint_path: Optional[str] = None,
+) -> int:
+    from .checkpoint import CheckpointImage, sidecar_path
     from .lint import lint_trace
 
-    report = lint_trace(load_any_trace(path), epoch_size=epoch_size)
+    checkpoint = None
+    if checkpoint_path is None:
+        sidecar = sidecar_path(path)
+        if sidecar.exists():
+            checkpoint_path = str(sidecar)
+    if checkpoint_path is not None:
+        try:
+            checkpoint = CheckpointImage.load(checkpoint_path)
+        except (ValueError, OSError) as err:
+            print(f"error: cannot load checkpoint {checkpoint_path}: {err}",
+                  file=sys.stderr)
+            return 2
+    report = lint_trace(
+        load_any_trace(path), epoch_size=epoch_size, checkpoint=checkpoint
+    )
     if as_json:
         print(
             json.dumps(
@@ -160,9 +186,15 @@ def main(argv) -> int:
     if len(argv) >= 2 and argv[0] == "lint":
         epoch_size = 4096
         as_json = False
+        checkpoint_path: Optional[str] = None
         for opt in argv[2:]:
             if opt == "--json":
                 as_json = True
+            elif opt.startswith("--checkpoint="):
+                checkpoint_path = opt[len("--checkpoint="):]
+                if not checkpoint_path:
+                    print("--checkpoint expects a path")
+                    return 2
             elif opt.startswith("--epoch-size="):
                 try:
                     epoch_size = int(opt[len("--epoch-size="):])
@@ -175,7 +207,12 @@ def main(argv) -> int:
             else:
                 print(f"unknown option {opt!r}")
                 return 2
-        return _lint(argv[1], epoch_size=epoch_size, as_json=as_json)
+        return _lint(
+            argv[1],
+            epoch_size=epoch_size,
+            as_json=as_json,
+            checkpoint_path=checkpoint_path,
+        )
     if len(argv) >= 2 and argv[0] == "slice":
         from ..profiler.criteria import criteria_names
 
@@ -195,10 +232,10 @@ def main(argv) -> int:
                 print(f"unknown option {opt!r}")
                 return 2
         # Validate up front, before the (possibly large) trace is loaded.
-        if engine not in ("sequential", "parallel", "vectorized"):
+        if engine not in ("sequential", "parallel", "vectorized", "incremental"):
             print(
                 f"unknown engine {engine!r}; expected 'sequential', "
-                f"'parallel', or 'vectorized'"
+                f"'parallel', 'vectorized', or 'incremental'"
             )
             return 2
         if criteria not in criteria_names():

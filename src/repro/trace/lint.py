@@ -37,7 +37,13 @@ slicer produces quietly-wrong results.  Named checks:
   writes it.  Real engine traces legitimately read pre-initialized state
   (fetched bytes, config), so this is diagnostic, not fatal.  Sync
   markers are exempt: their single "read" cell names the synchronization
-  object, which is never data-written by design.
+  object, which is never data-written by design;
+* ``checkpoint-consistency`` (error, only with a ``--checkpoint`` image)
+  — a serialized slice checkpoint matches the trace it claims to
+  summarize: its region tiling equals the trace's canonical frame-region
+  tiling, every memoized region has facts, and every summarized region's
+  record count and :func:`~repro.trace.stream.region_digest` match the
+  records it covers.
 """
 
 from __future__ import annotations
@@ -58,7 +64,9 @@ from .records import (
     is_sync_marker,
     sync_event_of,
 )
+from .checkpoint import CheckpointImage
 from .store import TraceStore, epoch_bounds
+from .stream import compute_regions, region_digest
 
 ERROR = "error"
 WARNING = "warning"
@@ -75,6 +83,7 @@ CHECKS = (
     "lock-discipline",
     "frame-epoch-monotonicity",
     "memory-use-before-def",
+    "checkpoint-consistency",
 )
 
 _FLAGS = 0
@@ -184,8 +193,14 @@ def lint_trace(
     store: TraceStore,
     epoch_size: int = 4096,
     max_issues_per_check: int = 10,
+    checkpoint: Optional[CheckpointImage] = None,
 ) -> LintReport:
-    """Check every invariant; return a report (never raises)."""
+    """Check every invariant; return a report (never raises).
+
+    ``checkpoint`` additionally runs the ``checkpoint-consistency`` check
+    against the given serialized slice checkpoint (normally the trace's
+    ``.ckpt`` sidecar); without one the check trivially passes.
+    """
     report = LintReport(n_records=len(store))
     out = _Collector(max_issues_per_check)
     out.bind(report)
@@ -472,12 +487,95 @@ def lint_trace(
             f"epochs cover {expected_lo} of {len(store)} records",
         )
 
+    # -- checkpoint-consistency ----------------------------------------- #
+    if checkpoint is not None:
+        _check_checkpoint(store, checkpoint, out)
+
     return report
 
 
-def lint_or_raise(store: TraceStore, epoch_size: int = 4096) -> LintReport:
+def _check_checkpoint(
+    store: TraceStore, image: CheckpointImage, out: _Collector
+) -> None:
+    """Validate a serialized slice checkpoint against ``store``.
+
+    The checkpoint may summarize a *prefix* of the trace (a mid-stream
+    save), so non-frame regions are only checked structurally; frame
+    regions must coincide with the trace's frame spans exactly, and every
+    summarized region's record count and content digest must match the
+    records it covers.
+    """
+    n = len(store)
+    canonical = {
+        region.frame_id: region.key()
+        for region in compute_regions(store.metadata.complete_frames(), n)
+        if region.is_frame
+    }
+    cursor = 0
+    for position, (lo, hi, frame_id, kind) in enumerate(image.regions):
+        if not 0 <= lo < hi <= n:
+            out.add(
+                "checkpoint-consistency",
+                f"region {position} [{lo}, {hi}) outside trace of {n}",
+            )
+            continue
+        if lo != cursor:
+            out.add(
+                "checkpoint-consistency",
+                f"region {position} [{lo}, {hi}) does not continue the "
+                f"tiling at {cursor}",
+            )
+        cursor = hi
+        if frame_id >= 0 and canonical.get(frame_id) != (lo, hi, frame_id, kind):
+            out.add(
+                "checkpoint-consistency",
+                f"frame {frame_id} region [{lo}, {hi}) kind {kind!r} does "
+                f"not match the trace's frame spans",
+                lo,
+            )
+    for index in sorted(image.facts):
+        if not 0 <= index < len(image.regions):
+            out.add(
+                "checkpoint-consistency",
+                f"facts for region {index} but checkpoint tiles only "
+                f"{len(image.regions)} region(s)",
+            )
+            continue
+        lo, hi, frame_id, _kind = image.regions[index]
+        if not 0 <= lo < hi <= n:
+            continue  # already reported above
+        facts = image.facts[index]
+        if facts.n_records != hi - lo:
+            out.add(
+                "checkpoint-consistency",
+                f"region {index} claims {facts.n_records} record(s) but "
+                f"covers [{lo}, {hi})",
+                lo,
+            )
+            continue
+        actual = region_digest(store.span(lo, hi))
+        if facts.digest != actual:
+            out.add(
+                "checkpoint-consistency",
+                f"region {index} digest {facts.digest[:12]}… does not match "
+                f"records [{lo}, {hi}) ({actual[:12]}…)",
+                lo,
+            )
+    for index in sorted(image.memos):
+        if index not in image.facts:
+            out.add(
+                "checkpoint-consistency",
+                f"memo for region {index} has no region facts",
+            )
+
+
+def lint_or_raise(
+    store: TraceStore,
+    epoch_size: int = 4096,
+    checkpoint: Optional[CheckpointImage] = None,
+) -> LintReport:
     """Lint and raise :class:`TraceLintError` on any error-severity issue."""
-    report = lint_trace(store, epoch_size=epoch_size)
+    report = lint_trace(store, epoch_size=epoch_size, checkpoint=checkpoint)
     if not report.ok:
         raise TraceLintError(report)
     return report

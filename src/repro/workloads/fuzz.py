@@ -161,6 +161,136 @@ def random_trace(
     return tracer.store
 
 
+def random_frame_trace(
+    seed: int,
+    n_frames: int = 4,
+    records_per_frame: int = 350,
+    n_threads: int = 3,
+    n_cells: int = 96,
+    max_depth: int = 5,
+    empty_frame_at: Optional[int] = None,
+) -> TraceStore:
+    """A random multi-frame trace (the incremental engine's fuzz input).
+
+    Same well-formedness guarantees as :func:`random_trace`, plus frame
+    structure: ``n_frames`` complete ``frame:begin``/``frame:end`` epochs
+    (frame 0 is ``load``, the rest ``update``), separated by random gap
+    activity, each rastering at least one tile inside its span — so every
+    frame yields a non-empty per-frame pixel criterion.  Threads share
+    one small cell pool *across* frames, so slices routinely reach back
+    through earlier frames (the cross-frame dependences the incremental
+    checkpoint must thread exactly).  ``empty_frame_at`` makes that frame
+    raster nothing (its pixel criteria set is empty) — the adversarial
+    empty-frame case.
+    """
+    rng = random.Random(seed ^ 0xF7A3E)
+    tracer = Tracer()
+    tids = list(range(1, n_threads + 1))
+    tracer.spawn_thread(1, "CrRendererMain", "main_loop")
+    for tid in tids[1:]:
+        tracer.spawn_thread(tid, f"Worker{tid}", f"worker_loop_{tid}")
+
+    cells = list(range(0x1000, 0x1000 + n_cells))
+    regs = list(range(1, NUM_REGISTERS))
+    depth: dict = {tid: 0 for tid in tids}
+    pixel_cells = tuple(rng.sample(cells, k=min(8, n_cells)))
+
+    written_regs: dict = {tid: [] for tid in tids}
+    written_cells: List[int] = []
+    written_cell_set: set = set()
+
+    def some(pool, lo, hi):
+        return tuple(rng.sample(pool, k=rng.randint(lo, min(hi, len(pool)))))
+
+    def note_cells(written) -> None:
+        for cell in written:
+            if cell not in written_cell_set:
+                written_cell_set.add(cell)
+                written_cells.append(cell)
+
+    def note_regs(tid, written) -> None:
+        for reg in written:
+            if reg not in written_regs[tid]:
+                written_regs[tid].append(reg)
+
+    for tid in tids:
+        tracer.switch(tid)
+        cell_writes = pixel_cells if tid == 1 else some(cells, 2, 4)
+        reg_writes = some(regs, 2, 4)
+        tracer.op("boot", writes=cell_writes, reg_writes=reg_writes)
+        note_cells(cell_writes)
+        note_regs(tid, reg_writes)
+
+    def burst(allow_markers: bool) -> None:
+        tid = rng.choice(tids)
+        tracer.switch(tid)
+        for _ in range(rng.randint(1, 6)):
+            roll = rng.random()
+            label = f"s{rng.randrange(8)}"
+            if roll < 0.45:
+                reg_writes = some(regs, 0, 2)
+                cell_writes = some(cells, 0, 2)
+                tracer.op(
+                    label,
+                    reads=some(written_cells, 0, 3),
+                    writes=cell_writes,
+                    reg_reads=some(written_regs[tid], 0, 2),
+                    reg_writes=reg_writes,
+                )
+                note_cells(cell_writes)
+                note_regs(tid, reg_writes)
+            elif roll < 0.70:
+                tracer.compare_and_branch(
+                    f"b{rng.randrange(6)}", some(written_cells, 1, 2)
+                )
+            elif roll < 0.82 and depth[tid] < max_depth:
+                tracer.call(f"fn_{rng.randrange(10)}", site=f"c{rng.randrange(6)}")
+                depth[tid] += 1
+            elif roll < 0.90 and depth[tid] > 0:
+                tracer.ret()
+                depth[tid] -= 1
+            elif roll < 0.96:
+                cell_writes = some(cells, 0, 2)
+                tracer.syscall(
+                    rng.choice(_SYSCALL_NAMES),
+                    reads=some(written_cells, 0, 2),
+                    writes=cell_writes,
+                )
+                note_cells(cell_writes)
+            elif allow_markers:
+                tracer.marker(TILE_MARKER, some(pixel_cells, 1, 4))
+
+    # Prologue activity before the first frame.
+    for _ in range(rng.randint(0, 6)):
+        burst(allow_markers=False)
+
+    for frame_id in range(n_frames):
+        tracer.switch(rng.choice(tids))
+        kind = "load" if frame_id == 0 else "update"
+        tracer.frame_begin(frame_id, kind)
+        rasters = empty_frame_at is None or frame_id != empty_frame_at
+        target = len(tracer.store) + records_per_frame
+        while len(tracer.store) < target:
+            burst(allow_markers=rasters)
+        if rasters:
+            # Guarantee a non-empty per-frame pixel criterion, seeded
+            # from cells something actually wrote.
+            tracer.switch(1)
+            tracer.op("final_paint", writes=pixel_cells[:4])
+            tracer.marker(TILE_MARKER, pixel_cells[:4])
+        tracer.frame_end(frame_id)
+        # Gap activity between frames (and after the last).
+        for _ in range(rng.randint(0, 4)):
+            burst(allow_markers=False)
+
+    for tid in tids:
+        tracer.switch(tid)
+        while depth[tid] > 0:
+            tracer.ret()
+            depth[tid] -= 1
+    return tracer.store
+
+
 @dataclass(frozen=True)
 class InjectedRace:
     """Ground truth for one deliberately unsynchronized access pair."""

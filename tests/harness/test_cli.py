@@ -42,6 +42,10 @@ def test_service_rejects_unknown_options(capsys):
     assert main(["service", "--rounds=zero"]) == 2
     assert "--rounds expects a positive integer" in capsys.readouterr().err
     assert main(["frames", "--golden=x"]) == 2
+    assert "unknown option(s): golden" in capsys.readouterr().err
+    assert main(["frames", "--engine=turbo"]) == 2
+    assert "--engine expects one of" in capsys.readouterr().err
+    assert main(["table2", "--engine=sequential"]) == 2
     assert "takes no options" in capsys.readouterr().err
 
 
@@ -59,6 +63,14 @@ def test_frames_target_runs(capsys):
     out = capsys.readouterr().out
     assert "Cross-frame redundancy" in out
     assert "steady-state" in out
+
+
+def test_frames_target_incremental_engine_same_report(capsys):
+    assert main(["frames", "ticker"]) == 0
+    sequential = capsys.readouterr().out
+    assert main(["frames", "ticker", "--engine=incremental"]) == 0
+    incremental = capsys.readouterr().out
+    assert incremental == sequential
 
 
 @pytest.mark.parametrize("command", ["run", "plan"])

@@ -1,0 +1,289 @@
+"""Incremental engine: registration, checkpoint reuse, adversarial traces.
+
+The differential guarantee (incremental ≡ sequential ≡ vectorized, byte
+for byte) is fuzz-tested in ``test_incremental_differential.py``; this
+module covers the engine plumbing and the cases a region-memoizing
+engine is most likely to get wrong:
+
+* a slice whose dependence chain crosses a frame boundary,
+* a chain reaching back **two** frames (the middle frame must thread the
+  frontier through untouched),
+* an empty frame (no raster, empty criteria),
+* resuming from a checkpoint that was serialized to disk mid-sweep,
+* the steady-state guard: with a shared checkpoint, frame ``N+1``'s
+  slice touches well under half the records a full re-slice walks.
+"""
+
+import pytest
+
+from repro.browser import BrowserEngine
+from repro.machine import Tracer
+from repro.machine.tracer import TILE_MARKER
+from repro.profiler import Profiler
+from repro.profiler.cdg import build_index
+from repro.profiler.incremental import (
+    IncrementalSlicer,
+    SliceCheckpoint,
+    options_key,
+)
+from repro.profiler.redundancy import frame_pixel_criteria
+from repro.profiler.slicer import DEFAULT_OPTIONS, slice_trace
+from repro.workloads import benchmark
+
+
+@pytest.fixture(scope="module")
+def ticker_store():
+    bench = benchmark("ticker")
+    engine = BrowserEngine(bench.config)
+    engine.load_page(bench.page)
+    engine.run_session(bench.actions)
+    return engine.trace_store()
+
+
+# --------------------------------------------------------------------- #
+# Engine registration                                                   #
+# --------------------------------------------------------------------- #
+
+
+def test_profiler_engine_matches_sequential(ticker_store):
+    profiler = Profiler(ticker_store)
+    span = ticker_store.frame_spans()[1]
+    criteria = frame_pixel_criteria(ticker_store, span)
+    seq = profiler.slice(criteria, engine="sequential")
+    inc = profiler.slice(criteria, engine="incremental")
+    assert bytes(inc.flags) == bytes(seq.flags)
+    assert inc.engine_stats["engine"] == "incremental"
+    assert inc.engine_stats["records_total"] == len(ticker_store)
+
+
+def test_slice_trace_engine_matches_sequential(ticker_store):
+    span = ticker_store.frame_spans()[2]
+    criteria = frame_pixel_criteria(ticker_store, span)
+    cdi = build_index(ticker_store.records())
+    seq = slice_trace(ticker_store, criteria, cdi=cdi)
+    inc = slice_trace(ticker_store, criteria, cdi=cdi, engine="incremental")
+    assert bytes(inc.flags) == bytes(seq.flags)
+
+
+def test_unknown_engine_rejected(ticker_store):
+    span = ticker_store.frame_spans()[0]
+    criteria = frame_pixel_criteria(ticker_store, span)
+    with pytest.raises(ValueError, match="incremental"):
+        Profiler(ticker_store).slice(criteria, engine="sideways")
+
+
+def test_timeline_final_sample_matches_sequential(ticker_store):
+    # Intermediate samples may differ by the not-yet-paired RET count
+    # (see ``reconstruct_timeline``); the final sample is exact.
+    profiler = Profiler(ticker_store)
+    span = ticker_store.frame_spans()[1]
+    criteria = frame_pixel_criteria(ticker_store, span)
+    seq = profiler.slice(criteria, engine="sequential", sample_every=256)
+    inc = profiler.slice(criteria, engine="incremental", sample_every=256)
+    assert inc.timeline, "incremental engine should emit timeline samples"
+    assert inc.timeline[-1] == seq.timeline[-1]
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint reuse                                                      #
+# --------------------------------------------------------------------- #
+
+
+def test_shared_checkpoint_steady_state_guard(ticker_store):
+    """Frame N+1 from frame N's checkpoint touches < 50% of the records
+    a full re-slice walks (the CI smoke guard)."""
+    profiler = Profiler(ticker_store)
+    spans = ticker_store.frame_spans()
+    assert len(spans) >= 5
+    for i, span in enumerate(spans):
+        criteria = frame_pixel_criteria(ticker_store, span)
+        seq = profiler.slice(criteria, engine="sequential")
+        inc = profiler.slice(criteria, engine="incremental")
+        assert bytes(inc.flags) == bytes(seq.flags), f"frame {span.frame_id}"
+        stats = inc.engine_stats
+        if i >= 3:  # steady state: every seedless region is memoized
+            touched = stats["records_touched"] / stats["records_total"]
+            assert touched < 0.5, (
+                f"frame {span.frame_id}: incremental touched {touched:.1%} "
+                f"of the trace; expected well under 50%"
+            )
+            assert stats["memo_exact"] + stats["memo_pass_through"] > 0
+
+
+def test_fresh_checkpoint_per_call_never_reuses(ticker_store):
+    spans = ticker_store.frame_spans()
+    cdi = build_index(ticker_store.records())
+    for span in spans[:2]:
+        criteria = frame_pixel_criteria(ticker_store, span)
+        slicer = IncrementalSlicer(ticker_store, cdi, criteria)
+        slicer.run()
+        assert slicer.exact_hits == 0 and slicer.pass_throughs == 0
+        assert slicer.records_touched == len(ticker_store)
+
+
+def test_options_change_drops_memos(ticker_store):
+    profiler = Profiler(ticker_store)
+    span = ticker_store.frame_spans()[1]
+    criteria = frame_pixel_criteria(ticker_store, span)
+    profiler.slice(criteria, engine="incremental")
+    ckpt = profiler.slice_checkpoint()
+    assert ckpt.memos
+    ckpt.ensure_layout(ckpt.regions, "cd=0;call=1")
+    assert not ckpt.memos and not ckpt.facts
+
+
+def test_checkpoint_disk_resume(ticker_store, tmp_path):
+    """Serialize mid-sweep, reload, and keep slicing: the reloaded memos
+    are reused and the flags stay byte-identical to sequential."""
+    profiler = Profiler(ticker_store)
+    spans = ticker_store.frame_spans()
+    half = spans[: len(spans) // 2]
+    for span in half:
+        profiler.slice(
+            frame_pixel_criteria(ticker_store, span), engine="incremental"
+        )
+    path = tmp_path / "ticker.ckpt"
+    profiler.slice_checkpoint().save(path)
+
+    resumed = SliceCheckpoint.load(path)
+    assert resumed.options_key == options_key(DEFAULT_OPTIONS)
+    assert set(resumed.memos) == set(profiler.slice_checkpoint().memos)
+    fresh = Profiler(ticker_store)
+    for span in spans[len(spans) // 2 :]:
+        criteria = frame_pixel_criteria(ticker_store, span)
+        seq = fresh.slice(criteria, engine="sequential")
+        inc = fresh.slice(criteria, engine="incremental", checkpoint=resumed)
+        assert bytes(inc.flags) == bytes(seq.flags), f"frame {span.frame_id}"
+    assert resumed.counters.exact_hits + resumed.counters.pass_throughs > 0
+
+
+def test_track_reasons_bypasses_memoization(ticker_store):
+    from repro.profiler.slicer import SlicerOptions
+
+    profiler = Profiler(ticker_store)
+    span = ticker_store.frame_spans()[1]
+    criteria = frame_pixel_criteria(ticker_store, span)
+    opts = SlicerOptions(track_reasons=True)
+    seq = profiler.slice(criteria, engine="sequential", options=opts)
+    inc = profiler.slice(criteria, engine="incremental", options=opts)
+    assert bytes(inc.flags) == bytes(seq.flags)
+    assert inc.reasons == seq.reasons
+    # A reasons run must not have poisoned the checkpoint with memos
+    # lacking reason maps, nor consumed any.
+    assert inc.engine_stats["memo_exact"] == 0
+    assert inc.engine_stats["memo_pass_through"] == 0
+
+
+# --------------------------------------------------------------------- #
+# Adversarial hand-built traces                                         #
+# --------------------------------------------------------------------- #
+
+
+def _frame(tracer, frame_id, kind, body):
+    tracer.frame_begin(frame_id, kind)
+    body()
+    tracer.frame_end(frame_id)
+
+
+def _assert_engines_agree(store, span):
+    criteria = frame_pixel_criteria(store, span)
+    cdi = build_index(store.records())
+    seq = slice_trace(store, criteria, cdi=cdi)
+    inc = slice_trace(store, criteria, cdi=cdi, engine="incremental")
+    assert bytes(inc.flags) == bytes(seq.flags)
+    return seq
+
+
+def test_cross_frame_memory_dependence():
+    """Frame 1's paint reads a cell only frame 0 wrote: the producing
+    write in frame 0 must be in frame 1's slice."""
+    tracer = Tracer()
+    tracer.spawn_thread(1, "CrRendererMain", "main_loop")
+
+    def load():
+        tracer.op("model_init", writes=(0x100,))
+        tracer.op("paint0", writes=(0x200,))
+        tracer.marker(TILE_MARKER, (0x200,))
+
+    def update():
+        tracer.op("style", reads=(0x100,), writes=(0x201,))
+        tracer.op("paint1", reads=(0x201,), writes=(0x202,))
+        tracer.marker(TILE_MARKER, (0x202,))
+
+    _frame(tracer, 0, "load", load)
+    _frame(tracer, 1, "update", update)
+    store = tracer.store
+    producer = next(
+        i for i, r in enumerate(store.records()) if r.mem_written == (0x100,)
+    )
+    seq = _assert_engines_agree(store, store.frame_spans()[1])
+    assert seq.flags[producer], "cross-frame producer must be in the slice"
+
+
+def test_slice_reaches_back_two_frames():
+    """The dependence chain skips the middle frame entirely, so the
+    incremental walk must pass the frontier through frame 1 unresolved
+    and land it on frame 0's write."""
+    tracer = Tracer()
+    tracer.spawn_thread(1, "CrRendererMain", "main_loop")
+
+    def load():
+        tracer.op("deep_init", writes=(0x300,))
+        tracer.op("paint0", writes=(0x400,))
+        tracer.marker(TILE_MARKER, (0x400,))
+
+    def middle():
+        tracer.op("unrelated", writes=(0x310,))
+        tracer.op("paint1", reads=(0x310,), writes=(0x401,))
+        tracer.marker(TILE_MARKER, (0x401,))
+
+    def late():
+        tracer.op("paint2", reads=(0x300,), writes=(0x402,))
+        tracer.marker(TILE_MARKER, (0x402,))
+
+    _frame(tracer, 0, "load", load)
+    _frame(tracer, 1, "update", middle)
+    _frame(tracer, 2, "update", late)
+    store = tracer.store
+    records = list(store.records())
+    deep = next(
+        i for i, r in enumerate(records) if r.mem_written == (0x300,)
+    )
+    unrelated = next(
+        i for i, r in enumerate(records) if r.mem_written == (0x310,)
+    )
+    seq = _assert_engines_agree(store, store.frame_spans()[2])
+    assert seq.flags[deep], "chain must reach back two frames"
+    assert not seq.flags[unrelated], "middle frame's work is off-chain"
+
+
+def test_empty_frame():
+    """A frame that rasters nothing yields empty criteria and an
+    all-zero slice — and must not derail neighbouring frames."""
+    tracer = Tracer()
+    tracer.spawn_thread(1, "CrRendererMain", "main_loop")
+
+    def load():
+        tracer.op("init", writes=(0x500,))
+        tracer.op("paint0", writes=(0x600,))
+        tracer.marker(TILE_MARKER, (0x600,))
+
+    def idle():
+        tracer.op("tick", reads=(0x500,))
+
+    def update():
+        tracer.op("paint2", reads=(0x500,), writes=(0x601,))
+        tracer.marker(TILE_MARKER, (0x601,))
+
+    _frame(tracer, 0, "load", load)
+    _frame(tracer, 1, "update", idle)
+    _frame(tracer, 2, "update", update)
+    store = tracer.store
+    spans = store.frame_spans()
+    empty = frame_pixel_criteria(store, spans[1])
+    assert not empty.criteria
+    cdi = build_index(store.records())
+    inc = slice_trace(store, empty, cdi=cdi, engine="incremental")
+    assert not any(inc.flags)
+    for span in (spans[0], spans[2]):
+        _assert_engines_agree(store, span)
