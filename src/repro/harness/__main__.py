@@ -177,12 +177,12 @@ def main(argv) -> int:
             print(f"unknown option(s): {', '.join(unknown_opts)}", file=sys.stderr)
             return 2
         frames_engine = options.get("engine")
-        if frames_engine is not None and frames_engine not in (
-            "sequential", "parallel", "vectorized", "incremental"
-        ):
+        from ..profiler.api import ENGINES
+
+        if frames_engine is not None and frames_engine not in ENGINES:
             print(
-                f"--engine expects one of sequential, parallel, vectorized, "
-                f"incremental; got {frames_engine!r}",
+                f"--engine expects one of {', '.join(ENGINES)}; "
+                f"got {frames_engine!r}",
                 file=sys.stderr,
             )
             return 2

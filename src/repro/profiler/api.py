@@ -36,6 +36,11 @@ from .stats import SliceStatistics, compute_statistics
 if TYPE_CHECKING:
     from .incremental import SliceCheckpoint
 
+#: The slicing-engine registry: every implementation ``Profiler.slice``
+#: accepts.  CLIs and the service validate engine names against this one
+#: tuple so a new engine lands everywhere at once.
+ENGINES = ("sequential", "parallel", "vectorized", "incremental")
+
 
 class Profiler:
     """Dynamic backward-slicing profiler over one instruction trace."""
@@ -148,8 +153,7 @@ class Profiler:
                 options=options,
             ).run()
         raise ValueError(
-            f"unknown engine {engine!r}; expected 'sequential', 'parallel', "
-            f"'vectorized', or 'incremental'"
+            f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
         )
 
     def pixel_slice(

@@ -50,6 +50,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..trace.checkpoint import (
+    CHECKPOINT_SUFFIX,
     CheckpointImage,
     RegionFactsImage,
     RegionMemoImage,
@@ -711,3 +712,39 @@ class StreamingSliceSession:
             result = self.feed(epoch)
             if result is not None:
                 yield result
+
+
+def checkpoint_path_for(digest: str, directory: Union[str, Path]) -> Path:
+    """Canonical on-disk checkpoint path for a trace digest.
+
+    One naming rule shared by every checkpoint persister (service jobs,
+    fleet streaming uploads, warm-replica handoff), so a checkpoint
+    written by one path warms all the others.
+    """
+    return Path(directory) / f"{digest[:32]}{CHECKPOINT_SUFFIX}"
+
+
+def stream_slice(
+    source: Union[str, Path, TraceStore, object],
+    checkpoint: Optional[SliceCheckpoint] = None,
+    options: SlicerOptions = DEFAULT_OPTIONS,
+    keep_resident: int = 8,
+) -> Iterator[IncrementalFrameResult]:
+    """Slice every frame of a UCWA source as its epoch arrives.
+
+    Convenience wiring of :func:`~repro.trace.stream.open_epoch_stream`
+    into a :class:`StreamingSliceSession`: one bounded-memory pass over
+    the source, yielding each complete frame's pixel slice in arrival
+    order.  This is the path the fleet's streaming trace upload drives —
+    frames slice as the spooled prefix grows, and the (optionally
+    persisted) ``checkpoint`` leaves later per-frame submits warm.
+    """
+    from ..trace.stream import open_epoch_stream
+
+    session = StreamingSliceSession(
+        open_epoch_stream(source),
+        options=options,
+        checkpoint=checkpoint,
+        keep_resident=keep_resident,
+    )
+    return session.results()

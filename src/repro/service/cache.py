@@ -22,6 +22,15 @@ set.  The workload→digest memo (:class:`WorkloadDigestMemo`) lets the
 server answer a repeat *workload* submit without even re-running the
 workload: the first run records the digest its deterministic trace
 hashed to, also keyed by ``code_version``.
+
+The disk tier has a lifecycle (docs/profiling-service.md, "Eviction and
+TTL"): byte counts are tracked on every put/evict (``cache_bytes`` in
+:meth:`ResultCache.stats`), an optional ``max_bytes`` budget evicts
+least-recently-used entries on overflow, and an optional ``ttl_s``
+expires entries by age since they were stored (an expired entry counts
+as a miss and is unlinked on discovery).  On restart the store is
+re-indexed from file sizes and mtimes, so budgets keep holding across
+daemon generations.
 """
 
 from __future__ import annotations
@@ -29,9 +38,10 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 
 def code_version() -> str:
@@ -85,6 +95,17 @@ def cache_key(
     return hashlib.sha256(raw).hexdigest()
 
 
+class _DiskEntry:
+    """Index record for one on-disk result (size + LRU/TTL clocks)."""
+
+    __slots__ = ("size", "stored", "used")
+
+    def __init__(self, size: int, stored: float, used: float) -> None:
+        self.size = size
+        self.stored = stored  # clock() at write time (TTL anchor)
+        self.used = used  # clock() at last touch (LRU order)
+
+
 class ResultCache:
     """Two-tier result cache: bounded LRU in front of a directory store.
 
@@ -92,19 +113,58 @@ class ResultCache:
     supervisor threads concurrently.  Hit/miss counters live here so the
     ``stats`` endpoint reports the cache's own truth rather than the
     server's bookkeeping.
+
+    ``max_bytes`` bounds the disk tier (least-recently-used entries are
+    evicted on overflow; the entry just written always survives its own
+    put), ``ttl_s`` expires entries by age since storage.  ``clock`` is
+    injectable for deterministic lifecycle tests and defaults to
+    :func:`time.monotonic`.
     """
 
-    def __init__(self, directory: Union[str, Path], memory_entries: int = 128) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        memory_entries: int = 128,
+        max_bytes: Optional[int] = None,
+        ttl_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if memory_entries < 1:
             raise ValueError(f"memory_entries must be >= 1, got {memory_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError(f"ttl_s must be positive, got {ttl_s}")
         self._dir = Path(directory) / "results"
         self._dir.mkdir(parents=True, exist_ok=True)
         self._memory_entries = memory_entries
+        self._max_bytes = max_bytes
+        self._ttl_s = ttl_s
+        self._clock = clock
         self._lru: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._lock = threading.Lock()
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        # Re-index whatever a previous daemon generation left on disk.
+        # File age (wall-clock mtime) is translated onto the injected
+        # clock's timeline so TTLs keep counting across restarts.
+        self._index: Dict[str, _DiskEntry] = {}
+        self._bytes = 0
+        now = self._clock()
+        wall = time.time()
+        for path in sorted(self._dir.glob("*.json")):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover — raced removal
+                continue
+            age = max(0.0, wall - stat.st_mtime)
+            entry = _DiskEntry(stat.st_size, now - age, now - age)
+            self._index[path.stem] = entry
+            self._bytes += entry.size
+        self._enforce_budget()
 
     def _path(self, key: str) -> Path:
         return self._dir / f"{key}.json"
@@ -115,13 +175,47 @@ class ResultCache:
         while len(self._lru) > self._memory_entries:
             self._lru.popitem(last=False)
 
+    def _drop_disk(self, key: str) -> None:
+        """Remove one entry from both tiers and the byte ledger."""
+        entry = self._index.pop(key, None)
+        if entry is not None:
+            self._bytes -= entry.size
+        self._lru.pop(key, None)
+        self._path(key).unlink(missing_ok=True)
+
+    def _expired(self, key: str) -> bool:
+        """TTL check; expires (and unlinks) the entry when stale."""
+        if self._ttl_s is None:
+            return False
+        entry = self._index.get(key)
+        if entry is None or self._clock() - entry.stored <= self._ttl_s:
+            return False
+        self._drop_disk(key)
+        self.expirations += 1
+        return True
+
+    def _enforce_budget(self) -> None:
+        """Evict least-recently-used entries until under ``max_bytes``."""
+        if self._max_bytes is None:
+            return
+        while self._bytes > self._max_bytes and len(self._index) > 1:
+            victim = min(self._index, key=lambda k: self._index[k].used)
+            self._drop_disk(victim)
+            self.evictions += 1
+
     def lookup(self, key: str) -> Optional[Tuple[Dict[str, Any], str]]:
         """Look up a result: ``(payload, tier)`` with tier ``"memory"`` or
         ``"disk"``, or None on miss.  Updates the hit counters."""
         with self._lock:
+            if self._expired(key):
+                self.misses += 1
+                return None
             payload = self._lru.get(key)
             if payload is not None:
                 self._lru.move_to_end(key)
+                entry = self._index.get(key)
+                if entry is not None:
+                    entry.used = self._clock()
                 self.memory_hits += 1
                 return payload, "memory"
             path = self._path(key)
@@ -133,10 +227,13 @@ class ResultCache:
             except (OSError, json.JSONDecodeError):
                 # A torn or corrupt entry is a miss; drop it so the slot
                 # heals on the next put.
-                path.unlink(missing_ok=True)
+                self._drop_disk(key)
                 self.misses += 1
                 return None
             self.disk_hits += 1
+            entry = self._index.get(key)
+            if entry is not None:
+                entry.used = self._clock()
             self._remember(key, payload)
             return payload, "disk"
 
@@ -145,19 +242,55 @@ class ResultCache:
         found = self.lookup(key)
         return None if found is None else found[0]
 
+    def peek(self, key: str) -> Optional[Dict[str, Any]]:
+        """Read a payload without counting hits/misses or touching LRU
+        order (warm-handoff enumeration must not distort the stats)."""
+        with self._lock:
+            payload = self._lru.get(key)
+            if payload is not None:
+                return payload
+            try:
+                return json.loads(self._path(key).read_text("utf-8"))
+            except (OSError, json.JSONDecodeError):
+                return None
+
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         """Store a result in both tiers (write-through)."""
         raw = json.dumps(payload, sort_keys=True)
         with self._lock:
+            old = self._index.get(key)
+            if old is not None:
+                self._bytes -= old.size
             tmp = self._path(key).with_suffix(".tmp")
             tmp.write_text(raw, "utf-8")
             tmp.replace(self._path(key))
+            now = self._clock()
+            size = len(raw.encode("utf-8"))
+            self._index[key] = _DiskEntry(size, now, now)
+            self._bytes += size
             self._remember(key, payload)
+            self._enforce_budget()
 
     def contains(self, key: str) -> bool:
         """Presence check without counting a hit or a miss."""
         with self._lock:
+            if self._ttl_s is not None:
+                entry = self._index.get(key)
+                if entry is not None and self._clock() - entry.stored > self._ttl_s:
+                    return False
             return key in self._lru or self._path(key).exists()
+
+    def keys_hot_first(self) -> list:
+        """Every disk key, most-recently-used first (handoff order)."""
+        with self._lock:
+            return sorted(
+                self._index, key=lambda k: self._index[k].used, reverse=True
+            )
+
+    def cache_bytes(self) -> int:
+        """Current disk-tier footprint in bytes (ledger, not a re-scan)."""
+        with self._lock:
+            return self._bytes
 
     def stats(self) -> Dict[str, Any]:
         with self._lock:
@@ -169,7 +302,12 @@ class ResultCache:
                 "misses": self.misses,
                 "hit_rate": hits / lookups if lookups else 0.0,
                 "entries_memory": len(self._lru),
-                "entries_disk": sum(1 for _ in self._dir.glob("*.json")),
+                "entries_disk": len(self._index),
+                "cache_bytes": self._bytes,
+                "max_bytes": self._max_bytes,
+                "ttl_s": self._ttl_s,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
             }
 
 

@@ -2,9 +2,21 @@
 
 :class:`ServiceClient` opens one short-lived connection per call — the
 daemon is local, connects are cheap, and per-call connections mean a
-client never holds a handler thread hostage between requests (the one
-deliberate exception: ``submit(wait=True)`` and ``wait()`` keep their
-connection open while the server blocks on the job's completion).
+client never holds a handler thread hostage between requests (the
+deliberate exceptions: ``submit(wait=True)`` and ``wait()`` keep their
+connection open while the server blocks on the job's completion, and
+``upload_trace`` streams all of its chunk frames over one connection).
+
+Endpoints name either transport::
+
+    ServiceClient("/tmp/repro.sock")            # AF_UNIX (back-compat)
+    ServiceClient("unix:/tmp/repro.sock")       # AF_UNIX, explicit
+    ServiceClient("tcp:127.0.0.1:7341")         # TCP
+
+TCP servers configured with a shared secret require an ``auth`` frame
+before any other op; pass ``auth_token`` and the client performs the
+handshake transparently on every connection it opens.  AF_UNIX servers
+trust filesystem permissions instead and skip the handshake.
 
 Failures arrive as :class:`ServiceError` with the server's stable error
 code on it, so callers branch on ``err.code`` rather than message text.
@@ -12,11 +24,37 @@ code on it, so callers branch on ``err.code`` rather than message text.
 
 from __future__ import annotations
 
+import base64
+import hashlib
 import socket
-from typing import Any, Dict, Optional, Union
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
 
 from .jobs import JobSpec
 from .protocol import ProtocolError, recv_message, send_message
+
+
+def parse_endpoint(endpoint: str) -> Tuple[str, Union[str, Tuple[str, int]]]:
+    """Split an endpoint string into ``("unix", path)`` or ``("tcp", (host, port))``.
+
+    A bare path (no scheme prefix) is an AF_UNIX socket, which keeps
+    every pre-fleet call site working unchanged.
+    """
+    if endpoint.startswith("tcp:"):
+        rest = endpoint[len("tcp:"):]
+        host, sep, port_text = rest.rpartition(":")
+        if not sep or not host:
+            raise ValueError(f"tcp endpoint must be tcp:HOST:PORT, got {endpoint!r}")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(f"bad port in endpoint {endpoint!r}") from None
+        if not 0 < port < 65536:
+            raise ValueError(f"port out of range in endpoint {endpoint!r}")
+        return "tcp", (host, port)
+    if endpoint.startswith("unix:"):
+        return "unix", endpoint[len("unix:"):]
+    return "unix", endpoint
 
 
 class ServiceError(Exception):
@@ -32,9 +70,52 @@ class ServiceError(Exception):
 class ServiceClient:
     """Talk to a :class:`~repro.service.server.ProfilingServer` socket."""
 
-    def __init__(self, socket_path: str, connect_timeout_s: float = 5.0) -> None:
-        self._socket_path = socket_path
+    def __init__(
+        self,
+        endpoint: str,
+        connect_timeout_s: float = 5.0,
+        auth_token: Optional[str] = None,
+    ) -> None:
+        self._kind, self._address = parse_endpoint(endpoint)
+        self._endpoint = endpoint
         self._connect_timeout_s = connect_timeout_s
+        self._auth_token = auth_token
+
+    @property
+    def endpoint(self) -> str:
+        return self._endpoint
+
+    def _open(self, timeout_s: Optional[float]) -> socket.socket:
+        """Connect (and authenticate, on TCP) one fresh socket."""
+        if self._kind == "tcp":
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        else:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self._connect_timeout_s)
+        try:
+            sock.connect(self._address)
+        except OSError as err:
+            sock.close()
+            raise ServiceError(
+                "unreachable", f"cannot connect to {self._endpoint}: {err}"
+            ) from None
+        sock.settimeout(timeout_s)
+        if self._kind == "tcp" and self._auth_token is not None:
+            try:
+                send_message(sock, {"op": "auth", "token": self._auth_token})
+                response = recv_message(sock)
+            except (ProtocolError, OSError) as err:
+                sock.close()
+                raise ServiceError("transport", str(err)) from None
+            if response is None or not response.get("ok"):
+                sock.close()
+                error = (response or {}).get("error") or {}
+                raise ServiceError(
+                    error.get("code", "auth-failed"),
+                    error.get("message", "authentication rejected"),
+                    details=error,
+                )
+        return sock
 
     def request(
         self, message: Dict[str, Any], timeout_s: Optional[float] = None
@@ -44,33 +125,29 @@ class ServiceClient:
         ``timeout_s`` bounds the wait for the *response* (None = forever),
         independent of the connect timeout.
         """
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock = self._open(timeout_s)
         try:
-            sock.settimeout(self._connect_timeout_s)
-            try:
-                sock.connect(self._socket_path)
-            except OSError as err:
-                raise ServiceError(
-                    "unreachable", f"cannot connect to {self._socket_path}: {err}"
-                ) from None
-            sock.settimeout(timeout_s)
             try:
                 send_message(sock, message)
                 response = recv_message(sock)
             except (ProtocolError, OSError) as err:
                 raise ServiceError("transport", str(err)) from None
-            if response is None:
-                raise ServiceError("transport", "server closed the connection")
-            if not response.get("ok"):
-                error = response.get("error") or {}
-                raise ServiceError(
-                    error.get("code", "unknown"),
-                    error.get("message", "unspecified error"),
-                    details=error,
-                )
-            return response
+            return self._check(response)
         finally:
             sock.close()
+
+    @staticmethod
+    def _check(response: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        if response is None:
+            raise ServiceError("transport", "server closed the connection")
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(
+                error.get("code", "unknown"),
+                error.get("message", "unspecified error"),
+                details=error,
+            )
+        return response
 
     # -- operations ----------------------------------------------------- #
 
@@ -87,6 +164,73 @@ class ServiceClient:
         spec_dict = spec.to_dict() if isinstance(spec, JobSpec) else spec
         return self.request(
             {"op": "submit", "spec": spec_dict, "wait": wait}, timeout_s=timeout_s
+        )
+
+    def upload_trace(
+        self,
+        path: Union[str, Path],
+        spec: Optional[Dict[str, Any]] = None,
+        wait: bool = True,
+        stream: bool = False,
+        chunk_size: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Stream a trace file to the server in bounded-memory chunks.
+
+        Reads the file ``chunk_size`` bytes at a time — the full image is
+        never resident on this side — and ships ``trace-begin``, the
+        ``trace-chunk`` frames (unacknowledged; see the protocol notes),
+        and a ``trace-end`` carrying the running sha256.
+
+        Without ``spec`` the server just registers the upload and the
+        response carries its ``digest`` (submit later with a
+        ``trace_ref`` spec).  With ``spec`` (criteria/engine/frame — no
+        target; the upload *is* the target) the server submits the job
+        immediately.  ``stream=True`` with ``engine="incremental"``
+        instead slices every frame as its epoch arrives from the spooled
+        stream and returns the per-frame results.
+        """
+        from .fleet.upload import CHUNK_SIZE_DEFAULT, iter_file_chunks
+
+        size = chunk_size if chunk_size is not None else CHUNK_SIZE_DEFAULT
+        # Probe readability before dialing: an unreadable local file is
+        # the caller's error (plain OSError), not a transport failure.
+        Path(path).open("rb").close()
+        sock = self._open(timeout_s)
+        try:
+            try:
+                send_message(sock, {"op": "trace-begin"})
+                self._check(recv_message(sock))
+                hasher = hashlib.sha256()
+                for chunk in iter_file_chunks(path, size):
+                    hasher.update(chunk)
+                    send_message(
+                        sock,
+                        {
+                            "op": "trace-chunk",
+                            "data": base64.b64encode(chunk).decode("ascii"),
+                        },
+                    )
+                end: Dict[str, Any] = {
+                    "op": "trace-end",
+                    "digest": hasher.hexdigest(),
+                    "wait": wait,
+                }
+                if spec is not None:
+                    end["spec"] = spec
+                if stream:
+                    end["stream"] = True
+                send_message(sock, end)
+                return self._check(recv_message(sock))
+            except (ProtocolError, OSError) as err:
+                raise ServiceError("transport", str(err)) from None
+        finally:
+            sock.close()
+
+    def has_trace(self, digest: str) -> bool:
+        """Whether the server's upload registry holds ``digest``."""
+        return bool(
+            self.request({"op": "has-trace", "digest": digest}).get("present")
         )
 
     def status(self, job_id: str) -> Dict[str, Any]:
@@ -108,6 +252,14 @@ class ServiceClient:
 
     def stats(self) -> Dict[str, Any]:
         return self.request({"op": "stats"})["stats"]
+
+    def ring(self) -> Dict[str, Any]:
+        """The server's fleet topology (empty for a single node)."""
+        return self.request({"op": "ring"})
+
+    def drain(self) -> Dict[str, Any]:
+        """Hand off warm entries to ring successors, then drain-stop."""
+        return self.request({"op": "drain"})
 
     def shutdown(self, drain: bool = True) -> Dict[str, Any]:
         return self.request({"op": "shutdown", "mode": "drain" if drain else "now"})

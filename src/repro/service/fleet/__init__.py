@@ -1,0 +1,40 @@
+"""Fleet layer: run the profiling service as a sharded cluster.
+
+One :class:`~repro.service.server.ProfilingServer` is a single node —
+one socket, one worker pool, one cache.  This package turns N of them
+into a fleet:
+
+* :mod:`~repro.service.fleet.ring` — consistent-hash placement of
+  content-addressed result keys across shards (virtual nodes, minimal
+  disruption on membership change) plus the :class:`FleetConfig`
+  topology record every shard and client shares.
+* :mod:`~repro.service.fleet.upload` — the chunked streaming trace
+  upload (``trace-begin`` / ``trace-chunk`` / ``trace-end`` frames with
+  running digest verification), bounded-memory on both ends.
+* :mod:`~repro.service.fleet.router` — :class:`FleetClient`, the
+  shard-aware client: maps each job to its ring owner, uploads trace
+  bytes where they are needed, and fails over along the ring when a
+  shard dies.
+* :mod:`~repro.service.fleet.supervisor` — boot an N-shard fleet of
+  in-process servers on localhost TCP (tests, the load harness, and
+  ``python -m repro.service loadtest``).
+* :mod:`~repro.service.fleet.loadtest` — the saturation load harness:
+  thousands of concurrent mixed cold/warm submits with p99, hit-rate,
+  and zero-drop budget assertions.
+
+Protocol, auth, and eviction knobs are documented in
+docs/profiling-service.md ("Fleet mode").
+"""
+
+from .ring import DEFAULT_VNODES, FleetConfig, HashRing, ShardInfo
+from .upload import CHUNK_SIZE_DEFAULT, iter_file_chunks, upload_path
+
+__all__ = [
+    "CHUNK_SIZE_DEFAULT",
+    "DEFAULT_VNODES",
+    "FleetConfig",
+    "HashRing",
+    "ShardInfo",
+    "iter_file_chunks",
+    "upload_path",
+]

@@ -1,0 +1,172 @@
+"""Consistent-hash ring: which shard owns which result key.
+
+Every shard and every fleet client builds the same :class:`HashRing`
+from the shared :class:`FleetConfig`, so placement is a pure function of
+the key — no directory service, no coordination traffic.  Keys are the
+content-addressed result-cache keys (``sha256(trace digest × criteria ×
+engine × frame × code_version)``, see :func:`repro.service.cache.cache_key`),
+so one trace digest's different questions spread across the fleet while
+every repeat of the *same* question lands on the same shard.
+
+Each shard contributes :data:`DEFAULT_VNODES` virtual points to the
+ring (sha256 of ``"<shard-id>#<vnode>"``), which keeps the per-shard
+load share near ``1/N`` and — the property that makes draining cheap —
+means removing a shard remaps only the keys that shard owned, each to
+the next shard clockwise from the key's point (its *ring successor*).
+:meth:`HashRing.preference` exposes that clockwise walk as the failover
+order clients use when a shard dies mid-job.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+#: Virtual nodes per shard.  64 keeps the max/min load ratio under ~1.4
+#: for small fleets while the ring stays tiny (N*64 points).
+DEFAULT_VNODES = 64
+
+
+def _point(label: str) -> int:
+    """Position of a label on the 64-bit ring."""
+    return int.from_bytes(hashlib.sha256(label.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over a fixed set of shard ids."""
+
+    def __init__(self, shard_ids: Sequence[str], vnodes: int = DEFAULT_VNODES) -> None:
+        ids = list(dict.fromkeys(shard_ids))
+        if not ids:
+            raise ValueError("a ring needs at least one shard")
+        if len(ids) != len(list(shard_ids)):
+            raise ValueError(f"duplicate shard ids in {list(shard_ids)!r}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self._ids: Tuple[str, ...] = tuple(ids)
+        self._vnodes = vnodes
+        points: List[Tuple[int, str]] = []
+        for shard_id in ids:
+            for vnode in range(vnodes):
+                points.append((_point(f"{shard_id}#{vnode}"), shard_id))
+        points.sort()
+        self._points = points
+        self._hashes = [h for h, _ in points]
+
+    @property
+    def shard_ids(self) -> Tuple[str, ...]:
+        return self._ids
+
+    @property
+    def vnodes(self) -> int:
+        return self._vnodes
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def owner(self, key: str) -> str:
+        """The shard owning ``key`` (first point clockwise from its hash)."""
+        index = bisect.bisect_right(self._hashes, _point(key)) % len(self._points)
+        return self._points[index][1]
+
+    def preference(self, key: str, n: int = 0) -> List[str]:
+        """Distinct shards in clockwise order from ``key``'s point.
+
+        The first entry is :meth:`owner`; the rest are the successive
+        failover targets (each is exactly the shard that would own the
+        key if every earlier entry left the ring).  ``n`` caps the list
+        (0 = all shards).
+        """
+        want = len(self._ids) if n < 1 else min(n, len(self._ids))
+        start = bisect.bisect_right(self._hashes, _point(key))
+        seen: set = set()
+        order: List[str] = []
+        for offset in range(len(self._points)):
+            shard_id = self._points[(start + offset) % len(self._points)][1]
+            if shard_id not in seen:
+                seen.add(shard_id)
+                order.append(shard_id)
+                if len(order) == want:
+                    break
+        return order
+
+    def without(self, shard_id: str) -> "HashRing":
+        """The ring after ``shard_id`` leaves (for drain/handoff placement)."""
+        remaining = [s for s in self._ids if s != shard_id]
+        if len(remaining) == len(self._ids):
+            raise KeyError(f"shard {shard_id!r} is not on the ring")
+        if not remaining:
+            raise ValueError(f"cannot remove {shard_id!r}: it is the last shard")
+        return HashRing(remaining, self._vnodes)
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One shard's identity and TCP address."""
+
+    id: str
+    host: str
+    port: int
+
+    @property
+    def endpoint(self) -> str:
+        """Endpoint string :class:`~repro.service.client.ServiceClient` accepts."""
+        return f"tcp:{self.host}:{self.port}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"id": self.id, "host": self.host, "port": self.port}
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """The fleet topology every shard and client shares.
+
+    Placement is derived (``config.ring()``), never stored, so two
+    processes holding equal configs always agree on ownership.
+    """
+
+    shards: Tuple[ShardInfo, ...]
+    vnodes: int = DEFAULT_VNODES
+
+    def __post_init__(self) -> None:
+        ids = [s.id for s in self.shards]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate shard ids: {ids}")
+
+    def ring(self) -> HashRing:
+        return HashRing([s.id for s in self.shards], self.vnodes)
+
+    def shard(self, shard_id: str) -> ShardInfo:
+        for info in self.shards:
+            if info.id == shard_id:
+                return info
+        raise KeyError(f"no shard {shard_id!r} in fleet {[s.id for s in self.shards]}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shards": [s.to_dict() for s in self.shards],
+            "vnodes": self.vnodes,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "FleetConfig":
+        if not isinstance(data, dict) or not isinstance(data.get("shards"), list):
+            raise ValueError("fleet config must be {'shards': [...], 'vnodes': N}")
+        shards = []
+        for entry in data["shards"]:
+            try:
+                shards.append(
+                    ShardInfo(
+                        id=str(entry["id"]),
+                        host=str(entry["host"]),
+                        port=int(entry["port"]),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as err:
+                raise ValueError(f"bad shard entry {entry!r}: {err}") from None
+        vnodes = data.get("vnodes", DEFAULT_VNODES)
+        if not isinstance(vnodes, int) or vnodes < 1:
+            raise ValueError(f"vnodes must be a positive integer, got {vnodes!r}")
+        return FleetConfig(shards=tuple(shards), vnodes=vnodes)

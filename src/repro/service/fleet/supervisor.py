@@ -1,0 +1,115 @@
+"""Boot and supervise an N-shard fleet of in-process servers.
+
+:class:`FleetSupervisor` solves the bootstrap circularity of a
+consistent-hash fleet: every shard needs the full topology (every
+shard's TCP port) before it can route, but ports are only known after
+binding.  So the supervisor starts every server on ``127.0.0.1:0``
+first, collects the kernel-assigned ports into one
+:class:`~repro.service.fleet.ring.FleetConfig`, and only then calls
+:meth:`~repro.service.server.ProfilingServer.configure_fleet` on each —
+after which placement is pure ring math everywhere.
+
+This is the harness the load test, the differential fleet tests, and
+the ``fleet-smoke`` CI job share.  A production deployment would boot
+the same servers from a config file instead; nothing here is
+test-only logic.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..server import ProfilingServer
+from .ring import DEFAULT_VNODES, FleetConfig, ShardInfo
+
+
+class FleetSupervisor:
+    """Own the lifecycle of ``n_shards`` TCP servers on localhost."""
+
+    def __init__(
+        self,
+        base_dir: Union[str, Path],
+        n_shards: int,
+        auth_token: Optional[str] = None,
+        workers: int = 2,
+        queue_size: int = 16,
+        memory_cache_entries: int = 128,
+        cache_max_bytes: Optional[int] = None,
+        cache_ttl_s: Optional[float] = None,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"a fleet needs at least one shard, got {n_shards}")
+        self._base_dir = Path(base_dir)
+        self._n_shards = n_shards
+        self._auth_token = auth_token
+        self._workers = workers
+        self._queue_size = queue_size
+        self._memory_cache_entries = memory_cache_entries
+        self._cache_max_bytes = cache_max_bytes
+        self._cache_ttl_s = cache_ttl_s
+        self._vnodes = vnodes
+        self.servers: List[ProfilingServer] = []
+        self.config: Optional[FleetConfig] = None
+
+    def start(self) -> FleetConfig:
+        """Boot every shard, assemble the topology, distribute it."""
+        if self.servers:
+            raise RuntimeError("fleet already started")
+        for index in range(self._n_shards):
+            shard_id = f"shard-{index}"
+            server = ProfilingServer(
+                None,
+                self._base_dir / shard_id / "cache",
+                workers=self._workers,
+                queue_size=self._queue_size,
+                memory_cache_entries=self._memory_cache_entries,
+                tcp_addr=("127.0.0.1", 0),
+                auth_token=self._auth_token,
+                cache_max_bytes=self._cache_max_bytes,
+                cache_ttl_s=self._cache_ttl_s,
+                shard_id=shard_id,
+            )
+            server.start()
+            self.servers.append(server)
+        shards = []
+        for server in self.servers:
+            assert server.tcp_port is not None
+            assert server.shard_id is not None
+            shards.append(
+                ShardInfo(id=server.shard_id, host="127.0.0.1", port=server.tcp_port)
+            )
+        config = FleetConfig(shards=tuple(shards), vnodes=self._vnodes)
+        for server in self.servers:
+            assert server.shard_id is not None
+            server.configure_fleet(config, server.shard_id)
+        self.config = config
+        return config
+
+    def server(self, shard_id: str) -> ProfilingServer:
+        for candidate in self.servers:
+            if candidate.shard_id == shard_id:
+                return candidate
+        raise KeyError(f"no shard {shard_id!r} in this fleet")
+
+    def kill(self, shard_id: str) -> None:
+        """Stop one shard abruptly (the shard-death failover scenario).
+
+        The topology is deliberately *not* updated: surviving shards and
+        clients discover the death through connection failures and walk
+        the ring's preference order, exactly as they would in production
+        before a config push.
+        """
+        self.server(shard_id).close()
+
+    def stop(self) -> None:
+        for server in self.servers:
+            server.close()
+
+    def __enter__(self) -> "FleetSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -22,11 +22,10 @@ import time
 from dataclasses import dataclass, asdict
 from typing import Any, Dict, Optional
 
+from ..profiler.api import ENGINES as _ENGINES
 from ..profiler.api import run_slice_job
 from ..profiler.criteria import criteria_names
 from ..trace.store import file_digest, load_any_trace, trace_digest
-
-_ENGINES = ("sequential", "parallel", "vectorized", "incremental")
 
 #: Fault-injection hooks, honoured inside the worker process just before
 #: the slice runs.  They exist so the failure paths (crash isolation,
@@ -47,6 +46,10 @@ class JobSpec:
 
     workload: Optional[str] = None
     trace_path: Optional[str] = None
+    #: content address (hex sha256) of a trace already streamed into the
+    #: server's upload registry — the fleet's submit form: the client
+    #: uploads bytes once per shard, then submits by digest alone
+    trace_ref: Optional[str] = None
     criteria: str = "pixels"
     engine: str = "sequential"
     workers: Optional[int] = None
@@ -57,13 +60,27 @@ class JobSpec:
     #: server injects its own cache-derived path for incremental jobs, so
     #: successive frame submits of one trace pay only the per-frame delta
     checkpoint_dir: Optional[str] = None
+    #: the server's upload-registry directory (server-injected, like
+    #: ``checkpoint_dir``); resolves ``trace_ref`` jobs inside the worker
+    upload_dir: Optional[str] = None
 
     def validate(self) -> "JobSpec":
         """Check the spec against the registries; raise :class:`SpecError`."""
         from ..workloads import benchmark_names, unknown_names
 
-        if bool(self.workload) == bool(self.trace_path):
-            raise SpecError("exactly one of 'workload' or 'trace_path' is required")
+        targets = [t for t in (self.workload, self.trace_path, self.trace_ref) if t]
+        if len(targets) != 1:
+            raise SpecError(
+                "exactly one of 'workload', 'trace_path', or 'trace_ref' "
+                "is required"
+            )
+        if self.trace_ref is not None and not (
+            len(self.trace_ref) == 64
+            and all(c in "0123456789abcdef" for c in self.trace_ref)
+        ):
+            raise SpecError(
+                f"trace_ref must be a hex sha256 digest, got {self.trace_ref!r}"
+            )
         if self.workload is not None and unknown_names([self.workload]):
             raise SpecError(
                 f"unknown workload {self.workload!r}; "
@@ -110,12 +127,13 @@ class JobSpec:
 
         Covers every result-affecting field (and the fault hook, so a
         fault-injected job never coalesces with a clean one) but not
-        ``timeout_s`` or ``checkpoint_dir``, which only affect how fast
-        the (byte-identical) result is produced.
+        ``timeout_s``, ``checkpoint_dir``, or ``upload_dir``, which only
+        affect how fast the (byte-identical) result is produced.
         """
         payload = self.to_dict()
         payload.pop("timeout_s", None)
         payload.pop("checkpoint_dir", None)
+        payload.pop("upload_dir", None)
         if self.trace_path is not None:
             payload["trace_path"] = os.path.abspath(self.trace_path)
         raw = json.dumps(payload, sort_keys=True).encode("utf-8")
@@ -134,11 +152,34 @@ def resolve_trace(spec: JobSpec):
     """
     if spec.trace_path is not None:
         return load_any_trace(spec.trace_path)
+    if spec.trace_ref is not None:
+        path = resolve_trace_ref(spec)
+        return load_any_trace(path)
     from ..harness.experiments import run_engine
     from ..workloads import benchmark
 
     assert spec.workload is not None  # validate() guarantees one target
     return run_engine(benchmark(spec.workload), metrics_ticks=2).trace_store()
+
+
+def resolve_trace_ref(spec: JobSpec):
+    """The upload-registry path of a ``trace_ref`` job's bytes.
+
+    The digest was verified when the upload was streamed in, so the path
+    *is* the content address — no re-hash.  A ref the registry does not
+    hold is a spec error (the server checks at submit time and returns
+    the stable ``no-such-trace`` code; this guard covers direct callers).
+    """
+    from .fleet.upload import upload_path
+
+    if spec.upload_dir is None:
+        raise SpecError(
+            "trace_ref jobs need the server's upload registry (upload_dir)"
+        )
+    path = upload_path(spec.upload_dir, spec.trace_ref or "")
+    if not path.exists():
+        raise SpecError(f"no uploaded trace with digest {spec.trace_ref}")
+    return path
 
 
 def _inject_fault(spec: JobSpec, attempt: int) -> None:
@@ -165,6 +206,8 @@ def execute_job(spec: JobSpec, attempt: int = 0) -> Dict[str, Any]:
     store = resolve_trace(spec)
     if spec.trace_path is not None:
         digest = file_digest(spec.trace_path)
+    elif spec.trace_ref is not None:
+        digest = spec.trace_ref  # verified when the upload was streamed in
     else:
         digest = trace_digest(store)
     t1 = time.perf_counter()
@@ -175,12 +218,11 @@ def execute_job(spec: JobSpec, attempt: int = 0) -> Dict[str, Any]:
     if spec.engine == "incremental" and spec.checkpoint_dir is not None:
         from pathlib import Path
 
-        from ..profiler.incremental import SliceCheckpoint
-        from ..trace.checkpoint import CHECKPOINT_SUFFIX
+        from ..profiler.incremental import SliceCheckpoint, checkpoint_path_for
 
         ckpt_dir = Path(spec.checkpoint_dir)
         ckpt_dir.mkdir(parents=True, exist_ok=True)
-        checkpoint_path = ckpt_dir / f"{digest[:32]}{CHECKPOINT_SUFFIX}"
+        checkpoint_path = checkpoint_path_for(digest, ckpt_dir)
         if checkpoint_path.exists():
             try:
                 checkpoint = SliceCheckpoint.load(checkpoint_path)

@@ -4,6 +4,17 @@ Every job contributes one sample per stage (queue wait, trace resolve,
 slice, total) and exactly one terminal outcome.  The ``stats`` endpoint
 renders this as JSON; nothing here depends on the server, so the module
 is unit-testable in isolation.
+
+Snapshots are safe under concurrent :meth:`ServiceMetrics.observe`: the
+lock is held only long enough to *copy* the sample windows, and the
+percentile sort runs on the copies outside the lock — a stats request
+over a 4096-sample window never stalls the submit path, and an observe
+landing mid-snapshot can never mutate the list being sorted.
+
+Fleet deployments label each shard's metrics (``labels={"shard": ...}``)
+so the aggregated ``stats`` of an N-shard fleet stays attributable;
+:func:`merge_snapshots` is the aggregation recipe the fleet client and
+load harness share.
 """
 
 from __future__ import annotations
@@ -11,7 +22,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Any, Deque, Dict, Iterable
+from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional, Tuple
 
 #: Latency samples kept per stage; a rolling window so a long-lived
 #: daemon reports recent behaviour, not its whole history.
@@ -54,28 +65,41 @@ class _Stage:
         self.count += 1
         self.total += seconds
 
-    def snapshot(self) -> Dict[str, Any]:
-        if not self.samples:
-            return {"count": self.count}
-        window = list(self.samples)
-        summary: Dict[str, Any] = {
-            "count": self.count,
-            "mean_s": self.total / self.count,
-        }
-        for p in PERCENTILES:
-            summary[f"p{p}_s"] = percentile(window, p)
-        return summary
+
+def _stage_summary(window: List[float], count: int, total: float) -> Dict[str, Any]:
+    """Render one stage's summary from an already-copied window."""
+    if not window:
+        return {"count": count}
+    summary: Dict[str, Any] = {"count": count, "mean_s": total / count}
+    for p in PERCENTILES:
+        summary[f"p{p}_s"] = percentile(window, p)
+    return summary
 
 
 class ServiceMetrics:
-    """Thread-safe counters + latency histograms behind one lock."""
+    """Thread-safe counters + latency histograms behind one lock.
 
-    def __init__(self) -> None:
+    The lock guards only mutation and copying; percentile computation
+    happens on copies so ``snapshot()`` never blocks ``observe()`` for
+    the duration of a sort.
+    """
+
+    def __init__(self, labels: Optional[Mapping[str, str]] = None) -> None:
         self._lock = threading.Lock()
         self._stages: Dict[str, _Stage] = {}
         self._counters: Dict[str, int] = {}
         self._outcomes: Dict[str, int] = {}
+        self._labels = dict(labels or {})
         self._started = time.monotonic()
+
+    @property
+    def labels(self) -> Dict[str, str]:
+        return dict(self._labels)
+
+    def set_label(self, key: str, value: str) -> None:
+        """Attach/overwrite one label (e.g. when a server joins a fleet)."""
+        with self._lock:
+            self._labels[key] = value
 
     def observe(self, stage: str, seconds: float) -> None:
         with self._lock:
@@ -102,11 +126,81 @@ class ServiceMetrics:
     def snapshot(self) -> Dict[str, Any]:
         """The stats endpoint's payload (sans server-owned gauges)."""
         with self._lock:
-            return {
-                "uptime_s": time.monotonic() - self._started,
-                "counters": dict(self._counters),
-                "outcomes": {name: self._outcomes.get(name, 0) for name in OUTCOMES},
-                "latency": {
-                    stage: s.snapshot() for stage, s in sorted(self._stages.items())
-                },
-            }
+            uptime = time.monotonic() - self._started
+            counters = dict(self._counters)
+            outcomes = {name: self._outcomes.get(name, 0) for name in OUTCOMES}
+            stages: List[Tuple[str, List[float], int, float]] = [
+                (name, list(stage.samples), stage.count, stage.total)
+                for name, stage in sorted(self._stages.items())
+            ]
+        # Percentile sorts happen outside the lock, on the copies.
+        payload: Dict[str, Any] = {
+            "uptime_s": uptime,
+            "counters": counters,
+            "outcomes": outcomes,
+            "latency": {
+                name: _stage_summary(window, count, total)
+                for name, window, count, total in stages
+            },
+        }
+        if self._labels:
+            payload["labels"] = dict(self._labels)
+        return payload
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate per-shard metric snapshots into one fleet view.
+
+    Counters and outcomes sum.  Latency stages merge by summing counts
+    and count-weighting means; percentiles cannot be re-derived from
+    percentiles, so the merged ``pNN_s`` is the *max* across shards — a
+    conservative upper bound (a budget that holds on the aggregate holds
+    on every shard).  Each input's ``labels`` are preserved under
+    ``shards`` so the aggregate stays attributable.
+    """
+    merged_counters: Dict[str, int] = {}
+    merged_outcomes: Dict[str, int] = {name: 0 for name in OUTCOMES}
+    stage_counts: Dict[str, int] = {}
+    stage_mean_weighted: Dict[str, float] = {}
+    stage_percentiles: Dict[str, Dict[str, float]] = {}
+    shard_labels: List[Dict[str, str]] = []
+    uptime = 0.0
+    n = 0
+    for snap in snapshots:
+        n += 1
+        uptime = max(uptime, float(snap.get("uptime_s", 0.0)))
+        shard_labels.append(dict(snap.get("labels", {})))
+        for name, value in (snap.get("counters") or {}).items():
+            merged_counters[name] = merged_counters.get(name, 0) + int(value)
+        for name, value in (snap.get("outcomes") or {}).items():
+            merged_outcomes[name] = merged_outcomes.get(name, 0) + int(value)
+        for stage, summary in (snap.get("latency") or {}).items():
+            count = int(summary.get("count", 0))
+            stage_counts[stage] = stage_counts.get(stage, 0) + count
+            if "mean_s" in summary:
+                stage_mean_weighted[stage] = (
+                    stage_mean_weighted.get(stage, 0.0)
+                    + float(summary["mean_s"]) * count
+                )
+            bucket = stage_percentiles.setdefault(stage, {})
+            for p in PERCENTILES:
+                field = f"p{p}_s"
+                if field in summary:
+                    bucket[field] = max(
+                        bucket.get(field, 0.0), float(summary[field])
+                    )
+    latency: Dict[str, Any] = {}
+    for stage, count in stage_counts.items():
+        summary: Dict[str, Any] = {"count": count}
+        if stage in stage_mean_weighted and count:
+            summary["mean_s"] = stage_mean_weighted[stage] / count
+        summary.update(stage_percentiles.get(stage, {}))
+        latency[stage] = summary
+    return {
+        "shards_merged": n,
+        "uptime_s": uptime,
+        "counters": merged_counters,
+        "outcomes": merged_outcomes,
+        "latency": latency,
+        "shards": shard_labels,
+    }

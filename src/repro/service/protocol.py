@@ -9,6 +9,7 @@ document ends and the next begins.
 Requests carry an ``op`` field::
 
     {"op": "ping"}
+    {"op": "auth",   "token": "..."}              # TCP connections, first
     {"op": "submit", "spec": {...}, "wait": true}
     {"op": "status", "id": "job-3"}
     {"op": "wait",   "id": "job-3", "timeout_s": 30}
@@ -16,12 +17,29 @@ Requests carry an ``op`` field::
     {"op": "stats"}
     {"op": "shutdown", "mode": "drain"}   # or "now"
 
+Fleet deployments (docs/profiling-service.md, "Fleet mode") add the
+streaming-upload and shard-coordination ops::
+
+    {"op": "trace-begin"}
+    {"op": "trace-chunk", "data": "<base64>"}     # no response frame
+    {"op": "trace-end",  "digest": "<sha256>", "spec": {...}, "wait": true}
+    {"op": "has-trace",  "digest": "<sha256>"}
+    {"op": "handoff",    "entries": [...]}        # warm-replica transfer
+    {"op": "drain"}                               # handoff + graceful stop
+    {"op": "ring"}                                # fleet topology
+
+``trace-chunk`` is the one deliberate exception to request/response
+lockstep: chunks are not individually acknowledged (an ack per chunk
+would add one round trip per 256 KiB), so an upload error is reported on
+the next non-chunk frame — in practice ``trace-end``.
+
 Responses carry ``ok``: ``{"ok": true, ...}`` on success, or
 ``{"ok": false, "error": {"code": ..., "message": ...}}``.  Error codes
 are stable strings (``invalid-spec``, ``busy``, ``shutting-down``,
 ``no-such-job``, ``bad-request``, ``timeout``, ``crashed``,
-``cancelled``, ``job-failed``, ``internal``) so clients can branch
-without parsing prose.
+``cancelled``, ``job-failed``, ``internal``, ``auth-required``,
+``auth-failed``, ``bad-upload``, ``digest-mismatch``, ``no-such-trace``,
+``misrouted``) so clients can branch without parsing prose.
 """
 
 from __future__ import annotations
@@ -49,6 +67,12 @@ ERR_CRASHED = "crashed"
 ERR_CANCELLED = "cancelled"
 ERR_JOB_FAILED = "job-failed"
 ERR_INTERNAL = "internal"
+ERR_AUTH_REQUIRED = "auth-required"
+ERR_AUTH_FAILED = "auth-failed"
+ERR_BAD_UPLOAD = "bad-upload"
+ERR_DIGEST_MISMATCH = "digest-mismatch"
+ERR_NO_SUCH_TRACE = "no-such-trace"
+ERR_MISROUTED = "misrouted"
 
 
 class ProtocolError(Exception):

@@ -232,11 +232,10 @@ def main(argv) -> int:
                 print(f"unknown option {opt!r}")
                 return 2
         # Validate up front, before the (possibly large) trace is loaded.
-        if engine not in ("sequential", "parallel", "vectorized", "incremental"):
-            print(
-                f"unknown engine {engine!r}; expected 'sequential', "
-                f"'parallel', 'vectorized', or 'incremental'"
-            )
+        from ..profiler.api import ENGINES
+
+        if engine not in ENGINES:
+            print(f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}")
             return 2
         if criteria not in criteria_names():
             print(

@@ -11,9 +11,10 @@ import tempfile
 import pytest
 
 from repro.service.client import ServiceClient
+from repro.service.fleet.supervisor import FleetSupervisor
 from repro.service.server import ProfilingServer
 from repro.trace.store import save_trace
-from repro.workloads.fuzz import random_trace
+from repro.workloads.fuzz import random_frame_trace, random_trace
 
 
 @pytest.fixture(scope="session")
@@ -21,6 +22,15 @@ def fuzz_trace_path(tmp_path_factory):
     """A well-formed ~4k-record trace on disk (pixel markers guaranteed)."""
     store = random_trace(seed=11, target_records=4_000)
     path = tmp_path_factory.mktemp("svc-traces") / "fuzz.ucwa"
+    save_trace(store, path)
+    return path
+
+
+@pytest.fixture(scope="session")
+def frame_trace_path(tmp_path_factory):
+    """A multi-frame trace (streaming slicing needs frame epochs)."""
+    store = random_frame_trace(seed=5, n_frames=4, records_per_frame=300)
+    path = tmp_path_factory.mktemp("svc-traces") / "frames.ucwa"
     save_trace(store, path)
     return path
 
@@ -52,3 +62,26 @@ def service_factory():
 def service(service_factory):
     server = service_factory()
     return server, ServiceClient(server.socket_path)
+
+
+@pytest.fixture
+def fleet_factory():
+    """Boot localhost TCP fleets; everything torn down at test end."""
+    started = []
+    tmp_dirs = []
+
+    def boot(n_shards=2, **kwargs) -> FleetSupervisor:
+        tmp = tempfile.mkdtemp(prefix="repro-fleet-")
+        tmp_dirs.append(tmp)
+        kwargs.setdefault("workers", 2)
+        kwargs.setdefault("auth_token", "test-fleet-secret")
+        supervisor = FleetSupervisor(tmp, n_shards, **kwargs)
+        supervisor.start()
+        started.append(supervisor)
+        return supervisor
+
+    yield boot
+    for supervisor in started:
+        supervisor.stop()
+    for tmp in tmp_dirs:
+        shutil.rmtree(tmp, ignore_errors=True)

@@ -1,0 +1,218 @@
+"""Disk-tier lifecycle: byte accounting, LRU byte budget, TTL, restart.
+
+The clock is injected so every TTL/LRU decision is deterministic — no
+sleeps.  Byte accounting is checked against the actual serialized JSON
+sizes, not just "some positive number", so a drifting ledger fails here
+before it mis-sizes a fleet's eviction decisions.
+"""
+
+import json
+
+import pytest
+
+from repro.service.cache import ResultCache
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def _size(payload) -> int:
+    return len(json.dumps(payload, sort_keys=True).encode("utf-8"))
+
+
+# --------------------------------------------------------------------- #
+# Byte accounting                                                       #
+# --------------------------------------------------------------------- #
+
+
+def test_put_tracks_serialized_bytes_exactly(tmp_path):
+    cache = ResultCache(tmp_path)
+    a = {"fraction": 0.5, "flags": "x" * 100}
+    b = {"fraction": 0.25}
+    cache.put("ka", a)
+    cache.put("kb", b)
+    assert cache.cache_bytes() == _size(a) + _size(b)
+    assert cache.stats()["cache_bytes"] == _size(a) + _size(b)
+    assert cache.stats()["entries_disk"] == 2
+
+
+def test_overwriting_a_key_does_not_double_count(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("k", {"v": "x" * 500})
+    small = {"v": "y"}
+    cache.put("k", small)
+    assert cache.cache_bytes() == _size(small)
+    assert cache.stats()["entries_disk"] == 1
+
+
+def test_eviction_returns_bytes_to_the_ledger(tmp_path):
+    clock = FakeClock()
+    payload = {"v": "x" * 200}
+    budget = _size(payload) * 2 + 10
+    cache = ResultCache(tmp_path, max_bytes=budget, clock=clock)
+    for i in range(3):
+        clock.advance(1.0)
+        cache.put(f"k{i}", payload)
+    assert cache.cache_bytes() <= budget
+    assert cache.stats()["evictions"] == 1
+    assert cache.cache_bytes() == 2 * _size(payload)
+
+
+# --------------------------------------------------------------------- #
+# LRU byte-budget eviction                                              #
+# --------------------------------------------------------------------- #
+
+
+def test_least_recently_used_entry_is_the_victim(tmp_path):
+    clock = FakeClock()
+    payload = {"v": "x" * 200}
+    cache = ResultCache(tmp_path, max_bytes=_size(payload) * 2 + 10, clock=clock)
+    cache.put("a", payload)
+    clock.advance(1.0)
+    cache.put("b", payload)
+    clock.advance(1.0)
+    assert cache.lookup("a") is not None  # touch a: b is now the LRU
+    clock.advance(1.0)
+    cache.put("c", payload)  # overflow — evicts b, not a
+    assert cache.contains("a")
+    assert not cache.contains("b")
+    assert cache.contains("c")
+    assert cache.stats()["evictions"] == 1
+
+
+def test_the_entry_just_written_survives_its_own_put(tmp_path):
+    # A single entry larger than the whole budget must still land —
+    # otherwise an oversized result could never be cached at all.
+    cache = ResultCache(tmp_path, max_bytes=16)
+    big = {"v": "x" * 1000}
+    cache.put("only", big)
+    assert cache.contains("only")
+    assert cache.cache_bytes() == _size(big)
+
+
+def test_eviction_clears_both_tiers(tmp_path):
+    clock = FakeClock()
+    payload = {"v": "x" * 200}
+    cache = ResultCache(tmp_path, max_bytes=_size(payload) + 10, clock=clock)
+    cache.put("old", payload)
+    clock.advance(1.0)
+    cache.put("new", payload)
+    assert not cache.contains("old")
+    found = cache.lookup("old")  # not served from the memory tier either
+    assert found is None
+    assert not (tmp_path / "results" / "old.json").exists()
+
+
+# --------------------------------------------------------------------- #
+# TTL                                                                   #
+# --------------------------------------------------------------------- #
+
+
+def test_expired_entry_is_a_miss_and_is_unlinked(tmp_path):
+    clock = FakeClock()
+    cache = ResultCache(tmp_path, ttl_s=60.0, clock=clock)
+    cache.put("k", {"v": 1})
+    clock.advance(59.0)
+    assert cache.lookup("k") is not None  # still fresh
+    clock.advance(2.0)  # now 61s past storage
+    assert cache.lookup("k") is None
+    stats = cache.stats()
+    assert stats["expirations"] == 1
+    assert stats["misses"] == 1
+    assert not (tmp_path / "results" / "k.json").exists()
+    assert cache.cache_bytes() == 0
+
+
+def test_contains_respects_ttl(tmp_path):
+    clock = FakeClock()
+    cache = ResultCache(tmp_path, ttl_s=10.0, clock=clock)
+    cache.put("k", {"v": 1})
+    assert cache.contains("k")
+    clock.advance(11.0)
+    assert not cache.contains("k")
+
+
+def test_rewriting_a_key_resets_its_ttl(tmp_path):
+    clock = FakeClock()
+    cache = ResultCache(tmp_path, ttl_s=10.0, clock=clock)
+    cache.put("k", {"v": 1})
+    clock.advance(8.0)
+    cache.put("k", {"v": 2})  # refreshed
+    clock.advance(8.0)  # 16s after first put, 8s after second
+    found = cache.lookup("k")
+    assert found is not None
+    assert found[0] == {"v": 2}
+
+
+# --------------------------------------------------------------------- #
+# Restart re-index                                                      #
+# --------------------------------------------------------------------- #
+
+
+def test_restart_reindexes_sizes_and_bytes(tmp_path):
+    first = ResultCache(tmp_path)
+    a = {"v": "x" * 100}
+    b = {"v": "y" * 300}
+    first.put("ka", a)
+    first.put("kb", b)
+
+    reborn = ResultCache(tmp_path)
+    assert reborn.stats()["entries_disk"] == 2
+    assert reborn.cache_bytes() == _size(a) + _size(b)
+    found = reborn.lookup("ka")
+    assert found is not None and found[1] == "disk"
+
+
+def test_restart_enforces_a_tighter_budget(tmp_path):
+    first = ResultCache(tmp_path)
+    payload = {"v": "x" * 200}
+    for i in range(4):
+        first.put(f"k{i}", payload)
+
+    reborn = ResultCache(tmp_path, max_bytes=_size(payload) * 2 + 10)
+    assert reborn.cache_bytes() <= _size(payload) * 2 + 10
+    assert reborn.stats()["entries_disk"] == 2
+    assert reborn.stats()["evictions"] == 2
+
+
+def test_restart_keeps_ttl_counting_from_file_age(tmp_path, monkeypatch):
+    import os
+    import time
+
+    first = ResultCache(tmp_path)
+    first.put("old", {"v": 1})
+    # Age the file two minutes into the past.
+    path = tmp_path / "results" / "old.json"
+    past = time.time() - 120.0
+    os.utime(path, (past, past))
+
+    reborn = ResultCache(tmp_path, ttl_s=60.0)
+    assert reborn.lookup("old") is None  # already expired at boot
+    assert reborn.stats()["expirations"] == 1
+
+
+# --------------------------------------------------------------------- #
+# Constructor validation                                                #
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"memory_entries": 0},
+        {"max_bytes": 0},
+        {"ttl_s": 0.0},
+        {"ttl_s": -5.0},
+    ],
+)
+def test_degenerate_lifecycle_parameters_are_rejected(tmp_path, kwargs):
+    with pytest.raises(ValueError):
+        ResultCache(tmp_path, **kwargs)

@@ -1,0 +1,165 @@
+"""Metrics: snapshot safety under concurrency, labels, fleet merging."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import (
+    OUTCOMES,
+    ServiceMetrics,
+    merge_snapshots,
+    percentile,
+)
+
+
+# --------------------------------------------------------------------- #
+# percentile                                                            #
+# --------------------------------------------------------------------- #
+
+
+def test_percentile_nearest_rank():
+    samples = list(range(1, 101))  # 1..100
+    assert percentile(samples, 50) == 50
+    assert percentile(samples, 99) == 99
+    assert percentile(samples, 100) == 100
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_percentile_of_empty_set_raises():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+# --------------------------------------------------------------------- #
+# ServiceMetrics                                                        #
+# --------------------------------------------------------------------- #
+
+
+def test_snapshot_is_safe_under_concurrent_observe():
+    """Snapshots race against observes without corruption or exceptions.
+
+    The regression this guards: sorting the *live* sample deque during a
+    percentile computation while another thread appends → RuntimeError
+    or silently wrong percentiles.  The implementation must copy under
+    the lock and sort the copy.
+    """
+    metrics = ServiceMetrics()
+    stop = threading.Event()
+    errors = []
+
+    def hammer():
+        i = 0
+        while not stop.is_set():
+            metrics.observe("slice", (i % 100) / 1000.0)
+            metrics.increment("submits")
+            i += 1
+
+    def snapshotter():
+        try:
+            for _ in range(200):
+                snap = metrics.snapshot()
+                latency = snap["latency"].get("slice")
+                if latency and "p99_s" in latency:
+                    assert latency["p99_s"] >= 0.0
+        except Exception as err:  # pragma: no cover — the failure mode
+            errors.append(err)
+
+    writers = [threading.Thread(target=hammer) for _ in range(4)]
+    reader = threading.Thread(target=snapshotter)
+    for t in writers:
+        t.start()
+    reader.start()
+    reader.join()
+    stop.set()
+    for t in writers:
+        t.join()
+    assert errors == []
+    final = metrics.snapshot()
+    assert final["latency"]["slice"]["count"] == final["counters"]["submits"]
+
+
+def test_labels_round_trip_and_set_label():
+    metrics = ServiceMetrics(labels={"shard": "shard-0"})
+    assert metrics.labels == {"shard": "shard-0"}
+    assert metrics.snapshot()["labels"] == {"shard": "shard-0"}
+    metrics.set_label("shard", "shard-7")
+    metrics.set_label("zone", "local")
+    assert metrics.snapshot()["labels"] == {"shard": "shard-7", "zone": "local"}
+
+
+def test_unlabelled_snapshot_omits_the_labels_field():
+    assert "labels" not in ServiceMetrics().snapshot()
+
+
+def test_unknown_outcome_is_rejected():
+    with pytest.raises(ValueError):
+        ServiceMetrics().outcome("shrugged")
+
+
+def test_snapshot_reports_every_outcome_bucket():
+    metrics = ServiceMetrics()
+    metrics.outcome("ok")
+    snap = metrics.snapshot()
+    assert set(snap["outcomes"]) == set(OUTCOMES)
+    assert snap["outcomes"]["ok"] == 1
+    assert snap["outcomes"]["error"] == 0
+
+
+# --------------------------------------------------------------------- #
+# merge_snapshots                                                       #
+# --------------------------------------------------------------------- #
+
+
+def _shard_snapshot(shard, submits, mean, p99, count):
+    return {
+        "uptime_s": 10.0 * (1 + submits % 3),
+        "labels": {"shard": shard},
+        "counters": {"submits": submits},
+        "outcomes": {"ok": submits},
+        "latency": {
+            "slice": {
+                "count": count,
+                "mean_s": mean,
+                "p50_s": mean,
+                "p90_s": p99 * 0.9,
+                "p99_s": p99,
+            }
+        },
+    }
+
+
+def test_merge_sums_counters_and_outcomes():
+    merged = merge_snapshots(
+        [
+            _shard_snapshot("shard-0", 3, 0.010, 0.050, 3),
+            _shard_snapshot("shard-1", 5, 0.020, 0.030, 5),
+        ]
+    )
+    assert merged["shards_merged"] == 2
+    assert merged["counters"]["submits"] == 8
+    assert merged["outcomes"]["ok"] == 8
+    assert {"shard": "shard-0"} in merged["shards"]
+    assert {"shard": "shard-1"} in merged["shards"]
+
+
+def test_merge_weights_means_and_takes_max_percentiles():
+    merged = merge_snapshots(
+        [
+            _shard_snapshot("shard-0", 1, 0.010, 0.050, 2),
+            _shard_snapshot("shard-1", 1, 0.040, 0.030, 6),
+        ]
+    )
+    slice_summary = merged["latency"]["slice"]
+    assert slice_summary["count"] == 8
+    # Count-weighted mean: (0.010*2 + 0.040*6) / 8.
+    assert slice_summary["mean_s"] == pytest.approx(0.0325)
+    # Percentiles cannot merge exactly; the conservative bound is max.
+    assert slice_summary["p99_s"] == 0.050
+
+
+def test_merge_of_nothing_is_empty_but_well_formed():
+    merged = merge_snapshots([])
+    assert merged["shards_merged"] == 0
+    assert merged["counters"] == {}
+    assert merged["latency"] == {}
+    assert all(v == 0 for v in merged["outcomes"].values())

@@ -1,0 +1,116 @@
+"""Consistent-hash ring properties the fleet's correctness rests on."""
+
+import hashlib
+
+import pytest
+
+from repro.service.fleet.ring import (
+    DEFAULT_VNODES,
+    FleetConfig,
+    HashRing,
+    ShardInfo,
+)
+
+
+def _keys(n):
+    return [hashlib.sha256(f"key-{i}".encode()).hexdigest() for i in range(n)]
+
+
+def test_ownership_is_deterministic_across_instances():
+    a = HashRing(["s0", "s1", "s2"])
+    b = HashRing(["s0", "s1", "s2"])
+    for key in _keys(200):
+        assert a.owner(key) == b.owner(key)
+
+
+def test_ownership_ignores_shard_declaration_order():
+    a = HashRing(["s0", "s1", "s2"])
+    b = HashRing(["s2", "s0", "s1"])
+    for key in _keys(200):
+        assert a.owner(key) == b.owner(key)
+
+
+def test_load_spreads_across_shards():
+    ring = HashRing(["s0", "s1", "s2", "s3"])
+    counts = {shard: 0 for shard in ring.shard_ids}
+    keys = _keys(4000)
+    for key in keys:
+        counts[ring.owner(key)] += 1
+    # With 64 vnodes/shard the max/min share ratio stays modest.
+    assert min(counts.values()) > len(keys) / len(counts) * 0.5
+    assert max(counts.values()) < len(keys) / len(counts) * 1.6
+
+
+def test_removal_remaps_only_the_departed_shards_keys():
+    ring = HashRing(["s0", "s1", "s2", "s3"])
+    reduced = ring.without("s2")
+    moved = 0
+    for key in _keys(2000):
+        before = ring.owner(key)
+        after = reduced.owner(key)
+        if before != "s2":
+            assert after == before  # survivors keep their keys
+        else:
+            moved += 1
+            assert after != "s2"
+    assert moved > 0
+
+
+def test_preference_first_is_owner_and_matches_removal_semantics():
+    ring = HashRing(["s0", "s1", "s2", "s3"])
+    for key in _keys(300):
+        order = ring.preference(key)
+        assert order[0] == ring.owner(key)
+        assert sorted(order) == sorted(ring.shard_ids)  # all shards, distinct
+        # The second preference is exactly who owns the key once the
+        # first leaves — the invariant that makes drain handoff and
+        # client failover agree on placement.
+        assert order[1] == ring.without(order[0]).owner(key)
+
+
+def test_preference_cap():
+    ring = HashRing(["s0", "s1", "s2", "s3"])
+    assert len(ring.preference("k", n=2)) == 2
+
+
+def test_degenerate_rings_are_rejected():
+    with pytest.raises(ValueError):
+        HashRing([])
+    with pytest.raises(ValueError):
+        HashRing(["a", "a"])
+    with pytest.raises(ValueError):
+        HashRing(["a"], vnodes=0)
+    with pytest.raises(ValueError):
+        HashRing(["only"]).without("only")
+    with pytest.raises(KeyError):
+        HashRing(["a", "b"]).without("zzz")
+
+
+def test_fleet_config_round_trips_and_derives_equal_rings():
+    config = FleetConfig(
+        shards=(
+            ShardInfo(id="shard-0", host="127.0.0.1", port=7001),
+            ShardInfo(id="shard-1", host="127.0.0.1", port=7002),
+        ),
+        vnodes=32,
+    )
+    clone = FleetConfig.from_dict(config.to_dict())
+    assert clone == config
+    for key in _keys(100):
+        assert config.ring().owner(key) == clone.ring().owner(key)
+    assert config.shard("shard-1").endpoint == "tcp:127.0.0.1:7002"
+    with pytest.raises(KeyError):
+        config.shard("shard-9")
+
+
+def test_fleet_config_rejects_bad_wire_forms():
+    with pytest.raises(ValueError):
+        FleetConfig.from_dict({"shards": "nope"})
+    with pytest.raises(ValueError):
+        FleetConfig.from_dict({"shards": [{"id": "a"}]})
+    with pytest.raises(ValueError):
+        FleetConfig.from_dict({"shards": [], "vnodes": 0})
+
+
+def test_default_vnodes_constant():
+    assert HashRing(["a"]).vnodes == DEFAULT_VNODES

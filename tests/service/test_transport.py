@@ -1,0 +1,126 @@
+"""TCP transport + shared-secret auth handshake.
+
+The TCP listener speaks the identical length-prefixed JSON protocol as
+the Unix socket; the only difference is the per-connection auth state.
+These tests pin the stable error codes (``auth-required``,
+``auth-failed``) and the one-strike connection policy.
+"""
+
+import socket
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError, parse_endpoint
+from repro.service.protocol import recv_message, send_message
+
+
+def _tcp_server(service_factory, **kwargs):
+    kwargs.setdefault("tcp_addr", ("127.0.0.1", 0))
+    return service_factory(**kwargs)
+
+
+def test_parse_endpoint_forms():
+    assert parse_endpoint("/tmp/x.sock") == ("unix", "/tmp/x.sock")
+    assert parse_endpoint("unix:/tmp/x.sock") == ("unix", "/tmp/x.sock")
+    assert parse_endpoint("tcp:127.0.0.1:7001") == ("tcp", ("127.0.0.1", 7001))
+    for bad in ("tcp:nohost", "tcp::8080", "tcp:host:notaport", "tcp:h:0"):
+        with pytest.raises(ValueError):
+            parse_endpoint(bad)
+
+
+def test_tcp_listener_binds_ephemeral_port_and_serves(service_factory, fuzz_trace_path):
+    server = _tcp_server(service_factory)
+    assert server.tcp_port is not None and server.tcp_port > 0
+    client = ServiceClient(f"tcp:127.0.0.1:{server.tcp_port}")
+    assert client.ping()
+    response = client.submit({"trace_path": str(fuzz_trace_path)}, wait=True)
+    assert response["outcome"] == "ok"
+
+
+def test_tcp_and_unix_serve_the_same_daemon(service_factory, fuzz_trace_path):
+    server = _tcp_server(service_factory)
+    unix = ServiceClient(server.socket_path)
+    tcp = ServiceClient(f"tcp:127.0.0.1:{server.tcp_port}")
+    cold = unix.submit({"trace_path": str(fuzz_trace_path)}, wait=True)
+    warm = tcp.submit({"trace_path": str(fuzz_trace_path)}, wait=True)
+    assert warm["outcome"].startswith("cache-")  # one shared cache
+    assert warm["result"]["flags_sha256"] == cold["result"]["flags_sha256"]
+
+
+def test_auth_required_before_any_op(service_factory):
+    server = _tcp_server(service_factory, auth_token="sekrit")
+    bare = ServiceClient(f"tcp:127.0.0.1:{server.tcp_port}")  # no token
+    with pytest.raises(ServiceError) as err:
+        bare.ping()
+    assert err.value.code == "auth-required"
+
+
+def test_bad_token_is_auth_failed_and_closes_the_connection(service_factory):
+    server = _tcp_server(service_factory, auth_token="sekrit")
+    wrong = ServiceClient(f"tcp:127.0.0.1:{server.tcp_port}", auth_token="nope")
+    with pytest.raises(ServiceError) as err:
+        wrong.ping()
+    assert err.value.code == "auth-failed"
+
+    # One strike: after a rejected token the server hangs up, so a
+    # follow-up frame on the same connection sees EOF, not a response.
+    raw = socket.create_connection(("127.0.0.1", server.tcp_port), timeout=5.0)
+    try:
+        raw.settimeout(5.0)
+        send_message(raw, {"op": "auth", "token": "still-wrong"})
+        rejected = recv_message(raw)
+        assert rejected["ok"] is False
+        assert rejected["error"]["code"] == "auth-failed"
+        send_message(raw, {"op": "ping"})
+        assert recv_message(raw) is None  # connection closed
+    finally:
+        raw.close()
+
+
+def test_good_token_unlocks_every_op(service_factory, fuzz_trace_path):
+    server = _tcp_server(service_factory, auth_token="sekrit")
+    client = ServiceClient(f"tcp:127.0.0.1:{server.tcp_port}", auth_token="sekrit")
+    assert client.ping()
+    response = client.submit({"trace_path": str(fuzz_trace_path)}, wait=True)
+    assert response["outcome"] == "ok"
+    assert client.stats()["counters"].get("submits") == 1
+
+
+def test_unix_socket_skips_the_handshake_even_with_a_token(service_factory):
+    # Filesystem permissions are the Unix socket's access control; the
+    # shared secret only guards the network transport.
+    server = _tcp_server(service_factory, auth_token="sekrit")
+    unix = ServiceClient(server.socket_path)
+    assert unix.ping()
+
+
+def test_auth_failures_are_counted(service_factory):
+    server = _tcp_server(service_factory, auth_token="sekrit")
+    for _ in range(3):
+        with pytest.raises(ServiceError):
+            ServiceClient(
+                f"tcp:127.0.0.1:{server.tcp_port}", auth_token="bad"
+            ).ping()
+    assert server.metrics.counter("auth_failures") == 3
+
+
+def test_tcp_only_server_has_no_unix_socket(service_factory, tmp_path):
+    from repro.service.server import ProfilingServer
+
+    server = ProfilingServer(
+        None, tmp_path / "cache", workers=1, tcp_addr=("127.0.0.1", 0)
+    )
+    server.start()
+    try:
+        assert server.socket_path is None
+        assert ServiceClient(f"tcp:127.0.0.1:{server.tcp_port}").ping()
+    finally:
+        server.close()
+
+
+def test_server_without_any_transport_is_rejected(tmp_path):
+    from repro.service.server import ProfilingServer
+
+    server = ProfilingServer(None, tmp_path / "cache", workers=1)
+    with pytest.raises(ValueError):
+        server.start()
